@@ -1,0 +1,205 @@
+//! Criterion microbenchmarks for the core data structures and the
+//! full-frame simulation path.
+//!
+//! ```text
+//! cargo bench -p rbcd-bench
+//! ```
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rbcd_core::software::OracleUnit;
+use rbcd_core::{scan_list, FfStack, RbcdConfig, RbcdStats, RbcdUnit, Zeb, ZebElement};
+use rbcd_cpu_cd::{gjk, CdBody, Cost, CpuCollisionDetector, Phase};
+use rbcd_geometry::{hull, intersect, shapes};
+use rbcd_gpu::{
+    rasterize_triangle_in_tile, CollisionUnit, Facing, GpuConfig, NullCollisionUnit, ObjectId,
+    PipelineMode, ScreenTriangle, Simulator, TileCoord,
+};
+use rbcd_math::{Mat4, Vec3, Viewport};
+
+/// ZEB sorted insertion (Figure 4): one tile's worth of fragments.
+fn bench_zeb_insertion(c: &mut Criterion) {
+    let elements: Vec<(usize, ZebElement)> = (0..512)
+        .map(|i| {
+            let z = ((i * 37) % 97) as f32 / 97.0;
+            let id = ObjectId::new((i % 5) as u16 + 1);
+            let facing = if i % 2 == 0 { Facing::Front } else { Facing::Back };
+            ((i * 13) % 256, ZebElement::new(z, id, facing))
+        })
+        .collect();
+    c.bench_function("zeb_insert_512_fragments", |b| {
+        b.iter_batched(
+            || Zeb::new(256, 8),
+            |mut zeb| {
+                let mut stats = RbcdStats::default();
+                for &(list, e) in &elements {
+                    zeb.insert(list, e, &mut stats);
+                }
+                zeb
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Z-overlap scan (Figures 5–6) over a fully-populated list.
+fn bench_z_overlap_scan(c: &mut Criterion) {
+    let list: Vec<ZebElement> = (0..8)
+        .map(|i| {
+            let id = ObjectId::new((i / 2) as u16 + 1);
+            let facing = if i % 2 == 0 { Facing::Front } else { Facing::Back };
+            ZebElement::new(i as f32 / 8.0, id, facing)
+        })
+        .collect();
+    c.bench_function("z_overlap_scan_8_element_list", |b| {
+        let mut stack = FfStack::new(8);
+        let mut stats = RbcdStats::default();
+        b.iter(|| scan_list(std::hint::black_box(&list), &mut stack, &mut stats))
+    });
+}
+
+/// GJK boolean and distance queries on realistic hulls.
+fn bench_gjk(c: &mut Criterion) {
+    let mesh = shapes::icosphere(1.0, 3);
+    let h = hull::mesh_hull(&mesh).unwrap();
+    let a: Vec<Vec3> = h.vertices().to_vec();
+    let b: Vec<Vec3> = h
+        .vertices()
+        .iter()
+        .map(|&p| p + Vec3::new(1.4, 0.2, 0.0))
+        .collect();
+    c.bench_function("gjk_intersect_642v_hulls", |bch| {
+        bch.iter(|| {
+            let mut cost = Cost::default();
+            gjk::gjk_intersect(std::hint::black_box(&a), std::hint::black_box(&b), &mut cost)
+        })
+    });
+    c.bench_function("gjk_distance_642v_hulls", |bch| {
+        bch.iter(|| {
+            let mut cost = Cost::default();
+            gjk::gjk_distance(std::hint::black_box(&a), std::hint::black_box(&b), &mut cost)
+        })
+    });
+    c.bench_function("penetration_depth_642v_hulls", |bch| {
+        bch.iter(|| {
+            let mut cost = Cost::default();
+            gjk::penetration_depth(std::hint::black_box(&a), std::hint::black_box(&b), &mut cost)
+        })
+    });
+}
+
+/// CPU broad phase over a field of bodies (BVH refits + pair tests).
+fn bench_broad_phase(c: &mut Criterion) {
+    let mesh = shapes::icosphere(0.5, 2);
+    let bodies: Vec<CdBody> = (0..24)
+        .map(|i| CdBody::from_mesh(i, &mesh).unwrap())
+        .collect();
+    let transforms: Vec<Mat4> = (0..24)
+        .map(|i| Mat4::translation(Vec3::new((i % 6) as f32 * 1.3, 0.0, (i / 6) as f32 * 1.3)))
+        .collect();
+    c.bench_function("broad_phase_24_bodies", |b| {
+        let mut det = CpuCollisionDetector::new(bodies.clone());
+        b.iter(|| det.detect(std::hint::black_box(&transforms), Phase::Broad))
+    });
+}
+
+/// Rasterizing one large triangle into a tile.
+fn bench_rasterizer(c: &mut Criterion) {
+    let tri = ScreenTriangle::new(
+        Vec3::new(-4.0, -4.0, 0.3),
+        Vec3::new(20.0, 0.0, 0.5),
+        Vec3::new(0.0, 20.0, 0.7),
+    );
+    c.bench_function("rasterize_triangle_16x16_tile", |b| {
+        let mut out = Vec::with_capacity(256);
+        b.iter(|| {
+            out.clear();
+            rasterize_triangle_in_tile(std::hint::black_box(&tri), 0, 0, 16, 64, 64, &mut out)
+        })
+    });
+}
+
+/// Exact triangle–triangle intersection (the validation oracle).
+fn bench_tri_tri(c: &mut Criterion) {
+    let t1 = rbcd_geometry::Triangle::new(
+        Vec3::new(0.0, 0.0, 0.0),
+        Vec3::new(2.0, 0.0, 0.0),
+        Vec3::new(0.0, 2.0, 0.0),
+    );
+    let t2 = rbcd_geometry::Triangle::new(
+        Vec3::new(0.5, 0.5, -1.0),
+        Vec3::new(0.5, 0.5, 1.0),
+        Vec3::new(1.5, 0.5, 1.0),
+    );
+    c.bench_function("tri_tri_intersect", |b| {
+        b.iter(|| intersect::tri_tri_intersect(std::hint::black_box(&t1), std::hint::black_box(&t2)))
+    });
+}
+
+/// Full frame through the simulator: baseline, RBCD with hardware unit,
+/// and RBCD with the software oracle.
+fn bench_full_frame(c: &mut Criterion) {
+    let scene = rbcd_workloads::cap();
+    let gpu = GpuConfig { viewport: Viewport::new(320, 200), ..GpuConfig::default() };
+    let trace = scene.frame_trace(0);
+
+    c.bench_function("frame_baseline_320x200_cap", |b| {
+        let mut sim = Simulator::new(gpu.clone());
+        b.iter(|| sim.render_frame(std::hint::black_box(&trace), PipelineMode::Baseline, &mut NullCollisionUnit))
+    });
+    c.bench_function("frame_rbcd_320x200_cap", |b| {
+        let mut sim = Simulator::new(gpu.clone());
+        let mut unit = RbcdUnit::new(RbcdConfig::default(), gpu.tile_size);
+        b.iter(|| {
+            unit.new_frame();
+            let stats = sim.render_frame(std::hint::black_box(&trace), PipelineMode::Rbcd, &mut unit);
+            unit.take_contacts();
+            stats
+        })
+    });
+    c.bench_function("frame_oracle_320x200_cap", |b| {
+        let mut sim = Simulator::new(gpu.clone());
+        b.iter(|| {
+            let mut oracle = OracleUnit::new();
+            sim.render_frame(std::hint::black_box(&trace), PipelineMode::Rbcd, &mut oracle);
+            oracle.pairs().len()
+        })
+    });
+}
+
+/// The RBCD unit in isolation: insert + scan a dense tile.
+fn bench_rbcd_unit_tile(c: &mut Criterion) {
+    let frags: Vec<_> = (0..1024)
+        .map(|i| rbcd_gpu::CollisionFragment {
+            x: (i % 16) as u32,
+            y: ((i / 16) % 16) as u32,
+            z: ((i * 29) % 101) as f32 / 101.0,
+            object: ObjectId::new((i % 6) as u16 + 1),
+            facing: if i % 2 == 0 { Facing::Front } else { Facing::Back },
+        })
+        .collect();
+    c.bench_function("rbcd_unit_tile_1024_fragments", |b| {
+        let mut unit = RbcdUnit::new(RbcdConfig::default(), 16);
+        b.iter(|| {
+            unit.new_frame();
+            unit.begin_tile(TileCoord { x: 0, y: 0 }, 0);
+            for f in &frags {
+                unit.insert(*f);
+            }
+            unit.finish_tile(1024);
+            unit.take_contacts().len()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_zeb_insertion,
+    bench_z_overlap_scan,
+    bench_gjk,
+    bench_broad_phase,
+    bench_rasterizer,
+    bench_tri_tri,
+    bench_full_frame,
+    bench_rbcd_unit_tile,
+);
+criterion_main!(benches);

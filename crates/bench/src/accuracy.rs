@@ -1,0 +1,116 @@
+//! Figure 2: accuracy of AABB vs GJK-on-hull vs RBCD on concave shapes.
+//!
+//! The paper's motivating example places objects near a concave body A:
+//! AABBs report false collisions for pairs that merely share A's
+//! bounding box, GJK still reports a false collision for an object
+//! inside A's *convex hull*, and RBCD — operating on the discretized
+//! true surface — reports neither. Exact mesh–mesh intersection is the
+//! ground truth.
+
+use rbcd_core::{detect_frame_collisions, RbcdConfig};
+use rbcd_cpu_cd::{Cost, gjk::gjk_intersect};
+use rbcd_geometry::{hull, intersect, shapes, Mesh};
+use rbcd_gpu::{Camera, DrawCommand, FrameTrace, GpuConfig, ObjectId};
+use rbcd_math::{Mat4, Vec3};
+
+/// Verdicts of the four detectors for one object pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairVerdicts {
+    /// Pair label (`A` is object 1).
+    pub pair: (u16, u16),
+    /// AABB broad phase.
+    pub aabb: bool,
+    /// GJK on convex hulls.
+    pub gjk: bool,
+    /// RBCD at the given resolution.
+    pub rbcd: bool,
+    /// Exact surface intersection (ground truth).
+    pub exact: bool,
+}
+
+/// The Figure 2 scenario: a concave L-prism `A` (id 1), a small cube `B`
+/// (id 2) inside A's AABB but outside its hull, and a small sphere `C`
+/// (id 3) inside A's hull but not touching its surface.
+pub fn figure2_verdicts(gpu: &GpuConfig) -> Vec<PairVerdicts> {
+    let a = shapes::l_prism(2.4, 1.2);
+    // B sits in the outer corner of the notch: inside A's AABB only.
+    let b = shapes::cube(0.12);
+    let b_model = Mat4::translation(Vec3::new(1.02, 1.02, 0.0));
+    // C sits just inside the hull's diagonal face, off A's surface.
+    let c = shapes::icosphere(0.12, 1);
+    let c_model = Mat4::translation(Vec3::new(0.30, 0.30, 0.0));
+
+    let meshes: Vec<(u16, &Mesh, Mat4)> =
+        vec![(1, &a, Mat4::IDENTITY), (2, &b, b_model), (3, &c, c_model)];
+
+    // RBCD: render the trio once.
+    let camera = Camera::perspective(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, 1.1, 0.1, 50.0);
+    let draws = meshes
+        .iter()
+        .map(|(id, mesh, model)| {
+            DrawCommand::collidable((*mesh).clone(), ObjectId::new(*id)).with_model(*model)
+        })
+        .collect();
+    let rbcd = detect_frame_collisions(&FrameTrace::new(camera, draws), gpu, &RbcdConfig::default());
+    let rbcd_pairs = rbcd.pairs();
+
+    let mut out = Vec::new();
+    for i in 0..meshes.len() {
+        for j in (i + 1)..meshes.len() {
+            let (id_i, mesh_i, m_i) = (meshes[i].0, meshes[i].1, meshes[i].2);
+            let (id_j, mesh_j, m_j) = (meshes[j].0, meshes[j].1, meshes[j].2);
+            let world_i = mesh_i.transformed(&m_i);
+            let world_j = mesh_j.transformed(&m_j);
+            let aabb = world_i.aabb().intersects(&world_j.aabb());
+            let hull_i: Vec<Vec3> = hull::mesh_hull(&world_i).expect("hullable").vertices().to_vec();
+            let hull_j: Vec<Vec3> = hull::mesh_hull(&world_j).expect("hullable").vertices().to_vec();
+            let gjk = gjk_intersect(&hull_i, &hull_j, &mut Cost::default());
+            let exact = intersect::meshes_intersect(&world_i, &world_j);
+            let rbcd_hit = rbcd_pairs.contains(&(ObjectId::new(id_i), ObjectId::new(id_j)));
+            out.push(PairVerdicts { pair: (id_i, id_j), aabb, gjk, rbcd: rbcd_hit, exact });
+        }
+    }
+    out
+}
+
+/// Counts false positives of each detector against the exact verdict:
+/// `(aabb, gjk, rbcd)`.
+pub fn false_positive_counts(verdicts: &[PairVerdicts]) -> (usize, usize, usize) {
+    let count = |f: fn(&PairVerdicts) -> bool| {
+        verdicts.iter().filter(|v| f(v) && !v.exact).count()
+    };
+    (count(|v| v.aabb), count(|v| v.gjk), count(|v| v.rbcd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbcd_math::Viewport;
+
+    #[test]
+    fn figure2_ordering_holds() {
+        let gpu = GpuConfig { viewport: Viewport::new(256, 256), ..GpuConfig::default() };
+        let verdicts = figure2_verdicts(&gpu);
+        assert_eq!(verdicts.len(), 3);
+        // Ground truth: nothing actually touches.
+        assert!(verdicts.iter().all(|v| !v.exact));
+        let (aabb_fp, gjk_fp, rbcd_fp) = false_positive_counts(&verdicts);
+        // The paper's ordering: AABB ≥ GJK > RBCD, RBCD clean.
+        assert!(aabb_fp >= 2, "AABB should flag both (A,B) and (A,C): {verdicts:?}");
+        assert!(gjk_fp >= 1, "GJK should still flag (A,C): {verdicts:?}");
+        assert!(gjk_fp < aabb_fp || aabb_fp == gjk_fp, "hull tighter than AABB");
+        assert_eq!(rbcd_fp, 0, "RBCD adds no false collision: {verdicts:?}");
+    }
+
+    #[test]
+    fn gjk_prunes_the_notch_corner_pair() {
+        let gpu = GpuConfig { viewport: Viewport::new(128, 128), ..GpuConfig::default() };
+        let verdicts = figure2_verdicts(&gpu);
+        let ab = verdicts.iter().find(|v| v.pair == (1, 2)).unwrap();
+        assert!(ab.aabb, "B is inside A's AABB");
+        assert!(!ab.gjk, "B is outside A's hull");
+        let ac = verdicts.iter().find(|v| v.pair == (1, 3)).unwrap();
+        assert!(ac.aabb && ac.gjk, "C is inside A's hull");
+        assert!(!ac.rbcd, "RBCD sees disjoint z-ranges for (A,C)");
+    }
+}

@@ -1,0 +1,658 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p rbcd-bench --release --bin repro            # everything
+//! cargo run -p rbcd-bench --release --bin repro -- fig8a   # one experiment
+//! cargo run -p rbcd-bench --release --bin repro -- --frames 12 all
+//! ```
+//!
+//! Experiment ids: table1 table2 fig2 fig8a fig8b fig8c fig8d fig9a
+//! fig9b fig10 fig11 table3 sec52 sec53 ablation-zebs all — plus the
+//! extension experiments imr, spares, timesteps, tbdr, and resolution
+//! (run by `all` too).
+
+use rbcd_bench::report::{fmt_norm, fmt_pct, fmt_x, Table};
+use rbcd_bench::{accuracy, geomean, run_suite, RunOptions, SuiteResult};
+use rbcd_gpu::GpuConfig;
+use std::time::Instant;
+
+struct PaperRef {
+    /// Paper-reported geomean (or headline) value, for side-by-side
+    /// printing. Values transcribed from §5 of the paper.
+    note: &'static str,
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut frames: Option<usize> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--frames") {
+        let v = args
+            .get(pos + 1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--frames needs a number");
+                std::process::exit(2);
+            });
+        frames = Some(v);
+        args.drain(pos..=pos + 1);
+    }
+    let wanted: Vec<String> = if args.is_empty() { vec!["all".into()] } else { args };
+    let want = |id: &str| wanted.iter().any(|w| w == id || w == "all");
+
+    let opts = RunOptions { frames, ..RunOptions::default() };
+
+    if want("table1") {
+        print_table1(&opts);
+    }
+    if want("table2") {
+        print_table2();
+    }
+    if want("fig2") {
+        print_fig2(&opts);
+    }
+    if want("sec53") {
+        print_sec53(&opts);
+    }
+    if want("imr") {
+        print_imr(&opts);
+    }
+    if want("spares") {
+        print_spares(&opts);
+    }
+    if want("timesteps") {
+        print_timesteps(&opts);
+    }
+    if want("tbdr") {
+        print_tbdr(&opts);
+    }
+    if want("resolution") {
+        print_resolution(&opts);
+    }
+
+    let need_suite = ["fig8a", "fig8b", "fig8c", "fig8d", "fig9a", "fig9b", "fig10", "fig11", "table3", "sec52", "ablation-zebs", "debug"]
+        .iter()
+        .any(|id| want(id));
+    if !need_suite {
+        return;
+    }
+
+    eprintln!("running the benchmark suite (this simulates every frame three+ times)...");
+    let t0 = Instant::now();
+    let scenes = rbcd_workloads::suite();
+    let suite = run_suite(&scenes, &opts);
+    eprintln!("suite simulated in {:.1?} of host time", t0.elapsed());
+
+    if want("fig8a") {
+        print_fig8_speedup(&suite, false, PaperRef { note: "paper geomean ~250x (1 ZEB), ~600x (2 ZEB)" });
+    }
+    if want("fig8b") {
+        print_fig8_energy(&suite, false, PaperRef { note: "paper geomean ~273x (1 ZEB), ~448x (2 ZEB)" });
+    }
+    if want("fig8c") {
+        print_fig8_speedup(&suite, true, PaperRef { note: "paper geomean ~1400x (1 ZEB), ~3400x (2 ZEB)" });
+    }
+    if want("fig8d") {
+        print_fig8_energy(&suite, true, PaperRef { note: "paper geomean ~1750x (1 ZEB), ~2875x (2 ZEB)" });
+    }
+    if want("fig9a") {
+        print_fig9(&suite, true);
+    }
+    if want("fig9b") {
+        print_fig9(&suite, false);
+    }
+    if want("fig10") {
+        print_fig10(&suite);
+    }
+    if want("fig11") {
+        print_fig11(&suite);
+    }
+    if want("table3") {
+        print_table3(&suite);
+    }
+    if want("sec52") {
+        print_sec52(&suite);
+    }
+    if want("ablation-zebs") {
+        print_ablation(&suite);
+    }
+    if wanted.iter().any(|w| w == "debug") {
+        print_debug(&suite);
+    }
+}
+
+fn print_table1(opts: &RunOptions) {
+    let g: &GpuConfig = &opts.gpu;
+    let mut t = Table::new("Table 1 — CPU/GPU simulation parameters", &["parameter", "value"]);
+    let rows: Vec<(&str, String)> = vec![
+        ("GPU frequency", format!("{} MHz", g.frequency_hz / 1_000_000)),
+        ("Screen resolution", format!("{}x{}", g.viewport.width, g.viewport.height)),
+        ("Tile size", format!("{0}x{0}", g.tile_size)),
+        ("Vertex processors", g.vertex_processors.to_string()),
+        ("Fragment processors", g.fragment_processors.to_string()),
+        ("Rasterizer", format!("{} fragments/cycle", g.raster_frags_per_cycle)),
+        ("Primitive assembly", format!("{} triangle/cycle", g.triangles_per_cycle)),
+        ("Vertex cache", format!("{} KB, {}-way", g.vertex_cache.size_bytes / 1024, g.vertex_cache.ways)),
+        ("L2 cache", format!("{} KB, {}-way", g.l2_cache.size_bytes / 1024, g.l2_cache.ways)),
+        ("Main memory latency", format!("{}-{} cycles", g.mem_latency_min, g.mem_latency_max)),
+        ("ZEB buffers", "2x 8 KB (256 lists x 8 x 32 bit)".to_string()),
+        ("CPU frequency", format!("{} MHz", opts.cpu.frequency_hz / 1_000_000)),
+        ("CPU cores", opts.cpu.cores.to_string()),
+    ];
+    for (k, v) in rows {
+        t.row(vec![k.to_string(), v]);
+    }
+    print!("{}", t.render());
+}
+
+fn print_table2() {
+    let mut t = Table::new("Table 2 — benchmarks", &["benchmark", "alias", "description"]);
+    for s in rbcd_workloads::suite() {
+        t.row(vec![s.name.to_string(), s.alias.to_string(), s.description.to_string()]);
+    }
+    print!("{}", t.render());
+}
+
+fn print_fig2(opts: &RunOptions) {
+    let verdicts = accuracy::figure2_verdicts(&opts.gpu);
+    let mut t = Table::new(
+        "Figure 2 — accuracy on a concave body (A=L-prism, B=notch corner, C=inside hull)",
+        &["pair", "AABB", "GJK-hull", "RBCD", "exact"],
+    );
+    let yn = |b: bool| if b { "collide" } else { "-" }.to_string();
+    for v in &verdicts {
+        t.row(vec![
+            format!("({}, {})", v.pair.0, v.pair.1),
+            yn(v.aabb),
+            yn(v.gjk),
+            yn(v.rbcd),
+            yn(v.exact),
+        ]);
+    }
+    print!("{}", t.render());
+    let (a, g, r) = accuracy::false_positive_counts(&verdicts);
+    println!("false positives — AABB: {a}, GJK: {g}, RBCD: {r} (paper: AABB 2, GJK 1, RBCD 0)");
+}
+
+fn print_sec53(opts: &RunOptions) {
+    let mut t = Table::new(
+        "§5.3 — RBCD static power as a fraction of GPU static power (2 ZEBs)",
+        &["list length M", "fraction", "paper bound"],
+    );
+    for (m, bound) in [(4usize, ""), (8, "<1%"), (16, ""), (32, ""), (64, "<5%")] {
+        t.row(vec![
+            m.to_string(),
+            fmt_pct(opts.energy.rbcd_static_fraction(2, m)),
+            bound.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+fn print_fig8_speedup(suite: &SuiteResult, gjk: bool, paper: PaperRef) {
+    let which = if gjk { "GJK-CD" } else { "Broad-CD" };
+    let id = if gjk { "Figure 8c" } else { "Figure 8a" };
+    let mut t = Table::new(
+        &format!("{id} — RBCD speedup vs {which} (eq. 1)"),
+        &["benchmark", "1 ZEB", "2 ZEB"],
+    );
+    let mut s1 = Vec::new();
+    let mut s2 = Vec::new();
+    for b in &suite.benchmarks {
+        let cpu = if gjk { &b.cpu_gjk } else { &b.cpu_broad };
+        let c1 = b.comparison(&b.rbcd1, cpu).speedup;
+        let c2 = b.comparison(&b.rbcd2, cpu).speedup;
+        s1.push(c1);
+        s2.push(c2);
+        t.row(vec![b.alias.clone(), fmt_x(c1), fmt_x(c2)]);
+    }
+    t.row(vec!["geo.mean".into(), fmt_x(geomean(s1)), fmt_x(geomean(s2))]);
+    print!("{}", t.render());
+    println!("({})", paper.note);
+}
+
+fn print_fig8_energy(suite: &SuiteResult, gjk: bool, paper: PaperRef) {
+    let which = if gjk { "GJK-CD" } else { "Broad-CD" };
+    let id = if gjk { "Figure 8d" } else { "Figure 8b" };
+    let mut t = Table::new(
+        &format!("{id} — RBCD energy reduction vs {which} (eq. 2)"),
+        &["benchmark", "1 ZEB", "2 ZEB"],
+    );
+    let mut s1 = Vec::new();
+    let mut s2 = Vec::new();
+    for b in &suite.benchmarks {
+        let cpu = if gjk { &b.cpu_gjk } else { &b.cpu_broad };
+        let c1 = b.comparison(&b.rbcd1, cpu).energy_reduction;
+        let c2 = b.comparison(&b.rbcd2, cpu).energy_reduction;
+        s1.push(c1);
+        s2.push(c2);
+        t.row(vec![b.alias.clone(), fmt_x(c1), fmt_x(c2)]);
+    }
+    t.row(vec!["geo.mean".into(), fmt_x(geomean(s1)), fmt_x(geomean(s2))]);
+    print!("{}", t.render());
+    println!("({})", paper.note);
+}
+
+fn print_fig9(suite: &SuiteResult, time: bool) {
+    let (id, what) = if time {
+        ("Figure 9a", "GPU time with RBCD / baseline (eq. 3)")
+    } else {
+        ("Figure 9b", "GPU energy with RBCD / baseline (eq. 4)")
+    };
+    let mut t = Table::new(&format!("{id} — {what}"), &["benchmark", "1 ZEB", "2 ZEB"]);
+    let mut n1 = Vec::new();
+    let mut n2 = Vec::new();
+    for b in &suite.benchmarks {
+        let (a, c) = if time {
+            (b.normalized_time(&b.rbcd1), b.normalized_time(&b.rbcd2))
+        } else {
+            (b.normalized_energy(&b.rbcd1), b.normalized_energy(&b.rbcd2))
+        };
+        n1.push(a);
+        n2.push(c);
+        t.row(vec![b.alias.clone(), fmt_norm(a), fmt_norm(c)]);
+    }
+    t.row(vec!["geo.mean".into(), fmt_norm(geomean(n1)), fmt_norm(geomean(n2))]);
+    print!("{}", t.render());
+    if time {
+        println!("(paper: overhead ~5.4% with 1 ZEB, ~3% with 2 ZEBs; crazy worst 1-ZEB ~7%, best 2-ZEB <1%)");
+    } else {
+        println!("(paper: overhead ~5.1% with 1 ZEB, ~3.5% with 2 ZEBs)");
+    }
+}
+
+fn print_fig10(suite: &SuiteResult) {
+    let mut t = Table::new(
+        "Figure 10 — GPU time breakdown (RBCD, 2 ZEBs)",
+        &["benchmark", "raster", "geometry"],
+    );
+    let mut fr = Vec::new();
+    for b in &suite.benchmarks {
+        let r = b.raster_fraction();
+        fr.push(r);
+        t.row(vec![b.alias.clone(), fmt_pct(r), fmt_pct(1.0 - r)]);
+    }
+    t.row(vec![
+        "geo.mean".into(),
+        fmt_pct(geomean(fr.clone())),
+        fmt_pct(1.0 - geomean(fr)),
+    ]);
+    print!("{}", t.render());
+    println!("(paper: the raster pipeline dominates GPU time)");
+}
+
+fn print_fig11(suite: &SuiteResult) {
+    let mut t = Table::new(
+        "Figure 11 — activity normalized to baseline (RBCD, 2 ZEBs)",
+        &["benchmark", "TC loads", "primitives", "fragments", "raster cycles"],
+    );
+    let mut acc = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    for b in &suite.benchmarks {
+        let (l, p, f, c) = b.activity_factors();
+        for (v, a) in [l, p, f, c].iter().zip(acc.iter_mut()) {
+            a.push(*v);
+        }
+        t.row(vec![b.alias.clone(), fmt_norm(l), fmt_norm(p), fmt_norm(f), fmt_norm(c)]);
+    }
+    t.row(vec![
+        "geo.mean".into(),
+        fmt_norm(geomean(acc[0].clone())),
+        fmt_norm(geomean(acc[1].clone())),
+        fmt_norm(geomean(acc[2].clone())),
+        fmt_norm(geomean(acc[3].clone())),
+    ]);
+    print!("{}", t.render());
+    println!("(paper geomeans: TC loads ~1.193, primitives ~1.184, fragments ~1.063, raster cycles ~1.037)");
+}
+
+fn print_table3(suite: &SuiteResult) {
+    let ms: Vec<usize> = suite.benchmarks[0].overflow.iter().map(|&(m, _)| m).collect();
+    let headers: Vec<String> = std::iter::once("benchmark".to_string())
+        .chain(ms.iter().map(|m| format!("M={m}")))
+        .chain(["all pairs @8".to_string()])
+        .collect();
+    let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new("Table 3 — ZEB list overflow rate", &hdr_refs);
+    let mut means: Vec<Vec<f64>> = vec![Vec::new(); ms.len()];
+    for b in &suite.benchmarks {
+        let mut row = vec![b.alias.clone()];
+        for (k, &(_, rate)) in b.overflow.iter().enumerate() {
+            means[k].push(rate);
+            row.push(fmt_pct(rate));
+        }
+        row.push(if b.all_pairs_detected_at_m8 { "yes" } else { "NO" }.to_string());
+        t.row(row);
+    }
+    let mut avg_row = vec!["average".to_string()];
+    for m in &means {
+        avg_row.push(fmt_pct(m.iter().sum::<f64>() / m.len() as f64));
+    }
+    avg_row.push(String::new());
+    t.row(avg_row);
+    print!("{}", t.render());
+    println!("(paper @M=4: cap 1.57, crazy 1.20, sleepy 5.87, temple 16.61; @8 ≤0.96 avg 0.08; @16 all 0;");
+    println!(" and despite @8 overflows, all collisions were still detected)");
+}
+
+fn print_sec52(suite: &SuiteResult) {
+    let mut t = Table::new(
+        "§5.2 — deferred-culling overheads (RBCD 2 ZEBs vs baseline)",
+        &[
+            "benchmark",
+            "prims already rasterized",
+            "frags already produced",
+            "TC stores",
+            "TC write misses",
+            "geometry time",
+        ],
+    );
+    for b in &suite.benchmarks {
+        let (stores, misses) = b.store_ratios();
+        t.row(vec![
+            b.alias.clone(),
+            fmt_pct(b.prims_already_rasterized()),
+            fmt_pct(b.fragments_already_produced()),
+            fmt_norm(stores),
+            fmt_norm(misses),
+            fmt_norm(b.geometry_time_ratio()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(paper: 84.4% prims already rasterized produce 94% of RBCD fragments;");
+    println!(" +32% TC stores, +8.8% write misses, geometry time +<1%)");
+}
+
+fn print_ablation(suite: &SuiteResult) {
+    let mut t = Table::new(
+        "Ablation — ZEB count vs time and energy (normalized to 2 ZEBs)",
+        &["benchmark", "zebs", "time", "energy"],
+    );
+    for b in &suite.benchmarks {
+        let (base_t, base_e) = b
+            .zeb_ablation
+            .iter()
+            .find(|&&(z, _, _)| z == 2)
+            .map(|&(_, t, e)| (t, e))
+            .expect("2-ZEB point in the ablation");
+        for &(z, secs, energy) in &b.zeb_ablation {
+            t.row(vec![
+                b.alias.clone(),
+                z.to_string(),
+                fmt_norm(secs / base_t),
+                fmt_norm(energy / base_e),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!("(paper: >2 ZEBs does not improve time and slightly increases energy)");
+}
+
+fn print_debug(suite: &SuiteResult) {
+    let mut t = Table::new(
+        "DEBUG — raw magnitudes per benchmark",
+        &[
+            "benchmark",
+            "base Mcyc/f",
+            "delta2 kcyc/f",
+            "coll frag %",
+            "ins/frame k",
+            "scan/raster %",
+            "cpu-broad Mcyc/f",
+            "cpu-gjk Mcyc/f",
+            "t_cpu/t_frame",
+            "geomΔ k/f",
+            "rasterΔ k/f",
+            "stall2 k/f",
+            "prims r/b",
+            "dramMB/f b",
+            "dramMB/f r",
+        ],
+    );
+    for b in &suite.benchmarks {
+        let f = b.frames as f64;
+        let base_c = b.baseline.stats.total_cycles() as f64;
+        let delta = (b.rbcd2.stats.total_cycles() as f64 - base_c) / f / 1e3;
+        let r = b.rbcd2.rbcd.as_ref().unwrap();
+        let coll_share = b.rbcd2.stats.raster.fragments_collisionable as f64
+            / b.rbcd2.stats.raster.fragments_rasterized as f64;
+        let cpu_b = b.cpu_broad.report.cycles as f64 / f / 1e6;
+        let cpu_g = b.cpu_gjk.report.cycles as f64 / f / 1e6;
+        let tcpu_tframe = b.cpu_broad.report.seconds / (b.baseline.seconds);
+        let geom_d = (b.rbcd2.stats.geometry.cycles as f64
+            - b.baseline.stats.geometry.cycles as f64) / f / 1e3;
+        let rast_d = (b.rbcd2.stats.raster.cycles as f64
+            - b.baseline.stats.raster.cycles as f64) / f / 1e3;
+        let stall2 = b.rbcd2.stats.raster.zeb_stall_cycles as f64 / f / 1e3;
+        let prim_ratio = b.rbcd2.stats.raster.primitives_fetched as f64
+            / b.baseline.stats.raster.primitives_fetched as f64;
+        t.row(vec![
+            b.alias.clone(),
+            format!("{:.2}", base_c / f / 1e6),
+            format!("{delta:.1}"),
+            fmt_pct(coll_share),
+            format!("{:.1}", r.insertions as f64 / f / 1e3),
+            fmt_pct(r.scan_cycles as f64 / b.rbcd2.stats.raster.cycles as f64),
+            format!("{cpu_b:.2}"),
+            format!("{cpu_g:.2}"),
+            format!("{tcpu_tframe:.2}"),
+            format!("{geom_d:.1}"),
+            format!("{rast_d:.1}"),
+            format!("{stall2:.1}"),
+            format!("{prim_ratio:.3}"),
+            {
+                let st = &b.baseline.stats;
+                let bytes = (st.raster.tile_cache_loads.misses()
+                    + st.geometry.tile_cache_stores.misses()
+                    + st.geometry.vertex_cache.misses()) * 64
+                    + st.raster.tiles_processed * 256 * 4;
+                format!("{:.2}", bytes as f64 / f / 1e6)
+            },
+            {
+                let st = &b.rbcd2.stats;
+                let bytes = (st.raster.tile_cache_loads.misses()
+                    + st.geometry.tile_cache_stores.misses()
+                    + st.geometry.vertex_cache.misses()) * 64
+                    + st.raster.tiles_processed * 256 * 4;
+                format!("{:.2}", bytes as f64 / f / 1e6)
+            },
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+/// Extension (§3.1): TBR vs IMR framebuffer traffic on the suite, plus
+/// the memory a screen-sized RBCD buffer would need in IMR.
+fn print_imr(opts: &RunOptions) {
+    use rbcd_gpu::{ImrSimulator, NullCollisionUnit, PipelineMode, Simulator};
+    let mut t = Table::new(
+        "Extension §3.1 — TBR vs IMR framebuffer DRAM traffic (MB/frame)",
+        &["benchmark", "TBR", "IMR", "IMR/TBR", "IMR overdraw %"],
+    );
+    for scene in rbcd_workloads::suite() {
+        let frames = opts.frames.unwrap_or(4).min(4);
+        let mut tbr = Simulator::new(opts.gpu.clone());
+        let mut imr = ImrSimulator::new(opts.gpu.clone());
+        let mut tbr_bytes = 0u64;
+        let mut imr_bytes = 0u64;
+        let mut overdraw = 0u64;
+        let mut shaded = 0u64;
+        for f in 0..frames {
+            let trace = scene.frame_trace(f);
+            let ts = tbr.render_frame(&trace, PipelineMode::Baseline, &mut NullCollisionUnit);
+            tbr_bytes += ts.raster.tiles_processed
+                * (opts.gpu.tile_size as u64 * opts.gpu.tile_size as u64)
+                * 4;
+            let is = imr.render_frame(&trace);
+            imr_bytes += is.framebuffer_dram_bytes;
+            overdraw += is.overdraw_writes;
+            shaded += is.fragments_shaded;
+        }
+        let f = frames as f64;
+        t.row(vec![
+            scene.alias.to_string(),
+            format!("{:.2}", tbr_bytes as f64 / f / 1e6),
+            format!("{:.2}", imr_bytes as f64 / f / 1e6),
+            format!("{:.1}x", imr_bytes as f64 / tbr_bytes.max(1) as f64),
+            fmt_pct(overdraw as f64 / shaded.max(1) as f64),
+        ]);
+    }
+    print!("{}", t.render());
+    let imr = rbcd_gpu::ImrSimulator::new(opts.gpu.clone());
+    let (imr_mem, tbr_mem) = imr.rbcd_memory_requirements(8);
+    println!(
+        "RBCD buffer requirement: IMR needs {:.1} MB of screen-sized lists vs {} KB of on-chip ZEBs in TBR ({}x)",
+        imr_mem as f64 / 1e6,
+        tbr_mem / 1024,
+        imr_mem / tbr_mem
+    );
+    println!("(the paper evaluates on TBR for exactly this reason, §3.1)");
+}
+
+/// Extension (§5.3): spare-entry pool vs overflow rate at M = 4.
+fn print_spares(opts: &RunOptions) {
+    use rbcd_bench::runner::run_gpu;
+    use rbcd_core::RbcdConfig;
+    let mut t = Table::new(
+        "Extension §5.3 — spare-entry pool vs overflow at M = 4 (2 ZEBs)",
+        &["benchmark", "0 spares", "64 spares", "256 spares"],
+    );
+    for scene in rbcd_workloads::suite() {
+        let frames = opts.frames.unwrap_or(6).min(6);
+        let rate = |spares: usize| {
+            let run = run_gpu(
+                &scene,
+                frames,
+                opts,
+                Some(RbcdConfig {
+                    list_capacity: 4,
+                    spare_entries: spares,
+                    ..RbcdConfig::default()
+                }),
+            );
+            run.rbcd.expect("rbcd run").overflow_rate()
+        };
+        t.row(vec![
+            scene.alias.to_string(),
+            fmt_pct(rate(0)),
+            fmt_pct(rate(64)),
+            fmt_pct(rate(256)),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(the paper proposes dynamically allocated spare entries as an overflow mitigation)");
+}
+
+/// Extension (§3.6): cost of a collision-only pass (extra physics time
+/// steps) relative to a full rendered frame.
+fn print_timesteps(opts: &RunOptions) {
+    use rbcd_core::{detect_collision_pass, detect_frame_collisions, RbcdConfig};
+    let mut t = Table::new(
+        "Extension §3.6 — collision-only pass vs full frame (cycles/frame)",
+        &["benchmark", "full frame", "collision pass", "pass/frame", "same pairs"],
+    );
+    for scene in rbcd_workloads::suite() {
+        let trace = scene.frame_trace(2);
+        let full = detect_frame_collisions(&trace, &opts.gpu, &RbcdConfig::default());
+        let pass = detect_collision_pass(&trace, &opts.gpu, &RbcdConfig::default());
+        t.row(vec![
+            scene.alias.to_string(),
+            full.gpu_stats.total_cycles().to_string(),
+            pass.gpu_stats.total_cycles().to_string(),
+            fmt_pct(pass.gpu_stats.total_cycles() as f64 / full.gpu_stats.total_cycles() as f64),
+            if pass.pairs() == full.pairs() { "yes" } else { "differs" }.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(rasterizing just the collisionable objects — no fragment processing — enables");
+    println!(" multiple physics time steps per rendered frame, §3.6)");
+}
+
+/// Extension (§3.1): shading work an ideal deferred renderer (PowerVR
+/// TBDR) would save relative to the early-Z TBR baseline — overdraw
+/// that passes the depth test and gets shaded anyway.
+fn print_tbdr(opts: &RunOptions) {
+    use rbcd_gpu::{NullCollisionUnit, PipelineMode, Simulator};
+    let mut t = Table::new(
+        "Extension §3.1 — early-Z shading vs ideal deferred shading (TBDR)",
+        &["benchmark", "shaded frags/f", "covered pixels/f", "overdraw shaded"],
+    );
+    for scene in rbcd_workloads::suite() {
+        let frames = opts.frames.unwrap_or(4).min(4);
+        let mut sim = Simulator::new(opts.gpu.clone());
+        let mut shaded = 0u64;
+        let mut covered = 0u64;
+        for f in 0..frames {
+            let s = sim.render_frame(&scene.frame_trace(f), PipelineMode::Baseline, &mut NullCollisionUnit);
+            shaded += s.raster.fragments_shaded;
+            covered += s.raster.pixels_covered;
+        }
+        let f = frames as f64;
+        t.row(vec![
+            scene.alias.to_string(),
+            format!("{:.0}k", shaded as f64 / f / 1e3),
+            format!("{:.0}k", covered as f64 / f / 1e3),
+            fmt_pct((shaded - covered) as f64 / shaded.max(1) as f64),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(PowerVR's deferred rendering 'guarantees the Fragment Processor is used only");
+    println!(" for those fragments that will be part of the final image', §3.1 — this is the");
+    println!(" shading work it would remove from our early-Z baseline)");
+}
+
+/// Extension (§2.2): detection accuracy vs rendering resolution. The
+/// paper ties RBCD's granularity to pixel resolution; because fragments
+/// sample at pixel centres, discretization *erodes* silhouettes, so the
+/// resolution limit manifests as missed sub-pixel overlap slivers —
+/// which shrink as resolution grows.
+fn print_resolution(_opts: &RunOptions) {
+    use rbcd_core::{detect_frame_collisions, RbcdConfig};
+    use rbcd_gpu::{Camera, DrawCommand, FrameTrace, ObjectId};
+    use rbcd_math::{Mat4, Vec3, Viewport};
+
+    let camera = Camera::perspective(Vec3::new(0.0, 0.0, 7.0), Vec3::ZERO, 1.0, 0.1, 100.0);
+    let sphere = rbcd_geometry::shapes::icosphere(1.0, 3);
+    let make_trace = |dx: f32| {
+        FrameTrace::new(
+            camera,
+            vec![
+                DrawCommand::collidable(sphere.clone(), ObjectId::new(1)),
+                DrawCommand::collidable(sphere.clone(), ObjectId::new(2))
+                    .with_model(Mat4::translation(Vec3::new(dx, 0.0, 0.0))),
+            ],
+        )
+    };
+    // A true sliver overlap (0.01 deep) and a true near-miss (0.05 gap).
+    let overlap = make_trace(1.99);
+    let miss = make_trace(2.05);
+
+    let mut t = Table::new(
+        "Extension §2.2 — sliver overlap (0.01) and near-miss (0.05) vs resolution",
+        &["resolution", "pixels/unit", "overlap 0.01", "gap 0.05"],
+    );
+    for (w, h) in [(100u32, 60u32), (200, 120), (400, 240), (800, 480), (1600, 960)] {
+        let gpu = rbcd_gpu::GpuConfig {
+            viewport: Viewport::new(w, h),
+            ..rbcd_gpu::GpuConfig::default()
+        };
+        let pair = (ObjectId::new(1), ObjectId::new(2));
+        let hit_overlap = detect_frame_collisions(&overlap, &gpu, &RbcdConfig::default())
+            .pairs()
+            .contains(&pair);
+        let hit_miss = detect_frame_collisions(&miss, &gpu, &RbcdConfig::default())
+            .pairs()
+            .contains(&pair);
+        // Pixels per world unit at the spheres' depth (7 units out).
+        let px_per_unit = h as f32 / (2.0 * 7.0 * (0.5f32).tan());
+        t.row(vec![
+            format!("{w}x{h}"),
+            format!("{px_per_unit:.1}"),
+            if hit_overlap { "detected" } else { "MISSED" }.to_string(),
+            if hit_miss { "FALSE HIT" } else { "clear" }.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(centre-sampled rasterization erodes silhouettes, so near-misses stay clear at");
+    println!(" every resolution while sub-pixel overlap slivers need enough pixels per unit to");
+    println!(" be seen — 'the higher the rendering resolution, the smaller the false");
+    println!(" collisionable area', §2.2)");
+}

@@ -1,0 +1,187 @@
+//! Hybrid detection for out-of-frustum geometry (§3.6).
+//!
+//! RBCD detects collisions among the objects the GPU rasterizes; bodies
+//! entirely outside the view frustum never produce fragments. The paper
+//! proposes handling those "by rasterizing extra commands just
+//! containing the collisionable objects to be tested, or by calling
+//! conventional software-based CD". This module implements the second
+//! option: a frustum split that sends off-screen bodies (and their
+//! AABB neighbours) to the CPU detector while everything visible rides
+//! the render.
+
+use rbcd_core::{detect_frame_collisions, RbcdConfig};
+use rbcd_cpu_cd::{CdBody, Cost, CpuCollisionDetector, Phase};
+use rbcd_geometry::Mesh;
+use rbcd_gpu::{Camera, DrawCommand, FrameTrace, GpuConfig, ObjectId};
+use rbcd_math::{Frustum, Mat4};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// One collisionable body given to the hybrid detector.
+#[derive(Debug, Clone)]
+pub struct HybridBody {
+    /// Object id (also reported in pairs).
+    pub id: ObjectId,
+    /// Geometry.
+    pub mesh: Arc<Mesh>,
+    /// World transform for this frame.
+    pub model: Mat4,
+}
+
+/// Result of one hybrid detection frame.
+#[derive(Debug, Clone)]
+pub struct HybridReport {
+    /// Pairs found by the RBCD unit (visible geometry).
+    pub rbcd_pairs: BTreeSet<(ObjectId, ObjectId)>,
+    /// Pairs found by the CPU fallback (off-screen geometry and its
+    /// neighbours).
+    pub cpu_pairs: BTreeSet<(ObjectId, ObjectId)>,
+    /// Union of both.
+    pub pairs: BTreeSet<(ObjectId, ObjectId)>,
+    /// Bodies handled by the CPU fallback.
+    pub cpu_bodies: usize,
+    /// CPU operation counts of the fallback.
+    pub cpu_cost: Cost,
+}
+
+/// Detects collisions among `bodies` under `camera`: RBCD for everything
+/// the frustum can see, conventional CPU broad+narrow CD for off-screen
+/// bodies and the on-screen bodies whose AABBs touch them.
+pub fn detect_hybrid(
+    camera: &Camera,
+    bodies: &[HybridBody],
+    gpu: &GpuConfig,
+    rbcd: &RbcdConfig,
+) -> HybridReport {
+    let frustum = Frustum::from_view_proj(&camera.view_proj());
+
+    // Classify bodies by world AABB vs the frustum.
+    let aabbs: Vec<_> = bodies
+        .iter()
+        .map(|b| b.mesh.aabb().transformed(&b.model))
+        .collect();
+    let outside: Vec<usize> = (0..bodies.len())
+        .filter(|&i| !frustum.intersects_aabb(&aabbs[i]))
+        .collect();
+
+    // The CPU set: off-screen bodies plus any body overlapping one of
+    // them (a pair spanning the frustum boundary must be tested on the
+    // CPU because its partner produces no fragments).
+    let mut in_cpu_set = vec![false; bodies.len()];
+    for &o in &outside {
+        in_cpu_set[o] = true;
+        for i in 0..bodies.len() {
+            if i != o && aabbs[i].intersects(&aabbs[o]) {
+                in_cpu_set[i] = true;
+            }
+        }
+    }
+
+    // RBCD pass over the whole command list (off-screen draws clip away
+    // for free, exactly as in a real frame).
+    let draws: Vec<DrawCommand> = bodies
+        .iter()
+        .map(|b| DrawCommand::collidable(b.mesh.clone(), b.id).with_model(b.model))
+        .collect();
+    let rbcd_result = detect_frame_collisions(&FrameTrace::new(*camera, draws), gpu, rbcd);
+    let rbcd_pairs = rbcd_result.pairs();
+
+    // CPU fallback over the boundary set.
+    let cpu_indices: Vec<usize> = (0..bodies.len()).filter(|&i| in_cpu_set[i]).collect();
+    let mut cpu_pairs = BTreeSet::new();
+    let mut cpu_cost = Cost::default();
+    if cpu_indices.len() >= 2 {
+        let mut detector = CpuCollisionDetector::new(
+            cpu_indices
+                .iter()
+                .map(|&i| {
+                    CdBody::from_mesh(bodies[i].id.get() as u32, &bodies[i].mesh)
+                        .expect("hybrid bodies are hullable")
+                })
+                .collect(),
+        );
+        let transforms: Vec<Mat4> = cpu_indices.iter().map(|&i| bodies[i].model).collect();
+        let result = detector.detect(&transforms, Phase::BroadAndNarrow);
+        cpu_cost = result.cost;
+        cpu_pairs = result
+            .pairs
+            .into_iter()
+            .map(|(a, b)| (ObjectId::new(a as u16), ObjectId::new(b as u16)))
+            .collect();
+    }
+
+    let pairs: BTreeSet<_> = rbcd_pairs.union(&cpu_pairs).copied().collect();
+    HybridReport {
+        rbcd_pairs,
+        cpu_pairs,
+        pairs,
+        cpu_bodies: cpu_indices.len(),
+        cpu_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbcd_geometry::shapes;
+    use rbcd_math::{Vec3, Viewport};
+
+    fn gpu() -> GpuConfig {
+        GpuConfig { viewport: Viewport::new(160, 100), ..GpuConfig::default() }
+    }
+
+    fn body(id: u16, p: Vec3) -> HybridBody {
+        HybridBody {
+            id: ObjectId::new(id),
+            mesh: Arc::new(shapes::icosphere(0.8, 2)),
+            model: Mat4::translation(p),
+        }
+    }
+
+    #[test]
+    fn hybrid_finds_pairs_behind_the_camera() {
+        let camera = Camera::perspective(Vec3::new(0.0, 0.0, 8.0), Vec3::ZERO, 1.0, 0.1, 100.0);
+        let bodies = vec![
+            // Visible pair in front of the camera.
+            body(1, Vec3::new(-0.5, 0.0, 0.0)),
+            body(2, Vec3::new(0.5, 0.2, 0.0)),
+            // Overlapping pair behind the camera — invisible to RBCD.
+            body(3, Vec3::new(0.0, 0.0, 20.0)),
+            body(4, Vec3::new(0.9, 0.0, 20.0)),
+        ];
+        let report = detect_hybrid(&camera, &bodies, &gpu(), &RbcdConfig::default());
+        assert!(report.rbcd_pairs.contains(&(ObjectId::new(1), ObjectId::new(2))));
+        assert!(
+            !report.rbcd_pairs.contains(&(ObjectId::new(3), ObjectId::new(4))),
+            "RBCD cannot see behind the camera"
+        );
+        assert!(report.cpu_pairs.contains(&(ObjectId::new(3), ObjectId::new(4))));
+        assert_eq!(report.pairs.len(), 2);
+        assert_eq!(report.cpu_bodies, 2);
+        assert!(report.cpu_cost.cycles() > 0);
+    }
+
+    #[test]
+    fn all_visible_means_no_cpu_work() {
+        let camera = Camera::perspective(Vec3::new(0.0, 0.0, 8.0), Vec3::ZERO, 1.0, 0.1, 100.0);
+        let bodies = vec![body(1, Vec3::new(-0.5, 0.0, 0.0)), body(2, Vec3::new(0.5, 0.0, 0.0))];
+        let report = detect_hybrid(&camera, &bodies, &gpu(), &RbcdConfig::default());
+        assert_eq!(report.cpu_bodies, 0);
+        assert_eq!(report.cpu_cost, Cost::default());
+        assert_eq!(report.pairs, report.rbcd_pairs);
+    }
+
+    #[test]
+    fn boundary_straddling_pair_goes_to_cpu() {
+        let camera = Camera::perspective(Vec3::new(0.0, 0.0, 8.0), Vec3::ZERO, 1.0, 0.1, 20.0);
+        // One body just beyond the far plane, its partner inside and
+        // overlapping it: the pair must come from the CPU set.
+        let bodies = vec![
+            body(1, Vec3::new(0.0, 0.0, -12.4)),
+            body(2, Vec3::new(0.0, 0.0, -13.5)), // outside far plane (z+8 > 20)
+        ];
+        let report = detect_hybrid(&camera, &bodies, &gpu(), &RbcdConfig::default());
+        assert_eq!(report.cpu_bodies, 2, "partner joins the CPU set");
+        assert!(report.pairs.contains(&(ObjectId::new(1), ObjectId::new(2))));
+    }
+}

@@ -1,0 +1,18 @@
+//! Experiment harness: runs the four workloads through every
+//! configuration of the paper's evaluation (§5) and computes the numbers
+//! behind each figure and table.
+//!
+//! The `repro` binary drives this library; `cargo run -p rbcd-bench
+//! --release --bin repro` regenerates everything, `repro <id>` one
+//! experiment (ids listed in DESIGN.md §5).
+
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod hybrid;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+
+pub use metrics::{geomean, BenchmarkResult, CdComparison, SuiteResult};
+pub use runner::{run_benchmark, run_suite, RunOptions};

@@ -1,0 +1,200 @@
+//! Result structures and the paper's metrics (equations (1)–(4)).
+
+use rbcd_core::RbcdStats;
+use rbcd_cpu_cd::CostReport;
+use rbcd_gpu::FrameStats;
+use std::collections::BTreeSet;
+
+/// One GPU configuration run over a whole clip.
+#[derive(Debug, Clone)]
+pub struct GpuRun {
+    /// Accumulated pipeline counters.
+    pub stats: FrameStats,
+    /// Wall-clock seconds at the GPU clock.
+    pub seconds: f64,
+    /// Total energy in joules (GPU + RBCD unit when attached).
+    pub energy_j: f64,
+    /// RBCD-unit counters, when a unit was attached.
+    pub rbcd: Option<RbcdStats>,
+    /// Union of colliding pairs over all frames (RBCD runs only).
+    pub pairs: BTreeSet<(u16, u16)>,
+}
+
+/// One CPU detector run over a whole clip.
+#[derive(Debug, Clone)]
+pub struct CpuRun {
+    /// Time/energy report for the clip.
+    pub report: CostReport,
+    /// Union of colliding pairs over all frames.
+    pub pairs: BTreeSet<(u32, u32)>,
+    /// Mean broad-phase candidates per frame.
+    pub avg_candidates: f64,
+}
+
+/// RBCD compared against one CPU baseline (equations (1) and (2)).
+#[derive(Debug, Clone, Copy)]
+pub struct CdComparison {
+    /// Speedup: `t_cpu / (t_rbcd − t_baseline)`.
+    pub speedup: f64,
+    /// Energy reduction: `E_cpu / (E_rbcd − E_baseline)`.
+    pub energy_reduction: f64,
+}
+
+/// Everything measured for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkResult {
+    /// Benchmark alias (`cap`, `crazy`, `sleepy`, `temple`).
+    pub alias: String,
+    /// Frames rendered.
+    pub frames: usize,
+    /// Baseline GPU (no RBCD).
+    pub baseline: GpuRun,
+    /// GPU + RBCD unit with one ZEB.
+    pub rbcd1: GpuRun,
+    /// GPU + RBCD unit with two ZEBs (the paper's design point).
+    pub rbcd2: GpuRun,
+    /// CPU broad phase (AABB) over the same frames.
+    pub cpu_broad: CpuRun,
+    /// CPU broad + narrow (GJK) over the same frames.
+    pub cpu_gjk: CpuRun,
+    /// Table 3: `(M, overflow rate)` with two ZEBs.
+    pub overflow: Vec<(usize, f64)>,
+    /// Paper §5.3 check: the pair set at M = 8 equals the no-overflow
+    /// reference pair set.
+    pub all_pairs_detected_at_m8: bool,
+    /// ZEB-count ablation: `(zeb_count, seconds, energy_j)`.
+    pub zeb_ablation: Vec<(u32, f64, f64)>,
+}
+
+impl BenchmarkResult {
+    fn delta(&self, run: &GpuRun) -> (f64, f64) {
+        (
+            (run.seconds - self.baseline.seconds).max(1e-12),
+            (run.energy_j - self.baseline.energy_j).max(1e-15),
+        )
+    }
+
+    /// Equations (1)/(2) against a CPU baseline for the given RBCD run.
+    pub fn comparison(&self, run: &GpuRun, cpu: &CpuRun) -> CdComparison {
+        let (dt, de) = self.delta(run);
+        CdComparison {
+            speedup: cpu.report.seconds / dt,
+            energy_reduction: cpu.report.total_j() / de,
+        }
+    }
+
+    /// Equation (3): `t_rbcd / t_baseline`.
+    pub fn normalized_time(&self, run: &GpuRun) -> f64 {
+        run.seconds / self.baseline.seconds
+    }
+
+    /// Equation (4): `E_rbcd / E_baseline`.
+    pub fn normalized_energy(&self, run: &GpuRun) -> f64 {
+        run.energy_j / self.baseline.energy_j
+    }
+
+    /// Figure 10: fraction of GPU time spent in the raster pipeline
+    /// (RBCD 2-ZEB configuration).
+    pub fn raster_fraction(&self) -> f64 {
+        let s = &self.rbcd2.stats;
+        s.raster.cycles as f64 / s.total_cycles() as f64
+    }
+
+    /// Figure 11 activity factors, RBCD (2 ZEBs) normalized to baseline:
+    /// `(tile-cache loads, primitives, fragments, raster cycles)`.
+    pub fn activity_factors(&self) -> (f64, f64, f64, f64) {
+        let b = &self.baseline.stats;
+        let r = &self.rbcd2.stats;
+        let ratio = |x: u64, y: u64| x as f64 / y.max(1) as f64;
+        (
+            ratio(r.raster.tile_cache_loads.accesses(), b.raster.tile_cache_loads.accesses()),
+            ratio(r.raster.primitives_fetched, b.raster.primitives_fetched),
+            ratio(r.raster.fragments_rasterized, b.raster.fragments_rasterized),
+            ratio(r.raster.cycles, b.raster.cycles),
+        )
+    }
+
+    /// §5.2: share of RBCD-mode primitives already rasterized in the
+    /// baseline (paper: 84.4 %).
+    pub fn prims_already_rasterized(&self) -> f64 {
+        self.baseline.stats.raster.primitives_fetched as f64
+            / self.rbcd2.stats.raster.primitives_fetched.max(1) as f64
+    }
+
+    /// §5.2: share of the RBCD unit's fragments already produced by the
+    /// baseline (paper: 94 %).
+    pub fn fragments_already_produced(&self) -> f64 {
+        let extra = self
+            .rbcd2
+            .stats
+            .raster
+            .fragments_rasterized
+            .saturating_sub(self.baseline.stats.raster.fragments_rasterized);
+        let needed = self.rbcd2.stats.raster.fragments_collisionable.max(1);
+        1.0 - extra as f64 / needed as f64
+    }
+
+    /// §5.2: tile-cache store ratio (RBCD / baseline) and write-miss
+    /// ratio (paper: +32 % stores, +8.8 % write misses).
+    pub fn store_ratios(&self) -> (f64, f64) {
+        let b = &self.baseline.stats.geometry.tile_cache_stores;
+        let r = &self.rbcd2.stats.geometry.tile_cache_stores;
+        (
+            r.write_accesses as f64 / b.write_accesses.max(1) as f64,
+            r.write_misses as f64 / b.write_misses.max(1) as f64,
+        )
+    }
+
+    /// §5.2: geometry-pipeline time ratio (paper: < 1 % increase).
+    pub fn geometry_time_ratio(&self) -> f64 {
+        self.rbcd2.stats.geometry.cycles as f64 / self.baseline.stats.geometry.cycles.max(1) as f64
+    }
+}
+
+/// Results for the whole suite.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// Per-benchmark results, in suite order.
+    pub benchmarks: Vec<BenchmarkResult>,
+}
+
+/// Geometric mean of a sequence (the paper aggregates per-benchmark
+/// ratios this way).
+///
+/// # Panics
+///
+/// Panics on an empty iterator or non-positive values.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        assert!(v > 0.0, "geomean needs positive values, got {v}");
+        log_sum += v.ln();
+        n += 1;
+    }
+    assert!(n > 0, "geomean of an empty sequence");
+    (log_sum / n as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([4.0, 9.0]) - 6.0).abs() < 1e-12);
+        assert!((geomean([5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        let _ = geomean([1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn geomean_rejects_empty() {
+        let _ = geomean([]);
+    }
+}

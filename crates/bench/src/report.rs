@@ -1,0 +1,112 @@
+//! Plain-text table rendering for the `repro` binary.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width table printer.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a ratio as `123.4x`.
+pub fn fmt_x(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}x")
+    } else {
+        format!("{v:.1}x")
+    }
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+/// Formats a normalized value (e.g. 1.032).
+pub fn fmt_norm(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("longer"));
+        // Both value cells right-aligned to the same column width.
+        // Leading blank line + title + header + rule + two rows.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_x(448.4), "448x");
+        assert_eq!(fmt_x(5.43), "5.4x");
+        assert_eq!(fmt_pct(0.0157), "1.57%");
+        assert_eq!(fmt_norm(1.03), "1.0300");
+    }
+}

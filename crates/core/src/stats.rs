@@ -1,0 +1,135 @@
+//! RBCD-unit activity counters and energy accounting.
+
+use rbcd_gpu::energy::EnergyModel;
+
+/// Hardware event counters of the RBCD unit, itemised with the same
+/// McPAT component mapping the paper uses (§4.1): ZEB = SRAM,
+/// LT-comparators = ALU, EQ-comparators = XOR, List-Register/FF-Stack =
+/// registers, hit logic = priority encoder, shift network = MUX.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RbcdStats {
+    /// Fragments inserted into ZEB lists.
+    pub insertions: u64,
+    /// Insertions that found their list full (Table 3 numerator).
+    pub overflows: u64,
+    /// Full-list insertions absorbed by dynamically allocated spare
+    /// entries (§5.3 mitigation; zero in the baseline design).
+    pub spare_allocations: u64,
+    /// Full-list reads from ZEB SRAM (one per insertion, one per scan).
+    pub zeb_list_reads: u64,
+    /// Full-list writes to ZEB SRAM.
+    pub zeb_list_writes: u64,
+    /// Less-than comparator evaluations (insertion network).
+    pub lt_comparisons: u64,
+    /// MUX shift-network activations.
+    pub mux_shifts: u64,
+    /// Pixel lists scanned by the Z-overlap unit.
+    pub lists_scanned: u64,
+    /// Elements traversed by the Z-overlap unit.
+    pub elements_scanned: u64,
+    /// Equality comparator evaluations (FF-Stack search).
+    pub eq_comparisons: u64,
+    /// Priority-encoder activations (one per back face).
+    pub priority_encodes: u64,
+    /// List-Register / FF-Stack register file touches.
+    pub register_ops: u64,
+    /// Colliding pairs written to the output buffer.
+    pub pairs_emitted: u64,
+    /// Back faces with no unmatched front face.
+    pub unmatched_backs: u64,
+    /// Tiles processed by the unit.
+    pub tiles: u64,
+    /// Cycles spent inserting (1 element / cycle).
+    pub insert_cycles: u64,
+    /// Cycles spent in Z-overlap scans.
+    pub scan_cycles: u64,
+}
+
+impl RbcdStats {
+    /// Overflow rate: overflowing insertions over all insertions
+    /// (Table 3's "percentage of times a list of the ZEB overflows").
+    pub fn overflow_rate(&self) -> f64 {
+        if self.insertions == 0 {
+            0.0
+        } else {
+            self.overflows as f64 / self.insertions as f64
+        }
+    }
+
+    /// Accumulates another stats block.
+    pub fn accumulate(&mut self, o: &RbcdStats) {
+        self.insertions += o.insertions;
+        self.overflows += o.overflows;
+        self.spare_allocations += o.spare_allocations;
+        self.zeb_list_reads += o.zeb_list_reads;
+        self.zeb_list_writes += o.zeb_list_writes;
+        self.lt_comparisons += o.lt_comparisons;
+        self.mux_shifts += o.mux_shifts;
+        self.lists_scanned += o.lists_scanned;
+        self.elements_scanned += o.elements_scanned;
+        self.eq_comparisons += o.eq_comparisons;
+        self.priority_encodes += o.priority_encodes;
+        self.register_ops += o.register_ops;
+        self.pairs_emitted += o.pairs_emitted;
+        self.unmatched_backs += o.unmatched_backs;
+        self.tiles += o.tiles;
+        self.insert_cycles += o.insert_cycles;
+        self.scan_cycles += o.scan_cycles;
+    }
+
+    /// Dynamic energy of the unit in joules under `model`.
+    pub fn dynamic_energy_j(&self, model: &EnergyModel) -> f64 {
+        let pj = self.zeb_list_reads as f64 * model.zeb_list_access_pj
+            + self.zeb_list_writes as f64 * model.zeb_list_access_pj
+            + self.lt_comparisons as f64 * model.lt_comparator_pj
+            + self.mux_shifts as f64 * model.mux_shift_pj
+            + self.eq_comparisons as f64 * model.eq_comparator_pj
+            + self.priority_encodes as f64 * model.priority_encoder_pj
+            + self.register_ops as f64 * model.register_pj
+            + self.pairs_emitted as f64 * model.pair_emit_pj;
+        pj * 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflow_rate_handles_zero() {
+        assert_eq!(RbcdStats::default().overflow_rate(), 0.0);
+        let s = RbcdStats { insertions: 200, overflows: 3, ..RbcdStats::default() };
+        assert!((s.overflow_rate() - 0.015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_sums() {
+        let a = RbcdStats { insertions: 5, pairs_emitted: 2, scan_cycles: 7, ..RbcdStats::default() };
+        let mut t = RbcdStats::default();
+        t.accumulate(&a);
+        t.accumulate(&a);
+        assert_eq!(t.insertions, 10);
+        assert_eq!(t.pairs_emitted, 4);
+        assert_eq!(t.scan_cycles, 14);
+    }
+
+    #[test]
+    fn dynamic_energy_positive_and_scales() {
+        let m = EnergyModel::default();
+        let s = RbcdStats {
+            zeb_list_reads: 100,
+            zeb_list_writes: 100,
+            lt_comparisons: 800,
+            mux_shifts: 100,
+            ..RbcdStats::default()
+        };
+        let e1 = s.dynamic_energy_j(&m);
+        assert!(e1 > 0.0);
+        let mut s2 = s;
+        s2.zeb_list_reads *= 2;
+        s2.zeb_list_writes *= 2;
+        s2.lt_comparisons *= 2;
+        s2.mux_shifts *= 2;
+        assert!((s2.dynamic_energy_j(&m) / e1 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,499 @@
+//! The complete RBCD unit and the frame-level convenience API.
+
+use crate::scan::{scan_list, FfStack};
+use crate::stats::RbcdStats;
+use crate::zeb::Zeb;
+use crate::ZebElement;
+use rbcd_gpu::{
+    CollisionFragment, CollisionUnit, FrameStats, FrameTrace, GpuConfig, ObjectId, PipelineMode,
+    Simulator, TileCoord,
+};
+use std::collections::BTreeSet;
+
+/// Configuration of the RBCD unit.
+///
+/// Defaults follow the paper's chosen design point (§5.3): two ZEBs of
+/// 256 lists × `M = 8` 32-bit elements (8 KB each) and one insertion and
+/// one Z-overlap unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RbcdConfig {
+    /// Number of ZEB buffers (1 disables double buffering; the paper
+    /// evaluates 1 and 2 and finds 2 sufficient).
+    pub zeb_count: u32,
+    /// Elements per pixel list (`M`; Table 3 sweeps 4/8/16).
+    pub list_capacity: usize,
+    /// FF-Stack entries (`T`).
+    pub ff_stack_capacity: usize,
+    /// Z-overlap scan cost per traversed element, in cycles.
+    pub scan_cycles_per_element: u64,
+    /// Z-overlap scan cost per non-empty list (List-Register load).
+    pub scan_cycles_per_list: u64,
+    /// Dynamically allocatable spare entries per ZEB (§5.3's proposed
+    /// overflow mitigation; the paper's baseline design uses none).
+    pub spare_entries: usize,
+}
+
+impl Default for RbcdConfig {
+    fn default() -> Self {
+        Self {
+            zeb_count: 2,
+            list_capacity: 8,
+            ff_stack_capacity: 8,
+            scan_cycles_per_element: 1,
+            scan_cycles_per_list: 1,
+            spare_entries: 0,
+        }
+    }
+}
+
+/// A detected collision between two objects at one pixel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContactPoint {
+    /// The object whose front face delimits the overlap (`Idi`).
+    pub a: ObjectId,
+    /// The object whose back face detected the overlap (`Idcur`).
+    pub b: ObjectId,
+    /// Window pixel x.
+    pub x: u32,
+    /// Window pixel y.
+    pub y: u32,
+    /// Quantized depth of the detecting back face.
+    pub depth: u16,
+}
+
+impl ContactPoint {
+    /// The pair with the smaller id first — the canonical form used to
+    /// compare against other detectors.
+    pub fn pair(&self) -> (ObjectId, ObjectId) {
+        if self.a <= self.b {
+            (self.a, self.b)
+        } else {
+            (self.b, self.a)
+        }
+    }
+}
+
+/// The RBCD unit: ZEBs + sorted insertion + Z-overlap test, with the
+/// paper's tile double-buffering timing protocol.
+#[derive(Debug)]
+pub struct RbcdUnit {
+    config: RbcdConfig,
+    tile_size: u32,
+    zebs: Vec<Zeb>,
+    zeb_free_at: Vec<u64>,
+    scan_unit_free_at: u64,
+    active: Option<ActiveTile>,
+    stack: FfStack,
+    stats: RbcdStats,
+    contacts: Vec<ContactPoint>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ActiveTile {
+    zeb: usize,
+    tile: TileCoord,
+}
+
+impl RbcdUnit {
+    /// Creates a unit for tiles of `tile_size` × `tile_size` pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.zeb_count == 0` or any capacity is zero.
+    pub fn new(config: RbcdConfig, tile_size: u32) -> Self {
+        assert!(config.zeb_count > 0, "RBCD unit needs at least one ZEB");
+        let lists = (tile_size * tile_size) as usize;
+        Self {
+            zebs: (0..config.zeb_count)
+                .map(|_| Zeb::with_spares(lists, config.list_capacity, config.spare_entries))
+                .collect(),
+            zeb_free_at: vec![0; config.zeb_count as usize],
+            scan_unit_free_at: 0,
+            active: None,
+            stack: FfStack::new(config.ff_stack_capacity),
+            stats: RbcdStats::default(),
+            contacts: Vec::new(),
+            config,
+            tile_size,
+        }
+    }
+
+    /// The unit's configuration.
+    pub fn config(&self) -> &RbcdConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &RbcdStats {
+        &self.stats
+    }
+
+    /// Contact points detected so far.
+    pub fn contacts(&self) -> &[ContactPoint] {
+        &self.contacts
+    }
+
+    /// Drains the output buffer (the CPU reading the reported pairs).
+    pub fn take_contacts(&mut self) -> Vec<ContactPoint> {
+        std::mem::take(&mut self.contacts)
+    }
+
+    /// Distinct colliding pairs, smaller id first.
+    pub fn pairs(&self) -> BTreeSet<(ObjectId, ObjectId)> {
+        self.contacts.iter().map(ContactPoint::pair).collect()
+    }
+
+    /// Resets timing state between frames (statistics are kept).
+    pub fn new_frame(&mut self) {
+        self.zeb_free_at.fill(0);
+        self.scan_unit_free_at = 0;
+        debug_assert!(self.active.is_none(), "new_frame during an active tile");
+    }
+}
+
+impl CollisionUnit for RbcdUnit {
+    fn next_free(&self) -> u64 {
+        self.zeb_free_at.iter().copied().min().expect("at least one ZEB")
+    }
+
+    fn begin_tile(&mut self, tile: TileCoord, cycle: u64) {
+        assert!(self.active.is_none(), "begin_tile while a tile is active");
+        let (zeb, &free) = self
+            .zeb_free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .expect("at least one ZEB");
+        debug_assert!(
+            cycle >= free,
+            "Tile Scheduler dispatched at {cycle} before ZEB {zeb} frees at {free}"
+        );
+        debug_assert!(self.zebs[zeb].is_empty(), "claimed ZEB was not cleared");
+        self.active = Some(ActiveTile { zeb, tile });
+    }
+
+    fn insert(&mut self, frag: CollisionFragment) {
+        let Some(active) = self.active else {
+            panic!("insert without an active tile");
+        };
+        let lx = frag.x - active.tile.x * self.tile_size;
+        let ly = frag.y - active.tile.y * self.tile_size;
+        let index = (ly * self.tile_size + lx) as usize;
+        let element = ZebElement::new(frag.z, frag.object, frag.facing);
+        self.zebs[active.zeb].insert(index, element, &mut self.stats);
+        self.stats.insert_cycles += 1;
+    }
+
+    fn finish_tile(&mut self, cycle: u64) {
+        let Some(active) = self.active.take() else {
+            panic!("finish_tile without an active tile");
+        };
+        let zeb = &mut self.zebs[active.zeb];
+        self.stats.tiles += 1;
+
+        // The single Z-overlap unit serializes scans across ZEBs.
+        let scan_start = cycle.max(self.scan_unit_free_at);
+        let mut scan_cycles = 0u64;
+        let tile_px = self.tile_size;
+        let base_x = active.tile.x * tile_px;
+        let base_y = active.tile.y * tile_px;
+        // Occupancy-ordered scan: empty lists are skipped via the dirty
+        // bitmap maintained by the insertion unit.
+        let occupied: Vec<u32> = zeb.occupied().to_vec();
+        for &li in &occupied {
+            let list = zeb.list(li as usize);
+            scan_cycles += self.config.scan_cycles_per_list
+                + list.len() as u64 * self.config.scan_cycles_per_element;
+            let outcome = scan_list(list, &mut self.stack, &mut self.stats);
+            for (a, b, depth) in outcome.hits {
+                self.contacts.push(ContactPoint {
+                    a,
+                    b,
+                    x: base_x + li % tile_px,
+                    y: base_y + li / tile_px,
+                    depth,
+                });
+            }
+        }
+        zeb.clear();
+        let scan_end = scan_start + scan_cycles;
+        self.stats.scan_cycles += scan_cycles;
+        self.scan_unit_free_at = scan_end;
+        self.zeb_free_at[active.zeb] = scan_end;
+    }
+
+    fn idle_at(&self) -> u64 {
+        self.zeb_free_at
+            .iter()
+            .copied()
+            .max()
+            .expect("at least one ZEB")
+            .max(self.scan_unit_free_at)
+    }
+}
+
+/// Result of running one frame through the GPU with an attached RBCD
+/// unit.
+#[derive(Debug, Clone)]
+pub struct FrameCollisions {
+    /// Detected contact points.
+    pub contacts: Vec<ContactPoint>,
+    /// RBCD-unit activity.
+    pub rbcd_stats: RbcdStats,
+    /// GPU pipeline activity for the RBCD-mode render.
+    pub gpu_stats: FrameStats,
+}
+
+impl FrameCollisions {
+    /// Distinct colliding pairs, smaller id first.
+    pub fn pairs(&self) -> BTreeSet<(ObjectId, ObjectId)> {
+        self.contacts.iter().map(ContactPoint::pair).collect()
+    }
+}
+
+/// Renders `trace` once in RBCD mode with a fresh simulator and unit and
+/// returns the detected collisions — the crate's quickstart entry point.
+pub fn detect_frame_collisions(
+    trace: &FrameTrace,
+    gpu: &GpuConfig,
+    rbcd: &RbcdConfig,
+) -> FrameCollisions {
+    detect_with_mode(trace, gpu, rbcd, PipelineMode::Rbcd)
+}
+
+/// Runs a *collision-only* pass (§3.6): just the collisionable objects
+/// are rasterized into the RBCD unit, with no Early-Z or fragment
+/// processing. This is how an application runs additional physics time
+/// steps per rendered frame, or tests geometry that the colour pass
+/// does not draw.
+pub fn detect_collision_pass(
+    trace: &FrameTrace,
+    gpu: &GpuConfig,
+    rbcd: &RbcdConfig,
+) -> FrameCollisions {
+    detect_with_mode(trace, gpu, rbcd, PipelineMode::CollisionOnly)
+}
+
+fn detect_with_mode(
+    trace: &FrameTrace,
+    gpu: &GpuConfig,
+    rbcd: &RbcdConfig,
+    mode: PipelineMode,
+) -> FrameCollisions {
+    let mut sim = Simulator::new(gpu.clone());
+    let mut unit = RbcdUnit::new(*rbcd, gpu.tile_size);
+    let gpu_stats = sim.render_frame(trace, mode, &mut unit);
+    FrameCollisions {
+        contacts: unit.take_contacts(),
+        rbcd_stats: *unit.stats(),
+        gpu_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbcd_gpu::{Camera, DrawCommand, Facing};
+    use rbcd_geometry::shapes;
+    use rbcd_math::{Mat4, Vec3, Viewport};
+
+    fn frag(x: u32, y: u32, z: f32, id: u16, facing: Facing) -> CollisionFragment {
+        CollisionFragment { x, y, z, object: ObjectId::new(id), facing }
+    }
+
+    fn drive_tile(unit: &mut RbcdUnit, frags: &[CollisionFragment], start: u64, end: u64) {
+        unit.begin_tile(TileCoord { x: 0, y: 0 }, start);
+        for f in frags {
+            unit.insert(*f);
+        }
+        unit.finish_tile(end);
+    }
+
+    #[test]
+    fn detects_overlap_in_one_pixel() {
+        let mut unit = RbcdUnit::new(RbcdConfig::default(), 16);
+        // Case 2 at pixel (3, 4): [1 [2 ]1 ]2.
+        let frags = [
+            frag(3, 4, 0.1, 1, Facing::Front),
+            frag(3, 4, 0.2, 2, Facing::Front),
+            frag(3, 4, 0.3, 1, Facing::Back),
+            frag(3, 4, 0.4, 2, Facing::Back),
+        ];
+        drive_tile(&mut unit, &frags, 0, 100);
+        assert_eq!(unit.contacts().len(), 1);
+        let c = unit.contacts()[0];
+        assert_eq!((c.x, c.y), (3, 4));
+        assert_eq!(c.pair(), (ObjectId::new(1), ObjectId::new(2)));
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let frags = [
+            frag(0, 0, 0.3, 1, Facing::Back),
+            frag(0, 0, 0.2, 2, Facing::Front),
+            frag(0, 0, 0.4, 2, Facing::Back),
+            frag(0, 0, 0.1, 1, Facing::Front),
+        ];
+        let mut unit = RbcdUnit::new(RbcdConfig::default(), 16);
+        drive_tile(&mut unit, &frags, 0, 100);
+        assert_eq!(unit.pairs().len(), 1);
+    }
+
+    #[test]
+    fn disjoint_ranges_no_contact() {
+        let frags = [
+            frag(0, 0, 0.1, 1, Facing::Front),
+            frag(0, 0, 0.2, 1, Facing::Back),
+            frag(0, 0, 0.3, 2, Facing::Front),
+            frag(0, 0, 0.4, 2, Facing::Back),
+        ];
+        let mut unit = RbcdUnit::new(RbcdConfig::default(), 16);
+        drive_tile(&mut unit, &frags, 0, 100);
+        assert!(unit.contacts().is_empty());
+    }
+
+    #[test]
+    fn timing_single_zeb_blocks_next_tile() {
+        let mut unit = RbcdUnit::new(RbcdConfig { zeb_count: 1, ..RbcdConfig::default() }, 16);
+        let frags: Vec<_> = (0..8).map(|i| frag(i, 0, 0.5, 1, Facing::Front)).collect();
+        drive_tile(&mut unit, &frags, 0, 100);
+        // Scan: 8 lists × (1 + 1 element) = 16 cycles after cycle 100.
+        assert_eq!(unit.next_free(), 116);
+        assert_eq!(unit.idle_at(), 116);
+    }
+
+    #[test]
+    fn timing_two_zebs_overlap() {
+        let mut unit = RbcdUnit::new(RbcdConfig::default(), 16);
+        let frags: Vec<_> = (0..8).map(|i| frag(i, 0, 0.5, 1, Facing::Front)).collect();
+        drive_tile(&mut unit, &frags, 0, 100);
+        // Second ZEB is free immediately.
+        assert_eq!(unit.next_free(), 0);
+        // But the single scan unit serializes: a second tile finishing at
+        // cycle 101 scans only after the first scan ends (116).
+        unit.begin_tile(TileCoord { x: 1, y: 0 }, 50);
+        for f in &frags {
+            unit.insert(CollisionFragment { x: f.x + 16, ..*f });
+        }
+        unit.finish_tile(101);
+        assert_eq!(unit.idle_at(), 116 + 16);
+    }
+
+    #[test]
+    fn new_frame_resets_timing_keeps_stats() {
+        let mut unit = RbcdUnit::new(RbcdConfig::default(), 16);
+        drive_tile(&mut unit, &[frag(0, 0, 0.5, 1, Facing::Front)], 0, 10);
+        let ins = unit.stats().insertions;
+        unit.new_frame();
+        assert_eq!(unit.next_free(), 0);
+        assert_eq!(unit.stats().insertions, ins);
+    }
+
+    #[test]
+    fn full_frame_cube_overlap() {
+        let camera = Camera::perspective(Vec3::new(0.0, 0.0, 6.0), Vec3::ZERO, 1.0, 0.1, 100.0);
+        let a = DrawCommand::collidable(shapes::cube(1.0), ObjectId::new(1));
+        let b = DrawCommand::collidable(shapes::cube(1.0), ObjectId::new(2))
+            .with_model(Mat4::translation(Vec3::new(0.8, 0.3, 0.2)));
+        let c = DrawCommand::collidable(shapes::cube(0.5), ObjectId::new(3))
+            .with_model(Mat4::translation(Vec3::new(-3.0, 0.0, 0.0)));
+        let trace = FrameTrace::new(camera, vec![a, b, c]);
+        let gpu = GpuConfig { viewport: Viewport::new(128, 128), ..GpuConfig::default() };
+        let result = detect_frame_collisions(&trace, &gpu, &RbcdConfig::default());
+        let pairs = result.pairs();
+        assert!(pairs.contains(&(ObjectId::new(1), ObjectId::new(2))));
+        assert!(!pairs.iter().any(|p| p.0 == ObjectId::new(3) || p.1 == ObjectId::new(3)));
+        assert!(result.rbcd_stats.insertions > 0);
+        assert!(result.gpu_stats.raster.fragments_collisionable >= result.rbcd_stats.insertions);
+    }
+
+    #[test]
+    fn separated_cubes_no_collision() {
+        let camera = Camera::perspective(Vec3::new(0.0, 0.0, 8.0), Vec3::ZERO, 1.0, 0.1, 100.0);
+        let a = DrawCommand::collidable(shapes::cube(1.0), ObjectId::new(1))
+            .with_model(Mat4::translation(Vec3::new(-2.0, 0.0, 0.0)));
+        let b = DrawCommand::collidable(shapes::cube(1.0), ObjectId::new(2))
+            .with_model(Mat4::translation(Vec3::new(2.0, 0.0, 0.0)));
+        let trace = FrameTrace::new(camera, vec![a, b]);
+        let gpu = GpuConfig { viewport: Viewport::new(128, 128), ..GpuConfig::default() };
+        let result = detect_frame_collisions(&trace, &gpu, &RbcdConfig::default());
+        assert!(result.pairs().is_empty());
+    }
+
+    #[test]
+    fn depth_separated_cubes_no_collision() {
+        // Overlapping in screen space but separated in depth: image-based
+        // detection must still see disjoint z-ranges.
+        let camera = Camera::perspective(Vec3::new(0.0, 0.0, 10.0), Vec3::ZERO, 1.0, 0.1, 100.0);
+        let near = DrawCommand::collidable(shapes::cube(1.0), ObjectId::new(1))
+            .with_model(Mat4::translation(Vec3::new(0.0, 0.0, 3.0)));
+        let far = DrawCommand::collidable(shapes::cube(1.0), ObjectId::new(2))
+            .with_model(Mat4::translation(Vec3::new(0.0, 0.0, -3.0)));
+        let trace = FrameTrace::new(camera, vec![near, far]);
+        let gpu = GpuConfig { viewport: Viewport::new(128, 128), ..GpuConfig::default() };
+        let result = detect_frame_collisions(&trace, &gpu, &RbcdConfig::default());
+        assert!(result.pairs().is_empty());
+    }
+
+    #[test]
+    fn collision_pass_finds_same_pairs_cheaper() {
+        let camera = Camera::perspective(Vec3::new(0.0, 0.0, 6.0), Vec3::ZERO, 1.0, 0.1, 100.0);
+        let trace = FrameTrace::new(
+            camera,
+            vec![
+                DrawCommand::scenery(shapes::ground_quad(30.0, 30.0))
+                    .with_model(Mat4::translation(Vec3::new(0.0, -2.0, 0.0))),
+                DrawCommand::collidable(shapes::icosphere(1.0, 2), ObjectId::new(1)),
+                DrawCommand::collidable(shapes::icosphere(1.0, 2), ObjectId::new(2))
+                    .with_model(Mat4::translation(Vec3::new(1.1, 0.2, 0.0))),
+            ],
+        );
+        let gpu = GpuConfig { viewport: Viewport::new(128, 128), ..GpuConfig::default() };
+        let full = detect_frame_collisions(&trace, &gpu, &RbcdConfig::default());
+        let pass = detect_collision_pass(&trace, &gpu, &RbcdConfig::default());
+        assert_eq!(full.pairs(), pass.pairs());
+        assert!(pass.gpu_stats.total_cycles() < full.gpu_stats.total_cycles());
+        assert_eq!(pass.gpu_stats.raster.fragments_shaded, 0);
+    }
+
+    #[test]
+    fn spare_entries_reduce_overflow_on_deep_stacks() {
+        // Nested shells: deep per-pixel stacks overflow M = 4 badly;
+        // a spare pool absorbs much of it (§5.3).
+        let camera = Camera::perspective(Vec3::new(0.0, 0.0, 8.0), Vec3::ZERO, 1.0, 0.1, 100.0);
+        let draws = (0..6u16)
+            .map(|i| {
+                DrawCommand::collidable(shapes::icosphere(0.4 + i as f32 * 0.3, 1), ObjectId::new(i + 1))
+            })
+            .collect();
+        let trace = FrameTrace::new(camera, draws);
+        let gpu = GpuConfig { viewport: Viewport::new(96, 96), ..GpuConfig::default() };
+        let base = detect_frame_collisions(
+            &trace,
+            &gpu,
+            &RbcdConfig { list_capacity: 4, ..RbcdConfig::default() },
+        );
+        let spared = detect_frame_collisions(
+            &trace,
+            &gpu,
+            &RbcdConfig { list_capacity: 4, spare_entries: 512, ..RbcdConfig::default() },
+        );
+        assert!(base.rbcd_stats.overflows > 0, "stress case must overflow at M=4");
+        assert!(
+            spared.rbcd_stats.overflows < base.rbcd_stats.overflows,
+            "spares must absorb overflow ({} -> {})",
+            base.rbcd_stats.overflows,
+            spared.rbcd_stats.overflows
+        );
+        assert!(spared.rbcd_stats.spare_allocations > 0);
+        // More stored elements can only help detection.
+        assert!(spared.pairs().is_superset(&base.pairs()));
+    }
+
+    #[test]
+    #[should_panic(expected = "active")]
+    fn insert_without_tile_panics() {
+        let mut unit = RbcdUnit::new(RbcdConfig::default(), 16);
+        unit.insert(frag(0, 0, 0.5, 1, Facing::Front));
+    }
+}

@@ -1,0 +1,312 @@
+//! The Z-depth Extended Buffer and its sorted-insertion unit (Fig. 4).
+
+use crate::element::ZebElement;
+use crate::stats::RbcdStats;
+
+/// Result of inserting one element into a ZEB list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Stored without displacing anything.
+    Stored,
+    /// The list was full but a spare entry was dynamically allocated to
+    /// extend it (the paper's §5.3 proposed mitigation).
+    StoredInSpare,
+    /// The list was full: the farthest element (possibly the new one)
+    /// was dropped. Some object overlap may be lost (paper §5.3).
+    Overflow,
+}
+
+/// A Z-depth Extended Buffer: `lists` fixed-capacity, front-to-back
+/// sorted element lists — one per pixel of a tile (the paper's
+/// configuration: 256 lists of `M = 8` 32-bit elements = 8 KB).
+///
+/// Insertion models the hardware of Figure 4: the list is read into the
+/// List-Register, `M` less-than comparators locate the insertion point in
+/// parallel, the MUX network shifts, and the list is written back — one
+/// element per cycle.
+#[derive(Debug, Clone)]
+pub struct Zeb {
+    m: usize,
+    lists: Vec<Vec<ZebElement>>,
+    /// Lists touched since the last clear, for cheap per-tile reset and
+    /// sparse scanning.
+    dirty: Vec<u32>,
+    /// Pool of spare entries that full lists may claim (§5.3: "a ZEB
+    /// with several spare entries that could be dynamically allocated
+    /// as extra space to create longer lists"). Zero in the paper's
+    /// baseline design.
+    spare_capacity: usize,
+    spare_used: usize,
+}
+
+impl Zeb {
+    /// Creates a ZEB with `lists` pixel lists of capacity `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `lists == 0`.
+    pub fn new(lists: usize, m: usize) -> Self {
+        assert!(m > 0, "ZEB list capacity must be positive");
+        assert!(lists > 0, "ZEB must have at least one list");
+        Self {
+            m,
+            lists: vec![Vec::with_capacity(m); lists],
+            dirty: Vec::new(),
+            spare_capacity: 0,
+            spare_used: 0,
+        }
+    }
+
+    /// Creates a ZEB with a dynamically allocatable pool of `spares`
+    /// extra entries shared across lists (§5.3's overflow mitigation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `lists == 0`.
+    pub fn with_spares(lists: usize, m: usize, spares: usize) -> Self {
+        Self { spare_capacity: spares, ..Self::new(lists, m) }
+    }
+
+    /// Spare entries currently claimed by overlong lists.
+    pub fn spares_used(&self) -> usize {
+        self.spare_used
+    }
+
+    /// List capacity `M`.
+    pub fn capacity(&self) -> usize {
+        self.m
+    }
+
+    /// Number of pixel lists.
+    pub fn list_count(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Total storage in bytes (32-bit elements, as in Table 1),
+    /// including the spare pool.
+    pub fn size_bytes(&self) -> usize {
+        (self.lists.len() * self.m + self.spare_capacity) * 4
+    }
+
+    /// The list for pixel `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn list(&self, index: usize) -> &[ZebElement] {
+        &self.lists[index]
+    }
+
+    /// Indices of non-empty lists, in insertion-touch order.
+    pub fn occupied(&self) -> &[u32] {
+        &self.dirty
+    }
+
+    /// Inserts `element` into list `index`, keeping it sorted
+    /// front-to-back; on a full list the farthest element is dropped and
+    /// [`InsertOutcome::Overflow`] is reported. Energy events are charged
+    /// to `stats`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn insert(&mut self, index: usize, element: ZebElement, stats: &mut RbcdStats) -> InsertOutcome {
+        let list = &mut self.lists[index];
+        if list.is_empty() {
+            self.dirty.push(index as u32);
+        }
+        // Hardware events per Fig. 4: list read, M comparators, mux
+        // shift, list write-back.
+        stats.insertions += 1;
+        stats.zeb_list_reads += 1;
+        stats.zeb_list_writes += 1;
+        stats.lt_comparisons += self.m as u64;
+        stats.mux_shifts += 1;
+
+        // Position: sorted by (z, facing) with front faces ordered
+        // before back faces at equal quantized depth. The facing bit
+        // extends the comparator by one gate and makes the list order —
+        // and therefore the Z-overlap result — independent of fragment
+        // arrival order even under 16-bit depth ties (grazing surfaces).
+        let key = |e: &ZebElement| (e.z, !e.is_front());
+        let new_key = key(&element);
+        let pos = list.partition_point(|e| key(e) <= new_key);
+        let limit = self.m + if list.len() >= self.m { list.len() - self.m } else { 0 };
+        if list.len() < self.m {
+            list.insert(pos, element);
+            InsertOutcome::Stored
+        } else if self.spare_used < self.spare_capacity {
+            // Claim a spare entry: the list grows past M.
+            self.spare_used += 1;
+            stats.spare_allocations += 1;
+            list.insert(pos.min(limit), element);
+            InsertOutcome::StoredInSpare
+        } else {
+            stats.overflows += 1;
+            if pos < list.len() {
+                // New element is nearer than the current farthest: the
+                // shift network pushes the last element out.
+                list.pop();
+                list.insert(pos, element);
+            }
+            InsertOutcome::Overflow
+        }
+    }
+
+    /// Clears every touched list for the next tile and releases the
+    /// spare pool.
+    pub fn clear(&mut self) {
+        for &i in &self.dirty {
+            self.lists[i as usize].clear();
+        }
+        self.dirty.clear();
+        self.spare_used = 0;
+    }
+
+    /// Total elements currently stored.
+    pub fn len(&self) -> usize {
+        self.dirty.iter().map(|&i| self.lists[i as usize].len()).sum()
+    }
+
+    /// `true` when no list holds an element.
+    pub fn is_empty(&self) -> bool {
+        self.dirty.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbcd_gpu::{Facing, ObjectId};
+
+    fn el(z: f32, id: u16, facing: Facing) -> ZebElement {
+        ZebElement::new(z, ObjectId::new(id), facing)
+    }
+
+    fn sorted(zeb: &Zeb, i: usize) -> bool {
+        zeb.list(i).windows(2).all(|w| w[0].z <= w[1].z)
+    }
+
+    #[test]
+    fn paper_configuration_size() {
+        let zeb = Zeb::new(256, 8);
+        assert_eq!(zeb.size_bytes(), 8 * 1024); // "for M=8 the size would be 8 KB"
+    }
+
+    #[test]
+    fn insertion_keeps_sorted_order() {
+        let mut zeb = Zeb::new(4, 8);
+        let mut stats = RbcdStats::default();
+        for &z in &[0.5f32, 0.1, 0.9, 0.3, 0.7] {
+            assert_eq!(zeb.insert(0, el(z, 1, Facing::Front), &mut stats), InsertOutcome::Stored);
+        }
+        assert!(sorted(&zeb, 0));
+        assert_eq!(zeb.list(0).len(), 5);
+        assert_eq!(stats.insertions, 5);
+        assert_eq!(stats.lt_comparisons, 40);
+        assert_eq!(stats.overflows, 0);
+    }
+
+    #[test]
+    fn overflow_drops_farthest() {
+        let mut zeb = Zeb::new(1, 2);
+        let mut stats = RbcdStats::default();
+        zeb.insert(0, el(0.5, 1, Facing::Front), &mut stats);
+        zeb.insert(0, el(0.8, 2, Facing::Front), &mut stats);
+        // Nearer element displaces the farthest.
+        assert_eq!(zeb.insert(0, el(0.2, 3, Facing::Front), &mut stats), InsertOutcome::Overflow);
+        let zs: Vec<u16> = zeb.list(0).iter().map(|e| e.z).collect();
+        assert_eq!(zs, vec![ZebElement::quantize_depth(0.2), ZebElement::quantize_depth(0.5)]);
+        // Farther element is itself dropped.
+        assert_eq!(zeb.insert(0, el(0.9, 4, Facing::Front), &mut stats), InsertOutcome::Overflow);
+        assert_eq!(zeb.list(0).len(), 2);
+        assert_eq!(stats.overflows, 2);
+    }
+
+    #[test]
+    fn equal_depths_order_front_before_back() {
+        let mut zeb = Zeb::new(1, 4);
+        let mut stats = RbcdStats::default();
+        // Regardless of arrival order, the front face sorts first at a
+        // depth tie, so entry points open before exit points close.
+        zeb.insert(0, el(0.5, 2, Facing::Back), &mut stats);
+        zeb.insert(0, el(0.5, 1, Facing::Front), &mut stats);
+        assert_eq!(zeb.list(0)[0].object, ObjectId::new(1));
+        assert!(zeb.list(0)[0].is_front());
+        assert_eq!(zeb.list(0)[1].object, ObjectId::new(2));
+        // Same-kind ties stay stable in arrival order.
+        zeb.insert(0, el(0.5, 3, Facing::Front), &mut stats);
+        assert_eq!(zeb.list(0)[1].object, ObjectId::new(3));
+    }
+
+    #[test]
+    fn clear_resets_only_touched_lists() {
+        let mut zeb = Zeb::new(16, 4);
+        let mut stats = RbcdStats::default();
+        zeb.insert(3, el(0.5, 1, Facing::Front), &mut stats);
+        zeb.insert(9, el(0.6, 2, Facing::Back), &mut stats);
+        assert_eq!(zeb.occupied(), &[3, 9]);
+        assert_eq!(zeb.len(), 2);
+        zeb.clear();
+        assert!(zeb.is_empty());
+        assert!(zeb.list(3).is_empty());
+        assert!(zeb.list(9).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = Zeb::new(4, 0);
+    }
+
+    #[test]
+    fn spare_entries_absorb_overflow() {
+        let mut zeb = Zeb::with_spares(2, 2, 3);
+        let mut stats = RbcdStats::default();
+        for i in 0..5 {
+            zeb.insert(0, el(0.1 * (i + 1) as f32, 1, Facing::Front), &mut stats);
+        }
+        // 2 regular + 3 spares hold all five; no overflow yet.
+        assert_eq!(stats.overflows, 0);
+        assert_eq!(stats.spare_allocations, 3);
+        assert_eq!(zeb.list(0).len(), 5);
+        assert_eq!(zeb.spares_used(), 3);
+        // Pool exhausted: the sixth insertion overflows.
+        assert_eq!(
+            zeb.insert(0, el(0.9, 1, Facing::Back), &mut stats),
+            InsertOutcome::Overflow
+        );
+        assert_eq!(stats.overflows, 1);
+        assert!(sorted(&zeb, 0));
+    }
+
+    #[test]
+    fn spares_are_shared_across_lists_and_released_on_clear() {
+        let mut zeb = Zeb::with_spares(2, 1, 1);
+        let mut stats = RbcdStats::default();
+        zeb.insert(0, el(0.5, 1, Facing::Front), &mut stats);
+        assert_eq!(
+            zeb.insert(0, el(0.6, 2, Facing::Front), &mut stats),
+            InsertOutcome::StoredInSpare
+        );
+        // The single spare is gone: list 1 overflows on its second element.
+        zeb.insert(1, el(0.5, 1, Facing::Front), &mut stats);
+        assert_eq!(
+            zeb.insert(1, el(0.6, 2, Facing::Front), &mut stats),
+            InsertOutcome::Overflow
+        );
+        zeb.clear();
+        assert_eq!(zeb.spares_used(), 0);
+        // Pool restored for the next tile.
+        zeb.insert(1, el(0.5, 1, Facing::Front), &mut stats);
+        assert_eq!(
+            zeb.insert(1, el(0.6, 2, Facing::Front), &mut stats),
+            InsertOutcome::StoredInSpare
+        );
+    }
+
+    #[test]
+    fn spare_pool_counts_in_size() {
+        assert_eq!(Zeb::with_spares(256, 8, 64).size_bytes(), (256 * 8 + 64) * 4);
+    }
+}

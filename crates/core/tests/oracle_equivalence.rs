@@ -1,0 +1,115 @@
+//! The central correctness property of the reproduction: when no ZEB
+//! overflow and no FF-Stack drop occurs, the hardware model's colliding
+//! pair set equals the software Shinya–Forgue oracle's.
+
+use proptest::prelude::*;
+use rbcd_core::software::OracleUnit;
+use rbcd_core::{RbcdConfig, RbcdUnit};
+use rbcd_gpu::{CollisionFragment, CollisionUnit, Facing, ObjectId, TileCoord};
+
+/// Generates balanced per-pixel face lists: for each (pixel, object)
+/// pair, a set of [front, back] depth intervals.
+fn interval_set() -> impl Strategy<Value = Vec<CollisionFragment>> {
+    // Up to 4 pixels, up to 3 objects, up to 2 intervals each.
+    let interval = (0u16..4, 1u16..4, 0.0f32..1.0, 0.01f32..0.5);
+    prop::collection::vec(interval, 1..12).prop_map(|items| {
+        let mut frags = Vec::new();
+        for (pix, id, z0, dz) in items {
+            let (x, y) = (pix as u32 % 2, pix as u32 / 2);
+            let z1 = (z0 + dz).min(1.0);
+            frags.push(CollisionFragment {
+                x,
+                y,
+                z: z0,
+                object: ObjectId::new(id),
+                facing: Facing::Front,
+            });
+            frags.push(CollisionFragment {
+                x,
+                y,
+                z: z1,
+                object: ObjectId::new(id),
+                facing: Facing::Back,
+            });
+        }
+        frags
+    })
+}
+
+fn run_hardware(frags: &[CollisionFragment], config: RbcdConfig) -> RbcdUnit {
+    let mut unit = RbcdUnit::new(config, 16);
+    unit.begin_tile(TileCoord { x: 0, y: 0 }, 0);
+    for f in frags {
+        unit.insert(*f);
+    }
+    unit.finish_tile(1000);
+    unit
+}
+
+fn run_oracle(frags: &[CollisionFragment]) -> OracleUnit {
+    let mut oracle = OracleUnit::new();
+    for f in frags {
+        oracle.add_fragment(*f);
+    }
+    oracle
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// With generous capacities (no overflow possible), the hardware
+    /// pair set equals the oracle pair set for balanced interval inputs.
+    #[test]
+    fn hardware_matches_oracle_without_overflow(frags in interval_set()) {
+        let config = RbcdConfig {
+            list_capacity: 64,
+            ff_stack_capacity: 64,
+            ..RbcdConfig::default()
+        };
+        let unit = run_hardware(&frags, config);
+        prop_assert_eq!(unit.stats().overflows, 0);
+        let oracle = run_oracle(&frags);
+        prop_assert_eq!(unit.pairs(), oracle.pairs());
+    }
+
+    /// With the paper's M = 8 configuration, overflow may drop overlaps
+    /// but must never invent them: the hardware pair set is a subset of
+    /// the oracle's.
+    #[test]
+    fn overflow_never_invents_pairs(frags in interval_set()) {
+        let unit = run_hardware(&frags, RbcdConfig::default());
+        let oracle = run_oracle(&frags);
+        let hw = unit.pairs();
+        let sw = oracle.pairs();
+        prop_assert!(hw.is_subset(&sw), "hw {hw:?} not a subset of sw {sw:?}");
+    }
+
+    /// Insertion order is irrelevant: the ZEB sorts by depth.
+    #[test]
+    fn insertion_order_invariance(frags in interval_set(), seed in 0u64..1000) {
+        let config = RbcdConfig {
+            list_capacity: 64,
+            ff_stack_capacity: 64,
+            ..RbcdConfig::default()
+        };
+        let a = run_hardware(&frags, config);
+        // Deterministic shuffle.
+        let mut shuffled = frags.clone();
+        let mut state = seed.wrapping_add(1);
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let b = run_hardware(&shuffled, config);
+        prop_assert_eq!(a.pairs(), b.pairs());
+    }
+
+    /// Shrinking M can only lose pairs, never add them.
+    #[test]
+    fn smaller_lists_are_monotonic(frags in interval_set()) {
+        let big = run_hardware(&frags, RbcdConfig { list_capacity: 64, ff_stack_capacity: 64, ..RbcdConfig::default() });
+        let small = run_hardware(&frags, RbcdConfig { list_capacity: 2, ff_stack_capacity: 64, ..RbcdConfig::default() });
+        prop_assert!(small.pairs().is_subset(&big.pairs()));
+    }
+}

@@ -1,0 +1,261 @@
+//! A refittable per-mesh AABB tree.
+//!
+//! Bullet keeps a bounding-volume hierarchy inside every triangle-mesh
+//! collision shape. For static geometry it is built once; for moving or
+//! deforming geometry (the skinned, animated meshes of the paper's four
+//! Unity games) the tree must be *refitted* every frame: transform each
+//! vertex, recompute each leaf AABB, and merge upwards. That refit walk
+//! is the dominant per-frame cost of the CPU broad phase and is computed
+//! for real here — the refitted root box is exactly the world AABB the
+//! broad phase tests.
+
+use crate::cost::Cost;
+use rbcd_geometry::Mesh;
+use rbcd_math::{Aabb, Mat4, Vec3};
+
+/// Binary AABB tree over a mesh's triangles, median-split built once and
+/// refitted per frame.
+#[derive(Debug, Clone)]
+pub struct MeshBvh {
+    /// Triangle index triples (leaf payload).
+    triangles: Vec<[u32; 3]>,
+    /// Local-space vertex positions.
+    local_positions: Vec<Vec3>,
+    /// Scratch world-space positions, rewritten by each refit.
+    world_positions: Vec<Vec3>,
+    nodes: Vec<Node>,
+    /// Leaf order: triangle indices sorted by the build.
+    order: Vec<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    aabb: Aabb,
+    /// Leaf: `(first, count)` into `order`; internal: child index (left =
+    /// `child`, right = `child + 1`).
+    child_or_first: u32,
+    count: u32, // 0 for internal nodes
+}
+
+/// Triangles per leaf (Bullet uses small leaves as well).
+const LEAF_SIZE: usize = 4;
+
+impl MeshBvh {
+    /// Builds the tree from a mesh (done once, off the per-frame path).
+    pub fn build(mesh: &Mesh) -> Self {
+        let triangles: Vec<[u32; 3]> = mesh.indices().to_vec();
+        let local_positions: Vec<Vec3> = mesh.positions().to_vec();
+        let centroids: Vec<Vec3> = triangles
+            .iter()
+            .map(|&[a, b, c]| {
+                (local_positions[a as usize]
+                    + local_positions[b as usize]
+                    + local_positions[c as usize])
+                    / 3.0
+            })
+            .collect();
+        let mut order: Vec<u32> = (0..triangles.len() as u32).collect();
+        let mut nodes = Vec::with_capacity(2 * triangles.len() / LEAF_SIZE + 2);
+        nodes.push(Node {
+            aabb: Aabb::from_point(Vec3::ZERO),
+            child_or_first: 0,
+            count: 0,
+        });
+        Self::build_node(0, 0, triangles.len(), &mut order, &centroids, &mut nodes);
+        let world_positions = local_positions.clone();
+        let mut bvh = Self { triangles, local_positions, world_positions, nodes, order };
+        // Initialize boxes with the identity transform.
+        bvh.refit(&Mat4::IDENTITY, &mut Cost::default());
+        bvh
+    }
+
+    fn build_node(
+        node: usize,
+        first: usize,
+        count: usize,
+        order: &mut [u32],
+        centroids: &[Vec3],
+        nodes: &mut Vec<Node>,
+    ) {
+        if count <= LEAF_SIZE {
+            nodes[node].child_or_first = first as u32;
+            nodes[node].count = count as u32;
+            return;
+        }
+        // Split on the widest centroid axis at the median.
+        let slice = &mut order[first..first + count];
+        let bb = Aabb::from_points(slice.iter().map(|&t| centroids[t as usize]))
+            .expect("non-empty node");
+        let ext = bb.max - bb.min;
+        let axis = if ext.x >= ext.y && ext.x >= ext.z {
+            0
+        } else if ext.y >= ext.z {
+            1
+        } else {
+            2
+        };
+        let mid = count / 2;
+        slice.select_nth_unstable_by(mid, |&a, &b| {
+            centroids[a as usize][axis]
+                .partial_cmp(&centroids[b as usize][axis])
+                .expect("finite centroids")
+        });
+        let left = nodes.len();
+        nodes.push(Node { aabb: bb, child_or_first: 0, count: 0 });
+        nodes.push(Node { aabb: bb, child_or_first: 0, count: 0 });
+        nodes[node].child_or_first = left as u32;
+        nodes[node].count = 0;
+        Self::build_node(left, first, mid, order, centroids, nodes);
+        Self::build_node(left + 1, first + mid, count - mid, order, centroids, nodes);
+    }
+
+    /// Number of tree nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of triangles.
+    pub fn triangle_count(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// Refits the tree under a new model transform and returns the world
+    /// AABB (root box). Charges the vertex transform and the leaf/node
+    /// merge walk to `cost` — this is the Bullet per-frame shape update.
+    pub fn refit(&mut self, model: &Mat4, cost: &mut Cost) -> Aabb {
+        // 1. Transform every vertex (skinned-mesh update).
+        for (w, &l) in self.world_positions.iter_mut().zip(&self.local_positions) {
+            *w = model.transform_point(l);
+        }
+        let nv = self.local_positions.len() as u64;
+        cost.flops += nv * 18; // 3×4 matrix-point product
+        cost.stream_bytes += nv * 24; // read local (12 B) + write world (12 B)
+
+        // 2. Refit bottom-up (post-order recursion).
+        let root = self.refit_node(0, cost);
+        self.nodes[0].aabb = root;
+        root
+    }
+
+    fn refit_node(&mut self, node: usize, cost: &mut Cost) -> Aabb {
+        let n = self.nodes[node];
+        let bb = if n.count > 0 {
+            let first = n.child_or_first as usize;
+            let mut bb: Option<Aabb> = None;
+            for &t in &self.order[first..first + n.count as usize] {
+                let [a, b, c] = self.triangles[t as usize];
+                for idx in [a, b, c] {
+                    let p = self.world_positions[idx as usize];
+                    bb = Some(match bb {
+                        None => Aabb::from_point(p),
+                        Some(mut bb) => {
+                            bb.expand_point(p);
+                            bb
+                        }
+                    });
+                }
+                cost.flops += 18; // 9 min + 9 max component ops
+                // Leaf-order vertex gathers are scattered with respect
+                // to the sequential transform pass, so they stream: the
+                // triangle index record plus three 16-byte vertex reads.
+                cost.stream_bytes += 12 + 48;
+                cost.cache_ops += 3;
+            }
+            bb.expect("leaf has triangles")
+        } else {
+            let left = n.child_or_first as usize;
+            let lb = self.refit_node(left, cost);
+            let rb = self.refit_node(left + 1, cost);
+            cost.flops += 6; // box union
+            cost.cache_ops += 4; // child node records
+            lb.union(&rb)
+        };
+        self.nodes[node].aabb = bb;
+        cost.stream_bytes += 24; // node AABB write-back
+        bb
+    }
+
+    /// The current root (world) AABB.
+    pub fn world_aabb(&self) -> Aabb {
+        self.nodes[0].aabb
+    }
+
+    /// World-space vertex positions from the last refit (reused by GJK
+    /// support scans).
+    pub fn world_positions(&self) -> &[Vec3] {
+        &self.world_positions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbcd_geometry::shapes;
+
+    #[test]
+    fn root_box_bounds_all_vertices() {
+        let mesh = shapes::uv_sphere(1.0, 16, 8);
+        let mut bvh = MeshBvh::build(&mesh);
+        let mut cost = Cost::default();
+        let m = Mat4::translation(Vec3::new(3.0, -1.0, 2.0)) * Mat4::rotation_y(0.7);
+        let bb = bvh.refit(&m, &mut cost);
+        for &p in mesh.positions() {
+            assert!(bb.inflate(1e-4).contains_point(m.transform_point(p)));
+        }
+        assert!(cost.flops > 0);
+        assert!(cost.stream_bytes > 0);
+    }
+
+    #[test]
+    fn refit_tracks_motion() {
+        let mesh = shapes::cube(1.0);
+        let mut bvh = MeshBvh::build(&mesh);
+        let mut cost = Cost::default();
+        let b0 = bvh.refit(&Mat4::IDENTITY, &mut cost);
+        let b1 = bvh.refit(&Mat4::translation(Vec3::new(10.0, 0.0, 0.0)), &mut cost);
+        assert!((b1.center().x - b0.center().x - 10.0).abs() < 1e-4);
+        assert!(!b0.intersects(&b1));
+    }
+
+    #[test]
+    fn all_internal_boxes_contain_children() {
+        let mesh = shapes::torus(2.0, 0.5, 16, 8);
+        let mut bvh = MeshBvh::build(&mesh);
+        bvh.refit(&Mat4::rotation_x(0.3), &mut Cost::default());
+        for node in &bvh.nodes {
+            if node.count == 0 && bvh.nodes.len() > 1 {
+                let l = &bvh.nodes[node.child_or_first as usize];
+                let r = &bvh.nodes[node.child_or_first as usize + 1];
+                assert!(node.aabb.inflate(1e-4).contains(&l.aabb));
+                assert!(node.aabb.inflate(1e-4).contains(&r.aabb));
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_partition_covers_all_triangles() {
+        let mesh = shapes::icosphere(1.0, 2);
+        let bvh = MeshBvh::build(&mesh);
+        let mut seen = vec![false; bvh.triangle_count()];
+        for node in &bvh.nodes {
+            if node.count > 0 {
+                for &t in &bvh.order[node.child_or_first as usize..][..node.count as usize] {
+                    assert!(!seen[t as usize], "triangle {t} in two leaves");
+                    seen[t as usize] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn refit_cost_scales_with_mesh_size() {
+        let small = shapes::uv_sphere(1.0, 8, 4);
+        let big = shapes::uv_sphere(1.0, 32, 16);
+        let mut cs = Cost::default();
+        let mut cb = Cost::default();
+        MeshBvh::build(&small).refit(&Mat4::IDENTITY, &mut cs);
+        MeshBvh::build(&big).refit(&Mat4::IDENTITY, &mut cb);
+        assert!(cb.flops > 5 * cs.flops);
+    }
+}

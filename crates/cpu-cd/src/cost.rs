@@ -1,0 +1,196 @@
+//! The CPU cost model: operation counting → cycles, time, energy.
+//!
+//! Every baseline algorithm in this crate is written against a [`Cost`]
+//! sink. The sink distinguishes arithmetic, compares/branches,
+//! cache-resident memory operations, and *streamed* bytes (data too
+//! large or too cold for the cache hierarchy — per-frame walks over mesh
+//! vertices and BVH nodes). Conversion to cycles and joules uses
+//! [`CpuConfig`], whose defaults follow the paper's Table 1 CPU half:
+//! a dual-core ARM Cortex-A9-class device at 1.5 GHz, 32 KB L1 caches,
+//! 1 MB L2, 32 nm, 1 V — simulated by the authors with Marss + McPAT.
+//!
+//! The `framework_overhead` factor accounts for the difference between
+//! these hand-counted kernel operations and the instruction stream an
+//! actual Bullet + game-engine binary executes on the simulated core
+//! (virtual dispatch, shape abstraction layers, manifold bookkeeping,
+//! broadphase proxy maintenance). It scales time and energy together,
+//! so RBCD-vs-CPU *ratios* are affected but CPU-vs-CPU comparisons
+//! (broad vs GJK) are not.
+
+/// CPU configuration (the paper's Table 1, CPU half).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuConfig {
+    /// Core clock in Hz (Table 1: 1500 MHz).
+    pub frequency_hz: u64,
+    /// Number of cores (Table 1: 2). The CD kernel itself is
+    /// single-threaded, as in Bullet's default dispatcher.
+    pub cores: u32,
+    /// Average DRAM access latency in CPU cycles.
+    pub mem_latency_cycles: u64,
+    /// Overlapped outstanding misses (hardware prefetch + MLP).
+    pub memory_parallelism: u64,
+    /// Dynamic energy per executed operation, picojoules (core +
+    /// L1, Cortex-A9-class at 32 nm).
+    pub op_energy_pj: f64,
+    /// DRAM energy per 64-byte line, picojoules.
+    pub dram_line_pj: f64,
+    /// Core + L2 leakage in watts.
+    pub leakage_w: f64,
+    /// Multiplier from hand-counted kernel ops to the real instruction
+    /// stream of Bullet inside a game engine (see module docs).
+    pub framework_overhead: f64,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self {
+            frequency_hz: 1_500_000_000,
+            cores: 2,
+            mem_latency_cycles: 150,
+            memory_parallelism: 4,
+            op_energy_pj: 250.0,
+            dram_line_pj: 3_000.0,
+            leakage_w: 0.100,
+            framework_overhead: 10.0,
+        }
+    }
+}
+
+/// Operation counters accumulated by the baseline algorithms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cost {
+    /// Floating-point arithmetic operations.
+    pub flops: u64,
+    /// Compares and branches.
+    pub cmps: u64,
+    /// Loads/stores expected to hit in L1 (scratch, simplex state,
+    /// hull vertices within a pair test).
+    pub cache_ops: u64,
+    /// Bytes streamed from memory (per-frame mesh/BVH walks whose
+    /// footprint exceeds the cache hierarchy frame-to-frame).
+    pub stream_bytes: u64,
+}
+
+impl Cost {
+    /// Adds another counter block.
+    pub fn accumulate(&mut self, o: &Cost) {
+        self.flops += o.flops;
+        self.cmps += o.cmps;
+        self.cache_ops += o.cache_ops;
+        self.stream_bytes += o.stream_bytes;
+    }
+
+    /// Kernel operations (excluding the streaming load instructions).
+    pub fn ops(&self) -> u64 {
+        self.flops + self.cmps + self.cache_ops
+    }
+
+    /// Kernel cycles on the configured core, before framework overhead:
+    /// one op per cycle (in-order, dual-issue offset by dependency
+    /// stalls) plus the streaming loads and their miss latency.
+    pub fn kernel_cycles(&self, cfg: &CpuConfig) -> u64 {
+        let stream_load_instrs = self.stream_bytes / 8; // 64-bit loads
+        let lines = self.stream_bytes / 64;
+        let miss_cycles = lines * cfg.mem_latency_cycles / cfg.memory_parallelism;
+        self.ops() + stream_load_instrs + miss_cycles
+    }
+
+    /// Cycles including the framework overhead factor.
+    pub fn cycles_with(&self, cfg: &CpuConfig) -> u64 {
+        (self.kernel_cycles(cfg) as f64 * cfg.framework_overhead) as u64
+    }
+
+    /// Cycles under the default configuration.
+    pub fn cycles(&self) -> u64 {
+        self.cycles_with(&CpuConfig::default())
+    }
+
+    /// Full report under `cfg`.
+    pub fn report(&self, cfg: &CpuConfig) -> CostReport {
+        let cycles = self.cycles_with(cfg);
+        let seconds = cycles as f64 / cfg.frequency_hz as f64;
+        let dynamic_j = cycles as f64 * cfg.op_energy_pj * 1e-12
+            + (self.stream_bytes / 64) as f64 * cfg.dram_line_pj * 1e-12;
+        let static_j = seconds * cfg.leakage_w;
+        CostReport { cycles, seconds, dynamic_j, static_j }
+    }
+}
+
+/// Time and energy of a CPU collision-detection run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostReport {
+    /// Executed cycles (framework overhead included).
+    pub cycles: u64,
+    /// Wall-clock seconds at the configured frequency.
+    pub seconds: f64,
+    /// Switching energy in joules.
+    pub dynamic_j: f64,
+    /// Leakage energy in joules.
+    pub static_j: f64,
+}
+
+impl CostReport {
+    /// Total energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.dynamic_j + self.static_j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = CpuConfig::default();
+        assert_eq!(c.frequency_hz, 1_500_000_000);
+        assert_eq!(c.cores, 2);
+    }
+
+    #[test]
+    fn cycles_scale_with_work() {
+        let a = Cost { flops: 1000, cmps: 500, cache_ops: 200, stream_bytes: 0 };
+        let mut b = a;
+        b.flops *= 2;
+        b.cmps *= 2;
+        b.cache_ops *= 2;
+        assert_eq!(b.cycles(), 2 * a.cycles());
+    }
+
+    #[test]
+    fn streaming_dominates_cold_walks() {
+        let cfg = CpuConfig::default();
+        let hot = Cost { flops: 1000, ..Cost::default() };
+        let cold = Cost { flops: 1000, stream_bytes: 64_000, ..Cost::default() };
+        // 1000 lines × 150/4 cycles ≈ 37.5k extra kernel cycles.
+        assert!(cold.kernel_cycles(&cfg) > 30 * hot.kernel_cycles(&cfg));
+    }
+
+    #[test]
+    fn report_consistency() {
+        let cfg = CpuConfig::default();
+        let cost = Cost { flops: 1_000_000, stream_bytes: 1 << 20, ..Cost::default() };
+        let r = cost.report(&cfg);
+        assert!(r.seconds > 0.0);
+        assert!((r.seconds - r.cycles as f64 / 1.5e9).abs() < 1e-12);
+        assert!(r.dynamic_j > 0.0);
+        assert!(r.static_j > 0.0);
+        assert!(r.total_j() > r.dynamic_j);
+    }
+
+    #[test]
+    fn framework_overhead_scales_linearly() {
+        let cost = Cost { flops: 10_000, ..Cost::default() };
+        let lean = CpuConfig { framework_overhead: 1.0, ..CpuConfig::default() };
+        let fat = CpuConfig { framework_overhead: 5.0, ..CpuConfig::default() };
+        assert_eq!(cost.cycles_with(&fat), 5 * cost.cycles_with(&lean));
+    }
+
+    #[test]
+    fn accumulate_sums() {
+        let mut t = Cost::default();
+        t.accumulate(&Cost { flops: 1, cmps: 2, cache_ops: 3, stream_bytes: 4 });
+        t.accumulate(&Cost { flops: 10, cmps: 20, cache_ops: 30, stream_bytes: 40 });
+        assert_eq!(t, Cost { flops: 11, cmps: 22, cache_ops: 33, stream_bytes: 44 });
+    }
+}

@@ -1,0 +1,629 @@
+#![allow(clippy::items_after_test_module)]
+//! Boolean GJK (Gilbert–Johnson–Keerthi) intersection over convex point
+//! clouds, with operation counting.
+//!
+//! This is the narrow phase of the paper's strongest CPU baseline
+//! (§5.1): Bullet's GJK applied to convex hulls — for concave shapes,
+//! the hull of the shape, which is precisely what introduces the false
+//! positives of Figure 2. Supports are linear scans over the vertex
+//! array, matching `btConvexHullShape`.
+
+use crate::cost::Cost;
+use rbcd_math::Vec3;
+
+/// Maximum simplex-refinement iterations before declaring intersection
+/// (deep or exactly touching configurations converge slowly; Bullet
+/// bails out similarly in its degeneracy paths).
+pub const MAX_ITERATIONS: usize = 64;
+
+/// Support point of a cloud: the vertex extremal along `dir`.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+pub fn support(points: &[Vec3], dir: Vec3, cost: &mut Cost) -> Vec3 {
+    assert!(!points.is_empty(), "support of an empty point set");
+    cost.flops += points.len() as u64 * 5; // dot = 3 mul + 2 add
+    cost.cmps += points.len() as u64;
+    cost.cache_ops += points.len() as u64; // vertex loads (L1-resident per pair test)
+    let mut best = points[0];
+    let mut best_d = best.dot(dir);
+    for &p in &points[1..] {
+        let d = p.dot(dir);
+        if d > best_d {
+            best_d = d;
+            best = p;
+        }
+    }
+    best
+}
+
+/// Minkowski-difference support.
+fn minkowski_support(a: &[Vec3], b: &[Vec3], dir: Vec3, cost: &mut Cost) -> Vec3 {
+    cost.flops += 3;
+    support(a, dir, cost) - support(b, -dir, cost)
+}
+
+/// `true` when the convex hulls of the two world-space point clouds
+/// intersect (touching counts as intersecting, up to float tolerance).
+///
+/// # Panics
+///
+/// Panics if either cloud is empty.
+pub fn gjk_intersect(a: &[Vec3], b: &[Vec3], cost: &mut Cost) -> bool {
+    let centroid = |pts: &[Vec3]| pts.iter().fold(Vec3::ZERO, |s, &p| s + p) / pts.len() as f32;
+    let mut dir = centroid(b) - centroid(a);
+    cost.flops += (a.len() + b.len()) as u64 * 3;
+    if dir.length_squared() < 1e-12 {
+        dir = Vec3::X;
+    }
+
+    let mut simplex: Vec<Vec3> = Vec::with_capacity(4);
+    simplex.push(minkowski_support(a, b, dir, cost));
+    dir = -simplex[0];
+
+    for _ in 0..MAX_ITERATIONS {
+        if dir.length_squared() < 1e-12 {
+            // Origin on the simplex boundary: touching.
+            return true;
+        }
+        let p = minkowski_support(a, b, dir, cost);
+        cost.flops += 5;
+        cost.cmps += 1;
+        if p.dot(dir) < -1e-7 {
+            return false; // Separating direction found.
+        }
+        simplex.push(p);
+        cost.flops += 60; // simplex case analysis (bounded constant)
+        cost.cmps += 8;
+        cost.cache_ops += 8;
+        if do_simplex(&mut simplex, &mut dir) {
+            return true;
+        }
+    }
+    // No separating axis in the iteration budget: treat as intersecting.
+    true
+}
+
+/// Refines the simplex towards the origin. Returns `true` when the
+/// simplex encloses the origin. The most recently added point is last.
+fn do_simplex(simplex: &mut Vec<Vec3>, dir: &mut Vec3) -> bool {
+    match simplex.len() {
+        2 => {
+            let (b, a) = (simplex[0], simplex[1]);
+            let ab = b - a;
+            let ao = -a;
+            if ab.dot(ao) > 0.0 {
+                *dir = ab.cross(ao).cross(ab);
+            } else {
+                *simplex = vec![a];
+                *dir = ao;
+            }
+            false
+        }
+        3 => {
+            let (c, b, a) = (simplex[0], simplex[1], simplex[2]);
+            let ab = b - a;
+            let ac = c - a;
+            let ao = -a;
+            let abc = ab.cross(ac);
+            if abc.cross(ac).dot(ao) > 0.0 {
+                if ac.dot(ao) > 0.0 {
+                    *simplex = vec![c, a];
+                    *dir = ac.cross(ao).cross(ac);
+                } else {
+                    *simplex = vec![b, a];
+                    return do_simplex(simplex, dir);
+                }
+            } else if ab.cross(abc).dot(ao) > 0.0 {
+                *simplex = vec![b, a];
+                return do_simplex(simplex, dir);
+            } else if abc.dot(ao) > 0.0 {
+                *dir = abc;
+            } else {
+                *simplex = vec![b, c, a];
+                *dir = -abc;
+            }
+            false
+        }
+        4 => {
+            let (d, c, b, a) = (simplex[0], simplex[1], simplex[2], simplex[3]);
+            let ao = -a;
+            let abc = (b - a).cross(c - a);
+            let acd = (c - a).cross(d - a);
+            let adb = (d - a).cross(b - a);
+            if abc.dot(ao) > 0.0 {
+                *simplex = vec![c, b, a];
+                *dir = abc;
+                return do_simplex(simplex, dir);
+            }
+            if acd.dot(ao) > 0.0 {
+                *simplex = vec![d, c, a];
+                *dir = acd;
+                return do_simplex(simplex, dir);
+            }
+            if adb.dot(ao) > 0.0 {
+                *simplex = vec![b, d, a];
+                *dir = adb;
+                return do_simplex(simplex, dir);
+            }
+            true // Origin inside all four faces.
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbcd_geometry::{hull, shapes};
+    use rbcd_math::Mat4;
+
+    fn world(mesh: &rbcd_geometry::Mesh, m: &Mat4) -> Vec<Vec3> {
+        let h = hull::mesh_hull(mesh).unwrap();
+        h.vertices().iter().map(|&p| m.transform_point(p)).collect()
+    }
+
+    fn cost() -> Cost {
+        Cost::default()
+    }
+
+    #[test]
+    fn overlapping_cubes_intersect() {
+        let cube = shapes::cube(1.0);
+        let a = world(&cube, &Mat4::IDENTITY);
+        let b = world(&cube, &Mat4::translation(Vec3::new(1.5, 0.0, 0.0)));
+        assert!(gjk_intersect(&a, &b, &mut cost()));
+    }
+
+    #[test]
+    fn separated_cubes_do_not_intersect() {
+        let cube = shapes::cube(1.0);
+        let a = world(&cube, &Mat4::IDENTITY);
+        let b = world(&cube, &Mat4::translation(Vec3::new(2.5, 0.0, 0.0)));
+        assert!(!gjk_intersect(&a, &b, &mut cost()));
+    }
+
+    #[test]
+    fn spheres_match_analytic_distance() {
+        let sphere = shapes::icosphere(1.0, 2);
+        for dx in [0.5f32, 1.0, 1.5, 1.9, 2.5, 3.0, 5.0] {
+            let a = world(&sphere, &Mat4::IDENTITY);
+            let b = world(&sphere, &Mat4::translation(Vec3::new(dx, 0.0, 0.0)));
+            let expect = dx <= 2.0; // radius 1 each (hull slightly inside)
+            let got = gjk_intersect(&a, &b, &mut cost());
+            if (dx - 2.0).abs() > 0.15 {
+                assert_eq!(got, expect, "dx = {dx}");
+            }
+        }
+    }
+
+    #[test]
+    fn rotated_boxes() {
+        let cube = shapes::cube(1.0);
+        // Rotated 45° about Z: half-diagonal reaches sqrt(2) ≈ 1.414.
+        let rot = Mat4::rotation_z(std::f32::consts::FRAC_PI_4);
+        let a = world(&cube, &rot);
+        let near = world(&cube, &Mat4::translation(Vec3::new(2.3, 0.0, 0.0)));
+        assert!(gjk_intersect(&a, &near, &mut cost())); // 1.414 + 1 > 2.3
+        let far = world(&cube, &Mat4::translation(Vec3::new(2.6, 0.0, 0.0)));
+        assert!(!gjk_intersect(&a, &far, &mut cost()));
+    }
+
+    #[test]
+    fn containment_intersects() {
+        let big = world(&shapes::cube(2.0), &Mat4::IDENTITY);
+        let small = world(&shapes::cube(0.3), &Mat4::translation(Vec3::new(0.2, 0.1, 0.0)));
+        assert!(gjk_intersect(&big, &small, &mut cost()));
+        assert!(gjk_intersect(&small, &big, &mut cost()));
+    }
+
+    #[test]
+    fn gjk_agrees_with_mesh_ground_truth_for_convex_shapes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let shape = shapes::icosphere(1.0, 1);
+        let mut agreements = 0;
+        let mut total = 0;
+        for _ in 0..60 {
+            let m = Mat4::translation(Vec3::new(
+                rng.gen_range(-3.0..3.0),
+                rng.gen_range(-3.0..3.0),
+                rng.gen_range(-3.0..3.0),
+            )) * Mat4::rotation_y(rng.gen_range(0.0..std::f32::consts::TAU));
+            let a_pts = world(&shape, &Mat4::IDENTITY);
+            let b_pts = world(&shape, &m);
+            let gjk = gjk_intersect(&a_pts, &b_pts, &mut cost());
+            // Solid ground truth: surfaces intersect OR one centroid
+            // inside the other (containment) — for these sizes,
+            // containment cannot happen, so surface test suffices.
+            let exact = rbcd_geometry::intersect::meshes_intersect(&shape, &shape.transformed(&m));
+            total += 1;
+            // GJK on the hull may differ only within a hair of touching;
+            // count agreement and require it to be overwhelming.
+            if gjk == exact {
+                agreements += 1;
+            }
+        }
+        assert!(agreements * 100 >= total * 95, "{agreements}/{total}");
+    }
+
+    #[test]
+    fn support_is_extremal() {
+        let pts = vec![
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(-1.0, 2.0, 0.0),
+            Vec3::new(0.0, -3.0, 1.0),
+        ];
+        let mut c = cost();
+        assert_eq!(support(&pts, Vec3::Y, &mut c), Vec3::new(-1.0, 2.0, 0.0));
+        assert_eq!(support(&pts, -Vec3::Y, &mut c), Vec3::new(0.0, -3.0, 1.0));
+        assert!(c.flops > 0);
+    }
+
+    #[test]
+    fn cost_scales_with_hull_size() {
+        let small = world(&shapes::icosphere(1.0, 0), &Mat4::IDENTITY);
+        let big = world(&shapes::icosphere(1.0, 3), &Mat4::IDENTITY);
+        let off = Mat4::translation(Vec3::new(1.0, 0.0, 0.0));
+        let small_b = world(&shapes::icosphere(1.0, 0), &off);
+        let big_b = world(&shapes::icosphere(1.0, 3), &off);
+        let mut cs = cost();
+        let mut cb = cost();
+        gjk_intersect(&small, &small_b, &mut cs);
+        gjk_intersect(&big, &big_b, &mut cb);
+        assert!(cb.flops > cs.flops);
+    }
+}
+
+/// Outcome of a GJK distance query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GjkResult {
+    /// The hulls overlap (origin inside the Minkowski difference).
+    Intersecting,
+    /// The hulls are separated by `distance`.
+    Separated {
+        /// Minimum distance between the hulls.
+        distance: f32,
+    },
+}
+
+/// Closest point to the origin on a simplex of 1–4 points, together with
+/// the reduced simplex that supports it.
+fn closest_on_simplex(simplex: &mut Vec<Vec3>) -> Vec3 {
+    match simplex.len() {
+        1 => simplex[0],
+        2 => {
+            let (b, a) = (simplex[0], simplex[1]);
+            let ab = b - a;
+            let t = if ab.length_squared() < 1e-12 {
+                0.0
+            } else {
+                (-a.dot(ab) / ab.length_squared()).clamp(0.0, 1.0)
+            };
+            if t <= 0.0 {
+                *simplex = vec![a];
+                a
+            } else if t >= 1.0 {
+                *simplex = vec![b];
+                b
+            } else {
+                a + ab * t
+            }
+        }
+        3 => closest_on_triangle(simplex),
+        4 => closest_on_tetrahedron(simplex),
+        _ => unreachable!("simplex size bounded by 4"),
+    }
+}
+
+fn closest_on_triangle(simplex: &mut Vec<Vec3>) -> Vec3 {
+    let (c, b, a) = (simplex[0], simplex[1], simplex[2]);
+    // Voronoi-region walk (Ericson, Real-Time Collision Detection §5.1.5)
+    // against the query point `origin`.
+    let ab = b - a;
+    let ac = c - a;
+    let ap = -a;
+    let d1 = ab.dot(ap);
+    let d2 = ac.dot(ap);
+    if d1 <= 0.0 && d2 <= 0.0 {
+        *simplex = vec![a];
+        return a;
+    }
+    let bp = -b;
+    let d3 = ab.dot(bp);
+    let d4 = ac.dot(bp);
+    if d3 >= 0.0 && d4 <= d3 {
+        *simplex = vec![b];
+        return b;
+    }
+    let vc = d1 * d4 - d3 * d2;
+    if vc <= 0.0 && d1 >= 0.0 && d3 <= 0.0 {
+        let t = d1 / (d1 - d3);
+        *simplex = vec![b, a];
+        return a + ab * t;
+    }
+    let cp = -c;
+    let d5 = ab.dot(cp);
+    let d6 = ac.dot(cp);
+    if d6 >= 0.0 && d5 <= d6 {
+        *simplex = vec![c];
+        return c;
+    }
+    let vb = d5 * d2 - d1 * d6;
+    if vb <= 0.0 && d2 >= 0.0 && d6 <= 0.0 {
+        let t = d2 / (d2 - d6);
+        *simplex = vec![c, a];
+        return a + ac * t;
+    }
+    let va = d3 * d6 - d5 * d4;
+    if va <= 0.0 && (d4 - d3) >= 0.0 && (d5 - d6) >= 0.0 {
+        let t = (d4 - d3) / ((d4 - d3) + (d5 - d6));
+        *simplex = vec![c, b];
+        return b + (c - b) * t;
+    }
+    let denom = 1.0 / (va + vb + vc);
+    a + ab * (vb * denom) + ac * (vc * denom)
+}
+
+fn closest_on_tetrahedron(simplex: &mut Vec<Vec3>) -> Vec3 {
+    let (d, c, b, a) = (simplex[0], simplex[1], simplex[2], simplex[3]);
+    // Inside test against each face; otherwise recurse on the face the
+    // origin is in front of, keeping the best.
+    let faces = [[c, b, a], [d, c, a], [b, d, a], [d, b, c]];
+    let mut best: Option<(f32, Vec3, Vec<Vec3>)> = None;
+    let mut inside = true;
+    for f in faces {
+        let n = (f[1] - f[0]).cross(f[2] - f[0]);
+        let to_origin = -f[0];
+        let d_origin = n.dot(to_origin);
+        // The fourth point lies behind the face plane for an outward face.
+        let fourth = (a + b + c + d) * 0.25;
+        let d_fourth = n.dot(fourth - f[0]);
+        if d_origin * d_fourth < 0.0 {
+            inside = false;
+            let mut sub = f.to_vec();
+            let p = closest_on_triangle(&mut sub);
+            let dist = p.length_squared();
+            if best.as_ref().is_none_or(|(bd, _, _)| dist < *bd) {
+                best = Some((dist, p, sub));
+            }
+        }
+    }
+    if inside {
+        return Vec3::ZERO;
+    }
+    let (_, p, sub) = best.expect("origin outside at least one face");
+    *simplex = sub;
+    p
+}
+
+/// GJK distance query between two convex point clouds, as Bullet's
+/// `btGjkPairDetector` performs for every broad-phase pair.
+///
+/// # Panics
+///
+/// Panics if either cloud is empty.
+pub fn gjk_distance(a: &[Vec3], b: &[Vec3], cost: &mut Cost) -> GjkResult {
+    let mut dir = Vec3::X;
+    let mut simplex: Vec<Vec3> = vec![minkowski_support(a, b, dir, cost)];
+    for _ in 0..MAX_ITERATIONS {
+        let closest = closest_on_simplex(&mut simplex);
+        cost.flops += 70;
+        cost.cmps += 12;
+        cost.cache_ops += 10;
+        let dist2 = closest.length_squared();
+        if dist2 < 1e-10 {
+            return GjkResult::Intersecting;
+        }
+        dir = -closest;
+        let p = minkowski_support(a, b, dir, cost);
+        cost.flops += 8;
+        cost.cmps += 2;
+        // Convergence: no point is meaningfully closer in this direction.
+        let progress = dist2 - p.dot(-dir);
+        if progress <= 1e-5 * dist2.max(1.0) || simplex.len() == 4 {
+            return GjkResult::Separated { distance: dist2.sqrt() };
+        }
+        simplex.push(p);
+    }
+    GjkResult::Separated {
+        distance: closest_on_simplex(&mut simplex).length(),
+    }
+}
+
+/// The 42-direction sample set Bullet's Minkowski penetration-depth
+/// solver uses (icosahedron vertices plus edge midpoints), normalized.
+fn penetration_directions() -> Vec<Vec3> {
+    let t = (1.0 + 5.0f32.sqrt()) / 2.0;
+    let verts: Vec<Vec3> = [
+        (-1.0, t, 0.0),
+        (1.0, t, 0.0),
+        (-1.0, -t, 0.0),
+        (1.0, -t, 0.0),
+        (0.0, -1.0, t),
+        (0.0, 1.0, t),
+        (0.0, -1.0, -t),
+        (0.0, 1.0, -t),
+        (t, 0.0, -1.0),
+        (t, 0.0, 1.0),
+        (-t, 0.0, -1.0),
+        (-t, 0.0, 1.0),
+    ]
+    .iter()
+    .map(|&(x, y, z)| Vec3::new(x, y, z).normalize())
+    .collect();
+    let mut dirs = verts.clone();
+    for i in 0..verts.len() {
+        for j in (i + 1)..verts.len() {
+            let m = verts[i] + verts[j];
+            if m.length() > 0.5 {
+                // Edge midpoints of the icosahedron only (neighbours).
+                if verts[i].dot(verts[j]) > 0.3 {
+                    dirs.push(m.normalize());
+                }
+            }
+        }
+    }
+    dirs.truncate(42);
+    dirs
+}
+
+/// Penetration depth of two overlapping hulls, in the style of Bullet's
+/// `btMinkowskiPenetrationDepthSolver`: sample the 42 canonical
+/// directions, take the shallowest, and refine around it.
+///
+/// Returns `(depth, direction)`: translating `b` by `direction * depth`
+/// separates the hulls (approximately).
+///
+/// # Panics
+///
+/// Panics if either cloud is empty.
+pub fn penetration_depth(a: &[Vec3], b: &[Vec3], cost: &mut Cost) -> (f32, Vec3) {
+    let dirs = penetration_directions();
+    let mut best = (f32::INFINITY, Vec3::X);
+    for &d in &dirs {
+        // Overlap extent along d: how far B's support in -d is inside
+        // A's support in +d.
+        let sa = support(a, d, cost).dot(d);
+        let sb = support(b, -d, cost).dot(d);
+        cost.flops += 12;
+        cost.cmps += 1;
+        let depth = sa - sb;
+        if depth < best.0 {
+            best = (depth, d);
+        }
+    }
+    // Local refinement around the best direction.
+    let (mut depth, mut dir) = best;
+    let tangent1 = dir.any_orthonormal();
+    let tangent2 = dir.cross(tangent1);
+    for step in [0.25f32, 0.1, 0.04] {
+        for (du, dv) in [(step, 0.0), (-step, 0.0), (0.0, step), (0.0, -step)] {
+            let d = (dir + tangent1 * du + tangent2 * dv).normalize();
+            let sa = support(a, d, cost).dot(d);
+            let sb = support(b, -d, cost).dot(d);
+            cost.flops += 20;
+            cost.cmps += 1;
+            let cand = sa - sb;
+            if cand < depth {
+                depth = cand;
+                dir = d;
+            }
+        }
+    }
+    (depth.max(0.0), dir)
+}
+
+#[cfg(test)]
+mod distance_tests {
+    use super::*;
+    use rbcd_geometry::{hull, shapes};
+    use rbcd_math::Mat4;
+
+    fn world(mesh: &rbcd_geometry::Mesh, m: &Mat4) -> Vec<Vec3> {
+        let h = hull::mesh_hull(mesh).unwrap();
+        h.vertices().iter().map(|&p| m.transform_point(p)).collect()
+    }
+
+    #[test]
+    fn distance_between_cubes_matches_gap() {
+        let cube = shapes::cube(1.0);
+        let a = world(&cube, &Mat4::IDENTITY);
+        for gap in [0.5f32, 1.0, 3.0] {
+            let b = world(&cube, &Mat4::translation(Vec3::new(2.0 + gap, 0.0, 0.0)));
+            match gjk_distance(&a, &b, &mut Cost::default()) {
+                GjkResult::Separated { distance } => {
+                    assert!((distance - gap).abs() < 0.02, "gap {gap} got {distance}");
+                }
+                GjkResult::Intersecting => panic!("separated cubes reported intersecting"),
+            }
+        }
+    }
+
+    #[test]
+    fn distance_detects_intersection() {
+        let cube = shapes::cube(1.0);
+        let a = world(&cube, &Mat4::IDENTITY);
+        let b = world(&cube, &Mat4::translation(Vec3::new(1.2, 0.3, -0.4)));
+        assert_eq!(gjk_distance(&a, &b, &mut Cost::default()), GjkResult::Intersecting);
+    }
+
+    #[test]
+    fn distance_agrees_with_boolean_gjk() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let shape = shapes::icosphere(1.0, 1);
+        for _ in 0..40 {
+            let m = Mat4::translation(Vec3::new(
+                rng.gen_range(-3.0..3.0),
+                rng.gen_range(-3.0..3.0),
+                rng.gen_range(-3.0..3.0),
+            ));
+            let a = world(&shape, &Mat4::IDENTITY);
+            let b = world(&shape, &m);
+            let boolean = gjk_intersect(&a, &b, &mut Cost::default());
+            let dist = gjk_distance(&a, &b, &mut Cost::default());
+            match dist {
+                GjkResult::Intersecting => assert!(boolean, "distance says hit, boolean says miss"),
+                GjkResult::Separated { distance } => {
+                    // Near-touching configurations may disagree within
+                    // tolerance; clear separations must agree.
+                    if distance > 0.05 {
+                        assert!(!boolean, "boolean says hit at distance {distance}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sphere_distance_analytic() {
+        let s = shapes::icosphere(1.0, 3);
+        let a = world(&s, &Mat4::IDENTITY);
+        let b = world(&s, &Mat4::translation(Vec3::new(3.0, 0.0, 0.0)));
+        match gjk_distance(&a, &b, &mut Cost::default()) {
+            GjkResult::Separated { distance } => {
+                assert!((distance - 1.0).abs() < 0.03, "got {distance}");
+            }
+            _ => panic!("expected separation"),
+        }
+    }
+
+    #[test]
+    fn penetration_depth_of_overlapping_cubes() {
+        let cube = shapes::cube(1.0);
+        let a = world(&cube, &Mat4::IDENTITY);
+        for overlap in [0.2f32, 0.6, 1.0] {
+            let b = world(&cube, &Mat4::translation(Vec3::new(2.0 - overlap, 0.0, 0.0)));
+            let (depth, dir) = penetration_depth(&a, &b, &mut Cost::default());
+            assert!(
+                (depth - overlap).abs() < 0.12,
+                "overlap {overlap}: depth {depth}"
+            );
+            // Separation direction points roughly along +X.
+            assert!(dir.x.abs() > 0.8, "direction {dir}");
+        }
+    }
+
+    #[test]
+    fn penetration_depth_costs_more_than_boolean() {
+        let s = shapes::icosphere(1.0, 3);
+        let a = world(&s, &Mat4::IDENTITY);
+        let b = world(&s, &Mat4::translation(Vec3::new(0.5, 0.0, 0.0)));
+        let mut cb = Cost::default();
+        gjk_intersect(&a, &b, &mut cb);
+        let mut cp = Cost::default();
+        penetration_depth(&a, &b, &mut cp);
+        assert!(cp.flops > 3 * cb.flops, "penetration {} vs boolean {}", cp.flops, cb.flops);
+    }
+
+    #[test]
+    fn direction_set_has_42_unit_vectors() {
+        let dirs = penetration_directions();
+        assert_eq!(dirs.len(), 42);
+        for d in dirs {
+            assert!((d.length() - 1.0).abs() < 1e-5);
+        }
+    }
+}

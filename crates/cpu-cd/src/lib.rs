@@ -1,0 +1,55 @@
+//! CPU collision-detection baselines with a Cortex-A9-class cost model.
+//!
+//! The paper compares RBCD against two software configurations built on
+//! the Bullet physics library and simulated with Marss/McPAT (§4.3):
+//!
+//! 1. **Broad phase only** — per-frame world-AABB maintenance for every
+//!    collisionable object plus an all-pairs AABB overlap test
+//!    ("the most simple broad phase", §5.1);
+//! 2. **Broad + narrow phase** — the broad phase followed by GJK
+//!    (Gilbert–Johnson–Keerthi) on the convex hulls of the surviving
+//!    pairs, as Bullet's `btGjkPairDetector` does.
+//!
+//! This crate reimplements both from scratch:
+//!
+//! * [`bvh`] — a refittable AABB tree per concave mesh. Bullet keeps a
+//!   BVH per triangle-mesh collision shape and refits it whenever the
+//!   mesh moves or deforms (the games are Unity titles with skinned,
+//!   animated geometry); the refit walk is the dominant per-frame broad
+//!   cost and is computed for real here.
+//! * [`gjk`] — a boolean GJK with full simplex handling; supports are
+//!   linear scans over hull vertices, matching Bullet's
+//!   `btConvexHullShape::localGetSupportingVertexWithoutMargin`.
+//! * [`CpuCollisionDetector`] — the per-frame driver, charging every
+//!   operation to a [`Cost`] sink that converts to cycles, seconds, and
+//!   joules under the paper's Table 1 CPU (dual Cortex-A9, 1.5 GHz,
+//!   32 KB L1, 1 MB L2, 32 nm).
+//!
+//! # Example
+//!
+//! ```
+//! use rbcd_cpu_cd::{CdBody, CpuCollisionDetector, Phase};
+//! use rbcd_geometry::shapes;
+//! use rbcd_math::{Mat4, Vec3};
+//!
+//! let sphere = shapes::icosphere(1.0, 2);
+//! let mut detector = CpuCollisionDetector::new(vec![
+//!     CdBody::from_mesh(0, &sphere)?,
+//!     CdBody::from_mesh(1, &sphere)?,
+//! ]);
+//! let transforms = vec![Mat4::IDENTITY, Mat4::translation(Vec3::new(1.0, 0.0, 0.0))];
+//! let result = detector.detect(&transforms, Phase::BroadAndNarrow);
+//! assert_eq!(result.pairs, vec![(0, 1)]);
+//! assert!(result.cost.cycles() > 0);
+//! # Ok::<(), rbcd_geometry::HullError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bvh;
+mod cost;
+mod detector;
+pub mod gjk;
+
+pub use cost::{Cost, CostReport, CpuConfig};
+pub use detector::{CdBody, CpuCollisionDetector, DetectResult, Phase};

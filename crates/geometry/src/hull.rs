@@ -1,0 +1,476 @@
+//! 3-D convex hulls via quickhull.
+//!
+//! The GJK narrow-phase baseline operates on convex shapes only; like the
+//! paper's Bullet-based reference (§2.2, §4.3), concave meshes are
+//! replaced by their convex hull — which is exactly what introduces the
+//! false-collisionable area RBCD avoids.
+
+use crate::{Mesh, MeshError};
+use rbcd_math::Vec3;
+use std::error::Error;
+use std::fmt;
+
+/// Error computing a convex hull.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HullError {
+    /// Fewer than four input points.
+    TooFewPoints,
+    /// All points are (nearly) coplanar, collinear, or coincident.
+    Degenerate,
+}
+
+impl fmt::Display for HullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooFewPoints => write!(f, "convex hull needs at least 4 points"),
+            Self::Degenerate => write!(f, "input points are degenerate (coplanar or collinear)"),
+        }
+    }
+}
+
+impl Error for HullError {}
+
+/// A closed convex polytope: hull vertices plus outward-wound faces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvexHull {
+    vertices: Vec<Vec3>,
+    faces: Vec<[u32; 3]>,
+}
+
+impl ConvexHull {
+    /// Hull vertex positions (a subset of the input points).
+    pub fn vertices(&self) -> &[Vec3] {
+        &self.vertices
+    }
+
+    /// Outward-wound triangular faces.
+    pub fn faces(&self) -> &[[u32; 3]] {
+        &self.faces
+    }
+
+    /// Support point: the hull vertex with maximal dot product against
+    /// `dir`. This is the primitive GJK consumes.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: a hull always has at least four vertices.
+    pub fn support(&self, dir: Vec3) -> Vec3 {
+        let mut best = self.vertices[0];
+        let mut best_dot = best.dot(dir);
+        for &v in &self.vertices[1..] {
+            let d = v.dot(dir);
+            if d > best_dot {
+                best_dot = d;
+                best = v;
+            }
+        }
+        best
+    }
+
+    /// Converts the hull into a renderable [`Mesh`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MeshError`]; cannot occur for a valid hull.
+    pub fn to_mesh(&self) -> Result<Mesh, MeshError> {
+        Mesh::new(self.vertices.clone(), self.faces.clone())
+    }
+
+    /// `true` when `p` is inside (or within `tolerance` of) the hull.
+    pub fn contains_point(&self, p: Vec3, tolerance: f32) -> bool {
+        self.faces.iter().all(|&[a, b, c]| {
+            let (a, b, c) = (
+                self.vertices[a as usize],
+                self.vertices[b as usize],
+                self.vertices[c as usize],
+            );
+            let n = (b - a).cross(c - a);
+            n.dot(p - a) <= tolerance * n.length().max(1e-12)
+        })
+    }
+
+    /// Enclosed volume.
+    pub fn volume(&self) -> f32 {
+        self.faces
+            .iter()
+            .map(|&[a, b, c]| {
+                let (a, b, c) = (
+                    self.vertices[a as usize],
+                    self.vertices[b as usize],
+                    self.vertices[c as usize],
+                );
+                a.dot(b.cross(c)) / 6.0
+            })
+            .sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DVec3 {
+    x: f64,
+    y: f64,
+    z: f64,
+}
+
+impl DVec3 {
+    fn from_f32(v: Vec3) -> Self {
+        Self { x: v.x as f64, y: v.y as f64, z: v.z as f64 }
+    }
+
+    fn sub(self, o: Self) -> Self {
+        Self { x: self.x - o.x, y: self.y - o.y, z: self.z - o.z }
+    }
+
+    fn dot(self, o: Self) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    fn cross(self, o: Self) -> Self {
+        Self {
+            x: self.y * o.z - self.z * o.y,
+            y: self.z * o.x - self.x * o.z,
+            z: self.x * o.y - self.y * o.x,
+        }
+    }
+
+    fn length(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Face {
+    verts: [u32; 3],
+    normal: DVec3,
+    offset: f64, // plane: normal·x = offset
+    outside: Vec<u32>,
+    alive: bool,
+}
+
+impl Face {
+    fn new(a: u32, b: u32, c: u32, pts: &[DVec3]) -> Self {
+        let (pa, pb, pc) = (pts[a as usize], pts[b as usize], pts[c as usize]);
+        let normal = pb.sub(pa).cross(pc.sub(pa));
+        let offset = normal.dot(pa);
+        Self { verts: [a, b, c], normal, offset, outside: Vec::new(), alive: true }
+    }
+
+    fn signed_distance(&self, p: DVec3) -> f64 {
+        self.normal.dot(p) - self.offset
+    }
+}
+
+/// Computes the convex hull of a point set.
+///
+/// Internally runs in `f64` for robustness and returns the hull with the
+/// original `f32` coordinates. Duplicate points are tolerated.
+///
+/// # Errors
+///
+/// [`HullError::TooFewPoints`] for fewer than 4 points,
+/// [`HullError::Degenerate`] when all points are (nearly) coplanar.
+pub fn convex_hull(points: &[Vec3]) -> Result<ConvexHull, HullError> {
+    if points.len() < 4 {
+        return Err(HullError::TooFewPoints);
+    }
+    let pts: Vec<DVec3> = points.iter().map(|&p| DVec3::from_f32(p)).collect();
+
+    // Scale-aware epsilon.
+    let span = {
+        let mut lo = pts[0];
+        let mut hi = pts[0];
+        for p in &pts {
+            lo = DVec3 { x: lo.x.min(p.x), y: lo.y.min(p.y), z: lo.z.min(p.z) };
+            hi = DVec3 { x: hi.x.max(p.x), y: hi.y.max(p.y), z: hi.z.max(p.z) };
+        }
+        hi.sub(lo).length().max(1e-12)
+    };
+    let eps = 1e-9 * span;
+
+    // Initial extreme pair.
+    let mut i0 = 0;
+    let mut i1 = 0;
+    let mut best = -1.0;
+    for axis in 0..3 {
+        let get = |p: DVec3| match axis {
+            0 => p.x,
+            1 => p.y,
+            _ => p.z,
+        };
+        let lo = (0..pts.len()).min_by(|&a, &b| get(pts[a]).total_cmp(&get(pts[b]))).unwrap();
+        let hi = (0..pts.len()).max_by(|&a, &b| get(pts[a]).total_cmp(&get(pts[b]))).unwrap();
+        let d = pts[hi].sub(pts[lo]).length();
+        if d > best {
+            best = d;
+            i0 = lo;
+            i1 = hi;
+        }
+    }
+    if best <= eps {
+        return Err(HullError::Degenerate);
+    }
+
+    // Furthest from the line (i0, i1).
+    let dir = pts[i1].sub(pts[i0]);
+    let i2 = (0..pts.len())
+        .max_by(|&a, &b| {
+            let da = dir.cross(pts[a].sub(pts[i0])).length();
+            let db = dir.cross(pts[b].sub(pts[i0])).length();
+            da.total_cmp(&db)
+        })
+        .unwrap();
+    if dir.cross(pts[i2].sub(pts[i0])).length() <= eps * dir.length() {
+        return Err(HullError::Degenerate);
+    }
+
+    // Furthest from the plane (i0, i1, i2).
+    let n = pts[i1].sub(pts[i0]).cross(pts[i2].sub(pts[i0]));
+    let i3 = (0..pts.len())
+        .max_by(|&a, &b| {
+            let da = n.dot(pts[a].sub(pts[i0])).abs();
+            let db = n.dot(pts[b].sub(pts[i0])).abs();
+            da.total_cmp(&db)
+        })
+        .unwrap();
+    let d3 = n.dot(pts[i3].sub(pts[i0]));
+    if d3.abs() <= eps * n.length().max(1e-300) {
+        return Err(HullError::Degenerate);
+    }
+
+    // Orient the initial tetrahedron so faces wind outward.
+    let (a, b, c, d) = if d3 < 0.0 {
+        (i0 as u32, i1 as u32, i2 as u32, i3 as u32)
+    } else {
+        (i0 as u32, i2 as u32, i1 as u32, i3 as u32)
+    };
+    let mut faces = vec![
+        Face::new(a, b, c, &pts),
+        Face::new(a, d, b, &pts),
+        Face::new(b, d, c, &pts),
+        Face::new(c, d, a, &pts),
+    ];
+
+    // Assign every point to the first face it lies outside of.
+    let corners = [a, b, c, d];
+    for (i, &p) in pts.iter().enumerate() {
+        if corners.contains(&(i as u32)) {
+            continue;
+        }
+        for f in faces.iter_mut() {
+            if f.signed_distance(p) > eps {
+                f.outside.push(i as u32);
+                break;
+            }
+        }
+    }
+
+    // Iterate: expand towards the furthest outside point.
+    while let Some(fi) = faces.iter().position(|f| f.alive && !f.outside.is_empty()) {
+        let &far = faces[fi]
+            .outside
+            .iter()
+            .max_by(|&&p, &&q| {
+                faces[fi]
+                    .signed_distance(pts[p as usize])
+                    .total_cmp(&faces[fi].signed_distance(pts[q as usize]))
+            })
+            .expect("outside set is non-empty");
+        let fp = pts[far as usize];
+
+        // Visible faces and orphaned points.
+        let mut orphans: Vec<u32> = Vec::new();
+        let mut visible: Vec<usize> = Vec::new();
+        for (i, f) in faces.iter_mut().enumerate() {
+            if f.alive && f.signed_distance(fp) > eps {
+                visible.push(i);
+                f.alive = false;
+                orphans.append(&mut f.outside);
+            }
+        }
+        debug_assert!(!visible.is_empty(), "far point must see its own face");
+
+        // Horizon: directed edges of visible faces whose reverse is not
+        // also an edge of a visible face.
+        use std::collections::HashSet;
+        let mut edge_set: HashSet<(u32, u32)> = HashSet::new();
+        for &vi in &visible {
+            let [va, vb, vc] = faces[vi].verts;
+            for (u, v) in [(va, vb), (vb, vc), (vc, va)] {
+                edge_set.insert((u, v));
+            }
+        }
+        let mut new_faces = Vec::new();
+        for &vi in &visible {
+            let [va, vb, vc] = faces[vi].verts;
+            for (u, v) in [(va, vb), (vb, vc), (vc, va)] {
+                if !edge_set.contains(&(v, u)) {
+                    // (u, v) is a horizon edge; cap it with the far point.
+                    new_faces.push(Face::new(u, v, far, &pts));
+                }
+            }
+        }
+
+        // Reassign orphans to the new faces.
+        for p in orphans {
+            if p == far {
+                continue;
+            }
+            for f in new_faces.iter_mut() {
+                if f.signed_distance(pts[p as usize]) > eps {
+                    f.outside.push(p);
+                    break;
+                }
+            }
+        }
+        faces.extend(new_faces);
+        faces.retain(|f| f.alive);
+    }
+
+    // Compact vertex set.
+    let mut remap = vec![u32::MAX; points.len()];
+    let mut vertices = Vec::new();
+    let mut out_faces = Vec::with_capacity(faces.len());
+    for f in &faces {
+        let mut tri = [0u32; 3];
+        for (k, &vi) in f.verts.iter().enumerate() {
+            if remap[vi as usize] == u32::MAX {
+                remap[vi as usize] = vertices.len() as u32;
+                vertices.push(points[vi as usize]);
+            }
+            tri[k] = remap[vi as usize];
+        }
+        out_faces.push(tri);
+    }
+    Ok(ConvexHull { vertices, faces: out_faces })
+}
+
+/// Convenience: convex hull of a mesh's vertices.
+///
+/// # Errors
+///
+/// Same as [`convex_hull`].
+pub fn mesh_hull(mesh: &Mesh) -> Result<ConvexHull, HullError> {
+    convex_hull(mesh.positions())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+
+    fn assert_valid_hull(hull: &ConvexHull, input: &[Vec3]) {
+        // Every input point is inside or on the hull.
+        let diag = {
+            let bb = rbcd_math::Aabb::from_points(input.iter().copied()).unwrap();
+            (bb.max - bb.min).length().max(1e-6)
+        };
+        for &p in input {
+            assert!(hull.contains_point(p, 1e-5 * diag), "input point {p} escapes hull");
+        }
+        // Hull is a closed 2-manifold with consistent winding.
+        use std::collections::HashMap;
+        let mut edges: HashMap<(u32, u32), i32> = HashMap::new();
+        for &[a, b, c] in hull.faces() {
+            for (u, v) in [(a, b), (b, c), (c, a)] {
+                *edges.entry((u, v)).or_default() += 1;
+                *edges.entry((v, u)).or_default() -= 1;
+            }
+        }
+        for (e, n) in edges {
+            assert_eq!(n, 0, "unmatched directed edge {e:?}");
+        }
+        // Outward winding: positive volume.
+        assert!(hull.volume() > 0.0);
+    }
+
+    #[test]
+    fn hull_of_cube_corners() {
+        let cube = shapes::cube(1.0);
+        let hull = convex_hull(cube.positions()).unwrap();
+        assert_eq!(hull.vertices().len(), 8);
+        assert_eq!(hull.faces().len(), 12); // Euler: 2V - 4 triangles
+        assert!((hull.volume() - 8.0).abs() < 1e-4);
+        assert_valid_hull(&hull, cube.positions());
+    }
+
+    #[test]
+    fn hull_ignores_interior_points() {
+        let mut pts: Vec<Vec3> = shapes::cube(1.0).positions().to_vec();
+        pts.push(Vec3::ZERO);
+        pts.push(Vec3::new(0.1, 0.2, -0.3));
+        let hull = convex_hull(&pts).unwrap();
+        assert_eq!(hull.vertices().len(), 8);
+        assert_valid_hull(&hull, &pts);
+    }
+
+    #[test]
+    fn hull_of_sphere_keeps_all_vertices() {
+        let s = shapes::icosphere(1.0, 2);
+        let hull = mesh_hull(&s).unwrap();
+        assert_eq!(hull.vertices().len(), s.vertex_count());
+        assert_valid_hull(&hull, s.positions());
+        // Volume within 2% of the mesh's.
+        assert!((hull.volume() - s.signed_volume()).abs() / s.signed_volume() < 0.02);
+    }
+
+    #[test]
+    fn hull_of_l_prism_fills_the_notch() {
+        let l = shapes::l_prism(2.0, 1.0);
+        let hull = mesh_hull(&l).unwrap();
+        assert_valid_hull(&hull, l.positions());
+        // Convex hull volume strictly exceeds the concave solid's volume:
+        // this is the false-collisionable area of Figure 2. For the L the
+        // exact ratio is 3.5 / 3 ≈ 1.167.
+        assert!(hull.volume() > 1.15 * l.signed_volume());
+    }
+
+    #[test]
+    fn support_function_extremes() {
+        let hull = mesh_hull(&shapes::cube(1.0)).unwrap();
+        assert_eq!(hull.support(Vec3::X).x, 1.0);
+        assert_eq!(hull.support(-Vec3::X).x, -1.0);
+        let s = hull.support(Vec3::new(1.0, 1.0, 1.0));
+        assert_eq!(s, Vec3::new(1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert_eq!(convex_hull(&[Vec3::ZERO; 3]).unwrap_err(), HullError::TooFewPoints);
+        // Coincident.
+        assert_eq!(convex_hull(&[Vec3::ZERO; 10]).unwrap_err(), HullError::Degenerate);
+        // Collinear.
+        let line: Vec<Vec3> = (0..10).map(|i| Vec3::new(i as f32, 0.0, 0.0)).collect();
+        assert_eq!(convex_hull(&line).unwrap_err(), HullError::Degenerate);
+        // Coplanar.
+        let plane: Vec<Vec3> = (0..4)
+            .flat_map(|i| (0..4).map(move |j| Vec3::new(i as f32, j as f32, 0.0)))
+            .collect();
+        assert_eq!(convex_hull(&plane).unwrap_err(), HullError::Degenerate);
+    }
+
+    #[test]
+    fn hull_to_mesh_roundtrip() {
+        let hull = mesh_hull(&shapes::cube(1.0)).unwrap();
+        let mesh = hull.to_mesh().unwrap();
+        assert!((mesh.signed_volume() - 8.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn random_point_cloud_hull_is_valid() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            let pts: Vec<Vec3> = (0..60)
+                .map(|_| {
+                    Vec3::new(
+                        rng.gen_range(-3.0..3.0),
+                        rng.gen_range(-3.0..3.0),
+                        rng.gen_range(-3.0..3.0),
+                    )
+                })
+                .collect();
+            let hull = convex_hull(&pts).unwrap();
+            assert_valid_hull(&hull, &pts);
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Exact intersection predicates.
+//!
+//! These are the *ground truth* against which the collision detectors
+//! (CPU broad/narrow phase, RBCD) are validated: a triangle–triangle
+//! overlap test and a mesh–mesh test built on it.
+
+use crate::{Mesh, Triangle};
+use rbcd_math::{Vec2, Vec3};
+
+const EPS: f32 = 1e-7;
+
+/// `true` when the two triangles share at least one point.
+///
+/// Handles the general (non-coplanar) case via edge–triangle piercing
+/// tests — complete because a non-empty intersection segment must have an
+/// endpoint where an edge of one triangle crosses the plane of the other
+/// *inside* that other triangle — and the coplanar case by a 2-D overlap
+/// test in the dominant plane.
+pub fn tri_tri_intersect(t1: &Triangle, t2: &Triangle) -> bool {
+    let n2 = t2.scaled_normal();
+    let d2 = -n2.dot(t2.a);
+    let dist1 = [
+        n2.dot(t1.a) + d2,
+        n2.dot(t1.b) + d2,
+        n2.dot(t1.c) + d2,
+    ];
+    let scale2 = n2.length().max(EPS);
+    let coplanar1 = dist1.iter().all(|d| d.abs() <= EPS * scale2);
+    if !coplanar1 && dist1.iter().all(|&d| d > EPS * scale2) {
+        return false;
+    }
+    if !coplanar1 && dist1.iter().all(|&d| d < -EPS * scale2) {
+        return false;
+    }
+
+    let n1 = t1.scaled_normal();
+    let d1 = -n1.dot(t1.a);
+    let dist2 = [
+        n1.dot(t2.a) + d1,
+        n1.dot(t2.b) + d1,
+        n1.dot(t2.c) + d1,
+    ];
+    let scale1 = n1.length().max(EPS);
+    let coplanar2 = dist2.iter().all(|d| d.abs() <= EPS * scale1);
+    if !coplanar2 && dist2.iter().all(|&d| d > EPS * scale1) {
+        return false;
+    }
+    if !coplanar2 && dist2.iter().all(|&d| d < -EPS * scale1) {
+        return false;
+    }
+
+    if coplanar1 || coplanar2 {
+        return coplanar_tri_tri(t1, t2);
+    }
+
+    edges_pierce(t1, t2) || edges_pierce(t2, t1)
+}
+
+/// `true` when any edge of `t1` crosses the interior (or boundary) of
+/// `t2`.
+fn edges_pierce(t1: &Triangle, t2: &Triangle) -> bool {
+    let edges = [(t1.a, t1.b), (t1.b, t1.c), (t1.c, t1.a)];
+    edges.iter().any(|&(p, q)| segment_triangle_intersect(p, q, t2))
+}
+
+/// `true` when segment `pq` intersects triangle `t` (including touching).
+pub fn segment_triangle_intersect(p: Vec3, q: Vec3, t: &Triangle) -> bool {
+    let n = t.scaled_normal();
+    if n.length_squared() < EPS * EPS {
+        return false; // degenerate triangle
+    }
+    let dp = n.dot(p - t.a);
+    let dq = n.dot(q - t.a);
+    if dp * dq > 0.0 {
+        return false; // both endpoints strictly on the same side
+    }
+    if dp == 0.0 && dq == 0.0 {
+        // Segment lies in the triangle's plane; treat via 2-D test.
+        let tri2 = project_triangle(t, n);
+        let (p2, q2) = (project_point(p, n), project_point(q, n));
+        return segment_intersects_tri_2d(p2, q2, &tri2);
+    }
+    let s = dp / (dp - dq);
+    let x = p + (q - p) * s;
+    point_in_triangle(x, t)
+}
+
+/// `true` when `x`, assumed on the triangle's plane, lies inside it.
+pub fn point_in_triangle(x: Vec3, t: &Triangle) -> bool {
+    let n = t.scaled_normal();
+    let c0 = (t.b - t.a).cross(x - t.a).dot(n);
+    let c1 = (t.c - t.b).cross(x - t.b).dot(n);
+    let c2 = (t.a - t.c).cross(x - t.c).dot(n);
+    let tol = -EPS * n.length_squared().max(EPS);
+    c0 >= tol && c1 >= tol && c2 >= tol
+}
+
+fn dominant_axis(n: Vec3) -> usize {
+    let a = n.abs();
+    if a.x >= a.y && a.x >= a.z {
+        0
+    } else if a.y >= a.z {
+        1
+    } else {
+        2
+    }
+}
+
+fn project_point(p: Vec3, n: Vec3) -> Vec2 {
+    match dominant_axis(n) {
+        0 => Vec2::new(p.y, p.z),
+        1 => Vec2::new(p.z, p.x),
+        _ => Vec2::new(p.x, p.y),
+    }
+}
+
+fn project_triangle(t: &Triangle, n: Vec3) -> [Vec2; 3] {
+    [project_point(t.a, n), project_point(t.b, n), project_point(t.c, n)]
+}
+
+fn coplanar_tri_tri(t1: &Triangle, t2: &Triangle) -> bool {
+    let n = t1.scaled_normal();
+    let n = if n.length_squared() > EPS * EPS { n } else { t2.scaled_normal() };
+    let a = project_triangle(t1, n);
+    let b = project_triangle(t2, n);
+    // Overlap iff an edge crosses or one contains a vertex of the other.
+    for i in 0..3 {
+        let (p, q) = (a[i], a[(i + 1) % 3]);
+        if segment_intersects_tri_2d(p, q, &b) {
+            return true;
+        }
+    }
+    point_in_tri_2d(b[0], &a) || point_in_tri_2d(a[0], &b)
+}
+
+fn tri_signed_area(t: &[Vec2; 3]) -> f32 {
+    (t[1] - t[0]).perp_dot(t[2] - t[0])
+}
+
+fn point_in_tri_2d(p: Vec2, t: &[Vec2; 3]) -> bool {
+    // Orientation-independent: require consistent signs.
+    let s = tri_signed_area(t);
+    if s.abs() < EPS {
+        return false;
+    }
+    let sgn = s.signum();
+    let d0 = (t[1] - t[0]).perp_dot(p - t[0]) * sgn;
+    let d1 = (t[2] - t[1]).perp_dot(p - t[1]) * sgn;
+    let d2 = (t[0] - t[2]).perp_dot(p - t[2]) * sgn;
+    d0 >= -EPS && d1 >= -EPS && d2 >= -EPS
+}
+
+fn segments_intersect_2d(p1: Vec2, q1: Vec2, p2: Vec2, q2: Vec2) -> bool {
+    let d1 = (q1 - p1).perp_dot(p2 - p1);
+    let d2 = (q1 - p1).perp_dot(q2 - p1);
+    let d3 = (q2 - p2).perp_dot(p1 - p2);
+    let d4 = (q2 - p2).perp_dot(q1 - p2);
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+    let on = |a: Vec2, b: Vec2, c: Vec2, d: f32| {
+        d.abs() <= EPS
+            && c.x >= a.x.min(b.x) - EPS
+            && c.x <= a.x.max(b.x) + EPS
+            && c.y >= a.y.min(b.y) - EPS
+            && c.y <= a.y.max(b.y) + EPS
+    };
+    on(p1, q1, p2, d1) || on(p1, q1, q2, d2) || on(p2, q2, p1, d3) || on(p2, q2, q1, d4)
+}
+
+fn segment_intersects_tri_2d(p: Vec2, q: Vec2, t: &[Vec2; 3]) -> bool {
+    if point_in_tri_2d(p, t) || point_in_tri_2d(q, t) {
+        return true;
+    }
+    (0..3).any(|i| segments_intersect_2d(p, q, t[i], t[(i + 1) % 3]))
+}
+
+/// `true` when the surfaces of `a` and `b` intersect.
+///
+/// Exact surface test: two nested-but-not-touching bodies report `false`
+/// (surfaces disjoint), matching what an image-based detector sees when
+/// z-ranges overlap only strictly. Runs in `O(|a|·|b|)` with per-triangle
+/// AABB rejection; intended as a validation oracle, not a fast path.
+pub fn meshes_intersect(a: &Mesh, b: &Mesh) -> bool {
+    if !a.aabb().intersects(&b.aabb()) {
+        return false;
+    }
+    let b_tris: Vec<(Triangle, rbcd_math::Aabb)> =
+        b.triangles().map(|t| (t, t.aabb())).collect();
+    for ta in a.triangles() {
+        let bb_a = ta.aabb();
+        for (tb, bb_b) in &b_tris {
+            if bb_a.intersects(bb_b) && tri_tri_intersect(&ta, tb) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// All intersecting triangle index pairs `(i in a, j in b)`.
+///
+/// Exhaustive variant of [`meshes_intersect`] for diagnostics and tests.
+pub fn mesh_intersection_pairs(a: &Mesh, b: &Mesh) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    if !a.aabb().intersects(&b.aabb()) {
+        return out;
+    }
+    let b_tris: Vec<(Triangle, rbcd_math::Aabb)> =
+        b.triangles().map(|t| (t, t.aabb())).collect();
+    for (i, ta) in a.triangles().enumerate() {
+        let bb_a = ta.aabb();
+        for (j, (tb, bb_b)) in b_tris.iter().enumerate() {
+            if bb_a.intersects(bb_b) && tri_tri_intersect(&ta, tb) {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+    use rbcd_math::Mat4;
+
+    fn tri(a: [f32; 3], b: [f32; 3], c: [f32; 3]) -> Triangle {
+        Triangle::new(a.into(), b.into(), c.into())
+    }
+
+    #[test]
+    fn crossing_triangles_intersect() {
+        // t1 in z=0 plane, t2 vertical, piercing through it.
+        let t1 = tri([0.0, 0.0, 0.0], [2.0, 0.0, 0.0], [0.0, 2.0, 0.0]);
+        let t2 = tri([0.5, 0.5, -1.0], [0.5, 0.5, 1.0], [1.5, 0.5, 1.0]);
+        assert!(tri_tri_intersect(&t1, &t2));
+        assert!(tri_tri_intersect(&t2, &t1));
+    }
+
+    #[test]
+    fn parallel_triangles_do_not_intersect() {
+        let t1 = tri([0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]);
+        let t2 = tri([0.0, 0.0, 1.0], [1.0, 0.0, 1.0], [0.0, 1.0, 1.0]);
+        assert!(!tri_tri_intersect(&t1, &t2));
+    }
+
+    #[test]
+    fn coplanar_overlapping_triangles() {
+        let t1 = tri([0.0, 0.0, 0.0], [2.0, 0.0, 0.0], [0.0, 2.0, 0.0]);
+        let t2 = tri([0.5, 0.5, 0.0], [2.5, 0.5, 0.0], [0.5, 2.5, 0.0]);
+        assert!(tri_tri_intersect(&t1, &t2));
+        // Identical triangles.
+        assert!(tri_tri_intersect(&t1, &t1.clone()));
+    }
+
+    #[test]
+    fn coplanar_disjoint_triangles() {
+        let t1 = tri([0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]);
+        let t2 = tri([5.0, 5.0, 0.0], [6.0, 5.0, 0.0], [5.0, 6.0, 0.0]);
+        assert!(!tri_tri_intersect(&t1, &t2));
+    }
+
+    #[test]
+    fn coplanar_containment() {
+        let big = tri([-5.0, -5.0, 0.0], [5.0, -5.0, 0.0], [0.0, 5.0, 0.0]);
+        let small = tri([-0.5, -0.5, 0.0], [0.5, -0.5, 0.0], [0.0, 0.5, 0.0]);
+        assert!(tri_tri_intersect(&big, &small));
+        assert!(tri_tri_intersect(&small, &big));
+    }
+
+    #[test]
+    fn touching_at_a_vertex_counts() {
+        let t1 = tri([0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]);
+        let t2 = tri([0.0, 0.0, 0.0], [-1.0, 0.0, 1.0], [0.0, -1.0, 1.0]);
+        assert!(tri_tri_intersect(&t1, &t2));
+    }
+
+    #[test]
+    fn near_miss_does_not_intersect() {
+        let t1 = tri([0.0, 0.0, 0.0], [2.0, 0.0, 0.0], [0.0, 2.0, 0.0]);
+        let t2 = tri([0.5, 0.5, 0.01], [0.5, 0.5, 1.0], [1.5, 0.5, 1.0]);
+        assert!(!tri_tri_intersect(&t1, &t2));
+    }
+
+    #[test]
+    fn segment_triangle_basics() {
+        let t = tri([0.0, 0.0, 0.0], [2.0, 0.0, 0.0], [0.0, 2.0, 0.0]);
+        assert!(segment_triangle_intersect(
+            Vec3::new(0.5, 0.5, -1.0),
+            Vec3::new(0.5, 0.5, 1.0),
+            &t
+        ));
+        assert!(!segment_triangle_intersect(
+            Vec3::new(5.0, 5.0, -1.0),
+            Vec3::new(5.0, 5.0, 1.0),
+            &t
+        ));
+        // Parallel above the plane.
+        assert!(!segment_triangle_intersect(
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(1.0, 1.0, 1.0),
+            &t
+        ));
+    }
+
+    #[test]
+    fn overlapping_spheres_intersect() {
+        let a = shapes::uv_sphere(1.0, 16, 8);
+        let b = a.transformed(&Mat4::translation(Vec3::new(1.5, 0.0, 0.0)));
+        assert!(meshes_intersect(&a, &b));
+        assert!(!mesh_intersection_pairs(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn distant_spheres_do_not_intersect() {
+        let a = shapes::uv_sphere(1.0, 16, 8);
+        let b = a.transformed(&Mat4::translation(Vec3::new(10.0, 0.0, 0.0)));
+        assert!(!meshes_intersect(&a, &b));
+        assert!(mesh_intersection_pairs(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn nested_surfaces_do_not_intersect() {
+        // A small sphere strictly inside a big one: surfaces disjoint.
+        let inner = shapes::uv_sphere(0.5, 12, 6);
+        let outer = shapes::uv_sphere(2.0, 12, 6);
+        assert!(!meshes_intersect(&inner, &outer));
+    }
+
+    #[test]
+    fn box_resting_on_ground_touches() {
+        let ground = shapes::ground_quad(10.0, 10.0);
+        let cube = shapes::cube(1.0).transformed(&Mat4::translation(Vec3::new(0.0, 0.9, 0.0)));
+        assert!(meshes_intersect(&cube, &ground)); // sunk 0.1 into the ground
+        let hovering = shapes::cube(1.0).transformed(&Mat4::translation(Vec3::new(0.0, 1.5, 0.0)));
+        assert!(!meshes_intersect(&hovering, &ground));
+    }
+
+    #[test]
+    fn l_prism_concavity_no_false_positive() {
+        // A small cube in the concave notch of the L: AABBs overlap but
+        // surfaces do not intersect (the RBCD accuracy argument, Fig. 2).
+        let l = shapes::l_prism(2.0, 1.0);
+        let cube = shapes::cube(0.2).transformed(&Mat4::translation(Vec3::new(0.7, 0.7, 0.0)));
+        assert!(l.aabb().intersects(&cube.aabb()));
+        assert!(!meshes_intersect(&l, &cube));
+    }
+}

@@ -1,0 +1,42 @@
+//! Triangle meshes, shape generators, convex hulls, and exact
+//! intersection tests for the RBCD reproduction.
+//!
+//! The paper's pipeline consumes *renderable surfaces*: indexed triangle
+//! meshes with consistent counter-clockwise (outward-facing) winding. This
+//! crate provides:
+//!
+//! * [`Mesh`] — an indexed triangle mesh with validated indices;
+//! * [`shapes`] — deterministic generators for the convex and concave
+//!   test bodies used by the synthetic workloads (boxes, spheres, tori,
+//!   capsules, and deliberately concave shapes such as the L-prism and
+//!   bowl used to reproduce the accuracy comparison of the paper's
+//!   Figure 2);
+//! * [`hull`] — 3-D convex hulls via quickhull, required by the GJK
+//!   narrow-phase baseline (GJK only works on convex shapes; the paper
+//!   applies it to the convex hull of concave objects, §2.2);
+//! * [`intersect`] — exact triangle–triangle and mesh–mesh intersection
+//!   tests, the geometric ground truth the collision detectors are
+//!   validated against.
+//!
+//! # Example
+//!
+//! ```
+//! use rbcd_geometry::{shapes, intersect};
+//! use rbcd_math::{Mat4, Vec3};
+//!
+//! let a = shapes::uv_sphere(1.0, 12, 8);
+//! let b = a.transformed(&Mat4::translation(Vec3::new(1.5, 0.0, 0.0)));
+//! assert!(intersect::meshes_intersect(&a, &b)); // overlapping spheres
+//! let c = a.transformed(&Mat4::translation(Vec3::new(5.0, 0.0, 0.0)));
+//! assert!(!intersect::meshes_intersect(&a, &c));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hull;
+pub mod intersect;
+mod mesh;
+pub mod shapes;
+
+pub use hull::{ConvexHull, HullError};
+pub use mesh::{Mesh, MeshError, Triangle};

@@ -1,0 +1,300 @@
+//! Indexed triangle meshes.
+
+use rbcd_math::{Aabb, Mat4, Vec3};
+use std::error::Error;
+use std::fmt;
+
+/// Error building a [`Mesh`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeshError {
+    /// A triangle references a vertex index `>= vertex_count`.
+    IndexOutOfRange {
+        /// Offending triangle position.
+        triangle: usize,
+        /// Offending index value.
+        index: u32,
+        /// Number of vertices in the mesh.
+        vertex_count: usize,
+    },
+    /// The mesh has no triangles.
+    Empty,
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::IndexOutOfRange { triangle, index, vertex_count } => write!(
+                f,
+                "triangle {triangle} references vertex {index} but the mesh has {vertex_count} vertices"
+            ),
+            Self::Empty => write!(f, "mesh has no triangles"),
+        }
+    }
+}
+
+impl Error for MeshError {}
+
+/// One triangle, as three points in counter-clockwise (outward) order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    /// First vertex.
+    pub a: Vec3,
+    /// Second vertex.
+    pub b: Vec3,
+    /// Third vertex.
+    pub c: Vec3,
+}
+
+impl Triangle {
+    /// Creates a triangle from three points.
+    pub const fn new(a: Vec3, b: Vec3, c: Vec3) -> Self {
+        Self { a, b, c }
+    }
+
+    /// The (unnormalized) normal `(b-a) × (c-a)`; its length is twice the
+    /// triangle area.
+    pub fn scaled_normal(&self) -> Vec3 {
+        (self.b - self.a).cross(self.c - self.a)
+    }
+
+    /// Unit normal, or `None` for a degenerate triangle.
+    pub fn normal(&self) -> Option<Vec3> {
+        self.scaled_normal().try_normalize()
+    }
+
+    /// Triangle area.
+    pub fn area(&self) -> f32 {
+        self.scaled_normal().length() * 0.5
+    }
+
+    /// Centroid of the three vertices.
+    pub fn centroid(&self) -> Vec3 {
+        (self.a + self.b + self.c) / 3.0
+    }
+
+    /// Axis-aligned bounding box.
+    pub fn aabb(&self) -> Aabb {
+        Aabb::from_points([self.a, self.b, self.c]).expect("three points")
+    }
+
+    /// `true` when the triangle has (nearly) zero area.
+    pub fn is_degenerate(&self) -> bool {
+        self.area() < 1e-12
+    }
+}
+
+/// An indexed triangle mesh with validated indices.
+///
+/// Winding convention is OpenGL's: triangles are counter-clockwise when
+/// seen from outside the surface, so [`Triangle::scaled_normal`] points
+/// outward for a closed body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mesh {
+    positions: Vec<Vec3>,
+    triangles: Vec<[u32; 3]>,
+}
+
+impl Mesh {
+    /// Builds a mesh, validating that every index is in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::IndexOutOfRange`] when a triangle references a
+    /// missing vertex and [`MeshError::Empty`] when `triangles` is empty.
+    pub fn new(positions: Vec<Vec3>, triangles: Vec<[u32; 3]>) -> Result<Self, MeshError> {
+        if triangles.is_empty() {
+            return Err(MeshError::Empty);
+        }
+        for (t, tri) in triangles.iter().enumerate() {
+            for &i in tri {
+                if i as usize >= positions.len() {
+                    return Err(MeshError::IndexOutOfRange {
+                        triangle: t,
+                        index: i,
+                        vertex_count: positions.len(),
+                    });
+                }
+            }
+        }
+        Ok(Self { positions, triangles })
+    }
+
+    /// Vertex positions.
+    pub fn positions(&self) -> &[Vec3] {
+        &self.positions
+    }
+
+    /// Triangle index triples.
+    pub fn indices(&self) -> &[[u32; 3]] {
+        &self.triangles
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of triangles.
+    pub fn triangle_count(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// Dereferences triangle `t` into points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= triangle_count()`.
+    pub fn triangle(&self, t: usize) -> Triangle {
+        let [i, j, k] = self.triangles[t];
+        Triangle::new(
+            self.positions[i as usize],
+            self.positions[j as usize],
+            self.positions[k as usize],
+        )
+    }
+
+    /// Iterator over all triangles as point triples.
+    pub fn triangles(&self) -> impl Iterator<Item = Triangle> + '_ {
+        (0..self.triangle_count()).map(|t| self.triangle(t))
+    }
+
+    /// Axis-aligned bounding box of all vertices.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: a valid mesh has at least one triangle, hence at
+    /// least one referenced vertex.
+    pub fn aabb(&self) -> Aabb {
+        Aabb::from_points(self.positions.iter().copied()).expect("mesh is non-empty")
+    }
+
+    /// Returns a copy with every vertex transformed by `m`.
+    pub fn transformed(&self, m: &Mat4) -> Self {
+        Self {
+            positions: self.positions.iter().map(|&p| m.transform_point(p)).collect(),
+            triangles: self.triangles.clone(),
+        }
+    }
+
+    /// Returns a copy with reversed winding (inside-out surface).
+    pub fn flipped(&self) -> Self {
+        Self {
+            positions: self.positions.clone(),
+            triangles: self.triangles.iter().map(|&[a, b, c]| [a, c, b]).collect(),
+        }
+    }
+
+    /// Appends another mesh, remapping its indices.
+    pub fn merge(&mut self, other: &Mesh) {
+        let base = self.positions.len() as u32;
+        self.positions.extend_from_slice(&other.positions);
+        self.triangles
+            .extend(other.triangles.iter().map(|&[a, b, c]| [a + base, b + base, c + base]));
+    }
+
+    /// Total surface area.
+    pub fn surface_area(&self) -> f32 {
+        self.triangles().map(|t| t.area()).sum()
+    }
+
+    /// Area-weighted centroid of the surface.
+    pub fn surface_centroid(&self) -> Vec3 {
+        let mut num = Vec3::ZERO;
+        let mut den = 0.0;
+        for t in self.triangles() {
+            let a = t.area();
+            num += t.centroid() * a;
+            den += a;
+        }
+        if den > 0.0 {
+            num / den
+        } else {
+            self.aabb().center()
+        }
+    }
+
+    /// Signed volume enclosed by the surface (positive for outward
+    /// winding of a closed mesh), via the divergence theorem.
+    pub fn signed_volume(&self) -> f32 {
+        self.triangles()
+            .map(|t| t.a.dot(t.b.cross(t.c)) / 6.0)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+    use rbcd_math::approx_eq;
+
+    fn tri_mesh() -> Mesh {
+        Mesh::new(
+            vec![Vec3::ZERO, Vec3::X, Vec3::Y],
+            vec![[0, 1, 2]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_validates_indices() {
+        let err = Mesh::new(vec![Vec3::ZERO], vec![[0, 0, 7]]).unwrap_err();
+        assert!(matches!(err, MeshError::IndexOutOfRange { index: 7, .. }));
+        assert!(format!("{err}").contains("vertex 7"));
+        assert_eq!(Mesh::new(vec![Vec3::ZERO], vec![]).unwrap_err(), MeshError::Empty);
+    }
+
+    #[test]
+    fn triangle_quantities() {
+        let t = tri_mesh().triangle(0);
+        assert_eq!(t.area(), 0.5);
+        assert_eq!(t.normal().unwrap(), Vec3::Z);
+        assert_eq!(t.centroid(), Vec3::new(1.0 / 3.0, 1.0 / 3.0, 0.0));
+        assert!(!t.is_degenerate());
+        assert!(Triangle::new(Vec3::ZERO, Vec3::X, Vec3::X * 2.0).is_degenerate());
+    }
+
+    #[test]
+    fn flipped_reverses_normal() {
+        let m = tri_mesh();
+        let f = m.flipped();
+        assert_eq!(f.triangle(0).normal().unwrap(), -Vec3::Z);
+    }
+
+    #[test]
+    fn merge_remaps_indices() {
+        let mut m = tri_mesh();
+        let other = tri_mesh().transformed(&Mat4::translation(Vec3::Z));
+        m.merge(&other);
+        assert_eq!(m.triangle_count(), 2);
+        assert_eq!(m.vertex_count(), 6);
+        assert!(approx_eq(m.triangle(1).a.z, 1.0, 0.0));
+    }
+
+    #[test]
+    fn cube_volume_and_area() {
+        let cube = shapes::cuboid(Vec3::splat(1.0)); // half-extents 1 → 2×2×2
+        assert!(approx_eq(cube.signed_volume(), 8.0, 1e-4));
+        assert!(approx_eq(cube.surface_area(), 24.0, 1e-3));
+    }
+
+    #[test]
+    fn sphere_volume_approaches_analytic() {
+        let s = shapes::uv_sphere(1.0, 48, 24);
+        let analytic = 4.0 / 3.0 * std::f32::consts::PI;
+        assert!((s.signed_volume() - analytic).abs() / analytic < 0.02);
+    }
+
+    #[test]
+    fn transformed_moves_aabb() {
+        let m = tri_mesh().transformed(&Mat4::translation(Vec3::new(10.0, 0.0, 0.0)));
+        assert!(m.aabb().min.x >= 10.0);
+    }
+
+    #[test]
+    fn surface_centroid_of_cube_is_center() {
+        let cube = shapes::cuboid(Vec3::ONE);
+        let c = cube.surface_centroid();
+        assert!(c.length() < 1e-4);
+    }
+}

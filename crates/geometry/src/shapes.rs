@@ -1,0 +1,777 @@
+#![allow(clippy::items_after_test_module)]
+//! Deterministic shape generators.
+//!
+//! Every generator returns a closed [`Mesh`] with counter-clockwise
+//! (outward) winding, verified by the `signed_volume > 0` tests below.
+//! The concave generators ([`l_prism`], [`star_prism`], [`bowl`]) exist to
+//! reproduce the accuracy discussion of the paper's Figure 2, where AABBs
+//! and convex hulls add large false-collisionable area around concave
+//! bodies while RBCD's discretized shape does not.
+
+use crate::Mesh;
+use rbcd_math::{Vec2, Vec3};
+use std::f32::consts::{PI, TAU};
+
+/// Axis-aligned box with the given half-extents, centred at the origin.
+///
+/// # Panics
+///
+/// Panics if any half-extent is non-positive.
+pub fn cuboid(half_extents: Vec3) -> Mesh {
+    let h = half_extents;
+    assert!(h.x > 0.0 && h.y > 0.0 && h.z > 0.0, "cuboid: non-positive half-extent {h:?}");
+    let positions = vec![
+        Vec3::new(-h.x, -h.y, -h.z), // 0
+        Vec3::new(h.x, -h.y, -h.z),  // 1
+        Vec3::new(h.x, h.y, -h.z),   // 2
+        Vec3::new(-h.x, h.y, -h.z),  // 3
+        Vec3::new(-h.x, -h.y, h.z),  // 4
+        Vec3::new(h.x, -h.y, h.z),   // 5
+        Vec3::new(h.x, h.y, h.z),    // 6
+        Vec3::new(-h.x, h.y, h.z),   // 7
+    ];
+    let triangles = vec![
+        // -Z face (outward normal -Z): CCW seen from -Z.
+        [0, 3, 2],
+        [0, 2, 1],
+        // +Z face.
+        [4, 5, 6],
+        [4, 6, 7],
+        // -Y face.
+        [0, 1, 5],
+        [0, 5, 4],
+        // +Y face.
+        [3, 7, 6],
+        [3, 6, 2],
+        // -X face.
+        [0, 4, 7],
+        [0, 7, 3],
+        // +X face.
+        [1, 2, 6],
+        [1, 6, 5],
+    ];
+    Mesh::new(positions, triangles).expect("cuboid is well-formed")
+}
+
+/// Unit-construction convenience: cube with half-extent `h`.
+pub fn cube(h: f32) -> Mesh {
+    cuboid(Vec3::splat(h))
+}
+
+/// Latitude/longitude sphere.
+///
+/// `segments` is the longitude count (≥3), `rings` the latitude band
+/// count (≥2).
+///
+/// # Panics
+///
+/// Panics on a non-positive radius or too-coarse tessellation.
+pub fn uv_sphere(radius: f32, segments: u32, rings: u32) -> Mesh {
+    assert!(radius > 0.0, "uv_sphere: non-positive radius");
+    assert!(segments >= 3 && rings >= 2, "uv_sphere: tessellation too coarse");
+    let mut positions = Vec::new();
+    // Poles + interior rings.
+    positions.push(Vec3::new(0.0, radius, 0.0));
+    for r in 1..rings {
+        let phi = PI * r as f32 / rings as f32;
+        let (sp, cp) = phi.sin_cos();
+        for s in 0..segments {
+            let theta = TAU * s as f32 / segments as f32;
+            let (st, ct) = theta.sin_cos();
+            positions.push(Vec3::new(radius * sp * ct, radius * cp, radius * sp * st));
+        }
+    }
+    positions.push(Vec3::new(0.0, -radius, 0.0));
+    let bottom = (positions.len() - 1) as u32;
+    let ring_start = |r: u32| 1 + (r - 1) * segments;
+
+    let mut triangles = Vec::new();
+    // Top cap.
+    for s in 0..segments {
+        let a = ring_start(1) + s;
+        let b = ring_start(1) + (s + 1) % segments;
+        triangles.push([0, b, a]);
+    }
+    // Bands.
+    for r in 1..rings - 1 {
+        for s in 0..segments {
+            let a = ring_start(r) + s;
+            let b = ring_start(r) + (s + 1) % segments;
+            let c = ring_start(r + 1) + s;
+            let d = ring_start(r + 1) + (s + 1) % segments;
+            triangles.push([a, b, d]);
+            triangles.push([a, d, c]);
+        }
+    }
+    // Bottom cap.
+    let last = rings - 1;
+    for s in 0..segments {
+        let a = ring_start(last) + s;
+        let b = ring_start(last) + (s + 1) % segments;
+        triangles.push([bottom, a, b]);
+    }
+    Mesh::new(positions, triangles).expect("uv_sphere is well-formed")
+}
+
+/// Icosphere: subdivided icosahedron, more uniform than [`uv_sphere`].
+///
+/// # Panics
+///
+/// Panics on a non-positive radius or `subdivisions > 5` (vertex blowup).
+pub fn icosphere(radius: f32, subdivisions: u32) -> Mesh {
+    assert!(radius > 0.0, "icosphere: non-positive radius");
+    assert!(subdivisions <= 5, "icosphere: too many subdivisions");
+    let t = (1.0 + 5.0f32.sqrt()) / 2.0;
+    let mut positions: Vec<Vec3> = [
+        (-1.0, t, 0.0),
+        (1.0, t, 0.0),
+        (-1.0, -t, 0.0),
+        (1.0, -t, 0.0),
+        (0.0, -1.0, t),
+        (0.0, 1.0, t),
+        (0.0, -1.0, -t),
+        (0.0, 1.0, -t),
+        (t, 0.0, -1.0),
+        (t, 0.0, 1.0),
+        (-t, 0.0, -1.0),
+        (-t, 0.0, 1.0),
+    ]
+    .iter()
+    .map(|&(x, y, z)| Vec3::new(x, y, z).normalize() * radius)
+    .collect();
+    let mut triangles: Vec<[u32; 3]> = vec![
+        [0, 11, 5],
+        [0, 5, 1],
+        [0, 1, 7],
+        [0, 7, 10],
+        [0, 10, 11],
+        [1, 5, 9],
+        [5, 11, 4],
+        [11, 10, 2],
+        [10, 7, 6],
+        [7, 1, 8],
+        [3, 9, 4],
+        [3, 4, 2],
+        [3, 2, 6],
+        [3, 6, 8],
+        [3, 8, 9],
+        [4, 9, 5],
+        [2, 4, 11],
+        [6, 2, 10],
+        [8, 6, 7],
+        [9, 8, 1],
+    ];
+    use std::collections::HashMap;
+    for _ in 0..subdivisions {
+        let mut midpoint: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut mid = |a: u32, b: u32, positions: &mut Vec<Vec3>| -> u32 {
+            let key = (a.min(b), a.max(b));
+            *midpoint.entry(key).or_insert_with(|| {
+                let p = ((positions[a as usize] + positions[b as usize]) * 0.5)
+                    .normalize()
+                    * radius;
+                positions.push(p);
+                (positions.len() - 1) as u32
+            })
+        };
+        let mut next = Vec::with_capacity(triangles.len() * 4);
+        for [a, b, c] in triangles {
+            let ab = mid(a, b, &mut positions);
+            let bc = mid(b, c, &mut positions);
+            let ca = mid(c, a, &mut positions);
+            next.push([a, ab, ca]);
+            next.push([b, bc, ab]);
+            next.push([c, ca, bc]);
+            next.push([ab, bc, ca]);
+        }
+        triangles = next;
+    }
+    Mesh::new(positions, triangles).expect("icosphere is well-formed")
+}
+
+/// Torus in the XZ plane: `major_radius` to the tube centre,
+/// `minor_radius` of the tube.
+///
+/// # Panics
+///
+/// Panics unless `major_radius > minor_radius > 0` and both segment
+/// counts are ≥3.
+pub fn torus(major_radius: f32, minor_radius: f32, major_segments: u32, minor_segments: u32) -> Mesh {
+    assert!(
+        major_radius > minor_radius && minor_radius > 0.0,
+        "torus: require major > minor > 0"
+    );
+    assert!(major_segments >= 3 && minor_segments >= 3, "torus: tessellation too coarse");
+    let mut positions = Vec::new();
+    for u in 0..major_segments {
+        let theta = TAU * u as f32 / major_segments as f32;
+        let (st, ct) = theta.sin_cos();
+        for v in 0..minor_segments {
+            let phi = TAU * v as f32 / minor_segments as f32;
+            let (sp, cp) = phi.sin_cos();
+            let r = major_radius + minor_radius * cp;
+            positions.push(Vec3::new(r * ct, minor_radius * sp, r * st));
+        }
+    }
+    let idx = |u: u32, v: u32| (u % major_segments) * minor_segments + (v % minor_segments);
+    let mut triangles = Vec::new();
+    for u in 0..major_segments {
+        for v in 0..minor_segments {
+            let a = idx(u, v);
+            let b = idx(u + 1, v);
+            let c = idx(u + 1, v + 1);
+            let d = idx(u, v + 1);
+            triangles.push([a, c, b]);
+            triangles.push([a, d, c]);
+        }
+    }
+    Mesh::new(positions, triangles).expect("torus is well-formed")
+}
+
+/// Capsule: cylinder of `half_height` along Y with hemispherical caps of
+/// `radius`.
+///
+/// # Panics
+///
+/// Panics on non-positive dimensions or too-coarse tessellation.
+pub fn capsule(radius: f32, half_height: f32, segments: u32, cap_rings: u32) -> Mesh {
+    assert!(radius > 0.0 && half_height > 0.0, "capsule: non-positive dimension");
+    assert!(segments >= 3 && cap_rings >= 1, "capsule: tessellation too coarse");
+    let mut positions = Vec::new();
+    positions.push(Vec3::new(0.0, half_height + radius, 0.0));
+    // Top hemisphere rings (from pole down), then bottom hemisphere rings.
+    for r in 1..=cap_rings {
+        let phi = (PI / 2.0) * r as f32 / cap_rings as f32;
+        let (sp, cp) = phi.sin_cos();
+        for s in 0..segments {
+            let theta = TAU * s as f32 / segments as f32;
+            let (st, ct) = theta.sin_cos();
+            positions.push(Vec3::new(radius * sp * ct, half_height + radius * cp, radius * sp * st));
+        }
+    }
+    for r in 0..cap_rings {
+        let phi = (PI / 2.0) * (1.0 - r as f32 / cap_rings as f32);
+        let (sp, cp) = phi.sin_cos();
+        for s in 0..segments {
+            let theta = TAU * s as f32 / segments as f32;
+            let (st, ct) = theta.sin_cos();
+            positions.push(Vec3::new(
+                radius * sp * ct,
+                -half_height - radius * cp,
+                radius * sp * st,
+            ));
+        }
+    }
+    positions.push(Vec3::new(0.0, -half_height - radius, 0.0));
+    let bottom = (positions.len() - 1) as u32;
+    let total_rings = 2 * cap_rings; // ring index 1..=total_rings
+    let ring_start = |r: u32| 1 + (r - 1) * segments;
+
+    let mut triangles = Vec::new();
+    for s in 0..segments {
+        let a = ring_start(1) + s;
+        let b = ring_start(1) + (s + 1) % segments;
+        triangles.push([0, b, a]);
+    }
+    for r in 1..total_rings {
+        for s in 0..segments {
+            let a = ring_start(r) + s;
+            let b = ring_start(r) + (s + 1) % segments;
+            let c = ring_start(r + 1) + s;
+            let d = ring_start(r + 1) + (s + 1) % segments;
+            triangles.push([a, b, d]);
+            triangles.push([a, d, c]);
+        }
+    }
+    for s in 0..segments {
+        let a = ring_start(total_rings) + s;
+        let b = ring_start(total_rings) + (s + 1) % segments;
+        triangles.push([bottom, a, b]);
+    }
+    Mesh::new(positions, triangles).expect("capsule is well-formed")
+}
+
+/// Ear-clipping triangulation of a simple polygon given in
+/// counter-clockwise order.
+///
+/// Returns index triples into `points`. Used by the prism generators for
+/// concave cross-sections.
+///
+/// # Panics
+///
+/// Panics if `points.len() < 3` or the polygon cannot be triangulated
+/// (self-intersecting input).
+pub fn triangulate_polygon(points: &[Vec2]) -> Vec<[u32; 3]> {
+    assert!(points.len() >= 3, "triangulate_polygon: need at least 3 points");
+    let mut remaining: Vec<u32> = (0..points.len() as u32).collect();
+    let mut triangles = Vec::with_capacity(points.len() - 2);
+
+    let is_convex = |prev: Vec2, cur: Vec2, next: Vec2| (cur - prev).perp_dot(next - cur) > 0.0;
+    let point_in_tri = |p: Vec2, a: Vec2, b: Vec2, c: Vec2| {
+        let d1 = (b - a).perp_dot(p - a);
+        let d2 = (c - b).perp_dot(p - b);
+        let d3 = (a - c).perp_dot(p - c);
+        d1 >= 0.0 && d2 >= 0.0 && d3 >= 0.0
+    };
+
+    while remaining.len() > 3 {
+        let n = remaining.len();
+        let mut clipped = false;
+        for i in 0..n {
+            let ip = remaining[(i + n - 1) % n];
+            let ic = remaining[i];
+            let inx = remaining[(i + 1) % n];
+            let (p, c, nx) = (points[ip as usize], points[ic as usize], points[inx as usize]);
+            if !is_convex(p, c, nx) {
+                continue;
+            }
+            // No other remaining vertex inside the candidate ear.
+            let blocked = remaining.iter().any(|&j| {
+                j != ip && j != ic && j != inx && point_in_tri(points[j as usize], p, c, nx)
+            });
+            if blocked {
+                continue;
+            }
+            triangles.push([ip, ic, inx]);
+            remaining.remove(i);
+            clipped = true;
+            break;
+        }
+        assert!(clipped, "triangulate_polygon: no ear found (self-intersecting polygon?)");
+    }
+    triangles.push([remaining[0], remaining[1], remaining[2]]);
+    triangles
+}
+
+/// Extrudes a simple counter-clockwise polygon along +Z into a closed
+/// prism of the given `depth`, centred on Z.
+///
+/// # Panics
+///
+/// Panics if `depth <= 0` or the polygon is invalid (see
+/// [`triangulate_polygon`]).
+pub fn prism(cross_section: &[Vec2], depth: f32) -> Mesh {
+    assert!(depth > 0.0, "prism: non-positive depth");
+    let n = cross_section.len() as u32;
+    let caps = triangulate_polygon(cross_section);
+    let hz = depth * 0.5;
+    let mut positions = Vec::with_capacity(cross_section.len() * 2);
+    for &p in cross_section {
+        positions.push(Vec3::new(p.x, p.y, -hz));
+    }
+    for &p in cross_section {
+        positions.push(Vec3::new(p.x, p.y, hz));
+    }
+    let mut triangles = Vec::new();
+    // Back cap (normal -Z): reverse the CCW cap triangulation.
+    for &[a, b, c] in &caps {
+        triangles.push([a, c, b]);
+    }
+    // Front cap (normal +Z).
+    for &[a, b, c] in &caps {
+        triangles.push([a + n, b + n, c + n]);
+    }
+    // Sides. For a CCW cross-section, outward side normals need
+    // (i, i+1) on the back face then up to the front.
+    for i in 0..n {
+        let j = (i + 1) % n;
+        triangles.push([i, j, j + n]);
+        triangles.push([i, j + n, i + n]);
+    }
+    Mesh::new(positions, triangles).expect("prism is well-formed")
+}
+
+/// Concave L-shaped prism (the paper's Figure 2 "object A" archetype):
+/// an L cross-section of outer size `size`, arm thickness `size/2`,
+/// extruded to `depth`; centred at the origin.
+///
+/// # Panics
+///
+/// Panics on non-positive dimensions.
+pub fn l_prism(size: f32, depth: f32) -> Mesh {
+    assert!(size > 0.0, "l_prism: non-positive size");
+    let s = size;
+    let t = size * 0.5;
+    let o = s * 0.5; // recentre
+    let pts = [
+        Vec2::new(0.0 - o, 0.0 - o),
+        Vec2::new(s - o, 0.0 - o),
+        Vec2::new(s - o, t - o),
+        Vec2::new(t - o, t - o),
+        Vec2::new(t - o, s - o),
+        Vec2::new(0.0 - o, s - o),
+    ];
+    prism(&pts, depth)
+}
+
+/// Concave star-shaped prism with `spikes` points, outer radius
+/// `outer`, inner radius `inner`, extruded to `depth`.
+///
+/// # Panics
+///
+/// Panics unless `outer > inner > 0` and `spikes >= 3`.
+pub fn star_prism(spikes: u32, outer: f32, inner: f32, depth: f32) -> Mesh {
+    assert!(outer > inner && inner > 0.0, "star_prism: require outer > inner > 0");
+    assert!(spikes >= 3, "star_prism: need at least 3 spikes");
+    let mut pts = Vec::with_capacity(spikes as usize * 2);
+    for i in 0..spikes * 2 {
+        let r = if i % 2 == 0 { outer } else { inner };
+        let a = TAU * i as f32 / (spikes * 2) as f32;
+        pts.push(Vec2::new(r * a.cos(), r * a.sin()));
+    }
+    prism(&pts, depth)
+}
+
+/// Concave open bowl: a hemispherical shell of outer radius `outer` and
+/// thickness `outer - inner`, opening towards +Y.
+///
+/// # Panics
+///
+/// Panics unless `outer > inner > 0` and tessellation is ≥3 segments /
+/// ≥2 rings.
+pub fn bowl(outer: f32, inner: f32, segments: u32, rings: u32) -> Mesh {
+    assert!(outer > inner && inner > 0.0, "bowl: require outer > inner > 0");
+    assert!(segments >= 3 && rings >= 2, "bowl: tessellation too coarse");
+    let mut positions = Vec::new();
+    // Rings run from the rim (phi = π/2) down to just above the pole;
+    // each surface gets a single shared pole vertex to stay manifold.
+    for surface in 0..2 {
+        let radius = if surface == 0 { outer } else { inner };
+        for r in 0..rings {
+            let phi = PI / 2.0 + (PI / 2.0) * r as f32 / rings as f32;
+            let (sp, cp) = phi.sin_cos();
+            for s in 0..segments {
+                let theta = TAU * s as f32 / segments as f32;
+                let (st, ct) = theta.sin_cos();
+                positions.push(Vec3::new(radius * sp * ct, radius * cp, radius * sp * st));
+            }
+        }
+        positions.push(Vec3::new(0.0, -radius, 0.0)); // pole
+    }
+    let out = |r: u32, s: u32| r * segments + s % segments;
+    let out_pole = rings * segments;
+    let inner_base = rings * segments + 1;
+    let inn = |r: u32, s: u32| inner_base + r * segments + s % segments;
+    let inn_pole = inner_base + rings * segments;
+
+    let mut triangles = Vec::new();
+    // Outer surface (normals outward/downward): as theta increases the
+    // point sweeps +X → +Z, and phi increases downward.
+    for r in 0..rings - 1 {
+        for s in 0..segments {
+            let a = out(r, s);
+            let b = out(r, s + 1);
+            let c = out(r + 1, s);
+            let d = out(r + 1, s + 1);
+            triangles.push([a, b, d]);
+            triangles.push([a, d, c]);
+        }
+    }
+    for s in 0..segments {
+        triangles.push([out(rings - 1, s), out(rings - 1, s + 1), out_pole]);
+    }
+    // Inner surface: flipped winding.
+    for r in 0..rings - 1 {
+        for s in 0..segments {
+            let a = inn(r, s);
+            let b = inn(r, s + 1);
+            let c = inn(r + 1, s);
+            let d = inn(r + 1, s + 1);
+            triangles.push([a, d, b]);
+            triangles.push([a, c, d]);
+        }
+    }
+    for s in 0..segments {
+        triangles.push([inn(rings - 1, s + 1), inn(rings - 1, s), inn_pole]);
+    }
+    // Rim annulus joining outer ring 0 to inner ring 0 (facing +Y).
+    for s in 0..segments {
+        let a = out(0, s);
+        let b = out(0, s + 1);
+        let c = inn(0, s);
+        let d = inn(0, s + 1);
+        triangles.push([a, d, b]);
+        triangles.push([a, c, d]);
+    }
+    Mesh::new(positions, triangles).expect("bowl is well-formed")
+}
+
+/// Flat rectangular ground patch in the XZ plane (two triangles facing
+/// +Y), centred at the origin.
+///
+/// # Panics
+///
+/// Panics on non-positive extents.
+pub fn ground_quad(half_x: f32, half_z: f32) -> Mesh {
+    assert!(half_x > 0.0 && half_z > 0.0, "ground_quad: non-positive extent");
+    let positions = vec![
+        Vec3::new(-half_x, 0.0, -half_z),
+        Vec3::new(half_x, 0.0, -half_z),
+        Vec3::new(half_x, 0.0, half_z),
+        Vec3::new(-half_x, 0.0, half_z),
+    ];
+    // +Y normal: CCW seen from above.
+    let triangles = vec![[0, 2, 1], [0, 3, 2]];
+    Mesh::new(positions, triangles).expect("ground_quad is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn closed_and_outward(m: &Mesh) {
+        assert!(m.signed_volume() > 0.0, "winding must be outward (volume {})", m.signed_volume());
+        // Closed 2-manifold: every directed edge appears exactly once.
+        use std::collections::HashMap;
+        let mut edges: HashMap<(u32, u32), i32> = HashMap::new();
+        for &[a, b, c] in m.indices() {
+            for (u, v) in [(a, b), (b, c), (c, a)] {
+                *edges.entry((u, v)).or_default() += 1;
+                *edges.entry((v, u)).or_default() -= 1;
+            }
+        }
+        for (e, count) in edges {
+            assert_eq!(count, 0, "unmatched directed edge {e:?}");
+        }
+    }
+
+    #[test]
+    fn cuboid_is_closed_outward() {
+        closed_and_outward(&cuboid(Vec3::new(1.0, 2.0, 0.5)));
+    }
+
+    #[test]
+    fn uv_sphere_is_closed_outward() {
+        closed_and_outward(&uv_sphere(2.0, 16, 8));
+    }
+
+    #[test]
+    fn icosphere_is_closed_outward() {
+        for sub in 0..3 {
+            closed_and_outward(&icosphere(1.0, sub));
+        }
+    }
+
+    #[test]
+    fn icosphere_vertices_on_sphere() {
+        let m = icosphere(2.5, 2);
+        for &p in m.positions() {
+            assert!((p.length() - 2.5).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn torus_is_closed_outward() {
+        closed_and_outward(&torus(3.0, 1.0, 16, 8));
+    }
+
+    #[test]
+    fn torus_volume_close_to_analytic() {
+        let (big_r, small_r) = (3.0, 1.0);
+        let m = torus(big_r, small_r, 48, 24);
+        let analytic = TAU * big_r * PI * small_r * small_r;
+        assert!((m.signed_volume() - analytic).abs() / analytic < 0.02);
+    }
+
+    #[test]
+    fn capsule_is_closed_outward() {
+        closed_and_outward(&capsule(0.5, 1.0, 12, 4));
+    }
+
+    #[test]
+    fn capsule_volume_close_to_analytic() {
+        let (r, hh) = (0.5f32, 1.0f32);
+        let m = capsule(r, hh, 48, 24);
+        let analytic = PI * r * r * (2.0 * hh) + 4.0 / 3.0 * PI * r * r * r;
+        assert!((m.signed_volume() - analytic).abs() / analytic < 0.02);
+    }
+
+    #[test]
+    fn l_prism_is_closed_outward_and_concave() {
+        let m = l_prism(2.0, 1.0);
+        closed_and_outward(&m);
+        // Concavity: volume strictly below AABB volume * 0.8.
+        assert!(m.signed_volume() < 0.8 * m.aabb().volume());
+    }
+
+    #[test]
+    fn star_prism_is_closed_outward() {
+        closed_and_outward(&star_prism(5, 2.0, 0.8, 1.0));
+    }
+
+    #[test]
+    fn bowl_is_closed_outward_and_hollow() {
+        let m = bowl(2.0, 1.6, 16, 6);
+        closed_and_outward(&m);
+        let shell = 2.0 / 3.0 * PI * (2.0f32.powi(3) - 1.6f32.powi(3));
+        assert!((m.signed_volume() - shell).abs() / shell < 0.05);
+    }
+
+    #[test]
+    fn triangulate_square() {
+        let pts = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(0.0, 1.0),
+        ];
+        let tris = triangulate_polygon(&pts);
+        assert_eq!(tris.len(), 2);
+        let area: f32 = tris
+            .iter()
+            .map(|&[a, b, c]| {
+                let (a, b, c) = (pts[a as usize], pts[b as usize], pts[c as usize]);
+                (b - a).perp_dot(c - a) * 0.5
+            })
+            .sum();
+        assert!((area - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn triangulate_concave_l() {
+        let pts = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 0.0),
+            Vec2::new(2.0, 1.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(1.0, 2.0),
+            Vec2::new(0.0, 2.0),
+        ];
+        let tris = triangulate_polygon(&pts);
+        assert_eq!(tris.len(), 4);
+        let area: f32 = tris
+            .iter()
+            .map(|&[a, b, c]| {
+                let (a, b, c) = (pts[a as usize], pts[b as usize], pts[c as usize]);
+                (b - a).perp_dot(c - a) * 0.5
+            })
+            .sum();
+        assert!((area - 3.0).abs() < 1e-5);
+        // Every triangle is positively oriented.
+        for &[a, b, c] in &tris {
+            let (a, b, c) = (pts[a as usize], pts[b as usize], pts[c as usize]);
+            assert!((b - a).perp_dot(c - a) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn triangulate_rejects_degenerate() {
+        let _ = triangulate_polygon(&[Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0)]);
+    }
+
+    #[test]
+    fn tessellated_slab_is_closed_outward() {
+        let m = tessellated_slab(Vec3::new(4.0, 0.25, 8.0), 6, 10);
+        closed_and_outward(&m);
+        assert_eq!(m.triangle_count() as u32, 6 * 10 * 4 + 2 * (6 + 10) * 2);
+        let v = 8.0 * 0.5 * 16.0; // full extents 8 × 0.5 × 16
+        assert!((m.signed_volume() - v).abs() / v < 1e-4);
+    }
+
+    #[test]
+    fn tessellated_slab_1x1_matches_cuboid_volume() {
+        let m = tessellated_slab(Vec3::new(1.0, 1.0, 1.0), 1, 1);
+        closed_and_outward(&m);
+        assert!((m.signed_volume() - 8.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ground_quad_faces_up() {
+        let g = ground_quad(5.0, 5.0);
+        for t in g.triangles() {
+            assert!(t.normal().unwrap().y > 0.99);
+        }
+    }
+
+    #[test]
+    fn generators_reject_bad_input() {
+        use std::panic::catch_unwind;
+        assert!(catch_unwind(|| cuboid(Vec3::new(-1.0, 1.0, 1.0))).is_err());
+        assert!(catch_unwind(|| uv_sphere(0.0, 8, 4)).is_err());
+        assert!(catch_unwind(|| torus(1.0, 2.0, 8, 8)).is_err());
+        assert!(catch_unwind(|| star_prism(2, 2.0, 1.0, 1.0)).is_err());
+        assert!(catch_unwind(|| bowl(1.0, 2.0, 8, 4)).is_err());
+    }
+}
+
+/// A closed, axis-aligned slab whose top and bottom surfaces are
+/// tessellated into an `nx` × `nz` grid — the shape of a terrain /
+/// floor *collision mesh* (games ship tessellated collision geometry
+/// for terrain, which is what makes per-frame AABB refits expensive).
+///
+/// # Panics
+///
+/// Panics on non-positive half-extents or a grid smaller than 1×1.
+pub fn tessellated_slab(half: Vec3, nx: u32, nz: u32) -> Mesh {
+    assert!(half.x > 0.0 && half.y > 0.0 && half.z > 0.0, "tessellated_slab: bad extents");
+    assert!(nx >= 1 && nz >= 1, "tessellated_slab: grid too coarse");
+    let (w, h, d) = (half.x, half.y, half.z);
+    let mut positions = Vec::new();
+    let grid_at = |y: f32, positions: &mut Vec<Vec3>| -> u32 {
+        let base = positions.len() as u32;
+        for iz in 0..=nz {
+            for ix in 0..=nx {
+                positions.push(Vec3::new(
+                    -w + 2.0 * w * ix as f32 / nx as f32,
+                    y,
+                    -d + 2.0 * d * iz as f32 / nz as f32,
+                ));
+            }
+        }
+        base
+    };
+    let top = grid_at(h, &mut positions);
+    let bot = grid_at(-h, &mut positions);
+    let at = |base: u32, ix: u32, iz: u32| base + iz * (nx + 1) + ix;
+
+    let mut triangles = Vec::new();
+    for iz in 0..nz {
+        for ix in 0..nx {
+            // Top face: +Y normal, CCW from above.
+            let (a, b, c, d2) = (
+                at(top, ix, iz),
+                at(top, ix + 1, iz),
+                at(top, ix + 1, iz + 1),
+                at(top, ix, iz + 1),
+            );
+            triangles.push([a, c, b]);
+            triangles.push([a, d2, c]);
+            // Bottom face: -Y normal.
+            let (a, b, c, d2) = (
+                at(bot, ix, iz),
+                at(bot, ix + 1, iz),
+                at(bot, ix + 1, iz + 1),
+                at(bot, ix, iz + 1),
+            );
+            triangles.push([a, b, c]);
+            triangles.push([a, c, d2]);
+        }
+    }
+    // Side walls: stitch the four perimeter strips.
+    for ix in 0..nx {
+        // -Z edge (iz = 0): outward normal -Z.
+        let (t0, t1) = (at(top, ix, 0), at(top, ix + 1, 0));
+        let (b0, b1) = (at(bot, ix, 0), at(bot, ix + 1, 0));
+        triangles.push([t0, t1, b1]);
+        triangles.push([t0, b1, b0]);
+        // +Z edge: outward +Z.
+        let (t0, t1) = (at(top, ix, nz), at(top, ix + 1, nz));
+        let (b0, b1) = (at(bot, ix, nz), at(bot, ix + 1, nz));
+        triangles.push([t1, t0, b0]);
+        triangles.push([t1, b0, b1]);
+    }
+    for iz in 0..nz {
+        // -X edge: outward -X.
+        let (t0, t1) = (at(top, 0, iz), at(top, 0, iz + 1));
+        let (b0, b1) = (at(bot, 0, iz), at(bot, 0, iz + 1));
+        triangles.push([t1, t0, b0]);
+        triangles.push([t1, b0, b1]);
+        // +X edge: outward +X.
+        let (t0, t1) = (at(top, nx, iz), at(top, nx, iz + 1));
+        let (b0, b1) = (at(bot, nx, iz), at(bot, nx, iz + 1));
+        triangles.push([t0, t1, b1]);
+        triangles.push([t0, b1, b0]);
+    }
+    Mesh::new(positions, triangles).expect("tessellated_slab is well-formed")
+}

@@ -1,0 +1,269 @@
+//! A simple set-associative cache model with LRU replacement.
+//!
+//! Used for the vertex cache and tile cache of the geometry/raster
+//! pipelines. The model tracks hits and misses per access; miss *timing*
+//! is applied by the simulator (latency divided by the configured
+//! memory-level parallelism), and miss *energy* is charged per line fill.
+
+/// Geometry of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not yield at least one set.
+    pub fn sets(&self) -> u64 {
+        let sets = self.size_bytes / (self.line_bytes * self.ways as u64);
+        assert!(sets > 0, "cache too small for its associativity");
+        sets
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read accesses.
+    pub read_accesses: u64,
+    /// Read misses.
+    pub read_misses: u64,
+    /// Write accesses.
+    pub write_accesses: u64,
+    /// Write misses (write-allocate).
+    pub write_misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.read_accesses + self.write_accesses
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Accumulates another stats block.
+    pub fn add(&mut self, other: &CacheStats) {
+        self.read_accesses += other.read_accesses;
+        self.read_misses += other.read_misses;
+        self.write_accesses += other.write_accesses;
+        self.write_misses += other.write_misses;
+    }
+}
+
+/// A set-associative, write-allocate, LRU cache.
+#[derive(Debug, Clone)]
+pub struct CacheModel {
+    config: CacheConfig,
+    /// `sets × ways` tags; `u64::MAX` marks an empty way.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl CacheModel {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration yields zero sets.
+    pub fn new(config: CacheConfig) -> Self {
+        let entries = (config.sets() as usize) * config.ways as usize;
+        Self {
+            config,
+            tags: vec![u64::MAX; entries],
+            stamps: vec![0; entries],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration the model was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears contents and statistics.
+    pub fn reset(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stamps.fill(0);
+        self.clock = 0;
+        self.stats = CacheStats::default();
+    }
+
+    /// Clears statistics but keeps cache contents (e.g. between frames).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn touch(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let line = addr / self.config.line_bytes;
+        let sets = self.config.sets();
+        let set = (line % sets) as usize;
+        let ways = self.config.ways as usize;
+        let base = set * ways;
+        // Hit?
+        for w in 0..ways {
+            if self.tags[base + w] == line {
+                self.stamps[base + w] = self.clock;
+                return true;
+            }
+        }
+        // Miss: evict LRU.
+        let victim = (0..ways)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("ways >= 1");
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
+    /// Performs a read of the line containing `addr`; returns `true` on
+    /// hit.
+    pub fn read(&mut self, addr: u64) -> bool {
+        self.stats.read_accesses += 1;
+        let hit = self.touch(addr);
+        if !hit {
+            self.stats.read_misses += 1;
+        }
+        hit
+    }
+
+    /// Performs a write (write-allocate) of the line containing `addr`;
+    /// returns `true` on hit.
+    pub fn write(&mut self, addr: u64) -> bool {
+        self.stats.write_accesses += 1;
+        let hit = self.touch(addr);
+        if !hit {
+            self.stats.write_misses += 1;
+        }
+        hit
+    }
+
+    /// Reads a `bytes`-long object starting at `addr`, touching every
+    /// line it spans.
+    pub fn read_span(&mut self, addr: u64, bytes: u64) {
+        let first = addr / self.config.line_bytes;
+        let last = (addr + bytes.max(1) - 1) / self.config.line_bytes;
+        for line in first..=last {
+            self.read(line * self.config.line_bytes);
+        }
+    }
+
+    /// Writes a `bytes`-long object starting at `addr`.
+    pub fn write_span(&mut self, addr: u64, bytes: u64) {
+        let first = addr / self.config.line_bytes;
+        let last = (addr + bytes.max(1) - 1) / self.config.line_bytes;
+        for line in first..=last {
+            self.write(line * self.config.line_bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheModel {
+        // 2 sets × 2 ways × 64 B lines = 256 B.
+        CacheModel::new(CacheConfig { line_bytes: 64, ways: 2, size_bytes: 256 })
+    }
+
+    #[test]
+    fn sets_computation() {
+        assert_eq!(CacheConfig { line_bytes: 64, ways: 2, size_bytes: 4096 }.sets(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn zero_sets_rejected() {
+        let _ = CacheConfig { line_bytes: 64, ways: 8, size_bytes: 256 }.sets();
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = tiny();
+        assert!(!c.read(0));
+        assert!(c.read(0));
+        assert!(c.read(63)); // same line
+        assert!(!c.read(64)); // next line
+        assert_eq!(c.stats().read_accesses, 4);
+        assert_eq!(c.stats().read_misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = tiny();
+        // Set index = (addr/64) % 2. Lines 0, 2, 4 all map to set 0.
+        assert!(!c.read(0));
+        assert!(!c.read(2 * 64));
+        assert!(!c.read(4 * 64)); // evicts line 0 (LRU)
+        assert!(!c.read(0)); // line 0 gone again
+        assert!(c.read(4 * 64)); // still resident
+    }
+
+    #[test]
+    fn lru_respects_recency() {
+        let mut c = tiny();
+        c.read(0);
+        c.read(2 * 64);
+        c.read(0); // refresh line 0 → line 2 is now LRU
+        c.read(4 * 64); // evicts line 2
+        assert!(c.read(0));
+        assert!(!c.read(2 * 64));
+    }
+
+    #[test]
+    fn write_allocate() {
+        let mut c = tiny();
+        assert!(!c.write(128));
+        assert!(c.read(128));
+        assert_eq!(c.stats().write_misses, 1);
+    }
+
+    #[test]
+    fn span_touches_every_line() {
+        let mut c = tiny();
+        c.read_span(0, 130); // lines 0, 1, 2
+        assert_eq!(c.stats().read_accesses, 3);
+        c.write_span(60, 8); // straddles lines 0 and 1
+        assert_eq!(c.stats().write_accesses, 2);
+    }
+
+    #[test]
+    fn reset_clears_contents() {
+        let mut c = tiny();
+        c.read(0);
+        c.reset();
+        assert!(!c.read(0));
+        assert_eq!(c.stats().read_accesses, 1);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = tiny();
+        c.read(0);
+        c.reset_stats();
+        assert!(c.read(0));
+        assert_eq!(c.stats().read_misses, 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Near-plane clipping in clip space.
+//!
+//! The geometry pipeline clips assembled triangles against the near plane
+//! (`z + w >= 0` in OpenGL clip space) before the perspective divide;
+//! triangles entirely behind the camera vanish, straddling ones are
+//! re-tessellated into one or two triangles. Side planes are left to the
+//! rasterizer's tile scissoring (guard-band clipping, as real mobile
+//! GPUs do).
+
+use rbcd_math::Vec4;
+
+const EPS: f32 = 1e-7;
+
+/// Clips the triangle `(a, b, c)` (clip-space positions) against the
+/// near plane `z + w >= 0`.
+///
+/// Returns 0, 1, or 2 triangles. Winding (and therefore facing) is
+/// preserved.
+pub fn clip_near(a: Vec4, b: Vec4, c: Vec4) -> Vec<[Vec4; 3]> {
+    let dist = |v: Vec4| v.z + v.w;
+    let verts = [a, b, c];
+    let d = [dist(a), dist(b), dist(c)];
+
+    let inside: Vec<usize> = (0..3).filter(|&i| d[i] >= -EPS).collect();
+    match inside.len() {
+        3 => vec![[a, b, c]],
+        0 => Vec::new(),
+        n => {
+            // Sutherland–Hodgman against the single plane, preserving order.
+            let mut poly: Vec<Vec4> = Vec::with_capacity(4);
+            for i in 0..3 {
+                let j = (i + 1) % 3;
+                let (vi, vj) = (verts[i], verts[j]);
+                let (di, dj) = (d[i], d[j]);
+                if di >= -EPS {
+                    poly.push(vi);
+                }
+                if (di >= -EPS) != (dj >= -EPS) {
+                    let t = di / (di - dj);
+                    poly.push(Vec4::new(
+                        vi.x + (vj.x - vi.x) * t,
+                        vi.y + (vj.y - vi.y) * t,
+                        vi.z + (vj.z - vi.z) * t,
+                        vi.w + (vj.w - vi.w) * t,
+                    ));
+                }
+            }
+            debug_assert_eq!(poly.len(), if n == 1 { 3 } else { 4 });
+            match poly.len() {
+                3 => vec![[poly[0], poly[1], poly[2]]],
+                4 => vec![[poly[0], poly[1], poly[2]], [poly[0], poly[2], poly[3]]],
+                _ => Vec::new(), // numerically degenerate sliver
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: f32, y: f32, z: f32, w: f32) -> Vec4 {
+        Vec4::new(x, y, z, w)
+    }
+
+    #[test]
+    fn fully_inside_passes_through() {
+        let t = clip_near(v(0.0, 0.0, 0.0, 1.0), v(1.0, 0.0, 0.0, 1.0), v(0.0, 1.0, 0.0, 1.0));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn fully_behind_vanishes() {
+        let t = clip_near(
+            v(0.0, 0.0, -2.0, 1.0),
+            v(1.0, 0.0, -2.0, 1.0),
+            v(0.0, 1.0, -2.0, 1.0),
+        );
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn one_vertex_inside_yields_one_triangle() {
+        let t = clip_near(
+            v(0.0, 0.0, 0.0, 1.0),   // inside (d = 1)
+            v(1.0, 0.0, -2.0, 1.0),  // outside (d = -1)
+            v(-1.0, 0.0, -2.0, 1.0), // outside
+        );
+        assert_eq!(t.len(), 1);
+        // All output vertices satisfy z + w >= 0.
+        for tri in &t {
+            for p in tri {
+                assert!(p.z + p.w >= -1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn two_vertices_inside_yield_two_triangles() {
+        let t = clip_near(
+            v(0.0, 0.0, 0.0, 1.0),
+            v(1.0, 0.0, 0.0, 1.0),
+            v(0.0, 1.0, -2.0, 1.0), // outside
+        );
+        assert_eq!(t.len(), 2);
+        for tri in &t {
+            for p in tri {
+                assert!(p.z + p.w >= -1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn clip_points_lie_on_plane() {
+        let t = clip_near(
+            v(0.0, 0.0, 1.0, 1.0),
+            v(2.0, 0.0, -3.0, 1.0),
+            v(-2.0, 0.0, -3.0, 1.0),
+        );
+        let mut on_plane = 0;
+        for tri in &t {
+            for p in tri {
+                if (p.z + p.w).abs() < 1e-4 {
+                    on_plane += 1;
+                }
+            }
+        }
+        assert!(on_plane >= 2, "expected intersection points on the near plane");
+    }
+
+    #[test]
+    fn winding_preserved_for_two_triangle_case() {
+        // Signed area in (x, y) after projection must keep its sign.
+        let a = v(0.0, 0.0, 0.0, 1.0);
+        let b = v(1.0, 0.0, 0.0, 1.0);
+        let c = v(0.0, 1.0, -2.0, 1.0);
+        let orig_sign = {
+            let (pa, pb, pc) = (a.project(), b.project(), c.project());
+            ((pb.x - pa.x) * (pc.y - pa.y) - (pb.y - pa.y) * (pc.x - pa.x)).signum()
+        };
+        for tri in clip_near(a, b, c) {
+            let (pa, pb, pc) = (tri[0].project(), tri[1].project(), tri[2].project());
+            let s = (pb.x - pa.x) * (pc.y - pa.y) - (pb.y - pa.y) * (pc.x - pa.x);
+            if s.abs() > 1e-9 {
+                assert_eq!(s.signum(), orig_sign);
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! The attachment point for the RBCD unit (implemented in `rbcd-core`).
+//!
+//! Mirrors the paper's Figure 3: the Rasterizer forwards every
+//! collisionable fragment to the unit, which stores it into the active
+//! ZEB; when a tile finishes rasterizing, the unit's Z-overlap scan runs
+//! while the Raster Pipeline moves on — if a free ZEB exists. The Tile
+//! Scheduler otherwise stalls (§3.5), which is what
+//! [`CollisionUnit::next_free`] models.
+
+use crate::command::{Facing, ObjectId};
+
+/// Tile coordinates in the tile grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TileCoord {
+    /// Tile column.
+    pub x: u32,
+    /// Tile row.
+    pub y: u32,
+}
+
+/// A collisionable fragment as delivered by the rasterizer to the RBCD
+/// unit: window position, depth, owning object, and face orientation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollisionFragment {
+    /// Pixel x in window coordinates.
+    pub x: u32,
+    /// Pixel y in window coordinates.
+    pub y: u32,
+    /// Window depth in `[0, 1]`.
+    pub z: f32,
+    /// Owning collisionable object.
+    pub object: ObjectId,
+    /// Front (entry) or back (exit) face.
+    pub facing: Facing,
+}
+
+/// Hardware attached to the rasterizer output for collision detection.
+///
+/// Timing protocol, all in GPU cycles:
+///
+/// 1. The Tile Scheduler calls [`next_free`](Self::next_free) before
+///    dispatching a tile; if the returned cycle is in the future, the
+///    Raster Pipeline stalls until then (single-ZEB behaviour, §3.5).
+/// 2. [`begin_tile`](Self::begin_tile) claims a ZEB at the (possibly
+///    stalled) start cycle.
+/// 3. [`insert`](Self::insert) is called once per collisionable fragment
+///    during rasterization.
+/// 4. [`finish_tile`](Self::finish_tile) marks the end of rasterization;
+///    the unit schedules its Z-overlap scan from that cycle and keeps
+///    the ZEB busy until the scan completes.
+pub trait CollisionUnit {
+    /// Earliest cycle at which a ZEB becomes available for a new tile.
+    fn next_free(&self) -> u64;
+
+    /// Claims a ZEB for `tile`, starting at `cycle`.
+    fn begin_tile(&mut self, tile: TileCoord, cycle: u64);
+
+    /// Stores one collisionable fragment into the active ZEB.
+    fn insert(&mut self, frag: CollisionFragment);
+
+    /// Rasterization for the active tile completed at `cycle`; runs the
+    /// Z-overlap scan and releases the ZEB when it finishes.
+    fn finish_tile(&mut self, cycle: u64);
+
+    /// Cycle at which all pending work (including the last scan) is done.
+    fn idle_at(&self) -> u64;
+}
+
+/// The baseline GPU: no collision hardware. All methods are free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullCollisionUnit;
+
+impl CollisionUnit for NullCollisionUnit {
+    fn next_free(&self) -> u64 {
+        0
+    }
+
+    fn begin_tile(&mut self, _tile: TileCoord, _cycle: u64) {}
+
+    fn insert(&mut self, _frag: CollisionFragment) {}
+
+    fn finish_tile(&mut self, _cycle: u64) {}
+
+    fn idle_at(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_unit_is_always_free() {
+        let mut u = NullCollisionUnit;
+        assert_eq!(u.next_free(), 0);
+        u.begin_tile(TileCoord { x: 0, y: 0 }, 100);
+        u.insert(CollisionFragment {
+            x: 0,
+            y: 0,
+            z: 0.5,
+            object: ObjectId::new(1),
+            facing: Facing::Front,
+        });
+        u.finish_tile(200);
+        assert_eq!(u.next_free(), 0);
+        assert_eq!(u.idle_at(), 0);
+    }
+}

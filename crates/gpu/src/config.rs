@@ -1,0 +1,179 @@
+//! GPU configuration: the paper's Table 1, as data.
+
+use crate::cache::CacheConfig;
+use rbcd_math::Viewport;
+
+/// Configuration of the simulated GPU.
+///
+/// Defaults reproduce the paper's Table 1 ("CPU/GPU Simulation
+/// Parameters", GPU half): a 400 MHz, Mali-400-MP-class tile-based GPU
+/// with one vertex processor, four fragment processors, a 4-fragment-per-
+/// cycle rasterizer, 16×16-pixel tiles and an 800×480 (WVGA) screen.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Core clock in Hz (Table 1: 400 MHz).
+    pub frequency_hz: u64,
+    /// Supply voltage in volts (Table 1: 1 V); informational, folded into
+    /// the energy constants.
+    pub voltage: f32,
+    /// Process node in nanometres (Table 1: 32 nm); informational.
+    pub technology_nm: u32,
+    /// Render target (Table 1: 800×480 WVGA).
+    pub viewport: Viewport,
+    /// Tile edge in pixels (Table 1: 16×16).
+    pub tile_size: u32,
+
+    /// Number of programmable vertex processors (Table 1: 1).
+    pub vertex_processors: u32,
+    /// Number of programmable fragment processors (Table 1: 4).
+    pub fragment_processors: u32,
+    /// Rasterizer throughput in fragments per cycle (Table 1: 4).
+    pub raster_frags_per_cycle: u32,
+    /// Primitive assembly throughput in triangles per cycle (Table 1: 1).
+    pub triangles_per_cycle: u32,
+    /// Fixed per-primitive rasterizer setup cycles.
+    pub raster_setup_cycles: u64,
+    /// Fixed per-tile overhead cycles (scheduling + colour buffer flush).
+    pub tile_overhead_cycles: u64,
+
+    /// Minimum main-memory latency in cycles (Table 1: 50).
+    pub mem_latency_min: u64,
+    /// Maximum main-memory latency in cycles (Table 1: 100).
+    pub mem_latency_max: u64,
+    /// Memory-level parallelism: outstanding misses that overlap; miss
+    /// stall cycles are divided by this.
+    pub memory_parallelism: u64,
+    /// DRAM bandwidth in bytes per GPU cycle (Table 1: 4, dual channel).
+    pub dram_bytes_per_cycle: u64,
+    /// Fraction of a transfer's bus occupancy that surfaces as pipeline
+    /// delay. Prefetching and write buffers hide most latency, but
+    /// contention for the shared bus still slows the pipelines — the
+    /// Tile-Cache traffic cost the paper's §3.3 calls out.
+    pub dram_contention: f64,
+
+    /// Vertex cache (Table 1: 4 KB, 2-way, 64 B lines).
+    pub vertex_cache: CacheConfig,
+    /// Tile cache in front of the polygon lists (Teapot models this
+    /// between the Polygon List Builder / Tile Fetcher and the L2).
+    pub tile_cache: CacheConfig,
+    /// L2 cache (Table 1: 128 KB, 8-way, 64 B lines).
+    pub l2_cache: CacheConfig,
+
+    /// Size in bytes of one binned primitive record in the polygon lists.
+    pub prim_record_bytes: u64,
+    /// Size in bytes of one vertex record fetched by the vertex fetcher.
+    pub vertex_record_bytes: u64,
+
+    /// Queue capacities, for configuration echo (Table 1). The timing
+    /// model abstracts queues through the `memory_parallelism` and
+    /// per-tile `max()` overlap rules.
+    pub vertex_queue_entries: u32,
+    /// Triangle queue capacity (Table 1: 16 entries).
+    pub triangle_queue_entries: u32,
+    /// Fragment queue capacity (Table 1: 64 entries).
+    pub fragment_queue_entries: u32,
+    /// Tile queue capacity (Table 1: 16 entries).
+    pub tile_queue_entries: u32,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self {
+            frequency_hz: 400_000_000,
+            voltage: 1.0,
+            technology_nm: 32,
+            viewport: Viewport::new(800, 480),
+            tile_size: 16,
+            vertex_processors: 1,
+            fragment_processors: 4,
+            raster_frags_per_cycle: 4,
+            triangles_per_cycle: 1,
+            raster_setup_cycles: 1,
+            tile_overhead_cycles: 32,
+            mem_latency_min: 50,
+            mem_latency_max: 100,
+            memory_parallelism: 4,
+            dram_bytes_per_cycle: 4,
+            dram_contention: 0.1,
+            vertex_cache: CacheConfig { line_bytes: 64, ways: 2, size_bytes: 4 * 1024 },
+            tile_cache: CacheConfig { line_bytes: 64, ways: 2, size_bytes: 16 * 1024 },
+            l2_cache: CacheConfig { line_bytes: 64, ways: 8, size_bytes: 128 * 1024 },
+            prim_record_bytes: 32,
+            vertex_record_bytes: 16,
+            vertex_queue_entries: 16,
+            triangle_queue_entries: 16,
+            fragment_queue_entries: 64,
+            tile_queue_entries: 16,
+        }
+    }
+}
+
+impl GpuConfig {
+    /// Average main-memory latency in cycles.
+    pub fn mem_latency_avg(&self) -> u64 {
+        (self.mem_latency_min + self.mem_latency_max) / 2
+    }
+
+    /// Number of tile columns for the configured viewport.
+    pub fn tiles_x(&self) -> u32 {
+        self.viewport.width.div_ceil(self.tile_size)
+    }
+
+    /// Number of tile rows for the configured viewport.
+    pub fn tiles_y(&self) -> u32 {
+        self.viewport.height.div_ceil(self.tile_size)
+    }
+
+    /// Total tile count.
+    pub fn tile_count(&self) -> u32 {
+        self.tiles_x() * self.tiles_y()
+    }
+
+    /// Converts a cycle count to seconds at the configured clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.frequency_hz as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = GpuConfig::default();
+        assert_eq!(c.frequency_hz, 400_000_000);
+        assert_eq!(c.viewport.width, 800);
+        assert_eq!(c.viewport.height, 480);
+        assert_eq!(c.tile_size, 16);
+        assert_eq!(c.fragment_processors, 4);
+        assert_eq!(c.vertex_processors, 1);
+        assert_eq!(c.raster_frags_per_cycle, 4);
+        assert_eq!(c.l2_cache.size_bytes, 128 * 1024);
+        assert_eq!(c.mem_latency_avg(), 75);
+    }
+
+    #[test]
+    fn tile_grid_covers_screen() {
+        let c = GpuConfig::default();
+        assert_eq!(c.tiles_x(), 50);
+        assert_eq!(c.tiles_y(), 30);
+        assert_eq!(c.tile_count(), 1500);
+    }
+
+    #[test]
+    fn odd_viewport_rounds_up() {
+        let c = GpuConfig {
+            viewport: Viewport::new(17, 31),
+            ..GpuConfig::default()
+        };
+        assert_eq!(c.tiles_x(), 2);
+        assert_eq!(c.tiles_y(), 2);
+    }
+
+    #[test]
+    fn cycles_to_seconds_at_400mhz() {
+        let c = GpuConfig::default();
+        assert!((c.cycles_to_seconds(400_000_000) - 1.0).abs() < 1e-12);
+    }
+}

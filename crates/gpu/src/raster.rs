@@ -1,0 +1,267 @@
+//! Software rasterizer: edge-function scan conversion within a tile.
+//!
+//! This produces the exact fragment sets the timing model counts and the
+//! RBCD unit consumes. Sampling is at pixel centres `(x + 0.5, y + 0.5)`
+//! with an inclusive edge test (ties produce a fragment on both adjacent
+//! triangles — acceptable for collision purposes, where the paper only
+//! needs depth coverage, not exact one-sample ownership).
+
+use crate::command::Facing;
+use rbcd_math::Vec3;
+
+/// A triangle in window coordinates: `x`/`y` in pixels, `z` in `[0, 1]`
+/// window depth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScreenTriangle {
+    /// Window-space vertices.
+    pub v: [Vec3; 3],
+}
+
+impl ScreenTriangle {
+    /// Creates a screen triangle.
+    pub const fn new(a: Vec3, b: Vec3, c: Vec3) -> Self {
+        Self { v: [a, b, c] }
+    }
+
+    /// Twice the signed area in window space. Positive means
+    /// counter-clockwise in a Y-up window coordinate system — a
+    /// front face under the OpenGL `CCW` convention.
+    pub fn signed_area2(&self) -> f32 {
+        let [a, b, c] = self.v;
+        (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+    }
+
+    /// Facing from the window-space winding, or `None` for a degenerate
+    /// (zero-area) triangle.
+    pub fn facing(&self) -> Option<Facing> {
+        let a2 = self.signed_area2();
+        if a2 > 0.0 {
+            Some(Facing::Front)
+        } else if a2 < 0.0 {
+            Some(Facing::Back)
+        } else {
+            None
+        }
+    }
+
+    /// Pixel-aligned bounding box `(x0, y0, x1, y1)`, inclusive, clamped
+    /// to the given bounds; `None` when entirely outside.
+    pub fn pixel_bounds(&self, max_x: u32, max_y: u32) -> Option<(u32, u32, u32, u32)> {
+        let xs = [self.v[0].x, self.v[1].x, self.v[2].x];
+        let ys = [self.v[0].y, self.v[1].y, self.v[2].y];
+        let min_x = xs.iter().fold(f32::INFINITY, |m, &v| m.min(v));
+        let max_xf = xs.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let min_y = ys.iter().fold(f32::INFINITY, |m, &v| m.min(v));
+        let max_yf = ys.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        if max_xf < 0.0 || max_yf < 0.0 || min_x >= max_x as f32 || min_y >= max_y as f32 {
+            return None;
+        }
+        // A pixel (px, py) samples at centre (px+0.5, py+0.5); the
+        // triangle can only cover centres in [min-0.5, max-0.5).
+        let x0 = (min_x - 0.5).ceil().max(0.0) as u32;
+        let y0 = (min_y - 0.5).ceil().max(0.0) as u32;
+        let x1 = ((max_xf - 0.5).floor().max(0.0) as u32).min(max_x - 1);
+        let y1 = ((max_yf - 0.5).floor().max(0.0) as u32).min(max_y - 1);
+        if x0 > x1 || y0 > y1 {
+            return None;
+        }
+        Some((x0, y0, x1, y1))
+    }
+}
+
+/// One rasterized fragment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fragment {
+    /// Pixel x in window coordinates.
+    pub x: u32,
+    /// Pixel y in window coordinates.
+    pub y: u32,
+    /// Interpolated window depth in `[0, 1]` (0 = near plane).
+    pub z: f32,
+}
+
+/// Rasterizes `tri` restricted to the tile with pixel origin
+/// `(tile_x0, tile_y0)` and edge `tile_size`, clipped to the viewport
+/// `(vp_w, vp_h)`, appending fragments to `out`.
+///
+/// Returns the number of fragments produced. Depth is interpolated
+/// linearly in window space (the standard Z-buffer interpolation).
+pub fn rasterize_triangle_in_tile(
+    tri: &ScreenTriangle,
+    tile_x0: u32,
+    tile_y0: u32,
+    tile_size: u32,
+    vp_w: u32,
+    vp_h: u32,
+    out: &mut Vec<Fragment>,
+) -> usize {
+    let area2 = tri.signed_area2();
+    if area2 == 0.0 {
+        return 0;
+    }
+    // Normalize to CCW for the inside test; depth weights use the
+    // original barycentrics either way.
+    let [a, b, c] = tri.v;
+    let inv_area2 = 1.0 / area2;
+
+    let Some((bx0, by0, bx1, by1)) = tri.pixel_bounds(vp_w, vp_h) else {
+        return 0;
+    };
+    let tx1 = (tile_x0 + tile_size - 1).min(vp_w - 1);
+    let ty1 = (tile_y0 + tile_size - 1).min(vp_h - 1);
+    let x0 = bx0.max(tile_x0);
+    let x1 = bx1.min(tx1);
+    let y0 = by0.max(tile_y0);
+    let y1 = by1.min(ty1);
+    if x0 > x1 || y0 > y1 {
+        return 0;
+    }
+
+    let edge = |px: f32, py: f32, p: Vec3, q: Vec3| (q.x - p.x) * (py - p.y) - (q.y - p.y) * (px - p.x);
+    let mut count = 0;
+    for py in y0..=y1 {
+        let cy = py as f32 + 0.5;
+        for px in x0..=x1 {
+            let cx = px as f32 + 0.5;
+            // Barycentric weights scaled by 2·area; sign matches area2.
+            let w0 = edge(cx, cy, b, c);
+            let w1 = edge(cx, cy, c, a);
+            let w2 = edge(cx, cy, a, b);
+            let inside = if area2 > 0.0 {
+                w0 >= 0.0 && w1 >= 0.0 && w2 >= 0.0
+            } else {
+                w0 <= 0.0 && w1 <= 0.0 && w2 <= 0.0
+            };
+            if inside {
+                let z = (w0 * a.z + w1 * b.z + w2 * c.z) * inv_area2;
+                out.push(Fragment { x: px, y: py, z });
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_screen_tri() -> ScreenTriangle {
+        // CCW triangle covering the lower-left half of a 16×16 region.
+        ScreenTriangle::new(
+            Vec3::new(0.0, 0.0, 0.2),
+            Vec3::new(16.0, 0.0, 0.2),
+            Vec3::new(0.0, 16.0, 0.2),
+        )
+    }
+
+    fn raster_all(tri: &ScreenTriangle, size: u32) -> Vec<Fragment> {
+        let mut out = Vec::new();
+        rasterize_triangle_in_tile(tri, 0, 0, size, size, size, &mut out);
+        out
+    }
+
+    #[test]
+    fn facing_from_winding() {
+        let t = full_screen_tri();
+        assert_eq!(t.facing(), Some(Facing::Front));
+        let flipped = ScreenTriangle::new(t.v[0], t.v[2], t.v[1]);
+        assert_eq!(flipped.facing(), Some(Facing::Back));
+        let degen = ScreenTriangle::new(t.v[0], t.v[0], t.v[1]);
+        assert_eq!(degen.facing(), None);
+    }
+
+    #[test]
+    fn half_square_coverage() {
+        // The CCW right triangle with legs 16 covers ~half of 256 pixels.
+        let frags = raster_all(&full_screen_tri(), 16);
+        assert!(frags.len() >= 110 && frags.len() <= 136, "got {}", frags.len());
+    }
+
+    #[test]
+    fn back_face_rasterizes_identically() {
+        let t = full_screen_tri();
+        let flipped = ScreenTriangle::new(t.v[0], t.v[2], t.v[1]);
+        let a = raster_all(&t, 16);
+        let b = raster_all(&flipped, 16);
+        assert_eq!(a.len(), b.len());
+        let mut pa: Vec<(u32, u32)> = a.iter().map(|f| (f.x, f.y)).collect();
+        let mut pb: Vec<(u32, u32)> = b.iter().map(|f| (f.x, f.y)).collect();
+        pa.sort_unstable();
+        pb.sort_unstable();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn depth_interpolation_is_linear() {
+        // z varies from 0 at x=0 to 1 at x=16 across a full-cover quad
+        // split into this triangle.
+        let t = ScreenTriangle::new(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(16.0, 0.0, 1.0),
+            Vec3::new(0.0, 16.0, 0.0),
+        );
+        let frags = raster_all(&t, 16);
+        for f in &frags {
+            let expected = (f.x as f32 + 0.5) / 16.0;
+            assert!((f.z - expected).abs() < 1e-4, "pixel {},{}: z={} expected {}", f.x, f.y, f.z, expected);
+        }
+    }
+
+    #[test]
+    fn tile_restriction() {
+        let t = full_screen_tri();
+        let mut out = Vec::new();
+        rasterize_triangle_in_tile(&t, 8, 0, 8, 16, 16, &mut out);
+        assert!(out.iter().all(|f| f.x >= 8 && f.x < 16 && f.y < 8));
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn tiles_partition_coverage() {
+        // Sum of fragments over a 2×2 tiling equals whole-screen count.
+        let t = full_screen_tri();
+        let whole = raster_all(&t, 16).len();
+        let mut total = 0;
+        for ty in [0u32, 8] {
+            for tx in [0u32, 8] {
+                let mut out = Vec::new();
+                rasterize_triangle_in_tile(&t, tx, ty, 8, 16, 16, &mut out);
+                total += out.len();
+            }
+        }
+        assert_eq!(total, whole);
+    }
+
+    #[test]
+    fn offscreen_triangle_produces_nothing() {
+        let t = ScreenTriangle::new(
+            Vec3::new(-30.0, -30.0, 0.5),
+            Vec3::new(-20.0, -30.0, 0.5),
+            Vec3::new(-30.0, -20.0, 0.5),
+        );
+        assert!(raster_all(&t, 16).is_empty());
+    }
+
+    #[test]
+    fn tiny_triangle_between_samples_is_empty() {
+        // Smaller than a pixel and away from any pixel centre.
+        let t = ScreenTriangle::new(
+            Vec3::new(3.1, 3.1, 0.5),
+            Vec3::new(3.3, 3.1, 0.5),
+            Vec3::new(3.1, 3.3, 0.5),
+        );
+        assert!(raster_all(&t, 16).is_empty());
+    }
+
+    #[test]
+    fn pixel_bounds_clamped() {
+        let t = ScreenTriangle::new(
+            Vec3::new(-5.0, -5.0, 0.0),
+            Vec3::new(40.0, -5.0, 0.0),
+            Vec3::new(-5.0, 40.0, 0.0),
+        );
+        let (x0, y0, x1, y1) = t.pixel_bounds(16, 16).unwrap();
+        assert_eq!((x0, y0, x1, y1), (0, 0, 15, 15));
+    }
+}

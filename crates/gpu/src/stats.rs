@@ -1,0 +1,155 @@
+//! Activity counters: the raw material of the paper's Figures 9–11.
+
+use crate::cache::CacheStats;
+
+/// Geometry Pipeline counters for one or more frames.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GeometryStats {
+    /// Vertices run through the vertex processor.
+    pub vertices_shaded: u64,
+    /// Triangles assembled by Primitive Assembly.
+    pub triangles_assembled: u64,
+    /// Triangles discarded by near-plane clipping (fully behind).
+    pub triangles_clipped_out: u64,
+    /// Triangles emitted after clipping (may exceed assembled).
+    pub triangles_after_clip: u64,
+    /// Triangles dropped by Face Culling.
+    pub triangles_culled: u64,
+    /// Collisionable triangles tagged-to-be-culled instead of dropped
+    /// (RBCD deferred face culling, §3.3). Zero in baseline mode.
+    pub triangles_tagged: u64,
+    /// Zero-area or off-screen triangles dropped before binning.
+    pub triangles_degenerate: u64,
+    /// (tile, primitive) binning entries written by the Polygon List
+    /// Builder.
+    pub bin_entries: u64,
+    /// Primitive records written (one per surviving triangle).
+    pub prim_records: u64,
+    /// Tile Cache activity on the store path.
+    pub tile_cache_stores: CacheStats,
+    /// Vertex cache activity.
+    pub vertex_cache: CacheStats,
+    /// Total vertex-processor instruction cycles (work, not wall time).
+    pub vp_busy_cycles: u64,
+    /// Geometry Pipeline cycles.
+    pub cycles: u64,
+}
+
+/// Raster Pipeline counters for one or more frames.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RasterStats {
+    /// Tiles with at least one primitive (processed tiles).
+    pub tiles_processed: u64,
+    /// Primitive records fetched from the Tile Cache (with repetition
+    /// across tiles).
+    pub primitives_fetched: u64,
+    /// Tile Cache activity on the load path.
+    pub tile_cache_loads: CacheStats,
+    /// Fragments produced by the Rasterizer (all of them, including
+    /// tagged-to-be-culled ones).
+    pub fragments_rasterized: u64,
+    /// Fragments forwarded to the RBCD unit.
+    pub fragments_collisionable: u64,
+    /// Fragments sent to the Early-Z test (excludes tagged-to-be-culled).
+    pub fragments_to_early_z: u64,
+    /// Fragments passing Early-Z and shaded by the fragment processors.
+    pub fragments_shaded: u64,
+    /// Distinct pixels covered by at least one shaded fragment — the
+    /// fragment count an ideal deferred renderer (PowerVR TBDR, §3.1)
+    /// would shade.
+    pub pixels_covered: u64,
+    /// Cycles the fragment processors spent shading.
+    pub fp_busy_cycles: u64,
+    /// Cycles the fragment processors sat idle while the pipeline ran.
+    pub fp_idle_cycles: u64,
+    /// Cycles the Tile Scheduler stalled waiting for a free ZEB (§3.5).
+    pub zeb_stall_cycles: u64,
+    /// Raster Pipeline cycles (including stalls).
+    pub cycles: u64,
+}
+
+/// Combined per-frame (or accumulated) statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FrameStats {
+    /// Geometry Pipeline counters.
+    pub geometry: GeometryStats,
+    /// Raster Pipeline counters.
+    pub raster: RasterStats,
+    /// Frames accumulated into this record.
+    pub frames: u64,
+}
+
+impl FrameStats {
+    /// Total GPU cycles: the Raster Pipeline starts when the frame's
+    /// geometry has been binned (TBR), so the pipelines serialize within
+    /// a frame.
+    pub fn total_cycles(&self) -> u64 {
+        self.geometry.cycles + self.raster.cycles
+    }
+
+    /// Accumulates another frame's counters into `self`.
+    pub fn accumulate(&mut self, other: &FrameStats) {
+        let g = &mut self.geometry;
+        let o = &other.geometry;
+        g.vertices_shaded += o.vertices_shaded;
+        g.triangles_assembled += o.triangles_assembled;
+        g.triangles_clipped_out += o.triangles_clipped_out;
+        g.triangles_after_clip += o.triangles_after_clip;
+        g.triangles_culled += o.triangles_culled;
+        g.triangles_tagged += o.triangles_tagged;
+        g.triangles_degenerate += o.triangles_degenerate;
+        g.bin_entries += o.bin_entries;
+        g.prim_records += o.prim_records;
+        g.tile_cache_stores.add(&o.tile_cache_stores);
+        g.vertex_cache.add(&o.vertex_cache);
+        g.vp_busy_cycles += o.vp_busy_cycles;
+        g.cycles += o.cycles;
+
+        let r = &mut self.raster;
+        let o = &other.raster;
+        r.tiles_processed += o.tiles_processed;
+        r.primitives_fetched += o.primitives_fetched;
+        r.tile_cache_loads.add(&o.tile_cache_loads);
+        r.fragments_rasterized += o.fragments_rasterized;
+        r.fragments_collisionable += o.fragments_collisionable;
+        r.fragments_to_early_z += o.fragments_to_early_z;
+        r.fragments_shaded += o.fragments_shaded;
+        r.pixels_covered += o.pixels_covered;
+        r.fp_busy_cycles += o.fp_busy_cycles;
+        r.fp_idle_cycles += o.fp_idle_cycles;
+        r.zeb_stall_cycles += o.zeb_stall_cycles;
+        r.cycles += o.cycles;
+
+        self.frames += other.frames;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_sums_everything() {
+        let mut a = FrameStats::default();
+        a.geometry.vertices_shaded = 10;
+        a.geometry.cycles = 100;
+        a.raster.fragments_rasterized = 50;
+        a.raster.cycles = 200;
+        a.frames = 1;
+        let mut total = FrameStats::default();
+        total.accumulate(&a);
+        total.accumulate(&a);
+        assert_eq!(total.geometry.vertices_shaded, 20);
+        assert_eq!(total.raster.fragments_rasterized, 100);
+        assert_eq!(total.total_cycles(), 600);
+        assert_eq!(total.frames, 2);
+    }
+
+    #[test]
+    fn total_is_geometry_plus_raster() {
+        let mut s = FrameStats::default();
+        s.geometry.cycles = 7;
+        s.raster.cycles = 11;
+        assert_eq!(s.total_cycles(), 18);
+    }
+}

@@ -1,0 +1,249 @@
+//! Axis-aligned bounding boxes.
+
+use crate::{Mat4, Vec3};
+
+/// An axis-aligned bounding box defined by its minimum and maximum corners.
+///
+/// The paper's baseline broad phase is "the most simple broad phase, an
+/// AABB overlap test" (§5.1); this type is shared by the CPU collision
+/// baselines and the GPU simulator's binning logic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// Creates a box from corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any `min` component exceeds the
+    /// corresponding `max` component.
+    pub fn new(min: Vec3, max: Vec3) -> Self {
+        debug_assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "Aabb::new: min {min:?} exceeds max {max:?}"
+        );
+        Self { min, max }
+    }
+
+    /// The box containing exactly one point.
+    pub fn from_point(p: Vec3) -> Self {
+        Self { min: p, max: p }
+    }
+
+    /// Smallest box containing all points, or `None` for an empty iterator.
+    pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut bb = Self::from_point(first);
+        for p in it {
+            bb.expand_point(p);
+        }
+        Some(bb)
+    }
+
+    /// Cube of half-extent `h` centred at `c`.
+    pub fn from_center_half_extents(c: Vec3, h: Vec3) -> Self {
+        Self::new(c - h, c + h)
+    }
+
+    /// Grows the box to contain `p`.
+    pub fn expand_point(&mut self, p: Vec3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Smallest box containing both `self` and `other`.
+    pub fn union(&self, other: &Self) -> Self {
+        Self {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Centre point.
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Half-extents (always non-negative for a valid box).
+    pub fn half_extents(&self) -> Vec3 {
+        (self.max - self.min) * 0.5
+    }
+
+    /// Box expanded by `margin` on every side.
+    pub fn inflate(&self, margin: f32) -> Self {
+        let m = Vec3::splat(margin);
+        Self { min: self.min - m, max: self.max + m }
+    }
+
+    /// `true` when the closed boxes share at least one point.
+    pub fn intersects(&self, other: &Self) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+            && self.min.z <= other.max.z
+            && self.max.z >= other.min.z
+    }
+
+    /// `true` when `p` lies inside the closed box.
+    pub fn contains_point(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// `true` when `other` lies entirely inside `self`.
+    pub fn contains(&self, other: &Self) -> bool {
+        self.contains_point(other.min) && self.contains_point(other.max)
+    }
+
+    /// Volume of the box.
+    pub fn volume(&self) -> f32 {
+        let d = self.max - self.min;
+        d.x * d.y * d.z
+    }
+
+    /// Surface area of the box.
+    pub fn surface_area(&self) -> f32 {
+        let d = self.max - self.min;
+        2.0 * (d.x * d.y + d.y * d.z + d.z * d.x)
+    }
+
+    /// The eight corner points.
+    pub fn corners(&self) -> [Vec3; 8] {
+        let (mn, mx) = (self.min, self.max);
+        [
+            Vec3::new(mn.x, mn.y, mn.z),
+            Vec3::new(mx.x, mn.y, mn.z),
+            Vec3::new(mn.x, mx.y, mn.z),
+            Vec3::new(mx.x, mx.y, mn.z),
+            Vec3::new(mn.x, mn.y, mx.z),
+            Vec3::new(mx.x, mn.y, mx.z),
+            Vec3::new(mn.x, mx.y, mx.z),
+            Vec3::new(mx.x, mx.y, mx.z),
+        ]
+    }
+
+    /// Axis-aligned box containing this box transformed by `m`.
+    ///
+    /// Uses the exact corner transform, so the result is the tightest AABB
+    /// of the transformed corners (not of the transformed solid, which for
+    /// affine maps is the same thing).
+    pub fn transformed(&self, m: &Mat4) -> Self {
+        Self::from_points(self.corners().into_iter().map(|c| m.transform_point(c)))
+            .expect("corners are non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Aabb {
+        Aabb::new(Vec3::ZERO, Vec3::ONE)
+    }
+
+    #[test]
+    fn intersects_is_symmetric_and_touching_counts() {
+        let a = unit();
+        let b = Aabb::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(2.0, 1.0, 1.0));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        let c = Aabb::new(Vec3::new(1.1, 0.0, 0.0), Vec3::new(2.0, 1.0, 1.0));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn disjoint_on_each_axis() {
+        let a = unit();
+        for axis in 0..3 {
+            let mut min = Vec3::ZERO;
+            let mut max = Vec3::ONE;
+            match axis {
+                0 => {
+                    min.x += 2.0;
+                    max.x += 2.0;
+                }
+                1 => {
+                    min.y += 2.0;
+                    max.y += 2.0;
+                }
+                _ => {
+                    min.z += 2.0;
+                    max.z += 2.0;
+                }
+            }
+            assert!(!a.intersects(&Aabb::new(min, max)));
+        }
+    }
+
+    #[test]
+    fn from_points_bounds_everything() {
+        let pts = [
+            Vec3::new(1.0, -2.0, 0.5),
+            Vec3::new(-3.0, 4.0, 2.0),
+            Vec3::new(0.0, 0.0, -1.0),
+        ];
+        let bb = Aabb::from_points(pts).unwrap();
+        for p in pts {
+            assert!(bb.contains_point(p));
+        }
+        assert_eq!(bb.min, Vec3::new(-3.0, -2.0, -1.0));
+        assert_eq!(bb.max, Vec3::new(1.0, 4.0, 2.0));
+        assert!(Aabb::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn union_contains_both() {
+        let a = unit();
+        let b = Aabb::new(Vec3::splat(5.0), Vec3::splat(6.0));
+        let u = a.union(&b);
+        assert!(u.contains(&a));
+        assert!(u.contains(&b));
+    }
+
+    #[test]
+    fn geometry_quantities() {
+        let bb = Aabb::new(Vec3::ZERO, Vec3::new(2.0, 3.0, 4.0));
+        assert_eq!(bb.volume(), 24.0);
+        assert_eq!(bb.surface_area(), 2.0 * (6.0 + 12.0 + 8.0));
+        assert_eq!(bb.center(), Vec3::new(1.0, 1.5, 2.0));
+        assert_eq!(bb.half_extents(), Vec3::new(1.0, 1.5, 2.0));
+    }
+
+    #[test]
+    fn inflate_grows_symmetrically() {
+        let bb = unit().inflate(0.5);
+        assert_eq!(bb.min, Vec3::splat(-0.5));
+        assert_eq!(bb.max, Vec3::splat(1.5));
+    }
+
+    #[test]
+    fn transformed_by_rotation_still_bounds() {
+        let m = Mat4::rotation_z(0.7) * Mat4::translation(Vec3::new(1.0, 2.0, 3.0));
+        let bb = unit();
+        let tbb = bb.transformed(&m);
+        for c in bb.corners() {
+            assert!(tbb.contains_point(m.transform_point(c)));
+        }
+    }
+
+    #[test]
+    fn corners_are_distinct_for_proper_box() {
+        let cs = unit().corners();
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                assert_ne!(cs[i], cs[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Linear algebra and geometric primitives for the RBCD reproduction.
+//!
+//! This crate provides the small, dependency-free math substrate used by the
+//! rest of the workspace: fixed-size vectors ([`Vec2`], [`Vec3`], [`Vec4`]),
+//! a column-major 4×4 matrix ([`Mat4`]), unit quaternions ([`Quat`]),
+//! axis-aligned bounding boxes ([`Aabb`]), planes and view frusta, and the
+//! camera/projection transforms a tile-based renderer needs.
+//!
+//! All scalar math is `f32`, matching the precision a mobile GPU of the
+//! paper's era (ARM Mali-400 class) operates at.
+//!
+//! # Example
+//!
+//! ```
+//! use rbcd_math::{Mat4, Vec3, Aabb};
+//!
+//! let model = Mat4::translation(Vec3::new(0.0, 1.0, -5.0));
+//! let p = model.transform_point(Vec3::ZERO);
+//! assert_eq!(p, Vec3::new(0.0, 1.0, -5.0));
+//!
+//! let bb = Aabb::from_points([Vec3::ZERO, p]).unwrap();
+//! assert!(bb.contains_point(Vec3::new(0.0, 0.5, -2.5)));
+//! ```
+
+#![warn(missing_docs)]
+
+mod aabb;
+mod mat4;
+mod plane;
+mod quat;
+mod transforms;
+mod vec;
+
+pub use aabb::Aabb;
+pub use mat4::Mat4;
+pub use plane::{Frustum, Plane};
+pub use quat::Quat;
+pub use transforms::{look_at, orthographic, perspective, viewport, Viewport};
+pub use vec::{Vec2, Vec3, Vec4};
+
+/// Numerical tolerance used by approximate comparisons throughout the
+/// workspace.
+pub const EPSILON: f32 = 1e-6;
+
+/// Returns `true` when `a` and `b` differ by at most `eps`.
+///
+/// ```
+/// assert!(rbcd_math::approx_eq(1.0, 1.0 + 1e-7, 1e-6));
+/// ```
+pub fn approx_eq(a: f32, b: f32, eps: f32) -> bool {
+    (a - b).abs() <= eps
+}
+
+/// Clamps `x` into `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `lo > hi`.
+pub fn clamp(x: f32, lo: f32, hi: f32) -> f32 {
+    debug_assert!(lo <= hi, "clamp: lo {lo} > hi {hi}");
+    x.max(lo).min(hi)
+}
+
+/// Linear interpolation: `a + (b - a) * t`.
+pub fn lerp(a: f32, b: f32, t: f32) -> f32 {
+    a + (b - a) * t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_respects_tolerance() {
+        assert!(approx_eq(1.0, 1.0, 0.0));
+        assert!(approx_eq(1.0, 1.5, 0.5));
+        assert!(!approx_eq(1.0, 1.51, 0.5));
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        assert_eq!(clamp(5.0, 0.0, 1.0), 1.0);
+        assert_eq!(clamp(-5.0, 0.0, 1.0), 0.0);
+        assert_eq!(clamp(0.5, 0.0, 1.0), 0.5);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        assert_eq!(lerp(2.0, 4.0, 0.0), 2.0);
+        assert_eq!(lerp(2.0, 4.0, 1.0), 4.0);
+        assert_eq!(lerp(2.0, 4.0, 0.5), 3.0);
+    }
+}

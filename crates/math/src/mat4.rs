@@ -1,0 +1,362 @@
+//! Column-major 4×4 matrix.
+
+use crate::{Vec3, Vec4};
+use std::ops::Mul;
+
+/// A column-major 4×4 `f32` matrix.
+///
+/// `cols[c]` is column `c`; element (row `r`, column `c`) is `cols[c][r]`
+/// in the conventional maths notation. Transform composition follows the
+/// OpenGL convention: `m.transform_point(p)` computes `M · p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat4 {
+    cols: [Vec4; 4],
+}
+
+impl Default for Mat4 {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+impl Mat4 {
+    /// The identity matrix.
+    pub const IDENTITY: Self = Self {
+        cols: [
+            Vec4::new(1.0, 0.0, 0.0, 0.0),
+            Vec4::new(0.0, 1.0, 0.0, 0.0),
+            Vec4::new(0.0, 0.0, 1.0, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        ],
+    };
+
+    /// Builds a matrix from four columns.
+    pub const fn from_cols(c0: Vec4, c1: Vec4, c2: Vec4, c3: Vec4) -> Self {
+        Self { cols: [c0, c1, c2, c3] }
+    }
+
+    /// Returns column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= 4`.
+    pub fn col(&self, c: usize) -> Vec4 {
+        self.cols[c]
+    }
+
+    /// Returns row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= 4`.
+    pub fn row(&self, r: usize) -> Vec4 {
+        let e = |c: usize| match r {
+            0 => self.cols[c].x,
+            1 => self.cols[c].y,
+            2 => self.cols[c].z,
+            3 => self.cols[c].w,
+            _ => panic!("Mat4 row out of range: {r}"),
+        };
+        Vec4::new(e(0), e(1), e(2), e(3))
+    }
+
+    /// A pure translation matrix.
+    pub fn translation(t: Vec3) -> Self {
+        let mut m = Self::IDENTITY;
+        m.cols[3] = t.extend(1.0);
+        m
+    }
+
+    /// A non-uniform scale matrix.
+    pub fn scale(s: Vec3) -> Self {
+        Self::from_cols(
+            Vec4::new(s.x, 0.0, 0.0, 0.0),
+            Vec4::new(0.0, s.y, 0.0, 0.0),
+            Vec4::new(0.0, 0.0, s.z, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        )
+    }
+
+    /// A uniform scale matrix.
+    pub fn uniform_scale(s: f32) -> Self {
+        Self::scale(Vec3::splat(s))
+    }
+
+    /// Rotation of `angle` radians about the X axis.
+    pub fn rotation_x(angle: f32) -> Self {
+        let (s, c) = angle.sin_cos();
+        Self::from_cols(
+            Vec4::new(1.0, 0.0, 0.0, 0.0),
+            Vec4::new(0.0, c, s, 0.0),
+            Vec4::new(0.0, -s, c, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        )
+    }
+
+    /// Rotation of `angle` radians about the Y axis.
+    pub fn rotation_y(angle: f32) -> Self {
+        let (s, c) = angle.sin_cos();
+        Self::from_cols(
+            Vec4::new(c, 0.0, -s, 0.0),
+            Vec4::new(0.0, 1.0, 0.0, 0.0),
+            Vec4::new(s, 0.0, c, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        )
+    }
+
+    /// Rotation of `angle` radians about the Z axis.
+    pub fn rotation_z(angle: f32) -> Self {
+        let (s, c) = angle.sin_cos();
+        Self::from_cols(
+            Vec4::new(c, s, 0.0, 0.0),
+            Vec4::new(-s, c, 0.0, 0.0),
+            Vec4::new(0.0, 0.0, 1.0, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        )
+    }
+
+    /// Rotation of `angle` radians about an arbitrary `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` has (nearly) zero length.
+    pub fn rotation_axis(axis: Vec3, angle: f32) -> Self {
+        let a = axis.normalize();
+        let (s, c) = angle.sin_cos();
+        let t = 1.0 - c;
+        Self::from_cols(
+            Vec4::new(t * a.x * a.x + c, t * a.x * a.y + s * a.z, t * a.x * a.z - s * a.y, 0.0),
+            Vec4::new(t * a.x * a.y - s * a.z, t * a.y * a.y + c, t * a.y * a.z + s * a.x, 0.0),
+            Vec4::new(t * a.x * a.z + s * a.y, t * a.y * a.z - s * a.x, t * a.z * a.z + c, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        )
+    }
+
+    /// Transposed copy of `self`.
+    pub fn transpose(&self) -> Self {
+        Self::from_cols(self.row(0), self.row(1), self.row(2), self.row(3))
+    }
+
+    /// Matrix-vector product `M · v`.
+    pub fn transform_vec4(&self, v: Vec4) -> Vec4 {
+        let c = &self.cols;
+        Vec4::new(
+            c[0].x * v.x + c[1].x * v.y + c[2].x * v.z + c[3].x * v.w,
+            c[0].y * v.x + c[1].y * v.y + c[2].y * v.z + c[3].y * v.w,
+            c[0].z * v.x + c[1].z * v.y + c[2].z * v.z + c[3].z * v.w,
+            c[0].w * v.x + c[1].w * v.y + c[2].w * v.z + c[3].w * v.w,
+        )
+    }
+
+    /// Transforms a point (`w = 1`), returning the projected 3-vector.
+    pub fn transform_point(&self, p: Vec3) -> Vec3 {
+        let v = self.transform_vec4(p.extend(1.0));
+        if v.w == 1.0 {
+            v.truncate()
+        } else {
+            v.project()
+        }
+    }
+
+    /// Transforms a direction (`w = 0`), ignoring translation.
+    pub fn transform_dir(&self, d: Vec3) -> Vec3 {
+        self.transform_vec4(d.extend(0.0)).truncate()
+    }
+
+    /// Determinant of the full 4×4 matrix.
+    pub fn determinant(&self) -> f32 {
+        let m = |r: usize, c: usize| match r {
+            0 => self.cols[c].x,
+            1 => self.cols[c].y,
+            2 => self.cols[c].z,
+            _ => self.cols[c].w,
+        };
+        let s0 = m(0, 0) * m(1, 1) - m(1, 0) * m(0, 1);
+        let s1 = m(0, 0) * m(1, 2) - m(1, 0) * m(0, 2);
+        let s2 = m(0, 0) * m(1, 3) - m(1, 0) * m(0, 3);
+        let s3 = m(0, 1) * m(1, 2) - m(1, 1) * m(0, 2);
+        let s4 = m(0, 1) * m(1, 3) - m(1, 1) * m(0, 3);
+        let s5 = m(0, 2) * m(1, 3) - m(1, 2) * m(0, 3);
+        let c5 = m(2, 2) * m(3, 3) - m(3, 2) * m(2, 3);
+        let c4 = m(2, 1) * m(3, 3) - m(3, 1) * m(2, 3);
+        let c3 = m(2, 1) * m(3, 2) - m(3, 1) * m(2, 2);
+        let c2 = m(2, 0) * m(3, 3) - m(3, 0) * m(2, 3);
+        let c1 = m(2, 0) * m(3, 2) - m(3, 0) * m(2, 2);
+        let c0 = m(2, 0) * m(3, 1) - m(3, 0) * m(2, 1);
+        s0 * c5 - s1 * c4 + s2 * c3 + s3 * c2 - s4 * c1 + s5 * c0
+    }
+
+    /// Full inverse, or `None` when the matrix is singular.
+    pub fn try_inverse(&self) -> Option<Self> {
+        let m = |r: usize, c: usize| match r {
+            0 => self.cols[c].x,
+            1 => self.cols[c].y,
+            2 => self.cols[c].z,
+            _ => self.cols[c].w,
+        };
+        let s0 = m(0, 0) * m(1, 1) - m(1, 0) * m(0, 1);
+        let s1 = m(0, 0) * m(1, 2) - m(1, 0) * m(0, 2);
+        let s2 = m(0, 0) * m(1, 3) - m(1, 0) * m(0, 3);
+        let s3 = m(0, 1) * m(1, 2) - m(1, 1) * m(0, 2);
+        let s4 = m(0, 1) * m(1, 3) - m(1, 1) * m(0, 3);
+        let s5 = m(0, 2) * m(1, 3) - m(1, 2) * m(0, 3);
+        let c5 = m(2, 2) * m(3, 3) - m(3, 2) * m(2, 3);
+        let c4 = m(2, 1) * m(3, 3) - m(3, 1) * m(2, 3);
+        let c3 = m(2, 1) * m(3, 2) - m(3, 1) * m(2, 2);
+        let c2 = m(2, 0) * m(3, 3) - m(3, 0) * m(2, 3);
+        let c1 = m(2, 0) * m(3, 2) - m(3, 0) * m(2, 2);
+        let c0 = m(2, 0) * m(3, 1) - m(3, 0) * m(2, 1);
+        let det = s0 * c5 - s1 * c4 + s2 * c3 + s3 * c2 - s4 * c1 + s5 * c0;
+        if det.abs() < 1e-12 {
+            return None;
+        }
+        let inv = 1.0 / det;
+        Some(Self::from_cols(
+            Vec4::new(
+                (m(1, 1) * c5 - m(1, 2) * c4 + m(1, 3) * c3) * inv,
+                (-m(1, 0) * c5 + m(1, 2) * c2 - m(1, 3) * c1) * inv,
+                (m(1, 0) * c4 - m(1, 1) * c2 + m(1, 3) * c0) * inv,
+                (-m(1, 0) * c3 + m(1, 1) * c1 - m(1, 2) * c0) * inv,
+            ),
+            Vec4::new(
+                (-m(0, 1) * c5 + m(0, 2) * c4 - m(0, 3) * c3) * inv,
+                (m(0, 0) * c5 - m(0, 2) * c2 + m(0, 3) * c1) * inv,
+                (-m(0, 0) * c4 + m(0, 1) * c2 - m(0, 3) * c0) * inv,
+                (m(0, 0) * c3 - m(0, 1) * c1 + m(0, 2) * c0) * inv,
+            ),
+            Vec4::new(
+                (m(3, 1) * s5 - m(3, 2) * s4 + m(3, 3) * s3) * inv,
+                (-m(3, 0) * s5 + m(3, 2) * s2 - m(3, 3) * s1) * inv,
+                (m(3, 0) * s4 - m(3, 1) * s2 + m(3, 3) * s0) * inv,
+                (-m(3, 0) * s3 + m(3, 1) * s1 - m(3, 2) * s0) * inv,
+            ),
+            Vec4::new(
+                (-m(2, 1) * s5 + m(2, 2) * s4 - m(2, 3) * s3) * inv,
+                (m(2, 0) * s5 - m(2, 2) * s2 + m(2, 3) * s1) * inv,
+                (-m(2, 0) * s4 + m(2, 1) * s2 - m(2, 3) * s0) * inv,
+                (m(2, 0) * s3 - m(2, 1) * s1 + m(2, 2) * s0) * inv,
+            ),
+        ))
+    }
+}
+
+impl Mul for Mat4 {
+    type Output = Self;
+
+    fn mul(self, rhs: Self) -> Self {
+        Self {
+            cols: [
+                self.transform_vec4(rhs.cols[0]),
+                self.transform_vec4(rhs.cols[1]),
+                self.transform_vec4(rhs.cols[2]),
+                self.transform_vec4(rhs.cols[3]),
+            ],
+        }
+    }
+}
+
+impl Mul<Vec4> for Mat4 {
+    type Output = Vec4;
+
+    fn mul(self, rhs: Vec4) -> Vec4 {
+        self.transform_vec4(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn mat_approx_eq(a: &Mat4, b: &Mat4, eps: f32) -> bool {
+        (0..4).all(|c| {
+            let (ca, cb) = (a.col(c), b.col(c));
+            approx_eq(ca.x, cb.x, eps)
+                && approx_eq(ca.y, cb.y, eps)
+                && approx_eq(ca.z, cb.z, eps)
+                && approx_eq(ca.w, cb.w, eps)
+        })
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let p = Vec3::new(1.0, -2.0, 3.0);
+        assert_eq!(Mat4::IDENTITY.transform_point(p), p);
+        assert_eq!(Mat4::IDENTITY * Mat4::IDENTITY, Mat4::IDENTITY);
+    }
+
+    #[test]
+    fn translation_moves_points_not_dirs() {
+        let t = Mat4::translation(Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(t.transform_point(Vec3::ZERO), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(t.transform_dir(Vec3::X), Vec3::X);
+    }
+
+    #[test]
+    fn rotation_z_quarter_turn() {
+        let r = Mat4::rotation_z(std::f32::consts::FRAC_PI_2);
+        let p = r.transform_point(Vec3::X);
+        assert!(approx_eq(p.x, 0.0, 1e-6));
+        assert!(approx_eq(p.y, 1.0, 1e-6));
+    }
+
+    #[test]
+    fn rotation_axis_matches_dedicated() {
+        for angle in [0.3f32, 1.2, -0.7] {
+            let a = Mat4::rotation_axis(Vec3::X, angle);
+            let b = Mat4::rotation_x(angle);
+            assert!(mat_approx_eq(&a, &b, 1e-5));
+            let a = Mat4::rotation_axis(Vec3::Y, angle);
+            let b = Mat4::rotation_y(angle);
+            assert!(mat_approx_eq(&a, &b, 1e-5));
+            let a = Mat4::rotation_axis(Vec3::Z, angle);
+            let b = Mat4::rotation_z(angle);
+            assert!(mat_approx_eq(&a, &b, 1e-5));
+        }
+    }
+
+    #[test]
+    fn compose_translate_then_scale() {
+        // M = T * S applies scale first.
+        let m = Mat4::translation(Vec3::new(1.0, 0.0, 0.0)) * Mat4::uniform_scale(2.0);
+        assert_eq!(m.transform_point(Vec3::X), Vec3::new(3.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = Mat4::translation(Vec3::new(1.0, 2.0, 3.0))
+            * Mat4::rotation_axis(Vec3::new(1.0, 1.0, 0.5), 0.8)
+            * Mat4::scale(Vec3::new(2.0, 3.0, 0.5));
+        let inv = m.try_inverse().expect("invertible");
+        assert!(mat_approx_eq(&(m * inv), &Mat4::IDENTITY, 1e-4));
+        assert!(mat_approx_eq(&(inv * m), &Mat4::IDENTITY, 1e-4));
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let m = Mat4::scale(Vec3::new(1.0, 1.0, 0.0));
+        assert!(m.try_inverse().is_none());
+        assert!(approx_eq(m.determinant(), 0.0, 1e-9));
+    }
+
+    #[test]
+    fn determinant_of_scale() {
+        let m = Mat4::scale(Vec3::new(2.0, 3.0, 4.0));
+        assert!(approx_eq(m.determinant(), 24.0, 1e-4));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Mat4::rotation_axis(Vec3::new(0.3, -1.0, 0.4), 0.9);
+        assert!(mat_approx_eq(&m.transpose().transpose(), &m, 0.0));
+        // Rotation matrices: inverse == transpose.
+        assert!(mat_approx_eq(&m.transpose(), &m.try_inverse().unwrap(), 1e-5));
+    }
+
+    #[test]
+    fn row_col_consistency() {
+        let m = Mat4::translation(Vec3::new(5.0, 6.0, 7.0));
+        assert_eq!(m.row(0).w, 5.0);
+        assert_eq!(m.col(3).x, 5.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Planes and view frusta.
+
+use crate::{Aabb, Mat4, Vec3, Vec4};
+
+/// A plane `n·x + d = 0` with unit normal `n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plane {
+    /// Unit normal.
+    pub normal: Vec3,
+    /// Signed offset; distance from origin along `-normal`.
+    pub d: f32,
+}
+
+impl Plane {
+    /// Plane with the given (normalized on construction) normal through
+    /// `point`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `normal` has (nearly) zero length.
+    pub fn from_point_normal(point: Vec3, normal: Vec3) -> Self {
+        let n = normal.normalize();
+        Self { normal: n, d: -n.dot(point) }
+    }
+
+    /// Plane through three counter-clockwise points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points are (nearly) collinear.
+    pub fn from_points(a: Vec3, b: Vec3, c: Vec3) -> Self {
+        Self::from_point_normal(a, (b - a).cross(c - a))
+    }
+
+    /// Builds a plane from homogeneous coefficients `(a, b, c, d)` such
+    /// that `ax + by + cz + d >= 0` is the positive half-space; the result
+    /// is normalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(a, b, c)` has (nearly) zero length.
+    pub fn from_coefficients(v: Vec4) -> Self {
+        let n = Vec3::new(v.x, v.y, v.z);
+        let len = n.length();
+        assert!(len > crate::EPSILON, "plane normal has zero length");
+        Self { normal: n / len, d: v.w / len }
+    }
+
+    /// Signed distance from `p` to the plane (positive on the normal side).
+    pub fn signed_distance(&self, p: Vec3) -> f32 {
+        self.normal.dot(p) + self.d
+    }
+
+    /// `true` when the box is entirely in the negative half-space.
+    pub fn aabb_outside(&self, bb: &Aabb) -> bool {
+        // The corner of the box furthest along the normal.
+        let c = bb.center();
+        let h = bb.half_extents();
+        let r = h.x * self.normal.x.abs() + h.y * self.normal.y.abs() + h.z * self.normal.z.abs();
+        self.signed_distance(c) < -r
+    }
+}
+
+/// The six planes of a view frustum, normals pointing inward.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Frustum {
+    planes: [Plane; 6],
+}
+
+impl Frustum {
+    /// Extracts frustum planes from a combined view-projection matrix using
+    /// the Gribb–Hartmann method. Points with clip-space coordinates inside
+    /// `-w <= x,y,z <= w` are inside the frustum.
+    pub fn from_view_proj(vp: &Mat4) -> Self {
+        let r0 = vp.row(0);
+        let r1 = vp.row(1);
+        let r2 = vp.row(2);
+        let r3 = vp.row(3);
+        let add = |a: Vec4, b: Vec4| Vec4::new(a.x + b.x, a.y + b.y, a.z + b.z, a.w + b.w);
+        let sub = |a: Vec4, b: Vec4| Vec4::new(a.x - b.x, a.y - b.y, a.z - b.z, a.w - b.w);
+        Self {
+            planes: [
+                Plane::from_coefficients(add(r3, r0)), // left
+                Plane::from_coefficients(sub(r3, r0)), // right
+                Plane::from_coefficients(add(r3, r1)), // bottom
+                Plane::from_coefficients(sub(r3, r1)), // top
+                Plane::from_coefficients(add(r3, r2)), // near
+                Plane::from_coefficients(sub(r3, r2)), // far
+            ],
+        }
+    }
+
+    /// The six planes, normals pointing into the frustum.
+    pub fn planes(&self) -> &[Plane; 6] {
+        &self.planes
+    }
+
+    /// `true` when `p` is inside (or on the boundary of) the frustum.
+    pub fn contains_point(&self, p: Vec3) -> bool {
+        self.planes.iter().all(|pl| pl.signed_distance(p) >= -crate::EPSILON)
+    }
+
+    /// Conservative box test: `false` only when the box is certainly
+    /// entirely outside the frustum.
+    pub fn intersects_aabb(&self, bb: &Aabb) -> bool {
+        !self.planes.iter().any(|pl| pl.aabb_outside(bb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transforms::{look_at, perspective};
+    use crate::approx_eq;
+
+    #[test]
+    fn signed_distance_sign_convention() {
+        let p = Plane::from_point_normal(Vec3::ZERO, Vec3::Y);
+        assert!(p.signed_distance(Vec3::new(0.0, 2.0, 0.0)) > 0.0);
+        assert!(p.signed_distance(Vec3::new(0.0, -2.0, 0.0)) < 0.0);
+        assert!(approx_eq(p.signed_distance(Vec3::X), 0.0, 1e-6));
+    }
+
+    #[test]
+    fn plane_from_points_ccw_normal() {
+        let p = Plane::from_points(Vec3::ZERO, Vec3::X, Vec3::Y);
+        assert!(approx_eq(p.normal.z, 1.0, 1e-6));
+    }
+
+    #[test]
+    fn aabb_outside_detection() {
+        let p = Plane::from_point_normal(Vec3::ZERO, Vec3::Y);
+        let below = Aabb::new(Vec3::new(-1.0, -3.0, -1.0), Vec3::new(1.0, -1.0, 1.0));
+        let straddle = Aabb::new(Vec3::new(-1.0, -1.0, -1.0), Vec3::new(1.0, 1.0, 1.0));
+        assert!(p.aabb_outside(&below));
+        assert!(!p.aabb_outside(&straddle));
+    }
+
+    fn test_frustum() -> Frustum {
+        let proj = perspective(std::f32::consts::FRAC_PI_3, 800.0 / 480.0, 0.1, 100.0);
+        let view = look_at(Vec3::ZERO, -Vec3::Z, Vec3::Y);
+        Frustum::from_view_proj(&(proj * view))
+    }
+
+    #[test]
+    fn frustum_contains_points_in_front() {
+        let f = test_frustum();
+        assert!(f.contains_point(Vec3::new(0.0, 0.0, -5.0)));
+        assert!(!f.contains_point(Vec3::new(0.0, 0.0, 5.0))); // behind camera
+        assert!(!f.contains_point(Vec3::new(0.0, 0.0, -200.0))); // past far
+        assert!(!f.contains_point(Vec3::new(50.0, 0.0, -1.0))); // far left/right
+    }
+
+    #[test]
+    fn frustum_aabb_culling() {
+        let f = test_frustum();
+        let visible = Aabb::from_center_half_extents(Vec3::new(0.0, 0.0, -10.0), Vec3::ONE);
+        let behind = Aabb::from_center_half_extents(Vec3::new(0.0, 0.0, 10.0), Vec3::ONE);
+        assert!(f.intersects_aabb(&visible));
+        assert!(!f.intersects_aabb(&behind));
+    }
+
+    #[test]
+    fn frustum_aabb_straddling_near_plane() {
+        let f = test_frustum();
+        let straddle = Aabb::from_center_half_extents(Vec3::new(0.0, 0.0, 0.0), Vec3::splat(0.5));
+        assert!(f.intersects_aabb(&straddle));
+    }
+}

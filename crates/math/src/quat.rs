@@ -1,0 +1,189 @@
+//! Unit quaternions for rigid-body orientation.
+
+use crate::{Mat4, Vec3, Vec4};
+use std::ops::Mul;
+
+/// A quaternion `w + xi + yj + zk`, used (normalized) for rotations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quat {
+    /// Vector (imaginary) part, x component.
+    pub x: f32,
+    /// Vector (imaginary) part, y component.
+    pub y: f32,
+    /// Vector (imaginary) part, z component.
+    pub z: f32,
+    /// Scalar (real) part.
+    pub w: f32,
+}
+
+impl Default for Quat {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+impl Quat {
+    /// The identity rotation.
+    pub const IDENTITY: Self = Self { x: 0.0, y: 0.0, z: 0.0, w: 1.0 };
+
+    /// Creates a quaternion from raw components (not normalized).
+    pub const fn new(x: f32, y: f32, z: f32, w: f32) -> Self {
+        Self { x, y, z, w }
+    }
+
+    /// Rotation of `angle` radians about `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` has (nearly) zero length.
+    pub fn from_axis_angle(axis: Vec3, angle: f32) -> Self {
+        let a = axis.normalize();
+        let (s, c) = (angle * 0.5).sin_cos();
+        Self::new(a.x * s, a.y * s, a.z * s, c)
+    }
+
+    /// Squared norm.
+    pub fn length_squared(self) -> f32 {
+        self.x * self.x + self.y * self.y + self.z * self.z + self.w * self.w
+    }
+
+    /// Norm.
+    pub fn length(self) -> f32 {
+        self.length_squared().sqrt()
+    }
+
+    /// Returns the unit quaternion with the same orientation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quaternion has (nearly) zero norm.
+    pub fn normalize(self) -> Self {
+        let len = self.length();
+        assert!(len > crate::EPSILON, "normalize: quaternion has zero norm");
+        Self::new(self.x / len, self.y / len, self.z / len, self.w / len)
+    }
+
+    /// Conjugate; for unit quaternions this is the inverse rotation.
+    pub fn conjugate(self) -> Self {
+        Self::new(-self.x, -self.y, -self.z, self.w)
+    }
+
+    /// Rotates a vector by this (unit) quaternion.
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        // v' = v + 2*q_vec × (q_vec × v + w*v)
+        let qv = Vec3::new(self.x, self.y, self.z);
+        let t = qv.cross(v) * 2.0;
+        v + t * self.w + qv.cross(t)
+    }
+
+    /// Converts to a rotation matrix. Assumes `self` is normalized.
+    pub fn to_mat4(self) -> Mat4 {
+        let (x, y, z, w) = (self.x, self.y, self.z, self.w);
+        let (x2, y2, z2) = (x + x, y + y, z + z);
+        let (xx, yy, zz) = (x * x2, y * y2, z * z2);
+        let (xy, xz, yz) = (x * y2, x * z2, y * z2);
+        let (wx, wy, wz) = (w * x2, w * y2, w * z2);
+        Mat4::from_cols(
+            Vec4::new(1.0 - yy - zz, xy + wz, xz - wy, 0.0),
+            Vec4::new(xy - wz, 1.0 - xx - zz, yz + wx, 0.0),
+            Vec4::new(xz + wy, yz - wx, 1.0 - xx - yy, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        )
+    }
+
+    /// Integrates an angular velocity `omega` (radians/s) over `dt`,
+    /// returning the normalized result. Standard first-order rigid-body
+    /// update: `q' = normalize(q + 0.5 * (omega_quat * q) * dt)`.
+    pub fn integrate(self, omega: Vec3, dt: f32) -> Self {
+        let dq = Quat::new(omega.x, omega.y, omega.z, 0.0) * self;
+        let q = Quat::new(
+            self.x + 0.5 * dq.x * dt,
+            self.y + 0.5 * dq.y * dt,
+            self.z + 0.5 * dq.z * dt,
+            self.w + 0.5 * dq.w * dt,
+        );
+        q.normalize()
+    }
+}
+
+impl Mul for Quat {
+    type Output = Self;
+
+    /// Hamilton product; `(a * b).rotate(v) == a.rotate(b.rotate(v))`.
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.w * rhs.x + self.x * rhs.w + self.y * rhs.z - self.z * rhs.y,
+            self.w * rhs.y - self.x * rhs.z + self.y * rhs.w + self.z * rhs.x,
+            self.w * rhs.z + self.x * rhs.y - self.y * rhs.x + self.z * rhs.w,
+            self.w * rhs.w - self.x * rhs.x - self.y * rhs.y - self.z * rhs.z,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use std::f32::consts::{FRAC_PI_2, PI};
+
+    fn vec_approx(a: Vec3, b: Vec3, eps: f32) -> bool {
+        approx_eq(a.x, b.x, eps) && approx_eq(a.y, b.y, eps) && approx_eq(a.z, b.z, eps)
+    }
+
+    #[test]
+    fn identity_rotation_is_noop() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(Quat::IDENTITY.rotate(v), v);
+    }
+
+    #[test]
+    fn quarter_turn_about_z() {
+        let q = Quat::from_axis_angle(Vec3::Z, FRAC_PI_2);
+        assert!(vec_approx(q.rotate(Vec3::X), Vec3::Y, 1e-6));
+    }
+
+    #[test]
+    fn composition_matches_sequential_rotation() {
+        let a = Quat::from_axis_angle(Vec3::Z, 0.7);
+        let b = Quat::from_axis_angle(Vec3::X, -0.4);
+        let v = Vec3::new(0.3, -1.2, 2.0);
+        assert!(vec_approx((a * b).rotate(v), a.rotate(b.rotate(v)), 1e-5));
+    }
+
+    #[test]
+    fn conjugate_is_inverse() {
+        let q = Quat::from_axis_angle(Vec3::new(1.0, 2.0, -1.0), 1.1);
+        let v = Vec3::new(4.0, 5.0, 6.0);
+        assert!(vec_approx(q.conjugate().rotate(q.rotate(v)), v, 1e-4));
+    }
+
+    #[test]
+    fn matrix_agrees_with_quaternion_rotation() {
+        let q = Quat::from_axis_angle(Vec3::new(0.2, 0.9, -0.5), 2.2);
+        let v = Vec3::new(-1.0, 0.5, 3.0);
+        assert!(vec_approx(q.to_mat4().transform_point(v), q.rotate(v), 1e-4));
+    }
+
+    #[test]
+    fn half_turn_flips() {
+        let q = Quat::from_axis_angle(Vec3::Y, PI);
+        assert!(vec_approx(q.rotate(Vec3::X), -Vec3::X, 1e-5));
+    }
+
+    #[test]
+    fn integrate_small_step_approximates_axis_angle() {
+        let omega = Vec3::new(0.0, 0.0, 1.0); // 1 rad/s about Z
+        let mut q = Quat::IDENTITY;
+        let dt = 1e-3;
+        for _ in 0..((FRAC_PI_2 / dt) as usize) {
+            q = q.integrate(omega, dt);
+        }
+        assert!(vec_approx(q.rotate(Vec3::X), Vec3::Y, 1e-2));
+    }
+
+    #[test]
+    fn normalized_after_integration() {
+        let q = Quat::IDENTITY.integrate(Vec3::new(3.0, -2.0, 5.0), 0.1);
+        assert!(approx_eq(q.length(), 1.0, 1e-5));
+    }
+}

@@ -1,0 +1,174 @@
+//! Camera, projection, and viewport transforms.
+//!
+//! Conventions match OpenGL ES (the API the paper's GPU implements):
+//! right-handed eye space looking down `-Z`, clip space `-w..w`, NDC
+//! `-1..1` on every axis, and window depth remapped to `0..1`.
+
+use crate::{Mat4, Vec3, Vec4};
+
+/// Right-handed perspective projection.
+///
+/// `fov_y` is the vertical field of view in radians; `near`/`far` are the
+/// positive distances to the clip planes.
+///
+/// # Panics
+///
+/// Panics if `near <= 0`, `far <= near`, `aspect <= 0`, or
+/// `fov_y` is not in `(0, π)`.
+pub fn perspective(fov_y: f32, aspect: f32, near: f32, far: f32) -> Mat4 {
+    assert!(near > 0.0 && far > near, "perspective: invalid near/far ({near}, {far})");
+    assert!(aspect > 0.0, "perspective: invalid aspect {aspect}");
+    assert!(fov_y > 0.0 && fov_y < std::f32::consts::PI, "perspective: invalid fov {fov_y}");
+    let f = 1.0 / (fov_y * 0.5).tan();
+    let nf = 1.0 / (near - far);
+    Mat4::from_cols(
+        Vec4::new(f / aspect, 0.0, 0.0, 0.0),
+        Vec4::new(0.0, f, 0.0, 0.0),
+        Vec4::new(0.0, 0.0, (far + near) * nf, -1.0),
+        Vec4::new(0.0, 0.0, 2.0 * far * near * nf, 0.0),
+    )
+}
+
+/// Right-handed orthographic projection onto `[-1, 1]^3` NDC.
+///
+/// # Panics
+///
+/// Panics if any interval is empty.
+pub fn orthographic(left: f32, right: f32, bottom: f32, top: f32, near: f32, far: f32) -> Mat4 {
+    assert!(right > left && top > bottom && far > near, "orthographic: empty interval");
+    let rl = 1.0 / (right - left);
+    let tb = 1.0 / (top - bottom);
+    let fnr = 1.0 / (far - near);
+    Mat4::from_cols(
+        Vec4::new(2.0 * rl, 0.0, 0.0, 0.0),
+        Vec4::new(0.0, 2.0 * tb, 0.0, 0.0),
+        Vec4::new(0.0, 0.0, -2.0 * fnr, 0.0),
+        Vec4::new(-(right + left) * rl, -(top + bottom) * tb, -(far + near) * fnr, 1.0),
+    )
+}
+
+/// Right-handed look-at view matrix.
+///
+/// # Panics
+///
+/// Panics if `eye == target` or `up` is parallel to the view direction.
+pub fn look_at(eye: Vec3, target: Vec3, up: Vec3) -> Mat4 {
+    let f = (target - eye).normalize();
+    let s = f.cross(up).normalize();
+    let u = s.cross(f);
+    Mat4::from_cols(
+        Vec4::new(s.x, u.x, -f.x, 0.0),
+        Vec4::new(s.y, u.y, -f.y, 0.0),
+        Vec4::new(s.z, u.z, -f.z, 0.0),
+        Vec4::new(-s.dot(eye), -u.dot(eye), f.dot(eye), 1.0),
+    )
+}
+
+/// Window-space mapping from NDC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Viewport {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+}
+
+impl Viewport {
+    /// Creates a viewport of the given pixel dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "viewport must be non-empty");
+        Self { width, height }
+    }
+
+    /// Aspect ratio `width / height`.
+    pub fn aspect(&self) -> f32 {
+        self.width as f32 / self.height as f32
+    }
+}
+
+/// Maps NDC `[-1,1]^2 × [-1,1]` to window coordinates
+/// `[0,w] × [0,h] × [0,1]` (depth remapped to `0..1`, 0 = near).
+pub fn viewport(ndc: Vec3, vp: Viewport) -> Vec3 {
+    Vec3::new(
+        (ndc.x * 0.5 + 0.5) * vp.width as f32,
+        (ndc.y * 0.5 + 0.5) * vp.height as f32,
+        ndc.z * 0.5 + 0.5,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn perspective_maps_near_far_to_ndc() {
+        let p = perspective(1.0, 1.0, 1.0, 10.0);
+        let near = p.transform_vec4(Vec4::new(0.0, 0.0, -1.0, 1.0)).project();
+        let far = p.transform_vec4(Vec4::new(0.0, 0.0, -10.0, 1.0)).project();
+        assert!(approx_eq(near.z, -1.0, 1e-5));
+        assert!(approx_eq(far.z, 1.0, 1e-5));
+    }
+
+    #[test]
+    fn perspective_depth_monotonic() {
+        let p = perspective(1.0, 1.0, 0.5, 50.0);
+        let mut last = -2.0;
+        for d in [0.5f32, 1.0, 2.0, 5.0, 20.0, 50.0] {
+            let z = p.transform_vec4(Vec4::new(0.0, 0.0, -d, 1.0)).project().z;
+            assert!(z > last, "depth must increase with distance");
+            last = z;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid near/far")]
+    fn perspective_rejects_bad_planes() {
+        let _ = perspective(1.0, 1.0, 1.0, 0.5);
+    }
+
+    #[test]
+    fn orthographic_maps_corners() {
+        let o = orthographic(-2.0, 2.0, -1.0, 1.0, 0.0, 10.0);
+        let c = o.transform_point(Vec3::new(2.0, 1.0, -10.0));
+        assert!(approx_eq(c.x, 1.0, 1e-6));
+        assert!(approx_eq(c.y, 1.0, 1e-6));
+        assert!(approx_eq(c.z, 1.0, 1e-6));
+    }
+
+    #[test]
+    fn look_at_centers_target() {
+        let v = look_at(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, Vec3::Y);
+        let t = v.transform_point(Vec3::ZERO);
+        assert!(approx_eq(t.x, 0.0, 1e-5));
+        assert!(approx_eq(t.y, 0.0, 1e-5));
+        assert!(approx_eq(t.z, -5.0, 1e-5)); // 5 units in front (-Z)
+    }
+
+    #[test]
+    fn look_at_preserves_handedness() {
+        let v = look_at(Vec3::new(3.0, 2.0, 5.0), Vec3::ZERO, Vec3::Y);
+        // A view matrix is rigid: determinant 1.
+        assert!(approx_eq(v.determinant(), 1.0, 1e-4));
+    }
+
+    #[test]
+    fn viewport_mapping() {
+        let vp = Viewport::new(800, 480);
+        let w = viewport(Vec3::new(0.0, 0.0, 0.0), vp);
+        assert_eq!(w, Vec3::new(400.0, 240.0, 0.5));
+        let c = viewport(Vec3::new(-1.0, -1.0, -1.0), vp);
+        assert_eq!(c, Vec3::new(0.0, 0.0, 0.0));
+        assert!(approx_eq(vp.aspect(), 800.0 / 480.0, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn viewport_rejects_zero() {
+        let _ = Viewport::new(0, 480);
+    }
+}

@@ -1,0 +1,435 @@
+//! Fixed-size vector types.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, Mul, MulAssign, Neg, Sub, SubAssign};
+
+macro_rules! impl_common_ops {
+    ($ty:ident { $($field:ident),+ }) => {
+        impl Add for $ty {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self { $($field: self.$field + rhs.$field),+ }
+            }
+        }
+        impl AddAssign for $ty {
+            fn add_assign(&mut self, rhs: Self) {
+                $(self.$field += rhs.$field;)+
+            }
+        }
+        impl Sub for $ty {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self { $($field: self.$field - rhs.$field),+ }
+            }
+        }
+        impl SubAssign for $ty {
+            fn sub_assign(&mut self, rhs: Self) {
+                $(self.$field -= rhs.$field;)+
+            }
+        }
+        impl Mul<f32> for $ty {
+            type Output = Self;
+            fn mul(self, rhs: f32) -> Self {
+                Self { $($field: self.$field * rhs),+ }
+            }
+        }
+        impl Mul<$ty> for f32 {
+            type Output = $ty;
+            fn mul(self, rhs: $ty) -> $ty {
+                rhs * self
+            }
+        }
+        impl MulAssign<f32> for $ty {
+            fn mul_assign(&mut self, rhs: f32) {
+                $(self.$field *= rhs;)+
+            }
+        }
+        impl Div<f32> for $ty {
+            type Output = Self;
+            fn div(self, rhs: f32) -> Self {
+                Self { $($field: self.$field / rhs),+ }
+            }
+        }
+        impl DivAssign<f32> for $ty {
+            fn div_assign(&mut self, rhs: f32) {
+                $(self.$field /= rhs;)+
+            }
+        }
+        impl Neg for $ty {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self { $($field: -self.$field),+ }
+            }
+        }
+
+        impl $ty {
+            /// Component-wise multiplication.
+            pub fn mul_elem(self, rhs: Self) -> Self {
+                Self { $($field: self.$field * rhs.$field),+ }
+            }
+
+            /// Component-wise minimum.
+            pub fn min(self, rhs: Self) -> Self {
+                Self { $($field: self.$field.min(rhs.$field)),+ }
+            }
+
+            /// Component-wise maximum.
+            pub fn max(self, rhs: Self) -> Self {
+                Self { $($field: self.$field.max(rhs.$field)),+ }
+            }
+
+            /// Dot product.
+            pub fn dot(self, rhs: Self) -> f32 {
+                let mut acc = 0.0;
+                $(acc += self.$field * rhs.$field;)+
+                acc
+            }
+
+            /// Squared Euclidean length.
+            pub fn length_squared(self) -> f32 {
+                self.dot(self)
+            }
+
+            /// Euclidean length.
+            pub fn length(self) -> f32 {
+                self.length_squared().sqrt()
+            }
+
+            /// Squared distance to `rhs`.
+            pub fn distance_squared(self, rhs: Self) -> f32 {
+                (self - rhs).length_squared()
+            }
+
+            /// Distance to `rhs`.
+            pub fn distance(self, rhs: Self) -> f32 {
+                (self - rhs).length()
+            }
+
+            /// Returns the unit vector pointing in the same direction, or
+            /// `None` when the length is (nearly) zero.
+            pub fn try_normalize(self) -> Option<Self> {
+                let len = self.length();
+                if len > crate::EPSILON {
+                    Some(self / len)
+                } else {
+                    None
+                }
+            }
+
+            /// Returns the unit vector pointing in the same direction.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the vector has (nearly) zero length.
+            pub fn normalize(self) -> Self {
+                self.try_normalize()
+                    .expect("normalize: vector has zero length")
+            }
+
+            /// Linear interpolation between `self` and `rhs`.
+            pub fn lerp(self, rhs: Self, t: f32) -> Self {
+                self + (rhs - self) * t
+            }
+
+            /// `true` when every component is finite.
+            pub fn is_finite(self) -> bool {
+                let mut ok = true;
+                $(ok &= self.$field.is_finite();)+
+                ok
+            }
+        }
+    };
+}
+
+/// A two-dimensional `f32` vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+}
+
+/// A three-dimensional `f32` vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+}
+
+/// A four-dimensional `f32` vector (homogeneous coordinates).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec4 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+    /// W component.
+    pub w: f32,
+}
+
+impl_common_ops!(Vec2 { x, y });
+impl_common_ops!(Vec3 { x, y, z });
+impl_common_ops!(Vec4 { x, y, z, w });
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Self = Self { x: 0.0, y: 0.0 };
+    /// The all-ones vector.
+    pub const ONE: Self = Self { x: 1.0, y: 1.0 };
+
+    /// Creates a vector from components.
+    pub const fn new(x: f32, y: f32) -> Self {
+        Self { x, y }
+    }
+
+    /// 2-D cross product (z component of the 3-D cross of the embeddings).
+    ///
+    /// Positive when `rhs` is counter-clockwise from `self`.
+    pub fn perp_dot(self, rhs: Self) -> f32 {
+        self.x * rhs.y - self.y * rhs.x
+    }
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Self = Self { x: 0.0, y: 0.0, z: 0.0 };
+    /// The all-ones vector.
+    pub const ONE: Self = Self { x: 1.0, y: 1.0, z: 1.0 };
+    /// Unit X axis.
+    pub const X: Self = Self { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit Y axis.
+    pub const Y: Self = Self { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit Z axis.
+    pub const Z: Self = Self { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a vector from components.
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Creates a vector with all components set to `v`.
+    pub const fn splat(v: f32) -> Self {
+        Self { x: v, y: v, z: v }
+    }
+
+    /// Cross product.
+    pub fn cross(self, rhs: Self) -> Self {
+        Self {
+            x: self.y * rhs.z - self.z * rhs.y,
+            y: self.z * rhs.x - self.x * rhs.z,
+            z: self.x * rhs.y - self.y * rhs.x,
+        }
+    }
+
+    /// Extends to homogeneous coordinates with the given `w`.
+    pub fn extend(self, w: f32) -> Vec4 {
+        Vec4::new(self.x, self.y, self.z, w)
+    }
+
+    /// Drops the Z component.
+    pub fn truncate(self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+
+    /// Largest component value.
+    pub fn max_element(self) -> f32 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// Smallest component value.
+    pub fn min_element(self) -> f32 {
+        self.x.min(self.y).min(self.z)
+    }
+
+    /// Component-wise absolute value.
+    pub fn abs(self) -> Self {
+        Self::new(self.x.abs(), self.y.abs(), self.z.abs())
+    }
+
+    /// Returns an arbitrary unit vector orthogonal to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` has (nearly) zero length.
+    pub fn any_orthonormal(self) -> Self {
+        let n = self.normalize();
+        let other = if n.x.abs() < 0.9 { Self::X } else { Self::Y };
+        n.cross(other).normalize()
+    }
+}
+
+impl Vec4 {
+    /// The zero vector.
+    pub const ZERO: Self = Self { x: 0.0, y: 0.0, z: 0.0, w: 0.0 };
+
+    /// Creates a vector from components.
+    pub const fn new(x: f32, y: f32, z: f32, w: f32) -> Self {
+        Self { x, y, z, w }
+    }
+
+    /// Drops the W component.
+    pub fn truncate(self) -> Vec3 {
+        Vec3::new(self.x, self.y, self.z)
+    }
+
+    /// Perspective division: `(x/w, y/w, z/w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `w` is zero.
+    pub fn project(self) -> Vec3 {
+        debug_assert!(self.w != 0.0, "project: w is zero");
+        Vec3::new(self.x / self.w, self.y / self.w, self.z / self.w)
+    }
+}
+
+impl From<[f32; 2]> for Vec2 {
+    fn from(a: [f32; 2]) -> Self {
+        Self::new(a[0], a[1])
+    }
+}
+
+impl From<[f32; 3]> for Vec3 {
+    fn from(a: [f32; 3]) -> Self {
+        Self::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<[f32; 4]> for Vec4 {
+    fn from(a: [f32; 4]) -> Self {
+        Self::new(a[0], a[1], a[2], a[3])
+    }
+}
+
+impl From<Vec3> for [f32; 3] {
+    fn from(v: Vec3) -> Self {
+        [v.x, v.y, v.z]
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f32;
+
+    fn index(&self, i: usize) -> &f32 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+impl fmt::Display for Vec4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {}, {})", self.x, self.y, self.z, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn vec3_arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::splat(3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+    }
+
+    #[test]
+    fn vec3_dot_cross() {
+        assert_eq!(Vec3::X.dot(Vec3::Y), 0.0);
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::Z), Vec3::X);
+        assert_eq!(Vec3::Z.cross(Vec3::X), Vec3::Y);
+    }
+
+    #[test]
+    fn vec3_length_and_normalize() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.length(), 5.0);
+        let n = v.normalize();
+        assert!(approx_eq(n.length(), 1.0, 1e-6));
+        assert!(Vec3::ZERO.try_normalize().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero length")]
+    fn normalize_zero_panics() {
+        let _ = Vec3::ZERO.normalize();
+    }
+
+    #[test]
+    fn vec4_project() {
+        let v = Vec4::new(2.0, 4.0, 6.0, 2.0);
+        assert_eq!(v.project(), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn vec2_perp_dot_orientation() {
+        // Counter-clockwise quarter turn is positive.
+        assert!(Vec2::new(1.0, 0.0).perp_dot(Vec2::new(0.0, 1.0)) > 0.0);
+        assert!(Vec2::new(0.0, 1.0).perp_dot(Vec2::new(1.0, 0.0)) < 0.0);
+    }
+
+    #[test]
+    fn min_max_elementwise() {
+        let a = Vec3::new(1.0, 5.0, 3.0);
+        let b = Vec3::new(2.0, 4.0, 3.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, 4.0, 3.0));
+        assert_eq!(a.max(b), Vec3::new(2.0, 5.0, 3.0));
+        assert_eq!(a.max_element(), 5.0);
+        assert_eq!(a.min_element(), 1.0);
+    }
+
+    #[test]
+    fn any_orthonormal_is_orthogonal() {
+        for v in [Vec3::X, Vec3::Y, Vec3::Z, Vec3::new(1.0, 2.0, -3.0)] {
+            let o = v.any_orthonormal();
+            assert!(approx_eq(o.length(), 1.0, 1e-5));
+            assert!(approx_eq(o.dot(v.normalize()), 0.0, 1e-5));
+        }
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let arr: [f32; 3] = v.into();
+        assert_eq!(Vec3::from(arr), v);
+        assert_eq!(v.extend(1.0).truncate(), v);
+    }
+
+    #[test]
+    fn index_access() {
+        let v = Vec3::new(7.0, 8.0, 9.0);
+        assert_eq!(v[0], 7.0);
+        assert_eq!(v[1], 8.0);
+        assert_eq!(v[2], 9.0);
+    }
+}

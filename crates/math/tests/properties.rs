@@ -1,0 +1,105 @@
+//! Property-based tests for the math substrate.
+
+use proptest::prelude::*;
+use rbcd_math::{Aabb, Mat4, Quat, Vec3};
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    -100.0f32..100.0f32
+}
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (small_f32(), small_f32(), small_f32()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn nonzero_vec3() -> impl Strategy<Value = Vec3> {
+    vec3().prop_filter("nonzero", |v| v.length() > 1e-3)
+}
+
+fn vec_close(a: Vec3, b: Vec3, eps: f32) -> bool {
+    (a - b).length() <= eps * (1.0 + a.length().max(b.length()))
+}
+
+proptest! {
+    #[test]
+    fn dot_is_commutative(a in vec3(), b in vec3()) {
+        prop_assert!((a.dot(b) - b.dot(a)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cross_is_orthogonal(a in nonzero_vec3(), b in nonzero_vec3()) {
+        let c = a.cross(b);
+        // |a·(a×b)| is bounded by rounding relative to the magnitudes.
+        let scale = a.length() * b.length() * a.length().max(b.length());
+        prop_assert!(a.dot(c).abs() <= 1e-3 * scale.max(1.0));
+        prop_assert!(b.dot(c).abs() <= 1e-3 * scale.max(1.0));
+    }
+
+    #[test]
+    fn normalize_has_unit_length(v in nonzero_vec3()) {
+        prop_assert!((v.normalize().length() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn matrix_inverse_roundtrips_points(
+        t in vec3(),
+        axis in nonzero_vec3(),
+        angle in -3.0f32..3.0f32,
+        p in vec3(),
+    ) {
+        let m = Mat4::translation(t) * Mat4::rotation_axis(axis, angle);
+        let inv = m.try_inverse().unwrap();
+        let q = inv.transform_point(m.transform_point(p));
+        prop_assert!(vec_close(p, q, 1e-3), "p={p:?} q={q:?}");
+    }
+
+    #[test]
+    fn quat_rotation_preserves_length(
+        axis in nonzero_vec3(),
+        angle in -6.0f32..6.0f32,
+        v in vec3(),
+    ) {
+        let q = Quat::from_axis_angle(axis, angle);
+        prop_assert!((q.rotate(v).length() - v.length()).abs() < 1e-2 * (1.0 + v.length()));
+    }
+
+    #[test]
+    fn quat_matrix_agreement(
+        axis in nonzero_vec3(),
+        angle in -6.0f32..6.0f32,
+        v in vec3(),
+    ) {
+        let q = Quat::from_axis_angle(axis, angle);
+        prop_assert!(vec_close(q.rotate(v), q.to_mat4().transform_point(v), 1e-3));
+    }
+
+    #[test]
+    fn aabb_union_contains_operands(a0 in vec3(), a1 in vec3(), b0 in vec3(), b1 in vec3()) {
+        let a = Aabb::new(a0.min(a1), a0.max(a1));
+        let b = Aabb::new(b0.min(b1), b0.max(b1));
+        let u = a.union(&b);
+        prop_assert!(u.contains(&a));
+        prop_assert!(u.contains(&b));
+    }
+
+    #[test]
+    fn aabb_intersection_symmetric(a0 in vec3(), a1 in vec3(), b0 in vec3(), b1 in vec3()) {
+        let a = Aabb::new(a0.min(a1), a0.max(a1));
+        let b = Aabb::new(b0.min(b1), b0.max(b1));
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    #[test]
+    fn aabb_transform_bounds_transformed_corners(
+        c0 in vec3(), c1 in vec3(),
+        t in vec3(),
+        axis in nonzero_vec3(),
+        angle in -3.0f32..3.0f32,
+    ) {
+        let bb = Aabb::new(c0.min(c1), c0.max(c1));
+        let m = Mat4::translation(t) * Mat4::rotation_axis(axis, angle);
+        let tbb = bb.transformed(&m).inflate(1e-2);
+        for c in bb.corners() {
+            prop_assert!(tbb.contains_point(m.transform_point(c)));
+        }
+    }
+}

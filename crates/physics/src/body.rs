@@ -1,0 +1,152 @@
+//! Rigid bodies.
+
+use rbcd_geometry::Mesh;
+use rbcd_math::{Aabb, Mat4, Quat, Vec3};
+use std::sync::Arc;
+
+/// A rigid body: a mesh plus kinematic state.
+///
+/// Rotational inertia is modelled as a solid sphere of the mesh's
+/// bounding radius — adequate for the game-style scenes this workspace
+/// animates (the paper does not evaluate response fidelity).
+#[derive(Debug, Clone)]
+pub struct RigidBody {
+    /// Collision/render geometry (local space).
+    pub mesh: Arc<Mesh>,
+    /// World position of the local origin.
+    pub position: Vec3,
+    /// World orientation.
+    pub orientation: Quat,
+    /// Linear velocity, m/s.
+    pub linear_velocity: Vec3,
+    /// Angular velocity, rad/s.
+    pub angular_velocity: Vec3,
+    /// Inverse mass; `0` marks a static (immovable) body.
+    pub inv_mass: f32,
+    /// Bounciness in `[0, 1]`.
+    pub restitution: f32,
+    /// Local-space bounds, cached at construction.
+    local_aabb: Aabb,
+}
+
+impl RigidBody {
+    /// Creates a dynamic body of the given `mass` at `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mass <= 0`; use [`RigidBody::fixed`] for static bodies.
+    pub fn new(mesh: impl Into<Arc<Mesh>>, position: Vec3, mass: f32) -> Self {
+        assert!(mass > 0.0, "dynamic body needs positive mass");
+        let mesh = mesh.into();
+        let local_aabb = mesh.aabb();
+        Self {
+            mesh,
+            position,
+            orientation: Quat::IDENTITY,
+            linear_velocity: Vec3::ZERO,
+            angular_velocity: Vec3::ZERO,
+            inv_mass: 1.0 / mass,
+            restitution: 0.3,
+            local_aabb,
+        }
+    }
+
+    /// Creates an immovable body.
+    pub fn fixed(mesh: impl Into<Arc<Mesh>>, position: Vec3) -> Self {
+        let mesh = mesh.into();
+        let local_aabb = mesh.aabb();
+        Self {
+            mesh,
+            position,
+            orientation: Quat::IDENTITY,
+            linear_velocity: Vec3::ZERO,
+            angular_velocity: Vec3::ZERO,
+            inv_mass: 0.0,
+            restitution: 0.3,
+            local_aabb,
+        }
+    }
+
+    /// Sets the initial linear velocity (builder style).
+    #[must_use]
+    pub fn with_velocity(mut self, v: Vec3) -> Self {
+        self.linear_velocity = v;
+        self
+    }
+
+    /// Sets the restitution (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_restitution(mut self, e: f32) -> Self {
+        assert!((0.0..=1.0).contains(&e), "restitution must be in [0, 1]");
+        self.restitution = e;
+        self
+    }
+
+    /// `true` for immovable bodies.
+    pub fn is_static(&self) -> bool {
+        self.inv_mass == 0.0
+    }
+
+    /// Model (local-to-world) transform.
+    pub fn model(&self) -> Mat4 {
+        Mat4::translation(self.position) * self.orientation.to_mat4()
+    }
+
+    /// World-space bounds.
+    pub fn world_aabb(&self) -> Aabb {
+        self.local_aabb.transformed(&self.model())
+    }
+
+    /// Radius of the bounding sphere around the local origin.
+    pub fn bounding_radius(&self) -> f32 {
+        let bb = self.local_aabb;
+        bb.min.length().max(bb.max.length())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbcd_geometry::shapes;
+
+    #[test]
+    fn dynamic_and_static_construction() {
+        let b = RigidBody::new(shapes::cube(1.0), Vec3::new(0.0, 2.0, 0.0), 2.0);
+        assert!(!b.is_static());
+        assert_eq!(b.inv_mass, 0.5);
+        let s = RigidBody::fixed(shapes::cube(1.0), Vec3::ZERO);
+        assert!(s.is_static());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive mass")]
+    fn zero_mass_rejected() {
+        let _ = RigidBody::new(shapes::cube(1.0), Vec3::ZERO, 0.0);
+    }
+
+    #[test]
+    fn world_aabb_follows_position() {
+        let b = RigidBody::new(shapes::cube(1.0), Vec3::new(5.0, 0.0, 0.0), 1.0);
+        let bb = b.world_aabb();
+        assert!((bb.center().x - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bounding_radius_of_cube() {
+        let b = RigidBody::new(shapes::cube(1.0), Vec3::ZERO, 1.0);
+        assert!((b.bounding_radius() - 3f32.sqrt()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn builders() {
+        let b = RigidBody::new(shapes::cube(1.0), Vec3::ZERO, 1.0)
+            .with_velocity(Vec3::X)
+            .with_restitution(0.9);
+        assert_eq!(b.linear_velocity, Vec3::X);
+        assert_eq!(b.restitution, 0.9);
+    }
+}

@@ -1,0 +1,157 @@
+//! The animation loop of §3.6 in both configurations (Figure 7).
+
+use crate::world::PhysicsWorld;
+use rbcd_cpu_cd::{CdBody, Cost, CpuCollisionDetector, Phase};
+use rbcd_math::Mat4;
+
+/// What one time step did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StepReport {
+    /// Colliding body-index pairs resolved this step.
+    pub pairs: Vec<(usize, usize)>,
+    /// CPU collision-detection cost, when CPU CD ran this step
+    /// (`None` in the RBCD configuration — detection happened on the
+    /// GPU during the previous render).
+    pub cd_cost: Option<Cost>,
+}
+
+/// The conventional game loop (CPU CD inside the time step) and its
+/// RBCD variant (pairs supplied by the GPU's previous render).
+#[derive(Debug)]
+pub struct GameLoop {
+    /// Physics state.
+    pub world: PhysicsWorld,
+    detector: Option<CpuCollisionDetector>,
+}
+
+impl GameLoop {
+    /// Creates a loop with CPU collision detection over the world's
+    /// current bodies. Body `i` of the world becomes detector body `i`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hull-construction failures for degenerate meshes.
+    pub fn with_cpu_cd(world: PhysicsWorld) -> Result<Self, rbcd_geometry::HullError> {
+        let bodies = world
+            .bodies()
+            .iter()
+            .enumerate()
+            .map(|(i, b)| CdBody::from_mesh(i as u32, &b.mesh))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { world, detector: Some(CpuCollisionDetector::new(bodies)) })
+    }
+
+    /// Creates a loop that relies on externally supplied pairs (the
+    /// RBCD configuration).
+    pub fn with_external_cd(world: PhysicsWorld) -> Self {
+        Self { world, detector: None }
+    }
+
+    /// Model matrices of all bodies, in body order — what the render
+    /// stage consumes.
+    pub fn models(&self) -> Vec<Mat4> {
+        self.world.bodies().iter().map(|b| b.model()).collect()
+    }
+
+    /// One conventional time step: integrate, **detect on the CPU**,
+    /// respond (Figure 7a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the loop was built with [`GameLoop::with_external_cd`].
+    pub fn step_with_cpu_cd(&mut self, dt: f32, phase: Phase) -> StepReport {
+        self.world.integrate(dt);
+        self.world.resolve_ground_contacts();
+        let detector = self
+            .detector
+            .as_mut()
+            .expect("loop was built without a CPU detector");
+        let transforms = self.world.bodies().iter().map(|b| b.model()).collect::<Vec<_>>();
+        let result = detector.detect(&transforms, phase);
+        let pairs: Vec<(usize, usize)> = result
+            .pairs
+            .iter()
+            .map(|&(a, b)| (a as usize, b as usize))
+            .collect();
+        self.world.resolve_pairs(&pairs);
+        StepReport { pairs, cd_cost: Some(result.cost) }
+    }
+
+    /// One RBCD time step: integrate and respond to the pairs the GPU
+    /// reported during the previous frame's render (Figure 7b). The CPU
+    /// does no detection work.
+    pub fn step_with_reported_pairs(&mut self, dt: f32, pairs: &[(usize, usize)]) -> StepReport {
+        self.world.integrate(dt);
+        self.world.resolve_ground_contacts();
+        self.world.resolve_pairs(pairs);
+        StepReport { pairs: pairs.to_vec(), cd_cost: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::RigidBody;
+    use rbcd_geometry::shapes;
+    use rbcd_math::Vec3;
+
+    fn two_ball_world() -> PhysicsWorld {
+        let mut w = PhysicsWorld::new();
+        w.gravity = Vec3::ZERO;
+        w.add_body(
+            RigidBody::new(shapes::icosphere(0.5, 1), Vec3::new(-1.0, 0.0, 0.0), 1.0)
+                .with_velocity(Vec3::new(2.0, 0.0, 0.0)),
+        );
+        w.add_body(
+            RigidBody::new(shapes::icosphere(0.5, 1), Vec3::new(1.0, 0.0, 0.0), 1.0)
+                .with_velocity(Vec3::new(-2.0, 0.0, 0.0)),
+        );
+        w
+    }
+
+    #[test]
+    fn cpu_loop_detects_and_responds() {
+        let mut game = GameLoop::with_cpu_cd(two_ball_world()).unwrap();
+        let mut collided = false;
+        for _ in 0..120 {
+            let r = game.step_with_cpu_cd(1.0 / 60.0, Phase::BroadAndNarrow);
+            assert!(r.cd_cost.is_some());
+            if !r.pairs.is_empty() {
+                collided = true;
+            }
+        }
+        assert!(collided, "balls on a collision course must collide");
+        // After the elastic-ish response, the balls separate again.
+        let (a, b) = (&game.world.bodies()[0], &game.world.bodies()[1]);
+        assert!(a.linear_velocity.x < 0.0 && b.linear_velocity.x > 0.0);
+    }
+
+    #[test]
+    fn external_loop_consumes_reported_pairs() {
+        let mut game = GameLoop::with_external_cd(two_ball_world());
+        // Bring them into AABB overlap (but not yet past each other).
+        for _ in 0..20 {
+            game.step_with_reported_pairs(1.0 / 60.0, &[]);
+        }
+        let before = game.world.bodies()[0].linear_velocity;
+        let r = game.step_with_reported_pairs(1.0 / 60.0, &[(0, 1)]);
+        assert!(r.cd_cost.is_none());
+        let after = game.world.bodies()[0].linear_velocity;
+        assert!(after.x < before.x, "impulse applied from reported pair");
+    }
+
+    #[test]
+    #[should_panic(expected = "without a CPU detector")]
+    fn cpu_step_requires_detector() {
+        let mut game = GameLoop::with_external_cd(two_ball_world());
+        let _ = game.step_with_cpu_cd(0.016, Phase::Broad);
+    }
+
+    #[test]
+    fn models_match_bodies() {
+        let game = GameLoop::with_external_cd(two_ball_world());
+        let models = game.models();
+        assert_eq!(models.len(), 2);
+        assert!((models[0].transform_point(Vec3::ZERO).x + 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,48 @@
+//! Rigid-body dynamics and the animation (game) loop of §3.6.
+//!
+//! The application stage of a conventional graphics pipeline runs on the
+//! CPU: receive input, **detect collisions**, compute responses, update
+//! the scene — one *time step* — then issue GPU commands to render.
+//! RBCD moves the collision-detection box out of the time step and into
+//! the GPU render (the paper's Figure 7); the response still runs on the
+//! CPU using the contact pairs the GPU reported.
+//!
+//! This crate provides:
+//!
+//! * [`RigidBody`] / [`PhysicsWorld`] — semi-implicit Euler integration,
+//!   impulse-based collision response with positional correction, and an
+//!   optional ground plane;
+//! * [`GameLoop`] — the §3.6 loop in both configurations:
+//!   [`GameLoop::step_with_cpu_cd`] runs the conventional
+//!   CPU broad(+narrow) detection inside the time step, while
+//!   [`GameLoop::step_with_reported_pairs`] consumes pairs produced by
+//!   an external detector (the RBCD unit attached to the previous
+//!   frame's render).
+//!
+//! # Example
+//!
+//! ```
+//! use rbcd_physics::{PhysicsWorld, RigidBody};
+//! use rbcd_geometry::shapes;
+//! use rbcd_math::Vec3;
+//!
+//! let mut world = PhysicsWorld::with_ground(0.0);
+//! world.add_body(RigidBody::new(shapes::cube(0.5), Vec3::new(0.0, 5.0, 0.0), 1.0));
+//! for _ in 0..240 {
+//!     world.integrate(1.0 / 60.0);
+//!     world.resolve_ground_contacts();
+//! }
+//! // The cube has fallen and come to rest on the ground plane.
+//! assert!(world.bodies()[0].position.y < 0.75);
+//! assert!(world.bodies()[0].position.y > 0.2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod body;
+mod game_loop;
+mod world;
+
+pub use body::RigidBody;
+pub use game_loop::{GameLoop, StepReport};
+pub use world::PhysicsWorld;

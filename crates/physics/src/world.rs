@@ -1,0 +1,269 @@
+//! The physics world: integration and impulse-based contact response.
+
+use crate::body::RigidBody;
+use rbcd_math::Vec3;
+
+/// A collection of rigid bodies under gravity with impulse-based
+/// collision response.
+#[derive(Debug, Clone)]
+pub struct PhysicsWorld {
+    bodies: Vec<RigidBody>,
+    /// Gravitational acceleration.
+    pub gravity: Vec3,
+    /// Height of an infinite ground plane (`y = ground`), if any.
+    pub ground: Option<f32>,
+    /// Fraction of penetration corrected per resolution pass.
+    pub correction: f32,
+}
+
+impl Default for PhysicsWorld {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhysicsWorld {
+    /// An empty world with Earth gravity and no ground plane.
+    pub fn new() -> Self {
+        Self {
+            bodies: Vec::new(),
+            gravity: Vec3::new(0.0, -9.81, 0.0),
+            ground: None,
+            correction: 0.6,
+        }
+    }
+
+    /// An empty world with a ground plane at `y`.
+    pub fn with_ground(y: f32) -> Self {
+        Self { ground: Some(y), ..Self::new() }
+    }
+
+    /// Adds a body, returning its index.
+    pub fn add_body(&mut self, body: RigidBody) -> usize {
+        self.bodies.push(body);
+        self.bodies.len() - 1
+    }
+
+    /// The bodies, in insertion order.
+    pub fn bodies(&self) -> &[RigidBody] {
+        &self.bodies
+    }
+
+    /// Mutable access to the bodies.
+    pub fn bodies_mut(&mut self) -> &mut [RigidBody] {
+        &mut self.bodies
+    }
+
+    /// Semi-implicit Euler step: gravity → velocity → position.
+    pub fn integrate(&mut self, dt: f32) {
+        for b in &mut self.bodies {
+            if b.is_static() {
+                continue;
+            }
+            b.linear_velocity += self.gravity * dt;
+            b.position += b.linear_velocity * dt;
+            b.orientation = b.orientation.integrate(b.angular_velocity, dt);
+        }
+    }
+
+    /// Resolves one contact between bodies `i` and `j` with an impulse
+    /// along the centroid axis plus positional correction, using the
+    /// overlap of their world AABBs as the penetration estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or either index is out of range.
+    pub fn resolve_pair(&mut self, i: usize, j: usize) {
+        assert_ne!(i, j, "cannot resolve a body against itself");
+        let (a, b) = if i < j {
+            let (lo, hi) = self.bodies.split_at_mut(j);
+            (&mut lo[i], &mut hi[0])
+        } else {
+            let (lo, hi) = self.bodies.split_at_mut(i);
+            (&mut hi[0], &mut lo[j])
+        };
+        let inv_sum = a.inv_mass + b.inv_mass;
+        if inv_sum == 0.0 {
+            return; // two static bodies
+        }
+        let normal = (b.position - a.position)
+            .try_normalize()
+            .unwrap_or(Vec3::Y);
+        // Penetration along the minimal-overlap axis of the AABBs.
+        let (ba, bb) = (a.world_aabb(), b.world_aabb());
+        if !ba.intersects(&bb) {
+            return;
+        }
+        let overlap = Vec3::new(
+            (ba.max.x.min(bb.max.x) - ba.min.x.max(bb.min.x)).max(0.0),
+            (ba.max.y.min(bb.max.y) - ba.min.y.max(bb.min.y)).max(0.0),
+            (ba.max.z.min(bb.max.z) - ba.min.z.max(bb.min.z)).max(0.0),
+        );
+        let depth = overlap.min_element();
+
+        // Impulse from the closing velocity along the contact normal.
+        let rel = b.linear_velocity - a.linear_velocity;
+        let closing = rel.dot(normal);
+        if closing < 0.0 {
+            let e = a.restitution.min(b.restitution);
+            let impulse = -(1.0 + e) * closing / inv_sum;
+            a.linear_velocity -= normal * impulse * a.inv_mass;
+            b.linear_velocity += normal * impulse * b.inv_mass;
+        }
+        // Positional correction pushes the bodies apart.
+        let push = normal * (depth * self.correction / inv_sum);
+        a.position -= push * a.inv_mass;
+        b.position += push * b.inv_mass;
+    }
+
+    /// Resolves every reported pair.
+    pub fn resolve_pairs(&mut self, pairs: &[(usize, usize)]) {
+        for &(i, j) in pairs {
+            self.resolve_pair(i, j);
+        }
+    }
+
+    /// Collides dynamic bodies against the ground plane, if configured.
+    pub fn resolve_ground_contacts(&mut self) {
+        let Some(ground) = self.ground else {
+            return;
+        };
+        for b in &mut self.bodies {
+            if b.is_static() {
+                continue;
+            }
+            let bb = b.world_aabb();
+            let depth = ground - bb.min.y;
+            if depth > 0.0 {
+                b.position.y += depth;
+                if b.linear_velocity.y < 0.0 {
+                    b.linear_velocity.y = -b.linear_velocity.y * b.restitution;
+                    // Crude rolling friction on the tangent plane.
+                    b.linear_velocity.x *= 0.98;
+                    b.linear_velocity.z *= 0.98;
+                    // Kill micro-bounces so bodies come to rest.
+                    if b.linear_velocity.y.abs() < 0.5 {
+                        b.linear_velocity.y = 0.0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total kinetic energy (translational), for conservation tests.
+    pub fn kinetic_energy(&self) -> f32 {
+        self.bodies
+            .iter()
+            .filter(|b| !b.is_static())
+            .map(|b| 0.5 / b.inv_mass * b.linear_velocity.length_squared())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbcd_geometry::shapes;
+
+    fn ball(x: f32, vx: f32) -> RigidBody {
+        RigidBody::new(shapes::icosphere(0.5, 1), Vec3::new(x, 0.0, 0.0), 1.0)
+            .with_velocity(Vec3::new(vx, 0.0, 0.0))
+            .with_restitution(1.0)
+    }
+
+    #[test]
+    fn gravity_accelerates_falling_body() {
+        let mut w = PhysicsWorld::new();
+        w.add_body(RigidBody::new(shapes::cube(0.5), Vec3::new(0.0, 10.0, 0.0), 1.0));
+        w.integrate(1.0);
+        let b = &w.bodies()[0];
+        assert!((b.linear_velocity.y + 9.81).abs() < 1e-4);
+        assert!(b.position.y < 10.0);
+    }
+
+    #[test]
+    fn static_bodies_do_not_move() {
+        let mut w = PhysicsWorld::new();
+        w.add_body(RigidBody::fixed(shapes::cube(1.0), Vec3::ZERO));
+        w.integrate(1.0);
+        assert_eq!(w.bodies()[0].position, Vec3::ZERO);
+    }
+
+    #[test]
+    fn head_on_elastic_collision_exchanges_velocities() {
+        let mut w = PhysicsWorld::new();
+        w.gravity = Vec3::ZERO;
+        let i = w.add_body(ball(-0.4, 1.0));
+        let j = w.add_body(ball(0.4, -1.0));
+        w.resolve_pair(i, j);
+        let (a, b) = (&w.bodies()[0], &w.bodies()[1]);
+        // Equal masses, e = 1: velocities swap along the normal.
+        assert!((a.linear_velocity.x + 1.0).abs() < 1e-4);
+        assert!((b.linear_velocity.x - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn separating_bodies_get_no_impulse() {
+        let mut w = PhysicsWorld::new();
+        w.gravity = Vec3::ZERO;
+        let i = w.add_body(ball(-0.4, -1.0));
+        let j = w.add_body(ball(0.4, 1.0));
+        w.resolve_pair(i, j);
+        // Moving apart: velocities unchanged (but positions corrected).
+        assert!((w.bodies()[0].linear_velocity.x + 1.0).abs() < 1e-4);
+        assert!((w.bodies()[1].linear_velocity.x - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn positional_correction_separates_overlap() {
+        let mut w = PhysicsWorld::new();
+        w.gravity = Vec3::ZERO;
+        let i = w.add_body(ball(-0.3, 0.0));
+        let j = w.add_body(ball(0.3, 0.0));
+        let before = w.bodies()[1].position.x - w.bodies()[0].position.x;
+        w.resolve_pair(i, j);
+        let after = w.bodies()[1].position.x - w.bodies()[0].position.x;
+        assert!(after > before);
+    }
+
+    #[test]
+    fn collision_against_static_body_reflects() {
+        let mut w = PhysicsWorld::new();
+        w.gravity = Vec3::ZERO;
+        let i = w.add_body(ball(-0.4, 1.0));
+        let wall = RigidBody::fixed(shapes::cube(0.5), Vec3::new(0.4, 0.0, 0.0));
+        let j = w.add_body(wall);
+        w.resolve_pair(i, j);
+        assert!(w.bodies()[0].linear_velocity.x < 0.0, "bounced back");
+        assert_eq!(w.bodies()[1].position, Vec3::new(0.4, 0.0, 0.0));
+    }
+
+    #[test]
+    fn ground_stops_falling_bodies() {
+        let mut w = PhysicsWorld::with_ground(0.0);
+        w.add_body(
+            RigidBody::new(shapes::cube(0.5), Vec3::new(0.0, 3.0, 0.0), 1.0)
+                .with_restitution(0.0),
+        );
+        for _ in 0..300 {
+            w.integrate(1.0 / 60.0);
+            w.resolve_ground_contacts();
+        }
+        let b = &w.bodies()[0];
+        assert!((b.position.y - 0.5).abs() < 0.05, "resting on ground, y = {}", b.position.y);
+        assert!(b.linear_velocity.length() < 0.1);
+    }
+
+    #[test]
+    fn elastic_collision_conserves_kinetic_energy() {
+        let mut w = PhysicsWorld::new();
+        w.gravity = Vec3::ZERO;
+        w.correction = 0.0; // isolate the impulse
+        let i = w.add_body(ball(-0.4, 2.0));
+        let j = w.add_body(ball(0.4, -0.5));
+        let e0 = w.kinetic_energy();
+        w.resolve_pair(i, j);
+        let e1 = w.kinetic_energy();
+        assert!((e0 - e1).abs() / e0 < 1e-4);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the physics world.
+
+use proptest::prelude::*;
+use rbcd_geometry::shapes;
+use rbcd_math::Vec3;
+use rbcd_physics::{PhysicsWorld, RigidBody};
+
+fn vel() -> impl Strategy<Value = Vec3> {
+    (-5.0f32..5.0, -5.0f32..5.0, -5.0f32..5.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Impulse resolution conserves linear momentum for dynamic pairs.
+    #[test]
+    fn impulse_conserves_momentum(va in vel(), vb in vel(), ma in 0.5f32..4.0, mb in 0.5f32..4.0) {
+        let mut w = PhysicsWorld::new();
+        w.gravity = Vec3::ZERO;
+        w.correction = 0.0;
+        let i = w.add_body(
+            RigidBody::new(shapes::icosphere(0.5, 1), Vec3::new(-0.4, 0.0, 0.0), ma)
+                .with_velocity(va),
+        );
+        let j = w.add_body(
+            RigidBody::new(shapes::icosphere(0.5, 1), Vec3::new(0.4, 0.0, 0.0), mb)
+                .with_velocity(vb),
+        );
+        let p_before = va * ma + vb * mb;
+        w.resolve_pair(i, j);
+        let (a, b) = (&w.bodies()[0], &w.bodies()[1]);
+        let p_after = a.linear_velocity * ma + b.linear_velocity * mb;
+        prop_assert!((p_before - p_after).length() < 1e-3 * (1.0 + p_before.length()));
+    }
+
+    /// Kinetic energy never increases through a contact (restitution ≤ 1).
+    #[test]
+    fn impulse_never_creates_energy(va in vel(), vb in vel(), e in 0.0f32..1.0) {
+        let mut w = PhysicsWorld::new();
+        w.gravity = Vec3::ZERO;
+        w.correction = 0.0;
+        let i = w.add_body(
+            RigidBody::new(shapes::icosphere(0.5, 1), Vec3::new(-0.4, 0.0, 0.0), 1.0)
+                .with_velocity(va)
+                .with_restitution(e),
+        );
+        let j = w.add_body(
+            RigidBody::new(shapes::icosphere(0.5, 1), Vec3::new(0.4, 0.0, 0.0), 1.0)
+                .with_velocity(vb)
+                .with_restitution(e),
+        );
+        let ke_before = w.kinetic_energy();
+        w.resolve_pair(i, j);
+        prop_assert!(w.kinetic_energy() <= ke_before * (1.0 + 1e-4) + 1e-5);
+    }
+
+    /// Integration with zero gravity moves bodies linearly.
+    #[test]
+    fn zero_gravity_integration_is_linear(v in vel(), dt in 0.001f32..0.05) {
+        let mut w = PhysicsWorld::new();
+        w.gravity = Vec3::ZERO;
+        w.add_body(RigidBody::new(shapes::cube(0.3), Vec3::ZERO, 1.0).with_velocity(v));
+        for _ in 0..10 {
+            w.integrate(dt);
+        }
+        let expect = v * (dt * 10.0);
+        let got = w.bodies()[0].position;
+        prop_assert!((got - expect).length() < 1e-3 * (1.0 + expect.length()));
+    }
+
+    /// Bodies dropped on the ground never sink below it (after
+    /// resolution) and eventually stop gaining energy.
+    #[test]
+    fn ground_is_impenetrable(h in 1.0f32..6.0, e in 0.0f32..0.8) {
+        let mut w = PhysicsWorld::with_ground(0.0);
+        w.add_body(
+            RigidBody::new(shapes::cube(0.4), Vec3::new(0.0, h, 0.0), 1.0).with_restitution(e),
+        );
+        // Long enough for a bouncy body (e ≈ 0.8) to damp out.
+        for _ in 0..2400 {
+            w.integrate(1.0 / 120.0);
+            w.resolve_ground_contacts();
+            let bb = w.bodies()[0].world_aabb();
+            prop_assert!(bb.min.y >= -1e-3, "sank to {}", bb.min.y);
+        }
+        // Settled: below the drop height, moving slowly.
+        let b = &w.bodies()[0];
+        prop_assert!(b.position.y < h + 0.5);
+        prop_assert!(b.linear_velocity.length() < 2.5, "still moving at {}", b.linear_velocity);
+    }
+}

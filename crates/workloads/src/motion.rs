@@ -1,0 +1,191 @@
+//! Deterministic scripted motion.
+
+use rbcd_math::{Aabb, Mat4, Vec3};
+
+/// A closed-form, deterministic motion path: the same `(path, time)`
+/// always yields the same transform, so traces are reproducible without
+/// storing per-frame data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Motion {
+    /// Fixed pose.
+    Static {
+        /// World position.
+        position: Vec3,
+        /// Yaw about +Y in radians.
+        yaw: f32,
+    },
+    /// Straight-line motion.
+    Slide {
+        /// Position at `t = 0`.
+        start: Vec3,
+        /// Velocity in units/second.
+        velocity: Vec3,
+    },
+    /// Circular orbit in the XZ plane with a spin about +Y.
+    Orbit {
+        /// Orbit centre.
+        center: Vec3,
+        /// Orbit radius.
+        radius: f32,
+        /// Angular speed in radians/second.
+        angular_speed: f32,
+        /// Initial angle.
+        phase: f32,
+    },
+    /// Sinusoidal oscillation around a centre point.
+    Oscillate {
+        /// Rest position.
+        center: Vec3,
+        /// Peak displacement per axis.
+        amplitude: Vec3,
+        /// Oscillation frequency in Hz.
+        frequency: f32,
+        /// Phase offset in radians.
+        phase: f32,
+    },
+    /// Straight-line motion reflected off the walls of a box (billiard
+    /// style), with a tumbling spin.
+    Bounce {
+        /// Position at `t = 0`.
+        start: Vec3,
+        /// Velocity in units/second.
+        velocity: Vec3,
+        /// Reflecting bounds.
+        bounds: Aabb,
+        /// Tumble speed about +Y in radians/second.
+        spin: f32,
+    },
+}
+
+/// Reflects the 1-D coordinate `x` into `[lo, hi]` as a triangle wave.
+fn reflect(x: f32, lo: f32, hi: f32) -> f32 {
+    let span = hi - lo;
+    if span <= 0.0 {
+        return lo;
+    }
+    let period = 2.0 * span;
+    let mut r = (x - lo).rem_euclid(period);
+    if r > span {
+        r = period - r;
+    }
+    lo + r
+}
+
+impl Motion {
+    /// Transform at time `t` seconds.
+    pub fn transform(&self, t: f32) -> Mat4 {
+        match *self {
+            Motion::Static { position, yaw } => {
+                Mat4::translation(position) * Mat4::rotation_y(yaw)
+            }
+            Motion::Slide { start, velocity } => Mat4::translation(start + velocity * t),
+            Motion::Orbit { center, radius, angular_speed, phase } => {
+                let a = phase + angular_speed * t;
+                let p = center + Vec3::new(radius * a.cos(), 0.0, radius * a.sin());
+                Mat4::translation(p) * Mat4::rotation_y(-a)
+            }
+            Motion::Oscillate { center, amplitude, frequency, phase } => {
+                let s = (std::f32::consts::TAU * frequency * t + phase).sin();
+                Mat4::translation(center + amplitude * s)
+            }
+            Motion::Bounce { start, velocity, bounds, spin } => {
+                let raw = start + velocity * t;
+                let p = Vec3::new(
+                    reflect(raw.x, bounds.min.x, bounds.max.x),
+                    reflect(raw.y, bounds.min.y, bounds.max.y),
+                    reflect(raw.z, bounds.min.z, bounds.max.z),
+                );
+                Mat4::translation(p) * Mat4::rotation_y(spin * t)
+            }
+        }
+    }
+
+    /// Position at time `t` (the transform applied to the origin).
+    pub fn position(&self, t: f32) -> Vec3 {
+        self.transform(t).transform_point(Vec3::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_is_constant() {
+        let m = Motion::Static { position: Vec3::new(1.0, 2.0, 3.0), yaw: 0.5 };
+        assert_eq!(m.position(0.0), m.position(100.0));
+    }
+
+    #[test]
+    fn slide_moves_linearly() {
+        let m = Motion::Slide { start: Vec3::ZERO, velocity: Vec3::new(2.0, 0.0, 0.0) };
+        assert_eq!(m.position(3.0), Vec3::new(6.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn orbit_stays_on_circle() {
+        let m = Motion::Orbit {
+            center: Vec3::new(0.0, 1.0, 0.0),
+            radius: 5.0,
+            angular_speed: 1.0,
+            phase: 0.0,
+        };
+        for t in [0.0f32, 0.7, 2.3, 9.1] {
+            let p = m.position(t);
+            let d = (p - Vec3::new(0.0, 1.0, 0.0)).length();
+            assert!((d - 5.0).abs() < 1e-4);
+            assert!((p.y - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn oscillate_bounded_by_amplitude() {
+        let m = Motion::Oscillate {
+            center: Vec3::ZERO,
+            amplitude: Vec3::new(2.0, 0.0, 0.0),
+            frequency: 1.3,
+            phase: 0.4,
+        };
+        for i in 0..100 {
+            let p = m.position(i as f32 * 0.07);
+            assert!(p.x.abs() <= 2.0 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn bounce_stays_in_bounds() {
+        let bounds = Aabb::new(Vec3::new(-2.0, 0.0, -3.0), Vec3::new(2.0, 4.0, 3.0));
+        let m = Motion::Bounce {
+            start: Vec3::new(0.0, 1.0, 0.0),
+            velocity: Vec3::new(1.7, 2.3, -0.9),
+            bounds,
+            spin: 1.0,
+        };
+        for i in 0..200 {
+            let p = m.position(i as f32 * 0.13);
+            assert!(bounds.inflate(1e-3).contains_point(p), "escaped at {p}");
+        }
+    }
+
+    #[test]
+    fn reflect_triangle_wave() {
+        assert_eq!(reflect(0.0, 0.0, 2.0), 0.0);
+        assert_eq!(reflect(1.5, 0.0, 2.0), 1.5);
+        assert_eq!(reflect(2.5, 0.0, 2.0), 1.5);
+        assert_eq!(reflect(4.0, 0.0, 2.0), 0.0);
+        assert_eq!(reflect(-0.5, 0.0, 2.0), 0.5);
+        // Degenerate span collapses to lo.
+        assert_eq!(reflect(7.0, 1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn determinism() {
+        let m = Motion::Bounce {
+            start: Vec3::ZERO,
+            velocity: Vec3::new(1.0, 2.0, 3.0),
+            bounds: Aabb::new(Vec3::splat(-5.0), Vec3::splat(5.0)),
+            spin: 0.7,
+        };
+        assert_eq!(m.transform(3.21), m.transform(3.21));
+    }
+}

@@ -1,0 +1,255 @@
+//! Scene description: objects + camera path → per-frame traces.
+
+use crate::motion::Motion;
+use rbcd_geometry::Mesh;
+use rbcd_gpu::{Camera, CullMode, DrawCommand, FrameTrace, ObjectId, ShaderCost};
+use rbcd_math::{Mat4, Vec3};
+use std::sync::Arc;
+
+/// One animated object.
+#[derive(Debug, Clone)]
+pub struct SceneObject {
+    /// Shared geometry.
+    pub mesh: Arc<Mesh>,
+    /// Scripted motion.
+    pub motion: Motion,
+    /// Shader cost of this object's draw.
+    pub shader: ShaderCost,
+    /// Face culling state.
+    pub cull: CullMode,
+}
+
+impl SceneObject {
+    /// An object with default pipeline state.
+    pub fn new(mesh: impl Into<Arc<Mesh>>, motion: Motion) -> Self {
+        Self {
+            mesh: mesh.into(),
+            motion,
+            shader: ShaderCost::default(),
+            cull: CullMode::Back,
+        }
+    }
+
+    /// Overrides the shader cost (builder style).
+    #[must_use]
+    pub fn with_shader(mut self, shader: ShaderCost) -> Self {
+        self.shader = shader;
+        self
+    }
+
+    /// Overrides the cull mode (builder style).
+    #[must_use]
+    pub fn with_cull(mut self, cull: CullMode) -> Self {
+        self.cull = cull;
+        self
+    }
+}
+
+/// Deterministic camera path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CameraPath {
+    eye_start: Vec3,
+    eye_velocity: Vec3,
+    /// Where the camera looks, relative to the eye.
+    look_offset: Vec3,
+    /// Vertical field of view in radians.
+    pub fov_y: f32,
+    /// Near plane distance.
+    pub near: f32,
+    /// Far plane distance.
+    pub far: f32,
+}
+
+impl CameraPath {
+    /// A static camera at `eye` looking at `target`.
+    pub fn fixed(eye: Vec3, target: Vec3) -> Self {
+        Self {
+            eye_start: eye,
+            eye_velocity: Vec3::ZERO,
+            look_offset: target - eye,
+            fov_y: 1.0,
+            near: 0.5,
+            far: 300.0,
+        }
+    }
+
+    /// A dollying camera: eye moves at `velocity`, always looking at
+    /// `eye + look_offset`.
+    pub fn dolly(eye_start: Vec3, velocity: Vec3, look_offset: Vec3) -> Self {
+        Self {
+            eye_start,
+            eye_velocity: velocity,
+            look_offset,
+            fov_y: 1.0,
+            near: 0.5,
+            far: 300.0,
+        }
+    }
+
+    /// Camera state at time `t` seconds.
+    pub fn camera(&self, t: f32) -> Camera {
+        let eye = self.eye_start + self.eye_velocity * t;
+        Camera::perspective(eye, eye + self.look_offset, self.fov_y, self.near, self.far)
+    }
+}
+
+/// A complete benchmark scene.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    /// Full benchmark name (Table 2).
+    pub name: &'static str,
+    /// Short alias used in the figures (`cap`, `crazy`, ...).
+    pub alias: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Collisionable objects; index `i` gets `ObjectId(i + 1)`.
+    pub collidables: Vec<SceneObject>,
+    /// Non-collisionable scenery.
+    pub scenery: Vec<SceneObject>,
+    /// Camera path.
+    pub camera: CameraPath,
+    /// Default frame count for experiments.
+    pub frames: usize,
+    /// Animation rate used to convert frame numbers to seconds.
+    pub fps: f32,
+}
+
+impl Scene {
+    /// The object id assigned to collidable `index`.
+    ///
+    /// Ids start at 1 so 0 can never alias a real object.
+    pub fn object_id(index: usize) -> ObjectId {
+        ObjectId::new(index as u16 + 1)
+    }
+
+    /// Time of `frame` in seconds.
+    pub fn time_of(&self, frame: usize) -> f32 {
+        frame as f32 / self.fps
+    }
+
+    /// The GPU command trace for `frame`: scenery first (background),
+    /// then collidables, matching a typical submission order.
+    pub fn frame_trace(&self, frame: usize) -> FrameTrace {
+        let t = self.time_of(frame);
+        let mut draws = Vec::with_capacity(self.scenery.len() + self.collidables.len());
+        for obj in &self.scenery {
+            draws.push(
+                DrawCommand::scenery(obj.mesh.clone())
+                    .with_model(obj.motion.transform(t))
+                    .with_shader(obj.shader)
+                    .with_cull(obj.cull),
+            );
+        }
+        for (i, obj) in self.collidables.iter().enumerate() {
+            draws.push(
+                DrawCommand::collidable(obj.mesh.clone(), Self::object_id(i))
+                    .with_model(obj.motion.transform(t))
+                    .with_shader(obj.shader)
+                    .with_cull(obj.cull),
+            );
+        }
+        FrameTrace::new(self.camera.camera(t), draws)
+    }
+
+    /// World transforms of the collidables at `frame` (the input to the
+    /// CPU detector).
+    pub fn collidable_transforms(&self, frame: usize) -> Vec<Mat4> {
+        let t = self.time_of(frame);
+        self.collidables.iter().map(|o| o.motion.transform(t)).collect()
+    }
+
+    /// `(id, mesh)` for every collidable, in id order.
+    pub fn collidable_meshes(&self) -> Vec<(ObjectId, Arc<Mesh>)> {
+        self.collidables
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (Self::object_id(i), o.mesh.clone()))
+            .collect()
+    }
+
+    /// Total triangles per frame.
+    pub fn triangles_per_frame(&self) -> usize {
+        self.collidables
+            .iter()
+            .chain(&self.scenery)
+            .map(|o| o.mesh.triangle_count())
+            .sum()
+    }
+
+    /// Triangles per frame belonging to collisionable objects.
+    pub fn collidable_triangles(&self) -> usize {
+        self.collidables.iter().map(|o| o.mesh.triangle_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbcd_geometry::shapes;
+
+    fn tiny_scene() -> Scene {
+        Scene {
+            name: "Test",
+            alias: "test",
+            description: "test scene",
+            collidables: vec![
+                SceneObject::new(shapes::cube(1.0), Motion::Static { position: Vec3::ZERO, yaw: 0.0 }),
+                SceneObject::new(
+                    shapes::cube(1.0),
+                    Motion::Slide { start: Vec3::new(3.0, 0.0, 0.0), velocity: Vec3::new(-1.0, 0.0, 0.0) },
+                ),
+            ],
+            scenery: vec![SceneObject::new(
+                shapes::ground_quad(20.0, 20.0),
+                Motion::Static { position: Vec3::new(0.0, -2.0, 0.0), yaw: 0.0 },
+            )],
+            camera: CameraPath::fixed(Vec3::new(0.0, 3.0, 10.0), Vec3::ZERO),
+            frames: 10,
+            fps: 30.0,
+        }
+    }
+
+    #[test]
+    fn trace_contains_all_draws_in_order() {
+        let s = tiny_scene();
+        let trace = s.frame_trace(0);
+        assert_eq!(trace.draws.len(), 3);
+        assert!(trace.draws[0].collidable.is_none(), "scenery first");
+        assert_eq!(trace.draws[1].collidable, Some(ObjectId::new(1)));
+        assert_eq!(trace.draws[2].collidable, Some(ObjectId::new(2)));
+    }
+
+    #[test]
+    fn transforms_animate_over_frames() {
+        let s = tiny_scene();
+        let t0 = s.collidable_transforms(0);
+        let t9 = s.collidable_transforms(9);
+        assert_eq!(t0[0], t9[0], "static object");
+        assert_ne!(t0[1], t9[1], "sliding object moved");
+    }
+
+    #[test]
+    fn ids_are_one_based_and_stable() {
+        assert_eq!(Scene::object_id(0), ObjectId::new(1));
+        assert_eq!(Scene::object_id(41), ObjectId::new(42));
+        let s = tiny_scene();
+        let meshes = s.collidable_meshes();
+        assert_eq!(meshes[0].0, ObjectId::new(1));
+        assert_eq!(meshes.len(), 2);
+    }
+
+    #[test]
+    fn triangle_accounting() {
+        let s = tiny_scene();
+        assert_eq!(s.collidable_triangles(), 24);
+        assert_eq!(s.triangles_per_frame(), 26);
+    }
+
+    #[test]
+    fn camera_path_dolly_moves() {
+        let p = CameraPath::dolly(Vec3::ZERO, Vec3::new(0.0, 0.0, -2.0), -Vec3::Z * 10.0);
+        let c0 = p.camera(0.0);
+        let c1 = p.camera(1.0);
+        assert_ne!(c0.view, c1.view);
+    }
+}

@@ -1,0 +1,579 @@
+//! The four benchmark scenes (Table 2).
+//!
+//! Every generator is deterministic: a fixed seed drives object
+//! placement, and all motion is closed-form in time. Knobs were tuned so
+//! the per-benchmark *depth concentration* of collisionable geometry
+//! reproduces the ZEB-overflow ordering of Table 3 (cap ≈ crazy ≪
+//! sleepy < temple) — see EXPERIMENTS.md for measured values.
+
+use crate::motion::Motion;
+use crate::scene::{CameraPath, Scene, SceneObject};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rbcd_geometry::{shapes, Mesh};
+use rbcd_gpu::ShaderCost;
+use rbcd_math::{Aabb, Mat4, Vec3};
+use std::sync::Arc;
+
+/// All four benchmarks, in the paper's order.
+pub fn suite() -> Vec<Scene> {
+    vec![cap(), crazy(), sleepy(), temple()]
+}
+
+/// A field of decorative, non-collisionable meshes — the environment
+/// detail (rocks, columns, crowd, foliage) that makes up the bulk of a
+/// game frame's primitives. Games tag only gameplay-relevant objects as
+/// collisionable (§3.2), so most primitives never reach the RBCD unit.
+fn decor_field(
+    rng: &mut StdRng,
+    count: usize,
+    x: std::ops::Range<f32>,
+    y: std::ops::Range<f32>,
+    z: std::ops::Range<f32>,
+) -> Vec<SceneObject> {
+    let meshes: Vec<Arc<Mesh>> = vec![
+        Arc::new(shapes::icosphere(0.5, 2)),
+        Arc::new(shapes::capsule(0.35, 0.9, 14, 7)),
+        Arc::new(shapes::cuboid(Vec3::new(0.5, 0.9, 0.5))),
+        Arc::new(shapes::star_prism(5, 0.6, 0.3, 0.5)),
+        Arc::new(shapes::torus(0.55, 0.2, 14, 8)),
+    ];
+    (0..count)
+        .map(|i| {
+            SceneObject::new(
+                meshes[i % meshes.len()].clone(),
+                Motion::Static {
+                    position: Vec3::new(
+                        rng.gen_range(x.clone()),
+                        rng.gen_range(y.clone()),
+                        rng.gen_range(z.clone()),
+                    ),
+                    yaw: rng.gen_range(0.0..std::f32::consts::TAU),
+                },
+            )
+            .with_shader(ShaderCost { vertex_cycles: 6, fragment_cycles: 12 })
+        })
+        .collect()
+}
+
+/// Heavy-fragment scenery shared by the arena-style scenes: ground,
+/// back wall, and a sky layer — big cheap triangles that dominate the
+/// fragment budget like a game's environment pass does.
+fn arena_scenery(half: f32, wall_height: f32) -> Vec<SceneObject> {
+    let fixed = |mesh: Mesh, p: Vec3| {
+        SceneObject::new(mesh, Motion::Static { position: p, yaw: 0.0 })
+            .with_shader(ShaderCost { vertex_cycles: 6, fragment_cycles: 12 })
+    };
+    vec![
+        fixed(shapes::ground_quad(half, half), Vec3::ZERO),
+        // Back wall: a ground quad rotated upright to face the camera.
+        fixed(
+            shapes::ground_quad(half, wall_height)
+                .transformed(&Mat4::rotation_x(std::f32::consts::FRAC_PI_2)),
+            Vec3::new(0.0, wall_height, -half),
+        ),
+        // Sky: a huge quad behind everything.
+        fixed(
+            shapes::ground_quad(half * 3.0, wall_height * 3.0)
+                .transformed(&Mat4::rotation_x(std::f32::consts::FRAC_PI_2)),
+            Vec3::new(0.0, wall_height, -half * 1.4),
+        ),
+    ]
+}
+
+/// `cap` — *Captain America* (beat'em up): two high-detail fighters in
+/// an arena plus scattered props. Collisionable objects are spread
+/// across the screen, so per-pixel collisionable depth stays low
+/// (Table 3: 1.57 % overflow at M=4, 0.01 % at 8).
+pub fn cap() -> Scene {
+    let mut rng = StdRng::seed_from_u64(0xCA11AB1E);
+    let fighter = Arc::new(shapes::capsule(0.55, 0.9, 48, 24));
+    let mut collidables = vec![
+        // Two fighters circling each other, clashing periodically.
+        SceneObject::new(
+            fighter.clone(),
+            Motion::Orbit {
+                center: Vec3::new(0.0, 1.45, -2.0),
+                radius: 0.9,
+                angular_speed: 1.2,
+                phase: 0.0,
+            },
+        ),
+        SceneObject::new(
+            fighter.clone(),
+            Motion::Orbit {
+                center: Vec3::new(0.0, 1.45, -2.0),
+                radius: 0.9,
+                angular_speed: 1.2,
+                phase: std::f32::consts::PI * 0.92, // near-opposite: grazing contact
+            },
+        ),
+    ];
+    // Props spread around the arena.
+    let prop_meshes: Vec<Arc<Mesh>> = vec![
+        Arc::new(shapes::icosphere(0.45, 3)),
+        Arc::new(shapes::cuboid(Vec3::new(0.5, 0.35, 0.5))),
+        Arc::new(shapes::star_prism(5, 0.6, 0.28, 0.4)),
+        Arc::new(shapes::torus(0.5, 0.18, 24, 16)),
+    ];
+    let bounds = Aabb::new(Vec3::new(-10.5, 0.4, -12.0), Vec3::new(10.5, 4.6, -2.0));
+    for i in 0..28 {
+        let mesh = prop_meshes[i % prop_meshes.len()].clone();
+        let start = Vec3::new(
+            rng.gen_range(-10.0..10.0),
+            rng.gen_range(0.5..4.2),
+            rng.gen_range(-12.0..-2.0),
+        );
+        let velocity = Vec3::new(
+            rng.gen_range(-1.2..1.2),
+            rng.gen_range(-0.6..0.6),
+            rng.gen_range(-0.8..0.8),
+        );
+        let spin = rng.gen_range(-1.0..1.0);
+        // Thin or spiky props (stars, rings) render double-sided, as
+        // such assets commonly do on mobile.
+        let cull = if i % prop_meshes.len() >= 2 {
+            rbcd_gpu::CullMode::None
+        } else {
+            rbcd_gpu::CullMode::Back
+        };
+        collidables.push(SceneObject::new(
+            mesh.clone(),
+            Motion::Bounce { start, velocity, bounds, spin },
+        ).with_cull(cull));
+        // Half the props fly as loose pairs: their AABBs stay in
+        // contact, keeping the narrow phase busy every frame like
+        // resting contacts do in a real game.
+        if i % 2 == 0 {
+            collidables.push(SceneObject::new(
+                mesh,
+                Motion::Bounce {
+                    start: start + Vec3::new(0.95, 0.1, 0.0),
+                    velocity,
+                    bounds,
+                    spin: -spin,
+                },
+            ).with_cull(cull));
+        }
+    }
+    Scene {
+        name: "Captain America",
+        alias: "cap",
+        description: "beat'em up: two fighters and scattered props in an arena",
+        collidables,
+        scenery: {
+            let mut scenery = arena_scenery(12.0, 5.0);
+            scenery.extend(decor_field(&mut rng, 60, -11.5..11.5, 0.3..4.5, -11.8..-1.5));
+            scenery
+        },
+        camera: CameraPath::fixed(Vec3::new(0.0, 2.6, 7.0), Vec3::new(0.0, 1.2, -3.0)),
+        frames: 24,
+        fps: 30.0,
+    }
+}
+
+/// `crazy` — *Crazy Snowboard* (arcade): a boarder on a large
+/// collisionable snow slope with sparse obstacles. The slope covers a
+/// large screen area with only two collisionable faces per pixel, so
+/// overflow stays low while the RBCD unit sees many fragments per tile —
+/// the configuration that provokes the paper's worst single-ZEB stalls
+/// (§5.2).
+pub fn crazy() -> Scene {
+    let mut rng = StdRng::seed_from_u64(0x5B0A4D);
+    // The active snow-terrain collision window: a finely tessellated
+    // strip that slides along with the boarder (games only keep the
+    // nearby terrain section registered for collision). Its per-frame
+    // refit is the dominant CPU broad-phase cost.
+    let slope = Arc::new(shapes::tessellated_slab(Vec3::new(2.4, 0.3, 11.0), 30, 130));
+    let boarder = Arc::new(shapes::capsule(0.4, 0.7, 40, 20));
+    let tree = Arc::new(shapes::capsule(0.5, 1.6, 20, 10));
+    let rock = Arc::new(shapes::icosphere(0.6, 3));
+    let speed = 6.0;
+
+    let mut collidables = vec![
+        // Terrain draws with culling disabled (double-sided), as mobile
+        // engines commonly do — so the baseline already rasterizes both
+        // of its faces and deferred culling adds no work for it.
+        SceneObject::new(
+            slope,
+            Motion::Slide {
+                start: Vec3::new(0.0, -0.3, -14.0),
+                velocity: Vec3::new(0.4, 0.0, -speed),
+            },
+        )
+        .with_cull(rbcd_gpu::CullMode::None),
+        // The boarder slides down the slope, weaving.
+        SceneObject::new(
+            boarder,
+            Motion::Slide {
+                start: Vec3::new(0.0, 0.9, -6.0),
+                velocity: Vec3::new(0.4, 0.0, -speed),
+            },
+        ),
+    ];
+    for i in 0..22 {
+        let position = Vec3::new(
+            rng.gen_range(-2.2..2.2),
+            1.2,
+            -8.0 - rng.gen_range(0.0..110.0),
+        );
+        let motion = if i % 3 == 0 {
+            Motion::Static { position, yaw: rng.gen_range(0.0..std::f32::consts::TAU) }
+        } else {
+            // Trees sway gently in the wind.
+            Motion::Oscillate {
+                center: position,
+                amplitude: Vec3::new(rng.gen_range(0.02..0.12), 0.0, 0.0),
+                frequency: rng.gen_range(0.3..0.8),
+                phase: rng.gen_range(0.0..std::f32::consts::TAU),
+            }
+        };
+        let mesh = if i % 3 == 0 { rock.clone() } else { tree.clone() };
+        collidables.push(SceneObject::new(mesh, motion));
+    }
+    Scene {
+        name: "Crazy Snowboard",
+        alias: "crazy",
+        description: "arcade: boarder on a large collisionable slope with sparse obstacles",
+        collidables,
+        scenery: {
+            let mut forest = decor_field(&mut rng, 40, -16.0..-4.0, 0.6..2.2, -95.0..-6.0);
+            forest.extend(decor_field(&mut rng, 40, 4.0..16.0, 0.6..2.2, -95.0..-6.0));
+            forest.extend(vec![
+            // The far slope: visually identical terrain, but outside
+            // the active collision window.
+            SceneObject::new(
+                shapes::tessellated_slab(Vec3::new(3.0, 0.3, 60.0), 8, 60),
+                Motion::Slide {
+                    start: Vec3::new(0.0, -0.31, -85.0),
+                    velocity: Vec3::new(0.4, 0.0, -speed),
+                },
+            )
+            .with_shader(ShaderCost { vertex_cycles: 6, fragment_cycles: 12 }),
+            // Snowfields flanking the collision strip: most of the
+            // screen's fragments, none of them collisionable.
+            SceneObject::new(
+                shapes::ground_quad(14.0, 90.0),
+                Motion::Slide {
+                    start: Vec3::new(-16.9, -0.05, -60.0),
+                    velocity: Vec3::new(0.4, 0.0, -speed),
+                },
+            )
+            .with_shader(ShaderCost { vertex_cycles: 6, fragment_cycles: 12 }),
+            SceneObject::new(
+                shapes::ground_quad(14.0, 90.0),
+                Motion::Slide {
+                    start: Vec3::new(16.9, -0.05, -60.0),
+                    velocity: Vec3::new(0.4, 0.0, -speed),
+                },
+            )
+            .with_shader(ShaderCost { vertex_cycles: 6, fragment_cycles: 12 }),
+            // Distant mountain wall and sky.
+            SceneObject::new(
+                shapes::ground_quad(120.0, 40.0)
+                    .transformed(&Mat4::rotation_x(std::f32::consts::FRAC_PI_2)),
+                Motion::Slide {
+                    start: Vec3::new(0.0, 20.0, -140.0),
+                    velocity: Vec3::new(0.4, 0.0, -speed),
+                },
+            )
+            .with_shader(ShaderCost { vertex_cycles: 6, fragment_cycles: 12 }),
+            ]);
+            forest
+        },
+        // Camera chases the boarder from behind and above.
+        camera: CameraPath::dolly(
+            Vec3::new(0.0, 3.2, 0.0),
+            Vec3::new(0.4, 0.0, -speed),
+            Vec3::new(0.0, -1.6, -9.0),
+        ),
+        frames: 24,
+        fps: 30.0,
+    }
+}
+
+/// `sleepy` — *Sleepy Jack* (action): a dense swarm of collisionable
+/// objects spiralling around the view axis, giving moderate per-pixel
+/// collisionable depth (Table 3: 5.87 % at M=4, 0.21 % at 8).
+pub fn sleepy() -> Scene {
+    let mut rng = StdRng::seed_from_u64(0x51EE97);
+    let meshes: Vec<Arc<Mesh>> = vec![
+        Arc::new(shapes::icosphere(0.55, 3)),
+        Arc::new(shapes::torus(0.6, 0.22, 24, 16)),
+        Arc::new(shapes::capsule(0.35, 0.5, 24, 12)),
+        Arc::new(shapes::star_prism(6, 0.55, 0.25, 0.5)),
+    ];
+    let mut collidables = Vec::new();
+    // Swarm rings at increasing depth; objects within a ring share the
+    // screen region around the view axis, stacking moderately in z.
+    for ring in 0..7 {
+        let depth = -7.0 - ring as f32 * 4.6;
+        for k in 0..6 {
+            let mesh = meshes[(ring * 6 + k) % meshes.len()].clone();
+            // Alternate the angular size per ring: constant angular
+            // radii would nest every ring onto the same view cone and
+            // stack collisionable surfaces on the same pixels.
+            let ring_factor = [0.22, 0.55, 0.34, 0.68, 0.28, 0.61, 0.45][ring % 7];
+            let ring_height = [1.2, 2.8, 0.8, 3.4, 1.8, 2.3, 1.0][ring % 7];
+            // Rings and stars render double-sided like cap's thin props.
+            let cull = if (ring * 6 + k) % meshes.len() % 2 == 1 {
+                rbcd_gpu::CullMode::None
+            } else {
+                rbcd_gpu::CullMode::Back
+            };
+            collidables.push(SceneObject::new(
+                mesh,
+                Motion::Orbit {
+                    center: Vec3::new(0.0, ring_height, depth),
+                    radius: (ring_factor + rng.gen_range(-0.04..0.04)) * (depth - 4.0).abs(),
+                    angular_speed: rng.gen_range(0.5..1.6) * if k % 2 == 0 { 1.0 } else { -1.0 },
+                    phase: rng.gen_range(0.0..std::f32::consts::TAU),
+                },
+            ).with_cull(cull));
+        }
+    }
+    Scene {
+        name: "Sleepy Jack",
+        alias: "sleepy",
+        description: "action: a swarm of objects spiralling around the view axis",
+        collidables,
+        scenery: {
+            let mut scenery = arena_scenery(14.0, 6.0);
+            scenery.extend(decor_field(&mut rng, 70, -13.0..13.0, 0.3..6.0, -40.0..-36.0));
+            scenery.extend(decor_field(&mut rng, 30, -13.0..13.0, 0.3..6.0, -13.5..-11.0));
+            scenery
+        },
+        camera: CameraPath::fixed(Vec3::new(0.0, 1.8, 4.0), Vec3::new(0.0, 1.8, -8.0)),
+        frames: 24,
+        fps: 30.0,
+    }
+}
+
+/// `temple` — *Temple Run* (adventure arcade): the camera races down a
+/// corridor whose collisionable walls, floor slabs, and obstacle chains
+/// line up along the view axis, stacking many collisionable surfaces on
+/// the same pixels (Table 3: 16.61 % overflow at M=4, 0.96 % at 8, 0 at
+/// 16).
+pub fn temple() -> Scene {
+    let mut rng = StdRng::seed_from_u64(0x7E3A91);
+    let speed = 7.0;
+    let slab = Arc::new(shapes::tessellated_slab(Vec3::new(1.4, 0.25, 3.6), 20, 40));
+    let gate = Arc::new(shapes::torus(2.0, 0.35, 24, 16));
+    let obstacle = Arc::new(shapes::cuboid(Vec3::new(0.8, 0.8, 0.5)));
+    let idol = Arc::new(shapes::icosphere(0.5, 3));
+
+    let mut collidables = Vec::new();
+    // The runner.
+    collidables.push(SceneObject::new(
+        Arc::new(shapes::capsule(0.4, 0.7, 36, 18)),
+        Motion::Slide {
+            start: Vec3::new(0.0, 1.2, -5.0),
+            velocity: Vec3::new(0.0, 0.0, -speed),
+        },
+    ));
+    // Floor slabs and gates along the corridor: seen nearly edge-on,
+    // they stack front/back faces on the horizon pixels.
+    // Only the slabs and gates near the runner are in the active
+    // collision set (the game collides nearby obstacles only); the far
+    // corridor repeats the same geometry as scenery.
+    let mut far_scenery: Vec<SceneObject> = Vec::new();
+    for i in 0..10 {
+        let z = -8.0 - i as f32 * 7.5;
+        // Stagger the slabs laterally and vertically so distant segments
+        // do not all converge on the same horizon pixels.
+        let dx = if i % 2 == 0 { 0.5 } else { -0.5 };
+        let dy = 0.12 * (i % 3) as f32;
+        // Slabs render double-sided like the slope terrain in `crazy`.
+        let slab_obj = SceneObject::new(
+            slab.clone(),
+            Motion::Static { position: Vec3::new(dx, dy, z), yaw: 0.0 },
+        )
+        .with_cull(rbcd_gpu::CullMode::None);
+        if i < 4 {
+            collidables.push(slab_obj);
+        } else {
+            far_scenery.push(slab_obj.with_shader(ShaderCost { vertex_cycles: 6, fragment_cycles: 12 }));
+        }
+        if i % 3 == 0 {
+            let gate_obj = SceneObject::new(
+                gate.clone(),
+                Motion::Static { position: Vec3::new(-dx, 1.8, z - 3.0), yaw: 0.0 },
+            );
+            if i < 4 {
+                collidables.push(gate_obj);
+            } else {
+                far_scenery.push(gate_obj.with_shader(ShaderCost { vertex_cycles: 6, fragment_cycles: 12 }));
+            }
+        }
+    }
+    // Obstacle chains hovering in the middle of the corridor; the far
+    // half belongs to the scenery pass like the far slabs do.
+    let mut far_obstacles: Vec<SceneObject> = Vec::new();
+    for i in 0..12 {
+        let mesh = if i % 4 == 0 { idol.clone() } else { obstacle.clone() };
+        let obj = SceneObject::new(
+            mesh,
+            Motion::Oscillate {
+                center: Vec3::new(
+                    rng.gen_range(-1.6..1.6),
+                    rng.gen_range(0.8..2.6),
+                    -10.0 - i as f32 * 6.4,
+                ),
+                amplitude: Vec3::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..0.5), 0.0),
+                frequency: rng.gen_range(0.2..0.7),
+                phase: rng.gen_range(0.0..std::f32::consts::TAU),
+            },
+        );
+        if i < 6 {
+            collidables.push(obj);
+        } else {
+            far_obstacles.push(obj.with_shader(ShaderCost { vertex_cycles: 6, fragment_cycles: 12 }));
+        }
+    }
+    let far_scenery: Vec<SceneObject> = far_scenery.into_iter().chain(far_obstacles).collect();
+    Scene {
+        name: "Temple Run",
+        alias: "temple",
+        description: "adventure arcade: obstacle chains lined up along a corridor",
+        collidables,
+        scenery: {
+            let mut scenery = far_scenery;
+            scenery.extend(decor_field(&mut rng, 30, -3.1..-2.3, 0.2..4.0, -78.0..-4.0));
+            scenery.extend(decor_field(&mut rng, 30, 2.3..3.1, 0.2..4.0, -78.0..-4.0));
+            scenery.extend(vec![
+            // Wide scenery floor beneath the collisionable slabs.
+            SceneObject::new(
+                shapes::ground_quad(16.0, 90.0),
+                Motion::Slide {
+                    start: Vec3::new(0.0, -0.6, -60.0),
+                    velocity: Vec3::new(0.0, 0.0, -speed),
+                },
+            )
+            .with_shader(ShaderCost { vertex_cycles: 6, fragment_cycles: 12 }),
+            // Corridor side walls converge at the horizon.
+            SceneObject::new(
+                shapes::ground_quad(2.8, 120.0),
+                Motion::Slide {
+                    start: Vec3::new(-3.2, 2.0, -60.0),
+                    velocity: Vec3::new(0.0, 0.0, -speed),
+                },
+            )
+            .with_shader(ShaderCost { vertex_cycles: 6, fragment_cycles: 12 }),
+            SceneObject::new(
+                shapes::ground_quad(2.8, 120.0),
+                Motion::Slide {
+                    start: Vec3::new(3.2, 2.0, -60.0),
+                    velocity: Vec3::new(0.0, 0.0, -speed),
+                },
+            )
+            .with_shader(ShaderCost { vertex_cycles: 6, fragment_cycles: 12 }),
+            // Sky at the end of the corridor.
+            SceneObject::new(
+                shapes::ground_quad(60.0, 40.0)
+                    .transformed(&Mat4::rotation_x(std::f32::consts::FRAC_PI_2)),
+                Motion::Slide {
+                    start: Vec3::new(0.0, 10.0, -130.0),
+                    velocity: Vec3::new(0.0, 0.0, -speed),
+                },
+            )
+            .with_shader(ShaderCost { vertex_cycles: 6, fragment_cycles: 12 }),
+            ]);
+            scenery
+        },
+        camera: {
+            let mut path = CameraPath::dolly(
+                Vec3::new(0.0, 2.4, 0.0),
+                Vec3::new(0.0, 0.0, -speed),
+                Vec3::new(0.0, -0.8, -10.0),
+            );
+            // Short draw distance: the corridor fades out like the real
+            // game's fog, bounding how many segments stack per pixel.
+            path.far = 80.0;
+            path
+        },
+        frames: 24,
+        fps: 30.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_the_paper_benchmarks() {
+        let s = suite();
+        let aliases: Vec<&str> = s.iter().map(|b| b.alias).collect();
+        assert_eq!(aliases, vec!["cap", "crazy", "sleepy", "temple"]);
+    }
+
+    #[test]
+    fn scenes_are_deterministic() {
+        let a = temple();
+        let b = temple();
+        assert_eq!(a.collidable_transforms(5), b.collidable_transforms(5));
+        assert_eq!(a.collidables.len(), b.collidables.len());
+    }
+
+    #[test]
+    fn every_scene_has_collidables_and_scenery() {
+        for s in suite() {
+            assert!(s.collidables.len() >= 10, "{}: too few collidables", s.alias);
+            assert!(!s.scenery.is_empty(), "{}: no scenery", s.alias);
+            assert!(s.frames > 0);
+            assert!(s.collidable_triangles() > 1000, "{}: too little geometry", s.alias);
+        }
+    }
+
+    #[test]
+    fn traces_render_nonempty_frames() {
+        use rbcd_gpu::{GpuConfig, NullCollisionUnit, PipelineMode, Simulator};
+        use rbcd_math::Viewport;
+        for s in suite() {
+            let cfg = GpuConfig { viewport: Viewport::new(160, 96), ..GpuConfig::default() };
+            let mut sim = Simulator::new(cfg);
+            let stats =
+                sim.render_frame(&s.frame_trace(0), PipelineMode::Baseline, &mut NullCollisionUnit);
+            assert!(
+                stats.raster.fragments_rasterized > 500,
+                "{}: frame 0 nearly empty ({} frags)",
+                s.alias,
+                stats.raster.fragments_rasterized
+            );
+        }
+    }
+
+    #[test]
+    fn collidables_visible_in_rbcd_mode() {
+        use rbcd_gpu::{GpuConfig, NullCollisionUnit, PipelineMode, Simulator};
+        use rbcd_math::Viewport;
+        for s in suite() {
+            let cfg = GpuConfig { viewport: Viewport::new(160, 96), ..GpuConfig::default() };
+            let mut sim = Simulator::new(cfg);
+            let stats =
+                sim.render_frame(&s.frame_trace(0), PipelineMode::Rbcd, &mut NullCollisionUnit);
+            assert!(
+                stats.raster.fragments_collisionable > 100,
+                "{}: no collisionable fragments reach the unit",
+                s.alias
+            );
+            assert!(stats.geometry.triangles_tagged > 0, "{}: nothing tagged", s.alias);
+        }
+    }
+
+    #[test]
+    fn motion_stays_animated_across_the_clip() {
+        for s in suite() {
+            let first = s.collidable_transforms(0);
+            let last = s.collidable_transforms(s.frames - 1);
+            let moved = first
+                .iter()
+                .zip(&last)
+                .filter(|(a, b)| a != b)
+                .count();
+            // Corridor/slope scenes keep their static props; at least a
+            // quarter of the objects must animate.
+            assert!(moved * 4 >= first.len(), "{}: too few objects move", s.alias);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! The paper's Figure 2 accuracy scenario: a concave body `A` with a
+//! small box `B` in its AABB-only region and a small sphere `C` inside
+//! its convex hull — AABB flags both, GJK-on-hull still flags `C`, and
+//! RBCD (operating on the discretized true surface) flags neither,
+//! matching the exact geometric ground truth.
+//!
+//! ```text
+//! cargo run --release --example accuracy_shapes
+//! ```
+
+use rbcd_bench::accuracy::{false_positive_counts, figure2_verdicts};
+use rbcd_gpu::GpuConfig;
+use rbcd_math::Viewport;
+
+fn main() {
+    println!("Figure 2 — collision verdicts around a concave L-prism\n");
+    println!("  A = concave L-prism (object 1)");
+    println!("  B = small cube in the notch corner: inside A's AABB only (object 2)");
+    println!("  C = small sphere inside A's convex hull, off its surface (object 3)\n");
+
+    for (label, width, height) in [
+        ("WVGA 800x480 (paper resolution)", 800u32, 480u32),
+        ("quarter resolution 400x240", 400, 240),
+    ] {
+        let gpu = GpuConfig {
+            viewport: Viewport::new(width, height),
+            ..GpuConfig::default()
+        };
+        let verdicts = figure2_verdicts(&gpu);
+        println!("--- {label} ---");
+        println!("{:>8}  {:>6}  {:>8}  {:>6}  {:>6}", "pair", "AABB", "GJK-hull", "RBCD", "exact");
+        for v in &verdicts {
+            let yn = |b: bool| if b { "HIT" } else { "-" };
+            println!(
+                "{:>8}  {:>6}  {:>8}  {:>6}  {:>6}",
+                format!("({},{})", v.pair.0, v.pair.1),
+                yn(v.aabb),
+                yn(v.gjk),
+                yn(v.rbcd),
+                yn(v.exact)
+            );
+        }
+        let (aabb_fp, gjk_fp, rbcd_fp) = false_positive_counts(&verdicts);
+        println!("false positives — AABB: {aabb_fp}, GJK: {gjk_fp}, RBCD: {rbcd_fp}\n");
+        assert_eq!(rbcd_fp, 0, "RBCD must add no false collisions");
+        assert!(aabb_fp >= gjk_fp, "hull is tighter than the AABB");
+        assert!(gjk_fp >= 1, "the hull still over-approximates the concave body");
+    }
+
+    println!("As in the paper: the broad phase's AABB is the loosest shape, the");
+    println!("convex hull removes only part of the false-collisionable area, and");
+    println!("RBCD's pixel-level discretized surface removes the rest — with the");
+    println!("false-collisionable band shrinking as rendering resolution grows.");
+}

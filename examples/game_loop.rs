@@ -1,0 +1,119 @@
+//! The §3.6 animation loop, both ways: falling debris resolved with
+//! conventional CPU collision detection versus RBCD pairs reported by
+//! the GPU render of the previous frame (the paper's Figure 7).
+//!
+//! Prints, per configuration, the physics outcome and the CPU cycles the
+//! time step spent on collision detection — the work RBCD removes.
+//!
+//! ```text
+//! cargo run --release --example game_loop
+//! ```
+
+use rbcd_core::RbcdUnit;
+use rbcd_core::RbcdConfig;
+use rbcd_cpu_cd::Phase;
+use rbcd_gpu::{Camera, DrawCommand, FrameTrace, GpuConfig, ObjectId, PipelineMode, Simulator};
+use rbcd_geometry::shapes;
+use rbcd_math::{Vec3, Viewport};
+use rbcd_physics::{GameLoop, PhysicsWorld, RigidBody};
+
+const FRAMES: usize = 240;
+const DT: f32 = 1.0 / 60.0;
+
+fn debris_world() -> PhysicsWorld {
+    let mut world = PhysicsWorld::with_ground(0.0);
+    // A column of mixed debris dropped from height; pieces collide with
+    // each other and the ground.
+    let meshes = [
+        shapes::icosphere(0.45, 2),
+        shapes::cube(0.4),
+        shapes::capsule(0.3, 0.4, 12, 6),
+        shapes::torus(0.45, 0.18, 12, 8),
+    ];
+    for i in 0..8 {
+        let mesh = meshes[i % meshes.len()].clone();
+        let x = (i as f32 * 0.37).sin() * 0.6;
+        let z = (i as f32 * 0.83).cos() * 0.6;
+        world.add_body(
+            RigidBody::new(mesh, Vec3::new(x, 1.5 + i as f32 * 0.8, z), 1.0)
+                .with_restitution(0.25),
+        );
+    }
+    world
+}
+
+fn main() {
+    // --- Configuration A: conventional loop, CD on the CPU ----------
+    let mut cpu_game = GameLoop::with_cpu_cd(debris_world()).expect("meshes are hullable");
+    let mut cpu_cd_cycles: u64 = 0;
+    let mut cpu_collisions = 0usize;
+    for _ in 0..FRAMES {
+        let report = cpu_game.step_with_cpu_cd(DT, Phase::BroadAndNarrow);
+        cpu_collisions += report.pairs.len();
+        cpu_cd_cycles += report.cd_cost.expect("cpu loop reports cost").cycles();
+    }
+
+    // --- Configuration B: RBCD loop — detection rides the render ----
+    let mut rbcd_game = GameLoop::with_external_cd(debris_world());
+    let gpu = GpuConfig { viewport: Viewport::new(400, 240), ..GpuConfig::default() };
+    let mut sim = Simulator::new(gpu.clone());
+    let mut unit = RbcdUnit::new(RbcdConfig::default(), gpu.tile_size);
+    let camera = Camera::perspective(Vec3::new(0.0, 4.0, 14.0), Vec3::new(0.0, 2.0, 0.0), 1.0, 0.1, 100.0);
+
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut rbcd_collisions = 0usize;
+    for _ in 0..FRAMES {
+        // Time step: respond to the pairs the *previous* render reported.
+        let report = rbcd_game.step_with_reported_pairs(DT, &pairs);
+        rbcd_collisions += report.pairs.len();
+        assert!(report.cd_cost.is_none(), "no CPU CD work in the RBCD loop");
+
+        // Render: the RBCD unit detects this frame's collisions for free.
+        let draws: Vec<DrawCommand> = rbcd_game
+            .world
+            .bodies()
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                DrawCommand::collidable(b.mesh.clone(), ObjectId::new(i as u16 + 1))
+                    .with_model(b.model())
+            })
+            .collect();
+        unit.new_frame();
+        sim.render_frame(&FrameTrace::new(camera, draws), PipelineMode::Rbcd, &mut unit);
+        pairs = unit
+            .take_contacts()
+            .iter()
+            .map(|c| {
+                let (a, b) = c.pair();
+                (a.get() as usize - 1, b.get() as usize - 1)
+            })
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+    }
+
+    // --- Compare ------------------------------------------------------
+    let settled = |world: &PhysicsWorld| {
+        world
+            .bodies()
+            .iter()
+            .filter(|b| b.position.y < 2.0 && b.linear_velocity.length() < 1.5)
+            .count()
+    };
+    println!("{FRAMES} frames of falling debris, {} bodies\n", cpu_game.world.bodies().len());
+    println!("conventional loop (CPU broad+GJK CD in every time step):");
+    println!("  pair resolutions: {cpu_collisions}");
+    println!("  CPU cycles spent on CD: {cpu_cd_cycles} ({:.2} ms at 1.5 GHz)",
+        cpu_cd_cycles as f64 / 1.5e9 * 1e3);
+    println!("  bodies settled near the ground: {}/8", settled(&cpu_game.world));
+    println!();
+    println!("RBCD loop (pairs reported by the GPU render, one frame latent):");
+    println!("  pair resolutions: {rbcd_collisions}");
+    println!("  CPU cycles spent on CD: 0");
+    println!("  RBCD pairs emitted by the unit: {}", unit.stats().pairs_emitted);
+    println!("  bodies settled near the ground: {}/8", settled(&rbcd_game.world));
+    println!();
+    println!("Both loops produce a settled pile; the RBCD loop did it without");
+    println!("spending a single CPU cycle on collision detection (§3.6, Fig. 7).");
+}

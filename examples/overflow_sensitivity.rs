@@ -1,0 +1,72 @@
+//! ZEB list-length sensitivity on a stress scene (the paper's §5.3):
+//! sweep `M` over a configuration with deliberately deep per-pixel
+//! collisionable stacks and watch the overflow rate fall — and the pair
+//! set stay complete — as the lists grow.
+//!
+//! ```text
+//! cargo run --release --example overflow_sensitivity
+//! ```
+
+use rbcd_core::{detect_frame_collisions, RbcdConfig};
+use rbcd_geometry::shapes;
+use rbcd_gpu::{Camera, DrawCommand, FrameTrace, GpuConfig, ObjectId};
+use rbcd_math::{Mat4, Vec3, Viewport};
+
+/// A worst-case stack: shells nested along the view axis, so central
+/// pixels see every shell's entry and exit.
+fn nested_shell_trace() -> FrameTrace {
+    let camera = Camera::perspective(Vec3::new(0.0, 0.0, 10.0), Vec3::ZERO, 1.0, 0.1, 100.0);
+    let mut draws = Vec::new();
+    for i in 0..7u16 {
+        let r = 0.4 + i as f32 * 0.35;
+        draws.push(
+            DrawCommand::collidable(shapes::icosphere(r, 2), ObjectId::new(i + 1))
+                .with_model(Mat4::translation(Vec3::new(0.0, 0.0, -(i as f32) * 0.05))),
+        );
+    }
+    FrameTrace::new(camera, draws)
+}
+
+fn main() {
+    let gpu = GpuConfig {
+        viewport: Viewport::new(320, 200),
+        ..GpuConfig::default()
+    };
+    let trace = nested_shell_trace();
+
+    // Reference: lists long enough that nothing can overflow.
+    let reference = detect_frame_collisions(
+        &trace,
+        &gpu,
+        &RbcdConfig { list_capacity: 64, ff_stack_capacity: 64, ..RbcdConfig::default() },
+    );
+    let reference_pairs = reference.pairs();
+    println!("seven nested shells; no-overflow reference finds {} pairs\n", reference_pairs.len());
+    println!("{:>4}  {:>10}  {:>10}  {:>12}  {:>10}", "M", "insertions", "overflows", "overflow %", "pairs");
+
+    for m in [2usize, 4, 6, 8, 12, 16, 24] {
+        let run = detect_frame_collisions(
+            &trace,
+            &gpu,
+            &RbcdConfig { list_capacity: m, ff_stack_capacity: m.max(8), ..RbcdConfig::default() },
+        );
+        let s = run.rbcd_stats;
+        let pairs = run.pairs();
+        println!(
+            "{m:>4}  {:>10}  {:>10}  {:>11.2}%  {:>6}/{}",
+            s.insertions,
+            s.overflows,
+            s.overflow_rate() * 100.0,
+            pairs.len(),
+            reference_pairs.len(),
+        );
+        // Overflow can lose overlaps but must never invent them.
+        assert!(pairs.is_subset(&reference_pairs));
+    }
+
+    println!("\nAs M grows the overflow rate collapses; the paper found M = 8");
+    println!("keeps overflow under 1% on its benchmarks while an M this small");
+    println!("still detects every collision thanks to the many pixels each");
+    println!("object pair overlaps (§5.3). The nested-shell stress case here");
+    println!("is deliberately harder than any of the four game workloads.");
+}

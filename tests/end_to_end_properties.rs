@@ -1,0 +1,148 @@
+//! End-to-end property tests: random scenes through the full
+//! GPU + RBCD stack against the software oracle and the CPU baselines.
+
+use proptest::prelude::*;
+use rbcd_core::software::OracleUnit;
+use rbcd_core::{RbcdConfig, RbcdUnit};
+use rbcd_cpu_cd::{CdBody, CpuCollisionDetector, Phase};
+use rbcd_geometry::{shapes, Mesh};
+use rbcd_gpu::{Camera, DrawCommand, FrameTrace, GpuConfig, ObjectId, PipelineMode, Simulator};
+use rbcd_math::{Mat4, Vec3, Viewport};
+use std::sync::Arc;
+
+fn gpu() -> GpuConfig {
+    GpuConfig { viewport: Viewport::new(160, 100), ..GpuConfig::default() }
+}
+
+#[derive(Debug, Clone)]
+struct RandomScene {
+    positions: Vec<Vec3>,
+    shapes: Vec<u8>,
+}
+
+fn random_scene() -> impl Strategy<Value = RandomScene> {
+    let pos = (-2.5f32..2.5, -1.5f32..1.5, -2.0f32..2.0)
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z));
+    (prop::collection::vec(pos, 2..6), prop::collection::vec(0u8..4, 6))
+        .prop_map(|(positions, shapes)| RandomScene { positions, shapes })
+}
+
+fn mesh_for(kind: u8) -> Arc<Mesh> {
+    Arc::new(match kind % 4 {
+        0 => shapes::icosphere(0.8, 1),
+        1 => shapes::cube(0.7),
+        2 => shapes::capsule(0.5, 0.5, 10, 5),
+        _ => shapes::torus(0.7, 0.25, 10, 6),
+    })
+}
+
+fn trace_of(scene: &RandomScene) -> FrameTrace {
+    let camera = Camera::perspective(Vec3::new(0.0, 0.5, 8.0), Vec3::ZERO, 1.0, 0.1, 100.0);
+    let draws = scene
+        .positions
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            DrawCommand::collidable(mesh_for(scene.shapes[i % scene.shapes.len()]), ObjectId::new(i as u16 + 1))
+                .with_model(Mat4::translation(p))
+        })
+        .collect();
+    FrameTrace::new(camera, draws)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Hardware-model pairs equal oracle pairs on rendered random
+    /// scenes when lists cannot overflow.
+    #[test]
+    fn rendered_hardware_matches_oracle(scene in random_scene()) {
+        let trace = trace_of(&scene);
+        let cfg = gpu();
+
+        let mut sim = Simulator::new(cfg.clone());
+        let mut unit = RbcdUnit::new(
+            RbcdConfig { list_capacity: 96, ff_stack_capacity: 96, ..RbcdConfig::default() },
+            cfg.tile_size,
+        );
+        sim.render_frame(&trace, PipelineMode::Rbcd, &mut unit);
+        prop_assume!(unit.stats().overflows == 0);
+
+        let mut sim = Simulator::new(cfg.clone());
+        let mut oracle = OracleUnit::new();
+        sim.render_frame(&trace, PipelineMode::Rbcd, &mut oracle);
+        prop_assert_eq!(unit.pairs(), oracle.pairs());
+    }
+
+    /// The paper's M = 8 configuration never invents pairs relative to
+    /// the no-overflow configuration.
+    #[test]
+    fn default_config_is_a_subset_of_reference(scene in random_scene()) {
+        let trace = trace_of(&scene);
+        let cfg = gpu();
+        let run = |m: usize| {
+            let mut sim = Simulator::new(cfg.clone());
+            let mut unit = RbcdUnit::new(
+                RbcdConfig { list_capacity: m, ff_stack_capacity: m.max(8), ..RbcdConfig::default() },
+                cfg.tile_size,
+            );
+            sim.render_frame(&trace, PipelineMode::Rbcd, &mut unit);
+            unit.pairs()
+        };
+        let small = run(8);
+        let big = run(96);
+        prop_assert!(small.is_subset(&big));
+    }
+
+    /// RBCD pairs are always a subset of the CPU broad phase's pairs:
+    /// two objects whose surfaces overlap on screen must also have
+    /// overlapping AABBs.
+    #[test]
+    fn rbcd_pairs_within_broad_phase(scene in random_scene()) {
+        let trace = trace_of(&scene);
+        let result = rbcd_core::detect_frame_collisions(&trace, &gpu(), &RbcdConfig::default());
+
+        let mut det = CpuCollisionDetector::new(
+            scene
+                .positions
+                .iter()
+                .enumerate()
+                .map(|(i, _)| {
+                    CdBody::from_mesh(
+                        i as u32 + 1,
+                        &mesh_for(scene.shapes[i % scene.shapes.len()]),
+                    )
+                    .expect("meshes are hullable")
+                })
+                .collect(),
+        );
+        let transforms: Vec<Mat4> =
+            scene.positions.iter().map(|&p| Mat4::translation(p)).collect();
+        let broad: std::collections::BTreeSet<(u16, u16)> = det
+            .detect(&transforms, Phase::Broad)
+            .pairs
+            .into_iter()
+            .map(|(a, b)| (a as u16, b as u16))
+            .collect();
+        let rbcd: std::collections::BTreeSet<(u16, u16)> =
+            result.pairs().into_iter().map(|(a, b)| (a.get(), b.get())).collect();
+        prop_assert!(
+            rbcd.is_subset(&broad),
+            "rbcd {rbcd:?} escapes broad {broad:?}"
+        );
+    }
+
+    /// Baseline and RBCD renders shade the same image for random scenes.
+    #[test]
+    fn image_invariance(scene in random_scene()) {
+        let trace = trace_of(&scene);
+        let cfg = gpu();
+        let mut sim = Simulator::new(cfg.clone());
+        let base = sim.render_frame(&trace, PipelineMode::Baseline, &mut rbcd_gpu::NullCollisionUnit);
+        let mut sim = Simulator::new(cfg.clone());
+        let mut unit = RbcdUnit::new(RbcdConfig::default(), cfg.tile_size);
+        let rbcd = sim.render_frame(&trace, PipelineMode::Rbcd, &mut unit);
+        prop_assert_eq!(base.raster.fragments_shaded, rbcd.raster.fragments_shaded);
+        prop_assert_eq!(base.raster.fragments_to_early_z, rbcd.raster.fragments_to_early_z);
+    }
+}
