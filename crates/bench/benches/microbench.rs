@@ -1,11 +1,14 @@
-//! Criterion microbenchmarks for the core data structures and the
-//! full-frame simulation path.
+//! Microbenchmarks for the core data structures and the full-frame
+//! simulation path, on a small self-contained timing harness (the
+//! build is offline, so no criterion).
 //!
 //! ```text
 //! cargo bench -p rbcd-bench
 //! ```
+//!
+//! Each benchmark warms up briefly, then reports the median of several
+//! timed batches as ns/iter.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rbcd_core::software::OracleUnit;
 use rbcd_core::{scan_list, FfStack, RbcdConfig, RbcdStats, RbcdUnit, Zeb, ZebElement};
 use rbcd_cpu_cd::{gjk, CdBody, Cost, CpuCollisionDetector, Phase};
@@ -15,9 +18,40 @@ use rbcd_gpu::{
     PipelineMode, ScreenTriangle, Simulator, TileCoord,
 };
 use rbcd_math::{Mat4, Vec3, Viewport};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `f` and prints ns/iter: a short calibration pass sizes the
+/// batch to ~10 ms, then the median of 7 batches is reported.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Calibrate the batch size.
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let dt = t.elapsed();
+        if dt.as_millis() >= 10 || iters >= 1 << 24 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut samples: Vec<f64> = (0..7)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!("{name:<40} {:>14.1} ns/iter", samples[3]);
+}
 
 /// ZEB sorted insertion (Figure 4): one tile's worth of fragments.
-fn bench_zeb_insertion(c: &mut Criterion) {
+fn bench_zeb_insertion() {
     let elements: Vec<(usize, ZebElement)> = (0..512)
         .map(|i| {
             let z = ((i * 37) % 97) as f32 / 97.0;
@@ -26,23 +60,18 @@ fn bench_zeb_insertion(c: &mut Criterion) {
             ((i * 13) % 256, ZebElement::new(z, id, facing))
         })
         .collect();
-    c.bench_function("zeb_insert_512_fragments", |b| {
-        b.iter_batched(
-            || Zeb::new(256, 8),
-            |mut zeb| {
-                let mut stats = RbcdStats::default();
-                for &(list, e) in &elements {
-                    zeb.insert(list, e, &mut stats);
-                }
-                zeb
-            },
-            BatchSize::SmallInput,
-        )
+    bench("zeb_insert_512_fragments", || {
+        let mut zeb = Zeb::new(256, 8);
+        let mut stats = RbcdStats::default();
+        for &(list, e) in &elements {
+            zeb.insert(list, e, &mut stats);
+        }
+        zeb.occupied().len()
     });
 }
 
 /// Z-overlap scan (Figures 5–6) over a fully-populated list.
-fn bench_z_overlap_scan(c: &mut Criterion) {
+fn bench_z_overlap_scan() {
     let list: Vec<ZebElement> = (0..8)
         .map(|i| {
             let id = ObjectId::new((i / 2) as u16 + 1);
@@ -50,15 +79,15 @@ fn bench_z_overlap_scan(c: &mut Criterion) {
             ZebElement::new(i as f32 / 8.0, id, facing)
         })
         .collect();
-    c.bench_function("z_overlap_scan_8_element_list", |b| {
-        let mut stack = FfStack::new(8);
-        let mut stats = RbcdStats::default();
-        b.iter(|| scan_list(std::hint::black_box(&list), &mut stack, &mut stats))
+    let mut stack = FfStack::new(8);
+    let mut stats = RbcdStats::default();
+    bench("z_overlap_scan_8_element_list", || {
+        scan_list(black_box(&list), &mut stack, &mut stats)
     });
 }
 
 /// GJK boolean and distance queries on realistic hulls.
-fn bench_gjk(c: &mut Criterion) {
+fn bench_gjk() {
     let mesh = shapes::icosphere(1.0, 3);
     let h = hull::mesh_hull(&mesh).unwrap();
     let a: Vec<Vec3> = h.vertices().to_vec();
@@ -67,28 +96,22 @@ fn bench_gjk(c: &mut Criterion) {
         .iter()
         .map(|&p| p + Vec3::new(1.4, 0.2, 0.0))
         .collect();
-    c.bench_function("gjk_intersect_642v_hulls", |bch| {
-        bch.iter(|| {
-            let mut cost = Cost::default();
-            gjk::gjk_intersect(std::hint::black_box(&a), std::hint::black_box(&b), &mut cost)
-        })
+    bench("gjk_intersect_642v_hulls", || {
+        let mut cost = Cost::default();
+        gjk::gjk_intersect(black_box(&a), black_box(&b), &mut cost)
     });
-    c.bench_function("gjk_distance_642v_hulls", |bch| {
-        bch.iter(|| {
-            let mut cost = Cost::default();
-            gjk::gjk_distance(std::hint::black_box(&a), std::hint::black_box(&b), &mut cost)
-        })
+    bench("gjk_distance_642v_hulls", || {
+        let mut cost = Cost::default();
+        gjk::gjk_distance(black_box(&a), black_box(&b), &mut cost)
     });
-    c.bench_function("penetration_depth_642v_hulls", |bch| {
-        bch.iter(|| {
-            let mut cost = Cost::default();
-            gjk::penetration_depth(std::hint::black_box(&a), std::hint::black_box(&b), &mut cost)
-        })
+    bench("penetration_depth_642v_hulls", || {
+        let mut cost = Cost::default();
+        gjk::penetration_depth(black_box(&a), black_box(&b), &mut cost)
     });
 }
 
 /// CPU broad phase over a field of bodies (BVH refits + pair tests).
-fn bench_broad_phase(c: &mut Criterion) {
+fn bench_broad_phase() {
     let mesh = shapes::icosphere(0.5, 2);
     let bodies: Vec<CdBody> = (0..24)
         .map(|i| CdBody::from_mesh(i, &mesh).unwrap())
@@ -96,30 +119,29 @@ fn bench_broad_phase(c: &mut Criterion) {
     let transforms: Vec<Mat4> = (0..24)
         .map(|i| Mat4::translation(Vec3::new((i % 6) as f32 * 1.3, 0.0, (i / 6) as f32 * 1.3)))
         .collect();
-    c.bench_function("broad_phase_24_bodies", |b| {
-        let mut det = CpuCollisionDetector::new(bodies.clone());
-        b.iter(|| det.detect(std::hint::black_box(&transforms), Phase::Broad))
+    let mut det = CpuCollisionDetector::new(bodies);
+    bench("broad_phase_24_bodies", || {
+        det.detect(black_box(&transforms), Phase::Broad).pairs.len()
     });
 }
 
 /// Rasterizing one large triangle into a tile.
-fn bench_rasterizer(c: &mut Criterion) {
+fn bench_rasterizer() {
     let tri = ScreenTriangle::new(
         Vec3::new(-4.0, -4.0, 0.3),
         Vec3::new(20.0, 0.0, 0.5),
         Vec3::new(0.0, 20.0, 0.7),
     );
-    c.bench_function("rasterize_triangle_16x16_tile", |b| {
-        let mut out = Vec::with_capacity(256);
-        b.iter(|| {
-            out.clear();
-            rasterize_triangle_in_tile(std::hint::black_box(&tri), 0, 0, 16, 64, 64, &mut out)
-        })
+    let mut out = Vec::with_capacity(256);
+    bench("rasterize_triangle_16x16_tile", || {
+        out.clear();
+        rasterize_triangle_in_tile(black_box(&tri), 0, 0, 16, 64, 64, &mut out);
+        out.len()
     });
 }
 
 /// Exact triangle–triangle intersection (the validation oracle).
-fn bench_tri_tri(c: &mut Criterion) {
+fn bench_tri_tri() {
     let t1 = rbcd_geometry::Triangle::new(
         Vec3::new(0.0, 0.0, 0.0),
         Vec3::new(2.0, 0.0, 0.0),
@@ -130,44 +152,46 @@ fn bench_tri_tri(c: &mut Criterion) {
         Vec3::new(0.5, 0.5, 1.0),
         Vec3::new(1.5, 0.5, 1.0),
     );
-    c.bench_function("tri_tri_intersect", |b| {
-        b.iter(|| intersect::tri_tri_intersect(std::hint::black_box(&t1), std::hint::black_box(&t2)))
+    bench("tri_tri_intersect", || {
+        intersect::tri_tri_intersect(black_box(&t1), black_box(&t2))
     });
 }
 
 /// Full frame through the simulator: baseline, RBCD with hardware unit,
 /// and RBCD with the software oracle.
-fn bench_full_frame(c: &mut Criterion) {
+fn bench_full_frame() {
     let scene = rbcd_workloads::cap();
     let gpu = GpuConfig { viewport: Viewport::new(320, 200), ..GpuConfig::default() };
     let trace = scene.frame_trace(0);
 
-    c.bench_function("frame_baseline_320x200_cap", |b| {
+    {
         let mut sim = Simulator::new(gpu.clone());
-        b.iter(|| sim.render_frame(std::hint::black_box(&trace), PipelineMode::Baseline, &mut NullCollisionUnit))
-    });
-    c.bench_function("frame_rbcd_320x200_cap", |b| {
+        bench("frame_baseline_320x200_cap", || {
+            sim.render_frame(black_box(&trace), PipelineMode::Baseline, &mut NullCollisionUnit)
+        });
+    }
+    {
         let mut sim = Simulator::new(gpu.clone());
         let mut unit = RbcdUnit::new(RbcdConfig::default(), gpu.tile_size);
-        b.iter(|| {
+        bench("frame_rbcd_320x200_cap", || {
             unit.new_frame();
-            let stats = sim.render_frame(std::hint::black_box(&trace), PipelineMode::Rbcd, &mut unit);
+            let stats = sim.render_frame(black_box(&trace), PipelineMode::Rbcd, &mut unit);
             unit.take_contacts();
             stats
-        })
-    });
-    c.bench_function("frame_oracle_320x200_cap", |b| {
+        });
+    }
+    {
         let mut sim = Simulator::new(gpu.clone());
-        b.iter(|| {
+        bench("frame_oracle_320x200_cap", || {
             let mut oracle = OracleUnit::new();
-            sim.render_frame(std::hint::black_box(&trace), PipelineMode::Rbcd, &mut oracle);
+            sim.render_frame(black_box(&trace), PipelineMode::Rbcd, &mut oracle);
             oracle.pairs().len()
-        })
-    });
+        });
+    }
 }
 
 /// The RBCD unit in isolation: insert + scan a dense tile.
-fn bench_rbcd_unit_tile(c: &mut Criterion) {
+fn bench_rbcd_unit_tile() {
     let frags: Vec<_> = (0..1024)
         .map(|i| rbcd_gpu::CollisionFragment {
             x: (i % 16) as u32,
@@ -177,29 +201,25 @@ fn bench_rbcd_unit_tile(c: &mut Criterion) {
             facing: if i % 2 == 0 { Facing::Front } else { Facing::Back },
         })
         .collect();
-    c.bench_function("rbcd_unit_tile_1024_fragments", |b| {
-        let mut unit = RbcdUnit::new(RbcdConfig::default(), 16);
-        b.iter(|| {
-            unit.new_frame();
-            unit.begin_tile(TileCoord { x: 0, y: 0 }, 0);
-            for f in &frags {
-                unit.insert(*f);
-            }
-            unit.finish_tile(1024);
-            unit.take_contacts().len()
-        })
+    let mut unit = RbcdUnit::new(RbcdConfig::default(), 16);
+    bench("rbcd_unit_tile_1024_fragments", || {
+        unit.new_frame();
+        unit.begin_tile(TileCoord { x: 0, y: 0 }, 0);
+        for f in &frags {
+            unit.insert(*f);
+        }
+        unit.finish_tile(1024);
+        unit.take_contacts().len()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_zeb_insertion,
-    bench_z_overlap_scan,
-    bench_gjk,
-    bench_broad_phase,
-    bench_rasterizer,
-    bench_tri_tri,
-    bench_full_frame,
-    bench_rbcd_unit_tile,
-);
-criterion_main!(benches);
+fn main() {
+    bench_zeb_insertion();
+    bench_z_overlap_scan();
+    bench_gjk();
+    bench_broad_phase();
+    bench_rasterizer();
+    bench_tri_tri();
+    bench_full_frame();
+    bench_rbcd_unit_tile();
+}

@@ -9,11 +9,19 @@
 //! Experiment ids: table1 table2 fig2 fig8a fig8b fig8c fig8d fig9a
 //! fig9b fig10 fig11 table3 sec52 sec53 ablation-zebs all — plus the
 //! extension experiments imr, spares, timesteps, tbdr, and resolution
-//! (run by `all` too).
+//! (run by `all` too), and `bench`, a host-throughput smoke for the
+//! parallel tile pipeline that writes `BENCH_tile_pipeline.json`.
+//!
+//! Flags: `--frames N` overrides frames per benchmark, `--threads N`
+//! sets the worker-thread count (simulated numbers are bit-identical
+//! for any value), `--smoke` shrinks every experiment to a quick
+//! configuration and defaults the experiment list to `bench`.
 
 use rbcd_bench::report::{fmt_norm, fmt_pct, fmt_x, Table};
-use rbcd_bench::{accuracy, geomean, run_suite, RunOptions, SuiteResult};
+use rbcd_bench::{accuracy, geomean, run_frames_parallel, run_suite, RunOptions, SuiteResult};
+use rbcd_core::RbcdConfig;
 use rbcd_gpu::GpuConfig;
+use rbcd_math::Viewport;
 use std::time::Instant;
 
 struct PaperRef {
@@ -36,10 +44,42 @@ fn main() {
         frames = Some(v);
         args.drain(pos..=pos + 1);
     }
-    let wanted: Vec<String> = if args.is_empty() { vec!["all".into()] } else { args };
+    let mut threads = 1usize;
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        threads = args
+            .get(pos + 1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--threads needs a number");
+                std::process::exit(2);
+            });
+        args.drain(pos..=pos + 1);
+    }
+    let mut smoke = false;
+    if let Some(pos) = args.iter().position(|a| a == "--smoke") {
+        smoke = true;
+        args.remove(pos);
+    }
+    let wanted: Vec<String> = if args.is_empty() {
+        vec![if smoke { "bench" } else { "all" }.into()]
+    } else {
+        args
+    };
     let want = |id: &str| wanted.iter().any(|w| w == id || w == "all");
 
-    let opts = RunOptions { frames, ..RunOptions::default() };
+    let mut opts = RunOptions { frames, threads, ..RunOptions::default() };
+    if smoke {
+        opts.frames = Some(opts.frames.unwrap_or(2).min(2));
+        opts.gpu = GpuConfig { viewport: Viewport::new(320, 200), ..GpuConfig::default() };
+        opts.m_sweep = vec![4, 8];
+        opts.zeb_counts = vec![1, 2];
+    }
+
+    // `bench` is opt-in (not part of `all`): it measures *host* time,
+    // which is meaningless in CI artifact regeneration.
+    if wanted.iter().any(|w| w == "bench") {
+        run_tile_pipeline_bench(&opts, threads.max(2), smoke);
+    }
 
     if want("table1") {
         print_table1(&opts);
@@ -655,4 +695,90 @@ fn print_resolution(_opts: &RunOptions) {
     println!(" every resolution while sub-pixel overlap slivers need enough pixels per unit to");
     println!(" be seen — 'the higher the rendering resolution, the smaller the false");
     println!(" collisionable area', §2.2)");
+}
+
+/// Host-throughput smoke for the parallel tile pipeline. Runs each
+/// suite workload through the RBCD configuration at 1 thread and at
+/// `threads` threads (frame-level parallelism, fresh simulator per
+/// frame so frames are independent), cross-checks that the simulated
+/// results are bit-identical, and writes `BENCH_tile_pipeline.json`.
+///
+/// This replaces a `cargo bench` dependency: it needs nothing beyond
+/// `std::time::Instant`.
+fn run_tile_pipeline_bench(opts: &RunOptions, threads: usize, smoke: bool) {
+    let frames = opts.frames.unwrap_or(if smoke { 2 } else { 8 }).max(2);
+    let cfg = RbcdConfig::default();
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut t = Table::new(
+        &format!("Tile-pipeline throughput — 1 vs {threads} threads ({frames} frames/workload)"),
+        &["benchmark", "seq frames/s", "par frames/s", "speedup", "identical"],
+    );
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for scene in rbcd_workloads::suite() {
+        // Warm-up pass so lazy allocations and page faults don't bill
+        // the sequential leg.
+        let _ = run_frames_parallel(&scene, frames.min(2), opts, cfg, 1);
+
+        let t0 = Instant::now();
+        let seq = run_frames_parallel(&scene, frames, opts, cfg, 1);
+        let seq_s = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let par = run_frames_parallel(&scene, frames, opts, cfg, threads);
+        let par_s = t1.elapsed().as_secs_f64();
+
+        let identical =
+            seq.stats == par.stats && seq.pairs == par.pairs && seq.rbcd == par.rbcd;
+        if !identical {
+            eprintln!("DETERMINISM VIOLATION on {}: parallel != sequential", scene.alias);
+            std::process::exit(1);
+        }
+        let seq_fps = frames as f64 / seq_s;
+        let par_fps = frames as f64 / par_s;
+        let speedup = seq_s / par_s;
+        speedups.push(speedup);
+        t.row(vec![
+            scene.alias.to_string(),
+            format!("{seq_fps:.2}"),
+            format!("{par_fps:.2}"),
+            format!("{speedup:.2}x"),
+            "yes".to_string(),
+        ]);
+        rows.push((scene.alias.to_string(), seq_fps, par_fps, speedup));
+    }
+    print!("{}", t.render());
+    let geo = geomean(speedups);
+    println!(
+        "geomean speedup {geo:.2}x at {threads} threads on a {host_cores}-core host \
+         (expect ~1x when host cores < threads; simulated results are bit-identical either way)"
+    );
+
+    // Hand-rolled JSON — the workspace deliberately has no serde.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"bench\": \"tile_pipeline\",\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str(&format!("  \"frames_per_workload\": {frames},\n"));
+    json.push_str(&format!(
+        "  \"viewport\": \"{}x{}\",\n",
+        opts.gpu.viewport.width, opts.gpu.viewport.height
+    ));
+    json.push_str("  \"deterministic\": true,\n");
+    json.push_str(&format!("  \"speedup_geomean\": {geo:.4},\n"));
+    json.push_str("  \"workloads\": [\n");
+    for (i, (alias, seq_fps, par_fps, speedup)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{alias}\", \"seq_frames_per_s\": {seq_fps:.4}, \
+             \"par_frames_per_s\": {par_fps:.4}, \"speedup\": {speedup:.4}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_tile_pipeline.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }

@@ -24,6 +24,10 @@ pub struct RunOptions {
     pub m_sweep: Vec<usize>,
     /// ZEB counts for the ablation.
     pub zeb_counts: Vec<u32>,
+    /// Worker threads for simulation. Every simulated number is
+    /// bit-identical for any value (the parallel tile pipeline merges
+    /// deterministically); this only changes host wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for RunOptions {
@@ -35,6 +39,7 @@ impl Default for RunOptions {
             energy: EnergyModel::default(),
             m_sweep: vec![4, 8, 16],
             zeb_counts: vec![1, 2, 3, 4],
+            threads: 1,
         }
     }
 }
@@ -55,10 +60,11 @@ pub fn run_gpu(
         None => {
             let mut unit = NullCollisionUnit;
             for f in 0..frames {
-                total.accumulate(&sim.render_frame(
+                total.accumulate(&sim.render_frame_parallel(
                     &scene.frame_trace(f),
                     PipelineMode::Baseline,
                     &mut unit,
+                    opts.threads,
                 ));
             }
             GpuRun {
@@ -73,10 +79,11 @@ pub fn run_gpu(
             let mut unit = RbcdUnit::new(cfg, opts.gpu.tile_size);
             for f in 0..frames {
                 unit.new_frame();
-                total.accumulate(&sim.render_frame(
+                total.accumulate(&sim.render_frame_parallel(
                     &scene.frame_trace(f),
                     PipelineMode::Rbcd,
                     &mut unit,
+                    opts.threads,
                 ));
                 for c in unit.take_contacts() {
                     let p = c.pair();
@@ -185,10 +192,129 @@ pub fn run_benchmark(scene: &Scene, opts: &RunOptions) -> BenchmarkResult {
     }
 }
 
-/// Runs the whole suite.
+/// Renders `frames` of `scene` with **frame-level** parallelism: each
+/// frame runs on a fresh simulator + unit (cold caches, independent
+/// timelines) so frames are embarrassingly parallel, and per-frame
+/// results are merged in frame order.
+///
+/// Results are bit-identical for any `threads` value, but are *not*
+/// comparable to [`run_gpu`] (which keeps caches and ZEB timing warm
+/// across frames) — this entry point exists for host-throughput
+/// measurement, where identical-work-per-frame is exactly what we want.
+pub fn run_frames_parallel(
+    scene: &Scene,
+    frames: usize,
+    opts: &RunOptions,
+    cfg: RbcdConfig,
+    threads: usize,
+) -> GpuRun {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let run_one = |f: usize| {
+        let mut sim = Simulator::new(opts.gpu.clone());
+        let mut unit = RbcdUnit::new(cfg, opts.gpu.tile_size);
+        let stats =
+            sim.render_frame_parallel(&scene.frame_trace(f), PipelineMode::Rbcd, &mut unit, 1);
+        let contacts = unit.take_contacts();
+        (stats, *unit.stats(), contacts)
+    };
+
+    let mut slots: Vec<Option<(FrameStats, rbcd_core::RbcdStats, Vec<rbcd_core::ContactPoint>)>> =
+        (0..frames).map(|_| None).collect();
+    let workers = threads.max(1).min(frames.max(1));
+    if workers <= 1 {
+        for (f, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(run_one(f));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let done: Vec<(usize, _)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut mine = Vec::new();
+                        loop {
+                            let f = next.fetch_add(1, Ordering::Relaxed);
+                            if f >= frames {
+                                return mine;
+                            }
+                            mine.push((f, run_one(f)));
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("frame worker panicked")).collect()
+        });
+        for (f, out) in done {
+            slots[f] = Some(out);
+        }
+    }
+
+    // Deterministic merge in frame order.
+    let mut total = FrameStats::default();
+    let mut rbcd_total = rbcd_core::RbcdStats::default();
+    let mut pairs: BTreeSet<(u16, u16)> = BTreeSet::new();
+    for slot in slots {
+        let (stats, rbcd, contacts) = slot.expect("every frame produced");
+        total.accumulate(&stats);
+        rbcd_total.accumulate(&rbcd);
+        for c in contacts {
+            let p = c.pair();
+            pairs.insert((p.0.get(), p.1.get()));
+        }
+    }
+    let cycles = total.total_cycles();
+    let energy_j = opts.energy.gpu_energy(&total).total_j()
+        + rbcd_total.dynamic_energy_j(&opts.energy)
+        + opts.energy.rbcd_static_j(cfg.zeb_count, cfg.list_capacity, cycles);
+    GpuRun {
+        seconds: opts.gpu.cycles_to_seconds(cycles),
+        energy_j,
+        stats: total,
+        rbcd: Some(rbcd_total),
+        pairs,
+    }
+}
+
+/// Runs the whole suite. With `opts.threads > 1` the benchmarks run on
+/// a pool of scoped worker threads (each benchmark internally at one
+/// thread to avoid oversubscription); results are assembled in scene
+/// order and are bit-identical to the sequential run.
 pub fn run_suite(scenes: &[Scene], opts: &RunOptions) -> SuiteResult {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let workers = opts.threads.max(1).min(scenes.len().max(1));
+    if workers <= 1 {
+        return SuiteResult {
+            benchmarks: scenes.iter().map(|s| run_benchmark(s, opts)).collect(),
+        };
+    }
+    let inner = RunOptions { threads: 1, ..opts.clone() };
+    let mut slots: Vec<Option<BenchmarkResult>> = (0..scenes.len()).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let done: Vec<(usize, BenchmarkResult)> = std::thread::scope(|scope| {
+        let (inner, next) = (&inner, &next);
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= scenes.len() {
+                            return mine;
+                        }
+                        mine.push((i, run_benchmark(&scenes[i], inner)));
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("suite worker panicked")).collect()
+    });
+    for (i, b) in done {
+        slots[i] = Some(b);
+    }
     SuiteResult {
-        benchmarks: scenes.iter().map(|s| run_benchmark(s, opts)).collect(),
+        benchmarks: slots.into_iter().map(|s| s.expect("every scene produced")).collect(),
     }
 }
 

@@ -1,0 +1,63 @@
+//! Satellite check: the parallel tile pipeline is bit-identical to the
+//! sequential one across the whole workload suite — collision pairs,
+//! frame statistics, and derived energy/time all match exactly at any
+//! thread count.
+
+use rbcd_bench::runner::{run_frames_parallel, run_gpu};
+use rbcd_bench::RunOptions;
+use rbcd_core::RbcdConfig;
+use rbcd_gpu::GpuConfig;
+use rbcd_math::Viewport;
+
+fn opts(threads: usize) -> RunOptions {
+    RunOptions {
+        frames: Some(2),
+        gpu: GpuConfig { viewport: Viewport::new(192, 128), ..GpuConfig::default() },
+        threads,
+        ..RunOptions::default()
+    }
+}
+
+#[test]
+fn suite_runs_are_identical_at_any_thread_count() {
+    for scene in rbcd_workloads::suite() {
+        let seq = run_gpu(&scene, 2, &opts(1), Some(RbcdConfig::default()));
+        for threads in [2, 8] {
+            let par = run_gpu(&scene, 2, &opts(threads), Some(RbcdConfig::default()));
+            assert_eq!(seq.pairs, par.pairs, "{} pairs at {threads} threads", scene.alias);
+            assert_eq!(seq.stats, par.stats, "{} FrameStats at {threads} threads", scene.alias);
+            assert_eq!(seq.rbcd, par.rbcd, "{} RbcdStats at {threads} threads", scene.alias);
+            // Derived scalars come from the stats, but assert the exact
+            // f64 bits anyway: this is the user-visible contract.
+            assert_eq!(seq.seconds, par.seconds, "{} seconds at {threads} threads", scene.alias);
+            assert_eq!(seq.energy_j, par.energy_j, "{} energy at {threads} threads", scene.alias);
+        }
+    }
+}
+
+#[test]
+fn baseline_runs_are_identical_at_any_thread_count() {
+    for scene in rbcd_workloads::suite() {
+        let seq = run_gpu(&scene, 2, &opts(1), None);
+        let par = run_gpu(&scene, 2, &opts(8), None);
+        assert_eq!(seq.stats, par.stats, "{} baseline FrameStats", scene.alias);
+        assert_eq!(seq.seconds, par.seconds);
+        assert_eq!(seq.energy_j, par.energy_j);
+    }
+}
+
+#[test]
+fn frame_parallel_runs_are_identical_at_any_thread_count() {
+    for scene in rbcd_workloads::suite() {
+        let o = opts(1);
+        let seq = run_frames_parallel(&scene, 3, &o, RbcdConfig::default(), 1);
+        for threads in [2, 8] {
+            let par = run_frames_parallel(&scene, 3, &o, RbcdConfig::default(), threads);
+            assert_eq!(seq.pairs, par.pairs, "{} pairs at {threads} threads", scene.alias);
+            assert_eq!(seq.stats, par.stats, "{} FrameStats at {threads} threads", scene.alias);
+            assert_eq!(seq.rbcd, par.rbcd, "{} RbcdStats at {threads} threads", scene.alias);
+            assert_eq!(seq.seconds, par.seconds);
+            assert_eq!(seq.energy_j, par.energy_j);
+        }
+    }
+}

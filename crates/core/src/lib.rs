@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod element;
+mod parallel;
 mod scan;
 pub mod software;
 mod stats;
@@ -48,6 +49,7 @@ mod unit;
 mod zeb;
 
 pub use element::ZebElement;
+pub use parallel::{TileCollisions, ZebTileWorker};
 pub use scan::{scan_list, FfStack, ScanOutcome};
 pub use stats::RbcdStats;
 pub use unit::{

@@ -1,0 +1,240 @@
+//! Per-thread RBCD collision workers for parallel tile execution.
+//!
+//! [`rbcd_gpu::ParallelCollision`] splits collision detection into an
+//! order-free compute half and an order-dependent merge half.
+//! [`ZebTileWorker`] is the compute half for the hardware model: each
+//! worker thread owns a private software ZEB + FF-Stack and produces an
+//! owned [`TileCollisions`] per tile. [`RbcdUnit::merge_scanned_tile`]
+//! is the merge half: called in tile-index order, it replays the ZEB
+//! double-buffer claim and the Z-overlap unit's serialization, so the
+//! unit ends in exactly the state sequential execution produces.
+//!
+//! This equivalence rests on the per-tile hardware protocol itself:
+//! every tile starts from a cleared ZEB (`begin_tile` asserts it) and
+//! the FF-Stack is cleared at each list scan, so per-tile insert + scan
+//! results are independent of which ZEB — or here, which thread —
+//! hosted them. Only the *timing* couples tiles, and that is replayed
+//! sequentially at merge.
+
+use crate::scan::FfStack;
+use crate::software::OracleUnit;
+use crate::stats::RbcdStats;
+use crate::unit::{scan_zeb_tile, ContactPoint, RbcdConfig, RbcdUnit};
+use crate::zeb::Zeb;
+use crate::ZebElement;
+use rbcd_gpu::{CollisionFragment, CollisionUnit, ParallelCollision, TileCoord};
+
+/// One worker thread's private collision state: a software ZEB and
+/// FF-Stack, reused across the tiles the thread claims.
+#[derive(Debug)]
+pub struct ZebTileWorker {
+    config: RbcdConfig,
+    tile_size: u32,
+    zeb: Zeb,
+    stack: FfStack,
+}
+
+/// Owned per-tile collision results, merged in tile order by
+/// [`RbcdUnit::merge_scanned_tile`].
+#[derive(Debug, Clone, Default)]
+pub struct TileCollisions {
+    /// Contacts in occupancy (insertion-touch) order — the order the
+    /// sequential unit emits them.
+    pub contacts: Vec<ContactPoint>,
+    /// The tile's isolated stats, including its `scan_cycles` (used to
+    /// replay the scan-unit timing) and `tiles = 1`.
+    pub stats: RbcdStats,
+}
+
+impl ZebTileWorker {
+    /// Creates a worker mirroring `RbcdUnit::new`'s per-ZEB geometry.
+    pub fn new(config: RbcdConfig, tile_size: u32) -> Self {
+        let lists = (tile_size * tile_size) as usize;
+        Self {
+            zeb: Zeb::with_spares(lists, config.list_capacity, config.spare_entries),
+            stack: FfStack::new(config.ff_stack_capacity),
+            config,
+            tile_size,
+        }
+    }
+
+    /// Inserts `frags` (in pipeline order) and scans the tile, exactly
+    /// as the sequential `insert` × n + `finish_tile` sequence would.
+    pub fn process_tile(&mut self, tile: TileCoord, frags: &[CollisionFragment]) -> TileCollisions {
+        let mut out = TileCollisions::default();
+        out.stats.tiles = 1;
+        for frag in frags {
+            let lx = frag.x - tile.x * self.tile_size;
+            let ly = frag.y - tile.y * self.tile_size;
+            let index = (ly * self.tile_size + lx) as usize;
+            let element = ZebElement::new(frag.z, frag.object, frag.facing);
+            self.zeb.insert(index, element, &mut out.stats);
+            out.stats.insert_cycles += 1;
+        }
+        out.stats.scan_cycles = scan_zeb_tile(
+            &mut self.zeb,
+            &mut self.stack,
+            &self.config,
+            tile,
+            self.tile_size,
+            &mut out.stats,
+            &mut out.contacts,
+        );
+        out
+    }
+}
+
+impl ParallelCollision for RbcdUnit {
+    type Worker = ZebTileWorker;
+    type TileOut = TileCollisions;
+
+    fn make_worker(&self) -> Self::Worker {
+        ZebTileWorker::new(*self.config(), self.tile_size())
+    }
+
+    fn process_tile(
+        worker: &mut Self::Worker,
+        tile: TileCoord,
+        frags: &[CollisionFragment],
+    ) -> Self::TileOut {
+        worker.process_tile(tile, frags)
+    }
+
+    fn next_free(&self) -> u64 {
+        CollisionUnit::next_free(self)
+    }
+
+    fn merge_tile(&mut self, _tile: TileCoord, out: Self::TileOut, start: u64, end: u64) {
+        self.merge_scanned_tile(&out.stats, &out.contacts, start, end);
+    }
+
+    fn idle_at(&self) -> u64 {
+        CollisionUnit::idle_at(self)
+    }
+}
+
+/// The software oracle has no per-tile state or timing: workers copy
+/// the fragments out and the merge replays them into the shared
+/// pixel map in tile order (its results are order-insensitive anyway).
+impl ParallelCollision for OracleUnit {
+    type Worker = ();
+    type TileOut = Vec<CollisionFragment>;
+
+    fn make_worker(&self) -> Self::Worker {}
+
+    fn process_tile(
+        _worker: &mut Self::Worker,
+        _tile: TileCoord,
+        frags: &[CollisionFragment],
+    ) -> Self::TileOut {
+        frags.to_vec()
+    }
+
+    fn next_free(&self) -> u64 {
+        0
+    }
+
+    fn merge_tile(&mut self, _tile: TileCoord, out: Self::TileOut, _start: u64, _end: u64) {
+        for frag in out {
+            self.add_fragment(frag);
+        }
+    }
+
+    fn idle_at(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbcd_gpu::{Facing, ObjectId};
+
+    fn frag(x: u32, y: u32, z: f32, id: u16, facing: Facing) -> CollisionFragment {
+        CollisionFragment { x, y, z, object: ObjectId::new(id), facing }
+    }
+
+    fn tile_frags(tile: TileCoord, tile_size: u32) -> Vec<CollisionFragment> {
+        let (bx, by) = (tile.x * tile_size, tile.y * tile_size);
+        vec![
+            frag(bx + 3, by + 4, 0.10, 1, Facing::Front),
+            frag(bx + 3, by + 4, 0.20, 2, Facing::Front),
+            frag(bx + 3, by + 4, 0.30, 1, Facing::Back),
+            frag(bx + 3, by + 4, 0.40, 2, Facing::Back),
+            frag(bx + 9, by + 1, 0.50, 1, Facing::Front),
+            frag(bx + 9, by + 1, 0.60, 1, Facing::Back),
+        ]
+    }
+
+    /// Worker + ordered merge == sequential begin/insert/finish, to the
+    /// bit: contacts (and order), stats, and timing state.
+    #[test]
+    fn worker_merge_matches_sequential_unit() {
+        let config = RbcdConfig::default();
+        let tiles = [
+            TileCoord { x: 0, y: 0 },
+            TileCoord { x: 1, y: 0 },
+            TileCoord { x: 3, y: 2 },
+        ];
+        // Sequential reference, with a cursor mimicking the simulator's.
+        let mut seq = RbcdUnit::new(config, 16);
+        let mut cursor = 0u64;
+        let mut seq_bounds = Vec::new();
+        for tile in tiles {
+            let start = cursor.max(CollisionUnit::next_free(&seq));
+            seq.begin_tile(tile, start);
+            for f in tile_frags(tile, 16) {
+                seq.insert(f);
+            }
+            let end = start + 40;
+            seq.finish_tile(end);
+            seq_bounds.push((start, end));
+            cursor = end;
+        }
+
+        // Parallel path: one worker computes, the unit merges in order.
+        let mut par = RbcdUnit::new(config, 16);
+        let mut worker = <RbcdUnit as ParallelCollision>::make_worker(&par);
+        let outs: Vec<TileCollisions> = tiles
+            .iter()
+            .map(|&tile| worker.process_tile(tile, &tile_frags(tile, 16)))
+            .collect();
+        let mut cursor = 0u64;
+        for (&tile, out) in tiles.iter().zip(outs) {
+            let start = cursor.max(ParallelCollision::next_free(&par));
+            let end = start + 40;
+            ParallelCollision::merge_tile(&mut par, tile, out, start, end);
+            cursor = end;
+        }
+
+        assert_eq!(seq.contacts(), par.contacts());
+        assert_eq!(seq.stats(), par.stats());
+        assert_eq!(
+            CollisionUnit::next_free(&seq),
+            ParallelCollision::next_free(&par)
+        );
+        assert_eq!(CollisionUnit::idle_at(&seq), ParallelCollision::idle_at(&par));
+        // And the dispatch bounds that drove both timelines agree.
+        assert_eq!(seq_bounds.len(), tiles.len());
+    }
+
+    /// A worker's ZEB is clean after every tile, so reuse across many
+    /// tiles cannot leak state.
+    #[test]
+    fn worker_is_reusable_across_tiles() {
+        let mut worker = ZebTileWorker::new(RbcdConfig::default(), 16);
+        let tile = TileCoord { x: 0, y: 0 };
+        let first = worker.process_tile(tile, &tile_frags(tile, 16));
+        let second = worker.process_tile(tile, &tile_frags(tile, 16));
+        assert_eq!(first.contacts, second.contacts);
+        assert_eq!(first.stats, second.stats);
+    }
+
+    /// Workers must be shippable to threads.
+    #[test]
+    fn worker_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ZebTileWorker>();
+        assert_send::<TileCollisions>();
+    }
+}

@@ -149,6 +149,88 @@ impl RbcdUnit {
         self.scan_unit_free_at = 0;
         debug_assert!(self.active.is_none(), "new_frame during an active tile");
     }
+
+    /// The tile edge length (pixels) this unit was built for.
+    pub fn tile_size(&self) -> u32 {
+        self.tile_size
+    }
+
+    /// Merges one tile's pre-computed collision results (from a
+    /// [`crate::ZebTileWorker`]) exactly as the sequential
+    /// `begin_tile(start)` … `finish_tile(end)` bracket would:
+    /// claim the earliest-free ZEB, serialize the scan behind the single
+    /// Z-overlap unit, and accumulate the tile's stats and contacts.
+    ///
+    /// Called in tile-index order by the parallel merge, this reproduces
+    /// the sequential unit's state bit-for-bit — `zeb_free_at` and
+    /// `scan_unit_free_at` only ever change inside `finish_tile`, so the
+    /// earliest-free claim made here equals the claim `begin_tile` would
+    /// have made at dispatch time.
+    pub(crate) fn merge_scanned_tile(
+        &mut self,
+        tile_stats: &RbcdStats,
+        contacts: &[ContactPoint],
+        start: u64,
+        end: u64,
+    ) {
+        debug_assert!(self.active.is_none(), "merge during an active tile");
+        let (zeb, &free) = self
+            .zeb_free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .expect("at least one ZEB");
+        debug_assert!(
+            start >= free,
+            "Tile Scheduler dispatched at {start} before ZEB {zeb} frees at {free}"
+        );
+        let scan_start = end.max(self.scan_unit_free_at);
+        let scan_end = scan_start + tile_stats.scan_cycles;
+        self.scan_unit_free_at = scan_end;
+        self.zeb_free_at[zeb] = scan_end;
+        self.stats.accumulate(tile_stats);
+        self.contacts.extend_from_slice(contacts);
+    }
+}
+
+/// Scans every occupied list of `zeb`, pushing contacts (in occupancy
+/// order, with window-absolute coordinates) and charging scan stats;
+/// clears the ZEB and returns the scan's cycle count. Shared by the
+/// sequential [`CollisionUnit::finish_tile`] and the per-thread
+/// [`crate::ZebTileWorker`], which therefore produce identical results.
+pub(crate) fn scan_zeb_tile(
+    zeb: &mut Zeb,
+    stack: &mut FfStack,
+    config: &RbcdConfig,
+    tile: TileCoord,
+    tile_size: u32,
+    stats: &mut RbcdStats,
+    contacts: &mut Vec<ContactPoint>,
+) -> u64 {
+    let mut scan_cycles = 0u64;
+    let tile_px = tile_size;
+    let base_x = tile.x * tile_px;
+    let base_y = tile.y * tile_px;
+    // Occupancy-ordered scan: empty lists are skipped via the dirty
+    // bitmap maintained by the insertion unit.
+    for i in 0..zeb.occupied().len() {
+        let li = zeb.occupied()[i];
+        let list = zeb.list(li as usize);
+        scan_cycles +=
+            config.scan_cycles_per_list + list.len() as u64 * config.scan_cycles_per_element;
+        let outcome = scan_list(list, stack, stats);
+        for (a, b, depth) in outcome.hits {
+            contacts.push(ContactPoint {
+                a,
+                b,
+                x: base_x + li % tile_px,
+                y: base_y + li / tile_px,
+                depth,
+            });
+        }
+    }
+    zeb.clear();
+    scan_cycles
 }
 
 impl CollisionUnit for RbcdUnit {
@@ -188,34 +270,19 @@ impl CollisionUnit for RbcdUnit {
         let Some(active) = self.active.take() else {
             panic!("finish_tile without an active tile");
         };
-        let zeb = &mut self.zebs[active.zeb];
         self.stats.tiles += 1;
 
         // The single Z-overlap unit serializes scans across ZEBs.
         let scan_start = cycle.max(self.scan_unit_free_at);
-        let mut scan_cycles = 0u64;
-        let tile_px = self.tile_size;
-        let base_x = active.tile.x * tile_px;
-        let base_y = active.tile.y * tile_px;
-        // Occupancy-ordered scan: empty lists are skipped via the dirty
-        // bitmap maintained by the insertion unit.
-        let occupied: Vec<u32> = zeb.occupied().to_vec();
-        for &li in &occupied {
-            let list = zeb.list(li as usize);
-            scan_cycles += self.config.scan_cycles_per_list
-                + list.len() as u64 * self.config.scan_cycles_per_element;
-            let outcome = scan_list(list, &mut self.stack, &mut self.stats);
-            for (a, b, depth) in outcome.hits {
-                self.contacts.push(ContactPoint {
-                    a,
-                    b,
-                    x: base_x + li % tile_px,
-                    y: base_y + li / tile_px,
-                    depth,
-                });
-            }
-        }
-        zeb.clear();
+        let scan_cycles = scan_zeb_tile(
+            &mut self.zebs[active.zeb],
+            &mut self.stack,
+            &self.config,
+            active.tile,
+            self.tile_size,
+            &mut self.stats,
+            &mut self.contacts,
+        );
         let scan_end = scan_start + scan_cycles;
         self.stats.scan_cycles += scan_cycles;
         self.scan_unit_free_at = scan_end;

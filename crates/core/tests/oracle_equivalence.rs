@@ -1,39 +1,46 @@
 //! The central correctness property of the reproduction: when no ZEB
 //! overflow and no FF-Stack drop occurs, the hardware model's colliding
 //! pair set equals the software Shinya–Forgue oracle's.
+//!
+//! Randomized inputs come from the workspace's seeded [`Rng`] (the
+//! build is offline, so no external property-testing framework).
 
-use proptest::prelude::*;
 use rbcd_core::software::OracleUnit;
 use rbcd_core::{RbcdConfig, RbcdUnit};
 use rbcd_gpu::{CollisionFragment, CollisionUnit, Facing, ObjectId, TileCoord};
+use rbcd_math::Rng;
+
+const CASES: usize = 256;
 
 /// Generates balanced per-pixel face lists: for each (pixel, object)
 /// pair, a set of [front, back] depth intervals.
-fn interval_set() -> impl Strategy<Value = Vec<CollisionFragment>> {
+fn interval_set(rng: &mut Rng) -> Vec<CollisionFragment> {
     // Up to 4 pixels, up to 3 objects, up to 2 intervals each.
-    let interval = (0u16..4, 1u16..4, 0.0f32..1.0, 0.01f32..0.5);
-    prop::collection::vec(interval, 1..12).prop_map(|items| {
-        let mut frags = Vec::new();
-        for (pix, id, z0, dz) in items {
-            let (x, y) = (pix as u32 % 2, pix as u32 / 2);
-            let z1 = (z0 + dz).min(1.0);
-            frags.push(CollisionFragment {
-                x,
-                y,
-                z: z0,
-                object: ObjectId::new(id),
-                facing: Facing::Front,
-            });
-            frags.push(CollisionFragment {
-                x,
-                y,
-                z: z1,
-                object: ObjectId::new(id),
-                facing: Facing::Back,
-            });
-        }
-        frags
-    })
+    let n = rng.gen_range(1usize..12);
+    let mut frags = Vec::new();
+    for _ in 0..n {
+        let pix = rng.gen_range(0u16..4);
+        let id = rng.gen_range(1u16..4);
+        let z0 = rng.gen_range(0.0f32..1.0);
+        let dz = rng.gen_range(0.01f32..0.5);
+        let (x, y) = (pix as u32 % 2, pix as u32 / 2);
+        let z1 = (z0 + dz).min(1.0);
+        frags.push(CollisionFragment {
+            x,
+            y,
+            z: z0,
+            object: ObjectId::new(id),
+            facing: Facing::Front,
+        });
+        frags.push(CollisionFragment {
+            x,
+            y,
+            z: z1,
+            object: ObjectId::new(id),
+            facing: Facing::Back,
+        });
+    }
+    frags
 }
 
 fn run_hardware(frags: &[CollisionFragment], config: RbcdConfig) -> RbcdUnit {
@@ -54,39 +61,48 @@ fn run_oracle(frags: &[CollisionFragment]) -> OracleUnit {
     oracle
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// With generous capacities (no overflow possible), the hardware
-    /// pair set equals the oracle pair set for balanced interval inputs.
-    #[test]
-    fn hardware_matches_oracle_without_overflow(frags in interval_set()) {
+/// With generous capacities (no overflow possible), the hardware pair
+/// set equals the oracle pair set for balanced interval inputs.
+#[test]
+fn hardware_matches_oracle_without_overflow() {
+    let mut rng = Rng::seed_from_u64(0x41);
+    for _ in 0..CASES {
+        let frags = interval_set(&mut rng);
         let config = RbcdConfig {
             list_capacity: 64,
             ff_stack_capacity: 64,
             ..RbcdConfig::default()
         };
         let unit = run_hardware(&frags, config);
-        prop_assert_eq!(unit.stats().overflows, 0);
+        assert_eq!(unit.stats().overflows, 0);
         let oracle = run_oracle(&frags);
-        prop_assert_eq!(unit.pairs(), oracle.pairs());
+        assert_eq!(unit.pairs(), oracle.pairs());
     }
+}
 
-    /// With the paper's M = 8 configuration, overflow may drop overlaps
-    /// but must never invent them: the hardware pair set is a subset of
-    /// the oracle's.
-    #[test]
-    fn overflow_never_invents_pairs(frags in interval_set()) {
+/// With the paper's M = 8 configuration, overflow may drop overlaps but
+/// must never invent them: the hardware pair set is a subset of the
+/// oracle's.
+#[test]
+fn overflow_never_invents_pairs() {
+    let mut rng = Rng::seed_from_u64(0x42);
+    for _ in 0..CASES {
+        let frags = interval_set(&mut rng);
         let unit = run_hardware(&frags, RbcdConfig::default());
         let oracle = run_oracle(&frags);
         let hw = unit.pairs();
         let sw = oracle.pairs();
-        prop_assert!(hw.is_subset(&sw), "hw {hw:?} not a subset of sw {sw:?}");
+        assert!(hw.is_subset(&sw), "hw {hw:?} not a subset of sw {sw:?}");
     }
+}
 
-    /// Insertion order is irrelevant: the ZEB sorts by depth.
-    #[test]
-    fn insertion_order_invariance(frags in interval_set(), seed in 0u64..1000) {
+/// Insertion order is irrelevant: the ZEB sorts by depth.
+#[test]
+fn insertion_order_invariance() {
+    let mut rng = Rng::seed_from_u64(0x43);
+    for _ in 0..CASES {
+        let frags = interval_set(&mut rng);
+        let seed = rng.gen_range(0u64..1000);
         let config = RbcdConfig {
             list_capacity: 64,
             ff_stack_capacity: 64,
@@ -102,14 +118,24 @@ proptest! {
             shuffled.swap(i, j);
         }
         let b = run_hardware(&shuffled, config);
-        prop_assert_eq!(a.pairs(), b.pairs());
+        assert_eq!(a.pairs(), b.pairs());
     }
+}
 
-    /// Shrinking M can only lose pairs, never add them.
-    #[test]
-    fn smaller_lists_are_monotonic(frags in interval_set()) {
-        let big = run_hardware(&frags, RbcdConfig { list_capacity: 64, ff_stack_capacity: 64, ..RbcdConfig::default() });
-        let small = run_hardware(&frags, RbcdConfig { list_capacity: 2, ff_stack_capacity: 64, ..RbcdConfig::default() });
-        prop_assert!(small.pairs().is_subset(&big.pairs()));
+/// Shrinking M can only lose pairs, never add them.
+#[test]
+fn smaller_lists_are_monotonic() {
+    let mut rng = Rng::seed_from_u64(0x44);
+    for _ in 0..CASES {
+        let frags = interval_set(&mut rng);
+        let big = run_hardware(
+            &frags,
+            RbcdConfig { list_capacity: 64, ff_stack_capacity: 64, ..RbcdConfig::default() },
+        );
+        let small = run_hardware(
+            &frags,
+            RbcdConfig { list_capacity: 2, ff_stack_capacity: 64, ..RbcdConfig::default() },
+        );
+        assert!(small.pairs().is_subset(&big.pairs()));
     }
 }

@@ -220,8 +220,7 @@ mod tests {
 
     #[test]
     fn gjk_agrees_with_mesh_ground_truth_for_convex_shapes() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+                let mut rng = rbcd_math::Rng::seed_from_u64(7);
         let shape = shapes::icosphere(1.0, 1);
         let mut agreements = 0;
         let mut total = 0;
@@ -551,8 +550,7 @@ mod distance_tests {
 
     #[test]
     fn distance_agrees_with_boolean_gjk() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+                let mut rng = rbcd_math::Rng::seed_from_u64(11);
         let shape = shapes::icosphere(1.0, 1);
         for _ in 0..40 {
             let m = Mat4::translation(Vec3::new(

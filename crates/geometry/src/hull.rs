@@ -457,8 +457,7 @@ mod tests {
 
     #[test]
     fn random_point_cloud_hull_is_valid() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+                let mut rng = rbcd_math::Rng::seed_from_u64(42);
         for _ in 0..10 {
             let pts: Vec<Vec3> = (0..60)
                 .map(|_| {

@@ -1,86 +1,118 @@
-//! Property-based tests for geometry: hulls and intersection predicates.
+//! Randomized property tests for geometry: hulls and intersection
+//! predicates, driven by the workspace's seeded [`Rng`].
 
-use proptest::prelude::*;
 use rbcd_geometry::{hull, intersect, shapes, Triangle};
-use rbcd_math::{Mat4, Vec3};
+use rbcd_math::{Mat4, Rng, Vec3};
 
-fn point() -> impl Strategy<Value = Vec3> {
-    (-5.0f32..5.0, -5.0f32..5.0, -5.0f32..5.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+const CASES: usize = 64;
+
+fn point(rng: &mut Rng) -> Vec3 {
+    Vec3::new(
+        rng.gen_range(-5.0f32..5.0),
+        rng.gen_range(-5.0f32..5.0),
+        rng.gen_range(-5.0f32..5.0),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn points(rng: &mut Rng) -> Vec<Vec3> {
+    let n = rng.gen_range(8usize..40);
+    (0..n).map(|_| point(rng)).collect()
+}
 
-    #[test]
-    fn hull_contains_all_inputs(pts in prop::collection::vec(point(), 8..40)) {
+#[test]
+fn hull_contains_all_inputs() {
+    let mut rng = Rng::seed_from_u64(0x21);
+    for _ in 0..CASES {
+        let pts = points(&mut rng);
         if let Ok(h) = hull::convex_hull(&pts) {
             for &p in &pts {
-                prop_assert!(h.contains_point(p, 1e-3));
+                assert!(h.contains_point(p, 1e-3));
             }
-            prop_assert!(h.volume() >= 0.0);
+            assert!(h.volume() >= 0.0);
         }
     }
+}
 
-    #[test]
-    fn hull_support_is_extreme(pts in prop::collection::vec(point(), 8..40), d in point()) {
-        prop_assume!(d.length() > 1e-3);
+#[test]
+fn hull_support_is_extreme() {
+    let mut rng = Rng::seed_from_u64(0x22);
+    for _ in 0..CASES {
+        let pts = points(&mut rng);
+        let d = point(&mut rng);
+        if d.length() <= 1e-3 {
+            continue;
+        }
         if let Ok(h) = hull::convex_hull(&pts) {
             let s = h.support(d);
             let max_input = pts.iter().map(|p| p.dot(d)).fold(f32::NEG_INFINITY, f32::max);
             // The support over hull vertices equals the max over all inputs.
-            prop_assert!((s.dot(d) - max_input).abs() <= 1e-3 * (1.0 + max_input.abs()));
+            assert!((s.dot(d) - max_input).abs() <= 1e-3 * (1.0 + max_input.abs()));
         }
     }
+}
 
-    #[test]
-    fn tri_tri_is_symmetric(
-        a0 in point(), a1 in point(), a2 in point(),
-        b0 in point(), b1 in point(), b2 in point(),
-    ) {
-        let t1 = Triangle::new(a0, a1, a2);
-        let t2 = Triangle::new(b0, b1, b2);
-        prop_assume!(!t1.is_degenerate() && !t2.is_degenerate());
-        prop_assert_eq!(
+#[test]
+fn tri_tri_is_symmetric() {
+    let mut rng = Rng::seed_from_u64(0x23);
+    for _ in 0..CASES {
+        let t1 = Triangle::new(point(&mut rng), point(&mut rng), point(&mut rng));
+        let t2 = Triangle::new(point(&mut rng), point(&mut rng), point(&mut rng));
+        if t1.is_degenerate() || t2.is_degenerate() {
+            continue;
+        }
+        assert_eq!(
             intersect::tri_tri_intersect(&t1, &t2),
             intersect::tri_tri_intersect(&t2, &t1)
         );
     }
+}
 
-    #[test]
-    fn shared_vertex_triangles_always_intersect(
-        a in point(), b in point(), c in point(), d in point(), e in point(),
-    ) {
-        let t1 = Triangle::new(a, b, c);
-        let t2 = Triangle::new(a, d, e);
-        prop_assume!(!t1.is_degenerate() && !t2.is_degenerate());
-        prop_assert!(intersect::tri_tri_intersect(&t1, &t2));
+#[test]
+fn shared_vertex_triangles_always_intersect() {
+    let mut rng = Rng::seed_from_u64(0x24);
+    for _ in 0..CASES {
+        let a = point(&mut rng);
+        let t1 = Triangle::new(a, point(&mut rng), point(&mut rng));
+        let t2 = Triangle::new(a, point(&mut rng), point(&mut rng));
+        if t1.is_degenerate() || t2.is_degenerate() {
+            continue;
+        }
+        assert!(intersect::tri_tri_intersect(&t1, &t2));
     }
+}
 
-    #[test]
-    fn translated_far_apart_never_intersect(
-        a0 in point(), a1 in point(), a2 in point(),
-        b0 in point(), b1 in point(), b2 in point(),
-    ) {
-        let t1 = Triangle::new(a0, a1, a2);
+#[test]
+fn translated_far_apart_never_intersect() {
+    let mut rng = Rng::seed_from_u64(0x25);
+    for _ in 0..CASES {
+        let t1 = Triangle::new(point(&mut rng), point(&mut rng), point(&mut rng));
         // Move t2 beyond any possible overlap (inputs live in [-5, 5]^3).
         let off = Vec3::new(100.0, 0.0, 0.0);
-        let t2 = Triangle::new(b0 + off, b1 + off, b2 + off);
-        prop_assert!(!intersect::tri_tri_intersect(&t1, &t2));
+        let t2 = Triangle::new(
+            point(&mut rng) + off,
+            point(&mut rng) + off,
+            point(&mut rng) + off,
+        );
+        assert!(!intersect::tri_tri_intersect(&t1, &t2));
     }
+}
 
-    #[test]
-    fn mesh_intersection_matches_pair_listing(dx in 0.0f32..4.0) {
+#[test]
+fn mesh_intersection_matches_pair_listing() {
+    let mut rng = Rng::seed_from_u64(0x26);
+    for _ in 0..CASES {
+        let dx = rng.gen_range(0.0f32..4.0);
         let a = shapes::cube(1.0);
         let b = a.transformed(&Mat4::translation(Vec3::new(dx, 0.0, 0.0)));
         let hit = intersect::meshes_intersect(&a, &b);
         let pairs = intersect::mesh_intersection_pairs(&a, &b);
-        prop_assert_eq!(hit, !pairs.is_empty());
+        assert_eq!(hit, !pairs.is_empty());
         // Cubes of half-extent 1: surfaces touch for dx in (0, 2].
         if dx > 0.05 && dx < 1.95 {
-            prop_assert!(hit);
+            assert!(hit);
         }
         if dx > 2.05 {
-            prop_assert!(!hit);
+            assert!(!hit);
         }
     }
 }

@@ -50,6 +50,7 @@ mod command;
 mod config;
 pub mod energy;
 pub mod imr;
+mod parallel;
 mod raster;
 mod sim;
 mod stats;
@@ -60,6 +61,7 @@ pub use collision_unit::{CollisionFragment, CollisionUnit, NullCollisionUnit, Ti
 pub use command::{Camera, CullMode, DrawCommand, Facing, FrameTrace, ObjectId, ShaderCost};
 pub use config::GpuConfig;
 pub use imr::{ImrSimulator, ImrStats};
+pub use parallel::ParallelCollision;
 pub use raster::{rasterize_triangle_in_tile, Fragment, ScreenTriangle};
 pub use sim::{PipelineMode, Simulator};
 pub use stats::{FrameStats, GeometryStats, RasterStats};

@@ -1,0 +1,302 @@
+//! Parallel tile-pipeline execution with a deterministic merge.
+//!
+//! Tiles are the natural work unit of a tile-based GPU: after binning,
+//! each tile's rasterization, Early-Z, and collision analysis touch
+//! only private state. [`Simulator::render_frame_parallel`] exploits
+//! this with a scoped worker pool (`std::thread::scope`; no external
+//! dependencies):
+//!
+//! 1. **Compute phase** — workers claim tiles from the shared binned
+//!    list via an atomic cursor. Each worker owns a private
+//!    [`TileWorker`] (z-buffer + fragment scratch) and a private
+//!    collision worker ([`ParallelCollision::Worker`], e.g. a software
+//!    ZEB + FF-Stack), and produces an *owned* per-tile result.
+//! 2. **Merge phase** — the main thread walks tiles in ascending tile
+//!    index (exactly the sequential processing order), replays the
+//!    shared tile-cache accesses, folds per-tile stats, and replays the
+//!    timing protocol (ZEB claim, scan-unit serialization) against the
+//!    backend.
+//!
+//! Everything order-dependent — cache hit/miss sequences, the cycle
+//! timeline, ZEB double-buffer claims, contact emission order — happens
+//! only in the merge phase, in tile-index order. Per-tile work is
+//! order-free (each tile starts from a cleared z-buffer and an empty
+//! ZEB). Parallel runs are therefore **bit-identical** to sequential
+//! runs for any thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::collision_unit::{CollisionFragment, NullCollisionUnit, TileCoord};
+use crate::command::FrameTrace;
+use crate::sim::{
+    accumulate_tile, finalize_raster_timing, replay_tile_cache, PipelineMode, Simulator,
+    TileRasterOut, TileWorker,
+};
+use crate::stats::{FrameStats, RasterStats};
+
+/// A collision backend whose per-tile analysis can run on worker
+/// threads, with results merged deterministically in tile order.
+///
+/// This is the parallel counterpart of [`crate::CollisionUnit`]: the
+/// sequential trait interleaves `begin_tile` / `insert` / `finish_tile`
+/// with rasterization, while this one splits the work into an
+/// order-free compute half (`Worker` + [`ParallelCollision::process_tile`])
+/// and an order-dependent timing/accumulation half
+/// ([`ParallelCollision::merge_tile`], called in tile-index order).
+///
+/// Implementations must guarantee: driving `process_tile` on any
+/// worker and then `merge_tile` in tile order leaves the backend in
+/// exactly the state the sequential [`crate::CollisionUnit`] calls
+/// would have produced.
+pub trait ParallelCollision {
+    /// Per-thread collision state (e.g. one software ZEB + FF-Stack).
+    type Worker: Send;
+    /// Owned per-tile result (e.g. contact points + per-tile stats).
+    type TileOut: Send;
+
+    /// Creates one worker; called once per thread before the pool runs.
+    fn make_worker(&self) -> Self::Worker;
+
+    /// Analyses one tile's collisionable fragments on a worker thread.
+    /// `frags` arrive in the exact order the sequential pipeline would
+    /// insert them.
+    fn process_tile(
+        worker: &mut Self::Worker,
+        tile: TileCoord,
+        frags: &[CollisionFragment],
+    ) -> Self::TileOut;
+
+    /// Earliest cycle at which a ZEB is free — the merge phase's tile
+    /// dispatch gate, identical to [`crate::CollisionUnit::next_free`].
+    fn next_free(&self) -> u64;
+
+    /// Folds one tile's result into the backend. Called in ascending
+    /// tile-index order with the tile's dispatch (`start`) and raster
+    /// completion (`end`) cycles, mirroring the sequential
+    /// `begin_tile(start)` … `finish_tile(end)` bracket.
+    fn merge_tile(&mut self, tile: TileCoord, out: Self::TileOut, start: u64, end: u64);
+
+    /// Cycle at which all backend activity has drained, identical to
+    /// [`crate::CollisionUnit::idle_at`].
+    fn idle_at(&self) -> u64;
+}
+
+/// The null backend: no collision work in either phase.
+impl ParallelCollision for NullCollisionUnit {
+    type Worker = ();
+    type TileOut = ();
+
+    fn make_worker(&self) -> Self::Worker {}
+
+    fn process_tile(_worker: &mut (), _tile: TileCoord, _frags: &[CollisionFragment]) {}
+
+    fn next_free(&self) -> u64 {
+        0
+    }
+
+    fn merge_tile(&mut self, _tile: TileCoord, _out: (), _start: u64, _end: u64) {}
+
+    fn idle_at(&self) -> u64 {
+        0
+    }
+}
+
+impl Simulator {
+    /// Renders one frame using up to `threads` worker threads for the
+    /// raster pipeline, producing results **bit-identical** to
+    /// [`Simulator::render_frame`] with the corresponding sequential
+    /// unit — same frame statistics, same cache stats, same cycle
+    /// counts, same contacts in the same order — for any thread count.
+    ///
+    /// `threads == 1` (or a frame with a single active tile) runs
+    /// inline on the calling thread with no pool overhead.
+    pub fn render_frame_parallel<B: ParallelCollision>(
+        &mut self,
+        trace: &FrameTrace,
+        mode: PipelineMode,
+        backend: &mut B,
+        threads: usize,
+    ) -> FrameStats {
+        let geometry = self.geometry_pipeline(trace, mode);
+        let raster = self.raster_parallel(trace, mode, backend, threads.max(1));
+        FrameStats { geometry, raster, frames: 1 }
+    }
+
+    fn raster_parallel<B: ParallelCollision>(
+        &mut self,
+        trace: &FrameTrace,
+        mode: PipelineMode,
+        backend: &mut B,
+        threads: usize,
+    ) -> RasterStats {
+        let cfg = self.config.clone();
+        let mut r = RasterStats::default();
+        self.tile_cache.reset_stats();
+        let tiles_x = cfg.tiles_x();
+        let Simulator { bins, worker, tile_cache, .. } = self;
+        let active = bins.active();
+        let coord = |ti: u32| TileCoord { x: ti % tiles_x, y: ti / tiles_x };
+
+        // Compute phase: owned per-tile results, indexed by position in
+        // the active list.
+        let mut slots: Vec<Option<(TileRasterOut, B::TileOut)>> = Vec::with_capacity(active.len());
+        if threads <= 1 || active.len() <= 1 {
+            let mut cw = backend.make_worker();
+            for &ti in active {
+                let tile = coord(ti);
+                let out = worker.process_tile(&cfg, trace, tile, bins.tile(ti as usize), mode);
+                let cout = B::process_tile(&mut cw, tile, &worker.coll_frags);
+                slots.push(Some((out, cout)));
+            }
+        } else {
+            slots.resize_with(active.len(), || None);
+            let next = AtomicUsize::new(0);
+            // Workers are created up front on this thread: `make_worker`
+            // borrows the backend, which must not be shared with the
+            // pool (merge needs it mutably afterwards).
+            let col_workers: Vec<B::Worker> = (0..threads).map(|_| backend.make_worker()).collect();
+            let bins = &*bins;
+            let results: Vec<Vec<(usize, TileRasterOut, B::TileOut)>> =
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = col_workers
+                        .into_iter()
+                        .map(|mut cw| {
+                            let (next, cfg) = (&next, &cfg);
+                            s.spawn(move || {
+                                let mut tw = TileWorker::new(cfg);
+                                let mut done = Vec::new();
+                                loop {
+                                    let k = next.fetch_add(1, Ordering::Relaxed);
+                                    let Some(&ti) = bins.active().get(k) else {
+                                        break;
+                                    };
+                                    let tile =
+                                        TileCoord { x: ti % tiles_x, y: ti / tiles_x };
+                                    let out = tw.process_tile(
+                                        cfg,
+                                        trace,
+                                        tile,
+                                        bins.tile(ti as usize),
+                                        mode,
+                                    );
+                                    let cout = B::process_tile(&mut cw, tile, &tw.coll_frags);
+                                    done.push((k, out, cout));
+                                }
+                                done
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("tile worker panicked"))
+                        .collect()
+                });
+            for batch in results {
+                for (k, out, cout) in batch {
+                    slots[k] = Some((out, cout));
+                }
+            }
+        }
+
+        // Merge phase: tile-index order replays the sequential timeline
+        // and the shared tile cache's access sequence exactly.
+        let mut cursor: u64 = 0;
+        for (k, &ti) in active.iter().enumerate() {
+            let (out, cout) = slots[k].take().expect("every claimed tile completed");
+            replay_tile_cache(tile_cache, &cfg, ti as usize, bins.tile(ti as usize));
+            let start = cursor.max(backend.next_free());
+            let end = accumulate_tile(&mut r, &cfg, &out, cursor, start);
+            backend.merge_tile(coord(ti), cout, start, end);
+            cursor = end;
+        }
+        cursor = cursor.max(backend.idle_at());
+        r.tile_cache_loads = tile_cache.stats();
+        finalize_raster_timing(&mut r, &cfg, cursor);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{Camera, DrawCommand, ObjectId};
+    use crate::config::GpuConfig;
+    use rbcd_geometry::shapes;
+    use rbcd_math::{Mat4, Vec3, Viewport};
+
+    fn busy_trace() -> FrameTrace {
+        let camera = Camera::perspective(Vec3::new(0.0, 1.0, 7.0), Vec3::ZERO, 1.0, 0.1, 100.0);
+        let draws = vec![
+            DrawCommand::scenery(shapes::ground_quad(16.0, 16.0))
+                .with_model(Mat4::translation(Vec3::new(0.0, -1.5, 0.0))),
+            DrawCommand::collidable(shapes::cube(1.0), ObjectId::new(1)),
+            DrawCommand::collidable(shapes::cube(1.0), ObjectId::new(2))
+                .with_model(Mat4::translation(Vec3::new(0.7, 0.2, 0.1))),
+            DrawCommand::collidable(shapes::icosphere(0.8, 2), ObjectId::new(3))
+                .with_model(Mat4::translation(Vec3::new(-1.6, 0.0, 0.5))),
+            DrawCommand::scenery(shapes::uv_sphere(1.2, 10, 8))
+                .with_model(Mat4::translation(Vec3::new(1.8, 0.5, -1.0))),
+        ];
+        FrameTrace::new(camera, draws)
+    }
+
+    fn cfg() -> GpuConfig {
+        GpuConfig { viewport: Viewport::new(128, 96), ..GpuConfig::default() }
+    }
+
+    #[test]
+    fn parallel_null_matches_sequential() {
+        for mode in [PipelineMode::Baseline, PipelineMode::Rbcd, PipelineMode::CollisionOnly] {
+            let trace = busy_trace();
+            let mut seq_sim = Simulator::new(cfg());
+            let seq = seq_sim.render_frame(&trace, mode, &mut NullCollisionUnit);
+            for threads in [1, 2, 4, 8] {
+                let mut par_sim = Simulator::new(cfg());
+                let par =
+                    par_sim.render_frame_parallel(&trace, mode, &mut NullCollisionUnit, threads);
+                assert_eq!(seq, par, "mode {mode:?}, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_warm_caches_match_sequential() {
+        // Cache stats are order-dependent and persist across frames;
+        // the merge-phase replay must keep multi-frame warm-cache runs
+        // identical too.
+        let trace = busy_trace();
+        let mut seq_sim = Simulator::new(cfg());
+        let mut par_sim = Simulator::new(cfg());
+        for frame in 0..3 {
+            let seq = seq_sim.render_frame(&trace, PipelineMode::Rbcd, &mut NullCollisionUnit);
+            let par = par_sim.render_frame_parallel(
+                &trace,
+                PipelineMode::Rbcd,
+                &mut NullCollisionUnit,
+                4,
+            );
+            assert_eq!(seq, par, "frame {frame}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let trace = busy_trace();
+        let mut sim = Simulator::new(cfg());
+        let a = sim.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut NullCollisionUnit, 0);
+        let mut sim = Simulator::new(cfg());
+        let b = sim.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut NullCollisionUnit, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_frame_parallel_is_safe() {
+        let camera = Camera::perspective(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, 1.0, 0.1, 100.0);
+        let trace = FrameTrace::new(camera, vec![]);
+        let mut sim = Simulator::new(cfg());
+        let stats =
+            sim.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut NullCollisionUnit, 8);
+        assert_eq!(stats.raster.tiles_processed, 0);
+        assert_eq!(stats.raster.fragments_rasterized, 0);
+    }
+}

@@ -29,41 +29,306 @@ pub enum PipelineMode {
 
 /// A primitive binned into a tile's polygon list.
 #[derive(Debug, Clone, Copy)]
-struct BinnedPrim {
-    tri: ScreenTriangle,
-    facing: Facing,
-    draw: u32,
+pub(crate) struct BinnedPrim {
+    pub(crate) tri: ScreenTriangle,
+    pub(crate) facing: Facing,
+    pub(crate) draw: u32,
     /// Global record id (for tile-cache addressing).
-    record: u64,
+    pub(crate) record: u64,
     /// RBCD deferred culling: rasterize, forward to the collision unit,
     /// but never send to Early-Z.
-    tagged_cull: bool,
+    pub(crate) tagged_cull: bool,
+}
+
+/// The frame's binned polygon lists in a reusable flat layout.
+///
+/// Binning appends `(tile, prim)` pairs to a scratch buffer in emission
+/// order; [`BinnedTiles::layout`] then groups them by tile with a stable
+/// counting sort. All buffers are retained across frames, so a warm
+/// simulator performs no per-frame binning allocations (the seed
+/// version rebuilt a `Vec<Vec<BinnedPrim>>` every frame).
+#[derive(Debug, Default)]
+pub(crate) struct BinnedTiles {
+    /// `(tile index, primitive)` in emission order.
+    scratch: Vec<(u32, BinnedPrim)>,
+    /// Per-tile entry counts during binning; write cursors during layout.
+    counters: Vec<u32>,
+    /// Prefix-sum offsets into `prims`; length `n_tiles + 1`.
+    offsets: Vec<u32>,
+    /// Primitives grouped by tile, each tile in emission order.
+    prims: Vec<BinnedPrim>,
+    /// Indices of non-empty tiles, ascending.
+    active: Vec<u32>,
+}
+
+impl BinnedTiles {
+    fn begin_frame(&mut self, n_tiles: usize) {
+        self.scratch.clear();
+        self.prims.clear();
+        self.active.clear();
+        self.counters.clear();
+        self.counters.resize(n_tiles, 0);
+        self.offsets.clear();
+        self.offsets.resize(n_tiles + 1, 0);
+    }
+
+    /// Records `prim` for tile `ti` and returns the tile's entry index
+    /// (its running count before this push), which addresses the bin
+    /// entry in the tile cache.
+    fn push(&mut self, ti: usize, prim: BinnedPrim) -> u64 {
+        let entry = self.counters[ti];
+        self.counters[ti] += 1;
+        self.scratch.push((ti as u32, prim));
+        entry as u64
+    }
+
+    /// Groups the emission-order scratch by tile index — a stable
+    /// counting sort, so each tile keeps its primitives in the exact
+    /// order the geometry pipeline emitted them.
+    fn layout(&mut self) {
+        let n_tiles = self.counters.len();
+        let mut sum = 0u32;
+        for ti in 0..n_tiles {
+            self.offsets[ti] = sum;
+            let count = self.counters[ti];
+            if count > 0 {
+                self.active.push(ti as u32);
+            }
+            // Counters become write cursors for the placement pass.
+            self.counters[ti] = sum;
+            sum += count;
+        }
+        self.offsets[n_tiles] = sum;
+        let Some(&(_, filler)) = self.scratch.first() else {
+            return;
+        };
+        self.prims.resize(sum as usize, filler);
+        for &(ti, prim) in &self.scratch {
+            let cursor = &mut self.counters[ti as usize];
+            self.prims[*cursor as usize] = prim;
+            *cursor += 1;
+        }
+    }
+
+    /// Indices of non-empty tiles, ascending — the deterministic
+    /// processing and merge order.
+    pub(crate) fn active(&self) -> &[u32] {
+        &self.active
+    }
+
+    /// The polygon list of tile `ti`, in emission order.
+    pub(crate) fn tile(&self, ti: usize) -> &[BinnedPrim] {
+        &self.prims[self.offsets[ti] as usize..self.offsets[ti + 1] as usize]
+    }
+}
+
+/// Per-tile mutable raster state: one worker per thread, reused across
+/// tiles, so the hot loop performs no allocations.
+#[derive(Debug)]
+pub(crate) struct TileWorker {
+    /// Per-tile depth buffer.
+    zbuf: Vec<f32>,
+    frag_scratch: Vec<Fragment>,
+    /// Collisionable fragments of the last processed tile, in the exact
+    /// order the sequential pipeline would feed them to the unit.
+    pub(crate) coll_frags: Vec<CollisionFragment>,
+}
+
+/// Owned per-tile raster results; summed into [`RasterStats`] during
+/// the deterministic merge.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct TileRasterOut {
+    pub(crate) prim_count: u64,
+    pub(crate) frags: u64,
+    pub(crate) coll_frags: u64,
+    pub(crate) fp_work: u64,
+    pub(crate) raster_t: u64,
+    pub(crate) fp_done: u64,
+    pub(crate) to_early_z: u64,
+    pub(crate) pixels_covered: u64,
+    pub(crate) shaded: u64,
+}
+
+impl TileWorker {
+    pub(crate) fn new(config: &GpuConfig) -> Self {
+        let tile_pixels = (config.tile_size * config.tile_size) as usize;
+        Self {
+            zbuf: vec![1.0; tile_pixels],
+            frag_scratch: Vec::with_capacity(tile_pixels),
+            coll_frags: Vec::new(),
+        }
+    }
+
+    /// Rasterizes one tile's polygon list: fragment generation, Early-Z
+    /// against the private depth buffer, and collisionable-fragment
+    /// capture into `self.coll_frags`. Pure per-tile work — no cache or
+    /// collision-unit access — so tiles can run on any thread.
+    pub(crate) fn process_tile(
+        &mut self,
+        cfg: &GpuConfig,
+        trace: &FrameTrace,
+        tile: TileCoord,
+        prims: &[BinnedPrim],
+        mode: PipelineMode,
+    ) -> TileRasterOut {
+        let tile_pixels = (cfg.tile_size * cfg.tile_size) as usize;
+        self.zbuf[..tile_pixels].fill(1.0);
+        self.coll_frags.clear();
+        let tile_x0 = tile.x * cfg.tile_size;
+        let tile_y0 = tile.y * cfg.tile_size;
+
+        let mut o = TileRasterOut { prim_count: prims.len() as u64, ..Default::default() };
+        // Intra-tile timeline: the rasterizer feeds the fragment
+        // processors in primitive order. The processors can only
+        // consume fragments that exist, so a burst of
+        // tagged-to-be-culled primitives (which produce no shadable
+        // fragments) lets their queue run dry — the idle-cycle
+        // mechanism of the paper's §5.2.
+        for prim in prims {
+            self.frag_scratch.clear();
+            let n = rasterize_triangle_in_tile(
+                &prim.tri,
+                tile_x0,
+                tile_y0,
+                cfg.tile_size,
+                cfg.viewport.width,
+                cfg.viewport.height,
+                &mut self.frag_scratch,
+            ) as u64;
+            o.frags += n;
+            o.raster_t += cfg.raster_setup_cycles + n.div_ceil(cfg.raster_frags_per_cycle as u64);
+
+            let draw = &trace.draws[prim.draw as usize];
+            if mode != PipelineMode::Baseline {
+                if let Some(object) = draw.collidable {
+                    o.coll_frags += n;
+                    for f in &self.frag_scratch {
+                        self.coll_frags.push(CollisionFragment {
+                            x: f.x,
+                            y: f.y,
+                            z: f.z,
+                            object,
+                            facing: prim.facing,
+                        });
+                    }
+                }
+            }
+
+            if !prim.tagged_cull && mode != PipelineMode::CollisionOnly {
+                let mut prim_fp_work: u64 = 0;
+                for f in &self.frag_scratch {
+                    o.to_early_z += 1;
+                    let px = (f.y - tile_y0) * cfg.tile_size + (f.x - tile_x0);
+                    let slot = &mut self.zbuf[px as usize];
+                    if f.z < *slot {
+                        if *slot == 1.0 {
+                            o.pixels_covered += 1;
+                        }
+                        *slot = f.z;
+                        o.shaded += 1;
+                        prim_fp_work += draw.shader.fragment_cycles as u64;
+                    }
+                }
+                if prim_fp_work > 0 {
+                    o.fp_work += prim_fp_work;
+                    // Fragments become available when the primitive
+                    // finishes rasterizing.
+                    o.fp_done = o.fp_done.max(o.raster_t)
+                        + prim_fp_work.div_ceil(cfg.fragment_processors as u64);
+                }
+            }
+        }
+        o
+    }
 }
 
 /// The GPU simulator. Owns the cache models, which stay warm across
 /// frames; statistics are reported per rendered frame.
 #[derive(Debug)]
 pub struct Simulator {
-    config: GpuConfig,
-    vertex_cache: CacheModel,
-    tile_cache: CacheModel,
-    /// Per-tile depth buffer, reused across tiles.
-    zbuf: Vec<f32>,
-    frag_scratch: Vec<Fragment>,
+    pub(crate) config: GpuConfig,
+    pub(crate) vertex_cache: CacheModel,
+    pub(crate) tile_cache: CacheModel,
+    /// The frame's binned polygon lists (reused across frames).
+    pub(crate) bins: BinnedTiles,
+    /// Resident raster worker for sequential execution.
+    pub(crate) worker: TileWorker,
 }
 
 const RECORD_BASE: u64 = 1 << 40;
 const BIN_BASE: u64 = 2 << 40;
 
+/// Replays tile `ti`'s Tile Fetcher accesses (bin entry + shared
+/// primitive record per primitive) against the shared tile cache. The
+/// cache model's stats are access-order dependent, so the merge phase
+/// replays tiles in index order — identical to the sequential walk.
+pub(crate) fn replay_tile_cache(
+    tile_cache: &mut CacheModel,
+    cfg: &GpuConfig,
+    ti: usize,
+    prims: &[BinnedPrim],
+) {
+    for prim in prims {
+        tile_cache.read_span(BIN_BASE + ((ti as u64) << 24) + prim.record * 8, 8);
+        tile_cache.read_span(RECORD_BASE + prim.record * cfg.prim_record_bytes, cfg.prim_record_bytes);
+    }
+}
+
+/// Folds one tile's results into the frame stats and the rasterizer
+/// timeline. `start` is when the tile was dispatched (`cursor` plus any
+/// ZEB stall); returns the tile's end cycle.
+pub(crate) fn accumulate_tile(
+    r: &mut RasterStats,
+    cfg: &GpuConfig,
+    o: &TileRasterOut,
+    cursor: u64,
+    start: u64,
+) -> u64 {
+    r.tiles_processed += 1;
+    r.primitives_fetched += o.prim_count;
+    r.fragments_rasterized += o.frags;
+    r.fragments_collisionable += o.coll_frags;
+    r.fragments_to_early_z += o.to_early_z;
+    r.pixels_covered += o.pixels_covered;
+    r.fragments_shaded += o.shaded;
+    r.fp_busy_cycles += o.fp_work;
+
+    // Per-tile wall time. The Tile Fetcher prefetches the next tile's
+    // polygon list while the current tile rasterizes, so its misses
+    // stay off the critical path (charged to energy); its
+    // one-primitive-per-cycle issue rate can still bind.
+    let fetch_cycles = o.prim_count;
+    let insert_cycles = o.coll_frags; // ZEB sorted insertion: 1/cycle
+    let shade_cycles = o.fp_work.div_ceil(cfg.fragment_processors as u64);
+    let work = fetch_cycles
+        .max(o.raster_t)
+        .max(insert_cycles)
+        .max(o.fp_done)
+        + cfg.tile_overhead_cycles;
+    r.fp_idle_cycles += work - shade_cycles;
+    r.zeb_stall_cycles += start - cursor;
+    start + work
+}
+
+/// Closes out the raster timeline: bus contention from the raster
+/// pipeline's DRAM traffic (polygon-list fills plus the per-tile
+/// colour-buffer flush). Requires `r.tile_cache_loads` to be set.
+pub(crate) fn finalize_raster_timing(r: &mut RasterStats, cfg: &GpuConfig, cursor: u64) {
+    let dram_bytes = r.tile_cache_loads.misses() * 64
+        + r.tiles_processed * (cfg.tile_size as u64 * cfg.tile_size as u64) * 4;
+    let contention = (dram_bytes as f64 / cfg.dram_bytes_per_cycle as f64
+        * cfg.dram_contention) as u64;
+    r.cycles = cursor + contention;
+}
+
 impl Simulator {
     /// Creates a simulator for the given configuration.
     pub fn new(config: GpuConfig) -> Self {
-        let tile_pixels = (config.tile_size * config.tile_size) as usize;
         Self {
             vertex_cache: CacheModel::new(config.vertex_cache),
             tile_cache: CacheModel::new(config.tile_cache),
-            zbuf: vec![1.0; tile_pixels],
-            frag_scratch: Vec::with_capacity(tile_pixels),
+            bins: BinnedTiles::default(),
+            worker: TileWorker::new(&config),
             config,
         }
     }
@@ -77,35 +342,37 @@ impl Simulator {
     /// [`PipelineMode::Rbcd`], collisionable fragments are pushed into
     /// `unit` and ZEB stalls are modelled through its timing protocol;
     /// pass [`crate::NullCollisionUnit`] for baseline runs.
+    ///
+    /// For multi-threaded tile execution with identical results, see
+    /// [`Simulator::render_frame_parallel`].
     pub fn render_frame(
         &mut self,
         trace: &FrameTrace,
         mode: PipelineMode,
         unit: &mut dyn CollisionUnit,
     ) -> FrameStats {
-        let (tiles, geometry) = self.geometry_pipeline(trace, mode);
-        let raster = self.raster_pipeline(trace, &tiles, mode, unit);
+        let geometry = self.geometry_pipeline(trace, mode);
+        let raster = self.raster_pipeline(trace, mode, unit);
         FrameStats { geometry, raster, frames: 1 }
     }
 
     /// Geometry Pipeline: vertex processing, primitive assembly,
-    /// clipping, (deferred) face culling, and binning.
-    fn geometry_pipeline(
+    /// clipping, (deferred) face culling, and binning into `self.bins`.
+    pub(crate) fn geometry_pipeline(
         &mut self,
         trace: &FrameTrace,
         mode: PipelineMode,
-    ) -> (Vec<Vec<BinnedPrim>>, GeometryStats) {
+    ) -> GeometryStats {
         let cfg = &self.config;
         let (vw, vh) = (cfg.viewport.width, cfg.viewport.height);
         let (tiles_x, tiles_y) = (cfg.tiles_x(), cfg.tiles_y());
-        let mut tiles: Vec<Vec<BinnedPrim>> = vec![Vec::new(); (tiles_x * tiles_y) as usize];
+        self.bins.begin_frame((tiles_x * tiles_y) as usize);
         let mut g = GeometryStats::default();
         self.vertex_cache.reset_stats();
         self.tile_cache.reset_stats();
 
         let view_proj = trace.camera.view_proj();
         let mut record_counter: u64 = 0;
-        let mut bin_counters: Vec<u64> = vec![0; tiles.len()];
 
         for (draw_idx, draw) in trace.draws.iter().enumerate() {
             if mode == PipelineMode::CollisionOnly && draw.collidable.is_none() {
@@ -182,23 +449,22 @@ impl Simulator {
                     for ty in ty0..=ty1 {
                         for tx in tx0..=tx1 {
                             let ti = (ty * tiles_x + tx) as usize;
-                            let entry = bin_counters[ti];
-                            bin_counters[ti] += 1;
-                            self.tile_cache
-                                .write_span(BIN_BASE + ((ti as u64) << 24) + entry * 8, 8);
-                            g.bin_entries += 1;
-                            tiles[ti].push(BinnedPrim {
+                            let entry = self.bins.push(ti, BinnedPrim {
                                 tri,
                                 facing,
                                 draw: draw_idx as u32,
                                 record,
                                 tagged_cull,
                             });
+                            self.tile_cache
+                                .write_span(BIN_BASE + ((ti as u64) << 24) + entry * 8, 8);
+                            g.bin_entries += 1;
                         }
                     }
                 }
             }
         }
+        self.bins.layout();
 
         g.tile_cache_stores = self.tile_cache.stats();
         g.vertex_cache = self.vertex_cache.stats();
@@ -219,7 +485,7 @@ impl Simulator {
         let contention = (dram_bytes as f64 / self.config.dram_bytes_per_cycle as f64
             * self.config.dram_contention) as u64;
         g.cycles = vp_cycles.max(pa_cycles).max(plb_cycles) + contention;
-        (tiles, g)
+        g
     }
 
     /// Raster Pipeline: per tile — fetch, rasterize, (RBCD insert),
@@ -227,7 +493,6 @@ impl Simulator {
     fn raster_pipeline(
         &mut self,
         trace: &FrameTrace,
-        tiles: &[Vec<BinnedPrim>],
         mode: PipelineMode,
         unit: &mut dyn CollisionUnit,
     ) -> RasterStats {
@@ -235,129 +500,31 @@ impl Simulator {
         let mut r = RasterStats::default();
         self.tile_cache.reset_stats();
         let tiles_x = cfg.tiles_x();
-        let tile_pixels = (cfg.tile_size * cfg.tile_size) as usize;
+        let Simulator { bins, worker, tile_cache, .. } = self;
 
         let mut cursor: u64 = 0; // rasterizer timeline, cycles
-        for (ti, prims) in tiles.iter().enumerate() {
-            if prims.is_empty() {
-                continue;
-            }
-            r.tiles_processed += 1;
+        for &ti in bins.active() {
+            let ti = ti as usize;
+            let prims = bins.tile(ti);
             let tile = TileCoord { x: ti as u32 % tiles_x, y: ti as u32 / tiles_x };
-            let tile_x0 = tile.x * cfg.tile_size;
-            let tile_y0 = tile.y * cfg.tile_size;
+
+            let out = worker.process_tile(&cfg, trace, tile, prims, mode);
+            replay_tile_cache(tile_cache, &cfg, ti, prims);
 
             // Wait for a free ZEB (no-op for the null unit / baseline).
             let start = cursor.max(unit.next_free());
-            let stall = start - cursor;
             unit.begin_tile(tile, start);
-
-            self.zbuf[..tile_pixels].fill(1.0);
-            let mut tile_frags: u64 = 0;
-            let mut coll_frags: u64 = 0;
-            let mut fp_work: u64 = 0;
-            // Intra-tile timeline: the rasterizer feeds the fragment
-            // processors in primitive order. The processors can only
-            // consume fragments that exist, so a burst of
-            // tagged-to-be-culled primitives (which produce no shadable
-            // fragments) lets their queue run dry — the idle-cycle
-            // mechanism of the paper's §5.2.
-            let mut raster_t: u64 = 0;
-            let mut fp_done: u64 = 0;
-
-            for prim in prims {
-                // Tile fetcher: bin entry + shared primitive record.
-                self.tile_cache.read_span(BIN_BASE + ((ti as u64) << 24) + prim.record * 8, 8);
-                self.tile_cache
-                    .read_span(RECORD_BASE + prim.record * cfg.prim_record_bytes, cfg.prim_record_bytes);
-                r.primitives_fetched += 1;
-
-                self.frag_scratch.clear();
-                let n = rasterize_triangle_in_tile(
-                    &prim.tri,
-                    tile_x0,
-                    tile_y0,
-                    cfg.tile_size,
-                    cfg.viewport.width,
-                    cfg.viewport.height,
-                    &mut self.frag_scratch,
-                ) as u64;
-                tile_frags += n;
-                raster_t += cfg.raster_setup_cycles + n.div_ceil(cfg.raster_frags_per_cycle as u64);
-
-                let draw = &trace.draws[prim.draw as usize];
-                if mode != PipelineMode::Baseline {
-                    if let Some(object) = draw.collidable {
-                        coll_frags += n;
-                        for f in &self.frag_scratch {
-                            unit.insert(CollisionFragment {
-                                x: f.x,
-                                y: f.y,
-                                z: f.z,
-                                object,
-                                facing: prim.facing,
-                            });
-                        }
-                    }
-                }
-
-                if !prim.tagged_cull && mode != PipelineMode::CollisionOnly {
-                    let mut prim_fp_work: u64 = 0;
-                    for f in &self.frag_scratch {
-                        r.fragments_to_early_z += 1;
-                        let px = (f.y - tile_y0) * cfg.tile_size + (f.x - tile_x0);
-                        let slot = &mut self.zbuf[px as usize];
-                        if f.z < *slot {
-                            if *slot == 1.0 {
-                                r.pixels_covered += 1;
-                            }
-                            *slot = f.z;
-                            r.fragments_shaded += 1;
-                            prim_fp_work += draw.shader.fragment_cycles as u64;
-                        }
-                    }
-                    if prim_fp_work > 0 {
-                        fp_work += prim_fp_work;
-                        // Fragments become available when the primitive
-                        // finishes rasterizing.
-                        fp_done = fp_done.max(raster_t)
-                            + prim_fp_work.div_ceil(cfg.fragment_processors as u64);
-                    }
-                }
+            for f in &worker.coll_frags {
+                unit.insert(*f);
             }
-            r.fragments_rasterized += tile_frags;
-            r.fragments_collisionable += coll_frags;
-            r.fp_busy_cycles += fp_work;
-
-            // Per-tile wall time. The Tile Fetcher prefetches the next
-            // tile's polygon list while the current tile rasterizes, so
-            // its misses stay off the critical path (charged to energy);
-            // its one-primitive-per-cycle issue rate can still bind.
-            let fetch_cycles = prims.len() as u64;
-            let insert_cycles = coll_frags; // ZEB sorted insertion: 1/cycle
-            let shade_cycles = fp_work.div_ceil(cfg.fragment_processors as u64);
-            let work = fetch_cycles
-                .max(raster_t)
-                .max(insert_cycles)
-                .max(fp_done)
-                + cfg.tile_overhead_cycles;
-            r.fp_idle_cycles += work - shade_cycles;
-            r.zeb_stall_cycles += stall;
-
-            let end = start + work;
+            let end = accumulate_tile(&mut r, &cfg, &out, cursor, start);
             unit.finish_tile(end);
             cursor = end;
         }
         // The frame is complete once the last Z-overlap scan drains.
         cursor = cursor.max(unit.idle_at());
-        r.tile_cache_loads = self.tile_cache.stats();
-        // Bus contention from the raster pipeline's DRAM traffic:
-        // polygon-list fills plus the per-tile colour-buffer flush.
-        let dram_bytes = r.tile_cache_loads.misses() * 64
-            + r.tiles_processed * (cfg.tile_size as u64 * cfg.tile_size as u64) * 4;
-        let contention = (dram_bytes as f64 / cfg.dram_bytes_per_cycle as f64
-            * cfg.dram_contention) as u64;
-        r.cycles = cursor + contention;
+        r.tile_cache_loads = tile_cache.stats();
+        finalize_raster_timing(&mut r, &cfg, cursor);
         r
     }
 }
@@ -392,6 +559,21 @@ mod tests {
         assert!(stats.raster.fragments_rasterized > 0);
         assert!(stats.raster.fragments_shaded > 0);
         assert!(stats.total_cycles() > 0);
+    }
+
+    #[test]
+    fn warm_simulator_is_reproducible() {
+        // The reusable binning/raster state must not leak between
+        // frames: a warm simulator re-rendering the same trace reports
+        // identical workload counters (cache-model stats legitimately
+        // differ — caches stay warm across frames by design).
+        let mut sim = Simulator::new(small_config());
+        let first = sim.render_frame(&cube_trace(), PipelineMode::Baseline, &mut NullCollisionUnit);
+        let second = sim.render_frame(&cube_trace(), PipelineMode::Baseline, &mut NullCollisionUnit);
+        assert_eq!(first.raster.fragments_rasterized, second.raster.fragments_rasterized);
+        assert_eq!(first.raster.fragments_shaded, second.raster.fragments_shaded);
+        assert_eq!(first.raster.tiles_processed, second.raster.tiles_processed);
+        assert_eq!(first.geometry.bin_entries, second.geometry.bin_entries);
     }
 
     #[test]

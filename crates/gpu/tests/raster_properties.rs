@@ -1,11 +1,17 @@
-//! Property-based tests for the rasterizer and clipper.
+//! Randomized property tests for the rasterizer and clipper, driven by
+//! the workspace's seeded [`Rng`].
 
-use proptest::prelude::*;
 use rbcd_gpu::{clip_near, rasterize_triangle_in_tile, Fragment, ScreenTriangle};
-use rbcd_math::{Vec3, Vec4};
+use rbcd_math::{Rng, Vec3, Vec4};
 
-fn screen_pt() -> impl Strategy<Value = Vec3> {
-    (0.0f32..64.0, 0.0f32..64.0, 0.0f32..1.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+const CASES: usize = 128;
+
+fn screen_pt(rng: &mut Rng) -> Vec3 {
+    Vec3::new(
+        rng.gen_range(0.0f32..64.0),
+        rng.gen_range(0.0f32..64.0),
+        rng.gen_range(0.0f32..1.0),
+    )
 }
 
 fn raster_all(tri: &ScreenTriangle) -> Vec<Fragment> {
@@ -15,54 +21,66 @@ fn raster_all(tri: &ScreenTriangle) -> Vec<Fragment> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Winding flip changes facing but not coverage.
-    #[test]
-    fn coverage_is_winding_independent(a in screen_pt(), b in screen_pt(), c in screen_pt()) {
+/// Winding flip changes facing but not coverage.
+#[test]
+fn coverage_is_winding_independent() {
+    let mut rng = Rng::seed_from_u64(0x31);
+    for _ in 0..CASES {
+        let (a, b, c) = (screen_pt(&mut rng), screen_pt(&mut rng), screen_pt(&mut rng));
         let t = ScreenTriangle::new(a, b, c);
         let f = ScreenTriangle::new(a, c, b);
         let mut pa: Vec<(u32, u32)> = raster_all(&t).iter().map(|x| (x.x, x.y)).collect();
         let mut pb: Vec<(u32, u32)> = raster_all(&f).iter().map(|x| (x.x, x.y)).collect();
         pa.sort_unstable();
         pb.sort_unstable();
-        prop_assert_eq!(pa, pb);
+        assert_eq!(pa, pb);
         if let (Some(fa), Some(fb)) = (t.facing(), f.facing()) {
-            prop_assert_eq!(fa, fb.flip());
+            assert_eq!(fa, fb.flip());
         }
     }
+}
 
-    /// Fragment count is bounded by the triangle's pixel bounding box.
-    #[test]
-    fn coverage_bounded_by_bbox(a in screen_pt(), b in screen_pt(), c in screen_pt()) {
+/// Fragment count is bounded by the triangle's pixel bounding box.
+#[test]
+fn coverage_bounded_by_bbox() {
+    let mut rng = Rng::seed_from_u64(0x32);
+    for _ in 0..CASES {
+        let (a, b, c) = (screen_pt(&mut rng), screen_pt(&mut rng), screen_pt(&mut rng));
         let t = ScreenTriangle::new(a, b, c);
         let frags = raster_all(&t);
         if let Some((x0, y0, x1, y1)) = t.pixel_bounds(64, 64) {
             let cap = ((x1 - x0 + 1) * (y1 - y0 + 1)) as usize;
-            prop_assert!(frags.len() <= cap);
+            assert!(frags.len() <= cap);
             for f in &frags {
-                prop_assert!(f.x >= x0 && f.x <= x1 && f.y >= y0 && f.y <= y1);
+                assert!(f.x >= x0 && f.x <= x1 && f.y >= y0 && f.y <= y1);
             }
         } else {
-            prop_assert!(frags.is_empty());
+            assert!(frags.is_empty());
         }
     }
+}
 
-    /// Interpolated depths stay within the vertex depth range.
-    #[test]
-    fn depth_within_vertex_range(a in screen_pt(), b in screen_pt(), c in screen_pt()) {
+/// Interpolated depths stay within the vertex depth range.
+#[test]
+fn depth_within_vertex_range() {
+    let mut rng = Rng::seed_from_u64(0x33);
+    for _ in 0..CASES {
+        let (a, b, c) = (screen_pt(&mut rng), screen_pt(&mut rng), screen_pt(&mut rng));
         let t = ScreenTriangle::new(a, b, c);
         let lo = a.z.min(b.z).min(c.z) - 1e-3;
         let hi = a.z.max(b.z).max(c.z) + 1e-3;
         for f in raster_all(&t) {
-            prop_assert!(f.z >= lo && f.z <= hi, "z {} outside [{lo}, {hi}]", f.z);
+            assert!(f.z >= lo && f.z <= hi, "z {} outside [{lo}, {hi}]", f.z);
         }
     }
+}
 
-    /// Splitting the viewport into tiles partitions the fragment set.
-    #[test]
-    fn tiles_partition_fragments(a in screen_pt(), b in screen_pt(), c in screen_pt()) {
+/// Splitting the viewport into tiles partitions the fragment set.
+#[test]
+fn tiles_partition_fragments() {
+    let mut rng = Rng::seed_from_u64(0x34);
+    for _ in 0..CASES {
+        let (a, b, c) = (screen_pt(&mut rng), screen_pt(&mut rng), screen_pt(&mut rng));
         let t = ScreenTriangle::new(a, b, c);
         let whole = raster_all(&t).len();
         let mut total = 0usize;
@@ -73,31 +91,35 @@ proptest! {
                 total += out.len();
             }
         }
-        prop_assert_eq!(total, whole);
+        assert_eq!(total, whole);
     }
+}
 
-    /// Near-plane clipping emits only vertices with `z + w >= 0`, and
-    /// passes fully-inside triangles through untouched.
-    #[test]
-    fn clip_output_is_inside(
-        az in -2.0f32..2.0, bz in -2.0f32..2.0, cz in -2.0f32..2.0,
-    ) {
+/// Near-plane clipping emits only vertices with `z + w >= 0`, and
+/// passes fully-inside triangles through untouched.
+#[test]
+fn clip_output_is_inside() {
+    let mut rng = Rng::seed_from_u64(0x35);
+    for _ in 0..CASES {
+        let az = rng.gen_range(-2.0f32..2.0);
+        let bz = rng.gen_range(-2.0f32..2.0);
+        let cz = rng.gen_range(-2.0f32..2.0);
         let a = Vec4::new(0.0, 0.0, az, 1.0);
         let b = Vec4::new(1.0, 0.0, bz, 1.0);
         let c = Vec4::new(0.0, 1.0, cz, 1.0);
         let tris = clip_near(a, b, c);
         for tri in &tris {
             for p in tri {
-                prop_assert!(p.z + p.w >= -1e-4);
+                assert!(p.z + p.w >= -1e-4);
             }
         }
         let all_inside = az >= -1.0 && bz >= -1.0 && cz >= -1.0;
         if all_inside {
-            prop_assert_eq!(tris.len(), 1);
+            assert_eq!(tris.len(), 1);
         }
         let all_outside = az < -1.0 && bz < -1.0 && cz < -1.0;
         if all_outside {
-            prop_assert!(tris.is_empty());
+            assert!(tris.is_empty());
         }
     }
 }

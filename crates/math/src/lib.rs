@@ -28,6 +28,7 @@ mod aabb;
 mod mat4;
 mod plane;
 mod quat;
+mod rng;
 mod transforms;
 mod vec;
 
@@ -35,6 +36,7 @@ pub use aabb::Aabb;
 pub use mat4::Mat4;
 pub use plane::{Frustum, Plane};
 pub use quat::Quat;
+pub use rng::{Rng, SampleRange};
 pub use transforms::{look_at, orthographic, perspective, viewport, Viewport};
 pub use vec::{Vec2, Vec3, Vec4};
 

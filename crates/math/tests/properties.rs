@@ -1,105 +1,141 @@
-//! Property-based tests for the math substrate.
+//! Randomized property tests for the math substrate, driven by the
+//! workspace's own seeded [`Rng`] (the build is offline, so no external
+//! property-testing framework is available).
 
-use proptest::prelude::*;
-use rbcd_math::{Aabb, Mat4, Quat, Vec3};
+use rbcd_math::{Aabb, Mat4, Quat, Rng, Vec3};
 
-fn small_f32() -> impl Strategy<Value = f32> {
-    -100.0f32..100.0f32
+const CASES: usize = 256;
+
+fn small_f32(rng: &mut Rng) -> f32 {
+    rng.gen_range(-100.0f32..100.0)
 }
 
-fn vec3() -> impl Strategy<Value = Vec3> {
-    (small_f32(), small_f32(), small_f32()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+fn vec3(rng: &mut Rng) -> Vec3 {
+    Vec3::new(small_f32(rng), small_f32(rng), small_f32(rng))
 }
 
-fn nonzero_vec3() -> impl Strategy<Value = Vec3> {
-    vec3().prop_filter("nonzero", |v| v.length() > 1e-3)
+fn nonzero_vec3(rng: &mut Rng) -> Vec3 {
+    loop {
+        let v = vec3(rng);
+        if v.length() > 1e-3 {
+            return v;
+        }
+    }
 }
 
 fn vec_close(a: Vec3, b: Vec3, eps: f32) -> bool {
     (a - b).length() <= eps * (1.0 + a.length().max(b.length()))
 }
 
-proptest! {
-    #[test]
-    fn dot_is_commutative(a in vec3(), b in vec3()) {
-        prop_assert!((a.dot(b) - b.dot(a)).abs() < 1e-3);
+#[test]
+fn dot_is_commutative() {
+    let mut rng = Rng::seed_from_u64(0x01);
+    for _ in 0..CASES {
+        let (a, b) = (vec3(&mut rng), vec3(&mut rng));
+        assert!((a.dot(b) - b.dot(a)).abs() < 1e-3);
     }
+}
 
-    #[test]
-    fn cross_is_orthogonal(a in nonzero_vec3(), b in nonzero_vec3()) {
+#[test]
+fn cross_is_orthogonal() {
+    let mut rng = Rng::seed_from_u64(0x02);
+    for _ in 0..CASES {
+        let (a, b) = (nonzero_vec3(&mut rng), nonzero_vec3(&mut rng));
         let c = a.cross(b);
         // |a·(a×b)| is bounded by rounding relative to the magnitudes.
         let scale = a.length() * b.length() * a.length().max(b.length());
-        prop_assert!(a.dot(c).abs() <= 1e-3 * scale.max(1.0));
-        prop_assert!(b.dot(c).abs() <= 1e-3 * scale.max(1.0));
+        assert!(a.dot(c).abs() <= 1e-3 * scale.max(1.0));
+        assert!(b.dot(c).abs() <= 1e-3 * scale.max(1.0));
     }
+}
 
-    #[test]
-    fn normalize_has_unit_length(v in nonzero_vec3()) {
-        prop_assert!((v.normalize().length() - 1.0).abs() < 1e-4);
+#[test]
+fn normalize_has_unit_length() {
+    let mut rng = Rng::seed_from_u64(0x03);
+    for _ in 0..CASES {
+        let v = nonzero_vec3(&mut rng);
+        assert!((v.normalize().length() - 1.0).abs() < 1e-4);
     }
+}
 
-    #[test]
-    fn matrix_inverse_roundtrips_points(
-        t in vec3(),
-        axis in nonzero_vec3(),
-        angle in -3.0f32..3.0f32,
-        p in vec3(),
-    ) {
+#[test]
+fn matrix_inverse_roundtrips_points() {
+    let mut rng = Rng::seed_from_u64(0x04);
+    for _ in 0..CASES {
+        let t = vec3(&mut rng);
+        let axis = nonzero_vec3(&mut rng);
+        let angle = rng.gen_range(-3.0f32..3.0);
+        let p = vec3(&mut rng);
         let m = Mat4::translation(t) * Mat4::rotation_axis(axis, angle);
         let inv = m.try_inverse().unwrap();
         let q = inv.transform_point(m.transform_point(p));
-        prop_assert!(vec_close(p, q, 1e-3), "p={p:?} q={q:?}");
+        assert!(vec_close(p, q, 1e-3), "p={p:?} q={q:?}");
     }
+}
 
-    #[test]
-    fn quat_rotation_preserves_length(
-        axis in nonzero_vec3(),
-        angle in -6.0f32..6.0f32,
-        v in vec3(),
-    ) {
+#[test]
+fn quat_rotation_preserves_length() {
+    let mut rng = Rng::seed_from_u64(0x05);
+    for _ in 0..CASES {
+        let axis = nonzero_vec3(&mut rng);
+        let angle = rng.gen_range(-6.0f32..6.0);
+        let v = vec3(&mut rng);
         let q = Quat::from_axis_angle(axis, angle);
-        prop_assert!((q.rotate(v).length() - v.length()).abs() < 1e-2 * (1.0 + v.length()));
+        assert!((q.rotate(v).length() - v.length()).abs() < 1e-2 * (1.0 + v.length()));
     }
+}
 
-    #[test]
-    fn quat_matrix_agreement(
-        axis in nonzero_vec3(),
-        angle in -6.0f32..6.0f32,
-        v in vec3(),
-    ) {
+#[test]
+fn quat_matrix_agreement() {
+    let mut rng = Rng::seed_from_u64(0x06);
+    for _ in 0..CASES {
+        let axis = nonzero_vec3(&mut rng);
+        let angle = rng.gen_range(-6.0f32..6.0);
+        let v = vec3(&mut rng);
         let q = Quat::from_axis_angle(axis, angle);
-        prop_assert!(vec_close(q.rotate(v), q.to_mat4().transform_point(v), 1e-3));
+        assert!(vec_close(q.rotate(v), q.to_mat4().transform_point(v), 1e-3));
     }
+}
 
-    #[test]
-    fn aabb_union_contains_operands(a0 in vec3(), a1 in vec3(), b0 in vec3(), b1 in vec3()) {
+#[test]
+fn aabb_union_contains_operands() {
+    let mut rng = Rng::seed_from_u64(0x07);
+    for _ in 0..CASES {
+        let (a0, a1) = (vec3(&mut rng), vec3(&mut rng));
+        let (b0, b1) = (vec3(&mut rng), vec3(&mut rng));
         let a = Aabb::new(a0.min(a1), a0.max(a1));
         let b = Aabb::new(b0.min(b1), b0.max(b1));
         let u = a.union(&b);
-        prop_assert!(u.contains(&a));
-        prop_assert!(u.contains(&b));
+        assert!(u.contains(&a));
+        assert!(u.contains(&b));
     }
+}
 
-    #[test]
-    fn aabb_intersection_symmetric(a0 in vec3(), a1 in vec3(), b0 in vec3(), b1 in vec3()) {
+#[test]
+fn aabb_intersection_symmetric() {
+    let mut rng = Rng::seed_from_u64(0x08);
+    for _ in 0..CASES {
+        let (a0, a1) = (vec3(&mut rng), vec3(&mut rng));
+        let (b0, b1) = (vec3(&mut rng), vec3(&mut rng));
         let a = Aabb::new(a0.min(a1), a0.max(a1));
         let b = Aabb::new(b0.min(b1), b0.max(b1));
-        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        assert_eq!(a.intersects(&b), b.intersects(&a));
     }
+}
 
-    #[test]
-    fn aabb_transform_bounds_transformed_corners(
-        c0 in vec3(), c1 in vec3(),
-        t in vec3(),
-        axis in nonzero_vec3(),
-        angle in -3.0f32..3.0f32,
-    ) {
+#[test]
+fn aabb_transform_bounds_transformed_corners() {
+    let mut rng = Rng::seed_from_u64(0x09);
+    for _ in 0..CASES {
+        let (c0, c1) = (vec3(&mut rng), vec3(&mut rng));
+        let t = vec3(&mut rng);
+        let axis = nonzero_vec3(&mut rng);
+        let angle = rng.gen_range(-3.0f32..3.0);
         let bb = Aabb::new(c0.min(c1), c0.max(c1));
         let m = Mat4::translation(t) * Mat4::rotation_axis(axis, angle);
         let tbb = bb.transformed(&m).inflate(1e-2);
         for c in bb.corners() {
-            prop_assert!(tbb.contains_point(m.transform_point(c)));
+            assert!(tbb.contains_point(m.transform_point(c)));
         }
     }
 }

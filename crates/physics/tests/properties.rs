@@ -1,20 +1,28 @@
-//! Property-based tests for the physics world.
+//! Randomized property tests for the physics world, driven by the
+//! workspace's seeded [`Rng`] (no external frameworks; offline build).
 
-use proptest::prelude::*;
 use rbcd_geometry::shapes;
-use rbcd_math::Vec3;
+use rbcd_math::{Rng, Vec3};
 use rbcd_physics::{PhysicsWorld, RigidBody};
 
-fn vel() -> impl Strategy<Value = Vec3> {
-    (-5.0f32..5.0, -5.0f32..5.0, -5.0f32..5.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+const CASES: usize = 64;
+
+fn vel(rng: &mut Rng) -> Vec3 {
+    Vec3::new(
+        rng.gen_range(-5.0f32..5.0),
+        rng.gen_range(-5.0f32..5.0),
+        rng.gen_range(-5.0f32..5.0),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Impulse resolution conserves linear momentum for dynamic pairs.
-    #[test]
-    fn impulse_conserves_momentum(va in vel(), vb in vel(), ma in 0.5f32..4.0, mb in 0.5f32..4.0) {
+/// Impulse resolution conserves linear momentum for dynamic pairs.
+#[test]
+fn impulse_conserves_momentum() {
+    let mut rng = Rng::seed_from_u64(0x11);
+    for _ in 0..CASES {
+        let (va, vb) = (vel(&mut rng), vel(&mut rng));
+        let ma = rng.gen_range(0.5f32..4.0);
+        let mb = rng.gen_range(0.5f32..4.0);
         let mut w = PhysicsWorld::new();
         w.gravity = Vec3::ZERO;
         w.correction = 0.0;
@@ -30,12 +38,17 @@ proptest! {
         w.resolve_pair(i, j);
         let (a, b) = (&w.bodies()[0], &w.bodies()[1]);
         let p_after = a.linear_velocity * ma + b.linear_velocity * mb;
-        prop_assert!((p_before - p_after).length() < 1e-3 * (1.0 + p_before.length()));
+        assert!((p_before - p_after).length() < 1e-3 * (1.0 + p_before.length()));
     }
+}
 
-    /// Kinetic energy never increases through a contact (restitution ≤ 1).
-    #[test]
-    fn impulse_never_creates_energy(va in vel(), vb in vel(), e in 0.0f32..1.0) {
+/// Kinetic energy never increases through a contact (restitution ≤ 1).
+#[test]
+fn impulse_never_creates_energy() {
+    let mut rng = Rng::seed_from_u64(0x12);
+    for _ in 0..CASES {
+        let (va, vb) = (vel(&mut rng), vel(&mut rng));
+        let e = rng.gen_range(0.0f32..1.0);
         let mut w = PhysicsWorld::new();
         w.gravity = Vec3::ZERO;
         w.correction = 0.0;
@@ -51,12 +64,17 @@ proptest! {
         );
         let ke_before = w.kinetic_energy();
         w.resolve_pair(i, j);
-        prop_assert!(w.kinetic_energy() <= ke_before * (1.0 + 1e-4) + 1e-5);
+        assert!(w.kinetic_energy() <= ke_before * (1.0 + 1e-4) + 1e-5);
     }
+}
 
-    /// Integration with zero gravity moves bodies linearly.
-    #[test]
-    fn zero_gravity_integration_is_linear(v in vel(), dt in 0.001f32..0.05) {
+/// Integration with zero gravity moves bodies linearly.
+#[test]
+fn zero_gravity_integration_is_linear() {
+    let mut rng = Rng::seed_from_u64(0x13);
+    for _ in 0..CASES {
+        let v = vel(&mut rng);
+        let dt = rng.gen_range(0.001f32..0.05);
         let mut w = PhysicsWorld::new();
         w.gravity = Vec3::ZERO;
         w.add_body(RigidBody::new(shapes::cube(0.3), Vec3::ZERO, 1.0).with_velocity(v));
@@ -65,13 +83,19 @@ proptest! {
         }
         let expect = v * (dt * 10.0);
         let got = w.bodies()[0].position;
-        prop_assert!((got - expect).length() < 1e-3 * (1.0 + expect.length()));
+        assert!((got - expect).length() < 1e-3 * (1.0 + expect.length()));
     }
+}
 
-    /// Bodies dropped on the ground never sink below it (after
-    /// resolution) and eventually stop gaining energy.
-    #[test]
-    fn ground_is_impenetrable(h in 1.0f32..6.0, e in 0.0f32..0.8) {
+/// Bodies dropped on the ground never sink below it (after resolution)
+/// and eventually stop gaining energy.
+#[test]
+fn ground_is_impenetrable() {
+    let mut rng = Rng::seed_from_u64(0x14);
+    // The inner loop runs 2400 steps, so keep the case count modest.
+    for _ in 0..16 {
+        let h = rng.gen_range(1.0f32..6.0);
+        let e = rng.gen_range(0.0f32..0.8);
         let mut w = PhysicsWorld::with_ground(0.0);
         w.add_body(
             RigidBody::new(shapes::cube(0.4), Vec3::new(0.0, h, 0.0), 1.0).with_restitution(e),
@@ -81,11 +105,11 @@ proptest! {
             w.integrate(1.0 / 120.0);
             w.resolve_ground_contacts();
             let bb = w.bodies()[0].world_aabb();
-            prop_assert!(bb.min.y >= -1e-3, "sank to {}", bb.min.y);
+            assert!(bb.min.y >= -1e-3, "sank to {}", bb.min.y);
         }
         // Settled: below the drop height, moving slowly.
         let b = &w.bodies()[0];
-        prop_assert!(b.position.y < h + 0.5);
-        prop_assert!(b.linear_velocity.length() < 2.5, "still moving at {}", b.linear_velocity);
+        assert!(b.position.y < h + 0.5);
+        assert!(b.linear_velocity.length() < 2.5, "still moving at {}", b.linear_velocity);
     }
 }

@@ -8,8 +8,7 @@
 
 use crate::motion::Motion;
 use crate::scene::{CameraPath, Scene, SceneObject};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rbcd_math::Rng;
 use rbcd_geometry::{shapes, Mesh};
 use rbcd_gpu::ShaderCost;
 use rbcd_math::{Aabb, Mat4, Vec3};
@@ -25,7 +24,7 @@ pub fn suite() -> Vec<Scene> {
 /// game frame's primitives. Games tag only gameplay-relevant objects as
 /// collisionable (§3.2), so most primitives never reach the RBCD unit.
 fn decor_field(
-    rng: &mut StdRng,
+    rng: &mut Rng,
     count: usize,
     x: std::ops::Range<f32>,
     y: std::ops::Range<f32>,
@@ -86,7 +85,7 @@ fn arena_scenery(half: f32, wall_height: f32) -> Vec<SceneObject> {
 /// across the screen, so per-pixel collisionable depth stays low
 /// (Table 3: 1.57 % overflow at M=4, 0.01 % at 8).
 pub fn cap() -> Scene {
-    let mut rng = StdRng::seed_from_u64(0xCA11AB1E);
+    let mut rng = Rng::seed_from_u64(0xCA11AB1E);
     let fighter = Arc::new(shapes::capsule(0.55, 0.9, 48, 24));
     let mut collidables = vec![
         // Two fighters circling each other, clashing periodically.
@@ -179,7 +178,7 @@ pub fn cap() -> Scene {
 /// the configuration that provokes the paper's worst single-ZEB stalls
 /// (§5.2).
 pub fn crazy() -> Scene {
-    let mut rng = StdRng::seed_from_u64(0x5B0A4D);
+    let mut rng = Rng::seed_from_u64(0x5B0A4D);
     // The active snow-terrain collision window: a finely tessellated
     // strip that slides along with the boarder (games only keep the
     // nearby terrain section registered for collision). Its per-frame
@@ -296,7 +295,7 @@ pub fn crazy() -> Scene {
 /// objects spiralling around the view axis, giving moderate per-pixel
 /// collisionable depth (Table 3: 5.87 % at M=4, 0.21 % at 8).
 pub fn sleepy() -> Scene {
-    let mut rng = StdRng::seed_from_u64(0x51EE97);
+    let mut rng = Rng::seed_from_u64(0x51EE97);
     let meshes: Vec<Arc<Mesh>> = vec![
         Arc::new(shapes::icosphere(0.55, 3)),
         Arc::new(shapes::torus(0.6, 0.22, 24, 16)),
@@ -355,7 +354,7 @@ pub fn sleepy() -> Scene {
 /// the same pixels (Table 3: 16.61 % overflow at M=4, 0.96 % at 8, 0 at
 /// 16).
 pub fn temple() -> Scene {
-    let mut rng = StdRng::seed_from_u64(0x7E3A91);
+    let mut rng = Rng::seed_from_u64(0x7E3A91);
     let speed = 7.0;
     let slab = Arc::new(shapes::tessellated_slab(Vec3::new(1.4, 0.25, 3.6), 20, 40));
     let gate = Arc::new(shapes::torus(2.0, 0.35, 24, 16));
@@ -505,6 +504,16 @@ mod tests {
         let s = suite();
         let aliases: Vec<&str> = s.iter().map(|b| b.alias).collect();
         assert_eq!(aliases, vec!["cap", "crazy", "sleepy", "temple"]);
+    }
+
+    /// The parallel tile pipeline shares scenes and traces across
+    /// worker threads; keep that a compile-time guarantee.
+    #[test]
+    fn scenes_and_traces_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Scene>();
+        assert_send_sync::<rbcd_gpu::FrameTrace>();
+        assert_send_sync::<rbcd_gpu::DrawCommand>();
     }
 
     #[test]

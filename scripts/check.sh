@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full local gate: build, test, and a parallel-pipeline smoke run.
+#
+# The smoke run exercises the threaded tile pipeline end to end
+# (repro --smoke --threads 2), which cross-checks that parallel and
+# sequential simulation produce bit-identical results and writes
+# BENCH_tile_pipeline.json with measured host throughput.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test --workspace --quiet
+
+echo "== parallel pipeline smoke (repro --smoke --threads 2) =="
+./target/release/repro --smoke --threads 2
+
+echo "OK: build + tests + parallel smoke all passed"
