@@ -61,7 +61,7 @@ fn bench_zeb_insertion() {
         })
         .collect();
     bench("zeb_insert_512_fragments", || {
-        let mut zeb = Zeb::new(256, 8);
+        let mut zeb = Zeb::new(256, 8).unwrap();
         let mut stats = RbcdStats::default();
         for &(list, e) in &elements {
             zeb.insert(list, e, &mut stats);
@@ -79,7 +79,7 @@ fn bench_z_overlap_scan() {
             ZebElement::new(i as f32 / 8.0, id, facing)
         })
         .collect();
-    let mut stack = FfStack::new(8);
+    let mut stack = FfStack::new(8).unwrap();
     let mut stats = RbcdStats::default();
     bench("z_overlap_scan_8_element_list", || {
         scan_list(black_box(&list), &mut stack, &mut stats)
@@ -172,7 +172,7 @@ fn bench_full_frame() {
     }
     {
         let mut sim = Simulator::new(gpu.clone());
-        let mut unit = RbcdUnit::new(RbcdConfig::default(), gpu.tile_size);
+        let mut unit = RbcdUnit::new(RbcdConfig::default(), gpu.tile_size).unwrap();
         bench("frame_rbcd_320x200_cap", || {
             unit.new_frame();
             let stats = sim.render_frame(black_box(&trace), PipelineMode::Rbcd, &mut unit);
@@ -201,7 +201,7 @@ fn bench_rbcd_unit_tile() {
             facing: if i % 2 == 0 { Facing::Front } else { Facing::Back },
         })
         .collect();
-    let mut unit = RbcdUnit::new(RbcdConfig::default(), 16);
+    let mut unit = RbcdUnit::new(RbcdConfig::default(), 16).unwrap();
     bench("rbcd_unit_tile_1024_fragments", || {
         unit.new_frame();
         unit.begin_tile(TileCoord { x: 0, y: 0 }, 0);

@@ -16,10 +16,19 @@
 //! sets the worker-thread count (simulated numbers are bit-identical
 //! for any value), `--smoke` shrinks every experiment to a quick
 //! configuration and defaults the experiment list to `bench`.
+//!
+//! `--faults <plan>` runs the fault-injection experiment instead (also
+//! opt-in, not part of `all`): corrupt every workload trace with the
+//! named plan (`all`, `overflow`, `spare`, `nan`, `degenerate`,
+//! `badid`, `dup`), sweep the forced list capacity over M ∈ {1,2,4,8}
+//! with the degradation ladder enabled, and report recovery against the
+//! software oracle plus the ladder-rung histogram. Writes
+//! `BENCH_fault_tolerance.json`; exits non-zero on any silent pair loss.
 
 use rbcd_bench::report::{fmt_norm, fmt_pct, fmt_x, Table};
 use rbcd_bench::{accuracy, geomean, run_frames_parallel, run_suite, RunOptions, SuiteResult};
-use rbcd_core::RbcdConfig;
+use rbcd_core::faults::PRESETS;
+use rbcd_core::{FaultPlan, RbcdConfig};
 use rbcd_gpu::GpuConfig;
 use rbcd_math::Viewport;
 use std::time::Instant;
@@ -60,8 +69,25 @@ fn main() {
         smoke = true;
         args.remove(pos);
     }
+    let mut fault_plan: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--faults") {
+        let name = args.get(pos + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--faults needs a plan name (one of: {})", PRESETS.join(", "));
+            std::process::exit(2);
+        });
+        if FaultPlan::preset(&name, 0).is_none() {
+            eprintln!("unknown fault plan '{name}' (one of: {})", PRESETS.join(", "));
+            std::process::exit(2);
+        }
+        fault_plan = Some(name);
+        args.drain(pos..=pos + 1);
+    }
     let wanted: Vec<String> = if args.is_empty() {
-        vec![if smoke { "bench" } else { "all" }.into()]
+        if fault_plan.is_some() {
+            Vec::new() // --faults alone runs just the fault experiment
+        } else {
+            vec![if smoke { "bench" } else { "all" }.into()]
+        }
     } else {
         args
     };
@@ -73,6 +99,13 @@ fn main() {
         opts.gpu = GpuConfig { viewport: Viewport::new(320, 200), ..GpuConfig::default() };
         opts.m_sweep = vec![4, 8];
         opts.zeb_counts = vec![1, 2];
+    }
+
+    // `--faults` is opt-in (not part of `all`): it renders every frame
+    // twice (ladder + oracle) and measures robustness, not the paper's
+    // figures.
+    if let Some(plan) = &fault_plan {
+        run_fault_experiment(plan, &opts, smoke);
     }
 
     // `bench` is opt-in (not part of `all`): it measures *host* time,
@@ -697,6 +730,151 @@ fn print_resolution(_opts: &RunOptions) {
     println!(" collisionable area', §2.2)");
 }
 
+/// Fault-injection experiment (`--faults <plan>`): corrupt the workload
+/// traces with the named plan, sweep the forced list capacity over
+/// M ∈ {1,2,4,8} with the degradation ladder enabled, and report how
+/// much of the software oracle's pair set survives — per fault class
+/// and per ladder rung. Writes `BENCH_fault_tolerance.json` and exits
+/// non-zero if any pair was lost without a counted overflow.
+fn run_fault_experiment(plan_name: &str, opts: &RunOptions, smoke: bool) {
+    use rbcd_bench::faults::run_fault_tolerance;
+
+    const SEED: u64 = 0xFA01_7B5E;
+    let plan = FaultPlan::preset(plan_name, SEED).expect("plan validated at parse time");
+    let m_values = [1usize, 2, 4, 8];
+    let scenes = if smoke {
+        vec![rbcd_workloads::shells(), rbcd_workloads::temple()]
+    } else {
+        let mut s = rbcd_workloads::suite();
+        s.push(rbcd_workloads::shells());
+        s
+    };
+    let mut opts = opts.clone();
+    opts.frames = Some(opts.frames.unwrap_or(4).min(if smoke { 2 } else { 8 }));
+
+    eprintln!(
+        "injecting faults (plan '{plan_name}', seed {SEED:#x}) over {} scenes x M {m_values:?}...",
+        scenes.len()
+    );
+    let t0 = Instant::now();
+    let result = run_fault_tolerance(&scenes, plan_name, plan, &m_values, &opts);
+    eprintln!("fault sweep simulated in {:.1?} of host time", t0.elapsed());
+
+    // Per-class summary: what was injected and which defense caught it.
+    let mut log = rbcd_core::FaultLog::default();
+    let mut quarantined = 0u64;
+    for s in &result.scenes {
+        for c in &s.cells {
+            log.accumulate(&c.faults);
+            quarantined += c.quarantined;
+        }
+    }
+    let mut t = Table::new(
+        &format!("Fault classes — plan '{plan_name}' (summed over the whole sweep)"),
+        &["class", "injected", "defense"],
+    );
+    let classes: [(&str, u64, &str); 7] = [
+        ("NaN mesh vertices", log.nan_meshes, "quarantined at draw ingest"),
+        ("zero-scale models", log.degenerate_models, "degenerate triangles dropped pre-binning"),
+        ("NaN model matrices", log.malformed_models, "quarantined at draw ingest"),
+        ("forged object ids", log.bad_ids, "quarantined at draw ingest"),
+        ("duplicated draws", log.duplicated_draws, "idempotent pair set (same-id surfaces)"),
+        ("forced tiny M", if plan.forced_m.is_some() { 1 } else { 0 }, "degradation ladder"),
+        ("spare-pool exhaustion", u64::from(plan.exhaust_spares), "degradation ladder"),
+    ];
+    for (class, injected, defense) in classes {
+        t.row(vec![class.to_string(), injected.to_string(), defense.to_string()]);
+    }
+    t.row(vec!["draws quarantined".into(), quarantined.to_string(), String::new()]);
+    print!("{}", t.render());
+
+    // Per-(scene, M) recovery and rung histogram.
+    let mut t = Table::new(
+        "Degradation ladder — recovery vs software oracle under injection",
+        &[
+            "benchmark", "M", "overflows", "ff drops", "clean", "spare", "rescan", "cpu",
+            "escalated", "oracle pairs", "recovered", "silent",
+        ],
+    );
+    for s in &result.scenes {
+        for c in &s.cells {
+            t.row(vec![
+                s.alias.clone(),
+                c.m.to_string(),
+                c.overflows.to_string(),
+                c.ff_drops.to_string(),
+                c.rung_clean.to_string(),
+                c.rung_spare.to_string(),
+                c.rung_rescan.to_string(),
+                c.rung_cpu.to_string(),
+                c.escalated_objects.to_string(),
+                c.oracle_pairs.to_string(),
+                fmt_pct(c.recovered_fraction()),
+                c.silent_losses.to_string(),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    let worst = result.worst_recovery();
+    let silent = result.silent_losses();
+    println!(
+        "worst recovery {} | silent losses {silent} (every missing pair must trace to a counted overflow)",
+        fmt_pct(worst)
+    );
+
+    // Hand-rolled JSON — the workspace deliberately has no serde.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"fault_tolerance\",\n");
+    json.push_str(&format!("  \"plan\": \"{}\",\n", result.plan));
+    json.push_str(&format!("  \"seed\": {},\n", result.seed));
+    json.push_str(&format!(
+        "  \"m_sweep\": [{}],\n",
+        m_values.map(|m| m.to_string()).join(", ")
+    ));
+    json.push_str(&format!("  \"worst_recovery\": {worst:.6},\n"));
+    json.push_str(&format!("  \"silent_losses\": {silent},\n"));
+    json.push_str("  \"scenes\": [\n");
+    for (i, s) in result.scenes.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"frames\": {}, \"cells\": [\n",
+            s.alias, s.frames
+        ));
+        for (k, c) in s.cells.iter().enumerate() {
+            json.push_str(&format!(
+                "      {{\"m\": {}, \"overflows\": {}, \"ff_drops\": {}, \
+                 \"rung_clean\": {}, \"rung_spare\": {}, \"rung_rescan\": {}, \"rung_cpu\": {}, \
+                 \"rescan_passes\": {}, \"escalated_objects\": {}, \"quarantined\": {}, \
+                 \"faults_injected\": {}, \"oracle_pairs\": {}, \"gpu_recovered\": {}, \
+                 \"cpu_recovered\": {}, \"missing_pairs\": {}, \"silent_losses\": {}, \
+                 \"recovered_fraction\": {:.6}}}{}\n",
+                c.m, c.overflows, c.ff_drops,
+                c.rung_clean, c.rung_spare, c.rung_rescan, c.rung_cpu,
+                c.rescan_passes, c.escalated_objects, c.quarantined,
+                c.faults.total(), c.oracle_pairs, c.gpu_recovered,
+                c.cpu_recovered, c.missing_pairs, c.silent_losses,
+                c.recovered_fraction(),
+                if k + 1 < s.cells.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < result.scenes.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_fault_tolerance.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    if silent > 0 {
+        eprintln!("SILENT PAIR LOSS: {silent} pairs vanished without a counted overflow");
+        std::process::exit(1);
+    }
+}
+
 /// Host-throughput smoke for the parallel tile pipeline. Runs each
 /// suite workload through the RBCD configuration at 1 thread and at
 /// `threads` threads (frame-level parallelism, fresh simulator per
@@ -757,7 +935,7 @@ fn run_tile_pipeline_bench(opts: &RunOptions, threads: usize, smoke: bool) {
     // Hand-rolled JSON — the workspace deliberately has no serde.
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str(&format!("  \"bench\": \"tile_pipeline\",\n"));
+    json.push_str("  \"bench\": \"tile_pipeline\",\n");
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     json.push_str(&format!("  \"frames_per_workload\": {frames},\n"));

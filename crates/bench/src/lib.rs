@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod faults;
 pub mod hybrid;
 pub mod metrics;
 pub mod report;

@@ -76,7 +76,8 @@ pub fn run_gpu(
             }
         }
         Some(cfg) => {
-            let mut unit = RbcdUnit::new(cfg, opts.gpu.tile_size);
+            let mut unit = RbcdUnit::new(cfg, opts.gpu.tile_size)
+            .expect("benchmark RBCD configurations are validated at construction");
             for f in 0..frames {
                 unit.new_frame();
                 total.accumulate(&sim.render_frame_parallel(
@@ -212,7 +213,8 @@ pub fn run_frames_parallel(
 
     let run_one = |f: usize| {
         let mut sim = Simulator::new(opts.gpu.clone());
-        let mut unit = RbcdUnit::new(cfg, opts.gpu.tile_size);
+        let mut unit = RbcdUnit::new(cfg, opts.gpu.tile_size)
+            .expect("benchmark RBCD configurations are validated at construction");
         let stats =
             sim.render_frame_parallel(&scene.frame_trace(f), PipelineMode::Rbcd, &mut unit, 1);
         let contacts = unit.take_contacts();

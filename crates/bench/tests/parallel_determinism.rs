@@ -1,11 +1,13 @@
 //! Satellite check: the parallel tile pipeline is bit-identical to the
 //! sequential one across the whole workload suite — collision pairs,
 //! frame statistics, and derived energy/time all match exactly at any
-//! thread count.
+//! thread count — including under fault injection with the degradation
+//! ladder firing.
 
+use rbcd_bench::faults::run_fault_tolerance;
 use rbcd_bench::runner::{run_frames_parallel, run_gpu};
 use rbcd_bench::RunOptions;
-use rbcd_core::RbcdConfig;
+use rbcd_core::{FaultPlan, RbcdConfig};
 use rbcd_gpu::GpuConfig;
 use rbcd_math::Viewport;
 
@@ -43,6 +45,46 @@ fn baseline_runs_are_identical_at_any_thread_count() {
         assert_eq!(seq.stats, par.stats, "{} baseline FrameStats", scene.alias);
         assert_eq!(seq.seconds, par.seconds);
         assert_eq!(seq.energy_j, par.energy_j);
+    }
+}
+
+#[test]
+fn fault_injected_runs_are_identical_at_any_thread_count() {
+    // Fault injection happens on the main thread before rendering, and
+    // the degradation ladder resolves per tile in deterministic order,
+    // so a corrupted trace with every rung firing must still produce
+    // identical overflow counts, rung histograms, and pair recovery at
+    // 1, 2, and 4 worker threads.
+    let plan = FaultPlan::preset("all", 0xDE7E_2417).unwrap();
+    let scenes = [rbcd_workloads::shells(), rbcd_workloads::temple()];
+    let m_values = [1, 4];
+    let runs: Vec<_> = [1usize, 2, 4]
+        .iter()
+        .map(|&t| run_fault_tolerance(&scenes, "all", plan, &m_values, &opts(t)))
+        .collect();
+    let base = &runs[0];
+    assert!(base.scenes.iter().any(|s| s.cells.iter().any(|c| c.rung_rescan > 0)));
+    for (run, threads) in runs[1..].iter().zip([2usize, 4]) {
+        for (sa, sb) in base.scenes.iter().zip(&run.scenes) {
+            for (ca, cb) in sa.cells.iter().zip(&sb.cells) {
+                let tag = format!("{} M={} at {threads} threads", sa.alias, ca.m);
+                assert_eq!(ca.faults, cb.faults, "{tag}: injected faults");
+                assert_eq!(ca.quarantined, cb.quarantined, "{tag}: quarantined");
+                assert_eq!(ca.overflows, cb.overflows, "{tag}: overflow count");
+                assert_eq!(ca.ff_drops, cb.ff_drops, "{tag}: ff drops");
+                assert_eq!(
+                    (ca.rung_clean, ca.rung_spare, ca.rung_rescan, ca.rung_cpu, ca.rescan_passes),
+                    (cb.rung_clean, cb.rung_spare, cb.rung_rescan, cb.rung_cpu, cb.rescan_passes),
+                    "{tag}: rung histogram"
+                );
+                assert_eq!(ca.escalated_objects, cb.escalated_objects, "{tag}: escalations");
+                assert_eq!(
+                    (ca.oracle_pairs, ca.gpu_recovered, ca.cpu_recovered, ca.missing_pairs),
+                    (cb.oracle_pairs, cb.gpu_recovered, cb.cpu_recovered, cb.missing_pairs),
+                    "{tag}: pair accounting"
+                );
+            }
+        }
     }
 }
 

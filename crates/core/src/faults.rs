@@ -1,0 +1,281 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A [`FaultPlan`] corrupts a clean [`FrameTrace`] in reproducible ways —
+//! forged object ids, NaN vertices and transforms, degenerate geometry,
+//! duplicated draw commands — and tightens the RBCD configuration (tiny
+//! `M`, exhausted spare pool) to force ZEB overflows. Everything is
+//! seeded through [`rbcd_math::Rng`] and applied on the main thread
+//! *before* the frame is rendered, so a given `(plan, seed, frame)`
+//! produces the same faulted trace at any thread count.
+//!
+//! The injected garbage exercises the degradation ladder
+//! ([`crate::RbcdConfig::ladder_rescans`] /
+//! [`crate::RbcdConfig::ladder_cpu_fallback`]) and the ingest
+//! quarantine ([`rbcd_gpu::DrawCommand::validate`]): faulted runs must
+//! degrade measurably, never panic.
+
+use crate::unit::RbcdConfig;
+use rbcd_geometry::Mesh;
+use rbcd_gpu::{FrameTrace, ObjectId};
+use rbcd_math::{Mat4, Rng, Vec3};
+use std::sync::Arc;
+
+/// Per-class injection counts for one faulted trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    /// Draws whose mesh was poisoned with NaN vertex positions.
+    pub nan_meshes: u64,
+    /// Draws whose model was collapsed to zero scale (every triangle
+    /// degenerate).
+    pub degenerate_models: u64,
+    /// Draws whose model matrix was filled with NaN (malformed command).
+    pub malformed_models: u64,
+    /// Collidable draws whose object id was forged out of the 13-bit
+    /// range.
+    pub bad_ids: u64,
+    /// Draws submitted twice.
+    pub duplicated_draws: u64,
+}
+
+impl FaultLog {
+    /// Adds another log's counts.
+    pub fn accumulate(&mut self, o: &FaultLog) {
+        self.nan_meshes += o.nan_meshes;
+        self.degenerate_models += o.degenerate_models;
+        self.malformed_models += o.malformed_models;
+        self.bad_ids += o.bad_ids;
+        self.duplicated_draws += o.duplicated_draws;
+    }
+
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.nan_meshes
+            + self.degenerate_models
+            + self.malformed_models
+            + self.bad_ids
+            + self.duplicated_draws
+    }
+}
+
+/// A reproducible fault-injection plan.
+///
+/// Rates are per-draw probabilities in `[0, 1]`; a rate of zero disables
+/// that fault class (and does not consume random numbers, so plans with
+/// different classes enabled draw independent streams).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Base seed; mixed with the frame index per [`FaultPlan::apply`].
+    pub seed: u64,
+    /// Forces the ZEB list capacity `M` down to this value (overflow
+    /// pressure). `None` keeps the configured capacity.
+    pub forced_m: Option<usize>,
+    /// Zeroes the spare-entry pool (spare-pool exhaustion).
+    pub exhaust_spares: bool,
+    /// Probability of replacing a draw's mesh with a NaN-poisoned copy.
+    pub nan_vertex_rate: f64,
+    /// Probability of collapsing a draw's model to zero scale, making
+    /// every triangle degenerate.
+    pub degenerate_rate: f64,
+    /// Probability of filling a draw's model matrix with NaN.
+    pub malformed_model_rate: f64,
+    /// Probability of forging a collidable draw's id out of range.
+    pub bad_object_id_rate: f64,
+    /// Probability of submitting a draw twice.
+    pub duplicate_draw_rate: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0xB0C5_D00D,
+            forced_m: None,
+            exhaust_spares: false,
+            nan_vertex_rate: 0.0,
+            degenerate_rate: 0.0,
+            malformed_model_rate: 0.0,
+            bad_object_id_rate: 0.0,
+            duplicate_draw_rate: 0.0,
+        }
+    }
+}
+
+/// Names accepted by [`FaultPlan::preset`], in presentation order.
+pub const PRESETS: &[&str] = &["all", "overflow", "spare", "nan", "degenerate", "badid", "dup"];
+
+impl FaultPlan {
+    /// A named preset plan:
+    ///
+    /// * `"all"` — every fault class at once (the acceptance gauntlet);
+    /// * `"overflow"` — forced `M = 1`, maximum ZEB pressure;
+    /// * `"spare"` — forced `M = 2` with the spare pool zeroed;
+    /// * `"nan"` — NaN vertices and malformed model matrices;
+    /// * `"degenerate"` — zero-scale models;
+    /// * `"badid"` — forged out-of-range object ids;
+    /// * `"dup"` — duplicated draw commands.
+    ///
+    /// Returns `None` for an unknown name.
+    pub fn preset(name: &str, seed: u64) -> Option<Self> {
+        let base = Self { seed, ..Self::default() };
+        Some(match name {
+            "all" => Self {
+                forced_m: Some(2),
+                exhaust_spares: true,
+                nan_vertex_rate: 0.05,
+                degenerate_rate: 0.05,
+                malformed_model_rate: 0.05,
+                bad_object_id_rate: 0.05,
+                duplicate_draw_rate: 0.05,
+                ..base
+            },
+            "overflow" => Self { forced_m: Some(1), ..base },
+            "spare" => Self { forced_m: Some(2), exhaust_spares: true, ..base },
+            "nan" => Self { nan_vertex_rate: 0.2, malformed_model_rate: 0.1, ..base },
+            "degenerate" => Self { degenerate_rate: 0.25, ..base },
+            "badid" => Self { bad_object_id_rate: 0.25, ..base },
+            "dup" => Self { duplicate_draw_rate: 0.25, ..base },
+            _ => return None,
+        })
+    }
+
+    /// Applies the trace-level fault classes to `trace`, returning the
+    /// corrupted copy and the per-class injection counts. Deterministic:
+    /// the RNG is seeded from `(self.seed, frame)` only.
+    pub fn apply(&self, trace: &FrameTrace, frame: u64) -> (FrameTrace, FaultLog) {
+        let mut rng = Rng::seed_from_u64(
+            self.seed ^ frame.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17),
+        );
+        let mut log = FaultLog::default();
+        let mut draws = Vec::with_capacity(trace.draws.len());
+        for draw in &trace.draws {
+            let mut d = draw.clone();
+            // At most one geometry/transform fault per draw, so each
+            // class's effect stays attributable.
+            if self.nan_vertex_rate > 0.0 && rng.gen_bool(self.nan_vertex_rate) {
+                d.mesh = Arc::new(poison_mesh(&d.mesh, &mut rng));
+                log.nan_meshes += 1;
+            } else if self.degenerate_rate > 0.0 && rng.gen_bool(self.degenerate_rate) {
+                d.model = d.model * Mat4::uniform_scale(0.0);
+                log.degenerate_models += 1;
+            } else if self.malformed_model_rate > 0.0 && rng.gen_bool(self.malformed_model_rate) {
+                d.model = Mat4::uniform_scale(f32::NAN);
+                log.malformed_models += 1;
+            }
+            if d.collidable.is_some()
+                && self.bad_object_id_rate > 0.0
+                && rng.gen_bool(self.bad_object_id_rate)
+            {
+                let bump = (rng.next_u32() % 64 + 1) as u16;
+                d.collidable = Some(ObjectId::from_raw_unchecked(ObjectId::MAX + bump));
+                log.bad_ids += 1;
+            }
+            let duplicate = self.duplicate_draw_rate > 0.0 && rng.gen_bool(self.duplicate_draw_rate);
+            if duplicate {
+                log.duplicated_draws += 1;
+                draws.push(d.clone());
+            }
+            draws.push(d);
+        }
+        (FrameTrace::new(trace.camera, draws), log)
+    }
+
+    /// Applies the configuration-level fault classes (forced tiny `M`,
+    /// spare-pool exhaustion) to an RBCD configuration.
+    pub fn apply_rbcd(&self, mut config: RbcdConfig) -> RbcdConfig {
+        if let Some(m) = self.forced_m {
+            config.list_capacity = m.max(1);
+        }
+        if self.exhaust_spares {
+            config.spare_entries = 0;
+        }
+        config
+    }
+}
+
+/// Copies `mesh` with one random vertex position replaced by NaN, via
+/// the unchecked constructor ([`Mesh::new`] would reject it).
+fn poison_mesh(mesh: &Mesh, rng: &mut Rng) -> Mesh {
+    let mut positions = mesh.positions().to_vec();
+    if !positions.is_empty() {
+        let v = rng.next_u32() as usize % positions.len();
+        positions[v] = Vec3::new(f32::NAN, f32::NAN, f32::NAN);
+    }
+    Mesh::new_unchecked(positions, mesh.indices().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbcd_geometry::shapes;
+    use rbcd_gpu::{Camera, DrawCommand};
+
+    fn trace() -> FrameTrace {
+        let camera =
+            Camera::perspective(Vec3::new(0.0, 0.0, 6.0), Vec3::ZERO, 1.0, 0.1, 100.0);
+        let draws = (0..32u16)
+            .map(|i| DrawCommand::collidable(shapes::cube(1.0), ObjectId::new(i + 1)))
+            .collect();
+        FrameTrace::new(camera, draws)
+    }
+
+    #[test]
+    fn apply_is_deterministic() {
+        let plan = FaultPlan::preset("all", 7).unwrap();
+        let t = trace();
+        let (a, la) = plan.apply(&t, 3);
+        let (b, lb) = plan.apply(&t, 3);
+        assert_eq!(la, lb);
+        assert_eq!(a.draws.len(), b.draws.len());
+        for (x, y) in a.draws.iter().zip(&b.draws) {
+            assert_eq!(x.collidable, y.collidable);
+            assert_eq!(x.model, y.model);
+            assert_eq!(x.mesh.positions_finite(), y.mesh.positions_finite());
+        }
+        // A different frame draws a different corruption pattern.
+        let (_, lc) = plan.apply(&t, 4);
+        assert!(lc != la || plan.apply(&t, 5).1 != la);
+    }
+
+    #[test]
+    fn all_preset_injects_every_class() {
+        let plan = FaultPlan::preset("all", 11).unwrap();
+        let t = trace();
+        let mut log = FaultLog::default();
+        for frame in 0..64 {
+            log.accumulate(&plan.apply(&t, frame).1);
+        }
+        assert!(log.nan_meshes > 0, "nan: {log:?}");
+        assert!(log.degenerate_models > 0, "degenerate: {log:?}");
+        assert!(log.malformed_models > 0, "malformed: {log:?}");
+        assert!(log.bad_ids > 0, "badid: {log:?}");
+        assert!(log.duplicated_draws > 0, "dup: {log:?}");
+        assert_eq!(log.total(), log.nan_meshes + log.degenerate_models
+            + log.malformed_models + log.bad_ids + log.duplicated_draws);
+    }
+
+    #[test]
+    fn faulted_draws_fail_ingest_validation() {
+        let plan = FaultPlan { nan_vertex_rate: 1.0, ..FaultPlan::default() };
+        let (faulted, log) = plan.apply(&trace(), 0);
+        assert_eq!(log.nan_meshes, faulted.draws.len() as u64);
+        assert_eq!(faulted.validate().len(), faulted.draws.len());
+    }
+
+    #[test]
+    fn config_faults_tighten_the_unit() {
+        let plan = FaultPlan::preset("spare", 0).unwrap();
+        let cfg = RbcdConfig { spare_entries: 128, ..RbcdConfig::default() };
+        let tight = plan.apply_rbcd(cfg);
+        assert_eq!(tight.list_capacity, 2);
+        assert_eq!(tight.spare_entries, 0);
+        // No faults configured: the config passes through untouched.
+        assert_eq!(FaultPlan::default().apply_rbcd(cfg), cfg);
+    }
+
+    #[test]
+    fn unknown_preset_is_none() {
+        assert!(FaultPlan::preset("meteor", 0).is_none());
+        for name in PRESETS {
+            assert!(FaultPlan::preset(name, 0).is_some(), "{name}");
+        }
+    }
+}

@@ -41,6 +41,8 @@
 #![warn(missing_docs)]
 
 mod element;
+mod error;
+pub mod faults;
 mod parallel;
 mod scan;
 pub mod software;
@@ -49,6 +51,8 @@ mod unit;
 mod zeb;
 
 pub use element::ZebElement;
+pub use error::RbcdError;
+pub use faults::{FaultLog, FaultPlan};
 pub use parallel::{TileCollisions, ZebTileWorker};
 pub use scan::{scan_list, FfStack, ScanOutcome};
 pub use stats::RbcdStats;

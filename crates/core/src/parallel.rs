@@ -19,10 +19,10 @@
 use crate::scan::FfStack;
 use crate::software::OracleUnit;
 use crate::stats::RbcdStats;
-use crate::unit::{scan_zeb_tile, ContactPoint, RbcdConfig, RbcdUnit};
+use crate::unit::{ladder_zeb_tile, ContactPoint, RbcdConfig, RbcdUnit};
 use crate::zeb::Zeb;
 use crate::ZebElement;
-use rbcd_gpu::{CollisionFragment, CollisionUnit, ParallelCollision, TileCoord};
+use rbcd_gpu::{CollisionFragment, CollisionUnit, ObjectId, ParallelCollision, TileCoord};
 
 /// One worker thread's private collision state: a software ZEB and
 /// FF-Stack, reused across the tiles the thread claims.
@@ -32,6 +32,7 @@ pub struct ZebTileWorker {
     tile_size: u32,
     zeb: Zeb,
     stack: FfStack,
+    pending: Vec<(u32, ZebElement)>,
 }
 
 /// Owned per-tile collision results, merged in tile order by
@@ -44,41 +45,55 @@ pub struct TileCollisions {
     /// The tile's isolated stats, including its `scan_cycles` (used to
     /// replay the scan-unit timing) and `tiles = 1`.
     pub stats: RbcdStats,
+    /// Objects escalated to the CPU detector by ladder rung 3, in
+    /// ascending id order.
+    pub escalated: Vec<ObjectId>,
 }
 
 impl ZebTileWorker {
     /// Creates a worker mirroring `RbcdUnit::new`'s per-ZEB geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-sized capacity; workers are only built from the
+    /// already-validated config of an existing [`RbcdUnit`].
     pub fn new(config: RbcdConfig, tile_size: u32) -> Self {
         let lists = (tile_size * tile_size) as usize;
         Self {
-            zeb: Zeb::with_spares(lists, config.list_capacity, config.spare_entries),
-            stack: FfStack::new(config.ff_stack_capacity),
+            zeb: Zeb::with_spares(lists, config.list_capacity, config.spare_entries)
+                .expect("worker mirrors a validated unit config"),
+            stack: FfStack::new(config.ff_stack_capacity)
+                .expect("worker mirrors a validated unit config"),
+            pending: Vec::new(),
             config,
             tile_size,
         }
     }
 
     /// Inserts `frags` (in pipeline order) and scans the tile, exactly
-    /// as the sequential `insert` × n + `finish_tile` sequence would.
+    /// as the sequential `insert` × n + `finish_tile` sequence would —
+    /// including the degradation ladder, which both paths run from the
+    /// same buffered fragment stream.
     pub fn process_tile(&mut self, tile: TileCoord, frags: &[CollisionFragment]) -> TileCollisions {
         let mut out = TileCollisions::default();
         out.stats.tiles = 1;
+        self.pending.clear();
         for frag in frags {
             let lx = frag.x - tile.x * self.tile_size;
             let ly = frag.y - tile.y * self.tile_size;
-            let index = (ly * self.tile_size + lx) as usize;
-            let element = ZebElement::new(frag.z, frag.object, frag.facing);
-            self.zeb.insert(index, element, &mut out.stats);
-            out.stats.insert_cycles += 1;
+            let index = ly * self.tile_size + lx;
+            self.pending.push((index, ZebElement::new(frag.z, frag.object, frag.facing)));
         }
-        out.stats.scan_cycles = scan_zeb_tile(
+        out.stats.scan_cycles = ladder_zeb_tile(
             &mut self.zeb,
             &mut self.stack,
             &self.config,
             tile,
             self.tile_size,
+            &self.pending,
             &mut out.stats,
             &mut out.contacts,
+            &mut out.escalated,
         );
         out
     }
@@ -105,7 +120,7 @@ impl ParallelCollision for RbcdUnit {
     }
 
     fn merge_tile(&mut self, _tile: TileCoord, out: Self::TileOut, start: u64, end: u64) {
-        self.merge_scanned_tile(&out.stats, &out.contacts, start, end);
+        self.merge_scanned_tile(&out.stats, &out.contacts, &out.escalated, start, end);
     }
 
     fn idle_at(&self) -> u64 {
@@ -177,7 +192,7 @@ mod tests {
             TileCoord { x: 3, y: 2 },
         ];
         // Sequential reference, with a cursor mimicking the simulator's.
-        let mut seq = RbcdUnit::new(config, 16);
+        let mut seq = RbcdUnit::new(config, 16).unwrap();
         let mut cursor = 0u64;
         let mut seq_bounds = Vec::new();
         for tile in tiles {
@@ -193,7 +208,7 @@ mod tests {
         }
 
         // Parallel path: one worker computes, the unit merges in order.
-        let mut par = RbcdUnit::new(config, 16);
+        let mut par = RbcdUnit::new(config, 16).unwrap();
         let mut worker = <RbcdUnit as ParallelCollision>::make_worker(&par);
         let outs: Vec<TileCollisions> = tiles
             .iter()

@@ -17,6 +17,7 @@
 //! disjoint cases 1/6 — see the table-driven tests below.
 
 use crate::element::ZebElement;
+use crate::error::RbcdError;
 use crate::stats::RbcdStats;
 use rbcd_gpu::ObjectId;
 
@@ -40,12 +41,14 @@ impl FfStack {
     /// Creates a stack with room for `capacity` front faces (the paper's
     /// `T`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `capacity == 0`.
-    pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "FF-Stack capacity must be positive");
-        Self { entries: Vec::with_capacity(capacity), capacity, dropped: 0 }
+    /// Returns [`RbcdError::ZeroStackCapacity`] if `capacity == 0`.
+    pub fn new(capacity: usize) -> Result<Self, RbcdError> {
+        if capacity == 0 {
+            return Err(RbcdError::ZeroStackCapacity);
+        }
+        Ok(Self { entries: Vec::with_capacity(capacity), capacity, dropped: 0 })
     }
 
     /// Clears the stack for the next list.
@@ -149,7 +152,7 @@ mod tests {
     }
 
     fn pairs(spec: &[(u16, char)]) -> Vec<(u16, u16)> {
-        let mut stack = FfStack::new(8);
+        let mut stack = FfStack::new(8).unwrap();
         let mut stats = RbcdStats::default();
         scan_list(&list(spec), &mut stack, &mut stats)
             .hits
@@ -226,7 +229,7 @@ mod tests {
 
     #[test]
     fn unmatched_back_face_is_counted() {
-        let mut stack = FfStack::new(8);
+        let mut stack = FfStack::new(8).unwrap();
         let mut stats = RbcdStats::default();
         let out = scan_list(&list(&[(A, ']')]), &mut stack, &mut stats);
         assert!(out.hits.is_empty());
@@ -235,7 +238,7 @@ mod tests {
 
     #[test]
     fn stack_overflow_drops_pushes() {
-        let mut stack = FfStack::new(2);
+        let mut stack = FfStack::new(2).unwrap();
         let mut stats = RbcdStats::default();
         let spec: Vec<(u16, char)> = (1..=4).map(|i| (i as u16, '[')).collect();
         scan_list(&list(&spec), &mut stack, &mut stats);
@@ -244,7 +247,7 @@ mod tests {
 
     #[test]
     fn empty_list_scans_cleanly() {
-        let mut stack = FfStack::new(8);
+        let mut stack = FfStack::new(8).unwrap();
         let mut stats = RbcdStats::default();
         let out = scan_list(&[], &mut stack, &mut stats);
         assert!(out.hits.is_empty());
@@ -255,7 +258,7 @@ mod tests {
     #[test]
     fn hit_depth_is_back_face_depth() {
         let l = list(&[(A, '['), (B, '['), (A, ']'), (B, ']')]);
-        let mut stack = FfStack::new(8);
+        let mut stack = FfStack::new(8).unwrap();
         let mut stats = RbcdStats::default();
         let out = scan_list(&l, &mut stack, &mut stats);
         assert_eq!(out.hits.len(), 1);

@@ -43,6 +43,18 @@ pub struct RbcdStats {
     pub insert_cycles: u64,
     /// Cycles spent in Z-overlap scans.
     pub scan_cycles: u64,
+    /// Front-face pushes dropped by a full FF-Stack during scans.
+    pub ff_drops: u64,
+    /// Tiles whose overflow pressure was fully absorbed by the spare
+    /// pool (degradation-ladder rung 1).
+    pub rung_spare: u64,
+    /// Tiles recovered by re-inserting at doubled `M` (ladder rung 2).
+    pub rung_rescan: u64,
+    /// Tiles still overflowing after all re-scans, whose objects were
+    /// escalated to the CPU detector (ladder rung 3).
+    pub rung_cpu: u64,
+    /// Total re-insertion passes performed by ladder rung 2.
+    pub rescan_passes: u64,
 }
 
 impl RbcdStats {
@@ -75,6 +87,17 @@ impl RbcdStats {
         self.tiles += o.tiles;
         self.insert_cycles += o.insert_cycles;
         self.scan_cycles += o.scan_cycles;
+        self.ff_drops += o.ff_drops;
+        self.rung_spare += o.rung_spare;
+        self.rung_rescan += o.rung_rescan;
+        self.rung_cpu += o.rung_cpu;
+        self.rescan_passes += o.rescan_passes;
+    }
+
+    /// Tiles that completed on the base rung — no spare allocation,
+    /// re-scan, or CPU escalation was needed.
+    pub fn rung_clean(&self) -> u64 {
+        self.tiles.saturating_sub(self.rung_spare + self.rung_rescan + self.rung_cpu)
     }
 
     /// Dynamic energy of the unit in joules under `model`.

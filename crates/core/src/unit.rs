@@ -1,5 +1,6 @@
 //! The complete RBCD unit and the frame-level convenience API.
 
+use crate::error::RbcdError;
 use crate::scan::{scan_list, FfStack};
 use crate::stats::RbcdStats;
 use crate::zeb::Zeb;
@@ -31,6 +32,15 @@ pub struct RbcdConfig {
     /// Dynamically allocatable spare entries per ZEB (§5.3's proposed
     /// overflow mitigation; the paper's baseline design uses none).
     pub spare_entries: usize,
+    /// Degradation-ladder rung 2: maximum number of re-insertion passes
+    /// at doubled list capacity when a tile overflows. `0` (the paper's
+    /// design) disables re-scanning: overflow drops elements silently
+    /// apart from the `overflows` counter.
+    pub ladder_rescans: u32,
+    /// Degradation-ladder rung 3: when a tile still overflows after all
+    /// re-scans, record the tile's distinct object ids so the host can
+    /// route them to an exact CPU detector (the hybrid path).
+    pub ladder_cpu_fallback: bool,
 }
 
 impl Default for RbcdConfig {
@@ -42,7 +52,29 @@ impl Default for RbcdConfig {
             scan_cycles_per_element: 1,
             scan_cycles_per_list: 1,
             spare_entries: 0,
+            ladder_rescans: 0,
+            ladder_cpu_fallback: false,
         }
+    }
+}
+
+impl RbcdConfig {
+    /// Checks that every capacity is positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RbcdError`] naming the first zero-sized component.
+    pub fn validate(&self) -> Result<(), RbcdError> {
+        if self.zeb_count == 0 {
+            return Err(RbcdError::ZeroZebCount);
+        }
+        if self.list_capacity == 0 {
+            return Err(RbcdError::ZeroListCapacity);
+        }
+        if self.ff_stack_capacity == 0 {
+            return Err(RbcdError::ZeroStackCapacity);
+        }
+        Ok(())
     }
 }
 
@@ -86,6 +118,11 @@ pub struct RbcdUnit {
     stack: FfStack,
     stats: RbcdStats,
     contacts: Vec<ContactPoint>,
+    /// Fragments of the active tile, buffered so the degradation ladder
+    /// can re-insert them at a larger capacity if the tile overflows.
+    pending: Vec<(u32, ZebElement)>,
+    /// Objects escalated to the CPU detector by ladder rung 3.
+    escalated: BTreeSet<ObjectId>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -97,25 +134,31 @@ struct ActiveTile {
 impl RbcdUnit {
     /// Creates a unit for tiles of `tile_size` × `tile_size` pixels.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `config.zeb_count == 0` or any capacity is zero.
-    pub fn new(config: RbcdConfig, tile_size: u32) -> Self {
-        assert!(config.zeb_count > 0, "RBCD unit needs at least one ZEB");
+    /// Returns an [`RbcdError`] if `config.zeb_count`, any capacity, or
+    /// `tile_size` is zero, instead of panicking on hostile input.
+    pub fn new(config: RbcdConfig, tile_size: u32) -> Result<Self, RbcdError> {
+        config.validate()?;
+        if tile_size == 0 {
+            return Err(RbcdError::ZeroLists);
+        }
         let lists = (tile_size * tile_size) as usize;
-        Self {
+        Ok(Self {
             zebs: (0..config.zeb_count)
                 .map(|_| Zeb::with_spares(lists, config.list_capacity, config.spare_entries))
-                .collect(),
+                .collect::<Result<_, _>>()?,
             zeb_free_at: vec![0; config.zeb_count as usize],
             scan_unit_free_at: 0,
             active: None,
-            stack: FfStack::new(config.ff_stack_capacity),
+            stack: FfStack::new(config.ff_stack_capacity)?,
             stats: RbcdStats::default(),
             contacts: Vec::new(),
+            pending: Vec::new(),
+            escalated: BTreeSet::new(),
             config,
             tile_size,
-        }
+        })
     }
 
     /// The unit's configuration.
@@ -141,6 +184,18 @@ impl RbcdUnit {
     /// Distinct colliding pairs, smaller id first.
     pub fn pairs(&self) -> BTreeSet<(ObjectId, ObjectId)> {
         self.contacts.iter().map(ContactPoint::pair).collect()
+    }
+
+    /// Objects escalated to the CPU detector by ladder rung 3 — tiles
+    /// that still overflowed after every re-scan attempt. Empty unless
+    /// [`RbcdConfig::ladder_cpu_fallback`] is enabled.
+    pub fn escalated(&self) -> &BTreeSet<ObjectId> {
+        &self.escalated
+    }
+
+    /// Drains the escalation set (the CPU taking over those objects).
+    pub fn take_escalated(&mut self) -> BTreeSet<ObjectId> {
+        std::mem::take(&mut self.escalated)
     }
 
     /// Resets timing state between frames (statistics are kept).
@@ -170,6 +225,7 @@ impl RbcdUnit {
         &mut self,
         tile_stats: &RbcdStats,
         contacts: &[ContactPoint],
+        escalated: &[ObjectId],
         start: u64,
         end: u64,
     ) {
@@ -190,6 +246,7 @@ impl RbcdUnit {
         self.zeb_free_at[zeb] = scan_end;
         self.stats.accumulate(tile_stats);
         self.contacts.extend_from_slice(contacts);
+        self.escalated.extend(escalated.iter().copied());
     }
 }
 
@@ -211,6 +268,7 @@ pub(crate) fn scan_zeb_tile(
     let tile_px = tile_size;
     let base_x = tile.x * tile_px;
     let base_y = tile.y * tile_px;
+    let dropped_before = stack.dropped;
     // Occupancy-ordered scan: empty lists are skipped via the dirty
     // bitmap maintained by the insertion unit.
     for i in 0..zeb.occupied().len() {
@@ -229,8 +287,105 @@ pub(crate) fn scan_zeb_tile(
             });
         }
     }
+    stats.ff_drops += stack.dropped - dropped_before;
     zeb.clear();
     scan_cycles
+}
+
+/// Runs one tile's buffered fragments through the degradation ladder and
+/// scans the result, returning the scan's cycle count. Shared by the
+/// sequential [`CollisionUnit::finish_tile`] and the per-thread
+/// [`crate::ZebTileWorker`], so both paths stay bit-identical.
+///
+/// Rungs, in escalation order (§5.3 overflow handling, extended):
+///
+/// 0. **clean** — the tile fits in the base `M`; plain insert + scan.
+/// 1. **spare** — full lists were absorbed entirely by the spare pool.
+/// 2. **re-scan** — the tile overflowed; its fragments are re-inserted
+///    from the buffered stream into a scratch ZEB at `M·2^attempt`, up
+///    to [`RbcdConfig::ladder_rescans`] passes (each pass charges its
+///    insertion events honestly). The FF-Stack is widened alongside so
+///    the deeper lists scan without drops.
+/// 3. **CPU fallback** — still overflowing after every pass; the tile's
+///    distinct object ids are reported through `escalated` for an exact
+///    software detector, and the best (largest-`M`) attempt is still
+///    scanned so partial pairs are not thrown away.
+// Takes the unit's fields as split borrows so the sequential path and
+// the per-thread `ZebTileWorker` can share it without a wrapper struct.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn ladder_zeb_tile(
+    zeb: &mut Zeb,
+    stack: &mut FfStack,
+    config: &RbcdConfig,
+    tile: TileCoord,
+    tile_size: u32,
+    pending: &[(u32, ZebElement)],
+    stats: &mut RbcdStats,
+    contacts: &mut Vec<ContactPoint>,
+    escalated: &mut Vec<ObjectId>,
+) -> u64 {
+    // Rungs 0/1: base capacity, with the spare pool absorbing pressure.
+    let overflows_before = stats.overflows;
+    let spares_before = stats.spare_allocations;
+    for &(index, element) in pending {
+        zeb.insert(index as usize, element, stats);
+        stats.insert_cycles += 1;
+    }
+    if stats.overflows == overflows_before {
+        if stats.spare_allocations > spares_before {
+            stats.rung_spare += 1;
+        }
+        return scan_zeb_tile(zeb, stack, config, tile, tile_size, stats, contacts);
+    }
+
+    // Rung 2: re-insert the buffered fragment stream at doubled capacity.
+    let mut best: Option<(Zeb, usize)> = None;
+    let mut recovered = false;
+    for attempt in 1..=config.ladder_rescans {
+        let m = config.list_capacity.saturating_mul(1usize << attempt.min(24));
+        let mut scratch =
+            Zeb::new(zeb.list_count(), m).expect("rescan capacity is positive");
+        stats.rescan_passes += 1;
+        let retry_before = stats.overflows;
+        for &(index, element) in pending {
+            scratch.insert(index as usize, element, stats);
+            stats.insert_cycles += 1;
+        }
+        let clean = stats.overflows == retry_before;
+        best = Some((scratch, m));
+        if clean {
+            recovered = true;
+            break;
+        }
+    }
+
+    if let Some((mut scratch, m)) = best {
+        if recovered {
+            stats.rung_rescan += 1;
+        } else if config.ladder_cpu_fallback {
+            stats.rung_cpu += 1;
+            escalate_pending(pending, escalated);
+        }
+        // The base ZEB's partial content is superseded by the re-scan.
+        zeb.clear();
+        let mut wide_stack = FfStack::new(m.max(config.ff_stack_capacity))
+            .expect("widened FF-Stack capacity is positive");
+        return scan_zeb_tile(&mut scratch, &mut wide_stack, config, tile, tile_size, stats, contacts);
+    }
+
+    // No re-scans configured: scan what survived at the base capacity.
+    if config.ladder_cpu_fallback {
+        stats.rung_cpu += 1;
+        escalate_pending(pending, escalated);
+    }
+    scan_zeb_tile(zeb, stack, config, tile, tile_size, stats, contacts)
+}
+
+/// Records the distinct objects of an overflowing tile, in ascending id
+/// order (deterministic regardless of fragment order).
+fn escalate_pending(pending: &[(u32, ZebElement)], escalated: &mut Vec<ObjectId>) {
+    let ids: BTreeSet<ObjectId> = pending.iter().map(|&(_, e)| e.object).collect();
+    escalated.extend(ids);
 }
 
 impl CollisionUnit for RbcdUnit {
@@ -258,12 +413,14 @@ impl CollisionUnit for RbcdUnit {
         let Some(active) = self.active else {
             panic!("insert without an active tile");
         };
+        // Buffered, not inserted directly: the degradation ladder may
+        // need to replay the tile's whole fragment stream at a larger
+        // capacity. The ZEB insertions (and their stats) happen in
+        // `finish_tile`, in this exact arrival order.
         let lx = frag.x - active.tile.x * self.tile_size;
         let ly = frag.y - active.tile.y * self.tile_size;
-        let index = (ly * self.tile_size + lx) as usize;
-        let element = ZebElement::new(frag.z, frag.object, frag.facing);
-        self.zebs[active.zeb].insert(index, element, &mut self.stats);
-        self.stats.insert_cycles += 1;
+        let index = ly * self.tile_size + lx;
+        self.pending.push((index, ZebElement::new(frag.z, frag.object, frag.facing)));
     }
 
     fn finish_tile(&mut self, cycle: u64) {
@@ -274,15 +431,22 @@ impl CollisionUnit for RbcdUnit {
 
         // The single Z-overlap unit serializes scans across ZEBs.
         let scan_start = cycle.max(self.scan_unit_free_at);
-        let scan_cycles = scan_zeb_tile(
+        let pending = std::mem::take(&mut self.pending);
+        let mut escalated = Vec::new();
+        let scan_cycles = ladder_zeb_tile(
             &mut self.zebs[active.zeb],
             &mut self.stack,
             &self.config,
             active.tile,
             self.tile_size,
+            &pending,
             &mut self.stats,
             &mut self.contacts,
+            &mut escalated,
         );
+        self.pending = pending;
+        self.pending.clear();
+        self.escalated.extend(escalated);
         let scan_end = scan_start + scan_cycles;
         self.stats.scan_cycles += scan_cycles;
         self.scan_unit_free_at = scan_end;
@@ -348,7 +512,8 @@ fn detect_with_mode(
     mode: PipelineMode,
 ) -> FrameCollisions {
     let mut sim = Simulator::new(gpu.clone());
-    let mut unit = RbcdUnit::new(*rbcd, gpu.tile_size);
+    let mut unit = RbcdUnit::new(*rbcd, gpu.tile_size)
+        .expect("invalid RBCD configuration; check with RbcdConfig::validate first");
     let gpu_stats = sim.render_frame(trace, mode, &mut unit);
     FrameCollisions {
         contacts: unit.take_contacts(),
@@ -378,7 +543,7 @@ mod tests {
 
     #[test]
     fn detects_overlap_in_one_pixel() {
-        let mut unit = RbcdUnit::new(RbcdConfig::default(), 16);
+        let mut unit = RbcdUnit::new(RbcdConfig::default(), 16).unwrap();
         // Case 2 at pixel (3, 4): [1 [2 ]1 ]2.
         let frags = [
             frag(3, 4, 0.1, 1, Facing::Front),
@@ -401,7 +566,7 @@ mod tests {
             frag(0, 0, 0.4, 2, Facing::Back),
             frag(0, 0, 0.1, 1, Facing::Front),
         ];
-        let mut unit = RbcdUnit::new(RbcdConfig::default(), 16);
+        let mut unit = RbcdUnit::new(RbcdConfig::default(), 16).unwrap();
         drive_tile(&mut unit, &frags, 0, 100);
         assert_eq!(unit.pairs().len(), 1);
     }
@@ -414,14 +579,14 @@ mod tests {
             frag(0, 0, 0.3, 2, Facing::Front),
             frag(0, 0, 0.4, 2, Facing::Back),
         ];
-        let mut unit = RbcdUnit::new(RbcdConfig::default(), 16);
+        let mut unit = RbcdUnit::new(RbcdConfig::default(), 16).unwrap();
         drive_tile(&mut unit, &frags, 0, 100);
         assert!(unit.contacts().is_empty());
     }
 
     #[test]
     fn timing_single_zeb_blocks_next_tile() {
-        let mut unit = RbcdUnit::new(RbcdConfig { zeb_count: 1, ..RbcdConfig::default() }, 16);
+        let mut unit = RbcdUnit::new(RbcdConfig { zeb_count: 1, ..RbcdConfig::default() }, 16).unwrap();
         let frags: Vec<_> = (0..8).map(|i| frag(i, 0, 0.5, 1, Facing::Front)).collect();
         drive_tile(&mut unit, &frags, 0, 100);
         // Scan: 8 lists × (1 + 1 element) = 16 cycles after cycle 100.
@@ -431,7 +596,7 @@ mod tests {
 
     #[test]
     fn timing_two_zebs_overlap() {
-        let mut unit = RbcdUnit::new(RbcdConfig::default(), 16);
+        let mut unit = RbcdUnit::new(RbcdConfig::default(), 16).unwrap();
         let frags: Vec<_> = (0..8).map(|i| frag(i, 0, 0.5, 1, Facing::Front)).collect();
         drive_tile(&mut unit, &frags, 0, 100);
         // Second ZEB is free immediately.
@@ -448,7 +613,7 @@ mod tests {
 
     #[test]
     fn new_frame_resets_timing_keeps_stats() {
-        let mut unit = RbcdUnit::new(RbcdConfig::default(), 16);
+        let mut unit = RbcdUnit::new(RbcdConfig::default(), 16).unwrap();
         drive_tile(&mut unit, &[frag(0, 0, 0.5, 1, Facing::Front)], 0, 10);
         let ins = unit.stats().insertions;
         unit.new_frame();
@@ -560,7 +725,115 @@ mod tests {
     #[test]
     #[should_panic(expected = "active")]
     fn insert_without_tile_panics() {
-        let mut unit = RbcdUnit::new(RbcdConfig::default(), 16);
+        let mut unit = RbcdUnit::new(RbcdConfig::default(), 16).unwrap();
         unit.insert(frag(0, 0, 0.5, 1, Facing::Front));
+    }
+
+    /// A deep interleaved stack at one pixel: every pair of the `n`
+    /// objects overlaps in depth.
+    fn deep_stack(n: u16) -> Vec<CollisionFragment> {
+        let mut frags = Vec::new();
+        for i in 0..n {
+            frags.push(frag(0, 0, 0.10 + 0.01 * i as f32, i + 1, Facing::Front));
+            frags.push(frag(0, 0, 0.60 + 0.01 * i as f32, i + 1, Facing::Back));
+        }
+        frags
+    }
+
+    #[test]
+    fn ladder_rescan_recovers_overflowed_pairs() {
+        let frags = deep_stack(8); // 16 fragments in one list
+        let reference = {
+            let mut unit = RbcdUnit::new(
+                RbcdConfig { list_capacity: 64, ff_stack_capacity: 64, ..RbcdConfig::default() },
+                16,
+            )
+            .unwrap();
+            drive_tile(&mut unit, &frags, 0, 100);
+            assert_eq!(unit.stats().overflows, 0);
+            unit.pairs()
+        };
+        assert_eq!(reference.len(), 8 * 7 / 2, "all pairs overlap by construction");
+
+        // M = 4 drops fragments without the ladder…
+        let base_cfg = RbcdConfig { list_capacity: 4, ..RbcdConfig::default() };
+        let mut base = RbcdUnit::new(base_cfg, 16).unwrap();
+        drive_tile(&mut base, &frags, 0, 100);
+        assert!(base.stats().overflows > 0);
+        assert!(base.pairs().len() < reference.len());
+        assert_eq!(base.stats().rung_rescan, 0);
+
+        // …and recovers them with two doubling passes (4 → 8 → 16).
+        let mut ladder =
+            RbcdUnit::new(RbcdConfig { ladder_rescans: 2, ..base_cfg }, 16).unwrap();
+        drive_tile(&mut ladder, &frags, 0, 100);
+        assert_eq!(ladder.pairs(), reference);
+        assert_eq!(ladder.stats().rung_rescan, 1);
+        assert_eq!(ladder.stats().rescan_passes, 2);
+        assert!(ladder.stats().overflows > 0, "the pressure stays visible in the stats");
+        assert!(ladder.escalated().is_empty(), "recovered tiles never escalate");
+    }
+
+    #[test]
+    fn ladder_cpu_fallback_escalates_overflowing_tiles() {
+        let frags = deep_stack(8);
+        // One rescan pass (M = 1 → 2) cannot hold 16 fragments, so the
+        // tile climbs to rung 3.
+        let cfg = RbcdConfig {
+            list_capacity: 1,
+            ladder_rescans: 1,
+            ladder_cpu_fallback: true,
+            ..RbcdConfig::default()
+        };
+        let mut unit = RbcdUnit::new(cfg, 16).unwrap();
+        drive_tile(&mut unit, &frags, 0, 100);
+        assert_eq!(unit.stats().rung_cpu, 1);
+        assert_eq!(unit.stats().rung_rescan, 0);
+        let ids: Vec<u16> = unit.escalated().iter().map(|id| id.get()).collect();
+        assert_eq!(ids, (1..=8).collect::<Vec<_>>(), "all tile objects escalate, in order");
+        let drained = unit.take_escalated();
+        assert_eq!(drained.len(), 8);
+        assert!(unit.escalated().is_empty());
+    }
+
+    #[test]
+    fn ladder_rung_accounting_is_consistent() {
+        let frags = deep_stack(6);
+        let cfg = RbcdConfig {
+            list_capacity: 2,
+            spare_entries: 2,
+            ladder_rescans: 3,
+            ladder_cpu_fallback: true,
+            ..RbcdConfig::default()
+        };
+        let mut unit = RbcdUnit::new(cfg, 16).unwrap();
+        drive_tile(&mut unit, &frags, 0, 100);
+        // A clean second tile for contrast.
+        unit.begin_tile(TileCoord { x: 1, y: 0 }, 1000);
+        unit.insert(frag(16, 0, 0.1, 1, Facing::Front));
+        unit.insert(frag(16, 0, 0.2, 1, Facing::Back));
+        unit.finish_tile(1100);
+        let s = unit.stats();
+        assert_eq!(s.tiles, 2);
+        assert_eq!(
+            s.rung_clean() + s.rung_spare + s.rung_rescan + s.rung_cpu,
+            s.tiles,
+            "every tile lands on exactly one rung: {s:?}"
+        );
+        assert_eq!(s.rung_clean(), 1);
+    }
+
+    #[test]
+    fn default_config_keeps_ladder_dormant() {
+        // Overflow with the paper's plain configuration: no rescans, no
+        // escalation — drops stay silent apart from the counters, exactly
+        // the pre-ladder behavior.
+        let mut unit =
+            RbcdUnit::new(RbcdConfig { list_capacity: 1, ..RbcdConfig::default() }, 16).unwrap();
+        drive_tile(&mut unit, &deep_stack(4), 0, 100);
+        let s = unit.stats();
+        assert!(s.overflows > 0);
+        assert_eq!(s.rung_rescan + s.rung_cpu + s.rescan_passes, 0);
+        assert!(unit.escalated().is_empty());
     }
 }

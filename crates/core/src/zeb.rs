@@ -1,6 +1,7 @@
 //! The Z-depth Extended Buffer and its sorted-insertion unit (Fig. 4).
 
 use crate::element::ZebElement;
+use crate::error::RbcdError;
 use crate::stats::RbcdStats;
 
 /// Result of inserting one element into a ZEB list.
@@ -42,29 +43,35 @@ pub struct Zeb {
 impl Zeb {
     /// Creates a ZEB with `lists` pixel lists of capacity `m`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `m == 0` or `lists == 0`.
-    pub fn new(lists: usize, m: usize) -> Self {
-        assert!(m > 0, "ZEB list capacity must be positive");
-        assert!(lists > 0, "ZEB must have at least one list");
-        Self {
+    /// Returns [`RbcdError::ZeroListCapacity`] if `m == 0` and
+    /// [`RbcdError::ZeroLists`] if `lists == 0`.
+    pub fn new(lists: usize, m: usize) -> Result<Self, RbcdError> {
+        if m == 0 {
+            return Err(RbcdError::ZeroListCapacity);
+        }
+        if lists == 0 {
+            return Err(RbcdError::ZeroLists);
+        }
+        Ok(Self {
             m,
             lists: vec![Vec::with_capacity(m); lists],
             dirty: Vec::new(),
             spare_capacity: 0,
             spare_used: 0,
-        }
+        })
     }
 
     /// Creates a ZEB with a dynamically allocatable pool of `spares`
     /// extra entries shared across lists (§5.3's overflow mitigation).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `m == 0` or `lists == 0`.
-    pub fn with_spares(lists: usize, m: usize, spares: usize) -> Self {
-        Self { spare_capacity: spares, ..Self::new(lists, m) }
+    /// Returns [`RbcdError::ZeroListCapacity`] if `m == 0` and
+    /// [`RbcdError::ZeroLists`] if `lists == 0`.
+    pub fn with_spares(lists: usize, m: usize, spares: usize) -> Result<Self, RbcdError> {
+        Ok(Self { spare_capacity: spares, ..Self::new(lists, m)? })
     }
 
     /// Spare entries currently claimed by overlong lists.
@@ -189,13 +196,13 @@ mod tests {
 
     #[test]
     fn paper_configuration_size() {
-        let zeb = Zeb::new(256, 8);
+        let zeb = Zeb::new(256, 8).unwrap();
         assert_eq!(zeb.size_bytes(), 8 * 1024); // "for M=8 the size would be 8 KB"
     }
 
     #[test]
     fn insertion_keeps_sorted_order() {
-        let mut zeb = Zeb::new(4, 8);
+        let mut zeb = Zeb::new(4, 8).unwrap();
         let mut stats = RbcdStats::default();
         for &z in &[0.5f32, 0.1, 0.9, 0.3, 0.7] {
             assert_eq!(zeb.insert(0, el(z, 1, Facing::Front), &mut stats), InsertOutcome::Stored);
@@ -209,7 +216,7 @@ mod tests {
 
     #[test]
     fn overflow_drops_farthest() {
-        let mut zeb = Zeb::new(1, 2);
+        let mut zeb = Zeb::new(1, 2).unwrap();
         let mut stats = RbcdStats::default();
         zeb.insert(0, el(0.5, 1, Facing::Front), &mut stats);
         zeb.insert(0, el(0.8, 2, Facing::Front), &mut stats);
@@ -225,7 +232,7 @@ mod tests {
 
     #[test]
     fn equal_depths_order_front_before_back() {
-        let mut zeb = Zeb::new(1, 4);
+        let mut zeb = Zeb::new(1, 4).unwrap();
         let mut stats = RbcdStats::default();
         // Regardless of arrival order, the front face sorts first at a
         // depth tie, so entry points open before exit points close.
@@ -241,7 +248,7 @@ mod tests {
 
     #[test]
     fn clear_resets_only_touched_lists() {
-        let mut zeb = Zeb::new(16, 4);
+        let mut zeb = Zeb::new(16, 4).unwrap();
         let mut stats = RbcdStats::default();
         zeb.insert(3, el(0.5, 1, Facing::Front), &mut stats);
         zeb.insert(9, el(0.6, 2, Facing::Back), &mut stats);
@@ -254,14 +261,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
-        let _ = Zeb::new(4, 0);
+        assert_eq!(Zeb::new(4, 0).unwrap_err(), RbcdError::ZeroListCapacity);
+        assert_eq!(Zeb::new(0, 4).unwrap_err(), RbcdError::ZeroLists);
+        assert_eq!(Zeb::with_spares(4, 0, 16).unwrap_err(), RbcdError::ZeroListCapacity);
     }
 
     #[test]
     fn spare_entries_absorb_overflow() {
-        let mut zeb = Zeb::with_spares(2, 2, 3);
+        let mut zeb = Zeb::with_spares(2, 2, 3).unwrap();
         let mut stats = RbcdStats::default();
         for i in 0..5 {
             zeb.insert(0, el(0.1 * (i + 1) as f32, 1, Facing::Front), &mut stats);
@@ -282,7 +290,7 @@ mod tests {
 
     #[test]
     fn spares_are_shared_across_lists_and_released_on_clear() {
-        let mut zeb = Zeb::with_spares(2, 1, 1);
+        let mut zeb = Zeb::with_spares(2, 1, 1).unwrap();
         let mut stats = RbcdStats::default();
         zeb.insert(0, el(0.5, 1, Facing::Front), &mut stats);
         assert_eq!(
@@ -307,6 +315,6 @@ mod tests {
 
     #[test]
     fn spare_pool_counts_in_size() {
-        assert_eq!(Zeb::with_spares(256, 8, 64).size_bytes(), (256 * 8 + 64) * 4);
+        assert_eq!(Zeb::with_spares(256, 8, 64).unwrap().size_bytes(), (256 * 8 + 64) * 4);
     }
 }

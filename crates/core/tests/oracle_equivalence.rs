@@ -44,7 +44,7 @@ fn interval_set(rng: &mut Rng) -> Vec<CollisionFragment> {
 }
 
 fn run_hardware(frags: &[CollisionFragment], config: RbcdConfig) -> RbcdUnit {
-    let mut unit = RbcdUnit::new(config, 16);
+    let mut unit = RbcdUnit::new(config, 16).unwrap();
     unit.begin_tile(TileCoord { x: 0, y: 0 }, 0);
     for f in frags {
         unit.insert(*f);

@@ -43,7 +43,7 @@ fn parallel_rbcd_frame_is_bit_identical() {
     let trace = colliding_trace();
     for mode in [PipelineMode::Rbcd, PipelineMode::CollisionOnly] {
         let mut seq_sim = Simulator::new(gpu_config());
-        let mut seq_unit = RbcdUnit::new(RbcdConfig::default(), gpu_config().tile_size);
+        let mut seq_unit = RbcdUnit::new(RbcdConfig::default(), gpu_config().tile_size).unwrap();
         let seq_stats = seq_sim.render_frame(&trace, mode, &mut seq_unit);
         assert!(
             !seq_unit.pairs().is_empty(),
@@ -52,7 +52,7 @@ fn parallel_rbcd_frame_is_bit_identical() {
 
         for threads in [1, 2, 4, 8] {
             let mut par_sim = Simulator::new(gpu_config());
-            let mut par_unit = RbcdUnit::new(RbcdConfig::default(), gpu_config().tile_size);
+            let mut par_unit = RbcdUnit::new(RbcdConfig::default(), gpu_config().tile_size).unwrap();
             let par_stats =
                 par_sim.render_frame_parallel(&trace, mode, &mut par_unit, threads);
             assert_eq!(seq_stats, par_stats, "FrameStats diverged at {threads} threads");
@@ -77,9 +77,9 @@ fn parallel_rbcd_multi_frame_warm_state_matches() {
     // frames; replaying three frames must stay identical throughout.
     let trace = colliding_trace();
     let mut seq_sim = Simulator::new(gpu_config());
-    let mut seq_unit = RbcdUnit::new(RbcdConfig::default(), gpu_config().tile_size);
+    let mut seq_unit = RbcdUnit::new(RbcdConfig::default(), gpu_config().tile_size).unwrap();
     let mut par_sim = Simulator::new(gpu_config());
-    let mut par_unit = RbcdUnit::new(RbcdConfig::default(), gpu_config().tile_size);
+    let mut par_unit = RbcdUnit::new(RbcdConfig::default(), gpu_config().tile_size).unwrap();
     for frame in 0..3 {
         let seq_stats = seq_sim.render_frame(&trace, PipelineMode::Rbcd, &mut seq_unit);
         let par_stats =

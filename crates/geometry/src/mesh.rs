@@ -18,6 +18,14 @@ pub enum MeshError {
     },
     /// The mesh has no triangles.
     Empty,
+    /// A vertex position contains NaN or infinity.
+    NonFinitePosition {
+        /// Offending vertex index.
+        vertex: usize,
+    },
+    /// Every triangle of the mesh has (nearly) zero area: the surface
+    /// cannot produce any rasterizable geometry.
+    AllDegenerate,
 }
 
 impl fmt::Display for MeshError {
@@ -28,6 +36,10 @@ impl fmt::Display for MeshError {
                 "triangle {triangle} references vertex {index} but the mesh has {vertex_count} vertices"
             ),
             Self::Empty => write!(f, "mesh has no triangles"),
+            Self::NonFinitePosition { vertex } => {
+                write!(f, "vertex {vertex} has a non-finite (NaN/inf) position")
+            }
+            Self::AllDegenerate => write!(f, "every triangle of the mesh is degenerate"),
         }
     }
 }
@@ -92,15 +104,21 @@ impl Triangle {
 pub struct Mesh {
     positions: Vec<Vec3>,
     triangles: Vec<[u32; 3]>,
+    /// Cached "all positions are finite" flag, so per-frame draw
+    /// validation is O(1) instead of O(vertices).
+    finite: bool,
 }
 
 impl Mesh {
-    /// Builds a mesh, validating that every index is in range.
+    /// Builds a mesh, validating indices, position finiteness, and that
+    /// at least one triangle has area.
     ///
     /// # Errors
     ///
     /// Returns [`MeshError::IndexOutOfRange`] when a triangle references a
-    /// missing vertex and [`MeshError::Empty`] when `triangles` is empty.
+    /// missing vertex, [`MeshError::Empty`] when `triangles` is empty,
+    /// [`MeshError::NonFinitePosition`] on a NaN/infinite vertex, and
+    /// [`MeshError::AllDegenerate`] when every triangle has zero area.
     pub fn new(positions: Vec<Vec3>, triangles: Vec<[u32; 3]>) -> Result<Self, MeshError> {
         if triangles.is_empty() {
             return Err(MeshError::Empty);
@@ -116,7 +134,44 @@ impl Mesh {
                 }
             }
         }
-        Ok(Self { positions, triangles })
+        if let Some(vertex) = positions.iter().position(|p| !p.is_finite()) {
+            return Err(MeshError::NonFinitePosition { vertex });
+        }
+        let mesh = Self { positions, triangles, finite: true };
+        if mesh.triangles().all(|t| t.is_degenerate()) {
+            return Err(MeshError::AllDegenerate);
+        }
+        Ok(mesh)
+    }
+
+    /// Builds a mesh without the finiteness/degeneracy validation of
+    /// [`Mesh::new`] — the escape hatch fault-injection harnesses use to
+    /// construct hostile geometry. The finiteness flag is still computed
+    /// honestly, so [`Mesh::positions_finite`] reports the truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a triangle references a missing vertex: out-of-range
+    /// indices would make every accessor unsound, so they stay hard
+    /// errors even here.
+    pub fn new_unchecked(positions: Vec<Vec3>, triangles: Vec<[u32; 3]>) -> Self {
+        for tri in &triangles {
+            for &i in tri {
+                assert!(
+                    (i as usize) < positions.len(),
+                    "triangle index {i} out of range for {} vertices",
+                    positions.len()
+                );
+            }
+        }
+        let finite = positions.iter().all(|p| p.is_finite());
+        Self { positions, triangles, finite }
+    }
+
+    /// `true` when every vertex position is finite (no NaN/inf). Cached
+    /// at construction; meshes from [`Mesh::new`] are always finite.
+    pub fn positions_finite(&self) -> bool {
+        self.finite
     }
 
     /// Vertex positions.
@@ -170,10 +225,11 @@ impl Mesh {
 
     /// Returns a copy with every vertex transformed by `m`.
     pub fn transformed(&self, m: &Mat4) -> Self {
-        Self {
-            positions: self.positions.iter().map(|&p| m.transform_point(p)).collect(),
-            triangles: self.triangles.clone(),
-        }
+        let positions: Vec<Vec3> =
+            self.positions.iter().map(|&p| m.transform_point(p)).collect();
+        // A non-finite matrix poisons the vertices, so recompute.
+        let finite = positions.iter().all(|p| p.is_finite());
+        Self { positions, triangles: self.triangles.clone(), finite }
     }
 
     /// Returns a copy with reversed winding (inside-out surface).
@@ -181,6 +237,7 @@ impl Mesh {
         Self {
             positions: self.positions.clone(),
             triangles: self.triangles.iter().map(|&[a, b, c]| [a, c, b]).collect(),
+            finite: self.finite,
         }
     }
 
@@ -190,6 +247,7 @@ impl Mesh {
         self.positions.extend_from_slice(&other.positions);
         self.triangles
             .extend(other.triangles.iter().map(|&[a, b, c]| [a + base, b + base, c + base]));
+        self.finite = self.finite && other.finite;
     }
 
     /// Total surface area.
@@ -296,5 +354,53 @@ mod tests {
         let cube = shapes::cuboid(Vec3::ONE);
         let c = cube.surface_centroid();
         assert!(c.length() < 1e-4);
+    }
+
+    #[test]
+    fn new_rejects_non_finite_positions() {
+        let err = Mesh::new(
+            vec![Vec3::ZERO, Vec3::X, Vec3::new(f32::NAN, 0.0, 0.0)],
+            vec![[0, 1, 2]],
+        )
+        .unwrap_err();
+        assert_eq!(err, MeshError::NonFinitePosition { vertex: 2 });
+        let err = Mesh::new(
+            vec![Vec3::ZERO, Vec3::new(f32::INFINITY, 0.0, 0.0), Vec3::Y],
+            vec![[0, 1, 2]],
+        )
+        .unwrap_err();
+        assert_eq!(err, MeshError::NonFinitePosition { vertex: 1 });
+    }
+
+    #[test]
+    fn new_rejects_all_degenerate_triangle_sets() {
+        // Two zero-area triangles (collinear points).
+        let err = Mesh::new(
+            vec![Vec3::ZERO, Vec3::X, Vec3::X * 2.0],
+            vec![[0, 1, 2], [2, 1, 0]],
+        )
+        .unwrap_err();
+        assert_eq!(err, MeshError::AllDegenerate);
+        // One degenerate triangle among real ones is fine.
+        let m = Mesh::new(
+            vec![Vec3::ZERO, Vec3::X, Vec3::Y, Vec3::X * 2.0],
+            vec![[0, 1, 2], [0, 1, 3]],
+        )
+        .unwrap();
+        assert_eq!(m.triangle_count(), 2);
+    }
+
+    #[test]
+    fn unchecked_constructor_admits_hostile_geometry() {
+        let m = Mesh::new_unchecked(
+            vec![Vec3::ZERO, Vec3::X, Vec3::new(f32::NAN, 0.0, 0.0)],
+            vec![[0, 1, 2]],
+        );
+        assert!(!m.positions_finite());
+        let clean = tri_mesh();
+        assert!(clean.positions_finite());
+        // Transforming by a NaN matrix poisons the flag.
+        let nan_mat = Mat4::uniform_scale(f32::NAN);
+        assert!(!clean.transformed(&nan_mat).positions_finite());
     }
 }

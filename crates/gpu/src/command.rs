@@ -28,10 +28,29 @@ impl ObjectId {
     /// # Panics
     ///
     /// Panics if `id` exceeds [`ObjectId::MAX`]: the hardware element
-    /// encoding has no room for it.
+    /// encoding has no room for it. Use [`ObjectId::try_new`] for ids
+    /// from untrusted input.
     pub fn new(id: u16) -> Self {
         assert!(id <= Self::MAX, "ObjectId {id} exceeds the 13-bit hardware budget");
         Self(id)
+    }
+
+    /// Creates an id, or `None` if it exceeds the 13-bit budget.
+    pub fn try_new(id: u16) -> Option<Self> {
+        (id <= Self::MAX).then_some(Self(id))
+    }
+
+    /// Creates an id without the 13-bit range check — the escape hatch
+    /// fault-injection harnesses use to forge out-of-range ids. The
+    /// ingest validation ([`DrawCommand::validate`]) catches such ids
+    /// before they reach the hardware element encoding.
+    pub fn from_raw_unchecked(id: u16) -> Self {
+        Self(id)
+    }
+
+    /// `true` when the id fits the 13-bit hardware budget.
+    pub fn is_valid(self) -> bool {
+        self.0 <= Self::MAX
     }
 
     /// Raw value.
@@ -51,6 +70,36 @@ impl From<ObjectId> for u16 {
         id.0
     }
 }
+
+/// A draw command rejected at ingest validation — the typed errors the
+/// pipeline reports (and quarantines on) instead of panicking deep in
+/// the rasterizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SceneError {
+    /// The collidable object id exceeds the 13-bit hardware budget.
+    ObjectIdOutOfRange {
+        /// The forged raw id.
+        id: u16,
+    },
+    /// The model matrix contains NaN or infinity.
+    NonFiniteModel,
+    /// A mesh vertex position contains NaN or infinity.
+    NonFiniteMesh,
+}
+
+impl fmt::Display for SceneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ObjectIdOutOfRange { id } => {
+                write!(f, "object id {id} exceeds the 13-bit hardware budget")
+            }
+            Self::NonFiniteModel => write!(f, "model matrix has NaN/inf entries"),
+            Self::NonFiniteMesh => write!(f, "mesh has NaN/inf vertex positions"),
+        }
+    }
+}
+
+impl std::error::Error for SceneError {}
 
 /// Orientation of a rasterized face relative to the camera.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -167,6 +216,29 @@ impl DrawCommand {
         self.shader = shader;
         self
     }
+
+    /// Ingest validation: checks the draw for forged object ids and
+    /// non-finite transforms or geometry. The simulator quarantines
+    /// (skips and counts) draws that fail, instead of feeding garbage to
+    /// the rasterizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SceneError`] found.
+    pub fn validate(&self) -> Result<(), SceneError> {
+        if let Some(id) = self.collidable {
+            if !id.is_valid() {
+                return Err(SceneError::ObjectIdOutOfRange { id: id.get() });
+            }
+        }
+        if !(0..4).all(|c| self.model.col(c).is_finite()) {
+            return Err(SceneError::NonFiniteModel);
+        }
+        if !self.mesh.positions_finite() {
+            return Err(SceneError::NonFiniteMesh);
+        }
+        Ok(())
+    }
 }
 
 /// View and projection state for a frame.
@@ -229,6 +301,16 @@ impl FrameTrace {
     pub fn collidable_draws(&self) -> impl Iterator<Item = &DrawCommand> {
         self.draws.iter().filter(|d| d.collidable.is_some())
     }
+
+    /// Runs [`DrawCommand::validate`] over every draw, returning the
+    /// index and error of each rejected one. Empty for a clean trace.
+    pub fn validate(&self) -> Vec<(usize, SceneError)> {
+        self.draws
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.validate().err().map(|e| (i, e)))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +360,48 @@ mod tests {
         let s = DrawCommand::scenery(mesh);
         assert_eq!(s.collidable, None);
         assert_eq!(s.cull, CullMode::Back);
+    }
+
+    #[test]
+    fn object_id_try_new_and_raw() {
+        assert_eq!(ObjectId::try_new(5), Some(ObjectId::new(5)));
+        assert_eq!(ObjectId::try_new(ObjectId::MAX + 1), None);
+        let forged = ObjectId::from_raw_unchecked(ObjectId::MAX + 1);
+        assert!(!forged.is_valid());
+        assert!(ObjectId::new(ObjectId::MAX).is_valid());
+    }
+
+    #[test]
+    fn validate_rejects_forged_ids_and_non_finite_input() {
+        let mesh = shapes::cube(1.0);
+        assert_eq!(DrawCommand::collidable(mesh.clone(), ObjectId::new(1)).validate(), Ok(()));
+        let forged = DrawCommand::collidable(mesh.clone(), ObjectId::new(1));
+        let forged = DrawCommand {
+            collidable: Some(ObjectId::from_raw_unchecked(ObjectId::MAX + 7)),
+            ..forged
+        };
+        assert_eq!(
+            forged.validate(),
+            Err(SceneError::ObjectIdOutOfRange { id: ObjectId::MAX + 7 })
+        );
+        let nan_model = DrawCommand::collidable(mesh.clone(), ObjectId::new(1))
+            .with_model(Mat4::uniform_scale(f32::NAN));
+        assert_eq!(nan_model.validate(), Err(SceneError::NonFiniteModel));
+        // Scenery with a bad matrix is caught too.
+        let bad_scenery = DrawCommand::scenery(mesh).with_model(Mat4::uniform_scale(f32::NAN));
+        assert_eq!(bad_scenery.validate(), Err(SceneError::NonFiniteModel));
+    }
+
+    #[test]
+    fn frame_trace_validate_reports_indices() {
+        let mesh = Arc::new(shapes::cube(1.0));
+        let camera = Camera::perspective(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, 1.0, 0.1, 100.0);
+        let good = DrawCommand::collidable(mesh.clone(), ObjectId::new(1));
+        let bad = DrawCommand::collidable(mesh.clone(), ObjectId::new(2))
+            .with_model(Mat4::uniform_scale(f32::INFINITY));
+        let trace = FrameTrace::new(camera, vec![good, bad]);
+        let errs = trace.validate();
+        assert_eq!(errs, vec![(1, SceneError::NonFiniteModel)]);
     }
 
     #[test]

@@ -58,7 +58,9 @@ mod stats;
 pub use cache::{CacheConfig, CacheModel, CacheStats};
 pub use clip::clip_near;
 pub use collision_unit::{CollisionFragment, CollisionUnit, NullCollisionUnit, TileCoord};
-pub use command::{Camera, CullMode, DrawCommand, Facing, FrameTrace, ObjectId, ShaderCost};
+pub use command::{
+    Camera, CullMode, DrawCommand, Facing, FrameTrace, ObjectId, SceneError, ShaderCost,
+};
 pub use config::GpuConfig;
 pub use imr::{ImrSimulator, ImrStats};
 pub use parallel::ParallelCollision;

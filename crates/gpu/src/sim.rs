@@ -378,6 +378,13 @@ impl Simulator {
             if mode == PipelineMode::CollisionOnly && draw.collidable.is_none() {
                 continue; // only collisionable commands are submitted
             }
+            // Ingest validation (always on the sequential geometry path,
+            // so quarantine decisions are thread-count independent):
+            // forged ids and non-finite input never reach the rasterizer.
+            if draw.validate().is_err() {
+                g.draws_quarantined += 1;
+                continue;
+            }
             let mvp = view_proj * draw.model;
             // Vertex fetch + shade: each vertex processed once.
             let base_addr = (draw_idx as u64) << 32;

@@ -20,6 +20,9 @@ pub struct GeometryStats {
     pub triangles_tagged: u64,
     /// Zero-area or off-screen triangles dropped before binning.
     pub triangles_degenerate: u64,
+    /// Draw commands rejected by ingest validation (forged object ids,
+    /// NaN transforms or vertices) and skipped whole.
+    pub draws_quarantined: u64,
     /// (tile, primitive) binning entries written by the Polygon List
     /// Builder.
     pub bin_entries: u64,
@@ -98,6 +101,7 @@ impl FrameStats {
         g.triangles_culled += o.triangles_culled;
         g.triangles_tagged += o.triangles_tagged;
         g.triangles_degenerate += o.triangles_degenerate;
+        g.draws_quarantined += o.draws_quarantined;
         g.bin_entries += o.bin_entries;
         g.prim_records += o.prim_records;
         g.tile_cache_stores.add(&o.tile_cache_stores);

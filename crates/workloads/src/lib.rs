@@ -36,4 +36,4 @@ mod suite;
 
 pub use motion::Motion;
 pub use scene::{CameraPath, Scene, SceneObject};
-pub use suite::{cap, crazy, sleepy, suite, temple};
+pub use suite::{cap, crazy, shells, sleepy, suite, temple};

@@ -495,6 +495,55 @@ pub fn temple() -> Scene {
     }
 }
 
+/// `shells` — adversarial overflow stress (not part of the paper's
+/// Table 2 suite): concentric collisionable shells centred on the view
+/// axis, so one pixel column crosses every shell and stacks 2 surfaces
+/// per shell. At the centre of the screen the collisionable depth
+/// complexity exceeds 20 — far past any Table 3 design point — which
+/// makes the scene the workload of choice for the fault-injection
+/// harness and the ZEB degradation ladder (`repro --faults`).
+pub fn shells() -> Scene {
+    let mut rng = Rng::seed_from_u64(0x0F10_0DED);
+    let mut collidables = Vec::new();
+    // Ten nested breathing shells: each pair of neighbours overlaps in
+    // depth for part of the clip, so the oracle pair set stays rich.
+    for i in 0..10u32 {
+        let radius = 0.5 + i as f32 * 0.35;
+        collidables.push(SceneObject::new(
+            shapes::icosphere(radius, 2),
+            Motion::Oscillate {
+                center: Vec3::new(0.0, 1.5, -6.0),
+                amplitude: Vec3::new(0.12 * (i % 3) as f32, 0.08 * (i % 2) as f32, 0.0),
+                frequency: 0.4 + 0.15 * (i % 4) as f32,
+                phase: rng.gen_range(0.0..std::f32::consts::TAU),
+            },
+        ));
+    }
+    // A handful of intruders orbiting through the shell stack, crossing
+    // surfaces every frame.
+    for k in 0..6u32 {
+        collidables.push(SceneObject::new(
+            shapes::cuboid(Vec3::splat(0.3 + 0.05 * (k % 3) as f32)),
+            Motion::Orbit {
+                center: Vec3::new(0.0, 1.5, -6.0),
+                radius: 0.8 + 0.4 * k as f32,
+                angular_speed: rng.gen_range(0.6..1.8) * if k % 2 == 0 { 1.0 } else { -1.0 },
+                phase: rng.gen_range(0.0..std::f32::consts::TAU),
+            },
+        ));
+    }
+    Scene {
+        name: "Overflow Gauntlet",
+        alias: "shells",
+        description: "adversarial: concentric shells stacking >20 collisionable surfaces per pixel",
+        collidables,
+        scenery: arena_scenery(10.0, 5.0),
+        camera: CameraPath::fixed(Vec3::new(0.0, 1.5, 2.5), Vec3::new(0.0, 1.5, -6.0)),
+        frames: 24,
+        fps: 30.0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -568,6 +617,21 @@ mod tests {
             );
             assert!(stats.geometry.triangles_tagged > 0, "{}: nothing tagged", s.alias);
         }
+    }
+
+    #[test]
+    fn shells_scene_overflows_the_paper_design_point() {
+        use rbcd_core::{detect_frame_collisions, RbcdConfig};
+        use rbcd_gpu::GpuConfig;
+        use rbcd_math::Viewport;
+        let scene = shells();
+        let gpu = GpuConfig { viewport: Viewport::new(160, 96), ..GpuConfig::default() };
+        let result = detect_frame_collisions(&scene.frame_trace(0), &gpu, &RbcdConfig::default());
+        assert!(
+            result.rbcd_stats.overflows > 0,
+            "the adversarial scene must overflow even M = 8"
+        );
+        assert!(!result.pairs().is_empty(), "shells must still produce pairs");
     }
 
     #[test]

@@ -57,7 +57,7 @@ fn main() {
     let mut rbcd_game = GameLoop::with_external_cd(debris_world());
     let gpu = GpuConfig { viewport: Viewport::new(400, 240), ..GpuConfig::default() };
     let mut sim = Simulator::new(gpu.clone());
-    let mut unit = RbcdUnit::new(RbcdConfig::default(), gpu.tile_size);
+    let mut unit = RbcdUnit::new(RbcdConfig::default(), gpu.tile_size).unwrap();
     let camera = Camera::perspective(Vec3::new(0.0, 4.0, 14.0), Vec3::new(0.0, 2.0, 0.0), 1.0, 0.1, 100.0);
 
     let mut pairs: Vec<(usize, usize)> = Vec::new();

@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
-# Full local gate: build, test, and a parallel-pipeline smoke run.
+# Full local gate: lint, build, test, and two end-to-end smoke runs.
 #
-# The smoke run exercises the threaded tile pipeline end to end
+# The parallel smoke exercises the threaded tile pipeline end to end
 # (repro --smoke --threads 2), which cross-checks that parallel and
 # sequential simulation produce bit-identical results and writes
-# BENCH_tile_pipeline.json with measured host throughput.
+# BENCH_tile_pipeline.json with measured host throughput. The fault
+# smoke (repro --smoke --faults all --threads 2) injects every fault
+# class at tiny M and fails on panics or silent pair losses, writing
+# BENCH_fault_tolerance.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace -- -D warnings
 
 echo "== cargo build --release =="
 cargo build --release --workspace
@@ -17,4 +23,7 @@ cargo test --workspace --quiet
 echo "== parallel pipeline smoke (repro --smoke --threads 2) =="
 ./target/release/repro --smoke --threads 2
 
-echo "OK: build + tests + parallel smoke all passed"
+echo "== fault injection smoke (repro --smoke --faults all --threads 2) =="
+./target/release/repro --smoke --faults all --threads 2
+
+echo "OK: lint + build + tests + smokes all passed"

@@ -79,7 +79,8 @@ fn rendered_hardware_matches_oracle() {
         let mut unit = RbcdUnit::new(
             RbcdConfig { list_capacity: 96, ff_stack_capacity: 96, ..RbcdConfig::default() },
             cfg.tile_size,
-        );
+        )
+        .unwrap();
         sim.render_frame(&trace, PipelineMode::Rbcd, &mut unit);
         if unit.stats().overflows != 0 {
             // The property only holds overflow-free; skip this draw.
@@ -107,7 +108,8 @@ fn default_config_is_a_subset_of_reference() {
             let mut unit = RbcdUnit::new(
                 RbcdConfig { list_capacity: m, ff_stack_capacity: m.max(8), ..RbcdConfig::default() },
                 cfg.tile_size,
-            );
+            )
+            .unwrap();
             sim.render_frame(&trace, PipelineMode::Rbcd, &mut unit);
             unit.pairs()
         };
@@ -167,7 +169,7 @@ fn image_invariance() {
         let mut sim = Simulator::new(cfg.clone());
         let base = sim.render_frame(&trace, PipelineMode::Baseline, &mut rbcd_gpu::NullCollisionUnit);
         let mut sim = Simulator::new(cfg.clone());
-        let mut unit = RbcdUnit::new(RbcdConfig::default(), cfg.tile_size);
+        let mut unit = RbcdUnit::new(RbcdConfig::default(), cfg.tile_size).unwrap();
         let rbcd = sim.render_frame(&trace, PipelineMode::Rbcd, &mut unit);
         assert_eq!(base.raster.fragments_shaded, rbcd.raster.fragments_shaded);
         assert_eq!(base.raster.fragments_to_early_z, rbcd.raster.fragments_to_early_z);

@@ -70,7 +70,8 @@ fn hardware_unit_matches_software_oracle_on_workload_frame() {
     let mut unit = RbcdUnit::new(
         RbcdConfig { list_capacity: 64, ff_stack_capacity: 64, ..RbcdConfig::default() },
         gpu.tile_size,
-    );
+    )
+    .unwrap();
     sim.render_frame(&trace, PipelineMode::Rbcd, &mut unit);
     assert_eq!(unit.stats().overflows, 0, "64-entry lists must not overflow");
     let hw = unit.pairs();
@@ -92,7 +93,7 @@ fn rbcd_mode_preserves_the_image() {
         let base =
             sim.render_frame(&trace, PipelineMode::Baseline, &mut rbcd_gpu::NullCollisionUnit);
         let mut sim = Simulator::new(gpu.clone());
-        let mut unit = RbcdUnit::new(RbcdConfig::default(), gpu.tile_size);
+        let mut unit = RbcdUnit::new(RbcdConfig::default(), gpu.tile_size).unwrap();
         let rbcd = sim.render_frame(&trace, PipelineMode::Rbcd, &mut unit);
         assert_eq!(
             base.raster.fragments_shaded, rbcd.raster.fragments_shaded,
