@@ -17,6 +17,14 @@
 //! for any value), `--smoke` shrinks every experiment to a quick
 //! configuration and defaults the experiment list to `bench`.
 //!
+//! `--trace <out.json>` runs the trace experiment: render the `cap`
+//! workload with the deterministic instrumentation layer enabled and
+//! write the simulated-cycle timeline as Chrome trace-event JSON plus
+//! per-tile heatmap CSVs (`<stem>.<metric>.csv` for occupancy,
+//! overflows, scan_cycles, pairs, and rung). Exits non-zero if the
+//! emitted JSON does not re-parse or the heatmap totals disagree with
+//! the RBCD unit's counters.
+//!
 //! `--faults <plan>` runs the fault-injection experiment instead (also
 //! opt-in, not part of `all`): corrupt every workload trace with the
 //! named plan (`all`, `overflow`, `spare`, `nan`, `degenerate`,
@@ -25,8 +33,10 @@
 //! software oracle plus the ladder-rung histogram. Writes
 //! `BENCH_fault_tolerance.json`; exits non-zero on any silent pair loss.
 
-use rbcd_bench::report::{fmt_norm, fmt_pct, fmt_x, Table};
-use rbcd_bench::{accuracy, geomean, run_frames_parallel, run_suite, RunOptions, SuiteResult};
+use rbcd_bench::report::{fmt_norm, fmt_pct, fmt_x, Table, TableError};
+use rbcd_bench::{
+    accuracy, geomean, run_frames_parallel, run_gpu_traced, run_suite, RunOptions, SuiteResult,
+};
 use rbcd_core::faults::PRESETS;
 use rbcd_core::{FaultPlan, RbcdConfig};
 use rbcd_gpu::GpuConfig;
@@ -40,6 +50,13 @@ struct PaperRef {
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("repro: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut frames: Option<usize> = None;
     if let Some(pos) = args.iter().position(|a| a == "--frames") {
@@ -69,6 +86,15 @@ fn main() {
         smoke = true;
         args.remove(pos);
     }
+    let mut trace_path: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        let path = args.get(pos + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--trace needs an output path (e.g. trace.json)");
+            std::process::exit(2);
+        });
+        trace_path = Some(path);
+        args.drain(pos..=pos + 1);
+    }
     let mut fault_plan: Option<String> = None;
     if let Some(pos) = args.iter().position(|a| a == "--faults") {
         let name = args.get(pos + 1).cloned().unwrap_or_else(|| {
@@ -83,8 +109,8 @@ fn main() {
         args.drain(pos..=pos + 1);
     }
     let wanted: Vec<String> = if args.is_empty() {
-        if fault_plan.is_some() {
-            Vec::new() // --faults alone runs just the fault experiment
+        if fault_plan.is_some() || trace_path.is_some() {
+            Vec::new() // --faults / --trace alone run just that experiment
         } else {
             vec![if smoke { "bench" } else { "all" }.into()]
         }
@@ -101,52 +127,59 @@ fn main() {
         opts.zeb_counts = vec![1, 2];
     }
 
+    // `--trace` is opt-in (not part of `all`): it re-renders one
+    // workload with the instrumentation layer on and exports the
+    // simulated-cycle timeline instead of reproducing a figure.
+    if let Some(path) = &trace_path {
+        run_trace_experiment(path, &opts)?;
+    }
+
     // `--faults` is opt-in (not part of `all`): it renders every frame
     // twice (ladder + oracle) and measures robustness, not the paper's
     // figures.
     if let Some(plan) = &fault_plan {
-        run_fault_experiment(plan, &opts, smoke);
+        run_fault_experiment(plan, &opts, smoke)?;
     }
 
     // `bench` is opt-in (not part of `all`): it measures *host* time,
     // which is meaningless in CI artifact regeneration.
     if wanted.iter().any(|w| w == "bench") {
-        run_tile_pipeline_bench(&opts, threads.max(2), smoke);
+        run_tile_pipeline_bench(&opts, threads.max(2), smoke)?;
     }
 
     if want("table1") {
-        print_table1(&opts);
+        print_table1(&opts)?;
     }
     if want("table2") {
-        print_table2();
+        print_table2()?;
     }
     if want("fig2") {
-        print_fig2(&opts);
+        print_fig2(&opts)?;
     }
     if want("sec53") {
-        print_sec53(&opts);
+        print_sec53(&opts)?;
     }
     if want("imr") {
-        print_imr(&opts);
+        print_imr(&opts)?;
     }
     if want("spares") {
-        print_spares(&opts);
+        print_spares(&opts)?;
     }
     if want("timesteps") {
-        print_timesteps(&opts);
+        print_timesteps(&opts)?;
     }
     if want("tbdr") {
-        print_tbdr(&opts);
+        print_tbdr(&opts)?;
     }
     if want("resolution") {
-        print_resolution(&opts);
+        print_resolution(&opts)?;
     }
 
     let need_suite = ["fig8a", "fig8b", "fig8c", "fig8d", "fig9a", "fig9b", "fig10", "fig11", "table3", "sec52", "ablation-zebs", "debug"]
         .iter()
         .any(|id| want(id));
     if !need_suite {
-        return;
+        return Ok(());
     }
 
     eprintln!("running the benchmark suite (this simulates every frame three+ times)...");
@@ -156,44 +189,45 @@ fn main() {
     eprintln!("suite simulated in {:.1?} of host time", t0.elapsed());
 
     if want("fig8a") {
-        print_fig8_speedup(&suite, false, PaperRef { note: "paper geomean ~250x (1 ZEB), ~600x (2 ZEB)" });
+        print_fig8_speedup(&suite, false, PaperRef { note: "paper geomean ~250x (1 ZEB), ~600x (2 ZEB)" })?;
     }
     if want("fig8b") {
-        print_fig8_energy(&suite, false, PaperRef { note: "paper geomean ~273x (1 ZEB), ~448x (2 ZEB)" });
+        print_fig8_energy(&suite, false, PaperRef { note: "paper geomean ~273x (1 ZEB), ~448x (2 ZEB)" })?;
     }
     if want("fig8c") {
-        print_fig8_speedup(&suite, true, PaperRef { note: "paper geomean ~1400x (1 ZEB), ~3400x (2 ZEB)" });
+        print_fig8_speedup(&suite, true, PaperRef { note: "paper geomean ~1400x (1 ZEB), ~3400x (2 ZEB)" })?;
     }
     if want("fig8d") {
-        print_fig8_energy(&suite, true, PaperRef { note: "paper geomean ~1750x (1 ZEB), ~2875x (2 ZEB)" });
+        print_fig8_energy(&suite, true, PaperRef { note: "paper geomean ~1750x (1 ZEB), ~2875x (2 ZEB)" })?;
     }
     if want("fig9a") {
-        print_fig9(&suite, true);
+        print_fig9(&suite, true)?;
     }
     if want("fig9b") {
-        print_fig9(&suite, false);
+        print_fig9(&suite, false)?;
     }
     if want("fig10") {
-        print_fig10(&suite);
+        print_fig10(&suite)?;
     }
     if want("fig11") {
-        print_fig11(&suite);
+        print_fig11(&suite)?;
     }
     if want("table3") {
-        print_table3(&suite);
+        print_table3(&suite)?;
     }
     if want("sec52") {
-        print_sec52(&suite);
+        print_sec52(&suite)?;
     }
     if want("ablation-zebs") {
-        print_ablation(&suite);
+        print_ablation(&suite)?;
     }
     if wanted.iter().any(|w| w == "debug") {
-        print_debug(&suite);
+        print_debug(&suite)?;
     }
+    Ok(())
 }
 
-fn print_table1(opts: &RunOptions) {
+fn print_table1(opts: &RunOptions) -> Result<(), TableError> {
     let g: &GpuConfig = &opts.gpu;
     let mut t = Table::new("Table 1 — CPU/GPU simulation parameters", &["parameter", "value"]);
     let rows: Vec<(&str, String)> = vec![
@@ -212,20 +246,22 @@ fn print_table1(opts: &RunOptions) {
         ("CPU cores", opts.cpu.cores.to_string()),
     ];
     for (k, v) in rows {
-        t.row(vec![k.to_string(), v]);
+        t.row(vec![k.to_string(), v])?;
     }
     print!("{}", t.render());
+    Ok(())
 }
 
-fn print_table2() {
+fn print_table2() -> Result<(), TableError> {
     let mut t = Table::new("Table 2 — benchmarks", &["benchmark", "alias", "description"]);
     for s in rbcd_workloads::suite() {
-        t.row(vec![s.name.to_string(), s.alias.to_string(), s.description.to_string()]);
+        t.row(vec![s.name.to_string(), s.alias.to_string(), s.description.to_string()])?;
     }
     print!("{}", t.render());
+    Ok(())
 }
 
-fn print_fig2(opts: &RunOptions) {
+fn print_fig2(opts: &RunOptions) -> Result<(), TableError> {
     let verdicts = accuracy::figure2_verdicts(&opts.gpu);
     let mut t = Table::new(
         "Figure 2 — accuracy on a concave body (A=L-prism, B=notch corner, C=inside hull)",
@@ -239,14 +275,15 @@ fn print_fig2(opts: &RunOptions) {
             yn(v.gjk),
             yn(v.rbcd),
             yn(v.exact),
-        ]);
+        ])?;
     }
     print!("{}", t.render());
     let (a, g, r) = accuracy::false_positive_counts(&verdicts);
     println!("false positives — AABB: {a}, GJK: {g}, RBCD: {r} (paper: AABB 2, GJK 1, RBCD 0)");
+    Ok(())
 }
 
-fn print_sec53(opts: &RunOptions) {
+fn print_sec53(opts: &RunOptions) -> Result<(), TableError> {
     let mut t = Table::new(
         "§5.3 — RBCD static power as a fraction of GPU static power (2 ZEBs)",
         &["list length M", "fraction", "paper bound"],
@@ -256,12 +293,13 @@ fn print_sec53(opts: &RunOptions) {
             m.to_string(),
             fmt_pct(opts.energy.rbcd_static_fraction(2, m)),
             bound.to_string(),
-        ]);
+        ])?;
     }
     print!("{}", t.render());
+    Ok(())
 }
 
-fn print_fig8_speedup(suite: &SuiteResult, gjk: bool, paper: PaperRef) {
+fn print_fig8_speedup(suite: &SuiteResult, gjk: bool, paper: PaperRef) -> Result<(), TableError> {
     let which = if gjk { "GJK-CD" } else { "Broad-CD" };
     let id = if gjk { "Figure 8c" } else { "Figure 8a" };
     let mut t = Table::new(
@@ -276,14 +314,15 @@ fn print_fig8_speedup(suite: &SuiteResult, gjk: bool, paper: PaperRef) {
         let c2 = b.comparison(&b.rbcd2, cpu).speedup;
         s1.push(c1);
         s2.push(c2);
-        t.row(vec![b.alias.clone(), fmt_x(c1), fmt_x(c2)]);
+        t.row(vec![b.alias.clone(), fmt_x(c1), fmt_x(c2)])?;
     }
-    t.row(vec!["geo.mean".into(), fmt_x(geomean(s1)), fmt_x(geomean(s2))]);
+    t.row(vec!["geo.mean".into(), fmt_x(geomean(s1)), fmt_x(geomean(s2))])?;
     print!("{}", t.render());
     println!("({})", paper.note);
+    Ok(())
 }
 
-fn print_fig8_energy(suite: &SuiteResult, gjk: bool, paper: PaperRef) {
+fn print_fig8_energy(suite: &SuiteResult, gjk: bool, paper: PaperRef) -> Result<(), TableError> {
     let which = if gjk { "GJK-CD" } else { "Broad-CD" };
     let id = if gjk { "Figure 8d" } else { "Figure 8b" };
     let mut t = Table::new(
@@ -298,14 +337,15 @@ fn print_fig8_energy(suite: &SuiteResult, gjk: bool, paper: PaperRef) {
         let c2 = b.comparison(&b.rbcd2, cpu).energy_reduction;
         s1.push(c1);
         s2.push(c2);
-        t.row(vec![b.alias.clone(), fmt_x(c1), fmt_x(c2)]);
+        t.row(vec![b.alias.clone(), fmt_x(c1), fmt_x(c2)])?;
     }
-    t.row(vec!["geo.mean".into(), fmt_x(geomean(s1)), fmt_x(geomean(s2))]);
+    t.row(vec!["geo.mean".into(), fmt_x(geomean(s1)), fmt_x(geomean(s2))])?;
     print!("{}", t.render());
     println!("({})", paper.note);
+    Ok(())
 }
 
-fn print_fig9(suite: &SuiteResult, time: bool) {
+fn print_fig9(suite: &SuiteResult, time: bool) -> Result<(), TableError> {
     let (id, what) = if time {
         ("Figure 9a", "GPU time with RBCD / baseline (eq. 3)")
     } else {
@@ -322,18 +362,19 @@ fn print_fig9(suite: &SuiteResult, time: bool) {
         };
         n1.push(a);
         n2.push(c);
-        t.row(vec![b.alias.clone(), fmt_norm(a), fmt_norm(c)]);
+        t.row(vec![b.alias.clone(), fmt_norm(a), fmt_norm(c)])?;
     }
-    t.row(vec!["geo.mean".into(), fmt_norm(geomean(n1)), fmt_norm(geomean(n2))]);
+    t.row(vec!["geo.mean".into(), fmt_norm(geomean(n1)), fmt_norm(geomean(n2))])?;
     print!("{}", t.render());
     if time {
         println!("(paper: overhead ~5.4% with 1 ZEB, ~3% with 2 ZEBs; crazy worst 1-ZEB ~7%, best 2-ZEB <1%)");
     } else {
         println!("(paper: overhead ~5.1% with 1 ZEB, ~3.5% with 2 ZEBs)");
     }
+    Ok(())
 }
 
-fn print_fig10(suite: &SuiteResult) {
+fn print_fig10(suite: &SuiteResult) -> Result<(), TableError> {
     let mut t = Table::new(
         "Figure 10 — GPU time breakdown (RBCD, 2 ZEBs)",
         &["benchmark", "raster", "geometry"],
@@ -342,18 +383,19 @@ fn print_fig10(suite: &SuiteResult) {
     for b in &suite.benchmarks {
         let r = b.raster_fraction();
         fr.push(r);
-        t.row(vec![b.alias.clone(), fmt_pct(r), fmt_pct(1.0 - r)]);
+        t.row(vec![b.alias.clone(), fmt_pct(r), fmt_pct(1.0 - r)])?;
     }
     t.row(vec![
         "geo.mean".into(),
         fmt_pct(geomean(fr.clone())),
         fmt_pct(1.0 - geomean(fr)),
-    ]);
+    ])?;
     print!("{}", t.render());
     println!("(paper: the raster pipeline dominates GPU time)");
+    Ok(())
 }
 
-fn print_fig11(suite: &SuiteResult) {
+fn print_fig11(suite: &SuiteResult) -> Result<(), TableError> {
     let mut t = Table::new(
         "Figure 11 — activity normalized to baseline (RBCD, 2 ZEBs)",
         &["benchmark", "TC loads", "primitives", "fragments", "raster cycles"],
@@ -364,7 +406,7 @@ fn print_fig11(suite: &SuiteResult) {
         for (v, a) in [l, p, f, c].iter().zip(acc.iter_mut()) {
             a.push(*v);
         }
-        t.row(vec![b.alias.clone(), fmt_norm(l), fmt_norm(p), fmt_norm(f), fmt_norm(c)]);
+        t.row(vec![b.alias.clone(), fmt_norm(l), fmt_norm(p), fmt_norm(f), fmt_norm(c)])?;
     }
     t.row(vec![
         "geo.mean".into(),
@@ -372,12 +414,13 @@ fn print_fig11(suite: &SuiteResult) {
         fmt_norm(geomean(acc[1].clone())),
         fmt_norm(geomean(acc[2].clone())),
         fmt_norm(geomean(acc[3].clone())),
-    ]);
+    ])?;
     print!("{}", t.render());
     println!("(paper geomeans: TC loads ~1.193, primitives ~1.184, fragments ~1.063, raster cycles ~1.037)");
+    Ok(())
 }
 
-fn print_table3(suite: &SuiteResult) {
+fn print_table3(suite: &SuiteResult) -> Result<(), TableError> {
     let ms: Vec<usize> = suite.benchmarks[0].overflow.iter().map(|&(m, _)| m).collect();
     let headers: Vec<String> = std::iter::once("benchmark".to_string())
         .chain(ms.iter().map(|m| format!("M={m}")))
@@ -393,20 +436,21 @@ fn print_table3(suite: &SuiteResult) {
             row.push(fmt_pct(rate));
         }
         row.push(if b.all_pairs_detected_at_m8 { "yes" } else { "NO" }.to_string());
-        t.row(row);
+        t.row(row)?;
     }
     let mut avg_row = vec!["average".to_string()];
     for m in &means {
         avg_row.push(fmt_pct(m.iter().sum::<f64>() / m.len() as f64));
     }
     avg_row.push(String::new());
-    t.row(avg_row);
+    t.row(avg_row)?;
     print!("{}", t.render());
     println!("(paper @M=4: cap 1.57, crazy 1.20, sleepy 5.87, temple 16.61; @8 ≤0.96 avg 0.08; @16 all 0;");
     println!(" and despite @8 overflows, all collisions were still detected)");
+    Ok(())
 }
 
-fn print_sec52(suite: &SuiteResult) {
+fn print_sec52(suite: &SuiteResult) -> Result<(), TableError> {
     let mut t = Table::new(
         "§5.2 — deferred-culling overheads (RBCD 2 ZEBs vs baseline)",
         &[
@@ -427,14 +471,15 @@ fn print_sec52(suite: &SuiteResult) {
             fmt_norm(stores),
             fmt_norm(misses),
             fmt_norm(b.geometry_time_ratio()),
-        ]);
+        ])?;
     }
     print!("{}", t.render());
     println!("(paper: 84.4% prims already rasterized produce 94% of RBCD fragments;");
     println!(" +32% TC stores, +8.8% write misses, geometry time +<1%)");
+    Ok(())
 }
 
-fn print_ablation(suite: &SuiteResult) {
+fn print_ablation(suite: &SuiteResult) -> Result<(), TableError> {
     let mut t = Table::new(
         "Ablation — ZEB count vs time and energy (normalized to 2 ZEBs)",
         &["benchmark", "zebs", "time", "energy"],
@@ -452,14 +497,15 @@ fn print_ablation(suite: &SuiteResult) {
                 z.to_string(),
                 fmt_norm(secs / base_t),
                 fmt_norm(energy / base_e),
-            ]);
+            ])?;
         }
     }
     print!("{}", t.render());
     println!("(paper: >2 ZEBs does not improve time and slightly increases energy)");
+    Ok(())
 }
 
-fn print_debug(suite: &SuiteResult) {
+fn print_debug(suite: &SuiteResult) -> Result<(), TableError> {
     let mut t = Table::new(
         "DEBUG — raw magnitudes per benchmark",
         &[
@@ -527,14 +573,15 @@ fn print_debug(suite: &SuiteResult) {
                     + st.raster.tiles_processed * 256 * 4;
                 format!("{:.2}", bytes as f64 / f / 1e6)
             },
-        ]);
+        ])?;
     }
     print!("{}", t.render());
+    Ok(())
 }
 
 /// Extension (§3.1): TBR vs IMR framebuffer traffic on the suite, plus
 /// the memory a screen-sized RBCD buffer would need in IMR.
-fn print_imr(opts: &RunOptions) {
+fn print_imr(opts: &RunOptions) -> Result<(), TableError> {
     use rbcd_gpu::{ImrSimulator, NullCollisionUnit, PipelineMode, Simulator};
     let mut t = Table::new(
         "Extension §3.1 — TBR vs IMR framebuffer DRAM traffic (MB/frame)",
@@ -566,7 +613,7 @@ fn print_imr(opts: &RunOptions) {
             format!("{:.2}", imr_bytes as f64 / f / 1e6),
             format!("{:.1}x", imr_bytes as f64 / tbr_bytes.max(1) as f64),
             fmt_pct(overdraw as f64 / shaded.max(1) as f64),
-        ]);
+        ])?;
     }
     print!("{}", t.render());
     let imr = rbcd_gpu::ImrSimulator::new(opts.gpu.clone());
@@ -578,10 +625,11 @@ fn print_imr(opts: &RunOptions) {
         imr_mem / tbr_mem
     );
     println!("(the paper evaluates on TBR for exactly this reason, §3.1)");
+    Ok(())
 }
 
 /// Extension (§5.3): spare-entry pool vs overflow rate at M = 4.
-fn print_spares(opts: &RunOptions) {
+fn print_spares(opts: &RunOptions) -> Result<(), TableError> {
     use rbcd_bench::runner::run_gpu;
     use rbcd_core::RbcdConfig;
     let mut t = Table::new(
@@ -608,15 +656,16 @@ fn print_spares(opts: &RunOptions) {
             fmt_pct(rate(0)),
             fmt_pct(rate(64)),
             fmt_pct(rate(256)),
-        ]);
+        ])?;
     }
     print!("{}", t.render());
     println!("(the paper proposes dynamically allocated spare entries as an overflow mitigation)");
+    Ok(())
 }
 
 /// Extension (§3.6): cost of a collision-only pass (extra physics time
 /// steps) relative to a full rendered frame.
-fn print_timesteps(opts: &RunOptions) {
+fn print_timesteps(opts: &RunOptions) -> Result<(), TableError> {
     use rbcd_core::{detect_collision_pass, detect_frame_collisions, RbcdConfig};
     let mut t = Table::new(
         "Extension §3.6 — collision-only pass vs full frame (cycles/frame)",
@@ -632,17 +681,18 @@ fn print_timesteps(opts: &RunOptions) {
             pass.gpu_stats.total_cycles().to_string(),
             fmt_pct(pass.gpu_stats.total_cycles() as f64 / full.gpu_stats.total_cycles() as f64),
             if pass.pairs() == full.pairs() { "yes" } else { "differs" }.to_string(),
-        ]);
+        ])?;
     }
     print!("{}", t.render());
     println!("(rasterizing just the collisionable objects — no fragment processing — enables");
     println!(" multiple physics time steps per rendered frame, §3.6)");
+    Ok(())
 }
 
 /// Extension (§3.1): shading work an ideal deferred renderer (PowerVR
 /// TBDR) would save relative to the early-Z TBR baseline — overdraw
 /// that passes the depth test and gets shaded anyway.
-fn print_tbdr(opts: &RunOptions) {
+fn print_tbdr(opts: &RunOptions) -> Result<(), TableError> {
     use rbcd_gpu::{NullCollisionUnit, PipelineMode, Simulator};
     let mut t = Table::new(
         "Extension §3.1 — early-Z shading vs ideal deferred shading (TBDR)",
@@ -664,12 +714,13 @@ fn print_tbdr(opts: &RunOptions) {
             format!("{:.0}k", shaded as f64 / f / 1e3),
             format!("{:.0}k", covered as f64 / f / 1e3),
             fmt_pct((shaded - covered) as f64 / shaded.max(1) as f64),
-        ]);
+        ])?;
     }
     print!("{}", t.render());
     println!("(PowerVR's deferred rendering 'guarantees the Fragment Processor is used only");
     println!(" for those fragments that will be part of the final image', §3.1 — this is the");
     println!(" shading work it would remove from our early-Z baseline)");
+    Ok(())
 }
 
 /// Extension (§2.2): detection accuracy vs rendering resolution. The
@@ -677,7 +728,7 @@ fn print_tbdr(opts: &RunOptions) {
 /// sample at pixel centres, discretization *erodes* silhouettes, so the
 /// resolution limit manifests as missed sub-pixel overlap slivers —
 /// which shrink as resolution grows.
-fn print_resolution(_opts: &RunOptions) {
+fn print_resolution(_opts: &RunOptions) -> Result<(), TableError> {
     use rbcd_core::{detect_frame_collisions, RbcdConfig};
     use rbcd_gpu::{Camera, DrawCommand, FrameTrace, ObjectId};
     use rbcd_math::{Mat4, Vec3, Viewport};
@@ -721,13 +772,76 @@ fn print_resolution(_opts: &RunOptions) {
             format!("{px_per_unit:.1}"),
             if hit_overlap { "detected" } else { "MISSED" }.to_string(),
             if hit_miss { "FALSE HIT" } else { "clear" }.to_string(),
-        ]);
+        ])?;
     }
     print!("{}", t.render());
     println!("(centre-sampled rasterization erodes silhouettes, so near-misses stay clear at");
     println!(" every resolution while sub-pixel overlap slivers need enough pixels per unit to");
     println!(" be seen — 'the higher the rendering resolution, the smaller the false");
     println!(" collisionable area', §2.2)");
+    Ok(())
+}
+
+/// Trace experiment (`--trace <out.json>`): render the `cap` workload
+/// with the instrumentation layer on and export the simulated-cycle
+/// timeline as Chrome trace-event JSON plus one per-tile heatmap CSV
+/// per metric (`<stem>.<metric>.csv`). The JSON is re-parsed with the
+/// crate's own parser before it is trusted, and the heatmap totals are
+/// cross-checked against the RBCD unit's counters; any disagreement is
+/// an error (non-zero exit).
+fn run_trace_experiment(path: &str, opts: &RunOptions) -> Result<(), Box<dyn std::error::Error>> {
+    use rbcd_trace::HEATMAP_METRICS;
+
+    let scene = rbcd_workloads::cap();
+    let frames = opts.frames.unwrap_or(4).min(scene.frames);
+    eprintln!(
+        "tracing {frames} frames of '{}' at {} thread(s)...",
+        scene.alias,
+        opts.threads.max(1)
+    );
+    let (run, trace) = run_gpu_traced(&scene, frames, opts, RbcdConfig::default());
+
+    let json = trace.to_chrome_json();
+    rbcd_trace::json::parse(&json)
+        .map_err(|e| format!("emitted trace JSON failed to re-parse: {e}"))?;
+    if trace.events().is_empty() {
+        return Err("trace captured no events".into());
+    }
+    std::fs::write(path, &json)?;
+    println!(
+        "wrote {path} ({} events over {} frames; load in chrome://tracing or Perfetto)",
+        trace.events().len(),
+        trace.frames()
+    );
+
+    let stem = path.strip_suffix(".json").unwrap_or(path);
+    for metric in HEATMAP_METRICS {
+        let csv = trace.heatmap_csv(metric).expect("metric names come from HEATMAP_METRICS");
+        let out = format!("{stem}.{metric}.csv");
+        std::fs::write(&out, &csv)?;
+        println!("wrote {out}");
+    }
+
+    // The exports must agree with the unit's own books, read through
+    // the unified counter registry.
+    let heat = trace.heat();
+    for (metric, key) in [("overflows", "rbcd.overflows"), ("pairs", "rbcd.pairs_emitted")] {
+        if heat.total(metric) != run.counters.get(key) {
+            return Err(format!(
+                "heatmap {metric} total {} disagrees with counter {key} = {}",
+                heat.total(metric),
+                run.counters.get(key)
+            )
+            .into());
+        }
+    }
+    println!(
+        "trace cross-check: {} insertions, {} overflows, {} pairs — heatmaps match the counters",
+        run.counters.get("rbcd.insertions"),
+        run.counters.get("rbcd.overflows"),
+        run.counters.get("rbcd.pairs_emitted")
+    );
+    Ok(())
 }
 
 /// Fault-injection experiment (`--faults <plan>`): corrupt the workload
@@ -736,7 +850,7 @@ fn print_resolution(_opts: &RunOptions) {
 /// much of the software oracle's pair set survives — per fault class
 /// and per ladder rung. Writes `BENCH_fault_tolerance.json` and exits
 /// non-zero if any pair was lost without a counted overflow.
-fn run_fault_experiment(plan_name: &str, opts: &RunOptions, smoke: bool) {
+fn run_fault_experiment(plan_name: &str, opts: &RunOptions, smoke: bool) -> Result<(), TableError> {
     use rbcd_bench::faults::run_fault_tolerance;
 
     const SEED: u64 = 0xFA01_7B5E;
@@ -783,9 +897,9 @@ fn run_fault_experiment(plan_name: &str, opts: &RunOptions, smoke: bool) {
         ("spare-pool exhaustion", u64::from(plan.exhaust_spares), "degradation ladder"),
     ];
     for (class, injected, defense) in classes {
-        t.row(vec![class.to_string(), injected.to_string(), defense.to_string()]);
+        t.row(vec![class.to_string(), injected.to_string(), defense.to_string()])?;
     }
-    t.row(vec!["draws quarantined".into(), quarantined.to_string(), String::new()]);
+    t.row(vec!["draws quarantined".into(), quarantined.to_string(), String::new()])?;
     print!("{}", t.render());
 
     // Per-(scene, M) recovery and rung histogram.
@@ -811,7 +925,7 @@ fn run_fault_experiment(plan_name: &str, opts: &RunOptions, smoke: bool) {
                 c.oracle_pairs.to_string(),
                 fmt_pct(c.recovered_fraction()),
                 c.silent_losses.to_string(),
-            ]);
+            ])?;
         }
     }
     print!("{}", t.render());
@@ -873,6 +987,7 @@ fn run_fault_experiment(plan_name: &str, opts: &RunOptions, smoke: bool) {
         eprintln!("SILENT PAIR LOSS: {silent} pairs vanished without a counted overflow");
         std::process::exit(1);
     }
+    Ok(())
 }
 
 /// Host-throughput smoke for the parallel tile pipeline. Runs each
@@ -883,7 +998,7 @@ fn run_fault_experiment(plan_name: &str, opts: &RunOptions, smoke: bool) {
 ///
 /// This replaces a `cargo bench` dependency: it needs nothing beyond
 /// `std::time::Instant`.
-fn run_tile_pipeline_bench(opts: &RunOptions, threads: usize, smoke: bool) {
+fn run_tile_pipeline_bench(opts: &RunOptions, threads: usize, smoke: bool) -> Result<(), TableError> {
     let frames = opts.frames.unwrap_or(if smoke { 2 } else { 8 }).max(2);
     let cfg = RbcdConfig::default();
     let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -922,7 +1037,7 @@ fn run_tile_pipeline_bench(opts: &RunOptions, threads: usize, smoke: bool) {
             format!("{par_fps:.2}"),
             format!("{speedup:.2}x"),
             "yes".to_string(),
-        ]);
+        ])?;
         rows.push((scene.alias.to_string(), seq_fps, par_fps, speedup));
     }
     print!("{}", t.render());
@@ -959,4 +1074,5 @@ fn run_tile_pipeline_bench(opts: &RunOptions, threads: usize, smoke: bool) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
+    Ok(())
 }

@@ -16,4 +16,6 @@ pub mod report;
 pub mod runner;
 
 pub use metrics::{geomean, BenchmarkResult, CdComparison, SuiteResult};
-pub use runner::{run_benchmark, run_frames_parallel, run_suite, RunOptions};
+pub use runner::{
+    run_benchmark, run_frames_parallel, run_gpu, run_gpu_traced, run_suite, RunOptions,
+};

@@ -1,8 +1,9 @@
 //! Result structures and the paper's metrics (equations (1)–(4)).
 
-use rbcd_core::RbcdStats;
+use rbcd_core::{ObjectPair, RbcdStats};
 use rbcd_cpu_cd::CostReport;
 use rbcd_gpu::FrameStats;
+use rbcd_trace::CounterSet;
 use std::collections::BTreeSet;
 
 /// One GPU configuration run over a whole clip.
@@ -17,7 +18,11 @@ pub struct GpuRun {
     /// RBCD-unit counters, when a unit was attached.
     pub rbcd: Option<RbcdStats>,
     /// Union of colliding pairs over all frames (RBCD runs only).
-    pub pairs: BTreeSet<(u16, u16)>,
+    pub pairs: BTreeSet<ObjectPair>,
+    /// The unified counter registry: every `geometry.*`/`raster.*` key
+    /// from [`FrameStats::counter_set`], plus the `rbcd.*` keys when a
+    /// unit was attached.
+    pub counters: CounterSet,
 }
 
 /// One CPU detector run over a whole clip.
@@ -26,7 +31,7 @@ pub struct CpuRun {
     /// Time/energy report for the clip.
     pub report: CostReport,
     /// Union of colliding pairs over all frames.
-    pub pairs: BTreeSet<(u32, u32)>,
+    pub pairs: BTreeSet<ObjectPair>,
     /// Mean broad-phase candidates per frame.
     pub avg_candidates: f64,
 }

@@ -1,6 +1,30 @@
 //! Plain-text table rendering for the `repro` binary.
 
+use std::fmt;
 use std::fmt::Write as _;
+
+/// A malformed table row: its width did not match the header row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableError {
+    /// Title of the table the row was destined for.
+    pub table: String,
+    /// Header (column) count.
+    pub expected: usize,
+    /// Cells the offending row actually carried.
+    pub got: usize,
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "table '{}': row width mismatch (expected {} cells, got {})",
+            self.table, self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for TableError {}
 
 /// A simple fixed-width table printer.
 #[derive(Debug, Clone)]
@@ -22,13 +46,20 @@ impl Table {
 
     /// Appends a row.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the row width differs from the header width.
-    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+    /// Returns [`TableError`] (and leaves the table unchanged) if the
+    /// row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> Result<&mut Self, TableError> {
+        if cells.len() != self.headers.len() {
+            return Err(TableError {
+                table: self.title.clone(),
+                expected: self.headers.len(),
+                got: cells.len(),
+            });
+        }
         self.rows.push(cells);
-        self
+        Ok(self)
     }
 
     /// Renders the table.
@@ -84,8 +115,8 @@ mod tests {
     #[test]
     fn table_renders_aligned() {
         let mut t = Table::new("Demo", &["name", "value"]);
-        t.row(vec!["a".into(), "1".into()]);
-        t.row(vec!["longer".into(), "22".into()]);
+        t.row(vec!["a".into(), "1".into()]).unwrap();
+        t.row(vec!["longer".into(), "22".into()]).unwrap();
         let s = t.render();
         assert!(s.contains("== Demo =="));
         assert!(s.contains("longer"));
@@ -96,10 +127,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "row width")]
-    fn mismatched_row_panics() {
+    fn mismatched_row_is_a_typed_error() {
         let mut t = Table::new("Demo", &["a", "b"]);
-        t.row(vec!["only-one".into()]);
+        let err = t.row(vec!["only-one".into()]).unwrap_err();
+        assert_eq!(err, TableError { table: "Demo".into(), expected: 2, got: 1 });
+        assert!(err.to_string().contains("expected 2 cells, got 1"));
+        // The bad row was not recorded.
+        assert_eq!(t.render().lines().count(), 4);
+        // Chaining still works on the Ok side.
+        t.row(vec!["x".into(), "y".into()])
+            .unwrap()
+            .row(vec!["z".into(), "w".into()])
+            .unwrap();
+        assert_eq!(t.render().lines().count(), 6);
     }
 
     #[test]

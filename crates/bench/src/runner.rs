@@ -2,10 +2,11 @@
 
 use crate::metrics::{BenchmarkResult, SuiteResult};
 use crate::metrics::{CpuRun, GpuRun};
-use rbcd_core::{RbcdConfig, RbcdUnit};
+use rbcd_core::{ObjectPair, RbcdConfig, RbcdUnit};
 use rbcd_cpu_cd::{CdBody, Cost, CpuCollisionDetector, CpuConfig, Phase};
 use rbcd_gpu::energy::EnergyModel;
-use rbcd_gpu::{FrameStats, GpuConfig, NullCollisionUnit, PipelineMode, Simulator};
+use rbcd_gpu::{FrameStats, GpuConfig, NullCollisionUnit, PipelineMode, SimulatorBuilder};
+use rbcd_trace::TraceBuffer;
 use rbcd_workloads::Scene;
 use std::collections::BTreeSet;
 
@@ -52,11 +53,39 @@ pub fn run_gpu(
     opts: &RunOptions,
     rbcd: Option<RbcdConfig>,
 ) -> GpuRun {
-    let mut sim = Simulator::new(opts.gpu.clone());
-    let mut total = FrameStats::default();
-    let mut pairs: BTreeSet<(u16, u16)> = BTreeSet::new();
+    run_gpu_inner(scene, frames, opts, rbcd, false).0
+}
 
-    match rbcd {
+/// Like [`run_gpu`] with an attached unit, but with the instrumentation
+/// layer enabled: the simulator records frame/draw/tile spans and the
+/// unit logs per-tile ZEB activity, all merged onto one simulated-cycle
+/// timeline. Tracing is observation-only — the returned [`GpuRun`] is
+/// bit-identical to the untraced [`run_gpu`] result.
+pub fn run_gpu_traced(
+    scene: &Scene,
+    frames: usize,
+    opts: &RunOptions,
+    rbcd: RbcdConfig,
+) -> (GpuRun, TraceBuffer) {
+    let (run, trace) = run_gpu_inner(scene, frames, opts, Some(rbcd), true);
+    (run, trace.expect("tracing was enabled"))
+}
+
+fn run_gpu_inner(
+    scene: &Scene,
+    frames: usize,
+    opts: &RunOptions,
+    rbcd: Option<RbcdConfig>,
+    traced: bool,
+) -> (GpuRun, Option<TraceBuffer>) {
+    let mut sim = SimulatorBuilder::from_config(opts.gpu.clone())
+        .tracing(traced)
+        .build()
+        .expect("benchmark GPU configurations are validated at construction");
+    let mut total = FrameStats::default();
+    let mut pairs: BTreeSet<ObjectPair> = BTreeSet::new();
+
+    let run = match rbcd {
         None => {
             let mut unit = NullCollisionUnit;
             for f in 0..frames {
@@ -70,6 +99,7 @@ pub fn run_gpu(
             GpuRun {
                 seconds: opts.gpu.cycles_to_seconds(total.total_cycles()),
                 energy_j: opts.energy.gpu_energy(&total).total_j(),
+                counters: total.counter_set(),
                 stats: total,
                 rbcd: None,
                 pairs,
@@ -77,7 +107,8 @@ pub fn run_gpu(
         }
         Some(cfg) => {
             let mut unit = RbcdUnit::new(cfg, opts.gpu.tile_size)
-            .expect("benchmark RBCD configurations are validated at construction");
+                .expect("benchmark RBCD configurations are validated at construction");
+            unit.set_tile_logging(traced);
             for f in 0..frames {
                 unit.new_frame();
                 total.accumulate(&sim.render_frame_parallel(
@@ -86,9 +117,14 @@ pub fn run_gpu(
                     &mut unit,
                     opts.threads,
                 ));
+                if traced {
+                    // The tracer's raster timeline still points at the
+                    // frame that just ended, so draining here lands the
+                    // per-tile ZEB records in the right frame.
+                    sim.record_collision_tiles(&unit.take_tile_records());
+                }
                 for c in unit.take_contacts() {
-                    let p = c.pair();
-                    pairs.insert((p.0.get(), p.1.get()));
+                    pairs.insert(c.object_pair());
                 }
             }
             let stats = *unit.stats();
@@ -96,15 +132,20 @@ pub fn run_gpu(
             let energy_j = opts.energy.gpu_energy(&total).total_j()
                 + stats.dynamic_energy_j(&opts.energy)
                 + opts.energy.rbcd_static_j(cfg.zeb_count, cfg.list_capacity, cycles);
+            let mut counters = total.counter_set();
+            counters.accumulate(&stats.counter_set());
             GpuRun {
                 seconds: opts.gpu.cycles_to_seconds(cycles),
                 energy_j,
+                counters,
                 stats: total,
                 rbcd: Some(stats),
                 pairs,
             }
         }
-    }
+    };
+    let trace = sim.take_trace();
+    (run, trace)
 }
 
 /// Runs the CPU detector over the same frames.
@@ -116,13 +157,13 @@ pub fn run_cpu(scene: &Scene, frames: usize, opts: &RunOptions, phase: Phase) ->
         .collect();
     let mut detector = CpuCollisionDetector::new(bodies);
     let mut cost = Cost::default();
-    let mut pairs: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut pairs: BTreeSet<ObjectPair> = BTreeSet::new();
     let mut candidates = 0usize;
     for f in 0..frames {
         let result = detector.detect(&scene.collidable_transforms(f), phase);
         cost.accumulate(&result.cost);
         candidates += result.candidates;
-        pairs.extend(result.pairs);
+        pairs.extend(result.pairs.into_iter().map(ObjectPair::from));
     }
     CpuRun {
         report: cost.report(&opts.cpu),
@@ -212,7 +253,9 @@ pub fn run_frames_parallel(
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     let run_one = |f: usize| {
-        let mut sim = Simulator::new(opts.gpu.clone());
+        let mut sim = SimulatorBuilder::from_config(opts.gpu.clone())
+            .build()
+            .expect("benchmark GPU configurations are validated at construction");
         let mut unit = RbcdUnit::new(cfg, opts.gpu.tile_size)
             .expect("benchmark RBCD configurations are validated at construction");
         let stats =
@@ -255,23 +298,25 @@ pub fn run_frames_parallel(
     // Deterministic merge in frame order.
     let mut total = FrameStats::default();
     let mut rbcd_total = rbcd_core::RbcdStats::default();
-    let mut pairs: BTreeSet<(u16, u16)> = BTreeSet::new();
+    let mut pairs: BTreeSet<ObjectPair> = BTreeSet::new();
     for slot in slots {
         let (stats, rbcd, contacts) = slot.expect("every frame produced");
         total.accumulate(&stats);
         rbcd_total.accumulate(&rbcd);
         for c in contacts {
-            let p = c.pair();
-            pairs.insert((p.0.get(), p.1.get()));
+            pairs.insert(c.object_pair());
         }
     }
     let cycles = total.total_cycles();
     let energy_j = opts.energy.gpu_energy(&total).total_j()
         + rbcd_total.dynamic_energy_j(&opts.energy)
         + opts.energy.rbcd_static_j(cfg.zeb_count, cfg.list_capacity, cycles);
+    let mut counters = total.counter_set();
+    counters.accumulate(&rbcd_total.counter_set());
     GpuRun {
         seconds: opts.gpu.cycles_to_seconds(cycles),
         energy_j,
+        counters,
         stats: total,
         rbcd: Some(rbcd_total),
         pairs,

@@ -1,0 +1,202 @@
+//! Satellite check: the unified counter registry is stable.
+//!
+//! Pins (a) the exact key set `GpuRun::counters` exposes — renaming or
+//! dropping a key is a breaking change for downstream dashboards and
+//! must show up in review — and (b) the exact values on a fixed scene,
+//! which guards the whole simulated pipeline against silent behavioural
+//! drift the same way the determinism suite guards thread-invariance.
+//! Also round-trips the Chrome trace-event export through the crate's
+//! own JSON parser and checks the schema fields the viewers rely on.
+
+use rbcd_bench::runner::{run_gpu, run_gpu_traced};
+use rbcd_bench::RunOptions;
+use rbcd_core::RbcdConfig;
+use rbcd_gpu::GpuConfig;
+use rbcd_math::Viewport;
+use rbcd_trace::json::{self, Value};
+
+fn opts() -> RunOptions {
+    RunOptions {
+        frames: Some(2),
+        gpu: GpuConfig { viewport: Viewport::new(192, 128), ..GpuConfig::default() },
+        ..RunOptions::default()
+    }
+}
+
+/// Every key the registry must expose, in `CounterSet`'s sorted order.
+const GOLDEN_KEYS: &[&str] = &[
+    "frames",
+    "geometry.bin_entries",
+    "geometry.cycles",
+    "geometry.draws_quarantined",
+    "geometry.prim_records",
+    "geometry.tile_cache_store_accesses",
+    "geometry.tile_cache_store_misses",
+    "geometry.triangles_after_clip",
+    "geometry.triangles_assembled",
+    "geometry.triangles_clipped_out",
+    "geometry.triangles_culled",
+    "geometry.triangles_degenerate",
+    "geometry.triangles_tagged",
+    "geometry.vertex_cache_accesses",
+    "geometry.vertex_cache_misses",
+    "geometry.vertices_shaded",
+    "geometry.vp_busy_cycles",
+    "raster.cycles",
+    "raster.fp_busy_cycles",
+    "raster.fp_idle_cycles",
+    "raster.fragments_collisionable",
+    "raster.fragments_rasterized",
+    "raster.fragments_shaded",
+    "raster.fragments_to_early_z",
+    "raster.pixels_covered",
+    "raster.primitives_fetched",
+    "raster.tile_cache_load_accesses",
+    "raster.tile_cache_load_misses",
+    "raster.tiles_processed",
+    "raster.zeb_stall_cycles",
+    "rbcd.elements_scanned",
+    "rbcd.eq_comparisons",
+    "rbcd.ff_drops",
+    "rbcd.insert_cycles",
+    "rbcd.insertions",
+    "rbcd.lists_scanned",
+    "rbcd.lt_comparisons",
+    "rbcd.mux_shifts",
+    "rbcd.overflows",
+    "rbcd.pairs_emitted",
+    "rbcd.priority_encodes",
+    "rbcd.register_ops",
+    "rbcd.rescan_passes",
+    "rbcd.rung_cpu",
+    "rbcd.rung_rescan",
+    "rbcd.rung_spare",
+    "rbcd.scan_cycles",
+    "rbcd.spare_allocations",
+    "rbcd.tiles",
+    "rbcd.unmatched_backs",
+    "rbcd.zeb_list_reads",
+    "rbcd.zeb_list_writes",
+];
+
+#[test]
+fn counter_registry_keys_are_pinned() {
+    let run = run_gpu(&rbcd_workloads::cap(), 2, &opts(), Some(RbcdConfig::default()));
+    let keys: Vec<&'static str> = run.counters.keys().collect();
+    assert_eq!(keys, GOLDEN_KEYS, "CounterSet key set or order changed");
+
+    // Baseline runs expose the GPU half only.
+    let base = run_gpu(&rbcd_workloads::cap(), 2, &opts(), None);
+    let base_keys: Vec<&'static str> = base.counters.keys().collect();
+    let expected: Vec<&&str> = GOLDEN_KEYS.iter().filter(|k| !k.starts_with("rbcd.")).collect();
+    assert_eq!(base_keys.len(), expected.len());
+    assert!(base_keys.iter().zip(expected).all(|(a, b)| a == b));
+}
+
+#[test]
+fn golden_counter_values_on_cap() {
+    // GOLDEN values captured from the seed implementation on `cap`,
+    // 192x128 viewport, 2 frames, default RBCD config, 1 thread. A
+    // diff here means the simulated pipeline changed behaviour.
+    let run = run_gpu(&rbcd_workloads::cap(), 2, &opts(), Some(RbcdConfig::default()));
+    let expected: &[(&str, u64)] = GOLDEN_VALUES;
+    let got: Vec<(&'static str, u64)> = run.counters.iter().collect();
+    let got_ref: Vec<(&str, u64)> = got.iter().map(|&(k, v)| (k, v)).collect();
+    assert_eq!(got_ref, expected, "counter values drifted on the golden scene");
+}
+
+const GOLDEN_VALUES: &[(&str, u64)] = &[
+    ("frames", 2),
+    ("geometry.bin_entries", 22798),
+    ("geometry.cycles", 592046),
+    ("geometry.draws_quarantined", 0),
+    ("geometry.prim_records", 20666),
+    ("geometry.tile_cache_store_accesses", 43464),
+    ("geometry.tile_cache_store_misses", 14240),
+    ("geometry.triangles_after_clip", 89830),
+    ("geometry.triangles_assembled", 89828),
+    ("geometry.triangles_clipped_out", 0),
+    ("geometry.triangles_culled", 12408),
+    ("geometry.triangles_degenerate", 56756),
+    ("geometry.triangles_tagged", 29683),
+    ("geometry.vertex_cache_accesses", 45272),
+    ("geometry.vertex_cache_misses", 11358),
+    ("geometry.vertices_shaded", 45272),
+    ("geometry.vp_busy_cycles", 338128),
+    ("raster.cycles", 244723),
+    ("raster.fp_busy_cycles", 788598),
+    ("raster.fp_idle_cycles", 17608),
+    ("raster.fragments_collisionable", 13974),
+    ("raster.fragments_rasterized", 108328),
+    ("raster.fragments_shaded", 64803),
+    ("raster.fragments_to_early_z", 104320),
+    ("raster.pixels_covered", 49152),
+    ("raster.primitives_fetched", 22798),
+    ("raster.tile_cache_load_accesses", 45596),
+    ("raster.tile_cache_load_misses", 15648),
+    ("raster.tiles_processed", 192),
+    ("raster.zeb_stall_cycles", 0),
+    ("rbcd.elements_scanned", 13972),
+    ("rbcd.eq_comparisons", 8805),
+    ("rbcd.ff_drops", 0),
+    ("rbcd.insert_cycles", 13974),
+    ("rbcd.insertions", 13974),
+    ("rbcd.lists_scanned", 5550),
+    ("rbcd.lt_comparisons", 111792),
+    ("rbcd.mux_shifts", 13974),
+    ("rbcd.overflows", 2),
+    ("rbcd.pairs_emitted", 49),
+    ("rbcd.priority_encodes", 6986),
+    ("rbcd.register_ops", 13972),
+    ("rbcd.rescan_passes", 0),
+    ("rbcd.rung_cpu", 0),
+    ("rbcd.rung_rescan", 0),
+    ("rbcd.rung_spare", 0),
+    ("rbcd.scan_cycles", 19522),
+    ("rbcd.spare_allocations", 0),
+    ("rbcd.tiles", 192),
+    ("rbcd.unmatched_backs", 0),
+    ("rbcd.zeb_list_reads", 19524),
+    ("rbcd.zeb_list_writes", 13974),
+];
+
+#[test]
+fn trace_json_schema_round_trips() {
+    let (_, trace) = run_gpu_traced(&rbcd_workloads::cap(), 2, &opts(), RbcdConfig::default());
+    let text = trace.to_chrome_json();
+    let doc = json::parse(&text).expect("emitted trace JSON must re-parse");
+
+    // JSON-object format: displayTimeUnit, otherData, traceEvents.
+    assert!(doc.get("displayTimeUnit").and_then(Value::as_str).is_some());
+    let frames = doc
+        .get("otherData")
+        .and_then(|o| o.get("frames"))
+        .and_then(Value::as_u64)
+        .expect("otherData.frames");
+    assert_eq!(frames, trace.frames());
+    let events = doc.get("traceEvents").and_then(Value::as_array).expect("traceEvents array");
+    assert_eq!(events.len(), trace.events().len());
+    assert!(!events.is_empty());
+
+    for e in events {
+        let ph = e.get("ph").and_then(Value::as_str).expect("ph");
+        assert!(matches!(ph, "X" | "i" | "C"), "unknown phase {ph}");
+        assert!(e.get("name").and_then(Value::as_str).is_some());
+        assert!(e.get("cat").and_then(Value::as_str).is_some());
+        assert!(e.get("ts").and_then(Value::as_u64).is_some());
+        assert!(e.get("pid").and_then(Value::as_u64).is_some());
+        assert!(e.get("tid").and_then(Value::as_u64).is_some());
+        match ph {
+            "X" => assert!(e.get("dur").and_then(Value::as_u64).is_some(), "span needs dur"),
+            "i" => assert_eq!(e.get("s").and_then(Value::as_str), Some("t"), "instant scope"),
+            _ => {}
+        }
+    }
+
+    // The frame lanes must cover every rendered frame.
+    let frame_spans = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Value::as_str) == Some("frame"))
+        .count();
+    assert_eq!(frame_spans as u64, trace.frames());
+}

@@ -5,7 +5,7 @@
 //! ladder firing.
 
 use rbcd_bench::faults::run_fault_tolerance;
-use rbcd_bench::runner::{run_frames_parallel, run_gpu};
+use rbcd_bench::runner::{run_frames_parallel, run_gpu, run_gpu_traced};
 use rbcd_bench::RunOptions;
 use rbcd_core::{FaultPlan, RbcdConfig};
 use rbcd_gpu::GpuConfig;
@@ -86,6 +86,42 @@ fn fault_injected_runs_are_identical_at_any_thread_count() {
             }
         }
     }
+}
+
+#[test]
+fn tracing_is_invisible_and_thread_invariant() {
+    // The instrumentation layer is observation-only: every simulated
+    // number a traced run reports is bit-identical to the untraced run,
+    // and the trace itself (events, heatmaps, frame count) is
+    // bit-identical at any thread count because all emission happens on
+    // the deterministic main-thread timeline.
+    let scene = rbcd_workloads::cap();
+    let plain = run_gpu(&scene, 2, &opts(1), Some(RbcdConfig::default()));
+    let (traced_seq, trace_seq) = run_gpu_traced(&scene, 2, &opts(1), RbcdConfig::default());
+
+    assert_eq!(plain.pairs, traced_seq.pairs, "tracing changed the pair set");
+    assert_eq!(plain.stats, traced_seq.stats, "tracing changed FrameStats");
+    assert_eq!(plain.rbcd, traced_seq.rbcd, "tracing changed RbcdStats");
+    assert_eq!(plain.seconds, traced_seq.seconds);
+    assert_eq!(plain.energy_j, traced_seq.energy_j);
+    assert_eq!(plain.counters, traced_seq.counters, "tracing changed the counter registry");
+
+    for threads in [2, 4] {
+        let (traced_par, trace_par) = run_gpu_traced(&scene, 2, &opts(threads), RbcdConfig::default());
+        assert_eq!(plain.stats, traced_par.stats, "traced FrameStats at {threads} threads");
+        assert_eq!(
+            trace_seq.events(),
+            trace_par.events(),
+            "trace events differ at {threads} threads"
+        );
+        assert_eq!(trace_seq.heat(), trace_par.heat(), "heatmaps differ at {threads} threads");
+        assert_eq!(trace_seq.frames(), trace_par.frames());
+    }
+
+    // The per-tile heatmap books must agree with the unit's own.
+    let rbcd = traced_seq.rbcd.expect("traced run attaches a unit");
+    assert_eq!(trace_seq.heat().total("overflows"), rbcd.overflows);
+    assert_eq!(trace_seq.heat().total("pairs"), rbcd.pairs_emitted);
 }
 
 #[test]

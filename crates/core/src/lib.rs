@@ -43,6 +43,7 @@
 mod element;
 mod error;
 pub mod faults;
+mod pair;
 mod parallel;
 mod scan;
 pub mod software;
@@ -53,6 +54,7 @@ mod zeb;
 pub use element::ZebElement;
 pub use error::RbcdError;
 pub use faults::{FaultLog, FaultPlan};
+pub use pair::ObjectPair;
 pub use parallel::{TileCollisions, ZebTileWorker};
 pub use scan::{scan_list, FfStack, ScanOutcome};
 pub use stats::RbcdStats;

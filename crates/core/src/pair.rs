@@ -1,0 +1,104 @@
+//! The canonical colliding-pair type.
+
+use rbcd_gpu::ObjectId;
+use std::fmt;
+
+/// An unordered pair of colliding objects in canonical form: stored
+/// `u32`-backed with the smaller id first, so pairs from any detector —
+/// the 13-bit-id hardware unit, the software oracle, or a CPU detector
+/// with wider ids — compare directly without hand-conversion.
+///
+/// `Ord` follows `(lo, hi)`, so a `BTreeSet<ObjectPair>` iterates in a
+/// deterministic, human-readable order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectPair {
+    lo: u32,
+    hi: u32,
+}
+
+impl ObjectPair {
+    /// Creates the canonical pair from two raw ids, in either order.
+    pub fn new(a: u32, b: u32) -> Self {
+        if a <= b {
+            Self { lo: a, hi: b }
+        } else {
+            Self { lo: b, hi: a }
+        }
+    }
+
+    /// Creates the canonical pair from two hardware object ids.
+    pub fn from_ids(a: ObjectId, b: ObjectId) -> Self {
+        Self::new(a.get() as u32, b.get() as u32)
+    }
+
+    /// The smaller id.
+    pub fn lo(&self) -> u32 {
+        self.lo
+    }
+
+    /// The larger id.
+    pub fn hi(&self) -> u32 {
+        self.hi
+    }
+
+    /// Whether `id` is one of the two members.
+    pub fn contains(&self, id: u32) -> bool {
+        self.lo == id || self.hi == id
+    }
+}
+
+impl From<(ObjectId, ObjectId)> for ObjectPair {
+    fn from((a, b): (ObjectId, ObjectId)) -> Self {
+        Self::from_ids(a, b)
+    }
+}
+
+impl From<(u32, u32)> for ObjectPair {
+    fn from((a, b): (u32, u32)) -> Self {
+        Self::new(a, b)
+    }
+}
+
+impl fmt::Display for ObjectPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_order_either_way() {
+        assert_eq!(ObjectPair::new(7, 3), ObjectPair::new(3, 7));
+        let p = ObjectPair::new(9, 2);
+        assert_eq!((p.lo(), p.hi()), (2, 9));
+        assert!(p.contains(9));
+        assert!(!p.contains(5));
+    }
+
+    #[test]
+    fn from_ids_widens() {
+        let p = ObjectPair::from_ids(ObjectId::new(40), ObjectId::new(12));
+        assert_eq!((p.lo(), p.hi()), (12, 40));
+        assert_eq!(p, ObjectPair::new(40, 12));
+        assert_eq!(ObjectPair::from((ObjectId::new(1), ObjectId::new(2))), ObjectPair::new(1, 2));
+        assert_eq!(ObjectPair::from((5u32, 4u32)), ObjectPair::new(4, 5));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut pairs = vec![ObjectPair::new(2, 9), ObjectPair::new(1, 3), ObjectPair::new(2, 4)];
+        pairs.sort();
+        assert_eq!(
+            pairs,
+            vec![ObjectPair::new(1, 3), ObjectPair::new(2, 4), ObjectPair::new(2, 9)]
+        );
+    }
+
+    #[test]
+    fn displays_as_tuple() {
+        assert_eq!(ObjectPair::new(8, 3).to_string(), "(3, 8)");
+    }
+}

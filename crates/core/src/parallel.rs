@@ -119,8 +119,8 @@ impl ParallelCollision for RbcdUnit {
         CollisionUnit::next_free(self)
     }
 
-    fn merge_tile(&mut self, _tile: TileCoord, out: Self::TileOut, start: u64, end: u64) {
-        self.merge_scanned_tile(&out.stats, &out.contacts, &out.escalated, start, end);
+    fn merge_tile(&mut self, tile: TileCoord, out: Self::TileOut, start: u64, end: u64) {
+        self.merge_scanned_tile(tile, &out.stats, &out.contacts, &out.escalated, start, end);
     }
 
     fn idle_at(&self) -> u64 {
@@ -231,6 +231,50 @@ mod tests {
         assert_eq!(CollisionUnit::idle_at(&seq), ParallelCollision::idle_at(&par));
         // And the dispatch bounds that drove both timelines agree.
         assert_eq!(seq_bounds.len(), tiles.len());
+    }
+
+    /// With tile logging enabled, the sequential and merge paths log
+    /// identical per-tile records (same deltas, same timing brackets),
+    /// and logging changes no result.
+    #[test]
+    fn tile_logs_match_between_sequential_and_merge() {
+        let config = RbcdConfig::default();
+        let tiles = [TileCoord { x: 0, y: 0 }, TileCoord { x: 2, y: 1 }];
+
+        let mut seq = RbcdUnit::new(config, 16).unwrap();
+        seq.set_tile_logging(true);
+        let mut cursor = 0u64;
+        for tile in tiles {
+            let start = cursor.max(CollisionUnit::next_free(&seq));
+            seq.begin_tile(tile, start);
+            for f in tile_frags(tile, 16) {
+                seq.insert(f);
+            }
+            let end = start + 40;
+            seq.finish_tile(end);
+            cursor = end;
+        }
+
+        let mut par = RbcdUnit::new(config, 16).unwrap();
+        par.set_tile_logging(true);
+        let mut worker = <RbcdUnit as ParallelCollision>::make_worker(&par);
+        let mut cursor = 0u64;
+        for &tile in &tiles {
+            let out = worker.process_tile(tile, &tile_frags(tile, 16));
+            let start = cursor.max(ParallelCollision::next_free(&par));
+            let end = start + 40;
+            ParallelCollision::merge_tile(&mut par, tile, out, start, end);
+            cursor = end;
+        }
+
+        let seq_log = seq.take_tile_records();
+        let par_log = par.take_tile_records();
+        assert_eq!(seq_log.len(), tiles.len());
+        assert_eq!(seq_log, par_log);
+        assert!(seq_log.iter().all(|r| r.insertions > 0 && r.scan_end > r.scan_start));
+        // Drained: a second take is empty, stats untouched by logging.
+        assert!(seq.take_tile_records().is_empty());
+        assert_eq!(seq.stats(), par.stats());
     }
 
     /// A worker's ZEB is clean after every tile, so reuse across many

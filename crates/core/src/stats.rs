@@ -1,6 +1,7 @@
 //! RBCD-unit activity counters and energy accounting.
 
 use rbcd_gpu::energy::EnergyModel;
+use rbcd_trace::CounterSet;
 
 /// Hardware event counters of the RBCD unit, itemised with the same
 /// McPAT component mapping the paper uses (§4.1): ZEB = SRAM,
@@ -98,6 +99,39 @@ impl RbcdStats {
     /// re-scan, or CPU escalation was needed.
     pub fn rung_clean(&self) -> u64 {
         self.tiles.saturating_sub(self.rung_spare + self.rung_rescan + self.rung_cpu)
+    }
+
+    /// Exports every counter into the typed registry under stable
+    /// `rbcd.*` keys — the RBCD half of the unified counter surface
+    /// (see [`rbcd_gpu::FrameStats::counter_set`] for the GPU half).
+    /// The key set is pinned by the golden-counter test in `rbcd-bench`.
+    pub fn counter_set(&self) -> CounterSet {
+        [
+            ("rbcd.insertions", self.insertions),
+            ("rbcd.overflows", self.overflows),
+            ("rbcd.spare_allocations", self.spare_allocations),
+            ("rbcd.zeb_list_reads", self.zeb_list_reads),
+            ("rbcd.zeb_list_writes", self.zeb_list_writes),
+            ("rbcd.lt_comparisons", self.lt_comparisons),
+            ("rbcd.mux_shifts", self.mux_shifts),
+            ("rbcd.lists_scanned", self.lists_scanned),
+            ("rbcd.elements_scanned", self.elements_scanned),
+            ("rbcd.eq_comparisons", self.eq_comparisons),
+            ("rbcd.priority_encodes", self.priority_encodes),
+            ("rbcd.register_ops", self.register_ops),
+            ("rbcd.pairs_emitted", self.pairs_emitted),
+            ("rbcd.unmatched_backs", self.unmatched_backs),
+            ("rbcd.tiles", self.tiles),
+            ("rbcd.insert_cycles", self.insert_cycles),
+            ("rbcd.scan_cycles", self.scan_cycles),
+            ("rbcd.ff_drops", self.ff_drops),
+            ("rbcd.rung_spare", self.rung_spare),
+            ("rbcd.rung_rescan", self.rung_rescan),
+            ("rbcd.rung_cpu", self.rung_cpu),
+            ("rbcd.rescan_passes", self.rescan_passes),
+        ]
+        .into_iter()
+        .collect()
     }
 
     /// Dynamic energy of the unit in joules under `model`.

@@ -1,6 +1,7 @@
 //! The complete RBCD unit and the frame-level convenience API.
 
 use crate::error::RbcdError;
+use crate::pair::ObjectPair;
 use crate::scan::{scan_list, FfStack};
 use crate::stats::RbcdStats;
 use crate::zeb::Zeb;
@@ -9,6 +10,7 @@ use rbcd_gpu::{
     CollisionFragment, CollisionUnit, FrameStats, FrameTrace, GpuConfig, ObjectId, PipelineMode,
     Simulator, TileCoord,
 };
+use rbcd_trace::TileZebRecord;
 use std::collections::BTreeSet;
 
 /// Configuration of the RBCD unit.
@@ -103,6 +105,12 @@ impl ContactPoint {
             (self.b, self.a)
         }
     }
+
+    /// The canonical [`ObjectPair`] — the type every detector's output
+    /// is compared through.
+    pub fn object_pair(&self) -> ObjectPair {
+        ObjectPair::from_ids(self.a, self.b)
+    }
 }
 
 /// The RBCD unit: ZEBs + sorted insertion + Z-overlap test, with the
@@ -123,12 +131,19 @@ pub struct RbcdUnit {
     pending: Vec<(u32, ZebElement)>,
     /// Objects escalated to the CPU detector by ladder rung 3.
     escalated: BTreeSet<ObjectId>,
+    /// Per-tile observability records, kept only while tile logging is
+    /// enabled; drained by the tracing host after each frame. Pure side
+    /// data: never read back into stats or timing.
+    tile_log: Option<Vec<TileZebRecord>>,
 }
 
 #[derive(Debug, Clone, Copy)]
 struct ActiveTile {
     zeb: usize,
     tile: TileCoord,
+    /// Cycle the tile was dispatched (`begin_tile`'s `cycle`), kept for
+    /// the tile log.
+    begin: u64,
 }
 
 impl RbcdUnit {
@@ -156,6 +171,7 @@ impl RbcdUnit {
             contacts: Vec::new(),
             pending: Vec::new(),
             escalated: BTreeSet::new(),
+            tile_log: None,
             config,
             tile_size,
         })
@@ -198,6 +214,35 @@ impl RbcdUnit {
         std::mem::take(&mut self.escalated)
     }
 
+    /// Enables or disables per-tile observability logging. While
+    /// enabled, every finished tile appends a [`TileZebRecord`] (tile
+    /// coordinates, insert/scan timing bracket, occupancy, overflows,
+    /// ladder rung) to a side log drained with
+    /// [`RbcdUnit::take_tile_records`]. Logging never feeds back into
+    /// stats, timing, or contacts — results are bit-identical either
+    /// way.
+    pub fn set_tile_logging(&mut self, enabled: bool) {
+        if enabled {
+            if self.tile_log.is_none() {
+                self.tile_log = Some(Vec::new());
+            }
+        } else {
+            self.tile_log = None;
+        }
+    }
+
+    /// Whether per-tile logging is enabled.
+    pub fn tile_logging(&self) -> bool {
+        self.tile_log.is_some()
+    }
+
+    /// Drains the per-tile records logged since the last drain (empty
+    /// when logging is disabled). Typically called once per frame and
+    /// handed to [`Simulator::record_collision_tiles`].
+    pub fn take_tile_records(&mut self) -> Vec<TileZebRecord> {
+        self.tile_log.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
     /// Resets timing state between frames (statistics are kept).
     pub fn new_frame(&mut self) {
         self.zeb_free_at.fill(0);
@@ -223,6 +268,7 @@ impl RbcdUnit {
     /// have made at dispatch time.
     pub(crate) fn merge_scanned_tile(
         &mut self,
+        tile: TileCoord,
         tile_stats: &RbcdStats,
         contacts: &[ContactPoint],
         escalated: &[ObjectId],
@@ -247,6 +293,47 @@ impl RbcdUnit {
         self.stats.accumulate(tile_stats);
         self.contacts.extend_from_slice(contacts);
         self.escalated.extend(escalated.iter().copied());
+        if let Some(log) = &mut self.tile_log {
+            log.push(tile_record(tile, tile_stats, start, end, scan_start, scan_end));
+        }
+    }
+}
+
+/// Builds one tile's observability record from its isolated stats and
+/// timing bracket. Shared by the sequential (`finish_tile` delta) and
+/// parallel (`merge_scanned_tile` per-tile stats) paths, which
+/// therefore log identical records.
+fn tile_record(
+    tile: TileCoord,
+    d: &RbcdStats,
+    start: u64,
+    end: u64,
+    scan_start: u64,
+    scan_end: u64,
+) -> TileZebRecord {
+    let rung = if d.rung_cpu > 0 {
+        3
+    } else if d.rung_rescan > 0 {
+        2
+    } else if d.rung_spare > 0 {
+        1
+    } else {
+        0
+    };
+    TileZebRecord {
+        tile_x: tile.x,
+        tile_y: tile.y,
+        start,
+        end,
+        scan_start,
+        scan_end,
+        insertions: d.insertions,
+        overflows: d.overflows,
+        spare_allocations: d.spare_allocations,
+        occupancy: d.elements_scanned,
+        pairs_emitted: d.pairs_emitted,
+        ff_drops: d.ff_drops,
+        rung,
     }
 }
 
@@ -406,7 +493,7 @@ impl CollisionUnit for RbcdUnit {
             "Tile Scheduler dispatched at {cycle} before ZEB {zeb} frees at {free}"
         );
         debug_assert!(self.zebs[zeb].is_empty(), "claimed ZEB was not cleared");
-        self.active = Some(ActiveTile { zeb, tile });
+        self.active = Some(ActiveTile { zeb, tile, begin: cycle });
     }
 
     fn insert(&mut self, frag: CollisionFragment) {
@@ -433,6 +520,10 @@ impl CollisionUnit for RbcdUnit {
         let scan_start = cycle.max(self.scan_unit_free_at);
         let pending = std::mem::take(&mut self.pending);
         let mut escalated = Vec::new();
+        // Stats snapshot for the tile log: the per-tile delta is the
+        // tile's isolated activity. `RbcdStats` is `Copy`; this costs
+        // nothing when logging is off.
+        let before = self.tile_log.is_some().then_some(self.stats);
         let scan_cycles = ladder_zeb_tile(
             &mut self.zebs[active.zeb],
             &mut self.stack,
@@ -451,6 +542,23 @@ impl CollisionUnit for RbcdUnit {
         self.stats.scan_cycles += scan_cycles;
         self.scan_unit_free_at = scan_end;
         self.zeb_free_at[active.zeb] = scan_end;
+        if let Some(log) = &mut self.tile_log {
+            let b = before.expect("snapshot taken while logging");
+            let s = &self.stats;
+            let delta = RbcdStats {
+                insertions: s.insertions - b.insertions,
+                overflows: s.overflows - b.overflows,
+                spare_allocations: s.spare_allocations - b.spare_allocations,
+                elements_scanned: s.elements_scanned - b.elements_scanned,
+                pairs_emitted: s.pairs_emitted - b.pairs_emitted,
+                ff_drops: s.ff_drops - b.ff_drops,
+                rung_spare: s.rung_spare - b.rung_spare,
+                rung_rescan: s.rung_rescan - b.rung_rescan,
+                rung_cpu: s.rung_cpu - b.rung_cpu,
+                ..RbcdStats::default()
+            };
+            log.push(tile_record(active.tile, &delta, active.begin, cycle, scan_start, scan_end));
+        }
     }
 
     fn idle_at(&self) -> u64 {

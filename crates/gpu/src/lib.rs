@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+mod builder;
 mod cache;
 mod clip;
 mod collision_unit;
@@ -55,6 +56,7 @@ mod raster;
 mod sim;
 mod stats;
 
+pub use builder::{GpuConfigError, SimulatorBuilder};
 pub use cache::{CacheConfig, CacheModel, CacheStats};
 pub use clip::clip_near;
 pub use collision_unit::{CollisionFragment, CollisionUnit, NullCollisionUnit, TileCoord};

@@ -119,7 +119,11 @@ impl Simulator {
     ) -> FrameStats {
         let geometry = self.geometry_pipeline(trace, mode);
         let raster = self.raster_parallel(trace, mode, backend, threads.max(1));
-        FrameStats { geometry, raster, frames: 1 }
+        let stats = FrameStats { geometry, raster, frames: 1 };
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.end_frame(stats.total_cycles());
+        }
+        stats
     }
 
     fn raster_parallel<B: ParallelCollision>(
@@ -133,7 +137,7 @@ impl Simulator {
         let mut r = RasterStats::default();
         self.tile_cache.reset_stats();
         let tiles_x = cfg.tiles_x();
-        let Simulator { bins, worker, tile_cache, .. } = self;
+        let Simulator { bins, worker, tile_cache, tracer, .. } = self;
         let active = bins.active();
         let coord = |ti: u32| TileCoord { x: ti % tiles_x, y: ti / tiles_x };
 
@@ -207,6 +211,10 @@ impl Simulator {
             let start = cursor.max(backend.next_free());
             let end = accumulate_tile(&mut r, &cfg, &out, cursor, start);
             backend.merge_tile(coord(ti), cout, start, end);
+            if let Some(t) = tracer.as_deref_mut() {
+                let tc = coord(ti);
+                t.record_tile_raster(tc.x, tc.y, start, end, out.frags);
+            }
             cursor = end;
         }
         cursor = cursor.max(backend.idle_at());
@@ -287,6 +295,35 @@ mod tests {
         let mut sim = Simulator::new(cfg());
         let b = sim.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut NullCollisionUnit, 1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tracing_never_changes_results_and_is_thread_invariant() {
+        let trace = busy_trace();
+        let mut plain = Simulator::new(cfg());
+        let base =
+            plain.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut NullCollisionUnit, 2);
+        let mut events_by_threads = Vec::new();
+        for threads in [1, 2, 4] {
+            let mut traced = crate::SimulatorBuilder::from_config(cfg())
+                .tracing(true)
+                .build()
+                .unwrap();
+            let stats = traced.render_frame_parallel(
+                &trace,
+                PipelineMode::Rbcd,
+                &mut NullCollisionUnit,
+                threads,
+            );
+            assert_eq!(stats, base, "tracing must not perturb results ({threads} threads)");
+            let buf = traced.take_trace().expect("tracing was enabled");
+            assert!(!buf.events().is_empty());
+            events_by_threads.push(buf.events().to_vec());
+        }
+        // Simulated-cycle timestamps: the trace itself is bit-identical
+        // across thread counts.
+        assert_eq!(events_by_threads[0], events_by_threads[1]);
+        assert_eq!(events_by_threads[0], events_by_threads[2]);
     }
 
     #[test]

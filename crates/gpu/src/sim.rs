@@ -8,6 +8,7 @@ use crate::config::GpuConfig;
 use crate::raster::{rasterize_triangle_in_tile, Fragment, ScreenTriangle};
 use crate::stats::{FrameStats, GeometryStats, RasterStats};
 use rbcd_math::{viewport as viewport_map, Vec3};
+use rbcd_trace::{TileZebRecord, TraceBuffer};
 
 /// Whether the pipeline renders plain (baseline) or with the RBCD
 /// extensions enabled (deferred face culling of collisionable geometry,
@@ -253,6 +254,9 @@ pub struct Simulator {
     pub(crate) bins: BinnedTiles,
     /// Resident raster worker for sequential execution.
     pub(crate) worker: TileWorker,
+    /// Structured event recorder; `None` (the default) costs nothing on
+    /// the hot path. Boxed so the simulator stays small and `Send`.
+    pub(crate) tracer: Option<Box<TraceBuffer>>,
 }
 
 const RECORD_BASE: u64 = 1 << 40;
@@ -323,12 +327,18 @@ pub(crate) fn finalize_raster_timing(r: &mut RasterStats, cfg: &GpuConfig, curso
 
 impl Simulator {
     /// Creates a simulator for the given configuration.
+    ///
+    /// Deprecated in spirit: this constructor performs no validation and
+    /// cannot enable tracing. Prefer [`crate::SimulatorBuilder`], which
+    /// rejects degenerate configurations with a typed
+    /// [`crate::GpuConfigError`] instead of silently mis-simulating.
     pub fn new(config: GpuConfig) -> Self {
         Self {
             vertex_cache: CacheModel::new(config.vertex_cache),
             tile_cache: CacheModel::new(config.tile_cache),
             bins: BinnedTiles::default(),
             worker: TileWorker::new(&config),
+            tracer: None,
             config,
         }
     }
@@ -336,6 +346,51 @@ impl Simulator {
     /// The active configuration.
     pub fn config(&self) -> &GpuConfig {
         &self.config
+    }
+
+    /// Enables or disables structured tracing. Enabling allocates a
+    /// fresh [`TraceBuffer`] sized to the tile grid; disabling drops any
+    /// recorded events. With tracing off (the default) the pipelines
+    /// take the exact pre-instrumentation paths: events are recorded to
+    /// a side buffer only and never feed back into stats or timing.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        if enabled {
+            if self.tracer.is_none() {
+                self.tracer = Some(Box::new(TraceBuffer::new(
+                    self.config.tiles_x(),
+                    self.config.tiles_y(),
+                )));
+            }
+        } else {
+            self.tracer = None;
+        }
+    }
+
+    /// Whether structured tracing is currently enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// The recorded trace so far, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.tracer.as_deref()
+    }
+
+    /// Takes the recorded trace out of the simulator (disabling further
+    /// recording), for export.
+    pub fn take_trace(&mut self) -> Option<TraceBuffer> {
+        self.tracer.take().map(|boxed| *boxed)
+    }
+
+    /// Folds per-tile RBCD-unit records (drained from the collision
+    /// unit after a frame, before the next `render_frame*` call) into
+    /// the trace. No-op with tracing disabled.
+    pub fn record_collision_tiles(&mut self, records: &[TileZebRecord]) {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            for rec in records {
+                t.record_zeb_tile(rec);
+            }
+        }
     }
 
     /// Renders one frame, returning its statistics. In
@@ -353,7 +408,11 @@ impl Simulator {
     ) -> FrameStats {
         let geometry = self.geometry_pipeline(trace, mode);
         let raster = self.raster_pipeline(trace, mode, unit);
-        FrameStats { geometry, raster, frames: 1 }
+        let stats = FrameStats { geometry, raster, frames: 1 };
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.end_frame(stats.total_cycles());
+        }
+        stats
     }
 
     /// Geometry Pipeline: vertex processing, primitive assembly,
@@ -373,6 +432,11 @@ impl Simulator {
 
         let view_proj = trace.camera.view_proj();
         let mut record_counter: u64 = 0;
+        // Draw log for the tracer: (index, vertices, triangles). Filled
+        // only when tracing, emitted once the phase's cycle count is
+        // known (per-draw timing is not modelled below phase
+        // granularity).
+        let mut draw_log: Vec<(u64, u64, u64)> = Vec::new();
 
         for (draw_idx, draw) in trace.draws.iter().enumerate() {
             if mode == PipelineMode::CollisionOnly && draw.collidable.is_none() {
@@ -401,6 +465,13 @@ impl Simulator {
                 .collect();
             g.vertices_shaded += clip_pos.len() as u64;
             g.vp_busy_cycles += clip_pos.len() as u64 * draw.shader.vertex_cycles as u64;
+            if self.tracer.is_some() {
+                draw_log.push((
+                    draw_idx as u64,
+                    clip_pos.len() as u64,
+                    draw.mesh.indices().len() as u64,
+                ));
+            }
 
             for &[ia, ib, ic] in draw.mesh.indices() {
                 g.triangles_assembled += 1;
@@ -492,6 +563,17 @@ impl Simulator {
         let contention = (dram_bytes as f64 / self.config.dram_bytes_per_cycle as f64
             * self.config.dram_contention) as u64;
         g.cycles = vp_cycles.max(pa_cycles).max(plb_cycles) + contention;
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.begin_frame();
+            t.geometry_done(g.cycles);
+            let n = draw_log.len() as u64;
+            for &(idx, verts, tris) in &draw_log {
+                // Spread the draw markers proportionally across the
+                // geometry span.
+                let at = (idx * g.cycles).checked_div(n).unwrap_or(0);
+                t.record_draw(idx, verts, tris, at);
+            }
+        }
         g
     }
 
@@ -507,7 +589,7 @@ impl Simulator {
         let mut r = RasterStats::default();
         self.tile_cache.reset_stats();
         let tiles_x = cfg.tiles_x();
-        let Simulator { bins, worker, tile_cache, .. } = self;
+        let Simulator { bins, worker, tile_cache, tracer, .. } = self;
 
         let mut cursor: u64 = 0; // rasterizer timeline, cycles
         for &ti in bins.active() {
@@ -526,6 +608,9 @@ impl Simulator {
             }
             let end = accumulate_tile(&mut r, &cfg, &out, cursor, start);
             unit.finish_tile(end);
+            if let Some(t) = tracer.as_deref_mut() {
+                t.record_tile_raster(tile.x, tile.y, start, end, out.frags);
+            }
             cursor = end;
         }
         // The frame is complete once the last Z-overlap scan drains.

@@ -1,6 +1,7 @@
 //! Activity counters: the raw material of the paper's Figures 9–11.
 
 use crate::cache::CacheStats;
+use rbcd_trace::CounterSet;
 
 /// Geometry Pipeline counters for one or more frames.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -125,6 +126,50 @@ impl FrameStats {
         r.cycles += o.cycles;
 
         self.frames += other.frames;
+    }
+
+    /// Exports every counter into the typed registry under stable
+    /// dotted keys (`geometry.*`, `raster.*`, `frames`). This is the
+    /// uniform surface consumers read instead of reaching into the
+    /// per-pipeline structs; the key set is pinned by the
+    /// golden-counter test in `rbcd-bench`.
+    pub fn counter_set(&self) -> CounterSet {
+        let g = &self.geometry;
+        let r = &self.raster;
+        [
+            ("geometry.vertices_shaded", g.vertices_shaded),
+            ("geometry.triangles_assembled", g.triangles_assembled),
+            ("geometry.triangles_clipped_out", g.triangles_clipped_out),
+            ("geometry.triangles_after_clip", g.triangles_after_clip),
+            ("geometry.triangles_culled", g.triangles_culled),
+            ("geometry.triangles_tagged", g.triangles_tagged),
+            ("geometry.triangles_degenerate", g.triangles_degenerate),
+            ("geometry.draws_quarantined", g.draws_quarantined),
+            ("geometry.bin_entries", g.bin_entries),
+            ("geometry.prim_records", g.prim_records),
+            ("geometry.tile_cache_store_accesses", g.tile_cache_stores.accesses()),
+            ("geometry.tile_cache_store_misses", g.tile_cache_stores.misses()),
+            ("geometry.vertex_cache_accesses", g.vertex_cache.accesses()),
+            ("geometry.vertex_cache_misses", g.vertex_cache.misses()),
+            ("geometry.vp_busy_cycles", g.vp_busy_cycles),
+            ("geometry.cycles", g.cycles),
+            ("raster.tiles_processed", r.tiles_processed),
+            ("raster.primitives_fetched", r.primitives_fetched),
+            ("raster.tile_cache_load_accesses", r.tile_cache_loads.accesses()),
+            ("raster.tile_cache_load_misses", r.tile_cache_loads.misses()),
+            ("raster.fragments_rasterized", r.fragments_rasterized),
+            ("raster.fragments_collisionable", r.fragments_collisionable),
+            ("raster.fragments_to_early_z", r.fragments_to_early_z),
+            ("raster.fragments_shaded", r.fragments_shaded),
+            ("raster.pixels_covered", r.pixels_covered),
+            ("raster.fp_busy_cycles", r.fp_busy_cycles),
+            ("raster.fp_idle_cycles", r.fp_idle_cycles),
+            ("raster.zeb_stall_cycles", r.zeb_stall_cycles),
+            ("raster.cycles", r.cycles),
+            ("frames", self.frames),
+        ]
+        .into_iter()
+        .collect()
     }
 }
 

@@ -1,0 +1,173 @@
+//! The typed counter registry.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An ordered registry of activity counters with stable string keys.
+///
+/// Keys use a dotted `subsystem.counter` convention
+/// (`"geometry.vertices_shaded"`, `"rbcd.overflows"`, …) and are
+/// `&'static str` by design: every key is declared once at the
+/// producing subsystem and pinned by the golden-counter test, so a
+/// renamed or dropped counter is an API break, not a silent drift.
+///
+/// The map is a `BTreeMap`, so iteration order — and therefore every
+/// rendered report and serialized snapshot — is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    entries: BTreeMap<&'static str, u64>,
+}
+
+impl CounterSet {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `key` to `value`, replacing any previous value.
+    pub fn set(&mut self, key: &'static str, value: u64) -> &mut Self {
+        self.entries.insert(key, value);
+        self
+    }
+
+    /// Adds `amount` to `key` (starting from 0 if absent).
+    pub fn add(&mut self, key: &'static str, amount: u64) -> &mut Self {
+        *self.entries.entry(key).or_insert(0) += amount;
+        self
+    }
+
+    /// The value of `key`, or 0 when the counter was never recorded.
+    pub fn get(&self, key: &str) -> u64 {
+        self.entries.get(key).copied().unwrap_or(0)
+    }
+
+    /// Whether `key` was recorded at all (even with value 0).
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Number of recorded counters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no counter was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All keys, in sorted order.
+    pub fn keys(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// `(key, value)` pairs in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.entries.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Merges `other` into `self`, summing values key-wise — the
+    /// accumulation used when folding per-frame snapshots into a run
+    /// total.
+    pub fn accumulate(&mut self, other: &CounterSet) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// The per-interval delta `self − earlier`, saturating at 0 — the
+    /// snapshot/delta idiom: snapshot the registry before an interval,
+    /// snapshot after, and `after.delta(&before)` is the interval's
+    /// activity. Keys present in only one snapshot are kept (missing
+    /// side reads as 0).
+    pub fn delta(&self, earlier: &CounterSet) -> CounterSet {
+        let mut out = CounterSet::new();
+        for (k, v) in self.iter() {
+            out.set(k, v.saturating_sub(earlier.get(k)));
+        }
+        for (k, _) in earlier.iter() {
+            if !self.contains(k) {
+                out.set(k, 0);
+            }
+        }
+        out
+    }
+
+    /// Renders the registry as a JSON object with sorted keys.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{k}\": {v}"));
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for CounterSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in self.iter() {
+            writeln!(f, "{k} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(&'static str, u64)> for CounterSet {
+    fn from_iter<T: IntoIterator<Item = (&'static str, u64)>>(iter: T) -> Self {
+        let mut set = CounterSet::new();
+        for (k, v) in iter {
+            set.set(k, v);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_and_default_zero() {
+        let mut c = CounterSet::new();
+        c.set("a.x", 3).set("a.y", 0);
+        assert_eq!(c.get("a.x"), 3);
+        assert_eq!(c.get("a.y"), 0);
+        assert_eq!(c.get("missing"), 0);
+        assert!(c.contains("a.y"));
+        assert!(!c.contains("missing"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn delta_is_saturating_and_keeps_all_keys() {
+        let before: CounterSet = [("a", 5u64), ("gone", 7)].into_iter().collect();
+        let after: CounterSet = [("a", 9u64), ("new", 2)].into_iter().collect();
+        let d = after.delta(&before);
+        assert_eq!(d.get("a"), 4);
+        assert_eq!(d.get("new"), 2);
+        assert_eq!(d.get("gone"), 0);
+        assert!(d.contains("gone"));
+    }
+
+    #[test]
+    fn accumulate_sums_keywise() {
+        let mut total = CounterSet::new();
+        let frame: CounterSet = [("x", 2u64), ("y", 3)].into_iter().collect();
+        total.accumulate(&frame);
+        total.accumulate(&frame);
+        assert_eq!(total.get("x"), 4);
+        assert_eq!(total.get("y"), 6);
+    }
+
+    #[test]
+    fn iteration_and_json_are_key_sorted() {
+        let c: CounterSet = [("z.last", 1u64), ("a.first", 2)].into_iter().collect();
+        let keys: Vec<_> = c.keys().collect();
+        assert_eq!(keys, ["a.first", "z.last"]);
+        assert_eq!(c.to_json(), "{\"a.first\": 2, \"z.last\": 1}");
+    }
+}

@@ -1,0 +1,156 @@
+//! Per-tile heat accumulation and CSV export.
+
+use crate::event::TileZebRecord;
+
+/// The metrics a [`HeatGrid`] accumulates, in export order. Each name
+/// is a valid argument to [`HeatGrid::csv`] / [`HeatGrid::total`] and
+/// becomes one CSV file per `repro --trace` run.
+pub const HEATMAP_METRICS: [&str; 5] =
+    ["occupancy", "overflows", "scan_cycles", "pairs", "rung"];
+
+/// A `tiles_x` × `tiles_y` grid of per-tile accumulators, folded over
+/// every [`TileZebRecord`] the trace sees (all frames summed; `rung`
+/// keeps the worst rung a tile ever hit).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeatGrid {
+    tiles_x: u32,
+    tiles_y: u32,
+    occupancy: Vec<u64>,
+    overflows: Vec<u64>,
+    scan_cycles: Vec<u64>,
+    pairs: Vec<u64>,
+    rung: Vec<u64>,
+}
+
+impl HeatGrid {
+    /// Creates a zeroed grid for a `tiles_x` × `tiles_y` tile layout.
+    pub fn new(tiles_x: u32, tiles_y: u32) -> Self {
+        let n = tiles_x as usize * tiles_y as usize;
+        Self {
+            tiles_x,
+            tiles_y,
+            occupancy: vec![0; n],
+            overflows: vec![0; n],
+            scan_cycles: vec![0; n],
+            pairs: vec![0; n],
+            rung: vec![0; n],
+        }
+    }
+
+    /// Grid width in tiles.
+    pub fn tiles_x(&self) -> u32 {
+        self.tiles_x
+    }
+
+    /// Grid height in tiles.
+    pub fn tiles_y(&self) -> u32 {
+        self.tiles_y
+    }
+
+    /// Folds one tile record into the grid. Records outside the grid
+    /// (possible only on a mis-sized grid) are ignored.
+    pub fn add_tile(&mut self, rec: &TileZebRecord) {
+        if rec.tile_x >= self.tiles_x || rec.tile_y >= self.tiles_y {
+            return;
+        }
+        let i = rec.tile_y as usize * self.tiles_x as usize + rec.tile_x as usize;
+        self.occupancy[i] += rec.occupancy;
+        self.overflows[i] += rec.overflows;
+        self.scan_cycles[i] += rec.scan_end.saturating_sub(rec.scan_start);
+        self.pairs[i] += rec.pairs_emitted;
+        self.rung[i] = self.rung[i].max(rec.rung as u64);
+    }
+
+    fn cells(&self, metric: &str) -> Option<&[u64]> {
+        match metric {
+            "occupancy" => Some(&self.occupancy),
+            "overflows" => Some(&self.overflows),
+            "scan_cycles" => Some(&self.scan_cycles),
+            "pairs" => Some(&self.pairs),
+            "rung" => Some(&self.rung),
+            _ => None,
+        }
+    }
+
+    /// Sum of `metric` over all tiles (for `rung`: the sum of per-tile
+    /// worst rungs). Returns 0 for an unknown metric.
+    pub fn total(&self, metric: &str) -> u64 {
+        self.cells(metric).map(|c| c.iter().sum()).unwrap_or(0)
+    }
+
+    /// Renders `metric` as a plain numeric CSV grid: `tiles_y` lines of
+    /// `tiles_x` comma-separated values, row 0 = top tile row. `None`
+    /// for an unknown metric.
+    pub fn csv(&self, metric: &str) -> Option<String> {
+        let cells = self.cells(metric)?;
+        let mut out = String::with_capacity(cells.len() * 4);
+        for y in 0..self.tiles_y as usize {
+            let row = &cells[y * self.tiles_x as usize..(y + 1) * self.tiles_x as usize];
+            for (x, v) in row.iter().enumerate() {
+                if x > 0 {
+                    out.push(',');
+                }
+                out.push_str(&v.to_string());
+            }
+            out.push('\n');
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(x: u32, y: u32, overflows: u64, rung: u8) -> TileZebRecord {
+        TileZebRecord {
+            tile_x: x,
+            tile_y: y,
+            start: 0,
+            end: 10,
+            scan_start: 10,
+            scan_end: 25,
+            insertions: 4,
+            overflows,
+            spare_allocations: 0,
+            occupancy: 4,
+            pairs_emitted: 2,
+            ff_drops: 0,
+            rung,
+        }
+    }
+
+    #[test]
+    fn accumulates_and_totals() {
+        let mut g = HeatGrid::new(3, 2);
+        g.add_tile(&rec(0, 0, 1, 0));
+        g.add_tile(&rec(2, 1, 3, 2));
+        g.add_tile(&rec(2, 1, 0, 1)); // second frame, same tile
+        assert_eq!(g.total("overflows"), 4);
+        assert_eq!(g.total("occupancy"), 12);
+        assert_eq!(g.total("pairs"), 6);
+        assert_eq!(g.total("scan_cycles"), 45);
+        // rung keeps the per-tile max, not the sum.
+        assert_eq!(g.total("rung"), 2);
+        assert_eq!(g.total("bogus"), 0);
+    }
+
+    #[test]
+    fn csv_is_row_major_grid() {
+        let mut g = HeatGrid::new(2, 2);
+        g.add_tile(&rec(1, 0, 5, 0));
+        let csv = g.csv("overflows").unwrap();
+        assert_eq!(csv, "0,5\n0,0\n");
+        assert!(g.csv("bogus").is_none());
+        for m in HEATMAP_METRICS {
+            assert!(g.csv(m).is_some(), "metric {m} must render");
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_records_ignored() {
+        let mut g = HeatGrid::new(1, 1);
+        g.add_tile(&rec(5, 5, 9, 3));
+        assert_eq!(g.total("overflows"), 0);
+    }
+}

@@ -26,4 +26,17 @@ echo "== parallel pipeline smoke (repro --smoke --threads 2) =="
 echo "== fault injection smoke (repro --smoke --faults all --threads 2) =="
 ./target/release/repro --smoke --faults all --threads 2
 
+echo "== trace smoke (repro --smoke --frames 2 --trace) =="
+# Renders two traced frames, re-parses the Chrome JSON with the crate's
+# own parser, and cross-checks heatmap totals against the unit's
+# counters; repro exits non-zero if anything disagrees. Then make sure
+# the artifacts actually landed and are non-empty.
+trace_dir=$(mktemp -d)
+trap 'rm -rf "$trace_dir"' EXIT
+./target/release/repro --smoke --frames 2 --trace "$trace_dir/trace.json"
+for f in trace.json trace.occupancy.csv trace.overflows.csv trace.scan_cycles.csv trace.pairs.csv trace.rung.csv; do
+  [ -s "$trace_dir/$f" ] || { echo "trace smoke: missing or empty $f"; exit 1; }
+done
+grep -q '"traceEvents"' "$trace_dir/trace.json" || { echo "trace smoke: no traceEvents key"; exit 1; }
+
 echo "OK: lint + build + tests + smokes all passed"
