@@ -8,14 +8,23 @@
 //!
 //! Experiment ids: table1 table2 fig2 fig8a fig8b fig8c fig8d fig9a
 //! fig9b fig10 fig11 table3 sec52 sec53 ablation-zebs all — plus the
-//! extension experiments imr, spares, timesteps, tbdr, and resolution
-//! (run by `all` too), and `bench`, a host-throughput smoke for the
-//! parallel tile pipeline that writes `BENCH_tile_pipeline.json`.
+//! extension experiments imr, spares, timesteps, tbdr, resolution, and
+//! temporal (run by `all` too), and `bench`, a host-throughput smoke
+//! for the parallel tile pipeline that writes `BENCH_tile_pipeline.json`.
+//! `temporal` measures the signature-based tile-reuse layer on the
+//! static/resting clips of `rbcd_workloads::temporal_suite()` against a
+//! reuse-off run of the same frames, reports per-scene reuse rate and
+//! the simulated-cycle speedup, writes `BENCH_temporal_coherence.json`,
+//! and exits non-zero if reuse ever changes a pair set or an `rbcd.*`
+//! counter.
 //!
 //! Flags: `--frames N` overrides frames per benchmark, `--threads N`
 //! sets the worker-thread count (simulated numbers are bit-identical
-//! for any value), `--smoke` shrinks every experiment to a quick
-//! configuration and defaults the experiment list to `bench`.
+//! for any value), `--no-reuse` disables cross-frame tile reuse (on by
+//! default; reuse never changes pairs or event counters, only the
+//! simulated-cycle timeline), `--smoke` shrinks every experiment to a
+//! quick configuration and defaults the experiment list to
+//! `bench temporal`.
 //!
 //! `--trace <out.json>` runs the trace experiment: render the `cap`
 //! workload with the deterministic instrumentation layer enabled and
@@ -86,6 +95,11 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         smoke = true;
         args.remove(pos);
     }
+    let mut reuse = true;
+    if let Some(pos) = args.iter().position(|a| a == "--no-reuse") {
+        reuse = false;
+        args.remove(pos);
+    }
     let mut trace_path: Option<String> = None;
     if let Some(pos) = args.iter().position(|a| a == "--trace") {
         let path = args.get(pos + 1).cloned().unwrap_or_else(|| {
@@ -111,15 +125,17 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let wanted: Vec<String> = if args.is_empty() {
         if fault_plan.is_some() || trace_path.is_some() {
             Vec::new() // --faults / --trace alone run just that experiment
+        } else if smoke {
+            vec!["bench".into(), "temporal".into()]
         } else {
-            vec![if smoke { "bench" } else { "all" }.into()]
+            vec!["all".into()]
         }
     } else {
         args
     };
     let want = |id: &str| wanted.iter().any(|w| w == id || w == "all");
 
-    let mut opts = RunOptions { frames, threads, ..RunOptions::default() };
+    let mut opts = RunOptions { frames, threads, reuse, ..RunOptions::default() };
     if smoke {
         opts.frames = Some(opts.frames.unwrap_or(2).min(2));
         opts.gpu = GpuConfig { viewport: Viewport::new(320, 200), ..GpuConfig::default() };
@@ -145,6 +161,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     // which is meaningless in CI artifact regeneration.
     if wanted.iter().any(|w| w == "bench") {
         run_tile_pipeline_bench(&opts, threads.max(2), smoke)?;
+    }
+
+    if want("temporal") {
+        run_temporal_experiment(&opts)?;
     }
 
     if want("table1") {
@@ -187,6 +207,17 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let scenes = rbcd_workloads::suite();
     let suite = run_suite(&scenes, &opts);
     eprintln!("suite simulated in {:.1?} of host time", t0.elapsed());
+    let (checked, reused) = suite.benchmarks.iter().fold((0u64, 0u64), |acc, b| {
+        let c = &b.rbcd2.stats.coherence;
+        (acc.0 + c.tiles_checked, acc.1 + c.tiles_reused)
+    });
+    if checked > 0 {
+        println!(
+            "tile reuse on the suite (2-ZEB RBCD leg): {reused} of {checked} tiles replayed \
+             ({}); pass --no-reuse to disable",
+            fmt_pct(reused as f64 / checked as f64)
+        );
+    }
 
     if want("fig8a") {
         print_fig8_speedup(&suite, false, PaperRef { note: "paper geomean ~250x (1 ZEB), ~600x (2 ZEB)" })?;
@@ -779,6 +810,121 @@ fn print_resolution(_opts: &RunOptions) -> Result<(), TableError> {
     println!(" every resolution while sub-pixel overlap slivers need enough pixels per unit to");
     println!(" be seen — 'the higher the rendering resolution, the smaller the false");
     println!(" collisionable area', §2.2)");
+    Ok(())
+}
+
+/// Temporal-coherence experiment (`temporal`, run by `all` and by
+/// `--smoke`): render the static/resting clips of
+/// [`rbcd_workloads::temporal_suite`] twice — reuse off, then reuse on
+/// — and report per-scene reuse rate plus the simulated-cycle speedup
+/// the signature-based tile replay buys. The exactness contract is
+/// enforced, not assumed: if reuse changes a pair set or any `rbcd.*`
+/// counter the run exits non-zero. Writes
+/// `BENCH_temporal_coherence.json`.
+fn run_temporal_experiment(opts: &RunOptions) -> Result<(), TableError> {
+    use rbcd_bench::runner::run_gpu;
+
+    let scenes = rbcd_workloads::temporal_suite();
+    eprintln!(
+        "temporal coherence: {} clips, reuse off vs on, {} thread(s)...",
+        scenes.len(),
+        opts.threads.max(1)
+    );
+    let mut t = Table::new(
+        "Temporal coherence — signature-based tile reuse (simulated cycles)",
+        &["benchmark", "frames", "reuse rate", "cycles off", "cycles on", "speedup", "identical"],
+    );
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    let (mut checked, mut reused) = (0u64, 0u64);
+    for scene in &scenes {
+        let frames = opts.frames.unwrap_or(scene.frames).min(scene.frames).max(2);
+        let off = run_gpu(
+            scene,
+            frames,
+            &RunOptions { reuse: false, ..opts.clone() },
+            Some(RbcdConfig::default()),
+        );
+        let on = run_gpu(
+            scene,
+            frames,
+            &RunOptions { reuse: true, ..opts.clone() },
+            Some(RbcdConfig::default()),
+        );
+
+        // Replay must be invisible in the results: same pairs, same
+        // RBCD-unit books. Only the timeline may shrink.
+        let identical = on.pairs == off.pairs && on.rbcd == off.rbcd;
+        if !identical {
+            eprintln!(
+                "REUSE DIVERGENCE on {}: reuse-on results differ from reuse-off",
+                scene.alias
+            );
+            std::process::exit(1);
+        }
+
+        let tiles_checked = on.counters.get("coherence.tiles_checked");
+        let tiles_reused = on.counters.get("coherence.tiles_reused");
+        checked += tiles_checked;
+        reused += tiles_reused;
+        let rate = tiles_reused as f64 / tiles_checked.max(1) as f64;
+        let cycles_off = off.stats.total_cycles();
+        let cycles_on = on.stats.total_cycles();
+        let speedup = cycles_off as f64 / cycles_on.max(1) as f64;
+        speedups.push(speedup);
+        t.row(vec![
+            scene.alias.to_string(),
+            frames.to_string(),
+            fmt_pct(rate),
+            cycles_off.to_string(),
+            cycles_on.to_string(),
+            fmt_x(speedup),
+            "yes".to_string(),
+        ])?;
+        rows.push((scene.alias.to_string(), frames, tiles_checked, tiles_reused, rate, cycles_off, cycles_on, speedup));
+    }
+    print!("{}", t.render());
+    let geo = geomean(speedups);
+    println!(
+        "geomean simulated-cycle speedup {} | reuse rate {} ({reused} of {checked} tiles \
+         replayed; pairs and event counters bit-identical to reuse-off)",
+        fmt_x(geo),
+        fmt_pct(reused as f64 / checked.max(1) as f64)
+    );
+
+    // Hand-rolled JSON — the workspace deliberately has no serde.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"temporal_coherence\",\n");
+    json.push_str(&format!("  \"threads\": {},\n", opts.threads.max(1)));
+    json.push_str(&format!(
+        "  \"viewport\": \"{}x{}\",\n",
+        opts.gpu.viewport.width, opts.gpu.viewport.height
+    ));
+    json.push_str("  \"identical_results\": true,\n");
+    json.push_str(&format!("  \"speedup_geomean\": {geo:.4},\n"));
+    json.push_str(&format!(
+        "  \"reuse_rate\": {:.6},\n",
+        reused as f64 / checked.max(1) as f64
+    ));
+    json.push_str("  \"scenes\": [\n");
+    for (i, (alias, frames, tiles_checked, tiles_reused, rate, cycles_off, cycles_on, speedup)) in
+        rows.iter().enumerate()
+    {
+        json.push_str(&format!(
+            "    {{\"name\": \"{alias}\", \"frames\": {frames}, \
+             \"tiles_checked\": {tiles_checked}, \"tiles_reused\": {tiles_reused}, \
+             \"reuse_rate\": {rate:.6}, \"cycles_off\": {cycles_off}, \
+             \"cycles_on\": {cycles_on}, \"speedup\": {speedup:.4}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_temporal_coherence.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
     Ok(())
 }
 

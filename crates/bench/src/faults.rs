@@ -36,7 +36,7 @@ pub fn ladder_config(plan: &FaultPlan) -> RbcdConfig {
 }
 
 /// One `(scene, M)` sweep point.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultCell {
     /// Forced ZEB list capacity.
     pub m: usize,
@@ -154,6 +154,7 @@ fn run_cell(scene: &Scene, frames: usize, plan: &FaultPlan, opts: &RunOptions) -
 
     let meshes = scene.collidable_meshes();
     let mut sim = Simulator::new(opts.gpu.clone());
+    sim.set_reuse(opts.reuse);
     let mut unit = RbcdUnit::new(cfg, opts.gpu.tile_size)
         .expect("the ladder configuration is valid by construction");
     let mut prev = *unit.stats();

@@ -29,6 +29,14 @@ pub struct RunOptions {
     /// bit-identical for any value (the parallel tile pipeline merges
     /// deterministically); this only changes host wall-clock time.
     pub threads: usize,
+    /// Temporal tile coherence: when enabled, tiles whose binned draw
+    /// list is unchanged from the previous frame replay their cached
+    /// result instead of re-rasterizing. Pairs, heatmaps, and every
+    /// event counter stay bit-identical to a reuse-off run; only the
+    /// simulated-cycle timeline (and cycle-derived metrics) shrinks.
+    /// Off by default so golden counters and the paper-facing tables
+    /// are unaffected unless asked for.
+    pub reuse: bool,
 }
 
 impl Default for RunOptions {
@@ -41,6 +49,7 @@ impl Default for RunOptions {
             m_sweep: vec![4, 8, 16],
             zeb_counts: vec![1, 2, 3, 4],
             threads: 1,
+            reuse: false,
         }
     }
 }
@@ -80,6 +89,7 @@ fn run_gpu_inner(
 ) -> (GpuRun, Option<TraceBuffer>) {
     let mut sim = SimulatorBuilder::from_config(opts.gpu.clone())
         .tracing(traced)
+        .reuse(opts.reuse)
         .build()
         .expect("benchmark GPU configurations are validated at construction");
     let mut total = FrameStats::default();

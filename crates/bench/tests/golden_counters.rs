@@ -25,6 +25,10 @@ fn opts() -> RunOptions {
 
 /// Every key the registry must expose, in `CounterSet`'s sorted order.
 const GOLDEN_KEYS: &[&str] = &[
+    "coherence.draw_hashes",
+    "coherence.signature_cycles",
+    "coherence.tiles_checked",
+    "coherence.tiles_reused",
     "frames",
     "geometry.bin_entries",
     "geometry.cycles",
@@ -106,6 +110,12 @@ fn golden_counter_values_on_cap() {
 }
 
 const GOLDEN_VALUES: &[(&str, u64)] = &[
+    // Reuse is off by default, so the coherence plane is all zeros here;
+    // the determinism suite covers the reuse-on counters.
+    ("coherence.draw_hashes", 0),
+    ("coherence.signature_cycles", 0),
+    ("coherence.tiles_checked", 0),
+    ("coherence.tiles_reused", 0),
     ("frames", 2),
     ("geometry.bin_entries", 22798),
     ("geometry.cycles", 592046),

@@ -5,6 +5,7 @@
 //! ladder firing.
 
 use rbcd_bench::faults::run_fault_tolerance;
+use rbcd_bench::metrics::GpuRun;
 use rbcd_bench::runner::{run_frames_parallel, run_gpu, run_gpu_traced};
 use rbcd_bench::RunOptions;
 use rbcd_core::{FaultPlan, RbcdConfig};
@@ -122,6 +123,101 @@ fn tracing_is_invisible_and_thread_invariant() {
     let rbcd = traced_seq.rbcd.expect("traced run attaches a unit");
     assert_eq!(trace_seq.heat().total("overflows"), rbcd.overflows);
     assert_eq!(trace_seq.heat().total("pairs"), rbcd.pairs_emitted);
+}
+
+/// The exactness contract of the temporal-coherence layer: a reuse-on
+/// run may differ from reuse-off only in the simulated timeline
+/// (`raster.cycles`, `raster.fp_idle_cycles`, `raster.zeb_stall_cycles`)
+/// and its own `coherence.*` bookkeeping. Every event counter — work
+/// actually performed, pairs found, RBCD-unit books — must match bit
+/// for bit.
+fn assert_events_match(off: &GpuRun, on: &GpuRun, tag: &str) {
+    const TIMING_KEYS: &[&str] =
+        &["raster.cycles", "raster.fp_idle_cycles", "raster.zeb_stall_cycles"];
+    assert_eq!(off.pairs, on.pairs, "{tag}: pair set changed under reuse");
+    assert_eq!(off.rbcd, on.rbcd, "{tag}: RbcdStats changed under reuse");
+    for ((ka, va), (kb, vb)) in off.counters.iter().zip(on.counters.iter()) {
+        assert_eq!(ka, kb, "{tag}: counter registries disagree on keys");
+        if ka.starts_with("coherence.") || TIMING_KEYS.contains(&ka) {
+            continue;
+        }
+        assert_eq!(va, vb, "{tag}: event counter {ka} changed under reuse");
+    }
+}
+
+#[test]
+fn reuse_is_event_identical_across_suite_and_temporal_scenes() {
+    // Suite scenes animate every frame (moving cameras and objects), so
+    // they exercise the invalidation path; the temporal clips are
+    // static/resting, so they exercise heavy replay. Both must keep
+    // every event counter bit-identical to reuse-off at 1, 2, and 4
+    // threads — and the reuse-on results themselves must be
+    // thread-count invariant in full (timeline included).
+    let scenes: Vec<_> =
+        rbcd_workloads::suite().into_iter().chain(rbcd_workloads::temporal_suite()).collect();
+    for scene in &scenes {
+        let off = run_gpu(scene, 2, &opts(1), Some(RbcdConfig::default()));
+        let base = run_gpu(
+            scene,
+            2,
+            &RunOptions { reuse: true, ..opts(1) },
+            Some(RbcdConfig::default()),
+        );
+        assert_events_match(&off, &base, scene.alias);
+        for threads in [2, 4] {
+            let on = run_gpu(
+                scene,
+                2,
+                &RunOptions { reuse: true, ..opts(threads) },
+                Some(RbcdConfig::default()),
+            );
+            assert_eq!(
+                base.stats, on.stats,
+                "{} reuse-on FrameStats at {threads} threads",
+                scene.alias
+            );
+            assert_eq!(base.pairs, on.pairs, "{} reuse-on pairs", scene.alias);
+            assert_eq!(base.rbcd, on.rbcd, "{} reuse-on RbcdStats", scene.alias);
+            assert_eq!(base.seconds, on.seconds);
+            assert_eq!(base.energy_j, on.energy_j);
+        }
+    }
+    // The temporal clips must actually replay tiles, or this test is
+    // only checking the trivially-cold path.
+    let vault = run_gpu(
+        &rbcd_workloads::vault(),
+        2,
+        &RunOptions { reuse: true, ..opts(2) },
+        Some(RbcdConfig::default()),
+    );
+    assert!(vault.counters.get("coherence.tiles_reused") > 0, "vault must reuse tiles");
+}
+
+#[test]
+fn reuse_is_event_identical_under_every_fault_preset() {
+    // Fault injection corrupts draws before binning, so a fault-touched
+    // draw changes its content hash and invalidates its tiles; replayed
+    // tiles re-emit their recorded ladder outcomes. Every recovery and
+    // rung statistic must therefore match reuse-off exactly, for every
+    // preset. (`FaultCell` carries event counts only — no timeline —
+    // so whole-cell equality is the right check.)
+    let scenes = [rbcd_workloads::shells()];
+    for preset in rbcd_core::faults::PRESETS {
+        let plan = FaultPlan::preset(preset, 0xC0_4E5E).unwrap();
+        let off = run_fault_tolerance(&scenes, preset, plan, &[2], &opts(2));
+        let on = run_fault_tolerance(
+            &scenes,
+            preset,
+            plan,
+            &[2],
+            &RunOptions { reuse: true, ..opts(2) },
+        );
+        for (sa, sb) in off.scenes.iter().zip(&on.scenes) {
+            for (ca, cb) in sa.cells.iter().zip(&sb.cells) {
+                assert_eq!(ca, cb, "preset '{preset}' M={}: cell changed under reuse", ca.m);
+            }
+        }
+    }
 }
 
 #[test]

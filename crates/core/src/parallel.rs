@@ -123,6 +123,33 @@ impl ParallelCollision for RbcdUnit {
         self.merge_scanned_tile(tile, &out.stats, &out.contacts, &out.escalated, start, end);
     }
 
+    fn replay_tile(&mut self, tile: TileCoord, out: Self::TileOut, start: u64, end: u64) {
+        self.replay_scanned_tile(tile, &out.stats, &out.contacts, &out.escalated, start, end);
+    }
+
+    fn coherence_key(&self) -> u64 {
+        // Every RbcdConfig field feeds the key: a cached tile result is
+        // only valid under the exact unit configuration that produced
+        // it (capacities change overflow behaviour, ladder knobs change
+        // recovery, scan costs change the logged timing).
+        let c = self.config();
+        let mut h = 0x52_BC_D0_01u64;
+        for v in [
+            c.zeb_count as u64,
+            c.list_capacity as u64,
+            c.ff_stack_capacity as u64,
+            c.scan_cycles_per_element,
+            c.scan_cycles_per_list,
+            c.spare_entries as u64,
+            c.ladder_rescans as u64,
+            c.ladder_cpu_fallback as u64,
+        ] {
+            h = (h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h ^= h >> 29;
+        }
+        h
+    }
+
     fn idle_at(&self) -> u64 {
         CollisionUnit::idle_at(self)
     }
@@ -275,6 +302,52 @@ mod tests {
         // Drained: a second take is empty, stats untouched by logging.
         assert!(seq.take_tile_records().is_empty());
         assert_eq!(seq.stats(), par.stats());
+    }
+
+    /// Replaying a cached tile accumulates the same contacts and event
+    /// counters a merge would, but claims no ZEB and advances no timing
+    /// state — the hardware never ran.
+    #[test]
+    fn replay_accumulates_results_without_touching_timing() {
+        let config = RbcdConfig::default();
+        let tile = TileCoord { x: 0, y: 0 };
+        let mut worker = ZebTileWorker::new(config, 16);
+        let out = worker.process_tile(tile, &tile_frags(tile, 16));
+
+        let mut merged = RbcdUnit::new(config, 16).unwrap();
+        ParallelCollision::merge_tile(&mut merged, tile, out.clone(), 0, 40);
+
+        let mut replayed = RbcdUnit::new(config, 16).unwrap();
+        replayed.set_tile_logging(true);
+        ParallelCollision::replay_tile(&mut replayed, tile, out, 0, 40);
+
+        assert_eq!(merged.contacts(), replayed.contacts());
+        assert_eq!(merged.stats(), replayed.stats());
+        assert!(ParallelCollision::idle_at(&merged) > 0, "merge occupies the scan unit");
+        assert_eq!(ParallelCollision::idle_at(&replayed), 0, "replay must not");
+        assert_eq!(ParallelCollision::next_free(&replayed), 0);
+        let log = replayed.take_tile_records();
+        assert_eq!(log.len(), 1, "replayed tiles still log for observability");
+        assert!(log[0].scan_end > log[0].scan_start);
+    }
+
+    /// Two units with different configurations must never share cached
+    /// tile results.
+    #[test]
+    fn coherence_key_tracks_the_whole_config() {
+        let base = RbcdUnit::new(RbcdConfig::default(), 16).unwrap();
+        let key = ParallelCollision::coherence_key(&base);
+        assert_eq!(key, ParallelCollision::coherence_key(&base));
+        for other in [
+            RbcdConfig { zeb_count: 1, ..RbcdConfig::default() },
+            RbcdConfig { list_capacity: 4, ..RbcdConfig::default() },
+            RbcdConfig { spare_entries: 64, ..RbcdConfig::default() },
+            RbcdConfig { ladder_rescans: 2, ..RbcdConfig::default() },
+            RbcdConfig { ladder_cpu_fallback: true, ..RbcdConfig::default() },
+        ] {
+            let unit = RbcdUnit::new(other, 16).unwrap();
+            assert_ne!(key, ParallelCollision::coherence_key(&unit), "{other:?}");
+        }
     }
 
     /// A worker's ZEB is clean after every tile, so reuse across many

@@ -297,6 +297,32 @@ impl RbcdUnit {
             log.push(tile_record(tile, tile_stats, start, end, scan_start, scan_end));
         }
     }
+
+    /// Replays one tile's cached collision results (temporal coherence):
+    /// the tile's event counters, contacts, and escalations accumulate
+    /// exactly as [`RbcdUnit::merge_scanned_tile`] would have, but no
+    /// ZEB is claimed and neither `zeb_free_at` nor `scan_unit_free_at`
+    /// advances — the hardware never ran, so it holds no resource. The
+    /// tile-log record keeps its cached scan duration for observability,
+    /// anchored at the (signature-check-only) timing bracket.
+    pub(crate) fn replay_scanned_tile(
+        &mut self,
+        tile: TileCoord,
+        tile_stats: &RbcdStats,
+        contacts: &[ContactPoint],
+        escalated: &[ObjectId],
+        start: u64,
+        end: u64,
+    ) {
+        debug_assert!(self.active.is_none(), "replay during an active tile");
+        self.stats.accumulate(tile_stats);
+        self.contacts.extend_from_slice(contacts);
+        self.escalated.extend(escalated.iter().copied());
+        if let Some(log) = &mut self.tile_log {
+            let scan_end = end + tile_stats.scan_cycles;
+            log.push(tile_record(tile, tile_stats, start, end, end, scan_end));
+        }
+    }
 }
 
 /// Builds one tile's observability record from its isolated stats and

@@ -139,25 +139,33 @@ impl Zeb {
         let new_key = key(&element);
         let pos = list.partition_point(|e| key(e) <= new_key);
         let limit = self.m + if list.len() >= self.m { list.len() - self.m } else { 0 };
-        if list.len() < self.m {
-            list.insert(pos, element);
-            InsertOutcome::Stored
+        let len = list.len();
+        // Single-pass store, mirroring the hardware: decide the outcome,
+        // then one tail shift (the MUX network) opens the slot and one
+        // write fills it — no per-branch memmove variants.
+        let (outcome, ins) = if len < self.m {
+            list.push(element); // grows the list; the copy is shifted over below
+            (InsertOutcome::Stored, pos)
         } else if self.spare_used < self.spare_capacity {
             // Claim a spare entry: the list grows past M.
             self.spare_used += 1;
             stats.spare_allocations += 1;
-            list.insert(pos.min(limit), element);
-            InsertOutcome::StoredInSpare
+            list.push(element);
+            (InsertOutcome::StoredInSpare, pos.min(limit))
         } else {
             stats.overflows += 1;
-            if pos < list.len() {
-                // New element is nearer than the current farthest: the
-                // shift network pushes the last element out.
-                list.pop();
-                list.insert(pos, element);
+            if pos >= len {
+                // The new element is itself the farthest: dropped outright.
+                return InsertOutcome::Overflow;
             }
-            InsertOutcome::Overflow
-        }
+            // Nearer than the current farthest: the shift network pushes
+            // the last element out (it is overwritten by the tail shift).
+            (InsertOutcome::Overflow, pos)
+        };
+        let tail = list.len() - 1;
+        list.copy_within(ins..tail, ins + 1);
+        list[ins] = element;
+        outcome
     }
 
     /// Clears every touched list for the next tile and releases the
@@ -311,6 +319,54 @@ mod tests {
             zeb.insert(1, el(0.6, 2, Facing::Front), &mut stats),
             InsertOutcome::StoredInSpare
         );
+    }
+
+    /// Micro-assert for the single-pass insert: against a naive
+    /// `Vec::insert` reference using the same `(z, facing)` key, every
+    /// stored list must match element-for-element — same sorted order,
+    /// same front-before-back tie-breaking, same stable arrival order
+    /// within equal keys, same element dropped on overflow.
+    #[test]
+    fn shift_based_insert_matches_naive_reference() {
+        // Deterministic pseudo-random stream (no external RNG).
+        let mut state = 0x1234_5678u32;
+        let mut next = || {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            state
+        };
+        for (m, spares) in [(1, 0), (2, 0), (4, 0), (4, 3), (8, 0), (8, 5)] {
+            let mut zeb = Zeb::with_spares(2, m, spares).unwrap();
+            let mut stats = RbcdStats::default();
+            let mut reference: Vec<Vec<ZebElement>> = vec![Vec::new(); 2];
+            let mut ref_spares = 0usize;
+            for _ in 0..64 {
+                let r = next();
+                // Coarse depths force plenty of quantized ties.
+                let z = (r % 5) as f32 * 0.2;
+                let id = 1 + (r >> 8) as u16 % 7;
+                let facing = if r & 0x40 == 0 { Facing::Front } else { Facing::Back };
+                let index = (r >> 16) as usize % 2;
+                let e = el(z, id, facing);
+                zeb.insert(index, e, &mut stats);
+
+                let list = &mut reference[index];
+                let key = |e: &ZebElement| (e.z, !e.is_front());
+                let pos = list.partition_point(|x| key(x) <= key(&e));
+                if list.len() < m {
+                    list.insert(pos, e);
+                } else if ref_spares < spares {
+                    ref_spares += 1;
+                    list.insert(pos, e);
+                } else if pos < list.len() {
+                    list.pop();
+                    list.insert(pos, e);
+                }
+            }
+            for (i, expected) in reference.iter().enumerate() {
+                assert_eq!(zeb.list(i), &expected[..], "M={m} spares={spares} list {i}");
+                assert!(sorted(&zeb, i));
+            }
+        }
     }
 
     #[test]

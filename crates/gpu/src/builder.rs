@@ -101,6 +101,7 @@ impl std::error::Error for GpuConfigError {}
 pub struct SimulatorBuilder {
     config: GpuConfig,
     tracing: bool,
+    reuse: bool,
 }
 
 impl SimulatorBuilder {
@@ -112,7 +113,7 @@ impl SimulatorBuilder {
     /// Starts from an existing configuration (all setters still apply
     /// on top).
     pub fn from_config(config: GpuConfig) -> Self {
-        Self { config, tracing: false }
+        Self { config, tracing: false, reuse: false }
     }
 
     /// Replaces the whole configuration wholesale.
@@ -157,6 +158,15 @@ impl SimulatorBuilder {
     /// [`Simulator::set_tracing`] after construction).
     pub fn tracing(mut self, enabled: bool) -> Self {
         self.tracing = enabled;
+        self
+    }
+
+    /// Enables temporal tile coherence on the built simulator
+    /// (equivalent to [`Simulator::set_reuse`] after construction).
+    /// Only the parallel render path consults the knob; see
+    /// [`Simulator::set_reuse`] for the contract.
+    pub fn reuse(mut self, enabled: bool) -> Self {
+        self.reuse = enabled;
         self
     }
 
@@ -228,6 +238,7 @@ impl SimulatorBuilder {
         self.validate()?;
         let mut sim = Simulator::new(self.config);
         sim.set_tracing(self.tracing);
+        sim.set_reuse(self.reuse);
         Ok(sim)
     }
 }
@@ -268,6 +279,7 @@ mod tests {
             .frequency_hz(100_000_000)
             .fragment_processors(2)
             .tracing(true)
+            .reuse(true)
             .build()
             .unwrap();
         let c = sim.config();
@@ -276,6 +288,7 @@ mod tests {
         assert_eq!(c.frequency_hz, 100_000_000);
         assert_eq!(c.fragment_processors, 2);
         assert!(sim.tracing_enabled());
+        assert!(sim.reuse_enabled());
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! Temporal tile coherence: signature-based redundant-tile elimination.
+//!
+//! In animated scenes most 16×16 tiles receive an identical set of
+//! covered triangles frame after frame (static geometry, resting
+//! objects, a still camera). Following the authors' follow-up work on
+//! *Rendering Elimination*, the simulator computes a cheap deterministic
+//! signature per tile over that tile's binned polygon list; when it
+//! matches the previous frame's signature, rasterization, ZEB build and
+//! the Z-overlap scan are skipped entirely and the cached per-tile
+//! result is replayed from the [`TileResultCache`], while the cycle
+//! model charges only the signature-check cost.
+//!
+//! Correctness contract: the signature folds *everything* that feeds a
+//! tile's result — the per-draw content hash (mesh vertices, indices,
+//! model matrix, object id, cull mode, shader cost), the screen-space
+//! triangle produced by the geometry pipeline, its facing and
+//! tagged-to-be-culled bit, plus a frame seed covering the pipeline
+//! mode, the config knobs the raster path reads, and the collision
+//! backend's own configuration. A hash is computed over raw `f32` bit
+//! patterns, so any numeric change — including one injected by the
+//! fault harness — changes the signature and invalidates the tile.
+//! Quarantined draws never reach binning and therefore never reach a
+//! signature. Signatures are computed on the main thread before the
+//! parallel compute phase, so the reuse decision is thread-count
+//! invariant by construction (like the deterministic merge order).
+
+use crate::command::{CullMode, DrawCommand, Facing, FrameTrace};
+use crate::config::GpuConfig;
+use crate::sim::{BinnedPrim, PipelineMode, TileRasterOut};
+use std::any::Any;
+
+/// One splitmix64 avalanche step folding `v` into `h`. Deterministic,
+/// dependency-free, and good enough bit diffusion that single-bit input
+/// changes flip about half the output bits.
+#[inline]
+pub(crate) fn mix(h: u64, v: u64) -> u64 {
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(v);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn mix_f32(h: u64, v: f32) -> u64 {
+    mix(h, v.to_bits() as u64)
+}
+
+/// Content hash of one draw command, computed once per frame: mesh
+/// vertex positions and indices, the model matrix, the collidable id,
+/// the cull mode, and the shader cost. Everything is hashed by bit
+/// pattern — a NaN injected into a vertex hashes differently from the
+/// clean value, so fault-touched draws invalidate their tiles.
+pub(crate) fn hash_draw(draw: &DrawCommand) -> u64 {
+    let mut h = 0x005E_ED0F_C011_1DE0_u64;
+    for c in 0..4 {
+        let col = draw.model.col(c);
+        h = mix_f32(h, col.x);
+        h = mix_f32(h, col.y);
+        h = mix_f32(h, col.z);
+        h = mix_f32(h, col.w);
+    }
+    for p in draw.mesh.positions() {
+        h = mix(h, (p.x.to_bits() as u64) << 32 | p.y.to_bits() as u64);
+        h = mix(h, p.z.to_bits() as u64);
+    }
+    for &[a, b, c] in draw.mesh.indices() {
+        h = mix(h, (a as u64) << 42 | (b as u64) << 21 | c as u64);
+    }
+    h = mix(h, match draw.collidable {
+        Some(id) => 1 << 16 | id.get() as u64,
+        None => 0,
+    });
+    h = mix(h, match draw.cull {
+        CullMode::None => 0,
+        CullMode::Back => 1,
+        CullMode::Front => 2,
+    });
+    h = mix(h, (draw.shader.vertex_cycles as u64) << 32 | draw.shader.fragment_cycles as u64);
+    h
+}
+
+/// Hashes every draw of `trace` into `out` (indexed by draw position).
+/// Runs once per frame on the main thread; quarantined draws still get
+/// a hash (harmless — they are never binned, so no tile folds it).
+pub(crate) fn hash_draws(trace: &FrameTrace, out: &mut Vec<u64>) {
+    out.clear();
+    out.extend(trace.draws.iter().map(hash_draw));
+}
+
+/// Frame-level seed: anything outside the polygon lists that the raster
+/// path or the collision backend reads. Folded into every tile
+/// signature, so changing a knob (or the backend's configuration, via
+/// `backend_key`) invalidates the whole cache naturally.
+pub(crate) fn frame_seed(cfg: &GpuConfig, mode: PipelineMode, backend_key: u64) -> u64 {
+    let mut h = 0xC0_11_1D_E5_16u64;
+    h = mix(h, match mode {
+        PipelineMode::Baseline => 0,
+        PipelineMode::Rbcd => 1,
+        PipelineMode::CollisionOnly => 2,
+    });
+    h = mix(h, (cfg.tile_size as u64) << 32 | cfg.raster_frags_per_cycle as u64);
+    h = mix(h, (cfg.fragment_processors as u64) << 32 | cfg.raster_setup_cycles);
+    h = mix(h, cfg.tile_overhead_cycles);
+    h = mix(h, (cfg.viewport.width as u64) << 32 | cfg.viewport.height as u64);
+    mix(h, backend_key)
+}
+
+/// Signature of one tile's binned polygon list: for each primitive in
+/// emission order, the owning draw's content hash, the screen-space
+/// triangle's nine coordinate bit patterns, the facing, and the
+/// tagged-to-be-culled bit. The primitive's global record id is
+/// deliberately *excluded*: record ids shift when earlier draws change,
+/// but the tile-cache replay always runs against the current frame's
+/// records, so they never feed the cached result.
+pub(crate) fn tile_signature(seed: u64, prims: &[BinnedPrim], draw_hashes: &[u64]) -> u64 {
+    let mut h = mix(seed, prims.len() as u64);
+    for prim in prims {
+        h = mix(h, draw_hashes[prim.draw as usize]);
+        for v in prim.tri.v {
+            h = mix(h, (v.x.to_bits() as u64) << 32 | v.y.to_bits() as u64);
+            h = mix_f32(h, v.z);
+        }
+        let flags = match prim.facing {
+            Facing::Front => 0u64,
+            Facing::Back => 1,
+        } | (prim.tagged_cull as u64) << 1;
+        h = mix(h, flags);
+    }
+    h
+}
+
+/// Cycles the signature check costs for a tile with `prims` binned
+/// primitives: a small fixed compare/lookup cost plus the hash unit
+/// digesting the polygon list at four primitives per cycle. This is the
+/// *only* cost a reused tile pays on the raster timeline.
+pub(crate) fn signature_check_cycles(prims: u64) -> u64 {
+    4 + prims.div_ceil(4)
+}
+
+/// One cached tile outcome: the signature it is valid for, the raster
+/// counters, and the collision backend's per-tile capsule (type-erased
+/// so the cache works for any [`crate::ParallelCollision`] backend).
+pub(crate) struct TileCacheEntry {
+    pub(crate) sig: u64,
+    pub(crate) out: TileRasterOut,
+    pub(crate) capsule: Box<dyn Any + Send>,
+}
+
+/// Per-tile result cache: previous-frame signatures plus the cached
+/// results they vouch for. Owned by the simulator so it survives across
+/// frames alongside the cache models.
+#[derive(Default)]
+pub(crate) struct TileResultCache {
+    entries: Vec<Option<TileCacheEntry>>,
+}
+
+impl std::fmt::Debug for TileResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let live = self.entries.iter().filter(|e| e.is_some()).count();
+        write!(f, "TileResultCache {{ tiles: {}, live: {live} }}", self.entries.len())
+    }
+}
+
+impl TileResultCache {
+    /// Ensures capacity for `n_tiles`, clearing everything on a grid
+    /// change (a resized viewport invalidates every cached tile).
+    pub(crate) fn ensure_tiles(&mut self, n_tiles: usize) {
+        if self.entries.len() != n_tiles {
+            self.entries.clear();
+            self.entries.resize_with(n_tiles, || None);
+        }
+    }
+
+    /// Drops every cached entry (used when reuse is switched off so a
+    /// later re-enable cannot replay stale results).
+    pub(crate) fn clear(&mut self) {
+        for e in &mut self.entries {
+            *e = None;
+        }
+    }
+
+    /// Whether tile `ti` holds a result for `sig` whose capsule is of
+    /// type `T` (the current backend's per-tile output). The type check
+    /// guards against replaying a capsule cached by a different backend.
+    pub(crate) fn matches<T: 'static>(&self, ti: usize, sig: u64) -> bool {
+        matches!(
+            self.entries.get(ti),
+            Some(Some(e)) if e.sig == sig && e.capsule.is::<T>()
+        )
+    }
+
+    /// The cached entry for tile `ti`, if any.
+    pub(crate) fn get(&self, ti: usize) -> Option<&TileCacheEntry> {
+        self.entries.get(ti).and_then(|e| e.as_ref())
+    }
+
+    /// Stores a freshly computed result for tile `ti`.
+    pub(crate) fn store(&mut self, ti: usize, sig: u64, out: TileRasterOut, capsule: Box<dyn Any + Send>) {
+        self.entries[ti] = Some(TileCacheEntry { sig, out, capsule });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{ObjectId, ShaderCost};
+    use rbcd_geometry::shapes;
+    use rbcd_math::{Mat4, Vec3};
+
+    fn draw() -> DrawCommand {
+        DrawCommand::collidable(shapes::cube(1.0), ObjectId::new(3))
+            .with_model(Mat4::translation(Vec3::new(0.5, 0.0, 0.0)))
+    }
+
+    #[test]
+    fn draw_hash_is_deterministic_and_content_sensitive() {
+        let d = draw();
+        assert_eq!(hash_draw(&d), hash_draw(&d.clone()));
+        let moved = d.clone().with_model(Mat4::translation(Vec3::new(0.5, 1e-6, 0.0)));
+        assert_ne!(hash_draw(&d), hash_draw(&moved));
+        let other_id = DrawCommand { collidable: Some(ObjectId::new(4)), ..d.clone() };
+        assert_ne!(hash_draw(&d), hash_draw(&other_id));
+        let other_shader =
+            d.clone().with_shader(ShaderCost { vertex_cycles: 8, fragment_cycles: 15 });
+        assert_ne!(hash_draw(&d), hash_draw(&other_shader));
+        let other_mesh = DrawCommand { mesh: shapes::cube(1.0 + 1e-6).into(), ..d.clone() };
+        assert_ne!(hash_draw(&d), hash_draw(&other_mesh));
+    }
+
+    #[test]
+    fn hash_sees_bit_patterns_not_float_equality() {
+        // The hash folds raw f32 bit patterns, so values that compare
+        // equal numerically (+0.0 == -0.0) still produce distinct
+        // signatures — the conservative direction for invalidation.
+        let mesh = |x: f32| {
+            rbcd_geometry::Mesh::new(
+                vec![Vec3::new(x, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0)],
+                vec![[0, 1, 2]],
+            )
+            .expect("finite single-triangle mesh")
+        };
+        let pos = DrawCommand::scenery(mesh(0.0));
+        let neg = DrawCommand::scenery(mesh(-0.0));
+        assert_ne!(hash_draw(&pos), hash_draw(&neg));
+    }
+
+    #[test]
+    fn frame_seed_tracks_mode_and_config() {
+        let cfg = GpuConfig::default();
+        let a = frame_seed(&cfg, PipelineMode::Rbcd, 7);
+        assert_eq!(a, frame_seed(&cfg, PipelineMode::Rbcd, 7));
+        assert_ne!(a, frame_seed(&cfg, PipelineMode::Baseline, 7));
+        assert_ne!(a, frame_seed(&cfg, PipelineMode::Rbcd, 8));
+        let wider = GpuConfig {
+            viewport: rbcd_math::Viewport::new(1024, 480),
+            ..GpuConfig::default()
+        };
+        assert_ne!(a, frame_seed(&wider, PipelineMode::Rbcd, 7));
+    }
+
+    #[test]
+    fn tile_signature_folds_triangles_and_flags() {
+        use crate::raster::ScreenTriangle;
+        let tri = ScreenTriangle::new(
+            Vec3::new(1.0, 1.0, 0.5),
+            Vec3::new(9.0, 1.0, 0.5),
+            Vec3::new(1.0, 9.0, 0.5),
+        );
+        let facing = tri.facing().unwrap();
+        let prim = BinnedPrim { tri, facing, draw: 0, record: 0, tagged_cull: false };
+        let hashes = vec![0xABCD];
+        let s = tile_signature(1, &[prim], &hashes);
+        assert_eq!(s, tile_signature(1, &[prim], &hashes));
+        // Record ids are excluded by design: they shift when earlier
+        // draws change, but never feed the cached result.
+        let renumbered = BinnedPrim { record: 99, ..prim };
+        assert_eq!(s, tile_signature(1, &[renumbered], &hashes));
+        let tagged = BinnedPrim { tagged_cull: true, ..prim };
+        assert_ne!(s, tile_signature(1, &[tagged], &hashes));
+        let other_draw_content = vec![0xABCE];
+        assert_ne!(s, tile_signature(1, &[prim], &other_draw_content));
+        assert_ne!(s, tile_signature(2, &[prim], &hashes));
+        let mut nudged = prim;
+        nudged.tri.v[0].z += 1e-7;
+        assert_ne!(s, tile_signature(1, &[nudged], &hashes));
+    }
+
+    #[test]
+    fn check_cost_scales_with_list_length() {
+        assert_eq!(signature_check_cycles(0), 4);
+        assert_eq!(signature_check_cycles(1), 5);
+        assert_eq!(signature_check_cycles(8), 6);
+        assert!(signature_check_cycles(100) < 100);
+    }
+
+    #[test]
+    fn cache_type_guard_rejects_foreign_capsules() {
+        let mut cache = TileResultCache::default();
+        cache.ensure_tiles(4);
+        cache.store(2, 42, TileRasterOut::default(), Box::new(7u32));
+        assert!(cache.matches::<u32>(2, 42));
+        assert!(!cache.matches::<u64>(2, 42), "capsule type must match the backend");
+        assert!(!cache.matches::<u32>(2, 43), "signature mismatch");
+        assert!(!cache.matches::<u32>(1, 42), "empty slot");
+        cache.ensure_tiles(8);
+        assert!(!cache.matches::<u32>(2, 42), "grid change clears the cache");
+    }
+}

@@ -46,6 +46,7 @@
 mod builder;
 mod cache;
 mod clip;
+mod coherence;
 mod collision_unit;
 mod command;
 mod config;
@@ -68,4 +69,4 @@ pub use imr::{ImrSimulator, ImrStats};
 pub use parallel::ParallelCollision;
 pub use raster::{rasterize_triangle_in_tile, Fragment, ScreenTriangle};
 pub use sim::{PipelineMode, Simulator};
-pub use stats::{FrameStats, GeometryStats, RasterStats};
+pub use stats::{CoherenceStats, FrameStats, GeometryStats, RasterStats};

@@ -26,13 +26,14 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::coherence;
 use crate::collision_unit::{CollisionFragment, NullCollisionUnit, TileCoord};
 use crate::command::FrameTrace;
 use crate::sim::{
-    accumulate_tile, finalize_raster_timing, replay_tile_cache, PipelineMode, Simulator,
-    TileRasterOut, TileWorker,
+    accumulate_reused_tile, accumulate_tile, finalize_raster_timing, replay_tile_cache,
+    PipelineMode, Simulator, TileRasterOut, TileWorker,
 };
-use crate::stats::{FrameStats, RasterStats};
+use crate::stats::{CoherenceStats, FrameStats, RasterStats};
 
 /// A collision backend whose per-tile analysis can run on worker
 /// threads, with results merged deterministically in tile order.
@@ -52,7 +53,9 @@ pub trait ParallelCollision {
     /// Per-thread collision state (e.g. one software ZEB + FF-Stack).
     type Worker: Send;
     /// Owned per-tile result (e.g. contact points + per-tile stats).
-    type TileOut: Send;
+    /// `Clone + 'static` lets the temporal-coherence layer cache it as a
+    /// type-erased capsule and replay it on a later frame.
+    type TileOut: Send + Clone + 'static;
 
     /// Creates one worker; called once per thread before the pool runs.
     fn make_worker(&self) -> Self::Worker;
@@ -79,6 +82,26 @@ pub trait ParallelCollision {
     /// Cycle at which all backend activity has drained, identical to
     /// [`crate::CollisionUnit::idle_at`].
     fn idle_at(&self) -> u64;
+
+    /// Folds a *cached* tile result back into the backend when the
+    /// temporal-coherence layer replays it. Unlike
+    /// [`ParallelCollision::merge_tile`], a replayed tile must not
+    /// claim a ZEB or advance the backend's timing state — the skipped
+    /// tile performs no insertions or scans — but the result counters,
+    /// contacts and per-tile log must accumulate exactly as a fresh
+    /// merge would. The default forwards to `merge_tile`, which is
+    /// correct only for backends with no timing state.
+    fn replay_tile(&mut self, tile: TileCoord, out: Self::TileOut, start: u64, end: u64) {
+        self.merge_tile(tile, out, start, end);
+    }
+
+    /// A deterministic digest of the backend configuration, folded into
+    /// every tile signature so a reconfigured backend (say, a different
+    /// forced list capacity) invalidates the whole result cache. The
+    /// default `0` suits stateless backends.
+    fn coherence_key(&self) -> u64 {
+        0
+    }
 }
 
 /// The null backend: no collision work in either phase.
@@ -118,8 +141,8 @@ impl Simulator {
         threads: usize,
     ) -> FrameStats {
         let geometry = self.geometry_pipeline(trace, mode);
-        let raster = self.raster_parallel(trace, mode, backend, threads.max(1));
-        let stats = FrameStats { geometry, raster, frames: 1 };
+        let (raster, coherence) = self.raster_parallel(trace, mode, backend, threads.max(1));
+        let stats = FrameStats { geometry, raster, coherence, frames: 1 };
         if let Some(t) = self.tracer.as_deref_mut() {
             t.end_frame(stats.total_cycles());
         }
@@ -132,21 +155,52 @@ impl Simulator {
         mode: PipelineMode,
         backend: &mut B,
         threads: usize,
-    ) -> RasterStats {
+    ) -> (RasterStats, CoherenceStats) {
         let cfg = self.config.clone();
         let mut r = RasterStats::default();
+        let mut co = CoherenceStats::default();
         self.tile_cache.reset_stats();
         let tiles_x = cfg.tiles_x();
-        let Simulator { bins, worker, tile_cache, tracer, .. } = self;
+
+        // Temporal-coherence plan: signatures and reuse decisions are
+        // computed here on the main thread, *before* the compute phase,
+        // so they depend only on the binned frame — never on worker
+        // scheduling — and the reuse decision is thread-count invariant
+        // by construction.
+        let reuse_on = self.reuse;
+        if reuse_on {
+            coherence::hash_draws(trace, &mut self.draw_hashes);
+            co.draw_hashes = self.draw_hashes.len() as u64;
+            let seed = coherence::frame_seed(&cfg, mode, backend.coherence_key());
+            self.result_cache.ensure_tiles((cfg.tiles_x() * cfg.tiles_y()) as usize);
+            self.reuse_plan.clear();
+            for &ti in self.bins.active() {
+                let sig =
+                    coherence::tile_signature(seed, self.bins.tile(ti as usize), &self.draw_hashes);
+                let reused = self.result_cache.matches::<B::TileOut>(ti as usize, sig);
+                co.tiles_checked += 1;
+                co.tiles_reused += reused as u64;
+                self.reuse_plan.push((sig, reused));
+            }
+        }
+
+        let Simulator { bins, worker, tile_cache, tracer, reuse_plan, result_cache, .. } = self;
         let active = bins.active();
         let coord = |ti: u32| TileCoord { x: ti % tiles_x, y: ti / tiles_x };
+        let plan: &[(u64, bool)] = reuse_plan;
+        let is_reused = |k: usize| reuse_on && plan[k].1;
 
         // Compute phase: owned per-tile results, indexed by position in
-        // the active list.
+        // the active list. Tiles the plan marks reused are skipped — no
+        // worker ever touches them.
         let mut slots: Vec<Option<(TileRasterOut, B::TileOut)>> = Vec::with_capacity(active.len());
         if threads <= 1 || active.len() <= 1 {
             let mut cw = backend.make_worker();
-            for &ti in active {
+            for (k, &ti) in active.iter().enumerate() {
+                if is_reused(k) {
+                    slots.push(None);
+                    continue;
+                }
                 let tile = coord(ti);
                 let out = worker.process_tile(&cfg, trace, tile, bins.tile(ti as usize), mode);
                 let cout = B::process_tile(&mut cw, tile, &worker.coll_frags);
@@ -174,6 +228,9 @@ impl Simulator {
                                     let Some(&ti) = bins.active().get(k) else {
                                         break;
                                     };
+                                    if reuse_on && plan[k].1 {
+                                        continue;
+                                    }
                                     let tile =
                                         TileCoord { x: ti % tiles_x, y: ti / tiles_x };
                                     let out = tw.process_tile(
@@ -203,24 +260,68 @@ impl Simulator {
         }
 
         // Merge phase: tile-index order replays the sequential timeline
-        // and the shared tile cache's access sequence exactly.
+        // and the shared tile cache's access sequence exactly. Reused
+        // tiles pull their cached outcome instead of a slot; freshly
+        // computed tiles refresh the cache for the next frame.
         let mut cursor: u64 = 0;
+        if reuse_on {
+            // Per-draw content hashing, charged once per frame up front
+            // (one digest hand-off cycle per live draw; the hashing
+            // itself piggybacks on the geometry stage's vertex stream).
+            co.signature_cycles += co.draw_hashes;
+            r.fp_idle_cycles += co.draw_hashes;
+            cursor += co.draw_hashes;
+        }
         for (k, &ti) in active.iter().enumerate() {
-            let (out, cout) = slots[k].take().expect("every claimed tile completed");
-            replay_tile_cache(tile_cache, &cfg, ti as usize, bins.tile(ti as usize));
-            let start = cursor.max(backend.next_free());
-            let end = accumulate_tile(&mut r, &cfg, &out, cursor, start);
-            backend.merge_tile(coord(ti), cout, start, end);
-            if let Some(t) = tracer.as_deref_mut() {
-                let tc = coord(ti);
-                t.record_tile_raster(tc.x, tc.y, start, end, out.frags);
+            let ti_us = ti as usize;
+            // The Tile Fetcher still walks the polygon list either way
+            // (the signature check reads it), so the shared tile-cache
+            // access sequence — and its counters — stay bit-identical
+            // with reuse on or off.
+            replay_tile_cache(tile_cache, &cfg, ti_us, bins.tile(ti_us));
+            let tc = coord(ti);
+            if is_reused(k) {
+                let entry = result_cache.get(ti_us).expect("reuse plan vouched for this tile");
+                let out = entry.out;
+                let cout = entry
+                    .capsule
+                    .downcast_ref::<B::TileOut>()
+                    .expect("capsule type checked by the plan")
+                    .clone();
+                let sig_cycles = coherence::signature_check_cycles(out.prim_count);
+                co.signature_cycles += sig_cycles;
+                let start = cursor;
+                let end = accumulate_reused_tile(&mut r, &out, cursor, sig_cycles);
+                backend.replay_tile(tc, cout, start, end);
+                if let Some(t) = tracer.as_deref_mut() {
+                    t.record_tile_raster(tc.x, tc.y, start, end, out.frags);
+                    t.record_tile_reuse(tc.x, tc.y, start);
+                }
+                cursor = end;
+            } else {
+                let (out, cout) = slots[k].take().expect("every claimed tile completed");
+                let start = cursor.max(backend.next_free());
+                let mut end = accumulate_tile(&mut r, &cfg, &out, cursor, start);
+                if reuse_on {
+                    // The signature was checked (and missed); charge it
+                    // and refresh the cache with the fresh result.
+                    let sig_cycles = coherence::signature_check_cycles(out.prim_count);
+                    co.signature_cycles += sig_cycles;
+                    r.fp_idle_cycles += sig_cycles;
+                    end += sig_cycles;
+                    result_cache.store(ti_us, plan[k].0, out, Box::new(cout.clone()));
+                }
+                backend.merge_tile(tc, cout, start, end);
+                if let Some(t) = tracer.as_deref_mut() {
+                    t.record_tile_raster(tc.x, tc.y, start, end, out.frags);
+                }
+                cursor = end;
             }
-            cursor = end;
         }
         cursor = cursor.max(backend.idle_at());
         r.tile_cache_loads = tile_cache.stats();
         finalize_raster_timing(&mut r, &cfg, cursor);
-        r
+        (r, co)
     }
 }
 
@@ -324,6 +425,104 @@ mod tests {
         // across thread counts.
         assert_eq!(events_by_threads[0], events_by_threads[1]);
         assert_eq!(events_by_threads[0], events_by_threads[2]);
+    }
+
+    /// Zeroes the timing-only raster fields, leaving the event counters
+    /// (the paper's per-event energy surface) for comparison.
+    fn events_only(mut s: FrameStats) -> FrameStats {
+        s.raster.cycles = 0;
+        s.raster.fp_idle_cycles = 0;
+        s.raster.zeb_stall_cycles = 0;
+        s.coherence = CoherenceStats::default();
+        s
+    }
+
+    #[test]
+    fn reuse_replays_static_frames_and_only_timing_diverges() {
+        let trace = busy_trace();
+        let mut off = Simulator::new(cfg());
+        let mut on = Simulator::new(cfg());
+        on.set_reuse(true);
+        assert!(on.reuse_enabled());
+        for frame in 0..3 {
+            let a = off.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut NullCollisionUnit, 4);
+            let b = on.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut NullCollisionUnit, 4);
+            assert_eq!(events_only(a), events_only(b), "frame {frame}");
+            assert_eq!(b.coherence.tiles_checked, a.raster.tiles_processed);
+            if frame == 0 {
+                assert_eq!(b.coherence.tiles_reused, 0, "cold cache cannot hit");
+            } else {
+                assert_eq!(
+                    b.coherence.tiles_reused, b.coherence.tiles_checked,
+                    "a static frame reuses every tile"
+                );
+                assert!(
+                    b.raster.cycles < a.raster.cycles,
+                    "replayed tiles must be cheaper: {} vs {}",
+                    b.raster.cycles,
+                    a.raster.cycles
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_results_are_thread_count_invariant() {
+        let trace = busy_trace();
+        let mut frames_by_threads = Vec::new();
+        for threads in [1, 2, 4] {
+            let mut sim = Simulator::new(cfg());
+            sim.set_reuse(true);
+            let frames: Vec<FrameStats> = (0..3)
+                .map(|_| {
+                    sim.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut NullCollisionUnit, threads)
+                })
+                .collect();
+            assert!(frames[1].coherence.tiles_reused > 0);
+            frames_by_threads.push(frames);
+        }
+        assert_eq!(frames_by_threads[0], frames_by_threads[1]);
+        assert_eq!(frames_by_threads[0], frames_by_threads[2]);
+    }
+
+    #[test]
+    fn disabling_reuse_clears_the_cache() {
+        let trace = busy_trace();
+        let mut sim = Simulator::new(cfg());
+        sim.set_reuse(true);
+        sim.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut NullCollisionUnit, 2);
+        let warm = sim.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut NullCollisionUnit, 2);
+        assert!(warm.coherence.tiles_reused > 0);
+        sim.set_reuse(false);
+        let off = sim.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut NullCollisionUnit, 2);
+        assert_eq!(off.coherence, CoherenceStats::default());
+        sim.set_reuse(true);
+        let cold = sim.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut NullCollisionUnit, 2);
+        assert_eq!(cold.coherence.tiles_reused, 0, "re-enable starts from a cold cache");
+    }
+
+    #[test]
+    fn content_change_invalidates_only_its_tiles() {
+        let camera = Camera::perspective(Vec3::new(0.0, 1.0, 7.0), Vec3::ZERO, 1.0, 0.1, 100.0);
+        let still = DrawCommand::collidable(shapes::cube(1.0), ObjectId::new(1))
+            .with_model(Mat4::translation(Vec3::new(-1.8, 0.0, 0.0)));
+        let mover = |x: f32| {
+            DrawCommand::collidable(shapes::cube(1.0), ObjectId::new(2))
+                .with_model(Mat4::translation(Vec3::new(1.8 + x, 0.0, 0.0)))
+        };
+        let mut sim = Simulator::new(cfg());
+        sim.set_reuse(true);
+        let frame = |sim: &mut Simulator, x: f32| {
+            let trace = FrameTrace::new(camera, vec![still.clone(), mover(x)]);
+            sim.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut NullCollisionUnit, 2)
+        };
+        frame(&mut sim, 0.0);
+        let moved = frame(&mut sim, 0.05);
+        assert!(moved.coherence.tiles_reused > 0, "the still cube's tiles stay cached");
+        assert!(
+            moved.coherence.tiles_reused < moved.coherence.tiles_checked,
+            "the moved cube's tiles must recompute"
+        );
     }
 
     #[test]

@@ -117,16 +117,26 @@ pub fn rasterize_triangle_in_tile(
         return 0;
     }
 
-    let edge = |px: f32, py: f32, p: Vec3, q: Vec3| (q.x - p.x) * (py - p.y) - (q.y - p.y) * (px - p.x);
+    // Incremental edge functions: the full form is
+    //   edge(cx, cy, p, q) = (q.x - p.x)*(cy - p.y) - (q.y - p.y)*(cx - p.x)
+    // whose first product depends only on the row. Evaluate that product
+    // once per row and only the x-dependent product per pixel — the
+    // per-pixel operand sequence is *identical* to the full evaluation,
+    // so the produced fragments (and every golden counter downstream)
+    // stay bit-exact while the hot loop drops half its multiplies.
+    let (dy0, dy1, dy2) = (c.y - b.y, a.y - c.y, b.y - a.y);
     let mut count = 0;
     for py in y0..=y1 {
         let cy = py as f32 + 0.5;
+        let r0 = (c.x - b.x) * (cy - b.y);
+        let r1 = (a.x - c.x) * (cy - c.y);
+        let r2 = (b.x - a.x) * (cy - a.y);
         for px in x0..=x1 {
             let cx = px as f32 + 0.5;
             // Barycentric weights scaled by 2·area; sign matches area2.
-            let w0 = edge(cx, cy, b, c);
-            let w1 = edge(cx, cy, c, a);
-            let w2 = edge(cx, cy, a, b);
+            let w0 = r0 - dy0 * (cx - b.x);
+            let w1 = r1 - dy1 * (cx - c.x);
+            let w2 = r2 - dy2 * (cx - a.x);
             let inside = if area2 > 0.0 {
                 w0 >= 0.0 && w1 >= 0.0 && w2 >= 0.0
             } else {
@@ -252,6 +262,59 @@ mod tests {
             Vec3::new(3.1, 3.3, 0.5),
         );
         assert!(raster_all(&t, 16).is_empty());
+    }
+
+    #[test]
+    fn incremental_edges_match_full_reevaluation_bitwise() {
+        // The row-hoisted edge functions must reproduce the naive
+        // per-pixel evaluation *bit for bit* — same fragments, same
+        // depths — or every pinned golden counter downstream drifts.
+        let edge = |px: f32, py: f32, p: Vec3, q: Vec3| {
+            (q.x - p.x) * (py - p.y) - (q.y - p.y) * (px - p.x)
+        };
+        let tris = [
+            full_screen_tri(),
+            ScreenTriangle::new(
+                Vec3::new(1.3, 0.7, 0.11),
+                Vec3::new(14.9, 2.2, 0.42),
+                Vec3::new(6.5, 15.1, 0.93),
+            ),
+            ScreenTriangle::new(
+                Vec3::new(9.8, 1.1, 0.5),
+                Vec3::new(2.4, 13.6, 0.2),
+                Vec3::new(15.7, 8.3, 0.8),
+            ),
+        ];
+        for tri in &tris {
+            let got = raster_all(tri, 16);
+            let [a, b, c] = tri.v;
+            let area2 = tri.signed_area2();
+            let inv_area2 = 1.0 / area2;
+            let mut want = Vec::new();
+            for py in 0..16u32 {
+                let cy = py as f32 + 0.5;
+                for px in 0..16u32 {
+                    let cx = px as f32 + 0.5;
+                    let w0 = edge(cx, cy, b, c);
+                    let w1 = edge(cx, cy, c, a);
+                    let w2 = edge(cx, cy, a, b);
+                    let inside = if area2 > 0.0 {
+                        w0 >= 0.0 && w1 >= 0.0 && w2 >= 0.0
+                    } else {
+                        w0 <= 0.0 && w1 <= 0.0 && w2 <= 0.0
+                    };
+                    if inside {
+                        let z = (w0 * a.z + w1 * b.z + w2 * c.z) * inv_area2;
+                        want.push(Fragment { x: px, y: py, z });
+                    }
+                }
+            }
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!((g.x, g.y), (w.x, w.y));
+                assert_eq!(g.z.to_bits(), w.z.to_bits(), "depth must be bit-identical");
+            }
+        }
     }
 
     #[test]

@@ -2,11 +2,12 @@
 
 use crate::cache::CacheModel;
 use crate::clip::clip_near;
+use crate::coherence::TileResultCache;
 use crate::collision_unit::{CollisionFragment, CollisionUnit, TileCoord};
 use crate::command::{Facing, FrameTrace};
 use crate::config::GpuConfig;
 use crate::raster::{rasterize_triangle_in_tile, Fragment, ScreenTriangle};
-use crate::stats::{FrameStats, GeometryStats, RasterStats};
+use crate::stats::{CoherenceStats, FrameStats, GeometryStats, RasterStats};
 use rbcd_math::{viewport as viewport_map, Vec3};
 use rbcd_trace::{TileZebRecord, TraceBuffer};
 
@@ -257,6 +258,16 @@ pub struct Simulator {
     /// Structured event recorder; `None` (the default) costs nothing on
     /// the hot path. Boxed so the simulator stays small and `Send`.
     pub(crate) tracer: Option<Box<TraceBuffer>>,
+    /// Temporal-coherence reuse knob (off by default; see
+    /// [`Simulator::set_reuse`]).
+    pub(crate) reuse: bool,
+    /// Per-draw content hashes of the current frame (scratch, reused).
+    pub(crate) draw_hashes: Vec<u64>,
+    /// Per-tile reuse decisions of the current frame (scratch, reused):
+    /// `(signature, reused)` per *active-list position*.
+    pub(crate) reuse_plan: Vec<(u64, bool)>,
+    /// Cross-frame per-tile result cache (signature + cached outcome).
+    pub(crate) result_cache: TileResultCache,
 }
 
 const RECORD_BASE: u64 = 1 << 40;
@@ -314,6 +325,30 @@ pub(crate) fn accumulate_tile(
     start + work
 }
 
+/// Folds a *replayed* tile's cached results into the frame stats. The
+/// workload counters come from the cached [`TileRasterOut`] unchanged,
+/// so they match a fresh computation bit for bit; the timeline advances
+/// by only the signature-check cost `sig_cycles` (the fragment
+/// processors sit idle for that whole span, and no ZEB is claimed so
+/// there is no stall term). Returns the tile's end cycle.
+pub(crate) fn accumulate_reused_tile(
+    r: &mut RasterStats,
+    o: &TileRasterOut,
+    cursor: u64,
+    sig_cycles: u64,
+) -> u64 {
+    r.tiles_processed += 1;
+    r.primitives_fetched += o.prim_count;
+    r.fragments_rasterized += o.frags;
+    r.fragments_collisionable += o.coll_frags;
+    r.fragments_to_early_z += o.to_early_z;
+    r.pixels_covered += o.pixels_covered;
+    r.fragments_shaded += o.shaded;
+    r.fp_busy_cycles += o.fp_work;
+    r.fp_idle_cycles += sig_cycles;
+    cursor + sig_cycles
+}
+
 /// Closes out the raster timeline: bus contention from the raster
 /// pipeline's DRAM traffic (polygon-list fills plus the per-tile
 /// colour-buffer flush). Requires `r.tile_cache_loads` to be set.
@@ -339,6 +374,10 @@ impl Simulator {
             bins: BinnedTiles::default(),
             worker: TileWorker::new(&config),
             tracer: None,
+            reuse: false,
+            draw_hashes: Vec::new(),
+            reuse_plan: Vec::new(),
+            result_cache: TileResultCache::default(),
             config,
         }
     }
@@ -369,6 +408,33 @@ impl Simulator {
     /// Whether structured tracing is currently enabled.
     pub fn tracing_enabled(&self) -> bool {
         self.tracer.is_some()
+    }
+
+    /// Enables or disables temporal tile reuse (off by default).
+    ///
+    /// With reuse on, [`Simulator::render_frame_parallel`] computes a
+    /// deterministic signature per active tile; tiles whose signature
+    /// matches the previous frame skip rasterization, ZEB build and the
+    /// Z-overlap scan, replaying the cached result while the timing
+    /// model charges only the signature check. Workload and collision
+    /// counters (fragments, pairs, `rbcd.*`) are bit-identical either
+    /// way; only the timing counters (`raster.cycles`, idle/stall
+    /// cycles) and `coherence.*` reflect the reuse. The sequential
+    /// [`Simulator::render_frame`] path ignores this knob: its
+    /// `dyn CollisionUnit` protocol has no per-tile result capsule.
+    ///
+    /// Disabling drops every cached tile, so a later re-enable starts
+    /// cold instead of replaying stale results.
+    pub fn set_reuse(&mut self, enabled: bool) {
+        self.reuse = enabled;
+        if !enabled {
+            self.result_cache.clear();
+        }
+    }
+
+    /// Whether temporal tile reuse is currently enabled.
+    pub fn reuse_enabled(&self) -> bool {
+        self.reuse
     }
 
     /// The recorded trace so far, if tracing is enabled.
@@ -408,7 +474,7 @@ impl Simulator {
     ) -> FrameStats {
         let geometry = self.geometry_pipeline(trace, mode);
         let raster = self.raster_pipeline(trace, mode, unit);
-        let stats = FrameStats { geometry, raster, frames: 1 };
+        let stats = FrameStats { geometry, raster, coherence: CoherenceStats::default(), frames: 1 };
         if let Some(t) = self.tracer.as_deref_mut() {
             t.end_frame(stats.total_cycles());
         }

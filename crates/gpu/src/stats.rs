@@ -72,6 +72,23 @@ pub struct RasterStats {
     pub cycles: u64,
 }
 
+/// Temporal-coherence layer counters for one or more frames. All four
+/// stay zero when reuse is disabled, so the counter registry keeps the
+/// same shape either way.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CoherenceStats {
+    /// Per-draw content hashes computed this frame (one per live draw).
+    pub draw_hashes: u64,
+    /// Cycles charged for draw hashing plus per-tile signature checks —
+    /// the only cost a reused tile pays.
+    pub signature_cycles: u64,
+    /// Active tiles whose signature was compared against the cache.
+    pub tiles_checked: u64,
+    /// Tiles whose signature matched and whose cached result was
+    /// replayed instead of re-rasterizing, re-inserting, and re-scanning.
+    pub tiles_reused: u64,
+}
+
 /// Combined per-frame (or accumulated) statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FrameStats {
@@ -79,6 +96,8 @@ pub struct FrameStats {
     pub geometry: GeometryStats,
     /// Raster Pipeline counters.
     pub raster: RasterStats,
+    /// Temporal-coherence layer counters (all zero when reuse is off).
+    pub coherence: CoherenceStats,
     /// Frames accumulated into this record.
     pub frames: u64,
 }
@@ -125,6 +144,13 @@ impl FrameStats {
         r.zeb_stall_cycles += o.zeb_stall_cycles;
         r.cycles += o.cycles;
 
+        let c = &mut self.coherence;
+        let o = &other.coherence;
+        c.draw_hashes += o.draw_hashes;
+        c.signature_cycles += o.signature_cycles;
+        c.tiles_checked += o.tiles_checked;
+        c.tiles_reused += o.tiles_reused;
+
         self.frames += other.frames;
     }
 
@@ -136,7 +162,12 @@ impl FrameStats {
     pub fn counter_set(&self) -> CounterSet {
         let g = &self.geometry;
         let r = &self.raster;
+        let c = &self.coherence;
         [
+            ("coherence.draw_hashes", c.draw_hashes),
+            ("coherence.signature_cycles", c.signature_cycles),
+            ("coherence.tiles_checked", c.tiles_checked),
+            ("coherence.tiles_reused", c.tiles_reused),
             ("geometry.vertices_shaded", g.vertices_shaded),
             ("geometry.triangles_assembled", g.triangles_assembled),
             ("geometry.triangles_clipped_out", g.triangles_clipped_out),

@@ -157,6 +157,21 @@ impl TraceBuffer {
         });
     }
 
+    /// Records a temporal-coherence replay of tile (`x`, `y`): an
+    /// instant marker at the signature-check cycle plus the per-tile
+    /// reuse heat plane. `at` is a raster-timeline cycle.
+    pub fn record_tile_reuse(&mut self, x: u32, y: u32, at: u64) {
+        self.events.push(TraceEvent {
+            name: "tile.reuse",
+            cat: "coherence",
+            ts: self.raster_base + at,
+            tid: LANE_MARKS,
+            kind: EventKind::Instant,
+            args: vec![("x", x as u64), ("y", y as u64)],
+        });
+        self.heat.add_reuse(x, y);
+    }
+
     /// Folds one tile's RBCD-unit observations into the trace: insert
     /// and scan spans, overflow / ladder-rung markers, cumulative
     /// counter samples, and the per-tile heat grid.
@@ -364,6 +379,19 @@ mod tests {
         }
         assert_eq!(t.heat().total("overflows"), 2);
         assert_eq!(t.heat().total("pairs"), 1);
+    }
+
+    #[test]
+    fn tile_reuse_marks_timeline_and_heat() {
+        let mut t = TraceBuffer::new(2, 2);
+        t.begin_frame();
+        t.geometry_done(100);
+        t.record_tile_reuse(1, 0, 7);
+        t.end_frame(300);
+        let e = t.events().iter().find(|e| e.name == "tile.reuse").unwrap();
+        assert_eq!(e.ts, 107);
+        assert_eq!(e.kind, EventKind::Instant);
+        assert_eq!(t.heat().total("reuse"), 1);
     }
 
     #[test]

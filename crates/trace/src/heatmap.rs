@@ -5,12 +5,14 @@ use crate::event::TileZebRecord;
 /// The metrics a [`HeatGrid`] accumulates, in export order. Each name
 /// is a valid argument to [`HeatGrid::csv`] / [`HeatGrid::total`] and
 /// becomes one CSV file per `repro --trace` run.
-pub const HEATMAP_METRICS: [&str; 5] =
-    ["occupancy", "overflows", "scan_cycles", "pairs", "rung"];
+pub const HEATMAP_METRICS: [&str; 6] =
+    ["occupancy", "overflows", "scan_cycles", "pairs", "rung", "reuse"];
 
 /// A `tiles_x` × `tiles_y` grid of per-tile accumulators, folded over
 /// every [`TileZebRecord`] the trace sees (all frames summed; `rung`
-/// keeps the worst rung a tile ever hit).
+/// keeps the worst rung a tile ever hit). The `reuse` plane counts
+/// temporal-coherence replays per tile and is fed separately via
+/// [`HeatGrid::add_reuse`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HeatGrid {
     tiles_x: u32,
@@ -20,6 +22,7 @@ pub struct HeatGrid {
     scan_cycles: Vec<u64>,
     pairs: Vec<u64>,
     rung: Vec<u64>,
+    reuse: Vec<u64>,
 }
 
 impl HeatGrid {
@@ -34,6 +37,7 @@ impl HeatGrid {
             scan_cycles: vec![0; n],
             pairs: vec![0; n],
             rung: vec![0; n],
+            reuse: vec![0; n],
         }
     }
 
@@ -61,6 +65,16 @@ impl HeatGrid {
         self.rung[i] = self.rung[i].max(rec.rung as u64);
     }
 
+    /// Counts one temporal-coherence replay of tile (`x`, `y`).
+    /// Out-of-grid coordinates are ignored, matching
+    /// [`HeatGrid::add_tile`].
+    pub fn add_reuse(&mut self, x: u32, y: u32) {
+        if x >= self.tiles_x || y >= self.tiles_y {
+            return;
+        }
+        self.reuse[y as usize * self.tiles_x as usize + x as usize] += 1;
+    }
+
     fn cells(&self, metric: &str) -> Option<&[u64]> {
         match metric {
             "occupancy" => Some(&self.occupancy),
@@ -68,6 +82,7 @@ impl HeatGrid {
             "scan_cycles" => Some(&self.scan_cycles),
             "pairs" => Some(&self.pairs),
             "rung" => Some(&self.rung),
+            "reuse" => Some(&self.reuse),
             _ => None,
         }
     }
@@ -133,6 +148,17 @@ mod tests {
         // rung keeps the per-tile max, not the sum.
         assert_eq!(g.total("rung"), 2);
         assert_eq!(g.total("bogus"), 0);
+    }
+
+    #[test]
+    fn reuse_plane_counts_replays() {
+        let mut g = HeatGrid::new(2, 2);
+        g.add_reuse(1, 1);
+        g.add_reuse(1, 1);
+        g.add_reuse(0, 0);
+        g.add_reuse(7, 7); // ignored, out of grid
+        assert_eq!(g.total("reuse"), 3);
+        assert_eq!(g.csv("reuse").unwrap(), "1,0\n0,2\n");
     }
 
     #[test]

@@ -33,7 +33,9 @@
 mod motion;
 mod scene;
 mod suite;
+mod temporal;
 
 pub use motion::Motion;
 pub use scene::{CameraPath, Scene, SceneObject};
 pub use suite::{cap, crazy, shells, sleepy, suite, temple};
+pub use temporal::{atrium, resting, temporal_suite, vault};

@@ -1,0 +1,188 @@
+//! Temporal-coherence benchmark scenes (`repro temporal`).
+//!
+//! Not part of the paper's Table 2 suite: these clips are shaped for
+//! the signature-based tile-reuse layer, which pays off when geometry
+//! is static or resting under a fixed camera. They are deliberately
+//! raster-heavy — low-poly meshes covering large screen areas with
+//! expensive fragment shaders — because the geometry pipeline always
+//! runs (binning feeds the signatures), so the reusable fraction of a
+//! frame is its raster half.
+
+use crate::motion::Motion;
+use crate::scene::{CameraPath, Scene, SceneObject};
+use rbcd_geometry::{shapes, Mesh};
+use rbcd_gpu::ShaderCost;
+use rbcd_math::{Mat4, Vec3};
+use std::sync::Arc;
+
+/// The temporal-coherence clips, static first.
+pub fn temporal_suite() -> Vec<Scene> {
+    vec![vault(), atrium(), resting()]
+}
+
+/// Expensive fragment work: these scenes model the texture-and-light
+/// heavy environment passes whose tiles reuse is meant to skip.
+fn heavy(obj: SceneObject) -> SceneObject {
+    obj.with_shader(ShaderCost { vertex_cycles: 4, fragment_cycles: 24 })
+}
+
+fn fixed(mesh: impl Into<Arc<Mesh>>, position: Vec3) -> SceneObject {
+    SceneObject::new(mesh, Motion::Static { position, yaw: 0.0 })
+}
+
+/// Big static backdrop: floor and back wall filling most of the screen
+/// with cheap triangles and expensive fragments.
+fn backdrop(half: f32, wall_height: f32) -> Vec<SceneObject> {
+    vec![
+        heavy(fixed(shapes::ground_quad(half, half), Vec3::ZERO)),
+        heavy(fixed(
+            shapes::ground_quad(half, wall_height)
+                .transformed(&Mat4::rotation_x(std::f32::consts::FRAC_PI_2)),
+            Vec3::new(0.0, wall_height, -half),
+        )),
+    ]
+}
+
+/// `vault` — a fully static warehouse: three stacks of slightly
+/// interpenetrating crates (permanent resting contacts, so the pair
+/// set is never empty) under a fixed camera. After the first frame
+/// every tile's signature matches and the whole raster pass replays
+/// from the cache — the best case for temporal coherence.
+pub fn vault() -> Scene {
+    let crate_mesh = Arc::new(shapes::cuboid(Vec3::new(0.6, 0.6, 0.6)));
+    let mut collidables = Vec::new();
+    // Crates stacked at 1.15 spacing against a 1.2 height: each pair of
+    // vertical neighbours interpenetrates by 0.05.
+    for (sx, count) in [(-2.4f32, 3usize), (0.0, 4), (2.4, 2)] {
+        for level in 0..count {
+            collidables.push(fixed(
+                crate_mesh.clone(),
+                Vec3::new(sx, 0.6 + level as f32 * 1.15, -2.0),
+            ));
+        }
+    }
+    Scene {
+        name: "Vault",
+        alias: "vault",
+        description: "temporal: static crate stacks in resting contact, fixed camera",
+        collidables,
+        scenery: backdrop(10.0, 6.0),
+        camera: CameraPath::fixed(Vec3::new(0.0, 2.6, 7.5), Vec3::new(0.0, 2.0, -2.0)),
+        frames: 8,
+        fps: 30.0,
+    }
+}
+
+/// `atrium` — static, large-coverage geometry: overlapping spheres and
+/// a torus resting on a dais, framed by wide fragment-heavy walls. A
+/// second fully static clip with different mesh topology, so the
+/// temporal geomean is not a single scene measured twice.
+pub fn atrium() -> Scene {
+    let mut collidables = vec![
+        fixed(shapes::icosphere(1.0, 2), Vec3::new(-0.7, 1.0, -3.0)),
+        fixed(shapes::icosphere(1.0, 2), Vec3::new(0.8, 1.0, -3.0)),
+        fixed(shapes::torus(1.1, 0.3, 16, 10), Vec3::new(0.0, 0.4, -3.0)),
+    ];
+    // A ring of pillars in grazing contact with their neighbours.
+    for k in 0..6 {
+        let a = k as f32 / 6.0 * std::f32::consts::TAU;
+        collidables.push(fixed(
+            shapes::cuboid(Vec3::new(0.45, 1.6, 0.45)),
+            Vec3::new(a.cos() * 3.4, 1.6, -3.0 + a.sin() * 2.2),
+        ));
+    }
+    Scene {
+        name: "Atrium",
+        alias: "atrium",
+        description: "temporal: static spheres, torus and pillars under a fixed camera",
+        collidables,
+        scenery: backdrop(12.0, 7.0),
+        camera: CameraPath::fixed(Vec3::new(0.0, 3.2, 8.0), Vec3::new(0.0, 1.4, -3.0)),
+        frames: 8,
+        fps: 30.0,
+    }
+}
+
+/// `resting` — a static pile plus one oscillating ball: the moving
+/// object invalidates only the tiles it crosses, so most of the frame
+/// still replays from the cache while the pair set keeps changing.
+/// The partial-reuse case the invalidation rules are tested against.
+pub fn resting() -> Scene {
+    let mut collidables = vec![
+        // A resting row of interpenetrating spheres.
+        fixed(shapes::icosphere(0.8, 2), Vec3::new(-1.5, 0.8, -2.5)),
+        fixed(shapes::icosphere(0.8, 2), Vec3::new(0.0, 0.8, -2.5)),
+        fixed(shapes::icosphere(0.8, 2), Vec3::new(1.5, 0.8, -2.5)),
+    ];
+    // One ball sways through the right edge of the row, touching and
+    // releasing the rightmost sphere each period.
+    collidables.push(SceneObject::new(
+        shapes::icosphere(0.7, 2),
+        Motion::Oscillate {
+            center: Vec3::new(3.0, 0.9, -2.5),
+            amplitude: Vec3::new(0.6, 0.0, 0.0),
+            frequency: 1.5,
+            phase: 0.0,
+        },
+    ));
+    Scene {
+        name: "Resting Contact",
+        alias: "resting",
+        description: "temporal: resting sphere row with one oscillating intruder",
+        collidables,
+        scenery: backdrop(10.0, 6.0),
+        camera: CameraPath::fixed(Vec3::new(0.0, 2.2, 7.0), Vec3::new(0.0, 1.0, -2.5)),
+        frames: 8,
+        fps: 30.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temporal_suite_is_static_first() {
+        let aliases: Vec<&str> = temporal_suite().iter().map(|s| s.alias).collect();
+        assert_eq!(aliases, vec!["vault", "atrium", "resting"]);
+    }
+
+    #[test]
+    fn static_scenes_never_move() {
+        for s in [vault(), atrium()] {
+            assert_eq!(
+                s.collidable_transforms(0),
+                s.collidable_transforms(s.frames - 1),
+                "{}: every object must be static",
+                s.alias
+            );
+        }
+    }
+
+    #[test]
+    fn resting_moves_exactly_one_object() {
+        let s = resting();
+        let first = s.collidable_transforms(0);
+        let last = s.collidable_transforms(s.frames - 1);
+        let moved = first.iter().zip(&last).filter(|(a, b)| a != b).count();
+        assert_eq!(moved, 1, "only the intruder animates");
+    }
+
+    #[test]
+    fn temporal_scenes_produce_pairs_and_fragments() {
+        use rbcd_core::{detect_frame_collisions, RbcdConfig};
+        use rbcd_gpu::GpuConfig;
+        use rbcd_math::Viewport;
+        for s in temporal_suite() {
+            let gpu = GpuConfig { viewport: Viewport::new(160, 96), ..GpuConfig::default() };
+            let result =
+                detect_frame_collisions(&s.frame_trace(0), &gpu, &RbcdConfig::default());
+            assert!(!result.pairs().is_empty(), "{}: resting contacts must collide", s.alias);
+            assert!(
+                result.gpu_stats.raster.fragments_rasterized > 500,
+                "{}: scene must be raster-heavy",
+                s.alias
+            );
+        }
+    }
+}

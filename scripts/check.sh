@@ -7,7 +7,10 @@
 # BENCH_tile_pipeline.json with measured host throughput. The fault
 # smoke (repro --smoke --faults all --threads 2) injects every fault
 # class at tiny M and fails on panics or silent pair losses, writing
-# BENCH_fault_tolerance.json.
+# BENCH_fault_tolerance.json. The temporal smoke renders static clips
+# with tile reuse off vs on and fails unless results are bit-identical
+# and the cache actually replayed tiles
+# (BENCH_temporal_coherence.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,9 +37,22 @@ echo "== trace smoke (repro --smoke --frames 2 --trace) =="
 trace_dir=$(mktemp -d)
 trap 'rm -rf "$trace_dir"' EXIT
 ./target/release/repro --smoke --frames 2 --trace "$trace_dir/trace.json"
-for f in trace.json trace.occupancy.csv trace.overflows.csv trace.scan_cycles.csv trace.pairs.csv trace.rung.csv; do
+for f in trace.json trace.occupancy.csv trace.overflows.csv trace.scan_cycles.csv trace.pairs.csv trace.rung.csv trace.reuse.csv; do
   [ -s "$trace_dir/$f" ] || { echo "trace smoke: missing or empty $f"; exit 1; }
 done
 grep -q '"traceEvents"' "$trace_dir/trace.json" || { echo "trace smoke: no traceEvents key"; exit 1; }
+
+echo "== temporal coherence smoke (repro --smoke temporal --threads 2) =="
+# Renders the static clips twice (reuse off, then on); repro exits
+# non-zero if reuse changes a pair set or an rbcd.* counter. On top of
+# that, assert the cache actually fired: a static scene rendered twice
+# must replay tiles.
+./target/release/repro --smoke temporal --threads 2
+[ -s BENCH_temporal_coherence.json ] || { echo "coherence smoke: missing BENCH_temporal_coherence.json"; exit 1; }
+grep -q '"identical_results": true' BENCH_temporal_coherence.json \
+  || { echo "coherence smoke: reuse-on run was not result-identical"; exit 1; }
+if grep -q '"reuse_rate": 0\.000000' BENCH_temporal_coherence.json; then
+  echo "coherence smoke: static scenes replayed zero tiles"; exit 1
+fi
 
 echo "OK: lint + build + tests + smokes all passed"
