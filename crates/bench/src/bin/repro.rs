@@ -10,7 +10,13 @@
 //! fig9b fig10 fig11 table3 sec52 sec53 ablation-zebs all — plus the
 //! extension experiments imr, spares, timesteps, tbdr, resolution, and
 //! temporal (run by `all` too), and `bench`, a host-throughput smoke
-//! for the parallel tile pipeline that writes `BENCH_tile_pipeline.json`.
+//! for the parallel tile pipeline that writes `BENCH_tile_pipeline.json`,
+//! and `hotpath`, a host-wall-clock A/B of the span-mask vs reference
+//! intra-tile hot path that writes `BENCH_raster_hotpath.json` and
+//! exits non-zero if the two modes ever diverge. Every `BENCH_*.json`
+//! artifact opens with the shared `rbcd_bench::schema` header
+//! (`schema_version`, bench id, host, geomean) and is re-validated with
+//! the workspace's own JSON parser before it is written.
 //! `temporal` measures the signature-based tile-reuse layer on the
 //! static/resting clips of `rbcd_workloads::temporal_suite()` against a
 //! reuse-off run of the same frames, reports per-scene reuse rate and
@@ -22,9 +28,11 @@
 //! sets the worker-thread count (simulated numbers are bit-identical
 //! for any value), `--no-reuse` disables cross-frame tile reuse (on by
 //! default; reuse never changes pairs or event counters, only the
-//! simulated-cycle timeline), `--smoke` shrinks every experiment to a
-//! quick configuration and defaults the experiment list to
-//! `bench temporal`.
+//! simulated-cycle timeline), `--hot-path mask|reference` selects the
+//! intra-tile hot path for every experiment (mask is the default; the
+//! two are bit-identical in every result, differing only in host
+//! wall-clock), `--smoke` shrinks every experiment to a quick
+//! configuration and defaults the experiment list to `bench temporal`.
 //!
 //! `--trace <out.json>` runs the trace experiment: render the `cap`
 //! workload with the deterministic instrumentation layer enabled and
@@ -100,6 +108,22 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         reuse = false;
         args.remove(pos);
     }
+    let mut hot_path = rbcd_gpu::HotPathMode::Mask;
+    if let Some(pos) = args.iter().position(|a| a == "--hot-path") {
+        let name = args.get(pos + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--hot-path needs a mode (mask|reference)");
+            std::process::exit(2);
+        });
+        hot_path = match name.as_str() {
+            "mask" => rbcd_gpu::HotPathMode::Mask,
+            "reference" => rbcd_gpu::HotPathMode::Reference,
+            other => {
+                eprintln!("unknown hot-path mode {other:?} (expected mask|reference)");
+                std::process::exit(2);
+            }
+        };
+        args.drain(pos..=pos + 1);
+    }
     let mut trace_path: Option<String> = None;
     if let Some(pos) = args.iter().position(|a| a == "--trace") {
         let path = args.get(pos + 1).cloned().unwrap_or_else(|| {
@@ -142,6 +166,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         opts.m_sweep = vec![4, 8];
         opts.zeb_counts = vec![1, 2];
     }
+    opts.gpu.hot_path = hot_path;
 
     // `--trace` is opt-in (not part of `all`): it re-renders one
     // workload with the instrumentation layer on and exports the
@@ -161,6 +186,13 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     // which is meaningless in CI artifact regeneration.
     if wanted.iter().any(|w| w == "bench") {
         run_tile_pipeline_bench(&opts, threads.max(2), smoke)?;
+    }
+
+    // `hotpath` is opt-in for the same reason: it A/B-times the
+    // intra-tile hot path (span-mask vs reference rasterizer) on the
+    // host clock and enforces their bit-identical results.
+    if wanted.iter().any(|w| w == "hotpath") {
+        run_hotpath_bench(&opts, smoke)?;
     }
 
     if want("temporal") {
@@ -892,10 +924,11 @@ fn run_temporal_experiment(opts: &RunOptions) -> Result<(), TableError> {
         fmt_pct(reused as f64 / checked.max(1) as f64)
     );
 
-    // Hand-rolled JSON — the workspace deliberately has no serde.
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"temporal_coherence\",\n");
+    // Hand-rolled JSON — the workspace deliberately has no serde. The
+    // shared header (schema_version, bench id, host, geomean) comes
+    // from `rbcd_bench::schema`, which also re-validates the document
+    // before it is written.
+    let mut json = rbcd_bench::schema::header("temporal_coherence", geo);
     json.push_str(&format!("  \"threads\": {},\n", opts.threads.max(1)));
     json.push_str(&format!(
         "  \"viewport\": \"{}x{}\",\n",
@@ -921,9 +954,9 @@ fn run_temporal_experiment(opts: &RunOptions) -> Result<(), TableError> {
     }
     json.push_str("  ]\n}\n");
     let path = "BENCH_temporal_coherence.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
+    match rbcd_bench::schema::write(path, &json) {
+        Ok(_) => println!("wrote {path}"),
+        Err(e) => eprintln!("{e}"),
     }
     Ok(())
 }
@@ -1082,10 +1115,17 @@ fn run_fault_experiment(plan_name: &str, opts: &RunOptions, smoke: bool) -> Resu
         fmt_pct(worst)
     );
 
-    // Hand-rolled JSON — the workspace deliberately has no serde.
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"fault_tolerance\",\n");
+    // Hand-rolled JSON with the shared `rbcd_bench::schema` header; the
+    // headline geomean for the fault sweep is the geomean of per-cell
+    // recovered fractions.
+    let geo = geomean(
+        result
+            .scenes
+            .iter()
+            .flat_map(|s| s.cells.iter().map(|c| c.recovered_fraction()))
+            .collect::<Vec<f64>>(),
+    );
+    let mut json = rbcd_bench::schema::header("fault_tolerance", geo);
     json.push_str(&format!("  \"plan\": \"{}\",\n", result.plan));
     json.push_str(&format!("  \"seed\": {},\n", result.seed));
     json.push_str(&format!(
@@ -1124,9 +1164,9 @@ fn run_fault_experiment(plan_name: &str, opts: &RunOptions, smoke: bool) -> Resu
     }
     json.push_str("  ]\n}\n");
     let path = "BENCH_fault_tolerance.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
+    match rbcd_bench::schema::write(path, &json) {
+        Ok(_) => println!("wrote {path}"),
+        Err(e) => eprintln!("{e}"),
     }
 
     if silent > 0 {
@@ -1193,10 +1233,8 @@ fn run_tile_pipeline_bench(opts: &RunOptions, threads: usize, smoke: bool) -> Re
          (expect ~1x when host cores < threads; simulated results are bit-identical either way)"
     );
 
-    // Hand-rolled JSON — the workspace deliberately has no serde.
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"tile_pipeline\",\n");
+    // Hand-rolled JSON with the shared `rbcd_bench::schema` header.
+    let mut json = rbcd_bench::schema::header("tile_pipeline", geo);
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     json.push_str(&format!("  \"frames_per_workload\": {frames},\n"));
@@ -1216,9 +1254,153 @@ fn run_tile_pipeline_bench(opts: &RunOptions, threads: usize, smoke: bool) -> Re
     }
     json.push_str("  ]\n}\n");
     let path = "BENCH_tile_pipeline.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
+    match rbcd_bench::schema::write(path, &json) {
+        Ok(_) => println!("wrote {path}"),
+        Err(e) => eprintln!("{e}"),
+    }
+    Ok(())
+}
+
+/// Host-wall-clock A/B of the intra-tile hot path (`hotpath`, opt-in
+/// like `bench`): for every suite workload, first run the full pipeline
+/// once per [`rbcd_gpu::HotPathMode`] and require bit-identical pairs,
+/// energy, and counters — minus exactly the three mask-only diagnostics
+/// (`raster.rows_empty`, `raster.rows_full`, `tile.scan_skipped`),
+/// which read 0 under `Reference` — then bin one frame and time
+/// repeated raster passes per mode, isolating the rasterize + insert +
+/// scan hot path from per-frame geometry work. Writes
+/// `BENCH_raster_hotpath.json`; exits non-zero on any divergence.
+fn run_hotpath_bench(opts: &RunOptions, smoke: bool) -> Result<(), TableError> {
+    use rbcd_bench::runner::run_gpu;
+    use rbcd_core::RbcdUnit;
+    use rbcd_gpu::{HotPathMode, PipelineMode, SimulatorBuilder};
+
+    const MASK_ONLY: [&str; 3] = ["raster.rows_empty", "raster.rows_full", "tile.scan_skipped"];
+
+    let reps = if smoke { 5 } else { 40 };
+    let frames = opts.frames.unwrap_or(2).clamp(1, 4);
+    eprintln!("hotpath A/B: span-mask vs reference rasterizer, {reps} raster passes/scene...");
+
+    let mut t = Table::new(
+        "Intra-tile hot path — span-mask vs reference (host ns per raster pass)",
+        &["benchmark", "reference ns", "mask ns", "speedup", "identical"],
+    );
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for scene in rbcd_workloads::suite() {
+        // Exactness leg: a full multi-frame run per mode. The contract
+        // is bitwise — same pairs, same energy, and every counter equal
+        // except the three host-side diagnostics only Mask produces.
+        let run_mode = |mode: HotPathMode| {
+            let o = RunOptions { gpu: GpuConfig { hot_path: mode, ..opts.gpu.clone() }, ..opts.clone() };
+            run_gpu(&scene, frames, &o, Some(RbcdConfig { hot_path: mode, ..RbcdConfig::default() }))
+        };
+        let mask = run_mode(HotPathMode::Mask);
+        let reference = run_mode(HotPathMode::Reference);
+        let strip = |run: &rbcd_bench::metrics::GpuRun| -> Vec<(&'static str, u64)> {
+            run.counters.iter().filter(|(k, _)| !MASK_ONLY.contains(k)).collect()
+        };
+        let identical = strip(&mask) == strip(&reference)
+            && mask.pairs == reference.pairs
+            && mask.energy_j == reference.energy_j;
+        if !identical {
+            eprintln!("HOT-PATH DIVERGENCE on {}: mask results differ from reference", scene.alias);
+            std::process::exit(1);
+        }
+
+        // Wall-clock leg: geometry binned once per mode, then the two
+        // raster passes are timed back-to-back in interleaved pairs.
+        // Each pair shares the same instantaneous machine state, so the
+        // per-pair ratio cancels common-mode noise (frequency phases,
+        // hypervisor steal); the reported speedup is the median of the
+        // per-pair ratios and the per-pass times are the per-mode
+        // minima.
+        let make = |mode: HotPathMode| {
+            let sim = SimulatorBuilder::from_config(GpuConfig {
+                hot_path: mode,
+                ..opts.gpu.clone()
+            })
+            .build()
+            .expect("benchmark GPU configurations are validated at construction");
+            let unit = RbcdUnit::new(
+                RbcdConfig { hot_path: mode, ..RbcdConfig::default() },
+                opts.gpu.tile_size,
+            )
+            .expect("benchmark RBCD configurations are validated at construction");
+            (sim, unit)
+        };
+        let trace = scene.frame_trace(0);
+        let (mut ref_sim, mut ref_unit) = make(HotPathMode::Reference);
+        let (mut mask_sim, mut mask_unit) = make(HotPathMode::Mask);
+        ref_sim.bench_bin_frame(&trace, PipelineMode::Rbcd);
+        mask_sim.bench_bin_frame(&trace, PipelineMode::Rbcd);
+        let pass = |sim: &mut rbcd_gpu::Simulator, unit: &mut RbcdUnit| -> f64 {
+            unit.new_frame();
+            let t0 = Instant::now();
+            let _ = sim.bench_raster_pass(&trace, PipelineMode::Rbcd, unit);
+            let dt = t0.elapsed().as_secs_f64();
+            let _ = unit.take_contacts();
+            dt
+        };
+        // Warm-up pair so lazy allocations bill neither mode.
+        let _ = pass(&mut ref_sim, &mut ref_unit);
+        let _ = pass(&mut mask_sim, &mut mask_unit);
+        let (mut ref_ns, mut mask_ns) = (f64::INFINITY, f64::INFINITY);
+        let mut ratios = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let tr = pass(&mut ref_sim, &mut ref_unit);
+            let tm = pass(&mut mask_sim, &mut mask_unit);
+            ref_ns = ref_ns.min(tr * 1e9);
+            mask_ns = mask_ns.min(tm * 1e9);
+            ratios.push(tr / tm.max(1e-12));
+        }
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("pass ratios are finite"));
+        let speedup = if ratios.len() % 2 == 1 {
+            ratios[ratios.len() / 2]
+        } else {
+            (ratios[ratios.len() / 2 - 1] + ratios[ratios.len() / 2]) / 2.0
+        };
+        speedups.push(speedup);
+        t.row(vec![
+            scene.alias.to_string(),
+            format!("{ref_ns:.0}"),
+            format!("{mask_ns:.0}"),
+            fmt_x(speedup),
+            "yes".to_string(),
+        ])?;
+        rows.push((scene.alias.to_string(), ref_ns, mask_ns, speedup));
+    }
+    print!("{}", t.render());
+    let geo = geomean(speedups);
+    println!(
+        "geomean hot-path speedup {} (span-mask vs reference; pairs, energy, and counters \
+         bit-identical)",
+        fmt_x(geo)
+    );
+
+    // Hand-rolled JSON with the shared `rbcd_bench::schema` header.
+    let mut json = rbcd_bench::schema::header("raster_hotpath", geo);
+    json.push_str(&format!("  \"raster_passes\": {reps},\n"));
+    json.push_str(&format!("  \"frames_checked\": {frames},\n"));
+    json.push_str(&format!(
+        "  \"viewport\": \"{}x{}\",\n",
+        opts.gpu.viewport.width, opts.gpu.viewport.height
+    ));
+    json.push_str("  \"identical_results\": true,\n");
+    json.push_str(&format!("  \"speedup_geomean\": {geo:.4},\n"));
+    json.push_str("  \"scenes\": [\n");
+    for (i, (alias, ref_ns, mask_ns, speedup)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{alias}\", \"reference_ns_per_pass\": {ref_ns:.1}, \
+             \"mask_ns_per_pass\": {mask_ns:.1}, \"speedup\": {speedup:.4}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_raster_hotpath.json";
+    match rbcd_bench::schema::write(path, &json) {
+        Ok(_) => println!("wrote {path}"),
+        Err(e) => eprintln!("{e}"),
     }
     Ok(())
 }

@@ -149,7 +149,9 @@ pub fn run_fault_tolerance(
 }
 
 fn run_cell(scene: &Scene, frames: usize, plan: &FaultPlan, opts: &RunOptions) -> FaultCell {
-    let cfg = ladder_config(plan);
+    // The unit's hot path follows the simulator's (one knob switches
+    // the whole pipeline, as in `runner::run_gpu`).
+    let cfg = RbcdConfig { hot_path: opts.gpu.hot_path, ..ladder_config(plan) };
     let mut cell = FaultCell { m: cfg.list_capacity, ..FaultCell::default() };
 
     let meshes = scene.collidable_meshes();

@@ -14,6 +14,7 @@ pub mod hybrid;
 pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod schema;
 
 pub use metrics::{geomean, BenchmarkResult, CdComparison, SuiteResult};
 pub use runner::{

@@ -116,6 +116,9 @@ fn run_gpu_inner(
             }
         }
         Some(cfg) => {
+            // The unit's hot path follows the simulator's, so one knob
+            // (e.g. repro's `--hot-path`) switches the whole pipeline.
+            let cfg = RbcdConfig { hot_path: opts.gpu.hot_path, ..cfg };
             let mut unit = RbcdUnit::new(cfg, opts.gpu.tile_size)
                 .expect("benchmark RBCD configurations are validated at construction");
             unit.set_tile_logging(traced);

@@ -1,0 +1,124 @@
+//! Shared top-level schema for the `BENCH_*.json` artifacts.
+//!
+//! Every benchmark artifact the `repro` binary writes opens with the
+//! same header block — `schema_version`, the experiment id, a `host`
+//! triple, and the headline `geomean` — so downstream tooling can
+//! dispatch on one stable shape. Callers render the header with
+//! [`header`], append their experiment-specific fields, and land the
+//! document through [`write`], which re-parses it with the crate's own
+//! JSON parser and checks the shared fields before anything reaches
+//! disk.
+
+use rbcd_trace::json::{self, Value};
+
+/// Version of the shared header layout. Bump when a shared field is
+/// renamed, removed, or changes meaning.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Renders the shared opening of a `BENCH_*.json` document: `{`,
+/// `schema_version`, the experiment id, a `host` block
+/// (OS / architecture / logical cores), and the headline `geomean`.
+/// Each line is `,`-terminated; the caller appends its own fields and
+/// closes the object.
+pub fn header(bench: &str, geomean: f64) -> String {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    format!(
+        "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"bench\": \"{bench}\",\n  \
+         \"host\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cores\": {cores}}},\n  \
+         \"geomean\": {geomean:.4},\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+    )
+}
+
+/// The shared header fields of a validated document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchHeader {
+    /// Layout version the document was written under.
+    pub schema_version: u64,
+    /// Experiment id (`bench` field).
+    pub bench: String,
+    /// The experiment's headline geometric mean.
+    pub geomean: f64,
+}
+
+/// Checks `text` against the shared schema: it must re-parse with the
+/// crate's own JSON parser and carry every shared field at the current
+/// [`SCHEMA_VERSION`].
+pub fn validate(text: &str) -> Result<BenchHeader, String> {
+    let doc = json::parse(text).map_err(|e| format!("document does not re-parse: {e}"))?;
+    let schema_version = doc
+        .get("schema_version")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| "missing schema_version".to_string())?;
+    if schema_version != SCHEMA_VERSION {
+        return Err(format!("schema_version {schema_version} != supported {SCHEMA_VERSION}"));
+    }
+    let bench = doc
+        .get("bench")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing bench id".to_string())?
+        .to_string();
+    let host = doc.get("host").ok_or_else(|| "missing host block".to_string())?;
+    for key in ["os", "arch"] {
+        host.get(key)
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("missing host.{key}"))?;
+    }
+    host.get("cores")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| "missing host.cores".to_string())?;
+    let geomean = doc
+        .get("geomean")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| "missing geomean".to_string())?;
+    Ok(BenchHeader { schema_version, bench, geomean })
+}
+
+/// Validates `text` against the shared schema, then writes it to
+/// `path`. Nothing lands on disk if validation fails.
+pub fn write(path: &str, text: &str) -> Result<BenchHeader, String> {
+    let header = validate(text).map_err(|e| format!("{path}: {e}"))?;
+    std::fs::write(path, text).map_err(|e| format!("could not write {path}: {e}"))?;
+    Ok(header)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> String {
+        let mut d = header("unit_test", 1.5);
+        d.push_str("  \"payload\": [1, 2, 3]\n}\n");
+        d
+    }
+
+    #[test]
+    fn header_round_trips_through_validate() {
+        let h = validate(&doc()).expect("header must satisfy its own schema");
+        assert_eq!(h.schema_version, SCHEMA_VERSION);
+        assert_eq!(h.bench, "unit_test");
+        assert!((h.geomean - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_rejects_missing_or_stale_fields() {
+        assert!(validate("{}").unwrap_err().contains("schema_version"));
+        let stale = doc().replace(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            &format!("\"schema_version\": {}", SCHEMA_VERSION + 1),
+        );
+        assert!(validate(&stale).unwrap_err().contains("schema_version"));
+        let no_geo = doc().replace("\"geomean\"", "\"geo_mean\"");
+        assert!(validate(&no_geo).unwrap_err().contains("geomean"));
+        let no_host = doc().replace("\"host\"", "\"machine\"");
+        assert!(validate(&no_host).unwrap_err().contains("host"));
+        assert!(validate("not json").unwrap_err().contains("re-parse"));
+    }
+
+    #[test]
+    fn write_refuses_invalid_documents() {
+        let err = write("/nonexistent-dir/should-not-land.json", "{}").unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+    }
+}

@@ -55,6 +55,8 @@ const GOLDEN_KEYS: &[&str] = &[
     "raster.fragments_to_early_z",
     "raster.pixels_covered",
     "raster.primitives_fetched",
+    "raster.rows_empty",
+    "raster.rows_full",
     "raster.tile_cache_load_accesses",
     "raster.tile_cache_load_misses",
     "raster.tiles_processed",
@@ -81,6 +83,7 @@ const GOLDEN_KEYS: &[&str] = &[
     "rbcd.unmatched_backs",
     "rbcd.zeb_list_reads",
     "rbcd.zeb_list_writes",
+    "tile.scan_skipped",
 ];
 
 #[test]
@@ -92,7 +95,10 @@ fn counter_registry_keys_are_pinned() {
     // Baseline runs expose the GPU half only.
     let base = run_gpu(&rbcd_workloads::cap(), 2, &opts(), None);
     let base_keys: Vec<&'static str> = base.counters.keys().collect();
-    let expected: Vec<&&str> = GOLDEN_KEYS.iter().filter(|k| !k.starts_with("rbcd.")).collect();
+    let expected: Vec<&&str> = GOLDEN_KEYS
+        .iter()
+        .filter(|k| !k.starts_with("rbcd.") && !k.starts_with("tile."))
+        .collect();
     assert_eq!(base_keys.len(), expected.len());
     assert!(base_keys.iter().zip(expected).all(|(a, b)| a == b));
 }
@@ -142,6 +148,11 @@ const GOLDEN_VALUES: &[(&str, u64)] = &[
     ("raster.fragments_to_early_z", 104320),
     ("raster.pixels_covered", 49152),
     ("raster.primitives_fetched", 22798),
+    // Mask-hot-path diagnostics: host-side only, excluded from energy;
+    // the A/B smoke in scripts/check.sh proves Reference reports 0 here
+    // while every other counter stays identical.
+    ("raster.rows_empty", 26085),
+    ("raster.rows_full", 16272),
     ("raster.tile_cache_load_accesses", 45596),
     ("raster.tile_cache_load_misses", 15648),
     ("raster.tiles_processed", 192),
@@ -168,6 +179,7 @@ const GOLDEN_VALUES: &[(&str, u64)] = &[
     ("rbcd.unmatched_backs", 0),
     ("rbcd.zeb_list_reads", 19524),
     ("rbcd.zeb_list_writes", 13974),
+    ("tile.scan_skipped", 4586),
 ];
 
 #[test]

@@ -235,3 +235,73 @@ fn frame_parallel_runs_are_identical_at_any_thread_count() {
         }
     }
 }
+
+#[test]
+fn hot_path_mask_matches_reference_across_arms() {
+    // The coverage-mask hot path (the default) must be bit-identical
+    // to the retained scalar reference in everything user-visible —
+    // pairs, shared counters, derived time and energy — at any thread
+    // count and with tile reuse on or off. The three host-side
+    // diagnostics only the mask path produces are the sole permitted
+    // difference, and they are excluded from energy.
+    use rbcd_gpu::HotPathMode;
+    const MASK_ONLY: [&str; 3] = ["raster.rows_empty", "raster.rows_full", "tile.scan_skipped"];
+    let strip = |run: &GpuRun| -> Vec<(&'static str, u64)> {
+        run.counters.iter().filter(|(k, _)| !MASK_ONLY.contains(k)).collect()
+    };
+    let run_mode = |scene: &rbcd_workloads::Scene, mode: HotPathMode, threads: usize, reuse| {
+        let mut o = opts(threads);
+        o.gpu.hot_path = mode;
+        o.reuse = reuse;
+        run_gpu(scene, 2, &o, Some(RbcdConfig { hot_path: mode, ..RbcdConfig::default() }))
+    };
+    for scene in rbcd_workloads::suite() {
+        for reuse in [true, false] {
+            let reference = run_mode(&scene, HotPathMode::Reference, 1, reuse);
+            for threads in [1, 2, 4] {
+                let mask = run_mode(&scene, HotPathMode::Mask, threads, reuse);
+                let tag = format!("{} at {threads} threads, reuse {reuse}", scene.alias);
+                assert_eq!(mask.pairs, reference.pairs, "{tag}: pairs");
+                assert_eq!(strip(&mask), strip(&reference), "{tag}: shared counters");
+                assert_eq!(mask.seconds, reference.seconds, "{tag}: seconds");
+                assert_eq!(mask.energy_j, reference.energy_j, "{tag}: energy");
+            }
+        }
+    }
+}
+
+#[test]
+fn hot_path_mask_matches_reference_under_fault_presets() {
+    // Same contract with the degradation ladder firing: every fault
+    // preset's overflow counts, rung histograms, and pair accounting
+    // must not depend on which hot path executed them.
+    for preset in ["overflow", "nan", "degenerate", "badid"] {
+        let plan = FaultPlan::preset(preset, 0xAB5E_11E5).unwrap();
+        let scenes = [rbcd_workloads::shells()];
+        let m_values = [1, 4];
+        let run_mode = |mode: rbcd_gpu::HotPathMode| {
+            let mut o = opts(2);
+            o.gpu.hot_path = mode;
+            run_fault_tolerance(&scenes, preset, plan, &m_values, &o)
+        };
+        let reference = run_mode(rbcd_gpu::HotPathMode::Reference);
+        let mask = run_mode(rbcd_gpu::HotPathMode::Mask);
+        for (sa, sb) in reference.scenes.iter().zip(&mask.scenes) {
+            for (ca, cb) in sa.cells.iter().zip(&sb.cells) {
+                let tag = format!("{preset}: {} M={}", sa.alias, ca.m);
+                assert_eq!(ca.faults, cb.faults, "{tag}: injected faults");
+                assert_eq!(ca.overflows, cb.overflows, "{tag}: overflow count");
+                assert_eq!(
+                    (ca.rung_clean, ca.rung_spare, ca.rung_rescan, ca.rung_cpu, ca.rescan_passes),
+                    (cb.rung_clean, cb.rung_spare, cb.rung_rescan, cb.rung_cpu, cb.rescan_passes),
+                    "{tag}: rung histogram"
+                );
+                assert_eq!(
+                    (ca.oracle_pairs, ca.gpu_recovered, ca.cpu_recovered, ca.missing_pairs),
+                    (cb.oracle_pairs, cb.gpu_recovered, cb.cpu_recovered, cb.missing_pairs),
+                    "{tag}: pair accounting"
+                );
+            }
+        }
+    }
+}

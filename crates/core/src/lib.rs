@@ -56,7 +56,7 @@ pub use error::RbcdError;
 pub use faults::{FaultLog, FaultPlan};
 pub use pair::ObjectPair;
 pub use parallel::{TileCollisions, ZebTileWorker};
-pub use scan::{scan_list, FfStack, ScanOutcome};
+pub use scan::{scan_list, scan_list_with, FfStack, ScanOutcome};
 pub use stats::RbcdStats;
 pub use unit::{
     detect_collision_pass, detect_frame_collisions, ContactPoint, FrameCollisions, RbcdConfig,

@@ -143,6 +143,7 @@ impl ParallelCollision for RbcdUnit {
             c.spare_entries as u64,
             c.ladder_rescans as u64,
             c.ladder_cpu_fallback as u64,
+            c.hot_path as u64,
         ] {
             h = (h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
             h ^= h >> 29;
@@ -344,6 +345,7 @@ mod tests {
             RbcdConfig { spare_entries: 64, ..RbcdConfig::default() },
             RbcdConfig { ladder_rescans: 2, ..RbcdConfig::default() },
             RbcdConfig { ladder_cpu_fallback: true, ..RbcdConfig::default() },
+            RbcdConfig { hot_path: rbcd_gpu::HotPathMode::Reference, ..RbcdConfig::default() },
         ] {
             let unit = RbcdUnit::new(other, 16).unwrap();
             assert_ne!(key, ParallelCollision::coherence_key(&unit), "{other:?}");

@@ -51,6 +51,11 @@ impl FfStack {
         Ok(Self { entries: Vec::with_capacity(capacity), capacity, dropped: 0 })
     }
 
+    /// The stack's capacity (the paper's `T`).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Clears the stack for the next list.
     pub fn clear(&mut self) {
         self.entries.clear();
@@ -95,39 +100,62 @@ pub struct ScanOutcome {
 }
 
 /// Scans one front-to-back sorted list with the FF-Stack algorithm,
-/// charging hardware events to `stats`.
+/// charging hardware events to `stats` and reporting each colliding
+/// pair `(other, current-back-face, depth)` through `hit`.
 ///
 /// Self-pairs (an object overlapping its own depth layers) are filtered
 /// at the Pair-Generation stage, as only inter-object collisions are
-/// reported to the CPU.
-pub fn scan_list(list: &[ZebElement], stack: &mut FfStack, stats: &mut RbcdStats) -> ScanOutcome {
+/// reported to the CPU. Returns the number of unmatched back faces.
+///
+/// Per-element event counts are accumulated in locals and added to
+/// `stats` once per list; the u64 sums are identical either way.
+pub fn scan_list_with(
+    list: &[ZebElement],
+    stack: &mut FfStack,
+    stats: &mut RbcdStats,
+    mut hit: impl FnMut(ObjectId, ObjectId, u16),
+) -> u64 {
     stack.clear();
-    let mut out = ScanOutcome::default();
     stats.lists_scanned += 1;
     stats.zeb_list_reads += 1;
+    stats.elements_scanned += list.len() as u64;
+    stats.register_ops += list.len() as u64;
+    let mut eq_comparisons = 0u64;
+    let mut priority_encodes = 0u64;
+    let mut pairs_emitted = 0u64;
+    let mut unmatched_backs = 0u64;
 
     for e in list {
-        stats.elements_scanned += 1;
-        stats.register_ops += 1;
         if e.is_front() {
             stack.push(e.object);
         } else {
             // The EQ comparators examine every stack entry in parallel;
             // the priority encoder picks the bottommost match.
-            stats.eq_comparisons += stack.entries.len() as u64;
-            stats.priority_encodes += 1;
+            eq_comparisons += stack.entries.len() as u64;
+            priority_encodes += 1;
             let matched = stack.match_back(e.object, |other| {
                 if other != e.object {
-                    stats.pairs_emitted += 1;
-                    out.hits.push((other, e.object, e.z));
+                    pairs_emitted += 1;
+                    hit(other, e.object, e.z);
                 }
             });
             if !matched {
-                out.unmatched_backs += 1;
-                stats.unmatched_backs += 1;
+                unmatched_backs += 1;
             }
         }
     }
+    stats.eq_comparisons += eq_comparisons;
+    stats.priority_encodes += priority_encodes;
+    stats.pairs_emitted += pairs_emitted;
+    stats.unmatched_backs += unmatched_backs;
+    unmatched_backs
+}
+
+/// [`scan_list_with`] collecting the hits into an owned [`ScanOutcome`].
+pub fn scan_list(list: &[ZebElement], stack: &mut FfStack, stats: &mut RbcdStats) -> ScanOutcome {
+    let mut out = ScanOutcome::default();
+    out.unmatched_backs =
+        scan_list_with(list, stack, stats, |a, b, z| out.hits.push((a, b, z)));
     out
 }
 

@@ -56,6 +56,12 @@ pub struct RbcdStats {
     pub rung_cpu: u64,
     /// Total re-insertion passes performed by ladder rung 2.
     pub rescan_passes: u64,
+    /// Occupied lists resolved analytically instead of through the
+    /// FF-Stack because their `scan_worthy` bit was clear (mask hot
+    /// path only; 0 under `HotPathMode::Reference`). A host-side
+    /// diagnostic: every other counter, and energy, is identical either
+    /// way.
+    pub scan_skipped: u64,
 }
 
 impl RbcdStats {
@@ -93,6 +99,7 @@ impl RbcdStats {
         self.rung_rescan += o.rung_rescan;
         self.rung_cpu += o.rung_cpu;
         self.rescan_passes += o.rescan_passes;
+        self.scan_skipped += o.scan_skipped;
     }
 
     /// Tiles that completed on the base rung — no spare allocation,
@@ -129,6 +136,7 @@ impl RbcdStats {
             ("rbcd.rung_rescan", self.rung_rescan),
             ("rbcd.rung_cpu", self.rung_cpu),
             ("rbcd.rescan_passes", self.rescan_passes),
+            ("tile.scan_skipped", self.scan_skipped),
         ]
         .into_iter()
         .collect()

@@ -2,13 +2,13 @@
 
 use crate::error::RbcdError;
 use crate::pair::ObjectPair;
-use crate::scan::{scan_list, FfStack};
+use crate::scan::{scan_list_with, FfStack};
 use crate::stats::RbcdStats;
 use crate::zeb::Zeb;
 use crate::ZebElement;
 use rbcd_gpu::{
-    CollisionFragment, CollisionUnit, FrameStats, FrameTrace, GpuConfig, ObjectId, PipelineMode,
-    Simulator, TileCoord,
+    CollisionFragment, CollisionUnit, FrameStats, FrameTrace, GpuConfig, HotPathMode, ObjectId,
+    PipelineMode, Simulator, TileCoord,
 };
 use rbcd_trace::TileZebRecord;
 use std::collections::BTreeSet;
@@ -43,6 +43,12 @@ pub struct RbcdConfig {
     /// re-scans, record the tile's distinct object ids so the host can
     /// route them to an exact CPU detector (the hybrid path).
     pub ladder_cpu_fallback: bool,
+    /// Host-side implementation of the Z-overlap scan loop. Never
+    /// changes simulated results; see [`rbcd_gpu::HotPathMode`]. Under
+    /// `Mask` (the default), occupied lists whose `scan_worthy` bit is
+    /// clear are resolved analytically instead of through the FF-Stack,
+    /// with bit-identical counters, contacts, and timing.
+    pub hot_path: HotPathMode,
 }
 
 impl Default for RbcdConfig {
@@ -56,6 +62,7 @@ impl Default for RbcdConfig {
             spare_entries: 0,
             ladder_rescans: 0,
             ladder_cpu_fallback: false,
+            hot_path: HotPathMode::Mask,
         }
     }
 }
@@ -359,7 +366,55 @@ fn tile_record(
         occupancy: d.elements_scanned,
         pairs_emitted: d.pairs_emitted,
         ff_drops: d.ff_drops,
+        scan_skipped: d.scan_skipped,
         rung,
+    }
+}
+
+/// Analytic replay of [`scan_list`] for a list whose `scan_worthy` bit
+/// is clear — i.e. every element is guaranteed to share one object id.
+///
+/// Such a list can never emit a pair: the FF-Stack only ever holds that
+/// one id, and the pair filter drops same-object hits. What remains of
+/// the scan is pure event accounting, reproduced here exactly by
+/// tracking the stack's live and unmatched entry counts instead of
+/// walking `FfEntry` records:
+///
+/// * front face — pushed while the stack has room (`live += 1`),
+///   dropped otherwise (`stack.dropped += 1`, folded into `ff_drops`
+///   by the caller's bracket exactly like a real drop);
+/// * back face — the EQ comparators examine `live` entries and the
+///   priority encoder fires; a match exists iff any entry is still
+///   unmatched, otherwise the back face counts as unmatched.
+///
+/// Every counter ends bit-identical to the full scan; only the
+/// mode-gated `scan_skipped` diagnostic records that the shortcut ran.
+fn skip_single_object_scan(list: &[ZebElement], stack: &mut FfStack, stats: &mut RbcdStats) {
+    stats.scan_skipped += 1;
+    stats.lists_scanned += 1;
+    stats.zeb_list_reads += 1;
+    stats.elements_scanned += list.len() as u64;
+    stats.register_ops += list.len() as u64;
+    let cap = stack.capacity() as u64;
+    let mut live = 0u64;
+    let mut unmatched = 0u64;
+    for e in list {
+        if e.is_front() {
+            if live < cap {
+                live += 1;
+                unmatched += 1;
+            } else {
+                stack.dropped += 1;
+            }
+        } else {
+            stats.eq_comparisons += live;
+            stats.priority_encodes += 1;
+            if unmatched > 0 {
+                unmatched -= 1;
+            } else {
+                stats.unmatched_backs += 1;
+            }
+        }
     }
 }
 
@@ -387,18 +442,20 @@ pub(crate) fn scan_zeb_tile(
     for i in 0..zeb.occupied().len() {
         let li = zeb.occupied()[i];
         let list = zeb.list(li as usize);
+        // The hardware scans every occupied list either way — the skip
+        // below is a host-side shortcut, so the cycle model charges the
+        // full cost regardless of mode.
         scan_cycles +=
             config.scan_cycles_per_list + list.len() as u64 * config.scan_cycles_per_element;
-        let outcome = scan_list(list, stack, stats);
-        for (a, b, depth) in outcome.hits {
-            contacts.push(ContactPoint {
-                a,
-                b,
-                x: base_x + li % tile_px,
-                y: base_y + li / tile_px,
-                depth,
-            });
+        if config.hot_path == HotPathMode::Mask && !zeb.scan_worthy(li as usize) {
+            skip_single_object_scan(list, stack, stats);
+            continue;
         }
+        let x = base_x + li % tile_px;
+        let y = base_y + li / tile_px;
+        scan_list_with(list, stack, stats, |a, b, depth| {
+            contacts.push(ContactPoint { a, b, x, y, depth });
+        });
     }
     stats.ff_drops += stack.dropped - dropped_before;
     zeb.clear();
@@ -440,10 +497,8 @@ pub(crate) fn ladder_zeb_tile(
     // Rungs 0/1: base capacity, with the spare pool absorbing pressure.
     let overflows_before = stats.overflows;
     let spares_before = stats.spare_allocations;
-    for &(index, element) in pending {
-        zeb.insert(index as usize, element, stats);
-        stats.insert_cycles += 1;
-    }
+    zeb.insert_many(pending, stats);
+    stats.insert_cycles += pending.len() as u64;
     if stats.overflows == overflows_before {
         if stats.spare_allocations > spares_before {
             stats.rung_spare += 1;
@@ -460,10 +515,8 @@ pub(crate) fn ladder_zeb_tile(
             Zeb::new(zeb.list_count(), m).expect("rescan capacity is positive");
         stats.rescan_passes += 1;
         let retry_before = stats.overflows;
-        for &(index, element) in pending {
-            scratch.insert(index as usize, element, stats);
-            stats.insert_cycles += 1;
-        }
+        scratch.insert_many(pending, stats);
+        stats.insert_cycles += pending.len() as u64;
         let clean = stats.overflows == retry_before;
         best = Some((scratch, m));
         if clean {
@@ -536,6 +589,21 @@ impl CollisionUnit for RbcdUnit {
         self.pending.push((index, ZebElement::new(frag.z, frag.object, frag.facing)));
     }
 
+    fn insert_batch(&mut self, frags: &[CollisionFragment]) {
+        let Some(active) = self.active else {
+            panic!("insert without an active tile");
+        };
+        // Same buffering as `insert`, one dynamic dispatch per tile
+        // instead of one per fragment.
+        let bx = active.tile.x * self.tile_size;
+        let by = active.tile.y * self.tile_size;
+        self.pending.reserve(frags.len());
+        for f in frags {
+            let index = (f.y - by) * self.tile_size + (f.x - bx);
+            self.pending.push((index, ZebElement::new(f.z, f.object, f.facing)));
+        }
+    }
+
     fn finish_tile(&mut self, cycle: u64) {
         let Some(active) = self.active.take() else {
             panic!("finish_tile without an active tile");
@@ -578,6 +646,7 @@ impl CollisionUnit for RbcdUnit {
                 elements_scanned: s.elements_scanned - b.elements_scanned,
                 pairs_emitted: s.pairs_emitted - b.pairs_emitted,
                 ff_drops: s.ff_drops - b.ff_drops,
+                scan_skipped: s.scan_skipped - b.scan_skipped,
                 rung_spare: s.rung_spare - b.rung_spare,
                 rung_rescan: s.rung_rescan - b.rung_rescan,
                 rung_cpu: s.rung_cpu - b.rung_cpu,

@@ -29,9 +29,19 @@ pub enum InsertOutcome {
 pub struct Zeb {
     m: usize,
     lists: Vec<Vec<ZebElement>>,
-    /// Lists touched since the last clear, for cheap per-tile reset and
-    /// sparse scanning.
+    /// Lists touched since the last clear, in insertion-touch order —
+    /// the deterministic scan order.
     dirty: Vec<u32>,
+    /// Per-list dirty bitmask: bit `i % 64` of word `i / 64` set ⇔
+    /// list `i` holds ≥ 1 element. Drives tile teardown.
+    touched: Vec<u64>,
+    /// Per-list skip bitmask, maintained incrementally at insert time:
+    /// bit clear ⇒ every element of the list shares the object id of
+    /// its first element, so a Z-overlap scan cannot emit a pair. The
+    /// bit is conservative in the other direction (an overflow may
+    /// displace the differing element and leave the bit set), which
+    /// only costs a redundant — never an incorrect — scan.
+    scan_worthy: Vec<u64>,
     /// Pool of spare entries that full lists may claim (§5.3: "a ZEB
     /// with several spare entries that could be dynamically allocated
     /// as extra space to create longer lists"). Zero in the paper's
@@ -54,10 +64,13 @@ impl Zeb {
         if lists == 0 {
             return Err(RbcdError::ZeroLists);
         }
+        let words = lists.div_ceil(64);
         Ok(Self {
             m,
             lists: vec![Vec::with_capacity(m); lists],
             dirty: Vec::new(),
+            touched: vec![0; words],
+            scan_worthy: vec![0; words],
             spare_capacity: 0,
             spare_used: 0,
         })
@@ -109,6 +122,39 @@ impl Zeb {
         &self.dirty
     }
 
+    /// Whether list `index` holds at least one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn touched(&self, index: usize) -> bool {
+        self.touched[index / 64] & (1u64 << (index % 64)) != 0
+    }
+
+    /// Whether list `index` may hold elements of two or more distinct
+    /// objects. A `false` return guarantees every stored element shares
+    /// the list's first object id — the invariant the mask hot path's
+    /// scan skipping relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn scan_worthy(&self, index: usize) -> bool {
+        self.scan_worthy[index / 64] & (1u64 << (index % 64)) != 0
+    }
+
+    /// The `touched` bitmask words (bit `i % 64` of word `i / 64` maps
+    /// to list `i`).
+    pub fn touched_words(&self) -> &[u64] {
+        &self.touched
+    }
+
+    /// The `scan_worthy` bitmask words, in the same layout as
+    /// [`Zeb::touched_words`].
+    pub fn scan_worthy_words(&self) -> &[u64] {
+        &self.scan_worthy
+    }
+
     /// Inserts `element` into list `index`, keeping it sorted
     /// front-to-back; on a full list the farthest element is dropped and
     /// [`InsertOutcome::Overflow`] is reported. Energy events are charged
@@ -118,10 +164,6 @@ impl Zeb {
     ///
     /// Panics if `index` is out of range.
     pub fn insert(&mut self, index: usize, element: ZebElement, stats: &mut RbcdStats) -> InsertOutcome {
-        let list = &mut self.lists[index];
-        if list.is_empty() {
-            self.dirty.push(index as u32);
-        }
         // Hardware events per Fig. 4: list read, M comparators, mux
         // shift, list write-back.
         stats.insertions += 1;
@@ -129,6 +171,44 @@ impl Zeb {
         stats.zeb_list_writes += 1;
         stats.lt_comparisons += self.m as u64;
         stats.mux_shifts += 1;
+        self.insert_uncharged(index, element, stats)
+    }
+
+    /// Inserts a whole fragment stream, charging the per-insertion
+    /// hardware events in bulk: each [`Zeb::insert`] charges the same
+    /// five unconditional events, so `n` insertions charge exactly
+    /// `n ×` those constants — summed up front instead of per element.
+    /// Conditional events (spares, overflows) stay per-element inside
+    /// the core. Bit-identical totals, one pass over the stream.
+    pub fn insert_many(&mut self, pending: &[(u32, ZebElement)], stats: &mut RbcdStats) {
+        let n = pending.len() as u64;
+        stats.insertions += n;
+        stats.zeb_list_reads += n;
+        stats.zeb_list_writes += n;
+        stats.lt_comparisons += n * self.m as u64;
+        stats.mux_shifts += n;
+        for &(index, element) in pending {
+            self.insert_uncharged(index as usize, element, stats);
+        }
+    }
+
+    /// [`Zeb::insert`] minus the five unconditional event charges —
+    /// the shared core of the single and bulk entry points.
+    fn insert_uncharged(
+        &mut self,
+        index: usize,
+        element: ZebElement,
+        stats: &mut RbcdStats,
+    ) -> InsertOutcome {
+        let list = &mut self.lists[index];
+        // First-element object id, read before any mutation: if the new
+        // element is stored and differs, the list can now hold two
+        // distinct objects and must be scanned in full.
+        let first_obj = list.first().map(|e| e.object);
+        if list.is_empty() {
+            self.dirty.push(index as u32);
+            self.touched[index / 64] |= 1u64 << (index % 64);
+        }
 
         // Position: sorted by (z, facing) with front faces ordered
         // before back faces at equal quantized depth. The facing bit
@@ -165,15 +245,30 @@ impl Zeb {
         let tail = list.len() - 1;
         list.copy_within(ins..tail, ins + 1);
         list[ins] = element;
+        // Only reached when the element was actually stored (the
+        // dropped-outright overflow returned above and left the list —
+        // and therefore the mask — untouched).
+        if first_obj.is_some_and(|first| first != element.object) {
+            self.scan_worthy[index / 64] |= 1u64 << (index % 64);
+        }
         outcome
     }
 
     /// Clears every touched list for the next tile and releases the
-    /// spare pool.
+    /// spare pool. Teardown is driven by the `touched` bitmask: only
+    /// words with set bits walk their lists, and both masks are zeroed
+    /// word-at-a-time.
     pub fn clear(&mut self) {
-        for &i in &self.dirty {
-            self.lists[i as usize].clear();
+        for (w, word) in self.touched.iter_mut().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let i = w * 64 + bits.trailing_zeros() as usize;
+                self.lists[i].clear();
+                bits &= bits - 1;
+            }
+            *word = 0;
         }
+        self.scan_worthy.fill(0);
         self.dirty.clear();
         self.spare_used = 0;
     }

@@ -1,0 +1,67 @@
+//! Invariants behind the mask hot path's scan skipping: `scan_worthy`
+//! is a subset of `touched`, and a touched-but-not-scan-worthy list can
+//! never produce a collision pair — the guarantee that makes skipping
+//! its full scan safe.
+
+use rbcd_core::{scan_list, FfStack, RbcdStats, Zeb, ZebElement};
+use rbcd_gpu::{Facing, ObjectId};
+use rbcd_math::Rng;
+
+#[test]
+fn scan_worthy_subset_of_touched_and_skips_emit_no_pairs() {
+    let mut rng = Rng::seed_from_u64(0x5EB0);
+    let lists = 256usize;
+    for round in 0..64 {
+        let mut zeb = Zeb::with_spares(lists, 8, 16).expect("valid ZEB shape");
+        let mut stats = RbcdStats::default();
+        // Mixed load: some rounds hammer few lists (overflow + spare
+        // pressure), some spread out; object counts from 1 to 5 so both
+        // single-object and multi-object lists occur.
+        let inserts = rng.gen_range(1usize..512);
+        let spread = rng.gen_range(4usize..lists + 1);
+        let objects = rng.gen_range(1u32..6);
+        for _ in 0..inserts {
+            let li = rng.gen_range(0usize..spread);
+            let obj = ObjectId::new(rng.gen_range(1u32..objects + 1) as u16);
+            let facing = if rng.gen_bool(0.5) { Facing::Front } else { Facing::Back };
+            let z = rng.gen_range(0.0f32..1.0);
+            zeb.insert(li, ZebElement::new(z, obj, facing), &mut stats);
+        }
+
+        // `scan_worthy ⊆ touched`, word by word.
+        for (w, (sw, t)) in
+            zeb.scan_worthy_words().iter().zip(zeb.touched_words()).enumerate()
+        {
+            assert_eq!(sw & !t, 0, "round {round}: scan_worthy ⊄ touched in word {w}");
+        }
+        // The occupancy list and the touched mask must agree exactly.
+        let mut from_mask: Vec<u32> = (0..lists as u32).filter(|&i| zeb.touched(i as usize)).collect();
+        let mut occupied: Vec<u32> = zeb.occupied().to_vec();
+        from_mask.sort_unstable();
+        occupied.sort_unstable();
+        assert_eq!(occupied, from_mask, "round {round}: occupied ≠ touched");
+
+        // A skipped list (touched but not scan-worthy) holds one object
+        // only, and a full scan of it yields zero pairs.
+        let mut stack = FfStack::new(64).expect("valid stack capacity");
+        for li in 0..lists {
+            if !zeb.touched(li) {
+                assert!(zeb.list(li).is_empty(), "round {round}: untouched list {li} non-empty");
+                continue;
+            }
+            if zeb.scan_worthy(li) {
+                continue;
+            }
+            let first = zeb.list(li).first().map(|e| e.object);
+            for e in zeb.list(li) {
+                assert_eq!(Some(e.object), first, "round {round}: skipped list {li} mixes objects");
+            }
+            let out = scan_list(zeb.list(li), &mut stack, &mut stats);
+            assert!(
+                out.hits.is_empty(),
+                "round {round}: skipped list {li} produced {} pairs",
+                out.hits.len()
+            );
+        }
+    }
+}

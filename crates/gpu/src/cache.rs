@@ -72,6 +72,13 @@ pub struct CacheModel {
     stamps: Vec<u64>,
     clock: u64,
     stats: CacheStats,
+    /// `log2(line_bytes)`: line size is a power of two, so the address
+    /// → line mapping is a shift instead of a division.
+    line_shift: u32,
+    /// `sets - 1` when the set count is a power of two (the usual
+    /// case), letting the line → set mapping mask instead of divide;
+    /// `None` falls back to the modulo.
+    set_mask: Option<u64>,
 }
 
 impl CacheModel {
@@ -81,13 +88,17 @@ impl CacheModel {
     ///
     /// Panics if the configuration yields zero sets.
     pub fn new(config: CacheConfig) -> Self {
-        let entries = (config.sets() as usize) * config.ways as usize;
+        let sets = config.sets();
+        let entries = (sets as usize) * config.ways as usize;
+        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
         Self {
             config,
             tags: vec![u64::MAX; entries],
             stamps: vec![0; entries],
             clock: 0,
             stats: CacheStats::default(),
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: sets.is_power_of_two().then(|| sets - 1),
         }
     }
 
@@ -116,9 +127,11 @@ impl CacheModel {
 
     fn touch(&mut self, addr: u64) -> bool {
         self.clock += 1;
-        let line = addr / self.config.line_bytes;
-        let sets = self.config.sets();
-        let set = (line % sets) as usize;
+        let line = addr >> self.line_shift;
+        let set = match self.set_mask {
+            Some(mask) => (line & mask) as usize,
+            None => (line % self.config.sets()) as usize,
+        };
         let ways = self.config.ways as usize;
         let base = set * ways;
         // Hit?
@@ -162,19 +175,19 @@ impl CacheModel {
     /// Reads a `bytes`-long object starting at `addr`, touching every
     /// line it spans.
     pub fn read_span(&mut self, addr: u64, bytes: u64) {
-        let first = addr / self.config.line_bytes;
-        let last = (addr + bytes.max(1) - 1) / self.config.line_bytes;
+        let first = addr >> self.line_shift;
+        let last = (addr + bytes.max(1) - 1) >> self.line_shift;
         for line in first..=last {
-            self.read(line * self.config.line_bytes);
+            self.read(line << self.line_shift);
         }
     }
 
     /// Writes a `bytes`-long object starting at `addr`.
     pub fn write_span(&mut self, addr: u64, bytes: u64) {
-        let first = addr / self.config.line_bytes;
-        let last = (addr + bytes.max(1) - 1) / self.config.line_bytes;
+        let first = addr >> self.line_shift;
+        let last = (addr + bytes.max(1) - 1) >> self.line_shift;
         for line in first..=last {
-            self.write(line * self.config.line_bytes);
+            self.write(line << self.line_shift);
         }
     }
 }

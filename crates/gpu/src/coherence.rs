@@ -102,6 +102,10 @@ pub(crate) fn frame_seed(cfg: &GpuConfig, mode: PipelineMode, backend_key: u64) 
     h = mix(h, (cfg.fragment_processors as u64) << 32 | cfg.raster_setup_cycles);
     h = mix(h, cfg.tile_overhead_cycles);
     h = mix(h, (cfg.viewport.width as u64) << 32 | cfg.viewport.height as u64);
+    h = mix(h, match cfg.hot_path {
+        crate::config::HotPathMode::Reference => 0,
+        crate::config::HotPathMode::Mask => 1,
+    });
     mix(h, backend_key)
 }
 
@@ -256,6 +260,11 @@ mod tests {
             ..GpuConfig::default()
         };
         assert_ne!(a, frame_seed(&wider, PipelineMode::Rbcd, 7));
+        let reference = GpuConfig {
+            hot_path: crate::config::HotPathMode::Reference,
+            ..GpuConfig::default()
+        };
+        assert_ne!(a, frame_seed(&reference, PipelineMode::Rbcd, 7));
     }
 
     #[test]

@@ -58,6 +58,16 @@ pub trait CollisionUnit {
     /// Stores one collisionable fragment into the active ZEB.
     fn insert(&mut self, frag: CollisionFragment);
 
+    /// Stores a batch of collisionable fragments, in arrival order.
+    /// Semantically identical to calling [`insert`](Self::insert) once
+    /// per fragment; implementors may override it to amortize the
+    /// per-fragment dynamic dispatch of the hot rasterizer → unit edge.
+    fn insert_batch(&mut self, frags: &[CollisionFragment]) {
+        for &f in frags {
+            self.insert(f);
+        }
+    }
+
     /// Rasterization for the active tile completed at `cycle`; runs the
     /// Z-overlap scan and releases the ZEB when it finishes.
     fn finish_tile(&mut self, cycle: u64);
@@ -78,6 +88,8 @@ impl CollisionUnit for NullCollisionUnit {
     fn begin_tile(&mut self, _tile: TileCoord, _cycle: u64) {}
 
     fn insert(&mut self, _frag: CollisionFragment) {}
+
+    fn insert_batch(&mut self, _frags: &[CollisionFragment]) {}
 
     fn finish_tile(&mut self, _cycle: u64) {}
 

@@ -3,6 +3,25 @@
 use crate::cache::CacheConfig;
 use rbcd_math::Viewport;
 
+/// Which implementation of the intra-tile hot path the simulator runs.
+///
+/// Both modes are bit-identical in every simulated output — fragments,
+/// depths, pairs, energy, traces, and every counter except the
+/// mask-only diagnostics (`raster.rows_empty`, `raster.rows_full`,
+/// `tile.scan_skipped`, which read 0 in `Reference`). The knob exists
+/// so the old scalar loops stay available for A/B host-time
+/// benchmarking and for the exactness property tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HotPathMode {
+    /// The original scalar per-pixel loops: edge test every pixel of
+    /// the bounding box, Z-overlap-scan every occupied ZEB list.
+    Reference,
+    /// Coverage-mask span rasterization plus dirty-pixel scan skipping
+    /// (the default).
+    #[default]
+    Mask,
+}
+
 /// Configuration of the simulated GPU.
 ///
 /// Defaults reproduce the paper's Table 1 ("CPU/GPU Simulation
@@ -74,6 +93,10 @@ pub struct GpuConfig {
     pub fragment_queue_entries: u32,
     /// Tile queue capacity (Table 1: 16 entries).
     pub tile_queue_entries: u32,
+
+    /// Host-side implementation of the rasterizer's inner loop. Never
+    /// changes simulated results; see [`HotPathMode`].
+    pub hot_path: HotPathMode,
 }
 
 impl Default for GpuConfig {
@@ -104,6 +127,7 @@ impl Default for GpuConfig {
             triangle_queue_entries: 16,
             fragment_queue_entries: 64,
             tile_queue_entries: 16,
+            hot_path: HotPathMode::Mask,
         }
     }
 }

@@ -5,8 +5,10 @@ use crate::clip::clip_near;
 use crate::coherence::TileResultCache;
 use crate::collision_unit::{CollisionFragment, CollisionUnit, TileCoord};
 use crate::command::{Facing, FrameTrace};
-use crate::config::GpuConfig;
-use crate::raster::{rasterize_triangle_in_tile, Fragment, ScreenTriangle};
+use crate::config::{GpuConfig, HotPathMode};
+use crate::raster::{
+    rasterize_triangle_in_tile, rasterize_triangle_in_tile_masked_rows, Fragment, ScreenTriangle,
+};
 use crate::stats::{CoherenceStats, FrameStats, GeometryStats, RasterStats};
 use rbcd_math::{viewport as viewport_map, Vec3};
 use rbcd_trace::{TileZebRecord, TraceBuffer};
@@ -149,6 +151,9 @@ pub(crate) struct TileRasterOut {
     pub(crate) to_early_z: u64,
     pub(crate) pixels_covered: u64,
     pub(crate) shaded: u64,
+    /// Mask hot path diagnostics (0 under `HotPathMode::Reference`).
+    pub(crate) rows_empty: u64,
+    pub(crate) rows_full: u64,
 }
 
 impl TileWorker {
@@ -180,6 +185,7 @@ impl TileWorker {
         let tile_y0 = tile.y * cfg.tile_size;
 
         let mut o = TileRasterOut { prim_count: prims.len() as u64, ..Default::default() };
+        let TileWorker { zbuf, frag_scratch, coll_frags } = self;
         // Intra-tile timeline: the rasterizer feeds the fragment
         // processors in primitive order. The processors can only
         // consume fragments that exist, so a burst of
@@ -187,57 +193,116 @@ impl TileWorker {
         // fragments) lets their queue run dry — the idle-cycle
         // mechanism of the paper's §5.2.
         for prim in prims {
-            self.frag_scratch.clear();
-            let n = rasterize_triangle_in_tile(
-                &prim.tri,
-                tile_x0,
-                tile_y0,
-                cfg.tile_size,
-                cfg.viewport.width,
-                cfg.viewport.height,
-                &mut self.frag_scratch,
-            ) as u64;
+            let draw = &trace.draws[prim.draw as usize];
+            let coll_object =
+                if mode != PipelineMode::Baseline { draw.collidable } else { None };
+            let early_z = !prim.tagged_cull && mode != PipelineMode::CollisionOnly;
+            let (n, prim_fp_work) = match cfg.hot_path {
+                HotPathMode::Reference => {
+                    frag_scratch.clear();
+                    let n = rasterize_triangle_in_tile(
+                        &prim.tri,
+                        tile_x0,
+                        tile_y0,
+                        cfg.tile_size,
+                        cfg.viewport.width,
+                        cfg.viewport.height,
+                        frag_scratch,
+                    ) as u64;
+                    if let Some(object) = coll_object {
+                        o.coll_frags += n;
+                        for f in frag_scratch.iter() {
+                            coll_frags.push(CollisionFragment {
+                                x: f.x,
+                                y: f.y,
+                                z: f.z,
+                                object,
+                                facing: prim.facing,
+                            });
+                        }
+                    }
+                    let mut prim_fp_work: u64 = 0;
+                    if early_z {
+                        for f in frag_scratch.iter() {
+                            o.to_early_z += 1;
+                            let px = (f.y - tile_y0) * cfg.tile_size + (f.x - tile_x0);
+                            let slot = &mut zbuf[px as usize];
+                            if f.z < *slot {
+                                if *slot == 1.0 {
+                                    o.pixels_covered += 1;
+                                }
+                                *slot = f.z;
+                                o.shaded += 1;
+                                prim_fp_work += draw.shader.fragment_cycles as u64;
+                            }
+                        }
+                    }
+                    (n, prim_fp_work)
+                }
+                HotPathMode::Mask => {
+                    // Fused emission: Early-Z and collision capture run
+                    // against each covered row span the mask solver
+                    // hands back, so fragments never round-trip through
+                    // an intermediate buffer and both consumers walk
+                    // contiguous memory. The per-fragment operation
+                    // sequence (and therefore every counter and the
+                    // z-buffer evolution) matches the buffered two-pass
+                    // form exactly — spans are visited in the same
+                    // row-major ascending-x order.
+                    let mut prim_fp_work: u64 = 0;
+                    let (mut tez, mut covered, mut shaded) = (0u64, 0u64, 0u64);
+                    let facing = prim.facing;
+                    let frag_cycles = draw.shader.fragment_cycles as u64;
+                    let m = rasterize_triangle_in_tile_masked_rows(
+                        &prim.tri,
+                        tile_x0,
+                        tile_y0,
+                        cfg.tile_size,
+                        cfg.viewport.width,
+                        cfg.viewport.height,
+                        &mut |py: u32, s: u32, zs: &[f32]| {
+                            if let Some(object) = coll_object {
+                                coll_frags.extend(zs.iter().enumerate().map(|(i, &z)| {
+                                    CollisionFragment { x: s + i as u32, y: py, z, object, facing }
+                                }));
+                            }
+                            if early_z {
+                                tez += zs.len() as u64;
+                                let row0 =
+                                    ((py - tile_y0) * cfg.tile_size + (s - tile_x0)) as usize;
+                                for (slot, &z) in zbuf[row0..row0 + zs.len()].iter_mut().zip(zs) {
+                                    if z < *slot {
+                                        if *slot == 1.0 {
+                                            covered += 1;
+                                        }
+                                        *slot = z;
+                                        shaded += 1;
+                                        prim_fp_work += frag_cycles;
+                                    }
+                                }
+                            }
+                        },
+                    );
+                    o.rows_empty += m.rows_empty;
+                    o.rows_full += m.rows_full;
+                    o.to_early_z += tez;
+                    o.pixels_covered += covered;
+                    o.shaded += shaded;
+                    let n = m.fragments as u64;
+                    if coll_object.is_some() {
+                        o.coll_frags += n;
+                    }
+                    (n, prim_fp_work)
+                }
+            };
             o.frags += n;
             o.raster_t += cfg.raster_setup_cycles + n.div_ceil(cfg.raster_frags_per_cycle as u64);
-
-            let draw = &trace.draws[prim.draw as usize];
-            if mode != PipelineMode::Baseline {
-                if let Some(object) = draw.collidable {
-                    o.coll_frags += n;
-                    for f in &self.frag_scratch {
-                        self.coll_frags.push(CollisionFragment {
-                            x: f.x,
-                            y: f.y,
-                            z: f.z,
-                            object,
-                            facing: prim.facing,
-                        });
-                    }
-                }
-            }
-
-            if !prim.tagged_cull && mode != PipelineMode::CollisionOnly {
-                let mut prim_fp_work: u64 = 0;
-                for f in &self.frag_scratch {
-                    o.to_early_z += 1;
-                    let px = (f.y - tile_y0) * cfg.tile_size + (f.x - tile_x0);
-                    let slot = &mut self.zbuf[px as usize];
-                    if f.z < *slot {
-                        if *slot == 1.0 {
-                            o.pixels_covered += 1;
-                        }
-                        *slot = f.z;
-                        o.shaded += 1;
-                        prim_fp_work += draw.shader.fragment_cycles as u64;
-                    }
-                }
-                if prim_fp_work > 0 {
-                    o.fp_work += prim_fp_work;
-                    // Fragments become available when the primitive
-                    // finishes rasterizing.
-                    o.fp_done = o.fp_done.max(o.raster_t)
-                        + prim_fp_work.div_ceil(cfg.fragment_processors as u64);
-                }
+            if prim_fp_work > 0 {
+                o.fp_work += prim_fp_work;
+                // Fragments become available when the primitive
+                // finishes rasterizing.
+                o.fp_done = o.fp_done.max(o.raster_t)
+                    + prim_fp_work.div_ceil(cfg.fragment_processors as u64);
             }
         }
         o
@@ -306,6 +371,8 @@ pub(crate) fn accumulate_tile(
     r.fragments_to_early_z += o.to_early_z;
     r.pixels_covered += o.pixels_covered;
     r.fragments_shaded += o.shaded;
+    r.rows_empty += o.rows_empty;
+    r.rows_full += o.rows_full;
     r.fp_busy_cycles += o.fp_work;
 
     // Per-tile wall time. The Tile Fetcher prefetches the next tile's
@@ -344,6 +411,8 @@ pub(crate) fn accumulate_reused_tile(
     r.fragments_to_early_z += o.to_early_z;
     r.pixels_covered += o.pixels_covered;
     r.fragments_shaded += o.shaded;
+    r.rows_empty += o.rows_empty;
+    r.rows_full += o.rows_full;
     r.fp_busy_cycles += o.fp_work;
     r.fp_idle_cycles += sig_cycles;
     cursor + sig_cycles
@@ -643,6 +712,30 @@ impl Simulator {
         g
     }
 
+    /// Benchmark support: runs only the Geometry Pipeline, leaving the
+    /// frame binned inside the simulator so [`Simulator::bench_raster_pass`]
+    /// can re-run the intra-tile hot path repeatedly over the same
+    /// polygon lists. Pairs with the `repro hotpath` experiment in
+    /// `rbcd-bench`, which isolates host wall-clock of the raster/scan
+    /// hot path from per-frame geometry work.
+    pub fn bench_bin_frame(&mut self, trace: &FrameTrace, mode: PipelineMode) -> GeometryStats {
+        self.geometry_pipeline(trace, mode)
+    }
+
+    /// Benchmark support: one Raster Pipeline pass over the polygon
+    /// lists binned by the last [`Simulator::bench_bin_frame`] call.
+    /// The caller is responsible for resetting `unit` between passes
+    /// (e.g. `RbcdUnit::new_frame` + draining contacts) so each pass
+    /// starts from the same state.
+    pub fn bench_raster_pass(
+        &mut self,
+        trace: &FrameTrace,
+        mode: PipelineMode,
+        unit: &mut dyn CollisionUnit,
+    ) -> RasterStats {
+        self.raster_pipeline(trace, mode, unit)
+    }
+
     /// Raster Pipeline: per tile — fetch, rasterize, (RBCD insert),
     /// Early-Z, shade — with the ZEB stall protocol of §3.5.
     fn raster_pipeline(
@@ -669,9 +762,7 @@ impl Simulator {
             // Wait for a free ZEB (no-op for the null unit / baseline).
             let start = cursor.max(unit.next_free());
             unit.begin_tile(tile, start);
-            for f in &worker.coll_frags {
-                unit.insert(*f);
-            }
+            unit.insert_batch(&worker.coll_frags);
             let end = accumulate_tile(&mut r, &cfg, &out, cursor, start);
             unit.finish_tile(end);
             if let Some(t) = tracer.as_deref_mut() {

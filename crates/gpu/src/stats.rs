@@ -62,6 +62,12 @@ pub struct RasterStats {
     /// fragment count an ideal deferred renderer (PowerVR TBDR, §3.1)
     /// would shade.
     pub pixels_covered: u64,
+    /// Bounding-box rows the span rasterizer resolved as empty in O(1)
+    /// (mask hot path only; 0 under `HotPathMode::Reference`).
+    pub rows_empty: u64,
+    /// Bounding-box rows the span rasterizer resolved as fully covered
+    /// in O(1) (mask hot path only; 0 under `HotPathMode::Reference`).
+    pub rows_full: u64,
     /// Cycles the fragment processors spent shading.
     pub fp_busy_cycles: u64,
     /// Cycles the fragment processors sat idle while the pipeline ran.
@@ -139,6 +145,8 @@ impl FrameStats {
         r.fragments_to_early_z += o.fragments_to_early_z;
         r.fragments_shaded += o.fragments_shaded;
         r.pixels_covered += o.pixels_covered;
+        r.rows_empty += o.rows_empty;
+        r.rows_full += o.rows_full;
         r.fp_busy_cycles += o.fp_busy_cycles;
         r.fp_idle_cycles += o.fp_idle_cycles;
         r.zeb_stall_cycles += o.zeb_stall_cycles;
@@ -193,6 +201,8 @@ impl FrameStats {
             ("raster.fragments_to_early_z", r.fragments_to_early_z),
             ("raster.fragments_shaded", r.fragments_shaded),
             ("raster.pixels_covered", r.pixels_covered),
+            ("raster.rows_empty", r.rows_empty),
+            ("raster.rows_full", r.rows_full),
             ("raster.fp_busy_cycles", r.fp_busy_cycles),
             ("raster.fp_idle_cycles", r.fp_idle_cycles),
             ("raster.zeb_stall_cycles", r.zeb_stall_cycles),

@@ -1,7 +1,10 @@
 //! Randomized property tests for the rasterizer and clipper, driven by
 //! the workspace's seeded [`Rng`].
 
-use rbcd_gpu::{clip_near, rasterize_triangle_in_tile, Fragment, ScreenTriangle};
+use rbcd_gpu::{
+    clip_near, rasterize_triangle_in_tile, rasterize_triangle_in_tile_masked, Fragment,
+    ScreenTriangle,
+};
 use rbcd_math::{Rng, Vec3, Vec4};
 
 const CASES: usize = 128;
@@ -120,6 +123,123 @@ fn clip_output_is_inside() {
         let all_outside = az < -1.0 && bz < -1.0 && cz < -1.0;
         if all_outside {
             assert!(tris.is_empty());
+        }
+    }
+}
+
+/// One triangle for the mask-vs-reference sweep, drawn from a rotating
+/// set of stress classes.
+fn sweep_tri(rng: &mut Rng, class: usize) -> ScreenTriangle {
+    let pt = |rng: &mut Rng, lo: f32, hi: f32| {
+        Vec3::new(rng.gen_range(lo..hi), rng.gen_range(lo..hi), rng.gen_range(0.0f32..1.0))
+    };
+    match class {
+        // Sub-pixel: the whole triangle fits inside one pixel, so
+        // coverage hinges on whether it straddles a single centre.
+        0 => {
+            let cx = rng.gen_range(0.0f32..64.0);
+            let cy = rng.gen_range(0.0f32..64.0);
+            let mut v = [Vec3::ZERO; 3];
+            for p in &mut v {
+                *p = Vec3::new(
+                    cx + rng.gen_range(-0.4f32..0.4),
+                    cy + rng.gen_range(-0.4f32..0.4),
+                    rng.gen_range(0.0f32..1.0),
+                );
+            }
+            ScreenTriangle::new(v[0], v[1], v[2])
+        }
+        // On-edge: vertices snapped to half-integer coordinates, so
+        // edges pass exactly through pixel centres and every `w == 0.0`
+        // tie-break in the predicate is exercised.
+        1 => {
+            let snap = |rng: &mut Rng| (rng.gen_range(0u32..129) as f32) * 0.5;
+            ScreenTriangle::new(
+                Vec3::new(snap(rng), snap(rng), rng.gen_range(0.0f32..1.0)),
+                Vec3::new(snap(rng), snap(rng), rng.gen_range(0.0f32..1.0)),
+                Vec3::new(snap(rng), snap(rng), rng.gen_range(0.0f32..1.0)),
+            )
+        }
+        // Degenerate: collinear vertices or a repeated vertex — zero
+        // signed area, which both paths must reject identically.
+        2 => {
+            let a = pt(rng, 0.0, 64.0);
+            if rng.gen_bool(0.5) {
+                let d = pt(rng, -8.0, 8.0);
+                let t = rng.gen_range(0.0f32..2.0);
+                let s = rng.gen_range(0.0f32..2.0);
+                ScreenTriangle::new(
+                    a,
+                    Vec3::new(a.x + t * d.x, a.y + t * d.y, a.z),
+                    Vec3::new(a.x + s * d.x, a.y + s * d.y, a.z),
+                )
+            } else {
+                ScreenTriangle::new(a, a, pt(rng, 0.0, 64.0))
+            }
+        }
+        // Sliver: two distant vertices plus one a hair off the segment
+        // between them — long rows with zero or one covered pixel.
+        3 => {
+            let a = pt(rng, 0.0, 64.0);
+            let b = pt(rng, 0.0, 64.0);
+            let t = rng.gen_range(0.2f32..0.8);
+            let off = rng.gen_range(-2e-3f32..2e-3);
+            ScreenTriangle::new(
+                a,
+                b,
+                Vec3::new(
+                    a.x + t * (b.x - a.x) - off * (b.y - a.y),
+                    a.y + t * (b.y - a.y) + off * (b.x - a.x),
+                    rng.gen_range(0.0f32..1.0),
+                ),
+            )
+        }
+        // Overhanging: vertices beyond the viewport so the bbox clamps.
+        4 => ScreenTriangle::new(pt(rng, -32.0, 96.0), pt(rng, -32.0, 96.0), pt(rng, -32.0, 96.0)),
+        // General random.
+        _ => ScreenTriangle::new(pt(rng, 0.0, 64.0), pt(rng, 0.0, 64.0), pt(rng, 0.0, 64.0)),
+    }
+}
+
+/// Tentpole exactness sweep: across ≥10k randomized triangles — sub-
+/// pixel, on-edge, degenerate, sliver, clamped, and general — the
+/// span-mask rasterizer must reproduce the reference fragment stream
+/// exactly: same fragments, same order, same `f32` depth bits, on
+/// every 16×16 tile of the viewport.
+#[test]
+fn mask_matches_reference_fragment_stream() {
+    let mut rng = Rng::seed_from_u64(0xB1A5);
+    let cases = 10_500;
+    for case in 0..cases {
+        let t = sweep_tri(&mut rng, case % 6);
+        for ty in (0..64).step_by(16) {
+            for tx in (0..64).step_by(16) {
+                let mut want = Vec::new();
+                rasterize_triangle_in_tile(&t, tx, ty, 16, 64, 64, &mut want);
+                let mut got = Vec::new();
+                let out = rasterize_triangle_in_tile_masked(&t, tx, ty, 16, 64, 64, &mut got);
+                assert_eq!(out.fragments, got.len());
+                assert_eq!(
+                    got.len(),
+                    want.len(),
+                    "fragment count diverged (case {case}, tile {tx},{ty}, tri {:?})",
+                    t.v
+                );
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(
+                        (g.x, g.y),
+                        (w.x, w.y),
+                        "fragment order diverged (case {case}, tile {tx},{ty}, tri {:?})",
+                        t.v
+                    );
+                    assert_eq!(
+                        g.z.to_bits(),
+                        w.z.to_bits(),
+                        "depth bits diverged (case {case}, tile {tx},{ty}, tri {:?})",
+                        t.v
+                    );
+                }
+            }
         }
     }
 }

@@ -68,6 +68,9 @@ pub struct TileZebRecord {
     pub pairs_emitted: u64,
     /// Front-face pushes dropped by a full FF-Stack.
     pub ff_drops: u64,
+    /// Occupied lists skipped analytically by the mask hot path
+    /// (0 under `HotPathMode::Reference`).
+    pub scan_skipped: u64,
     /// Degradation-ladder rung the tile landed on (0 clean, 1 spare,
     /// 2 re-scan, 3 CPU escalation).
     pub rung: u8,
@@ -342,6 +345,7 @@ mod tests {
             occupancy: 6,
             pairs_emitted: 1,
             ff_drops: 0,
+            scan_skipped: 3,
             rung: 1,
         }
     }

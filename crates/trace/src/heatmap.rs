@@ -5,8 +5,8 @@ use crate::event::TileZebRecord;
 /// The metrics a [`HeatGrid`] accumulates, in export order. Each name
 /// is a valid argument to [`HeatGrid::csv`] / [`HeatGrid::total`] and
 /// becomes one CSV file per `repro --trace` run.
-pub const HEATMAP_METRICS: [&str; 6] =
-    ["occupancy", "overflows", "scan_cycles", "pairs", "rung", "reuse"];
+pub const HEATMAP_METRICS: [&str; 7] =
+    ["occupancy", "overflows", "scan_cycles", "pairs", "rung", "reuse", "scan_skipped"];
 
 /// A `tiles_x` × `tiles_y` grid of per-tile accumulators, folded over
 /// every [`TileZebRecord`] the trace sees (all frames summed; `rung`
@@ -23,6 +23,7 @@ pub struct HeatGrid {
     pairs: Vec<u64>,
     rung: Vec<u64>,
     reuse: Vec<u64>,
+    scan_skipped: Vec<u64>,
 }
 
 impl HeatGrid {
@@ -38,6 +39,7 @@ impl HeatGrid {
             pairs: vec![0; n],
             rung: vec![0; n],
             reuse: vec![0; n],
+            scan_skipped: vec![0; n],
         }
     }
 
@@ -63,6 +65,7 @@ impl HeatGrid {
         self.scan_cycles[i] += rec.scan_end.saturating_sub(rec.scan_start);
         self.pairs[i] += rec.pairs_emitted;
         self.rung[i] = self.rung[i].max(rec.rung as u64);
+        self.scan_skipped[i] += rec.scan_skipped;
     }
 
     /// Counts one temporal-coherence replay of tile (`x`, `y`).
@@ -83,6 +86,7 @@ impl HeatGrid {
             "pairs" => Some(&self.pairs),
             "rung" => Some(&self.rung),
             "reuse" => Some(&self.reuse),
+            "scan_skipped" => Some(&self.scan_skipped),
             _ => None,
         }
     }
@@ -131,6 +135,7 @@ mod tests {
             occupancy: 4,
             pairs_emitted: 2,
             ff_drops: 0,
+            scan_skipped: 1,
             rung,
         }
     }

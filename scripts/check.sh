@@ -37,7 +37,7 @@ echo "== trace smoke (repro --smoke --frames 2 --trace) =="
 trace_dir=$(mktemp -d)
 trap 'rm -rf "$trace_dir"' EXIT
 ./target/release/repro --smoke --frames 2 --trace "$trace_dir/trace.json"
-for f in trace.json trace.occupancy.csv trace.overflows.csv trace.scan_cycles.csv trace.pairs.csv trace.rung.csv trace.reuse.csv; do
+for f in trace.json trace.occupancy.csv trace.overflows.csv trace.scan_cycles.csv trace.pairs.csv trace.rung.csv trace.reuse.csv trace.scan_skipped.csv; do
   [ -s "$trace_dir/$f" ] || { echo "trace smoke: missing or empty $f"; exit 1; }
 done
 grep -q '"traceEvents"' "$trace_dir/trace.json" || { echo "trace smoke: no traceEvents key"; exit 1; }
@@ -54,5 +54,21 @@ grep -q '"identical_results": true' BENCH_temporal_coherence.json \
 if grep -q '"reuse_rate": 0\.000000' BENCH_temporal_coherence.json; then
   echo "coherence smoke: static scenes replayed zero tiles"; exit 1
 fi
+
+echo "== hot-path smoke (repro --smoke hotpath) =="
+# A/B of the span-mask rasterizer against the retained reference path:
+# repro exits non-zero unless pairs, energy, and every shared counter
+# are bit-identical, then times both and writes
+# BENCH_raster_hotpath.json. On top of that, guard against a wall-clock
+# regression: the mask hot path must never be slower than the scalar
+# reference it replaced.
+./target/release/repro --smoke hotpath
+[ -s BENCH_raster_hotpath.json ] || { echo "hotpath smoke: missing BENCH_raster_hotpath.json"; exit 1; }
+grep -q '"identical_results": true' BENCH_raster_hotpath.json \
+  || { echo "hotpath smoke: mask run was not result-identical"; exit 1; }
+geo=$(sed -n 's/.*"speedup_geomean": \([0-9.]*\).*/\1/p' BENCH_raster_hotpath.json)
+[ -n "$geo" ] || { echo "hotpath smoke: no speedup_geomean in JSON"; exit 1; }
+awk -v g="$geo" 'BEGIN { exit (g >= 1.0) ? 0 : 1 }' \
+  || { echo "hotpath smoke: mask path slower than reference (geomean ${geo}x)"; exit 1; }
 
 echo "OK: lint + build + tests + smokes all passed"
