@@ -45,10 +45,21 @@
 //! `--faults <plan>` runs the fault-injection experiment instead (also
 //! opt-in, not part of `all`): corrupt every workload trace with the
 //! named plan (`all`, `overflow`, `spare`, `nan`, `degenerate`,
-//! `badid`, `dup`), sweep the forced list capacity over M ∈ {1,2,4,8}
-//! with the degradation ladder enabled, and report recovery against the
-//! software oracle plus the ladder-rung histogram. Writes
-//! `BENCH_fault_tolerance.json`; exits non-zero on any silent pair loss.
+//! `badid`, `dup`, `storm`), sweep the forced list capacity over
+//! M ∈ {1,2,4,8} with the degradation ladder enabled, and report
+//! recovery against the software oracle plus the ladder-rung histogram.
+//! Writes `BENCH_fault_tolerance.json`; exits non-zero on any silent
+//! pair loss.
+//!
+//! `overload` runs the frame-deadline governor experiment (opt-in, not
+//! part of `all` — every frame is rendered several times): render
+//! `storm`-faulted frames under per-frame cycle budgets of
+//! 100/75/50/25 % of an ungoverned baseline, with the policy ladder
+//! (forced reuse → scan coarsening → tile shedding), the escalation
+//! circuit breaker, and full degraded-result accounting (exact /
+//! cpu-verified / stale partitions) engaged. Writes
+//! `BENCH_overload.json`; exits non-zero on any budget violation or
+//! silent oracle miss.
 
 use rbcd_bench::report::{fmt_norm, fmt_pct, fmt_x, Table, TableError};
 use rbcd_bench::{
@@ -66,37 +77,56 @@ struct PaperRef {
     note: &'static str,
 }
 
+/// A malformed command line: which flag failed and what it needed.
+/// Distinguished from experiment failures so `main` can exit with the
+/// conventional usage code (2) instead of the generic failure code (1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct UsageError {
+    flag: &'static str,
+    expected: String,
+}
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} needs {}", self.flag, self.expected)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
 fn main() {
     if let Err(e) = run() {
         eprintln!("repro: {e}");
-        std::process::exit(1);
+        std::process::exit(if e.is::<UsageError>() { 2 } else { 1 });
     }
+}
+
+/// Pops `flag`'s value from `args`, parsed via `parse`; `expected`
+/// names the accepted shape for the error message.
+fn take_flag<T>(
+    args: &mut Vec<String>,
+    pos: usize,
+    flag: &'static str,
+    expected: &str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Result<T, UsageError> {
+    let v = args
+        .get(pos + 1)
+        .and_then(|s| parse(s))
+        .ok_or_else(|| UsageError { flag, expected: expected.to_string() })?;
+    args.drain(pos..=pos + 1);
+    Ok(v)
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut frames: Option<usize> = None;
     if let Some(pos) = args.iter().position(|a| a == "--frames") {
-        let v = args
-            .get(pos + 1)
-            .and_then(|s| s.parse().ok())
-            .unwrap_or_else(|| {
-                eprintln!("--frames needs a number");
-                std::process::exit(2);
-            });
-        frames = Some(v);
-        args.drain(pos..=pos + 1);
+        frames = Some(take_flag(&mut args, pos, "--frames", "a frame count", |s| s.parse().ok())?);
     }
     let mut threads = 1usize;
     if let Some(pos) = args.iter().position(|a| a == "--threads") {
-        threads = args
-            .get(pos + 1)
-            .and_then(|s| s.parse().ok())
-            .unwrap_or_else(|| {
-                eprintln!("--threads needs a number");
-                std::process::exit(2);
-            });
-        args.drain(pos..=pos + 1);
+        threads = take_flag(&mut args, pos, "--threads", "a thread count", |s| s.parse().ok())?;
     }
     let mut smoke = false;
     if let Some(pos) = args.iter().position(|a| a == "--smoke") {
@@ -110,41 +140,33 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
     let mut hot_path = rbcd_gpu::HotPathMode::Mask;
     if let Some(pos) = args.iter().position(|a| a == "--hot-path") {
-        let name = args.get(pos + 1).cloned().unwrap_or_else(|| {
-            eprintln!("--hot-path needs a mode (mask|reference)");
-            std::process::exit(2);
-        });
-        hot_path = match name.as_str() {
-            "mask" => rbcd_gpu::HotPathMode::Mask,
-            "reference" => rbcd_gpu::HotPathMode::Reference,
-            other => {
-                eprintln!("unknown hot-path mode {other:?} (expected mask|reference)");
-                std::process::exit(2);
+        hot_path = take_flag(&mut args, pos, "--hot-path", "a mode (mask|reference)", |s| {
+            match s {
+                "mask" => Some(rbcd_gpu::HotPathMode::Mask),
+                "reference" => Some(rbcd_gpu::HotPathMode::Reference),
+                _ => None,
             }
-        };
-        args.drain(pos..=pos + 1);
+        })?;
     }
     let mut trace_path: Option<String> = None;
     if let Some(pos) = args.iter().position(|a| a == "--trace") {
-        let path = args.get(pos + 1).cloned().unwrap_or_else(|| {
-            eprintln!("--trace needs an output path (e.g. trace.json)");
-            std::process::exit(2);
-        });
-        trace_path = Some(path);
-        args.drain(pos..=pos + 1);
+        trace_path = Some(take_flag(
+            &mut args,
+            pos,
+            "--trace",
+            "an output path (e.g. trace.json)",
+            |s| Some(s.to_string()),
+        )?);
     }
     let mut fault_plan: Option<String> = None;
     if let Some(pos) = args.iter().position(|a| a == "--faults") {
-        let name = args.get(pos + 1).cloned().unwrap_or_else(|| {
-            eprintln!("--faults needs a plan name (one of: {})", PRESETS.join(", "));
-            std::process::exit(2);
-        });
-        if FaultPlan::preset(&name, 0).is_none() {
-            eprintln!("unknown fault plan '{name}' (one of: {})", PRESETS.join(", "));
-            std::process::exit(2);
-        }
-        fault_plan = Some(name);
-        args.drain(pos..=pos + 1);
+        fault_plan = Some(take_flag(
+            &mut args,
+            pos,
+            "--faults",
+            &format!("a plan name (one of: {})", PRESETS.join(", ")),
+            |s| FaultPlan::preset(s, 0).map(|_| s.to_string()),
+        )?);
     }
     let wanted: Vec<String> = if args.is_empty() {
         if fault_plan.is_some() || trace_path.is_some() {
@@ -193,6 +215,13 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     // host clock and enforces their bit-identical results.
     if wanted.iter().any(|w| w == "hotpath") {
         run_hotpath_bench(&opts, smoke)?;
+    }
+
+    // `overload` is opt-in for the same reason as `--faults`: every
+    // frame is rendered once per budget point plus an ungoverned
+    // baseline pass and a lossless oracle pass.
+    if wanted.iter().any(|w| w == "overload") {
+        run_overload_experiment(&opts, smoke)?;
     }
 
     if want("temporal") {
@@ -956,7 +985,7 @@ fn run_temporal_experiment(opts: &RunOptions) -> Result<(), TableError> {
     let path = "BENCH_temporal_coherence.json";
     match rbcd_bench::schema::write(path, &json) {
         Ok(_) => println!("wrote {path}"),
-        Err(e) => eprintln!("{e}"),
+        Err(e) => eprintln!("{path}: {e}"),
     }
     Ok(())
 }
@@ -1166,11 +1195,132 @@ fn run_fault_experiment(plan_name: &str, opts: &RunOptions, smoke: bool) -> Resu
     let path = "BENCH_fault_tolerance.json";
     match rbcd_bench::schema::write(path, &json) {
         Ok(_) => println!("wrote {path}"),
-        Err(e) => eprintln!("{e}"),
+        Err(e) => eprintln!("{path}: {e}"),
     }
 
     if silent > 0 {
         eprintln!("SILENT PAIR LOSS: {silent} pairs vanished without a counted overflow");
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+/// The frame-deadline governor sweep: storm-faulted frames at 100 / 75
+/// / 50 / 25 % of each scene's ungoverned cycle baseline, with full
+/// degraded-result accounting and an oracle soundness check per frame.
+fn run_overload_experiment(opts: &RunOptions, smoke: bool) -> Result<(), TableError> {
+    use rbcd_bench::overload::run_overload;
+
+    const SEED: u64 = 0x0E_2108;
+    let plan = FaultPlan::preset("storm", SEED).expect("storm is a named preset");
+    let budget_pcts = [100u32, 75, 50, 25];
+    let scenes = if smoke {
+        vec![rbcd_workloads::shells()]
+    } else {
+        let mut s = rbcd_workloads::suite();
+        s.push(rbcd_workloads::shells());
+        s
+    };
+    let mut opts = opts.clone();
+    opts.frames = Some(opts.frames.unwrap_or(4).min(if smoke { 3 } else { 6 }));
+
+    eprintln!(
+        "overload governor (storm plan, seed {SEED:#x}): budgets {budget_pcts:?}% over {} scenes...",
+        scenes.len()
+    );
+    let t0 = Instant::now();
+    let result = run_overload(&scenes, "storm", plan, &budget_pcts, &opts);
+    eprintln!("overload sweep simulated in {:.1?} of host time", t0.elapsed());
+
+    let mut t = Table::new(
+        "Frame-deadline governor — degraded-result accounting under storm overload",
+        &[
+            "benchmark", "budget", "used/budget cyc", "shed", "coarse", "trips", "exact",
+            "cpu", "stale", "oracle", "delegated", "recovered",
+        ],
+    );
+    for s in &result.scenes {
+        for c in &s.cells {
+            t.row(vec![
+                s.alias.clone(),
+                format!("{}%", c.budget_pct),
+                format!("{}/{}", c.used_cycles, c.budget_cycles),
+                c.tiles_shed.to_string(),
+                c.tiles_coarsened.to_string(),
+                c.breaker_trips.to_string(),
+                c.exact_pairs.to_string(),
+                c.cpu_verified_pairs.to_string(),
+                c.stale_pairs.to_string(),
+                c.oracle_pairs.to_string(),
+                c.delegated_misses.to_string(),
+                fmt_pct(c.recovered_fraction()),
+            ])?;
+        }
+    }
+    print!("{}", t.render());
+    let violations = result.budget_violations();
+    let misses = result.oracle_misses();
+    println!(
+        "worst recovery {} | budget violations {violations} | silent oracle misses {misses} \
+         (unrouted non-shed pairs must always be exact)",
+        fmt_pct(result.worst_recovery())
+    );
+
+    // Hand-rolled JSON with the shared schema header; this is the one
+    // writer whose header carries a non-default governor block.
+    let mut json = rbcd_bench::schema::header_with_governor(
+        "overload",
+        result.geomean_recovery(),
+        result.governor_summary(),
+    );
+    json.push_str(&format!("  \"plan\": \"{}\",\n", result.plan));
+    json.push_str(&format!("  \"seed\": {},\n", result.seed));
+    json.push_str(&format!(
+        "  \"budget_pcts\": [{}],\n",
+        budget_pcts.map(|p| p.to_string()).join(", ")
+    ));
+    json.push_str(&format!("  \"worst_recovery\": {:.6},\n", result.worst_recovery()));
+    json.push_str(&format!("  \"budget_violations\": {violations},\n"));
+    json.push_str(&format!("  \"oracle_misses\": {misses},\n"));
+    json.push_str("  \"scenes\": [\n");
+    for (i, s) in result.scenes.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"frames\": {}, \"baseline_cycles\": {}, \"cells\": [\n",
+            s.alias, s.frames, s.baseline_cycles
+        ));
+        for (k, c) in s.cells.iter().enumerate() {
+            json.push_str(&format!(
+                "      {{\"budget_pct\": {}, \"budget_cycles\": {}, \"used_cycles\": {}, \
+                 \"budget_violations\": {}, \"degraded_frames\": {}, \"tiles_shed\": {}, \
+                 \"tiles_coarsened\": {}, \"breaker_trips\": {}, \"exact_pairs\": {}, \
+                 \"cpu_verified_pairs\": {}, \"stale_pairs\": {}, \"oracle_pairs\": {}, \
+                 \"oracle_misses\": {}, \"delegated_misses\": {}, \
+                 \"recovered_fraction\": {:.6}}}{}\n",
+                c.budget_pct, c.budget_cycles, c.used_cycles,
+                c.budget_violations, c.degraded_frames, c.tiles_shed,
+                c.tiles_coarsened, c.breaker_trips, c.exact_pairs,
+                c.cpu_verified_pairs, c.stale_pairs, c.oracle_pairs,
+                c.oracle_misses, c.delegated_misses,
+                c.recovered_fraction(),
+                if k + 1 < s.cells.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < result.scenes.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_overload.json";
+    match rbcd_bench::schema::write(path, &json) {
+        Ok(_) => println!("wrote {path}"),
+        Err(e) => eprintln!("{path}: {e}"),
+    }
+
+    if violations > 0 || misses > 0 {
+        eprintln!(
+            "GOVERNOR CONTRACT BROKEN: {violations} budget violations, {misses} silent oracle misses"
+        );
         std::process::exit(1);
     }
     Ok(())
@@ -1256,7 +1406,7 @@ fn run_tile_pipeline_bench(opts: &RunOptions, threads: usize, smoke: bool) -> Re
     let path = "BENCH_tile_pipeline.json";
     match rbcd_bench::schema::write(path, &json) {
         Ok(_) => println!("wrote {path}"),
-        Err(e) => eprintln!("{e}"),
+        Err(e) => eprintln!("{path}: {e}"),
     }
     Ok(())
 }
@@ -1400,7 +1550,7 @@ fn run_hotpath_bench(opts: &RunOptions, smoke: bool) -> Result<(), TableError> {
     let path = "BENCH_raster_hotpath.json";
     match rbcd_bench::schema::write(path, &json) {
         Ok(_) => println!("wrote {path}"),
-        Err(e) => eprintln!("{e}"),
+        Err(e) => eprintln!("{path}: {e}"),
     }
     Ok(())
 }

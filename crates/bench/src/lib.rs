@@ -12,6 +12,7 @@ pub mod accuracy;
 pub mod faults;
 pub mod hybrid;
 pub mod metrics;
+pub mod overload;
 pub mod report;
 pub mod runner;
 pub mod schema;

@@ -1,0 +1,452 @@
+//! Overload experiment: storm-faulted frames under a shrinking
+//! frame-cycle budget, with full degraded-result accounting.
+//!
+//! Per scene, an ungoverned **baseline pass** first measures each
+//! frame's governable merge-timeline cycles (a governor with a zero
+//! budget reports the timeline without degrading anything). The sweep
+//! then re-renders the same faulted frames at budgets of 100 / 75 / 50
+//! / 25 % of that baseline, with the whole governance stack engaged:
+//!
+//! * the simulator's policy ladder (forced reuse → scan coarsening →
+//!   tile shedding) keeps every frame inside its budget, overshooting
+//!   by at most one tile's own work;
+//! * the [`Governor`] drives the escalation circuit breaker and the
+//!   stale carry-forward store frame-sequentially on the host;
+//! * the exact CPU detector recovers pairs for every *routed* object
+//!   (ladder-escalated, shed, or breaker-blocked);
+//! * the software oracle re-renders each frame losslessly and checks
+//!   the soundness contract: every pair it finds outside the shed
+//!   tiles whose endpoints were *not* routed to the CPU must appear in
+//!   the exact partition. Routed pairs the CPU also misses are counted
+//!   separately (`delegated_misses`) — they are attributed, visible
+//!   degradations, not silent losses.
+//!
+//! Everything is a pure function of `(scene, plan, seed, budgets)`;
+//! the whole experiment is bit-identical at any `opts.threads`.
+
+use crate::faults::ladder_config;
+use crate::runner::RunOptions;
+use rbcd_core::governor::{BreakerConfig, Governor, Pair};
+use rbcd_core::software::OracleUnit;
+use rbcd_core::{FaultPlan, RbcdConfig, RbcdUnit};
+use rbcd_cpu_cd::{CdBody, CpuCollisionDetector, Phase};
+use rbcd_gpu::{GovernorConfig, ObjectId, PipelineMode, Simulator, SimulatorBuilder};
+use rbcd_workloads::Scene;
+use std::collections::BTreeSet;
+
+/// One `(scene, budget%)` sweep point, accounting every degradation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OverloadCell {
+    /// Budget as a percentage of the scene's baseline cycles.
+    pub budget_pct: u32,
+    /// Summed per-frame budgets (cycles).
+    pub budget_cycles: u64,
+    /// Summed governed merge-timeline cycles actually used.
+    pub used_cycles: u64,
+    /// Frames that blew their budget by more than one tile's slack
+    /// (the acceptance criterion demands this stays zero).
+    pub budget_violations: u64,
+    /// Frames with any degradation (shed tiles, stale or CPU pairs).
+    pub degraded_frames: u64,
+    /// Tiles shed across the run (policy rung 3).
+    pub tiles_shed: u64,
+    /// Tiles scan-coarsened across the run (policy rung 2).
+    pub tiles_coarsened: u64,
+    /// Circuit-breaker trips across the run.
+    pub breaker_trips: u64,
+    /// Pairs found exactly by the hardware model (summed per frame).
+    pub exact_pairs: u64,
+    /// Pairs recovered by the exact CPU detector (summed per frame).
+    pub cpu_verified_pairs: u64,
+    /// Pairs carried forward stale for shed tiles (summed per frame).
+    pub stale_pairs: u64,
+    /// Oracle pairs outside the frame's shed tiles (summed per frame).
+    pub oracle_pairs: u64,
+    /// Oracle pairs outside shed tiles, endpoints unrouted, missing
+    /// from the exact partition — silent losses; must be zero.
+    pub oracle_misses: u64,
+    /// Oracle pairs outside shed tiles with a routed endpoint that the
+    /// CPU recovery did not confirm (attributed approximation gap).
+    pub delegated_misses: u64,
+}
+
+impl OverloadCell {
+    /// Fraction of the (non-shed) oracle pairs the degraded result
+    /// still reports, across all partitions. `1.0` for an empty oracle.
+    pub fn recovered_fraction(&self) -> f64 {
+        if self.oracle_pairs == 0 {
+            return 1.0;
+        }
+        let found = self.oracle_pairs - self.oracle_misses - self.delegated_misses;
+        found as f64 / self.oracle_pairs as f64
+    }
+}
+
+/// All sweep points of one scene.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadSceneResult {
+    /// Scene alias.
+    pub alias: String,
+    /// Frames rendered per sweep point.
+    pub frames: usize,
+    /// Summed ungoverned merge-timeline cycles (the 100% reference).
+    pub baseline_cycles: u64,
+    /// One cell per budget percentage, in sweep order.
+    pub cells: Vec<OverloadCell>,
+}
+
+/// The whole overload experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadResult {
+    /// Fault-plan preset name.
+    pub plan: String,
+    /// Base injection seed.
+    pub seed: u64,
+    /// Per-scene sweeps.
+    pub scenes: Vec<OverloadSceneResult>,
+}
+
+impl OverloadResult {
+    /// Total silent oracle misses across every cell (must be zero).
+    pub fn oracle_misses(&self) -> u64 {
+        self.scenes.iter().flat_map(|s| s.cells.iter().map(|c| c.oracle_misses)).sum()
+    }
+
+    /// Total budget violations across every cell (must be zero).
+    pub fn budget_violations(&self) -> u64 {
+        self.scenes.iter().flat_map(|s| s.cells.iter().map(|c| c.budget_violations)).sum()
+    }
+
+    /// The worst recovered fraction across every cell.
+    pub fn worst_recovery(&self) -> f64 {
+        self.scenes
+            .iter()
+            .flat_map(|s| s.cells.iter().map(OverloadCell::recovered_fraction))
+            .fold(1.0, f64::min)
+    }
+
+    /// Geometric mean of the recovered fraction over every cell — the
+    /// artifact's headline number.
+    pub fn geomean_recovery(&self) -> f64 {
+        crate::metrics::geomean(
+            self.scenes
+                .iter()
+                .flat_map(|s| s.cells.iter().map(OverloadCell::recovered_fraction))
+                // A cell that lost everything would zero the geomean's
+                // log-domain sum; floor it at a visible-but-tiny value.
+                .map(|v| v.max(1e-6)),
+        )
+    }
+
+    /// Totals for the shared `BENCH_*.json` governor header block.
+    pub fn governor_summary(&self) -> crate::schema::GovernorSummary {
+        let mut out = crate::schema::GovernorSummary::default();
+        for c in self.scenes.iter().flat_map(|s| &s.cells) {
+            out.degraded_frames += c.degraded_frames;
+            out.tiles_shed += c.tiles_shed;
+            out.stale_pairs += c.stale_pairs;
+        }
+        out
+    }
+}
+
+/// Runs the overload sweep: for every scene and every percentage in
+/// `budget_pcts`, render `frames` storm-faulted frames under that
+/// fraction of the scene's baseline cycle budget. Deterministic for any
+/// `opts.threads`.
+pub fn run_overload(
+    scenes: &[Scene],
+    plan_name: &str,
+    base_plan: FaultPlan,
+    budget_pcts: &[u32],
+    opts: &RunOptions,
+) -> OverloadResult {
+    let scenes = scenes
+        .iter()
+        .map(|scene| {
+            let frames = opts.frames.unwrap_or(scene.frames);
+            let baseline = measure_baseline(scene, frames, &base_plan, opts);
+            let baseline_cycles = baseline.iter().sum();
+            let cells = budget_pcts
+                .iter()
+                .map(|&pct| run_cell(scene, frames, &base_plan, &baseline, pct, opts))
+                .collect();
+            OverloadSceneResult {
+                alias: scene.alias.to_string(),
+                frames,
+                baseline_cycles,
+                cells,
+            }
+        })
+        .collect();
+    OverloadResult { plan: plan_name.to_string(), seed: base_plan.seed, scenes }
+}
+
+/// A governed simulator for the sweep: the ladder-enabled unit config
+/// plus a governor with the given per-frame budget.
+fn governed_sim(opts: &RunOptions, budget: u64) -> Simulator {
+    SimulatorBuilder::from_config(opts.gpu.clone())
+        .reuse(opts.reuse)
+        .governor(Some(GovernorConfig { frame_budget_cycles: budget, ..GovernorConfig::default() }))
+        .build()
+        .expect("benchmark GPU configurations are validated at construction")
+}
+
+fn ladder_unit(plan: &FaultPlan, opts: &RunOptions) -> RbcdUnit {
+    let cfg = RbcdConfig { hot_path: opts.gpu.hot_path, ..ladder_config(plan) };
+    RbcdUnit::new(cfg, opts.gpu.tile_size)
+        .expect("the ladder configuration is valid by construction")
+}
+
+/// Ungoverned reference pass: a zero budget engages no policy rung but
+/// still reports each frame's governable merge-timeline cycles.
+fn measure_baseline(
+    scene: &Scene,
+    frames: usize,
+    plan: &FaultPlan,
+    opts: &RunOptions,
+) -> Vec<u64> {
+    let mut sim = governed_sim(opts, 0);
+    let mut unit = ladder_unit(plan, opts);
+    (0..frames)
+        .map(|f| {
+            let (trace, _log) = plan.apply(&scene.frame_trace(f), f as u64);
+            unit.new_frame();
+            sim.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut unit, opts.threads);
+            unit.take_contacts();
+            unit.take_escalated();
+            sim.take_governor_report().expect("a governed frame reports its timeline").used_cycles
+        })
+        .collect()
+}
+
+fn run_cell(
+    scene: &Scene,
+    frames: usize,
+    plan: &FaultPlan,
+    baseline: &[u64],
+    pct: u32,
+    opts: &RunOptions,
+) -> OverloadCell {
+    let mut cell = OverloadCell { budget_pct: pct, ..OverloadCell::default() };
+    let meshes = scene.collidable_meshes();
+
+    let mut sim = governed_sim(opts, 0);
+    let mut unit = ladder_unit(plan, opts);
+    let mut governor = Governor::new(BreakerConfig::default());
+
+    for (f, &frame_baseline) in baseline.iter().enumerate().take(frames) {
+        let budget = (frame_baseline * pct as u64) / 100;
+        sim.set_governor(Some(GovernorConfig {
+            frame_budget_cycles: budget,
+            ..GovernorConfig::default()
+        }));
+        let blocked = governor.blocked().clone();
+        sim.set_governor_blocked(blocked.clone());
+
+        let (trace, _log) = plan.apply(&scene.frame_trace(f), f as u64);
+        unit.new_frame();
+        sim.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut unit, opts.threads);
+        let report = sim.take_governor_report().expect("a governed frame reports its timeline");
+        let contacts = unit.take_contacts();
+        let escalated = unit.take_escalated();
+
+        // Every routed object — ladder-escalated, shed with its tile,
+        // or breaker-blocked — goes to the exact CPU detector.
+        let mut routed: BTreeSet<ObjectId> = escalated.clone();
+        routed.extend(report.shed_objects.iter().copied());
+        routed.extend(blocked.iter().copied());
+        let cpu_pairs = cpu_recover_routed(&routed, &meshes, &scene.collidable_transforms(f));
+
+        let result = governor.finish_frame(
+            opts.gpu.tile_size,
+            &contacts,
+            &escalated,
+            &report.shed_tiles,
+            report.used_cycles,
+            report.budget_cycles,
+            &cpu_pairs,
+        );
+
+        cell.budget_cycles += budget;
+        cell.used_cycles += report.used_cycles;
+        if !result.within_budget(report.max_tile_cycles) {
+            cell.budget_violations += 1;
+        }
+        if result.degraded() {
+            cell.degraded_frames += 1;
+        }
+        cell.tiles_shed += report.shed_tiles.len() as u64;
+        cell.tiles_coarsened += report.tiles_coarsened;
+        cell.exact_pairs += result.exact.len() as u64;
+        cell.cpu_verified_pairs += result.cpu_verified.len() as u64;
+        cell.stale_pairs += result.stale.len() as u64;
+
+        // Soundness contract, against a lossless re-render of the same
+        // faulted trace: outside the shed tiles, unrouted pairs must be
+        // exact; routed pairs may only miss through the CPU detector's
+        // attributed approximation gap.
+        let mut oracle = OracleUnit::new();
+        let mut oracle_sim = Simulator::new(opts.gpu.clone());
+        oracle_sim.render_frame(&trace, PipelineMode::Rbcd, &mut oracle);
+        let shed: BTreeSet<(u32, u32)> = report.shed_tiles.iter().copied().collect();
+        for pair in oracle.pairs_outside_tiles(opts.gpu.tile_size, &shed) {
+            cell.oracle_pairs += 1;
+            if result.exact.contains(&pair) || result.cpu_verified.contains(&pair) {
+                continue;
+            }
+            if routed.contains(&pair.0) || routed.contains(&pair.1) {
+                cell.delegated_misses += 1;
+            } else {
+                cell.oracle_misses += 1;
+            }
+        }
+    }
+
+    cell.breaker_trips = governor.breaker().trips();
+    cell
+}
+
+/// Exact CPU detection over the whole scene, filtered to pairs with at
+/// least one routed endpoint. Running all bodies (not just the routed
+/// ones) is what makes mixed pairs — one routed object against one
+/// healthy one — recoverable.
+fn cpu_recover_routed(
+    routed: &BTreeSet<ObjectId>,
+    meshes: &[(ObjectId, std::sync::Arc<rbcd_geometry::Mesh>)],
+    transforms: &[rbcd_math::Mat4],
+) -> BTreeSet<Pair> {
+    if routed.is_empty() || meshes.len() < 2 {
+        return BTreeSet::new();
+    }
+    let mut bodies = Vec::new();
+    let mut models = Vec::new();
+    for (i, (id, mesh)) in meshes.iter().enumerate() {
+        if let Ok(body) = CdBody::from_mesh(id.get() as u32, mesh) {
+            bodies.push(body);
+            models.push(transforms[i]);
+        }
+    }
+    if bodies.len() < 2 {
+        return BTreeSet::new();
+    }
+    CpuCollisionDetector::new(bodies)
+        .detect(&models, Phase::BroadAndNarrow)
+        .pairs
+        .into_iter()
+        .map(|(a, b)| (ObjectId::new(a as u16), ObjectId::new(b as u16)))
+        .filter(|(a, b)| routed.contains(a) || routed.contains(b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbcd_gpu::GpuConfig;
+    use rbcd_math::Viewport;
+
+    fn opts(threads: usize) -> RunOptions {
+        RunOptions {
+            frames: Some(3),
+            gpu: GpuConfig { viewport: Viewport::new(160, 96), ..GpuConfig::default() },
+            threads,
+            ..RunOptions::default()
+        }
+    }
+
+    #[test]
+    fn storm_at_half_budget_sheds_within_budget_and_stays_sound() {
+        let plan = FaultPlan::preset("storm", 0x0E_2108).unwrap();
+        let scenes = [rbcd_workloads::shells()];
+        let r = run_overload(&scenes, "storm", plan, &[100, 50, 25], &opts(1));
+        let s = &r.scenes[0];
+        assert!(s.baseline_cycles > 0);
+        assert_eq!(s.cells.len(), 3);
+        // The 25% cell must actually degrade; shedding gets monotonically
+        // worse as the budget shrinks.
+        let shed: Vec<u64> = s.cells.iter().map(|c| c.tiles_shed).collect();
+        assert!(shed[2] > 0, "25% budget must shed tiles, got {shed:?}");
+        assert!(shed[0] <= shed[2], "tighter budgets shed at least as much: {shed:?}");
+        assert_eq!(r.budget_violations(), 0, "every frame must land within one tile of budget");
+        assert_eq!(r.oracle_misses(), 0, "unrouted non-shed pairs must be exact");
+        for c in &s.cells {
+            assert!(c.oracle_pairs > 0);
+            assert!(c.recovered_fraction() > 0.5, "cell {}%: {c:?}", c.budget_pct);
+        }
+    }
+
+    #[test]
+    fn coarsening_rung_engages_under_a_tight_budget() {
+        let o = opts(1);
+        let scene = rbcd_workloads::shells();
+        let trace = scene.frame_trace(0);
+        let unit = || {
+            RbcdUnit::new(
+                RbcdConfig { hot_path: o.gpu.hot_path, ..RbcdConfig::default() },
+                o.gpu.tile_size,
+            )
+            .unwrap()
+        };
+
+        // Governable baseline for the frame (a zero budget engages no rung).
+        let mut sim = governed_sim(&o, 0);
+        let mut u = unit();
+        u.new_frame();
+        sim.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut u, 1);
+        let baseline = sim.take_governor_report().unwrap().used_cycles;
+        assert!(baseline > 0);
+
+        // The plan-phase projection (primitives + tile overhead) is a
+        // deliberate lower bound on the merge timeline, so rung 2 only
+        // fires when the budget undercuts even that. A 1% budget plus
+        // an aggressive coarsen threshold guarantees it.
+        let gov = GovernorConfig {
+            frame_budget_cycles: (baseline / 100).max(1),
+            coarsen_prims: 1,
+            coarsen_shift: 2,
+            shed_overhead_cycles: 0,
+        };
+        let run = |threads: usize| {
+            let mut sim = SimulatorBuilder::from_config(o.gpu.clone())
+                .governor(Some(gov))
+                .build()
+                .unwrap();
+            let mut u = unit();
+            u.new_frame();
+            sim.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut u, threads);
+            let rep = sim.take_governor_report().unwrap();
+            (
+                rep.tiles_coarsened,
+                rep.shed_tiles.clone(),
+                rep.used_cycles,
+                u.take_contacts(),
+                u.take_escalated(),
+            )
+        };
+        let a = run(1);
+        assert!(a.0 > 0, "the coarsen rung must engage under a 1% budget");
+        assert_eq!(a, run(2), "coarsening must be thread-invariant");
+        assert_eq!(a, run(4), "coarsening must be thread-invariant");
+    }
+
+    #[test]
+    fn governed_sweep_is_thread_and_reuse_flag_invariant() {
+        let plan = FaultPlan::preset("storm", 0x0E_2108).unwrap();
+        let scenes = [rbcd_workloads::shells()];
+        let a = run_overload(&scenes, "storm", plan, &[50], &opts(1));
+        let b = run_overload(&scenes, "storm", plan, &[50], &opts(2));
+        let c = run_overload(&scenes, "storm", plan, &[50], &opts(4));
+        assert_eq!(a, b, "1 vs 2 threads");
+        assert_eq!(a, c, "1 vs 4 threads");
+        // The governor forces the reuse machinery on, so the host-side
+        // reuse flag must not change a governed run either.
+        let d = run_overload(
+            &scenes,
+            "storm",
+            plan,
+            &[50],
+            &RunOptions { reuse: true, ..opts(2) },
+        );
+        assert_eq!(a, d, "reuse flag must be absorbed by the governor");
+    }
+}

@@ -37,6 +37,11 @@ pub struct RunOptions {
     /// Off by default so golden counters and the paper-facing tables
     /// are unaffected unless asked for.
     pub reuse: bool,
+    /// Overload governor for the simulator (`None` = ungoverned, the
+    /// default — all outputs bit-identical to pre-governor builds).
+    /// Experiments that sweep per-frame budgets (`repro overload`) set
+    /// budgets on the simulator directly instead.
+    pub governor: Option<rbcd_gpu::GovernorConfig>,
 }
 
 impl Default for RunOptions {
@@ -50,6 +55,7 @@ impl Default for RunOptions {
             zeb_counts: vec![1, 2, 3, 4],
             threads: 1,
             reuse: false,
+            governor: None,
         }
     }
 }
@@ -90,6 +96,7 @@ fn run_gpu_inner(
     let mut sim = SimulatorBuilder::from_config(opts.gpu.clone())
         .tracing(traced)
         .reuse(opts.reuse)
+        .governor(opts.governor)
         .build()
         .expect("benchmark GPU configurations are validated at construction");
     let mut total = FrameStats::default();

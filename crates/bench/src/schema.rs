@@ -2,32 +2,105 @@
 //!
 //! Every benchmark artifact the `repro` binary writes opens with the
 //! same header block — `schema_version`, the experiment id, a `host`
-//! triple, and the headline `geomean` — so downstream tooling can
-//! dispatch on one stable shape. Callers render the header with
-//! [`header`], append their experiment-specific fields, and land the
-//! document through [`write`], which re-parses it with the crate's own
-//! JSON parser and checks the shared fields before anything reaches
-//! disk.
+//! triple, the headline `geomean`, and a `governor` degraded-result
+//! summary — so downstream tooling can dispatch on one stable shape.
+//! Callers render the header with [`header`] (or
+//! [`header_with_governor`] when the run actually degraded), append
+//! their experiment-specific fields, and land the document through
+//! [`write`], which re-parses it with the crate's own JSON parser and
+//! checks the shared fields before anything reaches disk.
 
 use rbcd_trace::json::{self, Value};
+use std::fmt;
 
 /// Version of the shared header layout. Bump when a shared field is
 /// renamed, removed, or changes meaning.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// History: v1 had no `governor` block; v2 adds it (degraded-result
+/// accounting for the overload governor) to every artifact.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// A document rejected by [`validate`] or a landing failed in
+/// [`write`], naming exactly what went wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaError {
+    /// The document does not re-parse with the crate's own JSON parser.
+    Parse(
+        /// The parser's diagnostic.
+        String,
+    ),
+    /// A required shared field is missing or of the wrong type.
+    MissingField(
+        /// Dotted path of the absent field (e.g. `"host.cores"`).
+        &'static str,
+    ),
+    /// The document carries a `schema_version` this crate does not
+    /// support.
+    VersionMismatch {
+        /// The version found in the document.
+        found: u64,
+    },
+    /// The validated document could not be written to disk.
+    Io {
+        /// Destination path.
+        path: String,
+        /// The underlying I/O diagnostic.
+        message: String,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Parse(e) => write!(f, "document does not re-parse: {e}"),
+            Self::MissingField(field) => write!(f, "missing or mistyped field: {field}"),
+            Self::VersionMismatch { found } => {
+                write!(f, "schema_version {found} != supported {SCHEMA_VERSION}")
+            }
+            Self::Io { path, message } => write!(f, "could not write {path}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// The shared degraded-result summary every `BENCH_*.json` header
+/// carries under the `governor` key. Experiments that never engage the
+/// overload governor report all-zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GovernorSummary {
+    /// Frames whose result set was degraded (shed, stale, or
+    /// CPU-recovered pairs present).
+    pub degraded_frames: u64,
+    /// Total tiles shed to the CPU path across the run.
+    pub tiles_shed: u64,
+    /// Total pairs carried forward stale from a previous frame.
+    pub stale_pairs: u64,
+}
 
 /// Renders the shared opening of a `BENCH_*.json` document: `{`,
 /// `schema_version`, the experiment id, a `host` block
-/// (OS / architecture / logical cores), and the headline `geomean`.
-/// Each line is `,`-terminated; the caller appends its own fields and
-/// closes the object.
+/// (OS / architecture / logical cores), the headline `geomean`, and an
+/// all-zero `governor` block. Each line is `,`-terminated; the caller
+/// appends its own fields and closes the object.
 pub fn header(bench: &str, geomean: f64) -> String {
+    header_with_governor(bench, geomean, GovernorSummary::default())
+}
+
+/// [`header`] with an explicit degraded-result summary, for experiments
+/// that run under an overload governor.
+pub fn header_with_governor(bench: &str, geomean: f64, gov: GovernorSummary) -> String {
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     format!(
         "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"bench\": \"{bench}\",\n  \
          \"host\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cores\": {cores}}},\n  \
-         \"geomean\": {geomean:.4},\n",
+         \"geomean\": {geomean:.4},\n  \
+         \"governor\": {{\"degraded_frames\": {}, \"tiles_shed\": {}, \"stale_pairs\": {}}},\n",
         std::env::consts::OS,
         std::env::consts::ARCH,
+        gov.degraded_frames,
+        gov.tiles_shed,
+        gov.stale_pairs,
     )
 }
 
@@ -40,46 +113,59 @@ pub struct BenchHeader {
     pub bench: String,
     /// The experiment's headline geometric mean.
     pub geomean: f64,
+    /// The run's degraded-result summary.
+    pub governor: GovernorSummary,
 }
 
 /// Checks `text` against the shared schema: it must re-parse with the
 /// crate's own JSON parser and carry every shared field at the current
 /// [`SCHEMA_VERSION`].
-pub fn validate(text: &str) -> Result<BenchHeader, String> {
-    let doc = json::parse(text).map_err(|e| format!("document does not re-parse: {e}"))?;
+///
+/// # Errors
+///
+/// Returns the first [`SchemaError`] found, in field order.
+pub fn validate(text: &str) -> Result<BenchHeader, SchemaError> {
+    let doc = json::parse(text).map_err(|e| SchemaError::Parse(e.to_string()))?;
     let schema_version = doc
         .get("schema_version")
         .and_then(Value::as_u64)
-        .ok_or_else(|| "missing schema_version".to_string())?;
+        .ok_or(SchemaError::MissingField("schema_version"))?;
     if schema_version != SCHEMA_VERSION {
-        return Err(format!("schema_version {schema_version} != supported {SCHEMA_VERSION}"));
+        return Err(SchemaError::VersionMismatch { found: schema_version });
     }
     let bench = doc
         .get("bench")
         .and_then(Value::as_str)
-        .ok_or_else(|| "missing bench id".to_string())?
+        .ok_or(SchemaError::MissingField("bench"))?
         .to_string();
-    let host = doc.get("host").ok_or_else(|| "missing host block".to_string())?;
-    for key in ["os", "arch"] {
-        host.get(key)
-            .and_then(Value::as_str)
-            .ok_or_else(|| format!("missing host.{key}"))?;
-    }
-    host.get("cores")
-        .and_then(Value::as_u64)
-        .ok_or_else(|| "missing host.cores".to_string())?;
-    let geomean = doc
-        .get("geomean")
-        .and_then(Value::as_f64)
-        .ok_or_else(|| "missing geomean".to_string())?;
-    Ok(BenchHeader { schema_version, bench, geomean })
+    let host = doc.get("host").ok_or(SchemaError::MissingField("host"))?;
+    host.get("os").and_then(Value::as_str).ok_or(SchemaError::MissingField("host.os"))?;
+    host.get("arch").and_then(Value::as_str).ok_or(SchemaError::MissingField("host.arch"))?;
+    host.get("cores").and_then(Value::as_u64).ok_or(SchemaError::MissingField("host.cores"))?;
+    let geomean =
+        doc.get("geomean").and_then(Value::as_f64).ok_or(SchemaError::MissingField("geomean"))?;
+    let gov = doc.get("governor").ok_or(SchemaError::MissingField("governor"))?;
+    let gov_field = |key: &'static str, err: &'static str| {
+        gov.get(key).and_then(Value::as_u64).ok_or(SchemaError::MissingField(err))
+    };
+    let governor = GovernorSummary {
+        degraded_frames: gov_field("degraded_frames", "governor.degraded_frames")?,
+        tiles_shed: gov_field("tiles_shed", "governor.tiles_shed")?,
+        stale_pairs: gov_field("stale_pairs", "governor.stale_pairs")?,
+    };
+    Ok(BenchHeader { schema_version, bench, geomean, governor })
 }
 
 /// Validates `text` against the shared schema, then writes it to
 /// `path`. Nothing lands on disk if validation fails.
-pub fn write(path: &str, text: &str) -> Result<BenchHeader, String> {
-    let header = validate(text).map_err(|e| format!("{path}: {e}"))?;
-    std::fs::write(path, text).map_err(|e| format!("could not write {path}: {e}"))?;
+///
+/// # Errors
+///
+/// Any [`validate`] error, or [`SchemaError::Io`] if the write fails.
+pub fn write(path: &str, text: &str) -> Result<BenchHeader, SchemaError> {
+    let header = validate(text)?;
+    std::fs::write(path, text)
+        .map_err(|e| SchemaError::Io { path: path.to_string(), message: e.to_string() })?;
     Ok(header)
 }
 
@@ -99,26 +185,56 @@ mod tests {
         assert_eq!(h.schema_version, SCHEMA_VERSION);
         assert_eq!(h.bench, "unit_test");
         assert!((h.geomean - 1.5).abs() < 1e-9);
+        assert_eq!(h.governor, GovernorSummary::default());
+    }
+
+    #[test]
+    fn governor_summary_round_trips() {
+        let gov = GovernorSummary { degraded_frames: 7, tiles_shed: 42, stale_pairs: 5 };
+        let mut d = header_with_governor("overload", 0.5, gov);
+        d.push_str("  \"payload\": []\n}\n");
+        let h = validate(&d).expect("governed header must validate");
+        assert_eq!(h.governor, gov);
     }
 
     #[test]
     fn validate_rejects_missing_or_stale_fields() {
-        assert!(validate("{}").unwrap_err().contains("schema_version"));
+        assert_eq!(validate("{}").unwrap_err(), SchemaError::MissingField("schema_version"));
         let stale = doc().replace(
             &format!("\"schema_version\": {SCHEMA_VERSION}"),
             &format!("\"schema_version\": {}", SCHEMA_VERSION + 1),
         );
-        assert!(validate(&stale).unwrap_err().contains("schema_version"));
+        assert_eq!(
+            validate(&stale).unwrap_err(),
+            SchemaError::VersionMismatch { found: SCHEMA_VERSION + 1 }
+        );
         let no_geo = doc().replace("\"geomean\"", "\"geo_mean\"");
-        assert!(validate(&no_geo).unwrap_err().contains("geomean"));
+        assert_eq!(validate(&no_geo).unwrap_err(), SchemaError::MissingField("geomean"));
         let no_host = doc().replace("\"host\"", "\"machine\"");
-        assert!(validate(&no_host).unwrap_err().contains("host"));
-        assert!(validate("not json").unwrap_err().contains("re-parse"));
+        assert_eq!(validate(&no_host).unwrap_err(), SchemaError::MissingField("host"));
+        let no_gov = doc().replace("\"governor\"", "\"regulator\"");
+        assert_eq!(validate(&no_gov).unwrap_err(), SchemaError::MissingField("governor"));
+        let no_shed = doc().replace("\"tiles_shed\"", "\"tiles_dropped\"");
+        assert_eq!(
+            validate(&no_shed).unwrap_err(),
+            SchemaError::MissingField("governor.tiles_shed")
+        );
+        assert!(matches!(validate("not json").unwrap_err(), SchemaError::Parse(_)));
     }
 
     #[test]
     fn write_refuses_invalid_documents() {
         let err = write("/nonexistent-dir/should-not-land.json", "{}").unwrap_err();
-        assert!(err.contains("schema_version"), "{err}");
+        assert_eq!(err, SchemaError::MissingField("schema_version"));
+        // A valid document against an unwritable path surfaces as Io.
+        let err = write("/nonexistent-dir/should-not-land.json", &doc()).unwrap_err();
+        assert!(matches!(err, SchemaError::Io { .. }), "{err}");
+        assert!(err.to_string().contains("should-not-land"), "{err}");
+    }
+
+    #[test]
+    fn errors_render_readable_messages() {
+        assert!(SchemaError::MissingField("host.cores").to_string().contains("host.cores"));
+        assert!(SchemaError::VersionMismatch { found: 9 }.to_string().contains('9'));
     }
 }

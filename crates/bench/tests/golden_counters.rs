@@ -46,6 +46,11 @@ const GOLDEN_KEYS: &[&str] = &[
     "geometry.vertex_cache_misses",
     "geometry.vertices_shaded",
     "geometry.vp_busy_cycles",
+    "governor.breaker_trips",
+    "governor.budget_cycles",
+    "governor.stale_pairs",
+    "governor.tiles_coarsened",
+    "governor.tiles_shed",
     "raster.cycles",
     "raster.fp_busy_cycles",
     "raster.fp_idle_cycles",
@@ -139,6 +144,17 @@ const GOLDEN_VALUES: &[(&str, u64)] = &[
     ("geometry.vertex_cache_misses", 11358),
     ("geometry.vertices_shaded", 45272),
     ("geometry.vp_busy_cycles", 338128),
+    // Governor accounting counters: all zero because the governor is
+    // off by default (no frame budget, no shedding). Like the mask-only
+    // raster diagnostics above, these follow the PR 5 convention —
+    // host-side accounting only, never read by the energy model — so a
+    // governed run changes `governor.*` without perturbing any
+    // energy-bearing counter.
+    ("governor.breaker_trips", 0),
+    ("governor.budget_cycles", 0),
+    ("governor.stale_pairs", 0),
+    ("governor.tiles_coarsened", 0),
+    ("governor.tiles_shed", 0),
     ("raster.cycles", 244723),
     ("raster.fp_busy_cycles", 788598),
     ("raster.fp_idle_cycles", 17608),

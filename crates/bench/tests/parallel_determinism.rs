@@ -221,6 +221,82 @@ fn reuse_is_event_identical_under_every_fault_preset() {
 }
 
 #[test]
+fn governor_off_keeps_outputs_bit_identical_and_counters_zero() {
+    // `RunOptions::default()` installs no governor, and every earlier
+    // arm in this file plus the golden-counter values run that way —
+    // together they pin "governor off → outputs bit-identical to the
+    // pre-governor pipeline". This arm adds the two contracts that are
+    // new: (a) an ungoverned run reports all-zero `governor.*`
+    // accounting, and (b) installing a governor with *no deadline*
+    // (budget 0) engages no policy rung — it only forces the reuse
+    // machinery on, which carries the reuse layer's exactness contract
+    // (timing and `coherence.*` may move, no event counter or pair may).
+    use rbcd_gpu::GovernorConfig;
+    let scene = rbcd_workloads::shells();
+    let off = run_gpu(&scene, 2, &opts(1), Some(RbcdConfig::default()));
+    for (k, v) in off.counters.iter() {
+        if k.starts_with("governor.") {
+            assert_eq!(v, 0, "{k} must stay zero without a governor");
+        }
+    }
+    for threads in [1, 2, 4] {
+        let idle = run_gpu(
+            &scene,
+            2,
+            &RunOptions { governor: Some(GovernorConfig::default()), ..opts(threads) },
+            Some(RbcdConfig::default()),
+        );
+        assert_events_match(&off, &idle, "zero-budget governor");
+        for (k, v) in idle.counters.iter() {
+            if k.starts_with("governor.") {
+                assert_eq!(v, 0, "{k} must stay zero under a zero budget");
+            }
+        }
+    }
+}
+
+#[test]
+fn governed_runs_are_identical_at_any_thread_count() {
+    // An active budget engages the whole policy ladder on the merge
+    // timeline — forced reuse, coarsening, shedding. Every decision is
+    // taken on the main thread (plan phase and merge phase), so a
+    // degrading governed run must stay bit-identical in full — pairs,
+    // FrameStats (shed/coarsen accounting included), unit books,
+    // derived time and energy — at 1, 2, and 4 worker threads.
+    use rbcd_gpu::GovernorConfig;
+    let scene = rbcd_workloads::shells();
+    let off = run_gpu(&scene, 2, &opts(1), Some(RbcdConfig::default()));
+    // Half of the ungoverned raster timeline per frame: deep enough into
+    // overload that tiles are actually shed.
+    let budget = off.counters.get("raster.cycles") / off.counters.get("frames") / 2;
+    let gov = GovernorConfig { frame_budget_cycles: budget.max(1), ..GovernorConfig::default() };
+    let base = run_gpu(
+        &scene,
+        2,
+        &RunOptions { governor: Some(gov), ..opts(1) },
+        Some(RbcdConfig::default()),
+    );
+    assert!(
+        base.counters.get("governor.tiles_shed") > 0,
+        "a half budget must shed tiles, or this arm only covers the idle path"
+    );
+    for threads in [2, 4] {
+        let par = run_gpu(
+            &scene,
+            2,
+            &RunOptions { governor: Some(gov), ..opts(threads) },
+            Some(RbcdConfig::default()),
+        );
+        assert_eq!(base.pairs, par.pairs, "governed pairs at {threads} threads");
+        assert_eq!(base.stats, par.stats, "governed FrameStats at {threads} threads");
+        assert_eq!(base.rbcd, par.rbcd, "governed RbcdStats at {threads} threads");
+        assert_eq!(base.counters, par.counters, "governed counters at {threads} threads");
+        assert_eq!(base.seconds, par.seconds);
+        assert_eq!(base.energy_j, par.energy_j);
+    }
+}
+
+#[test]
 fn frame_parallel_runs_are_identical_at_any_thread_count() {
     for scene in rbcd_workloads::suite() {
         let o = opts(1);

@@ -100,7 +100,8 @@ impl Default for FaultPlan {
 }
 
 /// Names accepted by [`FaultPlan::preset`], in presentation order.
-pub const PRESETS: &[&str] = &["all", "overflow", "spare", "nan", "degenerate", "badid", "dup"];
+pub const PRESETS: &[&str] =
+    &["all", "overflow", "spare", "nan", "degenerate", "badid", "dup", "storm"];
 
 impl FaultPlan {
     /// A named preset plan:
@@ -111,7 +112,11 @@ impl FaultPlan {
     /// * `"nan"` — NaN vertices and malformed model matrices;
     /// * `"degenerate"` — zero-scale models;
     /// * `"badid"` — forged out-of-range object ids;
-    /// * `"dup"` — duplicated draw commands.
+    /// * `"dup"` — duplicated draw commands;
+    /// * `"storm"` — overload storm: a heavy duplicate-draw flood on top
+    ///   of forced `M = 1`, producing fragment floods, sustained ZEB
+    ///   overflow, and escalation bursts (the overload-governor
+    ///   stressor).
     ///
     /// Returns `None` for an unknown name.
     pub fn preset(name: &str, seed: u64) -> Option<Self> {
@@ -133,6 +138,12 @@ impl FaultPlan {
             "degenerate" => Self { degenerate_rate: 0.25, ..base },
             "badid" => Self { bad_object_id_rate: 0.25, ..base },
             "dup" => Self { duplicate_draw_rate: 0.25, ..base },
+            "storm" => Self {
+                forced_m: Some(1),
+                exhaust_spares: true,
+                duplicate_draw_rate: 0.75,
+                ..base
+            },
             _ => return None,
         })
     }

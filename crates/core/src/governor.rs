@@ -1,0 +1,435 @@
+//! Frame-overload governance: deadline budgeting, escalation circuit
+//! breaking, and degraded-result accounting.
+//!
+//! The RBCD unit's degradation ladder (spares → re-scan → CPU
+//! escalation) protects single tiles; nothing in the base pipeline
+//! protects a *frame* — a fragment storm or an escalation burst can blow
+//! any latency budget. This module is the frame-level counterpart:
+//!
+//! * the GPU simulator enforces a per-frame **simulated-cycle budget**
+//!   ([`rbcd_gpu::GovernorConfig`]) on its deterministic tile-merge
+//!   timeline, coarsening the heaviest tiles (pre-elevated ZEB capacity
+//!   so doomed base passes and their re-scans are skipped) and
+//!   **shedding** the trailing tiles once the budget is exhausted;
+//! * a [`CircuitBreaker`] watches rung-3 escalation storms over a
+//!   sliding window of frames: trip → route the offending objects
+//!   straight to the CPU detector for a cooldown → half-open probe →
+//!   close. Every transition is a pure function of the per-frame
+//!   escalation counts, so it is bit-identical at any thread count;
+//! * every degradation is accounted in a [`DegradedResult`]: the frame's
+//!   pairs partitioned into *exact* (found by the hardware model on
+//!   scanned tiles), *cpu-verified* (recovered by the exact CPU detector
+//!   over escalated / shed / breaker-blocked objects), and *stale*
+//!   (carried forward from the last frame for shed tiles, explicitly
+//!   marked).
+//!
+//! The soundness contract — enforced by the `repro overload` experiment
+//! against the software oracle — is that the exact ∪ cpu-verified
+//! partitions never miss a pair the oracle finds in non-shed tiles;
+//! staleness is only ever attributed to shed tiles.
+//!
+//! Everything here is wall-clock-free. Budgets are simulated cycles,
+//! breaker state advances once per frame on the main thread, and the
+//! carry-forward store is rebuilt from the deterministic contact stream,
+//! so a governed run is bit-identical at 1, 2, or 4 worker threads.
+
+use crate::unit::ContactPoint;
+use rbcd_gpu::ObjectId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A distinct colliding pair, smaller id first.
+pub type Pair = (ObjectId, ObjectId);
+
+/// Sliding-window circuit-breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Frames in the sliding escalation window.
+    pub window: usize,
+    /// Windowed escalation count at which the breaker trips.
+    pub trip_threshold: u64,
+    /// Frames the breaker stays open (offenders routed straight to the
+    /// CPU detector) before the half-open probe.
+    pub cooldown_frames: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self { window: 4, trip_threshold: 24, cooldown_frames: 3 }
+    }
+}
+
+/// The breaker's state machine position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; escalations are being counted.
+    Closed,
+    /// Tripped: offenders are routed straight to the CPU detector.
+    Open,
+    /// Cooldown elapsed: one probe frame runs ungoverned-by-the-breaker
+    /// to test whether the storm has passed.
+    HalfOpen,
+}
+
+/// A deterministic sliding-window circuit breaker over per-frame rung-3
+/// escalation counts.
+///
+/// Transitions (all pure functions of the escalation sequence):
+/// `Closed` trips to `Open` when the windowed escalation sum reaches
+/// [`BreakerConfig::trip_threshold`]; `Open` counts down
+/// [`BreakerConfig::cooldown_frames`] to `HalfOpen`; a `HalfOpen` probe
+/// frame closes the breaker if its escalations stay under the per-frame
+/// share of the trip threshold, and re-trips it otherwise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    history: Vec<u64>,
+    cooldown_left: u32,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker. A zero `window` is clamped to 1.
+    pub fn new(mut config: BreakerConfig) -> Self {
+        config.window = config.window.max(1);
+        Self {
+            config,
+            state: BreakerState::Closed,
+            history: Vec::new(),
+            cooldown_left: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current state (as of the last recorded frame).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has tripped (including half-open re-trips).
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// The escalation count above which a half-open probe frame fails:
+    /// the trip threshold amortized over the window.
+    fn probe_limit(&self) -> u64 {
+        (self.config.trip_threshold / self.config.window as u64).max(1)
+    }
+
+    /// Records one frame's rung-3 escalation count and advances the
+    /// state machine. Returns the state *after* the frame.
+    pub fn record(&mut self, escalations: u64) -> BreakerState {
+        match self.state {
+            BreakerState::Closed => {
+                self.history.push(escalations);
+                if self.history.len() > self.config.window {
+                    self.history.remove(0);
+                }
+                if self.history.iter().sum::<u64>() >= self.config.trip_threshold {
+                    self.state = BreakerState::Open;
+                    self.cooldown_left = self.config.cooldown_frames;
+                    self.trips += 1;
+                    self.history.clear();
+                }
+            }
+            BreakerState::Open => {
+                self.cooldown_left = self.cooldown_left.saturating_sub(1);
+                if self.cooldown_left == 0 {
+                    self.state = BreakerState::HalfOpen;
+                }
+            }
+            BreakerState::HalfOpen => {
+                if escalations >= self.probe_limit() {
+                    self.state = BreakerState::Open;
+                    self.cooldown_left = self.config.cooldown_frames;
+                    self.trips += 1;
+                } else {
+                    self.state = BreakerState::Closed;
+                }
+            }
+        }
+        self.state
+    }
+}
+
+/// One frame's degraded-result accounting: the pair set partitioned by
+/// how much trust each pair deserves, plus the budget verdict.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradedResult {
+    /// Pairs the hardware model found on tiles it actually scanned this
+    /// frame — exact under the oracle contract.
+    pub exact: BTreeSet<Pair>,
+    /// Pairs recovered by the exact CPU detector over escalated, shed,
+    /// and breaker-blocked objects (minus those already in `exact`).
+    pub cpu_verified: BTreeSet<Pair>,
+    /// Pairs carried forward from the previous frame for shed tiles —
+    /// conservative, explicitly stale, in neither partition above.
+    pub stale: BTreeSet<Pair>,
+    /// Tiles shed this frame (tile coordinates).
+    pub shed_tiles: Vec<(u32, u32)>,
+    /// Simulated cycles the governed tile timeline actually used.
+    pub used_cycles: u64,
+    /// The frame's cycle budget (0 when ungoverned).
+    pub budget_cycles: u64,
+    /// Breaker state after this frame.
+    pub breaker_open: bool,
+    /// Breaker trips so far (cumulative).
+    pub breaker_trips: u64,
+}
+
+impl DegradedResult {
+    /// Every pair the frame reports, across all three partitions.
+    pub fn all_pairs(&self) -> BTreeSet<Pair> {
+        let mut out = self.exact.clone();
+        out.extend(self.cpu_verified.iter().copied());
+        out.extend(self.stale.iter().copied());
+        out
+    }
+
+    /// True if any degradation happened (anything beyond `exact`).
+    pub fn degraded(&self) -> bool {
+        !self.cpu_verified.is_empty() || !self.stale.is_empty() || !self.shed_tiles.is_empty()
+    }
+
+    /// True if the frame landed within its budget, allowing `slack`
+    /// cycles of overshoot (one tile's worth, per the merge-time
+    /// enforcement). Always true when ungoverned.
+    pub fn within_budget(&self, slack: u64) -> bool {
+        self.budget_cycles == 0 || self.used_cycles <= self.budget_cycles.saturating_add(slack)
+    }
+}
+
+/// The frame-sequential governor driver: owns the circuit breaker, the
+/// breaker's offender block-list, and the per-tile carry-forward store
+/// that backs stale results for shed tiles.
+///
+/// The caller (the bench harness) runs one governed frame, then feeds
+/// the frame's outputs to [`finish_frame`](Self::finish_frame); between
+/// frames it reads [`blocked`](Self::blocked) to route offenders
+/// straight to the CPU while the breaker is open.
+#[derive(Debug, Clone)]
+pub struct Governor {
+    breaker: CircuitBreaker,
+    /// Last known per-tile pair sets; entries for shed tiles persist,
+    /// entries for scanned tiles are rebuilt (and dropped when empty).
+    carry: BTreeMap<(u32, u32), BTreeSet<Pair>>,
+    /// Escalation sets of the breaker window's recent frames.
+    recent_escalated: Vec<BTreeSet<ObjectId>>,
+    /// Objects routed straight to the CPU while the breaker is open.
+    blocked: BTreeSet<ObjectId>,
+    /// Cumulative stale pairs reported (for the counter registry).
+    stale_pairs: u64,
+}
+
+impl Governor {
+    /// Creates a governor with the given breaker tuning.
+    pub fn new(breaker: BreakerConfig) -> Self {
+        Self {
+            breaker: CircuitBreaker::new(breaker),
+            carry: BTreeMap::new(),
+            recent_escalated: Vec::new(),
+            blocked: BTreeSet::new(),
+            stale_pairs: 0,
+        }
+    }
+
+    /// The breaker, for state inspection.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Objects currently routed straight to the CPU (empty unless the
+    /// breaker is open). The simulator drops their fragments before ZEB
+    /// insertion; the caller must include them in the CPU recovery set.
+    pub fn blocked(&self) -> &BTreeSet<ObjectId> {
+        &self.blocked
+    }
+
+    /// Cumulative stale pairs reported across frames.
+    pub fn stale_pairs(&self) -> u64 {
+        self.stale_pairs
+    }
+
+    /// Closes one governed frame: partitions its pairs, advances the
+    /// breaker from the frame's escalation set, updates the offender
+    /// block-list and the carry-forward store, and returns the
+    /// accounting report.
+    ///
+    /// * `tile_size` — the pipeline's tile edge, to attribute contacts
+    ///   to tiles;
+    /// * `contacts` — the hardware model's contact stream this frame;
+    /// * `escalated` — the objects the ladder escalated (rung 3);
+    /// * `shed_tiles` — tiles the simulator shed to stay in budget;
+    /// * `used_cycles` / `budget_cycles` — the governed timeline verdict;
+    /// * `cpu_pairs` — exact CPU detection over escalated ∪ shed ∪
+    ///   blocked objects (see [`blocked`](Self::blocked)).
+    #[allow(clippy::too_many_arguments)]
+    pub fn finish_frame(
+        &mut self,
+        tile_size: u32,
+        contacts: &[ContactPoint],
+        escalated: &BTreeSet<ObjectId>,
+        shed_tiles: &[(u32, u32)],
+        used_cycles: u64,
+        budget_cycles: u64,
+        cpu_pairs: &BTreeSet<Pair>,
+    ) -> DegradedResult {
+        let ts = tile_size.max(1);
+
+        // Exact partition and the next carry store, from this frame's
+        // contact stream. Scanned tiles with no contacts drop out of the
+        // carry (their stale pairs are no longer backed by anything).
+        let mut exact: BTreeSet<Pair> = BTreeSet::new();
+        let mut next_carry: BTreeMap<(u32, u32), BTreeSet<Pair>> = BTreeMap::new();
+        for c in contacts {
+            let pair = c.pair();
+            exact.insert(pair);
+            next_carry.entry((c.x / ts, c.y / ts)).or_default().insert(pair);
+        }
+
+        // Stale partition: last frame's pairs for the shed tiles, which
+        // also persist into the next carry (a tile shed twice in a row
+        // keeps carrying its last scanned result).
+        let mut stale: BTreeSet<Pair> = BTreeSet::new();
+        for &tile in shed_tiles {
+            if let Some(pairs) = self.carry.get(&tile) {
+                stale.extend(pairs.iter().copied());
+                next_carry.entry(tile).or_default().extend(pairs.iter().copied());
+            }
+        }
+        self.carry = next_carry;
+
+        let cpu_verified: BTreeSet<Pair> =
+            cpu_pairs.iter().copied().filter(|p| !exact.contains(p)).collect();
+        let stale: BTreeSet<Pair> = stale
+            .into_iter()
+            .filter(|p| !exact.contains(p) && !cpu_verified.contains(p))
+            .collect();
+        self.stale_pairs += stale.len() as u64;
+
+        // Advance the breaker and the offender block-list.
+        self.recent_escalated.push(escalated.clone());
+        if self.recent_escalated.len() > self.breaker.config.window {
+            self.recent_escalated.remove(0);
+        }
+        let state = self.breaker.record(escalated.len() as u64);
+        self.blocked = match state {
+            BreakerState::Open => {
+                self.recent_escalated.iter().flat_map(|s| s.iter().copied()).collect()
+            }
+            // A half-open probe (and a closed breaker) runs unblocked.
+            BreakerState::HalfOpen | BreakerState::Closed => BTreeSet::new(),
+        };
+
+        DegradedResult {
+            exact,
+            cpu_verified,
+            stale,
+            shed_tiles: shed_tiles.to_vec(),
+            used_cycles,
+            budget_cycles,
+            breaker_open: state == BreakerState::Open,
+            breaker_trips: self.breaker.trips(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbcd_math::Rng;
+
+    fn pt(x: u32, y: u32, a: u16, b: u16) -> ContactPoint {
+        ContactPoint { a: ObjectId::new(a), b: ObjectId::new(b), x, y, depth: 100 }
+    }
+
+    #[test]
+    fn breaker_trips_cools_probes_and_closes() {
+        let cfg = BreakerConfig { window: 2, trip_threshold: 10, cooldown_frames: 2 };
+        let mut b = CircuitBreaker::new(cfg);
+        assert_eq!(b.record(4), BreakerState::Closed);
+        assert_eq!(b.record(6), BreakerState::Open, "windowed sum 10 must trip");
+        assert_eq!(b.trips(), 1);
+        assert_eq!(b.record(100), BreakerState::Open, "cooldown 1 of 2");
+        assert_eq!(b.record(100), BreakerState::HalfOpen, "cooldown elapsed");
+        // A stormy probe re-trips; a clean probe closes.
+        assert_eq!(b.record(100), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        b.record(0);
+        b.record(0); // back to HalfOpen
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.record(0), BreakerState::Closed);
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn breaker_is_a_pure_function_of_the_escalation_sequence() {
+        // Property: identical seeded storm sequences produce identical
+        // transition logs — the determinism the 1/2/4-thread pipeline
+        // test relies on, checked here over many random sequences.
+        for seed in 0..32u64 {
+            let cfg = BreakerConfig::default();
+            let mut rng_a = Rng::seed_from_u64(0x60BE_4402 ^ seed);
+            let mut rng_b = Rng::seed_from_u64(0x60BE_4402 ^ seed);
+            let mut a = CircuitBreaker::new(cfg);
+            let mut b = CircuitBreaker::new(cfg);
+            let mut log_a = Vec::new();
+            let mut log_b = Vec::new();
+            for _ in 0..64 {
+                log_a.push(a.record(u64::from(rng_a.next_u32() % 16)));
+                log_b.push(b.record(u64::from(rng_b.next_u32() % 16)));
+            }
+            assert_eq!(log_a, log_b, "seed {seed}");
+            assert_eq!(a.trips(), b.trips(), "seed {seed}");
+            assert!(log_a.contains(&BreakerState::Open), "storm at seed {seed} must trip");
+        }
+    }
+
+    #[test]
+    fn finish_frame_partitions_and_carries_forward() {
+        let mut g = Governor::new(BreakerConfig::default());
+        let escalated = BTreeSet::new();
+
+        // Frame 0: tile (0,0) scans pair (1,2); nothing shed.
+        let r0 = g.finish_frame(16, &[pt(3, 3, 1, 2)], &escalated, &[], 100, 1000, &BTreeSet::new());
+        assert_eq!(r0.exact.len(), 1);
+        assert!(!r0.degraded());
+        assert!(r0.within_budget(0));
+
+        // Frame 1: tile (0,0) shed — its pair comes back stale.
+        let r1 = g.finish_frame(16, &[], &escalated, &[(0, 0)], 100, 1000, &BTreeSet::new());
+        assert!(r1.exact.is_empty());
+        assert_eq!(r1.stale.len(), 1);
+        assert!(r1.stale.contains(&(ObjectId::new(1), ObjectId::new(2))));
+        assert!(r1.degraded());
+        assert_eq!(g.stale_pairs(), 1);
+
+        // Frame 2: shed again — the carry persists across shed frames.
+        let r2 = g.finish_frame(16, &[], &escalated, &[(0, 0)], 100, 1000, &BTreeSet::new());
+        assert_eq!(r2.stale.len(), 1);
+
+        // Frame 3: tile scanned clean — the stale entry is retired.
+        let r3 = g.finish_frame(16, &[], &escalated, &[], 100, 1000, &BTreeSet::new());
+        assert!(r3.stale.is_empty());
+        let r4 = g.finish_frame(16, &[], &escalated, &[(0, 0)], 100, 1000, &BTreeSet::new());
+        assert!(r4.stale.is_empty(), "a clean scan must clear the carry");
+    }
+
+    #[test]
+    fn cpu_pairs_never_double_count_and_blocklist_follows_state() {
+        let cfg = BreakerConfig { window: 1, trip_threshold: 2, cooldown_frames: 1 };
+        let mut g = Governor::new(cfg);
+        let escalated: BTreeSet<ObjectId> = [ObjectId::new(7), ObjectId::new(9)].into();
+        let cpu: BTreeSet<Pair> =
+            [(ObjectId::new(1), ObjectId::new(2)), (ObjectId::new(7), ObjectId::new(9))].into();
+        let r = g.finish_frame(16, &[pt(0, 0, 1, 2)], &escalated, &[], 10, 0, &cpu);
+        // (1,2) is exact; only (7,9) lands in cpu_verified.
+        assert_eq!(r.cpu_verified.len(), 1);
+        assert!(r.breaker_open, "2 escalations with threshold 2 must trip");
+        assert_eq!(g.blocked().len(), 2, "offenders blocked while open");
+        // Cooldown elapses into a half-open probe: block-list lifts.
+        g.finish_frame(16, &[], &BTreeSet::new(), &[], 10, 0, &BTreeSet::new());
+        assert!(g.blocked().is_empty());
+    }
+}

@@ -43,6 +43,7 @@
 mod element;
 mod error;
 pub mod faults;
+pub mod governor;
 mod pair;
 mod parallel;
 mod scan;
@@ -54,6 +55,7 @@ mod zeb;
 pub use element::ZebElement;
 pub use error::RbcdError;
 pub use faults::{FaultLog, FaultPlan};
+pub use governor::{BreakerConfig, BreakerState, CircuitBreaker, DegradedResult, Governor};
 pub use pair::ObjectPair;
 pub use parallel::{TileCollisions, ZebTileWorker};
 pub use scan::{scan_list, scan_list_with, FfStack, ScanOutcome};

@@ -97,6 +97,54 @@ impl ZebTileWorker {
         );
         out
     }
+
+    /// Like [`ZebTileWorker::process_tile`], but with the effective list
+    /// capacity `M` boosted by `boost` doublings — the overload
+    /// governor's scan-coarsening rung. A boosted tile skips the
+    /// base-capacity passes an overflow storm would doom, trading the
+    /// larger one-shot scan for the ladder's repeated rescans. `boost ==
+    /// 0` is exactly `process_tile`.
+    pub fn process_tile_boosted(
+        &mut self,
+        tile: TileCoord,
+        frags: &[CollisionFragment],
+        boost: u8,
+    ) -> TileCollisions {
+        if boost == 0 {
+            return self.process_tile(tile, frags);
+        }
+        let m = self.config.list_capacity.saturating_mul(1usize << (boost.min(24) as usize));
+        let config = RbcdConfig { list_capacity: m, ..self.config };
+        let mut out = TileCollisions::default();
+        out.stats.tiles = 1;
+        self.pending.clear();
+        for frag in frags {
+            let lx = frag.x - tile.x * self.tile_size;
+            let ly = frag.y - tile.y * self.tile_size;
+            let index = ly * self.tile_size + lx;
+            self.pending.push((index, ZebElement::new(frag.z, frag.object, frag.facing)));
+        }
+        let lists = (self.tile_size * self.tile_size) as usize;
+        // The boosted geometry mirrors the ladder's own rescan rung: the
+        // scan stack widens alongside the lists, preserving the
+        // "stack capacity >= list capacity" soundness structure.
+        let mut zeb = Zeb::with_spares(lists, m, self.config.spare_entries)
+            .expect("boosted capacity is positive");
+        let mut stack = FfStack::new(m.max(self.config.ff_stack_capacity))
+            .expect("widened FF-Stack capacity is positive");
+        out.stats.scan_cycles = ladder_zeb_tile(
+            &mut zeb,
+            &mut stack,
+            &config,
+            tile,
+            self.tile_size,
+            &self.pending,
+            &mut out.stats,
+            &mut out.contacts,
+            &mut out.escalated,
+        );
+        out
+    }
 }
 
 impl ParallelCollision for RbcdUnit {
@@ -113,6 +161,15 @@ impl ParallelCollision for RbcdUnit {
         frags: &[CollisionFragment],
     ) -> Self::TileOut {
         worker.process_tile(tile, frags)
+    }
+
+    fn process_boosted_tile(
+        worker: &mut Self::Worker,
+        tile: TileCoord,
+        frags: &[CollisionFragment],
+        boost: u8,
+    ) -> Self::TileOut {
+        worker.process_tile_boosted(tile, frags, boost)
     }
 
     fn next_free(&self) -> u64 {

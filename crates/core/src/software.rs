@@ -74,6 +74,47 @@ impl OracleUnit {
         out
     }
 
+    /// Like [`pairs`](Self::pairs), but sweeping only pixels whose tile
+    /// (at `tile_size`) is *not* in `excluded` — the ground truth for
+    /// "what a lossless detector finds outside the shed tiles". A pair
+    /// visible in both a shed and a non-shed tile still counts, since at
+    /// least one of its overlap pixels survives the exclusion.
+    pub fn pairs_outside_tiles(
+        &self,
+        tile_size: u32,
+        excluded: &BTreeSet<(u32, u32)>,
+    ) -> BTreeSet<(ObjectId, ObjectId)> {
+        let ts = tile_size.max(1);
+        let mut out = BTreeSet::new();
+        let mut open: HashMap<ObjectId, i32> = HashMap::new();
+        for (&(x, y), list) in &self.pixels {
+            if excluded.contains(&(x / ts, y / ts)) {
+                continue;
+            }
+            let mut sorted = list.clone();
+            sorted.sort_by_key(|&(z, id, facing)| (z, facing == Facing::Back, id.get()));
+            open.clear();
+            for &(_, id, facing) in &sorted {
+                match facing {
+                    Facing::Front => {
+                        for (&other, &count) in open.iter() {
+                            if count > 0 && other != id {
+                                let pair = if other < id { (other, id) } else { (id, other) };
+                                out.insert(pair);
+                            }
+                        }
+                        *open.entry(id).or_insert(0) += 1;
+                    }
+                    Facing::Back => {
+                        let c = open.entry(id).or_insert(0);
+                        *c = (*c - 1).max(0);
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Number of pixels holding at least one fragment.
     pub fn covered_pixels(&self) -> usize {
         self.pixels.len()

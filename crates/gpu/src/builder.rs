@@ -9,7 +9,7 @@
 //! configurations with a typed [`GpuConfigError`].
 
 use crate::cache::CacheConfig;
-use crate::config::GpuConfig;
+use crate::config::{GovernorConfig, GpuConfig};
 use crate::sim::Simulator;
 use rbcd_math::Viewport;
 use std::fmt;
@@ -102,6 +102,7 @@ pub struct SimulatorBuilder {
     config: GpuConfig,
     tracing: bool,
     reuse: bool,
+    governor: Option<GovernorConfig>,
 }
 
 impl SimulatorBuilder {
@@ -113,7 +114,7 @@ impl SimulatorBuilder {
     /// Starts from an existing configuration (all setters still apply
     /// on top).
     pub fn from_config(config: GpuConfig) -> Self {
-        Self { config, tracing: false, reuse: false }
+        Self { config, tracing: false, reuse: false, governor: None }
     }
 
     /// Replaces the whole configuration wholesale.
@@ -167,6 +168,14 @@ impl SimulatorBuilder {
     /// [`Simulator::set_reuse`] for the contract.
     pub fn reuse(mut self, enabled: bool) -> Self {
         self.reuse = enabled;
+        self
+    }
+
+    /// Installs an overload governor on the built simulator (equivalent
+    /// to [`Simulator::set_governor`] after construction). See that
+    /// method for which render paths honour which policy rungs.
+    pub fn governor(mut self, config: Option<GovernorConfig>) -> Self {
+        self.governor = config;
         self
     }
 
@@ -239,6 +248,7 @@ impl SimulatorBuilder {
         let mut sim = Simulator::new(self.config);
         sim.set_tracing(self.tracing);
         sim.set_reuse(self.reuse);
+        sim.set_governor(self.governor);
         Ok(sim)
     }
 }

@@ -22,6 +22,53 @@ pub enum HotPathMode {
     Mask,
 }
 
+/// Per-frame overload-governor settings: the frame-deadline watchdog
+/// that keeps the raster/collision timeline inside a simulated-cycle
+/// budget by degrading work instead of blowing the deadline.
+///
+/// The budget governs the *tile merge timeline* — the cycle cursor the
+/// deterministic merge advances per tile (raster + ZEB insert + scan
+/// serialization). Geometry-pipeline cycles and the end-of-frame DRAM
+/// contention drain are outside the governable region: they are charged
+/// before tiles are scheduled / after the last tile retires, so no
+/// per-tile decision can claw them back.
+///
+/// All decisions are taken on the main thread from the binned frame
+/// alone (never from worker scheduling), so a governed run is
+/// bit-identical at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GovernorConfig {
+    /// Per-frame merge-timeline budget in simulated cycles. `0` means
+    /// "no deadline": the ladder's reuse/coarsen/shed rungs stay idle
+    /// and only the blocked-object routing (circuit breaker) applies.
+    pub frame_budget_cycles: u64,
+    /// Minimum binned-primitive count for a tile to be eligible for
+    /// scan coarsening (policy rung 2) when the projected frame cost
+    /// exceeds the budget.
+    pub coarsen_prims: usize,
+    /// Capacity boost applied to coarsened tiles: the collision
+    /// backend's effective list capacity `M` is left-shifted by this
+    /// amount, skipping doomed base-capacity passes under overflow
+    /// storms. `0` disables rung 2.
+    pub coarsen_shift: u8,
+    /// Cycles charged to the merge timeline per shed tile (the Tile
+    /// Scheduler's drop-and-log cost). Kept at `0` by default so the
+    /// budget guarantee stays exact: used cycles never exceed the
+    /// budget by more than one tile's own work.
+    pub shed_overhead_cycles: u64,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        Self {
+            frame_budget_cycles: 0,
+            coarsen_prims: 64,
+            coarsen_shift: 2,
+            shed_overhead_cycles: 0,
+        }
+    }
+}
+
 /// Configuration of the simulated GPU.
 ///
 /// Defaults reproduce the paper's Table 1 ("CPU/GPU Simulation

@@ -64,7 +64,7 @@ pub use collision_unit::{CollisionFragment, CollisionUnit, NullCollisionUnit, Ti
 pub use command::{
     Camera, CullMode, DrawCommand, Facing, FrameTrace, ObjectId, SceneError, ShaderCost,
 };
-pub use config::{GpuConfig, HotPathMode};
+pub use config::{GovernorConfig, GpuConfig, HotPathMode};
 pub use imr::{ImrSimulator, ImrStats};
 pub use parallel::ParallelCollision;
 pub use raster::{
@@ -72,5 +72,5 @@ pub use raster::{
     rasterize_triangle_in_tile_masked_rows, rasterize_triangle_in_tile_masked_sink, Fragment,
     MaskRasterOut, ScreenTriangle,
 };
-pub use sim::{PipelineMode, Simulator};
-pub use stats::{CoherenceStats, FrameStats, GeometryStats, RasterStats};
+pub use sim::{GovernorFrameReport, PipelineMode, Simulator};
+pub use stats::{CoherenceStats, FrameStats, GeometryStats, GovernorStats, RasterStats};

@@ -31,7 +31,7 @@ use crate::collision_unit::{CollisionFragment, NullCollisionUnit, TileCoord};
 use crate::command::FrameTrace;
 use crate::sim::{
     accumulate_reused_tile, accumulate_tile, finalize_raster_timing, replay_tile_cache,
-    PipelineMode, Simulator, TileRasterOut, TileWorker,
+    GovernorFrameReport, PipelineMode, Simulator, TileRasterOut, TileWorker,
 };
 use crate::stats::{CoherenceStats, FrameStats, RasterStats};
 
@@ -68,6 +68,22 @@ pub trait ParallelCollision {
         tile: TileCoord,
         frags: &[CollisionFragment],
     ) -> Self::TileOut;
+
+    /// Like [`ParallelCollision::process_tile`], but carrying the
+    /// overload governor's capacity boost for a coarsened tile (policy
+    /// rung 2): the backend should raise its effective per-list
+    /// capacity by `boost` doublings for this tile only. `boost == 0`
+    /// must behave exactly like `process_tile`. Backends without a
+    /// capacity notion ignore the hint — the default does.
+    fn process_boosted_tile(
+        worker: &mut Self::Worker,
+        tile: TileCoord,
+        frags: &[CollisionFragment],
+        boost: u8,
+    ) -> Self::TileOut {
+        let _ = boost;
+        Self::process_tile(worker, tile, frags)
+    }
 
     /// Earliest cycle at which a ZEB is free — the merge phase's tile
     /// dispatch gate, identical to [`crate::CollisionUnit::next_free`].
@@ -142,7 +158,8 @@ impl Simulator {
     ) -> FrameStats {
         let geometry = self.geometry_pipeline(trace, mode);
         let (raster, coherence) = self.raster_parallel(trace, mode, backend, threads.max(1));
-        let stats = FrameStats { geometry, raster, coherence, frames: 1 };
+        let governor = self.governor_frame_stats();
+        let stats = FrameStats { geometry, raster, coherence, governor, frames: 1 };
         if let Some(t) = self.tracer.as_deref_mut() {
             t.end_frame(stats.total_cycles());
         }
@@ -166,12 +183,24 @@ impl Simulator {
         // computed here on the main thread, *before* the compute phase,
         // so they depend only on the binned frame — never on worker
         // scheduling — and the reuse decision is thread-count invariant
-        // by construction.
-        let reuse_on = self.reuse;
+        // by construction. The overload governor's policy rung 1 forces
+        // the reuse machinery on, so signature-stable tiles replay
+        // cheaply while the frame is under deadline pressure.
+        let gov = self.governor;
+        let reuse_on = self.reuse || gov.is_some();
         if reuse_on {
             coherence::hash_draws(trace, &mut self.draw_hashes);
             co.draw_hashes = self.draw_hashes.len() as u64;
-            let seed = coherence::frame_seed(&cfg, mode, backend.coherence_key());
+            // The blocked-object filter changes what the backend sees,
+            // so the blocked set is folded into the frame seed: cached
+            // results are only replayed under the exact routing that
+            // produced them.
+            let mut key = backend.coherence_key();
+            for id in &self.governor_blocked {
+                key = (key ^ (0x5EDB_10C7 ^ id.get() as u64)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                key ^= key >> 29;
+            }
+            let seed = coherence::frame_seed(&cfg, mode, key);
             self.result_cache.ensure_tiles((cfg.tiles_x() * cfg.tiles_y()) as usize);
             self.reuse_plan.clear();
             for &ti in self.bins.active() {
@@ -184,11 +213,56 @@ impl Simulator {
             }
         }
 
-        let Simulator { bins, worker, tile_cache, tracer, reuse_plan, result_cache, .. } = self;
+        // Coarsening plan (policy rung 2): when the projected frame
+        // cost exceeds the budget, the heaviest fresh tiles get their
+        // collision capacity pre-elevated, skipping base-capacity
+        // passes that an overflow storm would doom anyway. Projection
+        // and selection run on the main thread from the binned frame
+        // alone — thread-count invariant like the reuse plan.
+        self.boost_plan.clear();
+        if let Some(g) = gov {
+            if g.frame_budget_cycles > 0 && g.coarsen_shift > 0 {
+                let mut projected = 0u64;
+                for (k, &ti) in self.bins.active().iter().enumerate() {
+                    let prims = self.bins.tile(ti as usize).len() as u64;
+                    projected += if self.reuse_plan[k].1 {
+                        coherence::signature_check_cycles(prims)
+                    } else {
+                        prims + cfg.tile_overhead_cycles
+                    };
+                }
+                if projected > g.frame_budget_cycles {
+                    self.boost_plan.resize(self.bins.active().len(), 0);
+                    for (k, &ti) in self.bins.active().iter().enumerate() {
+                        if !self.reuse_plan[k].1
+                            && self.bins.tile(ti as usize).len() >= g.coarsen_prims
+                        {
+                            self.boost_plan[k] = g.coarsen_shift;
+                        }
+                    }
+                }
+            }
+        }
+
+        let Simulator {
+            bins,
+            worker,
+            tile_cache,
+            tracer,
+            reuse_plan,
+            result_cache,
+            boost_plan,
+            governor_blocked,
+            governor_report,
+            ..
+        } = self;
         let active = bins.active();
         let coord = |ti: u32| TileCoord { x: ti % tiles_x, y: ti / tiles_x };
         let plan: &[(u64, bool)] = reuse_plan;
         let is_reused = |k: usize| reuse_on && plan[k].1;
+        let boost: &[u8] = boost_plan;
+        let tile_boost = |k: usize| boost.get(k).copied().unwrap_or(0);
+        let blocked: &std::collections::BTreeSet<crate::command::ObjectId> = governor_blocked;
 
         // Compute phase: owned per-tile results, indexed by position in
         // the active list. Tiles the plan marks reused are skipped — no
@@ -202,8 +276,12 @@ impl Simulator {
                     continue;
                 }
                 let tile = coord(ti);
-                let out = worker.process_tile(&cfg, trace, tile, bins.tile(ti as usize), mode);
-                let cout = B::process_tile(&mut cw, tile, &worker.coll_frags);
+                let mut out = worker.process_tile(&cfg, trace, tile, bins.tile(ti as usize), mode);
+                if !blocked.is_empty() {
+                    worker.coll_frags.retain(|f| !blocked.contains(&f.object));
+                    out.coll_frags = worker.coll_frags.len() as u64;
+                }
+                let cout = B::process_boosted_tile(&mut cw, tile, &worker.coll_frags, tile_boost(k));
                 slots.push(Some((out, cout)));
             }
         } else {
@@ -233,14 +311,23 @@ impl Simulator {
                                     }
                                     let tile =
                                         TileCoord { x: ti % tiles_x, y: ti / tiles_x };
-                                    let out = tw.process_tile(
+                                    let mut out = tw.process_tile(
                                         cfg,
                                         trace,
                                         tile,
                                         bins.tile(ti as usize),
                                         mode,
                                     );
-                                    let cout = B::process_tile(&mut cw, tile, &tw.coll_frags);
+                                    if !blocked.is_empty() {
+                                        tw.coll_frags.retain(|f| !blocked.contains(&f.object));
+                                        out.coll_frags = tw.coll_frags.len() as u64;
+                                    }
+                                    let cout = B::process_boosted_tile(
+                                        &mut cw,
+                                        tile,
+                                        &tw.coll_frags,
+                                        tile_boost(k),
+                                    );
                                     done.push((k, out, cout));
                                 }
                                 done
@@ -262,7 +349,16 @@ impl Simulator {
         // Merge phase: tile-index order replays the sequential timeline
         // and the shared tile cache's access sequence exactly. Reused
         // tiles pull their cached outcome instead of a slot; freshly
-        // computed tiles refresh the cache for the next frame.
+        // computed tiles refresh the cache for the next frame. Under a
+        // governor budget, tiles past the deadline are shed (policy
+        // rung 3): their results — computed or cached — are discarded,
+        // their objects reported for CPU recovery.
+        let budget = gov.map_or(0, |g| g.frame_budget_cycles);
+        let shed_overhead = gov.map_or(0, |g| g.shed_overhead_cycles);
+        let mut report = gov
+            .map(|g| GovernorFrameReport { budget_cycles: g.frame_budget_cycles, ..Default::default() });
+        let mut max_tile_cycles = 0u64;
+        let mut coarsened = 0u64;
         let mut cursor: u64 = 0;
         if reuse_on {
             // Per-draw content hashing, charged once per frame up front
@@ -274,12 +370,30 @@ impl Simulator {
         }
         for (k, &ti) in active.iter().enumerate() {
             let ti_us = ti as usize;
+            let tc = coord(ti);
+            if budget > 0 && cursor >= budget {
+                let rep = report.as_mut().expect("a budget implies a governed frame");
+                rep.shed_tiles.push((tc.x, tc.y));
+                for prim in bins.tile(ti_us) {
+                    if let Some(id) = trace.draws[prim.draw as usize].collidable {
+                        rep.shed_objects.insert(id);
+                    }
+                }
+                if is_reused(k) {
+                    // The planned replay never happens.
+                    co.tiles_reused -= 1;
+                }
+                cursor += shed_overhead;
+                if let Some(t) = tracer.as_deref_mut() {
+                    t.record_tile_shed(tc.x, tc.y, cursor);
+                }
+                continue;
+            }
             // The Tile Fetcher still walks the polygon list either way
             // (the signature check reads it), so the shared tile-cache
             // access sequence — and its counters — stay bit-identical
             // with reuse on or off.
             replay_tile_cache(tile_cache, &cfg, ti_us, bins.tile(ti_us));
-            let tc = coord(ti);
             if is_reused(k) {
                 let entry = result_cache.get(ti_us).expect("reuse plan vouched for this tile");
                 let out = entry.out;
@@ -297,27 +411,42 @@ impl Simulator {
                     t.record_tile_raster(tc.x, tc.y, start, end, out.frags);
                     t.record_tile_reuse(tc.x, tc.y, start);
                 }
+                max_tile_cycles = max_tile_cycles.max(end - cursor);
                 cursor = end;
             } else {
                 let (out, cout) = slots[k].take().expect("every claimed tile completed");
+                let b = tile_boost(k);
+                coarsened += (b > 0) as u64;
                 let start = cursor.max(backend.next_free());
                 let mut end = accumulate_tile(&mut r, &cfg, &out, cursor, start);
                 if reuse_on {
                     // The signature was checked (and missed); charge it
-                    // and refresh the cache with the fresh result.
+                    // and refresh the cache with the fresh result. A
+                    // coarsened tile's result is *not* cached: it was
+                    // produced at a boosted capacity the plain
+                    // signature does not encode.
                     let sig_cycles = coherence::signature_check_cycles(out.prim_count);
                     co.signature_cycles += sig_cycles;
                     r.fp_idle_cycles += sig_cycles;
                     end += sig_cycles;
-                    result_cache.store(ti_us, plan[k].0, out, Box::new(cout.clone()));
+                    if b == 0 {
+                        result_cache.store(ti_us, plan[k].0, out, Box::new(cout.clone()));
+                    }
                 }
                 backend.merge_tile(tc, cout, start, end);
                 if let Some(t) = tracer.as_deref_mut() {
                     t.record_tile_raster(tc.x, tc.y, start, end, out.frags);
                 }
+                max_tile_cycles = max_tile_cycles.max(end - cursor);
                 cursor = end;
             }
         }
+        if let Some(rep) = &mut report {
+            rep.used_cycles = cursor;
+            rep.max_tile_cycles = max_tile_cycles;
+            rep.tiles_coarsened = coarsened;
+        }
+        *governor_report = report;
         cursor = cursor.max(backend.idle_at());
         r.tile_cache_loads = tile_cache.stats();
         finalize_raster_timing(&mut r, &cfg, cursor);

@@ -4,14 +4,15 @@ use crate::cache::CacheModel;
 use crate::clip::clip_near;
 use crate::coherence::TileResultCache;
 use crate::collision_unit::{CollisionFragment, CollisionUnit, TileCoord};
-use crate::command::{Facing, FrameTrace};
-use crate::config::{GpuConfig, HotPathMode};
+use crate::command::{Facing, FrameTrace, ObjectId};
+use crate::config::{GovernorConfig, GpuConfig, HotPathMode};
 use crate::raster::{
     rasterize_triangle_in_tile, rasterize_triangle_in_tile_masked_rows, Fragment, ScreenTriangle,
 };
-use crate::stats::{CoherenceStats, FrameStats, GeometryStats, RasterStats};
+use crate::stats::{CoherenceStats, FrameStats, GeometryStats, GovernorStats, RasterStats};
 use rbcd_math::{viewport as viewport_map, Vec3};
 use rbcd_trace::{TileZebRecord, TraceBuffer};
+use std::collections::BTreeSet;
 
 /// Whether the pipeline renders plain (baseline) or with the RBCD
 /// extensions enabled (deferred face culling of collisionable geometry,
@@ -309,6 +310,31 @@ impl TileWorker {
     }
 }
 
+/// What the overload governor did to one rendered frame. Taken with
+/// [`Simulator::take_governor_report`] after a governed `render_frame*`
+/// call; `None` when no [`GovernorConfig`] is set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GovernorFrameReport {
+    /// The merge-timeline budget in force (0 = no deadline).
+    pub budget_cycles: u64,
+    /// Merge-timeline cycles actually consumed (before the end-of-frame
+    /// scan drain and DRAM-contention terms, which are outside the
+    /// governable region).
+    pub used_cycles: u64,
+    /// Largest single-tile contribution to the timeline this frame —
+    /// the bound on how far `used_cycles` may legitimately overshoot
+    /// `budget_cycles` (the tile that was already dispatched when the
+    /// budget ran out finishes).
+    pub max_tile_cycles: u64,
+    /// Tiles whose scan was coarsened (policy rung 2).
+    pub tiles_coarsened: u64,
+    /// Tiles shed from the frame (policy rung 3), in merge order.
+    pub shed_tiles: Vec<(u32, u32)>,
+    /// Distinct collidable objects binned into at least one shed tile —
+    /// the set the host must route to the CPU detector to stay sound.
+    pub shed_objects: BTreeSet<ObjectId>,
+}
+
 /// The GPU simulator. Owns the cache models, which stay warm across
 /// frames; statistics are reported per rendered frame.
 #[derive(Debug)]
@@ -333,6 +359,19 @@ pub struct Simulator {
     pub(crate) reuse_plan: Vec<(u64, bool)>,
     /// Cross-frame per-tile result cache (signature + cached outcome).
     pub(crate) result_cache: TileResultCache,
+    /// Overload-governor knob (`None`, the default, keeps every output
+    /// bit-identical to an ungoverned simulator).
+    pub(crate) governor: Option<GovernorConfig>,
+    /// Objects the circuit breaker routes straight to the CPU this
+    /// frame: their fragments are filtered out before the collision
+    /// backend sees them. Set per frame on the main thread, so the
+    /// filtering is thread-count invariant.
+    pub(crate) governor_blocked: BTreeSet<ObjectId>,
+    /// Per-tile coarsening plan of the current frame (scratch, reused):
+    /// capacity boost per *active-list position*, empty when ungoverned.
+    pub(crate) boost_plan: Vec<u8>,
+    /// The last governed frame's report, taken by the host.
+    pub(crate) governor_report: Option<GovernorFrameReport>,
 }
 
 const RECORD_BASE: u64 = 1 << 40;
@@ -447,6 +486,10 @@ impl Simulator {
             draw_hashes: Vec::new(),
             reuse_plan: Vec::new(),
             result_cache: TileResultCache::default(),
+            governor: None,
+            governor_blocked: BTreeSet::new(),
+            boost_plan: Vec::new(),
+            governor_report: None,
             config,
         }
     }
@@ -506,6 +549,72 @@ impl Simulator {
         self.reuse
     }
 
+    /// Installs (or removes) the overload governor. With `None` (the
+    /// default) every output is bit-identical to an ungoverned
+    /// simulator. With a configuration installed:
+    ///
+    /// * [`Simulator::render_frame_parallel`] walks the full policy
+    ///   ladder — forced temporal reuse for signature-stable tiles,
+    ///   scan coarsening on the heaviest tiles when the projected frame
+    ///   cost exceeds the budget, and tile shedding once the merge
+    ///   timeline crosses it;
+    /// * the sequential [`Simulator::render_frame`] applies only the
+    ///   shed rung and the blocked-object routing (its `dyn` unit
+    ///   protocol has no reuse capsule or coarsening hook);
+    /// * each frame leaves a [`GovernorFrameReport`] for
+    ///   [`Simulator::take_governor_report`].
+    ///
+    /// Every decision is taken on the main thread from the binned frame
+    /// alone, so governed runs stay bit-identical at any thread count.
+    pub fn set_governor(&mut self, governor: Option<GovernorConfig>) {
+        self.governor = governor;
+    }
+
+    /// The installed overload-governor configuration, if any.
+    pub fn governor(&self) -> Option<&GovernorConfig> {
+        self.governor.as_ref()
+    }
+
+    /// Replaces the set of objects the circuit breaker routes straight
+    /// to the CPU detector: their fragments are filtered out before the
+    /// collision backend sees them (the GPU still rasterizes them — the
+    /// image is unaffected — but the ZEB never ingests their
+    /// fragments). Call once per frame, before `render_frame*`; the set
+    /// persists until replaced. An empty set (the default) disables the
+    /// filter entirely.
+    pub fn set_governor_blocked(&mut self, blocked: BTreeSet<ObjectId>) {
+        self.governor_blocked = blocked;
+    }
+
+    /// Objects currently routed past the collision backend.
+    pub fn governor_blocked(&self) -> &BTreeSet<ObjectId> {
+        &self.governor_blocked
+    }
+
+    /// Takes the last governed frame's report (`None` when the last
+    /// `render_frame*` call ran ungoverned, or the report was already
+    /// taken).
+    pub fn take_governor_report(&mut self) -> Option<GovernorFrameReport> {
+        self.governor_report.take()
+    }
+
+    /// Folds the pending frame report into per-frame governor counters.
+    /// `breaker_trips` and `stale_pairs` stay zero here: they belong to
+    /// the host-side governor, which owns the cross-frame breaker and
+    /// the stale-pair carry.
+    pub(crate) fn governor_frame_stats(&self) -> GovernorStats {
+        match &self.governor_report {
+            Some(rep) => GovernorStats {
+                breaker_trips: 0,
+                budget_cycles: rep.budget_cycles,
+                stale_pairs: 0,
+                tiles_coarsened: rep.tiles_coarsened,
+                tiles_shed: rep.shed_tiles.len() as u64,
+            },
+            None => GovernorStats::default(),
+        }
+    }
+
     /// The recorded trace so far, if tracing is enabled.
     pub fn trace(&self) -> Option<&TraceBuffer> {
         self.tracer.as_deref()
@@ -543,7 +652,14 @@ impl Simulator {
     ) -> FrameStats {
         let geometry = self.geometry_pipeline(trace, mode);
         let raster = self.raster_pipeline(trace, mode, unit);
-        let stats = FrameStats { geometry, raster, coherence: CoherenceStats::default(), frames: 1 };
+        let governor = self.governor_frame_stats();
+        let stats = FrameStats {
+            geometry,
+            raster,
+            coherence: CoherenceStats::default(),
+            governor,
+            frames: 1,
+        };
         if let Some(t) = self.tracer.as_deref_mut() {
             t.end_frame(stats.total_cycles());
         }
@@ -748,7 +864,14 @@ impl Simulator {
         let mut r = RasterStats::default();
         self.tile_cache.reset_stats();
         let tiles_x = cfg.tiles_x();
-        let Simulator { bins, worker, tile_cache, tracer, .. } = self;
+        let gov = self.governor;
+        let budget = gov.map_or(0, |g| g.frame_budget_cycles);
+        let shed_overhead = gov.map_or(0, |g| g.shed_overhead_cycles);
+        let Simulator { bins, worker, tile_cache, tracer, governor_blocked, governor_report, .. } =
+            self;
+        let mut report = gov
+            .map(|g| GovernorFrameReport { budget_cycles: g.frame_budget_cycles, ..Default::default() });
+        let mut max_tile_cycles = 0u64;
 
         let mut cursor: u64 = 0; // rasterizer timeline, cycles
         for &ti in bins.active() {
@@ -756,7 +879,31 @@ impl Simulator {
             let prims = bins.tile(ti);
             let tile = TileCoord { x: ti as u32 % tiles_x, y: ti as u32 / tiles_x };
 
-            let out = worker.process_tile(&cfg, trace, tile, prims, mode);
+            // Policy rung 3: once the merge timeline crosses the
+            // budget, every remaining tile is shed — its collision work
+            // dropped and its objects reported for CPU recovery.
+            if budget > 0 && cursor >= budget {
+                let rep = report.as_mut().expect("a budget implies a governed frame");
+                rep.shed_tiles.push((tile.x, tile.y));
+                for prim in prims {
+                    if let Some(id) = trace.draws[prim.draw as usize].collidable {
+                        rep.shed_objects.insert(id);
+                    }
+                }
+                cursor += shed_overhead;
+                if let Some(t) = tracer.as_deref_mut() {
+                    t.record_tile_shed(tile.x, tile.y, cursor);
+                }
+                continue;
+            }
+
+            let mut out = worker.process_tile(&cfg, trace, tile, prims, mode);
+            if !governor_blocked.is_empty() {
+                // Circuit-breaker routing: blocked objects' fragments
+                // never reach the collision backend.
+                worker.coll_frags.retain(|f| !governor_blocked.contains(&f.object));
+                out.coll_frags = worker.coll_frags.len() as u64;
+            }
             replay_tile_cache(tile_cache, &cfg, ti, prims);
 
             // Wait for a free ZEB (no-op for the null unit / baseline).
@@ -768,8 +915,14 @@ impl Simulator {
             if let Some(t) = tracer.as_deref_mut() {
                 t.record_tile_raster(tile.x, tile.y, start, end, out.frags);
             }
+            max_tile_cycles = max_tile_cycles.max(end - cursor);
             cursor = end;
         }
+        if let Some(rep) = &mut report {
+            rep.used_cycles = cursor;
+            rep.max_tile_cycles = max_tile_cycles;
+        }
+        *governor_report = report;
         // The frame is complete once the last Z-overlap scan drains.
         cursor = cursor.max(unit.idle_at());
         r.tile_cache_loads = tile_cache.stats();

@@ -95,6 +95,34 @@ pub struct CoherenceStats {
     pub tiles_reused: u64,
 }
 
+/// Overload-governor counters for one or more frames. All five stay
+/// zero when the governor is disabled (the default), so the counter
+/// registry keeps the same shape either way — the same convention as
+/// [`CoherenceStats`].
+///
+/// Like the mask-only raster diagnostics of PR 5, these are
+/// *accounting* counters, not hardware events: the energy model never
+/// reads them.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GovernorStats {
+    /// Circuit-breaker trips observed by the host-side governor.
+    /// Filled by the harness that owns the [`rbcd_core`-side] breaker,
+    /// not by the simulator (which has no cross-frame escalation view).
+    pub breaker_trips: u64,
+    /// The per-frame merge-timeline budget in force (summed across
+    /// accumulated frames; zero when no deadline was set).
+    pub budget_cycles: u64,
+    /// Stale pairs carried forward for shed tiles. Filled by the
+    /// host-side governor alongside `breaker_trips`.
+    pub stale_pairs: u64,
+    /// Tiles whose scan was coarsened (effective `M` raised) by policy
+    /// rung 2.
+    pub tiles_coarsened: u64,
+    /// Tiles shed from the frame by policy rung 3 (their collision work
+    /// was dropped and routed to the CPU detector).
+    pub tiles_shed: u64,
+}
+
 /// Combined per-frame (or accumulated) statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FrameStats {
@@ -104,6 +132,8 @@ pub struct FrameStats {
     pub raster: RasterStats,
     /// Temporal-coherence layer counters (all zero when reuse is off).
     pub coherence: CoherenceStats,
+    /// Overload-governor counters (all zero when the governor is off).
+    pub governor: GovernorStats,
     /// Frames accumulated into this record.
     pub frames: u64,
 }
@@ -159,6 +189,14 @@ impl FrameStats {
         c.tiles_checked += o.tiles_checked;
         c.tiles_reused += o.tiles_reused;
 
+        let v = &mut self.governor;
+        let o = &other.governor;
+        v.breaker_trips += o.breaker_trips;
+        v.budget_cycles += o.budget_cycles;
+        v.stale_pairs += o.stale_pairs;
+        v.tiles_coarsened += o.tiles_coarsened;
+        v.tiles_shed += o.tiles_shed;
+
         self.frames += other.frames;
     }
 
@@ -171,6 +209,7 @@ impl FrameStats {
         let g = &self.geometry;
         let r = &self.raster;
         let c = &self.coherence;
+        let v = &self.governor;
         [
             ("coherence.draw_hashes", c.draw_hashes),
             ("coherence.signature_cycles", c.signature_cycles),
@@ -192,6 +231,11 @@ impl FrameStats {
             ("geometry.vertex_cache_misses", g.vertex_cache.misses()),
             ("geometry.vp_busy_cycles", g.vp_busy_cycles),
             ("geometry.cycles", g.cycles),
+            ("governor.breaker_trips", v.breaker_trips),
+            ("governor.budget_cycles", v.budget_cycles),
+            ("governor.stale_pairs", v.stale_pairs),
+            ("governor.tiles_coarsened", v.tiles_coarsened),
+            ("governor.tiles_shed", v.tiles_shed),
             ("raster.tiles_processed", r.tiles_processed),
             ("raster.primitives_fetched", r.primitives_fetched),
             ("raster.tile_cache_load_accesses", r.tile_cache_loads.accesses()),

@@ -175,6 +175,21 @@ impl TraceBuffer {
         self.heat.add_reuse(x, y);
     }
 
+    /// Records an overload-governor shed of tile (`x`, `y`): an instant
+    /// marker at the cycle the Tile Scheduler dropped it plus the
+    /// per-tile shed heat plane. `at` is a raster-timeline cycle.
+    pub fn record_tile_shed(&mut self, x: u32, y: u32, at: u64) {
+        self.events.push(TraceEvent {
+            name: "tile.shed",
+            cat: "governor",
+            ts: self.raster_base + at,
+            tid: LANE_MARKS,
+            kind: EventKind::Instant,
+            args: vec![("x", x as u64), ("y", y as u64)],
+        });
+        self.heat.add_shed(x, y);
+    }
+
     /// Folds one tile's RBCD-unit observations into the trace: insert
     /// and scan spans, overflow / ladder-rung markers, cumulative
     /// counter samples, and the per-tile heat grid.
@@ -396,6 +411,20 @@ mod tests {
         assert_eq!(e.ts, 107);
         assert_eq!(e.kind, EventKind::Instant);
         assert_eq!(t.heat().total("reuse"), 1);
+    }
+
+    #[test]
+    fn tile_shed_marks_timeline_and_heat() {
+        let mut t = TraceBuffer::new(2, 2);
+        t.begin_frame();
+        t.geometry_done(50);
+        t.record_tile_shed(0, 1, 9);
+        t.end_frame(200);
+        let e = t.events().iter().find(|e| e.name == "tile.shed").unwrap();
+        assert_eq!(e.ts, 59);
+        assert_eq!(e.cat, "governor");
+        assert_eq!(e.kind, EventKind::Instant);
+        assert_eq!(t.heat().total("shed"), 1);
     }
 
     #[test]

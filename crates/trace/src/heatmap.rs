@@ -5,14 +5,15 @@ use crate::event::TileZebRecord;
 /// The metrics a [`HeatGrid`] accumulates, in export order. Each name
 /// is a valid argument to [`HeatGrid::csv`] / [`HeatGrid::total`] and
 /// becomes one CSV file per `repro --trace` run.
-pub const HEATMAP_METRICS: [&str; 7] =
-    ["occupancy", "overflows", "scan_cycles", "pairs", "rung", "reuse", "scan_skipped"];
+pub const HEATMAP_METRICS: [&str; 8] =
+    ["occupancy", "overflows", "scan_cycles", "pairs", "rung", "reuse", "scan_skipped", "shed"];
 
 /// A `tiles_x` × `tiles_y` grid of per-tile accumulators, folded over
 /// every [`TileZebRecord`] the trace sees (all frames summed; `rung`
 /// keeps the worst rung a tile ever hit). The `reuse` plane counts
 /// temporal-coherence replays per tile and is fed separately via
-/// [`HeatGrid::add_reuse`].
+/// [`HeatGrid::add_reuse`]; the `shed` plane counts overload-governor
+/// tile drops, fed via [`HeatGrid::add_shed`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HeatGrid {
     tiles_x: u32,
@@ -24,6 +25,7 @@ pub struct HeatGrid {
     rung: Vec<u64>,
     reuse: Vec<u64>,
     scan_skipped: Vec<u64>,
+    shed: Vec<u64>,
 }
 
 impl HeatGrid {
@@ -40,6 +42,7 @@ impl HeatGrid {
             rung: vec![0; n],
             reuse: vec![0; n],
             scan_skipped: vec![0; n],
+            shed: vec![0; n],
         }
     }
 
@@ -78,6 +81,15 @@ impl HeatGrid {
         self.reuse[y as usize * self.tiles_x as usize + x as usize] += 1;
     }
 
+    /// Counts one overload-governor shed of tile (`x`, `y`). Out-of-grid
+    /// coordinates are ignored, matching [`HeatGrid::add_tile`].
+    pub fn add_shed(&mut self, x: u32, y: u32) {
+        if x >= self.tiles_x || y >= self.tiles_y {
+            return;
+        }
+        self.shed[y as usize * self.tiles_x as usize + x as usize] += 1;
+    }
+
     fn cells(&self, metric: &str) -> Option<&[u64]> {
         match metric {
             "occupancy" => Some(&self.occupancy),
@@ -87,6 +99,7 @@ impl HeatGrid {
             "rung" => Some(&self.rung),
             "reuse" => Some(&self.reuse),
             "scan_skipped" => Some(&self.scan_skipped),
+            "shed" => Some(&self.shed),
             _ => None,
         }
     }
@@ -164,6 +177,16 @@ mod tests {
         g.add_reuse(7, 7); // ignored, out of grid
         assert_eq!(g.total("reuse"), 3);
         assert_eq!(g.csv("reuse").unwrap(), "1,0\n0,2\n");
+    }
+
+    #[test]
+    fn shed_plane_counts_governor_drops() {
+        let mut g = HeatGrid::new(2, 2);
+        g.add_shed(0, 1);
+        g.add_shed(0, 1);
+        g.add_shed(9, 0); // ignored, out of grid
+        assert_eq!(g.total("shed"), 2);
+        assert_eq!(g.csv("shed").unwrap(), "0,0\n2,0\n");
     }
 
     #[test]

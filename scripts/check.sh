@@ -10,7 +10,11 @@
 # BENCH_fault_tolerance.json. The temporal smoke renders static clips
 # with tile reuse off vs on and fails unless results are bit-identical
 # and the cache actually replayed tiles
-# (BENCH_temporal_coherence.json).
+# (BENCH_temporal_coherence.json). The overload smoke sweeps the
+# frame-deadline governor down to a 25% cycle budget under the storm
+# fault plan (repro exits non-zero on any budget violation or silent
+# oracle miss) and re-runs it at 1/2/4 threads, requiring byte-identical
+# BENCH_overload.json artifacts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,7 +41,7 @@ echo "== trace smoke (repro --smoke --frames 2 --trace) =="
 trace_dir=$(mktemp -d)
 trap 'rm -rf "$trace_dir"' EXIT
 ./target/release/repro --smoke --frames 2 --trace "$trace_dir/trace.json"
-for f in trace.json trace.occupancy.csv trace.overflows.csv trace.scan_cycles.csv trace.pairs.csv trace.rung.csv trace.reuse.csv trace.scan_skipped.csv; do
+for f in trace.json trace.occupancy.csv trace.overflows.csv trace.scan_cycles.csv trace.pairs.csv trace.rung.csv trace.reuse.csv trace.scan_skipped.csv trace.shed.csv; do
   [ -s "$trace_dir/$f" ] || { echo "trace smoke: missing or empty $f"; exit 1; }
 done
 grep -q '"traceEvents"' "$trace_dir/trace.json" || { echo "trace smoke: no traceEvents key"; exit 1; }
@@ -70,5 +74,26 @@ geo=$(sed -n 's/.*"speedup_geomean": \([0-9.]*\).*/\1/p' BENCH_raster_hotpath.js
 [ -n "$geo" ] || { echo "hotpath smoke: no speedup_geomean in JSON"; exit 1; }
 awk -v g="$geo" 'BEGIN { exit (g >= 1.0) ? 0 : 1 }' \
   || { echo "hotpath smoke: mask path slower than reference (geomean ${geo}x)"; exit 1; }
+
+echo "== overload governor smoke (repro --smoke overload) =="
+# Sweeps the frame-deadline governor over 100/75/50/25 % cycle budgets
+# under the storm fault plan; repro itself exits non-zero on any budget
+# violation (a frame overshooting its budget by more than one tile's
+# slack) or any silent oracle miss (an unrouted non-shed pair absent
+# from the exact partition). On top of that, the governed sweep must be
+# deterministic: 1, 2, and 4 worker threads must land byte-identical
+# artifacts.
+./target/release/repro --smoke overload --threads 1
+[ -s BENCH_overload.json ] || { echo "overload smoke: missing BENCH_overload.json"; exit 1; }
+grep -q '"budget_violations": 0' BENCH_overload.json \
+  || { echo "overload smoke: a frame blew its cycle budget"; exit 1; }
+grep -q '"oracle_misses": 0' BENCH_overload.json \
+  || { echo "overload smoke: silent oracle misses in the exact partition"; exit 1; }
+cp BENCH_overload.json "$trace_dir/overload.1.json"
+for t in 2 4; do
+  ./target/release/repro --smoke overload --threads "$t"
+  cmp -s "$trace_dir/overload.1.json" BENCH_overload.json \
+    || { echo "overload smoke: governed sweep diverged at $t threads"; exit 1; }
+done
 
 echo "OK: lint + build + tests + smokes all passed"
