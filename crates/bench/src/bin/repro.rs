@@ -32,7 +32,11 @@
 //! intra-tile hot path for every experiment (mask is the default; the
 //! two are bit-identical in every result, differing only in host
 //! wall-clock), `--smoke` shrinks every experiment to a quick
-//! configuration and defaults the experiment list to `bench temporal`.
+//! configuration and defaults the experiment list to `bench temporal`,
+//! and `--scene <alias>` restricts multi-scene experiments to one
+//! workload. All flags parse through the shared option table in
+//! `rbcd_bench::cli`; an unknown flag or missing value exits with
+//! status 2.
 //!
 //! `--trace <out.json>` runs the trace experiment: render the `cap`
 //! workload with the deterministic instrumentation layer enabled and
@@ -60,15 +64,25 @@
 //! cpu-verified / stale partitions) engaged. Writes
 //! `BENCH_overload.json`; exits non-zero on any budget violation or
 //! silent oracle miss.
+//!
+//! `serve` runs the multi-session scheduler experiment (opt-in): admit
+//! eight staggered sessions — every workload scene with a mix of
+//! reuse, storm-fault, and governed-budget policies — to one
+//! `rbcd_core::sched::Scheduler` and serve them over a shared worker
+//! pool at 1/2/4 workers, plus deliberate over-capacity and empty-clip
+//! submissions to exercise typed rejection. Byte-compares every
+//! session's artifact against its solo run, checks the admission
+//! ledger, and reports latency percentiles, throughput, per-session
+//! counters, and scheduler overhead. Writes `BENCH_multi_session.json`;
+//! exits non-zero on any cross-session interference or ledger leak.
 
+use rbcd_bench::cli::{self, UsageError};
 use rbcd_bench::report::{fmt_norm, fmt_pct, fmt_x, Table, TableError};
 use rbcd_bench::{
     accuracy, geomean, run_frames_parallel, run_gpu_traced, run_suite, RunOptions, SuiteResult,
 };
-use rbcd_core::faults::PRESETS;
 use rbcd_core::{FaultPlan, RbcdConfig};
 use rbcd_gpu::GpuConfig;
-use rbcd_math::Viewport;
 use std::time::Instant;
 
 struct PaperRef {
@@ -77,23 +91,6 @@ struct PaperRef {
     note: &'static str,
 }
 
-/// A malformed command line: which flag failed and what it needed.
-/// Distinguished from experiment failures so `main` can exit with the
-/// conventional usage code (2) instead of the generic failure code (1).
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct UsageError {
-    flag: &'static str,
-    expected: String,
-}
-
-impl std::fmt::Display for UsageError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} needs {}", self.flag, self.expected)
-    }
-}
-
-impl std::error::Error for UsageError {}
-
 fn main() {
     if let Err(e) = run() {
         eprintln!("repro: {e}");
@@ -101,75 +98,15 @@ fn main() {
     }
 }
 
-/// Pops `flag`'s value from `args`, parsed via `parse`; `expected`
-/// names the accepted shape for the error message.
-fn take_flag<T>(
-    args: &mut Vec<String>,
-    pos: usize,
-    flag: &'static str,
-    expected: &str,
-    parse: impl Fn(&str) -> Option<T>,
-) -> Result<T, UsageError> {
-    let v = args
-        .get(pos + 1)
-        .and_then(|s| parse(s))
-        .ok_or_else(|| UsageError { flag, expected: expected.to_string() })?;
-    args.drain(pos..=pos + 1);
-    Ok(v)
-}
-
 fn run() -> Result<(), Box<dyn std::error::Error>> {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut frames: Option<usize> = None;
-    if let Some(pos) = args.iter().position(|a| a == "--frames") {
-        frames = Some(take_flag(&mut args, pos, "--frames", "a frame count", |s| s.parse().ok())?);
-    }
-    let mut threads = 1usize;
-    if let Some(pos) = args.iter().position(|a| a == "--threads") {
-        threads = take_flag(&mut args, pos, "--threads", "a thread count", |s| s.parse().ok())?;
-    }
-    let mut smoke = false;
-    if let Some(pos) = args.iter().position(|a| a == "--smoke") {
-        smoke = true;
-        args.remove(pos);
-    }
-    let mut reuse = true;
-    if let Some(pos) = args.iter().position(|a| a == "--no-reuse") {
-        reuse = false;
-        args.remove(pos);
-    }
-    let mut hot_path = rbcd_gpu::HotPathMode::Mask;
-    if let Some(pos) = args.iter().position(|a| a == "--hot-path") {
-        hot_path = take_flag(&mut args, pos, "--hot-path", "a mode (mask|reference)", |s| {
-            match s {
-                "mask" => Some(rbcd_gpu::HotPathMode::Mask),
-                "reference" => Some(rbcd_gpu::HotPathMode::Reference),
-                _ => None,
-            }
-        })?;
-    }
-    let mut trace_path: Option<String> = None;
-    if let Some(pos) = args.iter().position(|a| a == "--trace") {
-        trace_path = Some(take_flag(
-            &mut args,
-            pos,
-            "--trace",
-            "an output path (e.g. trace.json)",
-            |s| Some(s.to_string()),
-        )?);
-    }
-    let mut fault_plan: Option<String> = None;
-    if let Some(pos) = args.iter().position(|a| a == "--faults") {
-        fault_plan = Some(take_flag(
-            &mut args,
-            pos,
-            "--faults",
-            &format!("a plan name (one of: {})", PRESETS.join(", ")),
-            |s| FaultPlan::preset(s, 0).map(|_| s.to_string()),
-        )?);
-    }
-    let wanted: Vec<String> = if args.is_empty() {
-        if fault_plan.is_some() || trace_path.is_some() {
+    // All flags go through the shared option table (`rbcd_bench::cli`),
+    // so `--threads`, `--scene`, `--hot-path`, `--no-reuse`, … parse
+    // identically for every experiment.
+    let parsed = cli::parse_args(std::env::args().skip(1).collect())?;
+    let smoke = parsed.smoke;
+    let threads = parsed.threads;
+    let wanted: Vec<String> = if parsed.rest.is_empty() {
+        if parsed.faults.is_some() || parsed.trace.is_some() {
             Vec::new() // --faults / --trace alone run just that experiment
         } else if smoke {
             vec!["bench".into(), "temporal".into()]
@@ -177,30 +114,23 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             vec!["all".into()]
         }
     } else {
-        args
+        parsed.rest.clone()
     };
     let want = |id: &str| wanted.iter().any(|w| w == id || w == "all");
 
-    let mut opts = RunOptions { frames, threads, reuse, ..RunOptions::default() };
-    if smoke {
-        opts.frames = Some(opts.frames.unwrap_or(2).min(2));
-        opts.gpu = GpuConfig { viewport: Viewport::new(320, 200), ..GpuConfig::default() };
-        opts.m_sweep = vec![4, 8];
-        opts.zeb_counts = vec![1, 2];
-    }
-    opts.gpu.hot_path = hot_path;
+    let opts = parsed.run_options();
 
     // `--trace` is opt-in (not part of `all`): it re-renders one
     // workload with the instrumentation layer on and exports the
     // simulated-cycle timeline instead of reproducing a figure.
-    if let Some(path) = &trace_path {
+    if let Some(path) = &parsed.trace {
         run_trace_experiment(path, &opts)?;
     }
 
     // `--faults` is opt-in (not part of `all`): it renders every frame
     // twice (ladder + oracle) and measures robustness, not the paper's
     // figures.
-    if let Some(plan) = &fault_plan {
+    if let Some(plan) = &parsed.faults {
         run_fault_experiment(plan, &opts, smoke)?;
     }
 
@@ -222,6 +152,13 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     // baseline pass and a lossless oracle pass.
     if wanted.iter().any(|w| w == "overload") {
         run_overload_experiment(&opts, smoke)?;
+    }
+
+    // `serve` is opt-in for the same reason as `bench`: it measures
+    // multi-session service throughput/latency and scheduler overhead
+    // on the host clock, enforcing the per-session determinism contract.
+    if wanted.iter().any(|w| w == "serve") {
+        rbcd_bench::serve::run_serve_experiment(&parsed)?;
     }
 
     if want("temporal") {
@@ -265,7 +202,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
     eprintln!("running the benchmark suite (this simulates every frame three+ times)...");
     let t0 = Instant::now();
-    let scenes = rbcd_workloads::suite();
+    let scenes = cli::filter_scenes(rbcd_workloads::suite(), parsed.scene.as_deref())?;
     let suite = run_suite(&scenes, &opts);
     eprintln!("suite simulated in {:.1?} of host time", t0.elapsed());
     let (checked, reused) = suite.benchmarks.iter().fold((0u64, 0u64), |acc, b| {

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod cli;
 pub mod faults;
 pub mod hybrid;
 pub mod metrics;
@@ -16,6 +17,7 @@ pub mod overload;
 pub mod report;
 pub mod runner;
 pub mod schema;
+pub mod serve;
 
 pub use metrics::{geomean, BenchmarkResult, CdComparison, SuiteResult};
 pub use runner::{

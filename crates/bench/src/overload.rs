@@ -186,8 +186,10 @@ pub fn run_overload(
 /// plus a governor with the given per-frame budget.
 fn governed_sim(opts: &RunOptions, budget: u64) -> Simulator {
     SimulatorBuilder::from_config(opts.gpu.clone())
-        .reuse(opts.reuse)
-        .governor(Some(GovernorConfig { frame_budget_cycles: budget, ..GovernorConfig::default() }))
+        .policy(opts.frame_policy().with_governor(Some(GovernorConfig {
+            frame_budget_cycles: budget,
+            ..GovernorConfig::default()
+        })))
         .build()
         .expect("benchmark GPU configurations are validated at construction")
 }
@@ -408,7 +410,7 @@ mod tests {
         };
         let run = |threads: usize| {
             let mut sim = SimulatorBuilder::from_config(o.gpu.clone())
-                .governor(Some(gov))
+                .policy(rbcd_gpu::FramePolicy::new().with_governor(Some(gov)))
                 .build()
                 .unwrap();
             let mut u = unit();

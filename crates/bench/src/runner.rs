@@ -5,7 +5,9 @@ use crate::metrics::{CpuRun, GpuRun};
 use rbcd_core::{ObjectPair, RbcdConfig, RbcdUnit};
 use rbcd_cpu_cd::{CdBody, Cost, CpuCollisionDetector, CpuConfig, Phase};
 use rbcd_gpu::energy::EnergyModel;
-use rbcd_gpu::{FrameStats, GpuConfig, NullCollisionUnit, PipelineMode, SimulatorBuilder};
+use rbcd_gpu::{
+    FramePolicy, FrameStats, GpuConfig, NullCollisionUnit, PipelineMode, SimulatorBuilder,
+};
 use rbcd_trace::TraceBuffer;
 use rbcd_workloads::Scene;
 use std::collections::BTreeSet;
@@ -60,6 +62,19 @@ impl Default for RunOptions {
     }
 }
 
+impl RunOptions {
+    /// These options' execution knobs as one [`FramePolicy`] — the form
+    /// `SimulatorBuilder::policy` and the session API consume. The hot
+    /// path is left to the [`GpuConfig`] (`self.gpu.hot_path`), which
+    /// the builder already honours.
+    pub fn frame_policy(&self) -> FramePolicy {
+        FramePolicy::new()
+            .with_workers(self.threads)
+            .with_reuse(self.reuse)
+            .with_governor(self.governor)
+    }
+}
+
 /// Renders `frames` of `scene` on a fresh simulator in the given mode;
 /// `rbcd` attaches a unit with that configuration.
 pub fn run_gpu(
@@ -94,9 +109,7 @@ fn run_gpu_inner(
     traced: bool,
 ) -> (GpuRun, Option<TraceBuffer>) {
     let mut sim = SimulatorBuilder::from_config(opts.gpu.clone())
-        .tracing(traced)
-        .reuse(opts.reuse)
-        .governor(opts.governor)
+        .policy(opts.frame_policy().with_tracing(traced))
         .build()
         .expect("benchmark GPU configurations are validated at construction");
     let mut total = FrameStats::default();

@@ -7,7 +7,7 @@
 //! Callers render the header with [`header`] (or
 //! [`header_with_governor`] when the run actually degraded), append
 //! their experiment-specific fields, and land the document through
-//! [`write`], which re-parses it with the crate's own JSON parser and
+//! [`write()`], which re-parses it with the crate's own JSON parser and
 //! checks the shared fields before anything reaches disk.
 
 use rbcd_trace::json::{self, Value};
@@ -21,7 +21,7 @@ use std::fmt;
 pub const SCHEMA_VERSION: u64 = 2;
 
 /// A document rejected by [`validate`] or a landing failed in
-/// [`write`], naming exactly what went wrong.
+/// [`write()`], naming exactly what went wrong.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SchemaError {
     /// The document does not re-parse with the crate's own JSON parser.

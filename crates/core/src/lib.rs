@@ -47,6 +47,7 @@ pub mod governor;
 mod pair;
 mod parallel;
 mod scan;
+pub mod sched;
 pub mod software;
 mod stats;
 mod unit;

@@ -36,7 +36,7 @@ pub struct ZebTileWorker {
 }
 
 /// Owned per-tile collision results, merged in tile order by
-/// [`RbcdUnit::merge_scanned_tile`].
+/// `RbcdUnit::merge_scanned_tile`.
 #[derive(Debug, Clone, Default)]
 pub struct TileCollisions {
     /// Contacts in occupancy (insertion-touch) order — the order the

@@ -10,6 +10,7 @@
 
 use crate::cache::CacheConfig;
 use crate::config::{GovernorConfig, GpuConfig};
+use crate::policy::FramePolicy;
 use crate::sim::Simulator;
 use rbcd_math::Viewport;
 use std::fmt;
@@ -86,13 +87,17 @@ impl std::error::Error for GpuConfigError {}
 
 /// Fluent, validating constructor for [`Simulator`].
 ///
+/// Hardware shape lives in the per-field setters (or a wholesale
+/// [`GpuConfig`]); execution behaviour — reuse, tracing, governor, hot
+/// path — arrives as one [`FramePolicy`]:
+///
 /// ```
-/// use rbcd_gpu::SimulatorBuilder;
+/// use rbcd_gpu::{FramePolicy, SimulatorBuilder};
 ///
 /// let sim = SimulatorBuilder::new()
 ///     .viewport(128, 96)
 ///     .tile_size(16)
-///     .tracing(true)
+///     .policy(FramePolicy::new().with_tracing(true))
 ///     .build()
 ///     .expect("valid configuration");
 /// assert!(sim.tracing_enabled());
@@ -100,9 +105,7 @@ impl std::error::Error for GpuConfigError {}
 #[derive(Debug, Clone, Default)]
 pub struct SimulatorBuilder {
     config: GpuConfig,
-    tracing: bool,
-    reuse: bool,
-    governor: Option<GovernorConfig>,
+    policy: FramePolicy,
 }
 
 impl SimulatorBuilder {
@@ -114,7 +117,21 @@ impl SimulatorBuilder {
     /// Starts from an existing configuration (all setters still apply
     /// on top).
     pub fn from_config(config: GpuConfig) -> Self {
-        Self { config, tracing: false, reuse: false, governor: None }
+        Self { config, policy: FramePolicy::default() }
+    }
+
+    /// Installs the execution policy wholesale, replacing any knobs set
+    /// so far. This is the one place reuse, tracing, the governor, and
+    /// a hot-path override are configured; the deprecated per-knob
+    /// setters below delegate into the same policy.
+    pub fn policy(mut self, policy: FramePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The execution policy as configured so far.
+    pub fn frame_policy(&self) -> &FramePolicy {
+        &self.policy
     }
 
     /// Replaces the whole configuration wholesale.
@@ -157,8 +174,12 @@ impl SimulatorBuilder {
 
     /// Enables structured tracing on the built simulator (equivalent to
     /// [`Simulator::set_tracing`] after construction).
+    #[deprecated(
+        since = "0.1.0",
+        note = "fold the knob into a `FramePolicy` and pass it via `SimulatorBuilder::policy`"
+    )]
     pub fn tracing(mut self, enabled: bool) -> Self {
-        self.tracing = enabled;
+        self.policy.tracing = enabled;
         self
     }
 
@@ -166,16 +187,24 @@ impl SimulatorBuilder {
     /// (equivalent to [`Simulator::set_reuse`] after construction).
     /// Only the parallel render path consults the knob; see
     /// [`Simulator::set_reuse`] for the contract.
+    #[deprecated(
+        since = "0.1.0",
+        note = "fold the knob into a `FramePolicy` and pass it via `SimulatorBuilder::policy`"
+    )]
     pub fn reuse(mut self, enabled: bool) -> Self {
-        self.reuse = enabled;
+        self.policy.reuse = enabled;
         self
     }
 
     /// Installs an overload governor on the built simulator (equivalent
     /// to [`Simulator::set_governor`] after construction). See that
     /// method for which render paths honour which policy rungs.
+    #[deprecated(
+        since = "0.1.0",
+        note = "fold the knob into a `FramePolicy` and pass it via `SimulatorBuilder::policy`"
+    )]
     pub fn governor(mut self, config: Option<GovernorConfig>) -> Self {
-        self.governor = config;
+        self.policy.governor = config;
         self
     }
 
@@ -245,10 +274,14 @@ impl SimulatorBuilder {
     /// See [`SimulatorBuilder::validate`].
     pub fn build(self) -> Result<Simulator, GpuConfigError> {
         self.validate()?;
-        let mut sim = Simulator::new(self.config);
-        sim.set_tracing(self.tracing);
-        sim.set_reuse(self.reuse);
-        sim.set_governor(self.governor);
+        let mut config = self.config;
+        if let Some(mode) = self.policy.hot_path {
+            config.hot_path = mode;
+        }
+        let mut sim = Simulator::new(config);
+        sim.set_tracing(self.policy.tracing);
+        sim.set_reuse(self.policy.reuse);
+        sim.set_governor(self.policy.governor);
         Ok(sim)
     }
 }
@@ -281,6 +314,10 @@ mod tests {
         assert!(!sim.tracing_enabled());
     }
 
+    // Deliberately exercises the deprecated per-knob setters: the
+    // compatibility contract is that they keep compiling and behave
+    // identically to the policy path.
+    #[allow(deprecated)]
     #[test]
     fn fluent_setters_apply() {
         let sim = SimulatorBuilder::new()
@@ -349,6 +386,44 @@ mod tests {
         assert!(e.to_string().contains("mem_latency_min"));
         let e = GpuConfigError::BadCache { cache: "l2_cache", reason: "ways must be positive" };
         assert!(e.to_string().contains("l2_cache"));
+    }
+
+    #[allow(deprecated)]
+    #[test]
+    fn deprecated_setters_and_policy_build_identical_simulators() {
+        let gov = GovernorConfig { frame_budget_cycles: 9_999, ..GovernorConfig::default() };
+        let via_policy = SimulatorBuilder::new()
+            .policy(
+                FramePolicy::new().with_tracing(true).with_reuse(true).with_governor(Some(gov)),
+            )
+            .build()
+            .unwrap();
+        let via_setters = SimulatorBuilder::new()
+            .tracing(true)
+            .reuse(true)
+            .governor(Some(gov))
+            .build()
+            .unwrap();
+        assert_eq!(via_policy.tracing_enabled(), via_setters.tracing_enabled());
+        assert_eq!(via_policy.reuse_enabled(), via_setters.reuse_enabled());
+        assert_eq!(via_policy.governor(), via_setters.governor());
+        assert_eq!(via_policy.config(), via_setters.config());
+    }
+
+    #[test]
+    fn policy_hot_path_overrides_config_only_when_set() {
+        use crate::config::HotPathMode;
+        let cfg = GpuConfig { hot_path: HotPathMode::Reference, ..GpuConfig::default() };
+        let kept = SimulatorBuilder::from_config(cfg.clone())
+            .policy(FramePolicy::new())
+            .build()
+            .unwrap();
+        assert_eq!(kept.config().hot_path, HotPathMode::Reference, "None keeps the config's mode");
+        let overridden = SimulatorBuilder::from_config(cfg)
+            .policy(FramePolicy::new().with_hot_path(HotPathMode::Mask))
+            .build()
+            .unwrap();
+        assert_eq!(overridden.config().hot_path, HotPathMode::Mask);
     }
 
     #[test]

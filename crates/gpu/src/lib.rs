@@ -53,7 +53,9 @@ mod config;
 pub mod energy;
 pub mod imr;
 mod parallel;
+mod policy;
 mod raster;
+mod service;
 mod sim;
 mod stats;
 
@@ -67,10 +69,12 @@ pub use command::{
 pub use config::{GovernorConfig, GpuConfig, HotPathMode};
 pub use imr::{ImrSimulator, ImrStats};
 pub use parallel::ParallelCollision;
+pub use policy::FramePolicy;
 pub use raster::{
     rasterize_triangle_in_tile, rasterize_triangle_in_tile_masked,
     rasterize_triangle_in_tile_masked_rows, rasterize_triangle_in_tile_masked_sink, Fragment,
     MaskRasterOut, ScreenTriangle,
 };
+pub use service::{render_batch, BatchJob, ServiceError};
 pub use sim::{GovernorFrameReport, PipelineMode, Simulator};
 pub use stats::{CoherenceStats, FrameStats, GeometryStats, GovernorStats, RasterStats};

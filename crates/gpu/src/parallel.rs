@@ -6,32 +6,44 @@
 //! this with a scoped worker pool (`std::thread::scope`; no external
 //! dependencies):
 //!
-//! 1. **Compute phase** — workers claim tiles from the shared binned
+//! 1. **Plan phase** (`plan_raster`) — the main thread computes the
+//!    temporal-coherence reuse plan and the governor's coarsening plan
+//!    from the binned frame alone, so both are thread-count invariant
+//!    by construction.
+//! 2. **Compute phase** — workers claim tiles from the shared binned
 //!    list via an atomic cursor. Each worker owns a private
 //!    [`TileWorker`] (z-buffer + fragment scratch) and a private
 //!    collision worker ([`ParallelCollision::Worker`], e.g. a software
-//!    ZEB + FF-Stack), and produces an *owned* per-tile result.
-//! 2. **Merge phase** — the main thread walks tiles in ascending tile
-//!    index (exactly the sequential processing order), replays the
-//!    shared tile-cache accesses, folds per-tile stats, and replays the
-//!    timing protocol (ZEB claim, scan-unit serialization) against the
-//!    backend.
+//!    ZEB + FF-Stack), and produces an *owned* per-tile result. The
+//!    per-tile step is exposed through [`TileComputeCtx`], an immutable
+//!    `Sync` view of the planned frame, so the service layer
+//!    (`crate::service`) can interleave tiles from *many* sessions on
+//!    one pool without touching any session's mutable state.
+//! 3. **Merge phase** (`merge_raster`) — the main thread walks tiles in
+//!    ascending tile index (exactly the sequential processing order),
+//!    replays the shared tile-cache accesses, folds per-tile stats, and
+//!    replays the timing protocol (ZEB claim, scan-unit serialization)
+//!    against the backend.
 //!
 //! Everything order-dependent — cache hit/miss sequences, the cycle
 //! timeline, ZEB double-buffer claims, contact emission order — happens
 //! only in the merge phase, in tile-index order. Per-tile work is
 //! order-free (each tile starts from a cleared z-buffer and an empty
 //! ZEB). Parallel runs are therefore **bit-identical** to sequential
-//! runs for any thread count.
+//! runs for any thread count — and, because every phase reads and
+//! writes only one simulator's state, a frame rendered through the
+//! batch service is bit-identical to the same frame rendered solo.
 
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::coherence;
 use crate::collision_unit::{CollisionFragment, NullCollisionUnit, TileCoord};
-use crate::command::FrameTrace;
+use crate::command::{FrameTrace, ObjectId};
+use crate::config::GpuConfig;
 use crate::sim::{
     accumulate_reused_tile, accumulate_tile, finalize_raster_timing, replay_tile_cache,
-    GovernorFrameReport, PipelineMode, Simulator, TileRasterOut, TileWorker,
+    BinnedTiles, GovernorFrameReport, PipelineMode, Simulator, TileRasterOut, TileWorker,
 };
 use crate::stats::{CoherenceStats, FrameStats, RasterStats};
 
@@ -140,6 +152,66 @@ impl ParallelCollision for NullCollisionUnit {
     }
 }
 
+/// An immutable, `Sync` view of one planned frame — everything the
+/// order-free compute phase needs to process any tile of that frame on
+/// any thread. Built by [`Simulator::compute_ctx`] after
+/// [`Simulator::plan_raster`]; the batch service layer holds one per
+/// live session and lets a single worker pool drain an interleaved
+/// work list across all of them.
+pub(crate) struct TileComputeCtx<'a> {
+    cfg: &'a GpuConfig,
+    bins: &'a BinnedTiles,
+    plan: &'a [(u64, bool)],
+    boost: &'a [u8],
+    blocked: &'a BTreeSet<ObjectId>,
+    reuse_on: bool,
+    tiles_x: u32,
+    trace: &'a FrameTrace,
+    mode: PipelineMode,
+}
+
+impl TileComputeCtx<'_> {
+    /// Number of active (non-empty) tiles this frame; tile positions
+    /// `0..tiles()` are valid `k` arguments to `compute_tile`.
+    pub(crate) fn tiles(&self) -> usize {
+        self.bins.active().len()
+    }
+
+    /// The owning simulator's configuration (for sizing per-thread
+    /// [`TileWorker`]s).
+    pub(crate) fn config(&self) -> &GpuConfig {
+        self.cfg
+    }
+
+    /// Processes the tile at active-list position `k`: rasterization
+    /// into `tw`'s private scratch, the governor's blocked-object
+    /// filter, and the collision backend's per-tile analysis on `cw`.
+    /// Returns `None` for tiles the reuse plan marked replayed — no
+    /// worker may touch them. Pure per-tile work: identical output for
+    /// a given `k` regardless of thread, claim order, or what other
+    /// sessions share the pool.
+    pub(crate) fn compute_tile<B: ParallelCollision>(
+        &self,
+        k: usize,
+        tw: &mut TileWorker,
+        cw: &mut B::Worker,
+    ) -> Option<(TileRasterOut, B::TileOut)> {
+        if self.reuse_on && self.plan[k].1 {
+            return None;
+        }
+        let ti = self.bins.active()[k];
+        let tile = TileCoord { x: ti % self.tiles_x, y: ti / self.tiles_x };
+        let mut out = tw.process_tile(self.cfg, self.trace, tile, self.bins.tile(ti as usize), self.mode);
+        if !self.blocked.is_empty() {
+            tw.coll_frags.retain(|f| !self.blocked.contains(&f.object));
+            out.coll_frags = tw.coll_frags.len() as u64;
+        }
+        let boost = self.boost.get(k).copied().unwrap_or(0);
+        let cout = B::process_boosted_tile(cw, tile, &tw.coll_frags, boost);
+        Some((out, cout))
+    }
+}
+
 impl Simulator {
     /// Renders one frame using up to `threads` worker threads for the
     /// raster pipeline, producing results **bit-identical** to
@@ -157,7 +229,9 @@ impl Simulator {
         threads: usize,
     ) -> FrameStats {
         let geometry = self.geometry_pipeline(trace, mode);
-        let (raster, coherence) = self.raster_parallel(trace, mode, backend, threads.max(1));
+        let co = self.plan_raster(trace, mode, &*backend);
+        let slots = self.compute_raster(trace, mode, &*backend, threads.max(1));
+        let (raster, coherence) = self.merge_raster(trace, backend, slots, co);
         let governor = self.governor_frame_stats();
         let stats = FrameStats { geometry, raster, coherence, governor, frames: 1 };
         if let Some(t) = self.tracer.as_deref_mut() {
@@ -166,26 +240,21 @@ impl Simulator {
         stats
     }
 
-    fn raster_parallel<B: ParallelCollision>(
+    /// Plan phase: temporal-coherence reuse decisions and the
+    /// governor's coarsening plan, computed on the main thread *before*
+    /// the compute phase, so they depend only on the binned frame —
+    /// never on worker scheduling — and are thread-count invariant by
+    /// construction. The overload governor's policy rung 1 forces the
+    /// reuse machinery on, so signature-stable tiles replay cheaply
+    /// while the frame is under deadline pressure.
+    pub(crate) fn plan_raster<B: ParallelCollision>(
         &mut self,
         trace: &FrameTrace,
         mode: PipelineMode,
-        backend: &mut B,
-        threads: usize,
-    ) -> (RasterStats, CoherenceStats) {
-        let cfg = self.config.clone();
-        let mut r = RasterStats::default();
+        backend: &B,
+    ) -> CoherenceStats {
         let mut co = CoherenceStats::default();
         self.tile_cache.reset_stats();
-        let tiles_x = cfg.tiles_x();
-
-        // Temporal-coherence plan: signatures and reuse decisions are
-        // computed here on the main thread, *before* the compute phase,
-        // so they depend only on the binned frame — never on worker
-        // scheduling — and the reuse decision is thread-count invariant
-        // by construction. The overload governor's policy rung 1 forces
-        // the reuse machinery on, so signature-stable tiles replay
-        // cheaply while the frame is under deadline pressure.
         let gov = self.governor;
         let reuse_on = self.reuse || gov.is_some();
         if reuse_on {
@@ -200,8 +269,9 @@ impl Simulator {
                 key = (key ^ (0x5EDB_10C7 ^ id.get() as u64)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
                 key ^= key >> 29;
             }
-            let seed = coherence::frame_seed(&cfg, mode, key);
-            self.result_cache.ensure_tiles((cfg.tiles_x() * cfg.tiles_y()) as usize);
+            let seed = coherence::frame_seed(&self.config, mode, key);
+            self.result_cache
+                .ensure_tiles((self.config.tiles_x() * self.config.tiles_y()) as usize);
             self.reuse_plan.clear();
             for &ti in self.bins.active() {
                 let sig =
@@ -216,9 +286,7 @@ impl Simulator {
         // Coarsening plan (policy rung 2): when the projected frame
         // cost exceeds the budget, the heaviest fresh tiles get their
         // collision capacity pre-elevated, skipping base-capacity
-        // passes that an overflow storm would doom anyway. Projection
-        // and selection run on the main thread from the binned frame
-        // alone — thread-count invariant like the reuse plan.
+        // passes that an overflow storm would doom anyway.
         self.boost_plan.clear();
         if let Some(g) = gov {
             if g.frame_budget_cycles > 0 && g.coarsen_shift > 0 {
@@ -228,7 +296,7 @@ impl Simulator {
                     projected += if self.reuse_plan[k].1 {
                         coherence::signature_check_cycles(prims)
                     } else {
-                        prims + cfg.tile_overhead_cycles
+                        prims + self.config.tile_overhead_cycles
                     };
                 }
                 if projected > g.frame_budget_cycles {
@@ -243,16 +311,133 @@ impl Simulator {
                 }
             }
         }
+        co
+    }
 
+    /// Builds the immutable compute-phase view of this (planned) frame.
+    /// Only valid between [`Simulator::plan_raster`] and
+    /// [`Simulator::merge_raster`] of the same frame.
+    pub(crate) fn compute_ctx<'a>(
+        &'a self,
+        trace: &'a FrameTrace,
+        mode: PipelineMode,
+    ) -> TileComputeCtx<'a> {
+        TileComputeCtx {
+            cfg: &self.config,
+            bins: &self.bins,
+            plan: &self.reuse_plan,
+            boost: &self.boost_plan,
+            blocked: &self.governor_blocked,
+            reuse_on: self.reuse || self.governor.is_some(),
+            tiles_x: self.config.tiles_x(),
+            trace,
+            mode,
+        }
+    }
+
+    /// Compute phase for the solo render path: owned per-tile results,
+    /// indexed by position in the active list. Tiles the plan marks
+    /// reused are skipped — no worker ever touches them.
+    fn compute_raster<B: ParallelCollision>(
+        &mut self,
+        trace: &FrameTrace,
+        mode: PipelineMode,
+        backend: &B,
+        threads: usize,
+    ) -> Vec<Option<(TileRasterOut, B::TileOut)>> {
+        // Lend out the resident worker (no per-frame allocation on the
+        // inline path) while the compute context borrows the rest of
+        // the simulator immutably.
+        let mut tw = std::mem::replace(&mut self.worker, TileWorker::empty());
+        let slots;
+        {
+            let ctx = self.compute_ctx(trace, mode);
+            let n = ctx.tiles();
+            if threads <= 1 || n <= 1 {
+                let mut inline = Vec::with_capacity(n);
+                let mut cw = backend.make_worker();
+                for k in 0..n {
+                    inline.push(ctx.compute_tile::<B>(k, &mut tw, &mut cw));
+                }
+                slots = inline;
+            } else {
+                let mut pooled: Vec<Option<(TileRasterOut, B::TileOut)>> = Vec::new();
+                pooled.resize_with(n, || None);
+                let next = AtomicUsize::new(0);
+                // Workers are created up front on this thread:
+                // `make_worker` borrows the backend, which must not be
+                // shared with the pool (merge needs it mutably
+                // afterwards).
+                let col_workers: Vec<B::Worker> =
+                    (0..threads).map(|_| backend.make_worker()).collect();
+                let ctx = &ctx;
+                let results: Vec<Vec<(usize, TileRasterOut, B::TileOut)>> =
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = col_workers
+                            .into_iter()
+                            .map(|mut cw| {
+                                let next = &next;
+                                s.spawn(move || {
+                                    let mut tw = TileWorker::new(ctx.config());
+                                    let mut done = Vec::new();
+                                    loop {
+                                        let k = next.fetch_add(1, Ordering::Relaxed);
+                                        if k >= ctx.tiles() {
+                                            break;
+                                        }
+                                        if let Some((out, cout)) =
+                                            ctx.compute_tile::<B>(k, &mut tw, &mut cw)
+                                        {
+                                            done.push((k, out, cout));
+                                        }
+                                    }
+                                    done
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("tile worker panicked"))
+                            .collect()
+                    });
+                for batch in results {
+                    for (k, out, cout) in batch {
+                        pooled[k] = Some((out, cout));
+                    }
+                }
+                slots = pooled;
+            }
+        }
+        self.worker = tw;
+        slots
+    }
+
+    /// Merge phase: tile-index order replays the sequential timeline
+    /// and the shared tile cache's access sequence exactly. Reused
+    /// tiles pull their cached outcome instead of a slot; freshly
+    /// computed tiles refresh the cache for the next frame. Under a
+    /// governor budget, tiles past the deadline are shed (policy
+    /// rung 3): their results — computed or cached — are discarded,
+    /// their objects reported for CPU recovery.
+    pub(crate) fn merge_raster<B: ParallelCollision>(
+        &mut self,
+        trace: &FrameTrace,
+        backend: &mut B,
+        mut slots: Vec<Option<(TileRasterOut, B::TileOut)>>,
+        mut co: CoherenceStats,
+    ) -> (RasterStats, CoherenceStats) {
+        let cfg = self.config.clone();
+        let mut r = RasterStats::default();
+        let tiles_x = cfg.tiles_x();
+        let gov = self.governor;
+        let reuse_on = self.reuse || gov.is_some();
         let Simulator {
             bins,
-            worker,
             tile_cache,
             tracer,
             reuse_plan,
             result_cache,
             boost_plan,
-            governor_blocked,
             governor_report,
             ..
         } = self;
@@ -262,97 +447,7 @@ impl Simulator {
         let is_reused = |k: usize| reuse_on && plan[k].1;
         let boost: &[u8] = boost_plan;
         let tile_boost = |k: usize| boost.get(k).copied().unwrap_or(0);
-        let blocked: &std::collections::BTreeSet<crate::command::ObjectId> = governor_blocked;
 
-        // Compute phase: owned per-tile results, indexed by position in
-        // the active list. Tiles the plan marks reused are skipped — no
-        // worker ever touches them.
-        let mut slots: Vec<Option<(TileRasterOut, B::TileOut)>> = Vec::with_capacity(active.len());
-        if threads <= 1 || active.len() <= 1 {
-            let mut cw = backend.make_worker();
-            for (k, &ti) in active.iter().enumerate() {
-                if is_reused(k) {
-                    slots.push(None);
-                    continue;
-                }
-                let tile = coord(ti);
-                let mut out = worker.process_tile(&cfg, trace, tile, bins.tile(ti as usize), mode);
-                if !blocked.is_empty() {
-                    worker.coll_frags.retain(|f| !blocked.contains(&f.object));
-                    out.coll_frags = worker.coll_frags.len() as u64;
-                }
-                let cout = B::process_boosted_tile(&mut cw, tile, &worker.coll_frags, tile_boost(k));
-                slots.push(Some((out, cout)));
-            }
-        } else {
-            slots.resize_with(active.len(), || None);
-            let next = AtomicUsize::new(0);
-            // Workers are created up front on this thread: `make_worker`
-            // borrows the backend, which must not be shared with the
-            // pool (merge needs it mutably afterwards).
-            let col_workers: Vec<B::Worker> = (0..threads).map(|_| backend.make_worker()).collect();
-            let bins = &*bins;
-            let results: Vec<Vec<(usize, TileRasterOut, B::TileOut)>> =
-                std::thread::scope(|s| {
-                    let handles: Vec<_> = col_workers
-                        .into_iter()
-                        .map(|mut cw| {
-                            let (next, cfg) = (&next, &cfg);
-                            s.spawn(move || {
-                                let mut tw = TileWorker::new(cfg);
-                                let mut done = Vec::new();
-                                loop {
-                                    let k = next.fetch_add(1, Ordering::Relaxed);
-                                    let Some(&ti) = bins.active().get(k) else {
-                                        break;
-                                    };
-                                    if reuse_on && plan[k].1 {
-                                        continue;
-                                    }
-                                    let tile =
-                                        TileCoord { x: ti % tiles_x, y: ti / tiles_x };
-                                    let mut out = tw.process_tile(
-                                        cfg,
-                                        trace,
-                                        tile,
-                                        bins.tile(ti as usize),
-                                        mode,
-                                    );
-                                    if !blocked.is_empty() {
-                                        tw.coll_frags.retain(|f| !blocked.contains(&f.object));
-                                        out.coll_frags = tw.coll_frags.len() as u64;
-                                    }
-                                    let cout = B::process_boosted_tile(
-                                        &mut cw,
-                                        tile,
-                                        &tw.coll_frags,
-                                        tile_boost(k),
-                                    );
-                                    done.push((k, out, cout));
-                                }
-                                done
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("tile worker panicked"))
-                        .collect()
-                });
-            for batch in results {
-                for (k, out, cout) in batch {
-                    slots[k] = Some((out, cout));
-                }
-            }
-        }
-
-        // Merge phase: tile-index order replays the sequential timeline
-        // and the shared tile cache's access sequence exactly. Reused
-        // tiles pull their cached outcome instead of a slot; freshly
-        // computed tiles refresh the cache for the next frame. Under a
-        // governor budget, tiles past the deadline are shed (policy
-        // rung 3): their results — computed or cached — are discarded,
-        // their objects reported for CPU recovery.
         let budget = gov.map_or(0, |g| g.frame_budget_cycles);
         let shed_overhead = gov.map_or(0, |g| g.shed_overhead_cycles);
         let mut report = gov
@@ -527,6 +622,9 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    // Deliberately keeps the deprecated `.tracing(true)` setter: the
+    // compatibility contract says it must keep behaving identically.
+    #[allow(deprecated)]
     #[test]
     fn tracing_never_changes_results_and_is_thread_invariant() {
         let trace = busy_trace();

@@ -167,6 +167,14 @@ impl TileWorker {
         }
     }
 
+    /// An allocation-free placeholder, used to lend the simulator's
+    /// resident worker out across an immutable borrow of the rest of
+    /// the simulator (`std::mem::replace` in the compute phase). Must
+    /// never process a tile: its z-buffer is empty.
+    pub(crate) fn empty() -> Self {
+        Self { zbuf: Vec::new(), frag_scratch: Vec::new(), coll_frags: Vec::new() }
+    }
+
     /// Rasterizes one tile's polygon list: fragment generation, Early-Z
     /// against the private depth buffer, and collisionable-fragment
     /// capture into `self.coll_frags`. Pure per-tile work — no cache or

@@ -106,7 +106,7 @@ pub struct CoherenceStats {
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct GovernorStats {
     /// Circuit-breaker trips observed by the host-side governor.
-    /// Filled by the harness that owns the [`rbcd_core`-side] breaker,
+    /// Filled by the harness that owns the `rbcd_core`-side breaker,
     /// not by the simulator (which has no cross-frame escalation view).
     pub breaker_trips: u64,
     /// The per-frame merge-timeline budget in force (summed across

@@ -126,6 +126,95 @@ impl FromIterator<(&'static str, u64)> for CounterSet {
     }
 }
 
+/// Per-scope counter namespacing: one [`CounterSet`] per named scope
+/// (a session, a worker, a subsystem instance), so N concurrent
+/// sessions report through one registry without key collisions.
+///
+/// Scope names are owned `String`s — unlike [`CounterSet`] keys they
+/// are data (session names arrive at runtime), not API. The map is a
+/// `BTreeMap`, so scope iteration — and every rendered report — is
+/// deterministic in scope-name order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterScopes {
+    scopes: BTreeMap<String, CounterSet>,
+}
+
+impl CounterScopes {
+    /// An empty registry with no scopes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The mutable counter set for `scope`, created empty on first use.
+    pub fn scope(&mut self, scope: &str) -> &mut CounterSet {
+        self.scopes.entry(scope.to_owned()).or_default()
+    }
+
+    /// The counter set recorded under `scope`, if any.
+    pub fn get(&self, scope: &str) -> Option<&CounterSet> {
+        self.scopes.get(scope)
+    }
+
+    /// Number of scopes.
+    pub fn len(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// True when no scope was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.scopes.is_empty()
+    }
+
+    /// `(scope, counters)` pairs in sorted scope-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &CounterSet)> + '_ {
+        self.scopes.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Key-wise sum across every scope — the fleet-wide totals view.
+    pub fn totals(&self) -> CounterSet {
+        let mut out = CounterSet::new();
+        for set in self.scopes.values() {
+            out.accumulate(set);
+        }
+        out
+    }
+
+    /// Flattens to `("scope.key", value)` pairs in sorted order — the
+    /// form flat metric sinks (CSV columns, dashboards) consume.
+    pub fn flat(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for (scope, set) in self.iter() {
+            for (k, v) in set.iter() {
+                out.push((format!("{scope}.{k}"), v));
+            }
+        }
+        out
+    }
+
+    /// Renders the registry as a nested JSON object
+    /// (`{"scope": {"key": value, …}, …}`) with sorted keys.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (scope, set)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{scope}\": {}", set.to_json()));
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for CounterScopes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in self.flat() {
+            writeln!(f, "{name} = {value}")?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +258,30 @@ mod tests {
         let keys: Vec<_> = c.keys().collect();
         assert_eq!(keys, ["a.first", "z.last"]);
         assert_eq!(c.to_json(), "{\"a.first\": 2, \"z.last\": 1}");
+    }
+
+    #[test]
+    fn scopes_isolate_sessions_and_total_across_them() {
+        let mut s = CounterScopes::new();
+        s.scope("cap-0").add("rbcd.pairs", 3);
+        s.scope("temple-1").add("rbcd.pairs", 4).add("rbcd.overflows", 1);
+        s.scope("cap-0").add("rbcd.pairs", 2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get("cap-0").map(|c| c.get("rbcd.pairs")), Some(5));
+        assert_eq!(s.get("temple-1").map(|c| c.get("rbcd.pairs")), Some(4));
+        assert!(s.get("missing").is_none());
+        let totals = s.totals();
+        assert_eq!(totals.get("rbcd.pairs"), 9);
+        assert_eq!(totals.get("rbcd.overflows"), 1);
+    }
+
+    #[test]
+    fn scopes_flatten_and_render_deterministically() {
+        let mut s = CounterScopes::new();
+        s.scope("b").set("k", 2);
+        s.scope("a").set("k", 1);
+        let flat = s.flat();
+        assert_eq!(flat, vec![("a.k".to_owned(), 1), ("b.k".to_owned(), 2)]);
+        assert_eq!(s.to_json(), "{\"a\": {\"k\": 1}, \"b\": {\"k\": 2}}");
     }
 }

@@ -30,6 +30,6 @@ mod event;
 mod heatmap;
 pub mod json;
 
-pub use counters::CounterSet;
+pub use counters::{CounterScopes, CounterSet};
 pub use event::{EventKind, TileZebRecord, TraceBuffer, TraceEvent};
 pub use heatmap::{HeatGrid, HEATMAP_METRICS};
