@@ -13,7 +13,13 @@
 //! for the parallel tile pipeline that writes `BENCH_tile_pipeline.json`,
 //! and `hotpath`, a host-wall-clock A/B of the span-mask vs reference
 //! intra-tile hot path that writes `BENCH_raster_hotpath.json` and
-//! exits non-zero if the two modes ever diverge. Every `BENCH_*.json`
+//! exits non-zero if the two modes ever diverge, and `frontend`, a
+//! host-wall-clock A/B of the incremental geometry front-end (per-draw
+//! transform/clip/bin caching with delta binning) against a full
+//! per-frame rebuild that writes `BENCH_geometry_frontend.json` and
+//! exits non-zero if the two front-ends ever diverge — across thread
+//! counts, reuse on/off, fault storms, a governed budget, and the
+//! batch service. Every `BENCH_*.json`
 //! artifact opens with the shared `rbcd_bench::schema` header
 //! (`schema_version`, bench id, host, geomean) and is re-validated with
 //! the workspace's own JSON parser before it is written.
@@ -31,7 +37,10 @@
 //! simulated-cycle timeline), `--hot-path mask|reference` selects the
 //! intra-tile hot path for every experiment (mask is the default; the
 //! two are bit-identical in every result, differing only in host
-//! wall-clock), `--smoke` shrinks every experiment to a quick
+//! wall-clock), `--frontend incremental|rebuild` selects the geometry
+//! front-end the same way (incremental is the CLI default; the library
+//! default stays rebuild so golden counters are cache-free), `--smoke`
+//! shrinks every experiment to a quick
 //! configuration and defaults the experiment list to `bench temporal`,
 //! and `--scene <alias>` restricts multi-scene experiments to one
 //! workload. All flags parse through the shared option table in
@@ -145,6 +154,14 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     // host clock and enforces their bit-identical results.
     if wanted.iter().any(|w| w == "hotpath") {
         run_hotpath_bench(&opts, smoke)?;
+    }
+
+    // `frontend` is opt-in for the same reason: it A/B-times the
+    // incremental geometry front-end against a full per-frame rebuild
+    // on the host clock, after enforcing their bit-identical results
+    // across threads, reuse, faults, governor, and batch service.
+    if wanted.iter().any(|w| w == "frontend") {
+        run_frontend_bench(&opts, smoke)?;
     }
 
     // `overload` is opt-in for the same reason as `--faults`: every
@@ -1485,6 +1502,273 @@ fn run_hotpath_bench(opts: &RunOptions, smoke: bool) -> Result<(), TableError> {
     }
     json.push_str("  ]\n}\n");
     let path = "BENCH_raster_hotpath.json";
+    match rbcd_bench::schema::write(path, &json) {
+        Ok(_) => println!("wrote {path}"),
+        Err(e) => eprintln!("{path}: {e}"),
+    }
+    Ok(())
+}
+
+/// `frontend` experiment: the incremental geometry front-end (per-draw
+/// transform/clip/bin caching with delta binning) against a full
+/// per-frame rebuild.
+///
+/// Exactness legs first — the contract is bitwise: pairs, energy, and
+/// every counter except the accounting-only `geom.*` plane must match
+/// the rebuild run across thread counts, reuse on/off, storm/overflow
+/// fault plans, a governed budget deep in overload, and the multi-
+/// session batch service (per-session caches). Any divergence exits
+/// non-zero. Then the wall-clock leg times repeated geometry passes
+/// over the temporal clips per front-end in interleaved pairs
+/// (median-of-ratios, like `hotpath`) and writes
+/// `BENCH_geometry_frontend.json`.
+fn run_frontend_bench(opts: &RunOptions, smoke: bool) -> Result<(), TableError> {
+    use rbcd_bench::faults::run_fault_tolerance;
+    use rbcd_bench::runner::run_gpu;
+    use rbcd_core::RbcdUnit;
+    use rbcd_gpu::{
+        render_batch, BatchJob, FramePolicy, FrontendMode, PipelineMode, SimulatorBuilder,
+    };
+
+    let reps = if smoke { 5 } else { 30 };
+    let scenes = rbcd_workloads::temporal_suite();
+    eprintln!(
+        "frontend A/B: incremental vs rebuild geometry, {reps} geometry passes/scene..."
+    );
+
+    // Exactness leg 1: whole runs across threads / reuse / governor.
+    // `geom.*` is the only counter plane allowed to move.
+    let strip = |run: &rbcd_bench::metrics::GpuRun| -> Vec<(&'static str, u64)> {
+        run.counters.iter().filter(|(k, _)| !k.starts_with("geom.")).collect()
+    };
+    let mut diverged = false;
+    for scene in &scenes {
+        let frames = opts.frames.unwrap_or(scene.frames).min(scene.frames);
+        let gov = rbcd_gpu::GovernorConfig {
+            frame_budget_cycles: 25_000,
+            ..rbcd_gpu::GovernorConfig::default()
+        };
+        let legs: [(usize, bool, Option<rbcd_gpu::GovernorConfig>); 4] =
+            [(1, false, None), (2, true, None), (4, true, None), (2, false, Some(gov))];
+        for (threads, reuse, governor) in legs {
+            let run_mode = |frontend: FrontendMode| {
+                let o = RunOptions { threads, reuse, frontend, governor, ..opts.clone() };
+                run_gpu(scene, frames, &o, Some(RbcdConfig::default()))
+            };
+            let rebuild = run_mode(FrontendMode::Rebuild);
+            let inc = run_mode(FrontendMode::Incremental);
+            if strip(&rebuild) != strip(&inc)
+                || rebuild.pairs != inc.pairs
+                || rebuild.energy_j != inc.energy_j
+                || rebuild.seconds != inc.seconds
+            {
+                eprintln!(
+                    "FRONT-END DIVERGENCE on {} ({threads} threads, reuse {reuse}, governed \
+                     {}): incremental differs from rebuild",
+                    scene.alias,
+                    governor.is_some()
+                );
+                diverged = true;
+            }
+        }
+    }
+
+    // Exactness leg 2: fault storms corrupt draws per frame (fresh mesh
+    // allocations every frame — the memo's hard case); every recovery
+    // statistic must match the rebuild front-end cell for cell.
+    for preset in ["storm", "overflow"] {
+        let plan = FaultPlan::preset(preset, 0xF207_7E4D).expect("preset exists");
+        let fault_scenes = [rbcd_workloads::resting()];
+        let run_mode = |frontend: FrontendMode| {
+            let o = RunOptions {
+                threads: 2,
+                frontend,
+                frames: Some(opts.frames.unwrap_or(4).min(4)),
+                ..opts.clone()
+            };
+            run_fault_tolerance(&fault_scenes, preset, plan, &[2], &o)
+        };
+        let rebuild = run_mode(FrontendMode::Rebuild);
+        let inc = run_mode(FrontendMode::Incremental);
+        for (sa, sb) in rebuild.scenes.iter().zip(&inc.scenes) {
+            for (ca, cb) in sa.cells.iter().zip(&sb.cells) {
+                if ca != cb {
+                    eprintln!(
+                        "FRONT-END DIVERGENCE under '{preset}' faults on {} M={}",
+                        sa.alias, ca.m
+                    );
+                    diverged = true;
+                }
+            }
+        }
+    }
+
+    // Exactness leg 3: the batch service. Per-session geometry caches
+    // must behave exactly like each session running solo.
+    {
+        let frames = opts.frames.unwrap_or(2).min(2);
+        let policy = FramePolicy::new().with_reuse(true).with_frontend(FrontendMode::Incremental);
+        let build = || {
+            SimulatorBuilder::from_config(opts.gpu.clone())
+                .policy(policy)
+                .build()
+                .expect("benchmark GPU configurations are validated at construction")
+        };
+        let unit = || {
+            RbcdUnit::new(RbcdConfig::default(), opts.gpu.tile_size)
+                .expect("benchmark RBCD configurations are validated at construction")
+        };
+        let mut solo_stats = Vec::new();
+        for scene in &scenes {
+            let (mut sim, mut u) = (build(), unit());
+            let mut per_scene = Vec::new();
+            for f in 0..frames {
+                u.new_frame();
+                let trace = scene.frame_trace(f);
+                per_scene
+                    .push(sim.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut u, 1));
+                let _ = u.take_contacts();
+            }
+            solo_stats.push(per_scene);
+        }
+        let mut sims: Vec<_> = scenes.iter().map(|_| build()).collect();
+        let mut units: Vec<_> = scenes.iter().map(|_| unit()).collect();
+        // `f` drives the frame-trace generation and the solo-stats
+        // lookup together, not a single indexed slice.
+        #[allow(clippy::needless_range_loop)]
+        for f in 0..frames {
+            let traces: Vec<_> = scenes.iter().map(|s| s.frame_trace(f)).collect();
+            let mut jobs: Vec<BatchJob<'_, RbcdUnit>> = sims
+                .iter_mut()
+                .zip(units.iter_mut())
+                .zip(&traces)
+                .map(|((sim, backend), trace)| BatchJob {
+                    sim,
+                    backend,
+                    trace,
+                    mode: PipelineMode::Rbcd,
+                })
+                .collect();
+            let batched = render_batch(&mut jobs, 2).expect("batch jobs are well-formed");
+            for u in units.iter_mut() {
+                let _ = u.take_contacts();
+                u.new_frame();
+            }
+            for (ji, stats) in batched.iter().enumerate() {
+                if *stats != solo_stats[ji][f] {
+                    eprintln!(
+                        "FRONT-END DIVERGENCE in batch service: session {} frame {f} differs \
+                         from its solo run",
+                        scenes[ji].alias
+                    );
+                    diverged = true;
+                }
+            }
+        }
+    }
+    if diverged {
+        std::process::exit(1);
+    }
+
+    // Wall-clock leg: per scene, two simulators (one per front-end)
+    // run the geometry stage over the clip's frames in interleaved
+    // pairs. Each pair shares the same instantaneous machine state, so
+    // the per-pair ratio cancels common-mode noise; the reported
+    // speedup is the median of per-pair ratios and the per-pass times
+    // are per-mode minima. The raster stage is deliberately excluded —
+    // this knob only touches the geometry front-end.
+    let mut t = Table::new(
+        "Geometry front-end — incremental vs rebuild (host ns per geometry pass)",
+        &["benchmark", "rebuild ns", "incremental ns", "speedup", "reused draws", "identical"],
+    );
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for scene in &scenes {
+        let frames = opts.frames.unwrap_or(scene.frames).min(scene.frames);
+        let traces: Vec<_> = (0..frames).map(|f| scene.frame_trace(f)).collect();
+        let make = |frontend: FrontendMode| {
+            SimulatorBuilder::from_config(opts.gpu.clone())
+                .policy(FramePolicy::new().with_frontend(frontend))
+                .build()
+                .expect("benchmark GPU configurations are validated at construction")
+        };
+        let mut rebuild_sim = make(FrontendMode::Rebuild);
+        let mut inc_sim = make(FrontendMode::Incremental);
+        let pass = |sim: &mut rbcd_gpu::Simulator| -> f64 {
+            let t0 = Instant::now();
+            for trace in &traces {
+                let _ = sim.bench_bin_frame(trace, PipelineMode::Rbcd);
+            }
+            t0.elapsed().as_secs_f64()
+        };
+        // Warm-up pass per mode: lazy allocations bill neither mode,
+        // and the incremental cache starts warm (the steady state a
+        // long-running session lives in).
+        let _ = pass(&mut rebuild_sim);
+        let _ = pass(&mut inc_sim);
+        let (mut rebuild_ns, mut inc_ns) = (f64::INFINITY, f64::INFINITY);
+        let mut ratios = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let tr = pass(&mut rebuild_sim);
+            let ti = pass(&mut inc_sim);
+            rebuild_ns = rebuild_ns.min(tr * 1e9 / frames as f64);
+            inc_ns = inc_ns.min(ti * 1e9 / frames as f64);
+            ratios.push(tr / ti.max(1e-12));
+        }
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("pass ratios are finite"));
+        let speedup = if ratios.len() % 2 == 1 {
+            ratios[ratios.len() / 2]
+        } else {
+            (ratios[ratios.len() / 2 - 1] + ratios[ratios.len() / 2]) / 2.0
+        };
+        speedups.push(speedup);
+        // Reuse accounting from a fresh incremental run (frames beyond
+        // the first replay unchanged draws from the cache).
+        let acct = run_gpu(
+            scene,
+            frames,
+            &RunOptions { frontend: FrontendMode::Incremental, ..opts.clone() },
+            Some(RbcdConfig::default()),
+        );
+        let reused = acct.counters.get("geom.reuse_draws");
+        let shaded = acct.counters.get("geom.shaded_draws");
+        t.row(vec![
+            scene.alias.to_string(),
+            format!("{rebuild_ns:.0}"),
+            format!("{inc_ns:.0}"),
+            fmt_x(speedup),
+            format!("{reused}/{}", reused + shaded),
+            "yes".to_string(),
+        ])?;
+        rows.push((scene.alias.to_string(), rebuild_ns, inc_ns, speedup, reused, shaded));
+    }
+    print!("{}", t.render());
+    let geo = geomean(speedups);
+    println!(
+        "geomean geometry front-end speedup {} (incremental vs rebuild; pairs, energy, and \
+         counters bit-identical across threads, reuse, faults, governor, and batch)",
+        fmt_x(geo)
+    );
+
+    let mut json = rbcd_bench::schema::header("geometry_frontend", geo);
+    json.push_str(&format!("  \"geometry_passes\": {reps},\n"));
+    json.push_str(&format!(
+        "  \"viewport\": \"{}x{}\",\n",
+        opts.gpu.viewport.width, opts.gpu.viewport.height
+    ));
+    json.push_str("  \"identical_results\": true,\n");
+    json.push_str(&format!("  \"speedup_geomean\": {geo:.4},\n"));
+    json.push_str("  \"scenes\": [\n");
+    for (i, (alias, rebuild_ns, inc_ns, speedup, reused, shaded)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{alias}\", \"rebuild_ns_per_frame\": {rebuild_ns:.1}, \
+             \"incremental_ns_per_frame\": {inc_ns:.1}, \"speedup\": {speedup:.4}, \
+             \"reuse_draws\": {reused}, \"shaded_draws\": {shaded}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_geometry_frontend.json";
     match rbcd_bench::schema::write(path, &json) {
         Ok(_) => println!("wrote {path}"),
         Err(e) => eprintln!("{path}: {e}"),

@@ -10,7 +10,7 @@
 use crate::runner::RunOptions;
 use rbcd_core::faults::PRESETS;
 use rbcd_core::FaultPlan;
-use rbcd_gpu::{FramePolicy, GpuConfig, HotPathMode};
+use rbcd_gpu::{FramePolicy, FrontendMode, GpuConfig, HotPathMode};
 use rbcd_math::Viewport;
 use rbcd_workloads::Scene;
 use std::fmt;
@@ -50,6 +50,7 @@ const FLAGS: &[FlagSpec] = &[
     FlagSpec { name: "--smoke", value: None },
     FlagSpec { name: "--no-reuse", value: None },
     FlagSpec { name: "--hot-path", value: Some("a mode (mask|reference)") },
+    FlagSpec { name: "--frontend", value: Some("a mode (incremental|rebuild)") },
     FlagSpec { name: "--trace", value: Some("an output path (e.g. trace.json)") },
     FlagSpec { name: "--faults", value: Some("a plan name") },
     FlagSpec { name: "--scene", value: Some("a workload name or alias") },
@@ -70,6 +71,11 @@ pub struct CliOptions {
     pub reuse: bool,
     /// `--hot-path mask|reference`: intra-tile hot path everywhere.
     pub hot_path: HotPathMode,
+    /// `--frontend incremental|rebuild`: geometry front-end everywhere.
+    /// Incremental by default — both modes are bit-identical in
+    /// simulated results, and the incremental one is the faster host
+    /// path on coherent workloads.
+    pub frontend: FrontendMode,
     /// `--trace <path>`: run the trace experiment, writing there.
     pub trace: Option<String>,
     /// `--faults <plan>`: run the fault-injection experiment.
@@ -89,6 +95,7 @@ impl Default for CliOptions {
             smoke: false,
             reuse: true,
             hot_path: HotPathMode::Mask,
+            frontend: FrontendMode::Incremental,
             trace: None,
             faults: None,
             scene: None,
@@ -107,6 +114,7 @@ impl CliOptions {
             frames: self.frames,
             threads: self.threads,
             reuse: self.reuse,
+            frontend: self.frontend,
             ..RunOptions::default()
         };
         if self.smoke {
@@ -126,6 +134,7 @@ impl CliOptions {
             .with_workers(self.threads)
             .with_reuse(self.reuse)
             .with_hot_path(self.hot_path)
+            .with_frontend(self.frontend)
     }
 }
 
@@ -184,6 +193,18 @@ pub fn parse_args(args: Vec<String>) -> Result<CliOptions, UsageError> {
                         return Err(UsageError {
                             flag: "--hot-path".into(),
                             expected: "a mode (mask|reference)".into(),
+                        })
+                    }
+                };
+            }
+            "--frontend" => {
+                out.frontend = match value(&mut it)?.as_str() {
+                    "incremental" => FrontendMode::Incremental,
+                    "rebuild" => FrontendMode::Rebuild,
+                    _ => {
+                        return Err(UsageError {
+                            flag: "--frontend".into(),
+                            expected: "a mode (incremental|rebuild)".into(),
                         })
                     }
                 };
@@ -247,7 +268,20 @@ mod tests {
         assert!(!o.smoke);
         assert!(o.reuse);
         assert_eq!(o.hot_path, HotPathMode::Mask);
+        assert_eq!(o.frontend, FrontendMode::Incremental);
         assert!(o.rest.is_empty());
+    }
+
+    #[test]
+    fn frontend_flag_parses_both_modes_and_rejects_others() {
+        let o = parse(&["--frontend", "rebuild"]).expect("valid");
+        assert_eq!(o.frontend, FrontendMode::Rebuild);
+        assert_eq!(o.run_options().frontend, FrontendMode::Rebuild);
+        let o = parse(&["--frontend", "incremental"]).expect("valid");
+        assert_eq!(o.frontend, FrontendMode::Incremental);
+        let e = parse(&["--frontend", "turbo"]).expect_err("rejected");
+        assert_eq!(e.flag, "--frontend");
+        assert!(e.to_string().contains("incremental|rebuild"));
     }
 
     #[test]
@@ -297,6 +331,9 @@ mod tests {
         assert_eq!(p.workers, 3);
         assert!(!p.reuse);
         assert_eq!(p.hot_path, Some(HotPathMode::Reference));
+        assert_eq!(p.frontend, FrontendMode::Incremental, "CLI default is incremental");
+        let p = parse(&["--frontend", "rebuild"]).expect("valid").frame_policy();
+        assert_eq!(p.frontend, FrontendMode::Rebuild);
     }
 
     #[test]

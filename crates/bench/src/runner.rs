@@ -6,7 +6,8 @@ use rbcd_core::{ObjectPair, RbcdConfig, RbcdUnit};
 use rbcd_cpu_cd::{CdBody, Cost, CpuCollisionDetector, CpuConfig, Phase};
 use rbcd_gpu::energy::EnergyModel;
 use rbcd_gpu::{
-    FramePolicy, FrameStats, GpuConfig, NullCollisionUnit, PipelineMode, SimulatorBuilder,
+    FramePolicy, FrameStats, FrontendMode, GpuConfig, NullCollisionUnit, PipelineMode,
+    SimulatorBuilder,
 };
 use rbcd_trace::TraceBuffer;
 use rbcd_workloads::Scene;
@@ -39,6 +40,12 @@ pub struct RunOptions {
     /// Off by default so golden counters and the paper-facing tables
     /// are unaffected unless asked for.
     pub reuse: bool,
+    /// Geometry front-end arrangement. Both modes are bit-identical in
+    /// every simulated number (only the accounting-only `geom.*`
+    /// counters and host wall-clock differ); full rebuild by default so
+    /// golden counters stay byte-stable. The `repro` CLI flips this to
+    /// incremental, the faster host path on coherent workloads.
+    pub frontend: FrontendMode,
     /// Overload governor for the simulator (`None` = ungoverned, the
     /// default — all outputs bit-identical to pre-governor builds).
     /// Experiments that sweep per-frame budgets (`repro overload`) set
@@ -57,6 +64,7 @@ impl Default for RunOptions {
             zeb_counts: vec![1, 2, 3, 4],
             threads: 1,
             reuse: false,
+            frontend: FrontendMode::Rebuild,
             governor: None,
         }
     }
@@ -71,6 +79,7 @@ impl RunOptions {
         FramePolicy::new()
             .with_workers(self.threads)
             .with_reuse(self.reuse)
+            .with_frontend(self.frontend)
             .with_governor(self.governor)
     }
 }

@@ -30,6 +30,9 @@ const GOLDEN_KEYS: &[&str] = &[
     "coherence.tiles_checked",
     "coherence.tiles_reused",
     "frames",
+    "geom.bin_splices",
+    "geom.reuse_draws",
+    "geom.shaded_draws",
     "geometry.bin_entries",
     "geometry.cycles",
     "geometry.draws_quarantined",
@@ -128,6 +131,14 @@ const GOLDEN_VALUES: &[(&str, u64)] = &[
     ("coherence.tiles_checked", 0),
     ("coherence.tiles_reused", 0),
     ("frames", 2),
+    // Incremental-front-end accounting: zero under the library-default
+    // full-rebuild front-end (same mask-only convention as
+    // `tile.scan_skipped` — never read by the energy model, so the
+    // incremental front-end changes `geom.*` without perturbing any
+    // energy-bearing counter).
+    ("geom.bin_splices", 0),
+    ("geom.reuse_draws", 0),
+    ("geom.shaded_draws", 0),
     ("geometry.bin_entries", 22798),
     ("geometry.cycles", 592046),
     ("geometry.draws_quarantined", 0),

@@ -281,6 +281,7 @@ impl SimulatorBuilder {
         let mut sim = Simulator::new(config);
         sim.set_tracing(self.policy.tracing);
         sim.set_reuse(self.policy.reuse);
+        sim.set_frontend(self.policy.frontend);
         sim.set_governor(self.policy.governor);
         Ok(sim)
     }
@@ -424,6 +425,18 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(overridden.config().hot_path, HotPathMode::Mask);
+    }
+
+    #[test]
+    fn policy_frontend_reaches_the_simulator() {
+        use crate::frontend::FrontendMode;
+        let default = SimulatorBuilder::new().build().unwrap();
+        assert_eq!(default.frontend(), FrontendMode::Rebuild);
+        let incremental = SimulatorBuilder::new()
+            .policy(FramePolicy::new().with_frontend(FrontendMode::Incremental))
+            .build()
+            .unwrap();
+        assert_eq!(incremental.frontend(), FrontendMode::Incremental);
     }
 
     #[test]

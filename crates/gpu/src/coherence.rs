@@ -27,7 +27,10 @@
 use crate::command::{CullMode, DrawCommand, Facing, FrameTrace};
 use crate::config::GpuConfig;
 use crate::sim::{BinnedPrim, PipelineMode, TileRasterOut};
+use rbcd_geometry::Mesh;
 use std::any::Any;
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
 
 /// One splitmix64 avalanche step folding `v` into `h`. Deterministic,
 /// dependency-free, and good enough bit diffusion that single-bit input
@@ -45,12 +48,27 @@ fn mix_f32(h: u64, v: f32) -> u64 {
     mix(h, v.to_bits() as u64)
 }
 
-/// Content hash of one draw command, computed once per frame: mesh
-/// vertex positions and indices, the model matrix, the collidable id,
-/// the cull mode, and the shader cost. Everything is hashed by bit
-/// pattern — a NaN injected into a vertex hashes differently from the
-/// clean value, so fault-touched draws invalidate their tiles.
-pub(crate) fn hash_draw(draw: &DrawCommand) -> u64 {
+/// Content hash of one mesh: every vertex position and every index
+/// triple, by raw bit pattern. This is the expensive (O(vertices))
+/// part of a draw hash, and the part worth memoizing per [`Arc<Mesh>`]
+/// — a `Mesh` is immutable after construction, so one content hash is
+/// valid for the lifetime of its allocation.
+pub(crate) fn hash_mesh(mesh: &Mesh) -> u64 {
+    let mut h = 0x00AE_5471_3E5A_5EED_u64;
+    for p in mesh.positions() {
+        h = mix(h, (p.x.to_bits() as u64) << 32 | p.y.to_bits() as u64);
+        h = mix(h, p.z.to_bits() as u64);
+    }
+    for &[a, b, c] in mesh.indices() {
+        h = mix(h, (a as u64) << 42 | (b as u64) << 21 | c as u64);
+    }
+    h
+}
+
+/// Folds the per-draw fields around an already-computed mesh hash: the
+/// model matrix, the mesh content, the collidable id, the cull mode,
+/// and the shader cost, all by bit pattern.
+fn fold_draw(draw: &DrawCommand, mesh_hash: u64) -> u64 {
     let mut h = 0x005E_ED0F_C011_1DE0_u64;
     for c in 0..4 {
         let col = draw.model.col(c);
@@ -59,13 +77,7 @@ pub(crate) fn hash_draw(draw: &DrawCommand) -> u64 {
         h = mix_f32(h, col.z);
         h = mix_f32(h, col.w);
     }
-    for p in draw.mesh.positions() {
-        h = mix(h, (p.x.to_bits() as u64) << 32 | p.y.to_bits() as u64);
-        h = mix(h, p.z.to_bits() as u64);
-    }
-    for &[a, b, c] in draw.mesh.indices() {
-        h = mix(h, (a as u64) << 42 | (b as u64) << 21 | c as u64);
-    }
+    h = mix(h, mesh_hash);
     h = mix(h, match draw.collidable {
         Some(id) => 1 << 16 | id.get() as u64,
         None => 0,
@@ -79,12 +91,77 @@ pub(crate) fn hash_draw(draw: &DrawCommand) -> u64 {
     h
 }
 
+/// Content hash of one draw command: mesh vertex positions and indices,
+/// the model matrix, the collidable id, the cull mode, and the shader
+/// cost. Everything is hashed by bit pattern — a NaN injected into a
+/// vertex hashes differently from the clean value, so fault-touched
+/// draws invalidate their tiles.
+#[cfg(test)]
+pub(crate) fn hash_draw(draw: &DrawCommand) -> u64 {
+    fold_draw(draw, hash_mesh(&draw.mesh))
+}
+
 /// Hashes every draw of `trace` into `out` (indexed by draw position).
 /// Runs once per frame on the main thread; quarantined draws still get
 /// a hash (harmless — they are never binned, so no tile folds it).
+#[cfg(test)]
 pub(crate) fn hash_draws(trace: &FrameTrace, out: &mut Vec<u64>) {
     out.clear();
     out.extend(trace.draws.iter().map(hash_draw));
+}
+
+/// [`hash_draws`] with mesh-hash memoization: identical output, but the
+/// O(vertices) mesh fold is looked up in `memo` per `Arc<Mesh>`, so
+/// static meshes shared across frames are hashed once, not per frame.
+pub(crate) fn hash_draws_memo(trace: &FrameTrace, out: &mut Vec<u64>, memo: &mut MeshHashMemo) {
+    out.clear();
+    out.extend(trace.draws.iter().map(|d| fold_draw(d, memo.hash_for(&d.mesh))));
+}
+
+/// Pointer-keyed memo of mesh content hashes. A `Mesh` is immutable
+/// after construction, so a hash computed for one `Arc<Mesh>`
+/// allocation stays valid as long as that allocation is alive; each
+/// entry keeps a [`Weak`] guard and re-checks identity on lookup, so an
+/// allocator reusing a freed address can never serve a stale hash.
+#[derive(Default)]
+pub(crate) struct MeshHashMemo {
+    by_ptr: HashMap<usize, (Weak<Mesh>, u64)>,
+    /// Table size that triggers the next dead-entry sweep. Fault plans
+    /// mint a fresh `Arc<Mesh>` per poisoned draw per frame, so without
+    /// sweeping the table would grow without bound on long runs.
+    sweep_at: usize,
+}
+
+impl std::fmt::Debug for MeshHashMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MeshHashMemo {{ entries: {} }}", self.by_ptr.len())
+    }
+}
+
+impl MeshHashMemo {
+    const MIN_SWEEP: usize = 64;
+
+    /// The content hash of `mesh`, memoized by allocation. Bit-equal to
+    /// [`hash_mesh`] in every case: a hit is only served when the cached
+    /// weak pointer upgrades to the *same* allocation (immutable, so
+    /// the cached hash is its content hash); anything else recomputes.
+    pub(crate) fn hash_for(&mut self, mesh: &Arc<Mesh>) -> u64 {
+        let key = Arc::as_ptr(mesh) as usize;
+        if let Some((weak, h)) = self.by_ptr.get(&key) {
+            if let Some(live) = weak.upgrade() {
+                if Arc::ptr_eq(&live, mesh) {
+                    return *h;
+                }
+            }
+        }
+        let h = hash_mesh(mesh);
+        self.by_ptr.insert(key, (Arc::downgrade(mesh), h));
+        if self.by_ptr.len() >= self.sweep_at.max(Self::MIN_SWEEP) {
+            self.by_ptr.retain(|_, (weak, _)| weak.strong_count() > 0);
+            self.sweep_at = (self.by_ptr.len() * 2).max(Self::MIN_SWEEP);
+        }
+        h
+    }
 }
 
 /// Frame-level seed: anything outside the polygon lists that the raster
@@ -246,6 +323,67 @@ mod tests {
         let pos = DrawCommand::scenery(mesh(0.0));
         let neg = DrawCommand::scenery(mesh(-0.0));
         assert_ne!(hash_draw(&pos), hash_draw(&neg));
+    }
+
+    #[test]
+    fn memoized_hashes_are_bit_equal_to_unmemoized() {
+        use crate::command::Camera;
+        let camera = Camera::perspective(Vec3::new(0.0, 1.0, 6.0), Vec3::ZERO, 1.0, 0.1, 100.0);
+        let shared = Arc::new(shapes::cube(1.0));
+        let draws = vec![
+            DrawCommand { mesh: shared.clone(), ..draw() },
+            DrawCommand::scenery(shapes::ground_quad(8.0, 8.0)),
+            DrawCommand { mesh: shared.clone(), ..draw() }
+                .with_model(Mat4::translation(Vec3::new(0.0, 2.0, 0.0))),
+        ];
+        let trace = FrameTrace::new(camera, draws);
+        let mut plain = Vec::new();
+        let mut memoized = Vec::new();
+        let mut memo = MeshHashMemo::default();
+        hash_draws(&trace, &mut plain);
+        // Two passes: the second is served from the memo and must still
+        // match the from-scratch hashes exactly.
+        for _ in 0..2 {
+            hash_draws_memo(&trace, &mut memoized, &mut memo);
+            assert_eq!(plain, memoized);
+        }
+    }
+
+    #[test]
+    fn memo_rechecks_identity_on_pointer_reuse() {
+        let mut memo = MeshHashMemo::default();
+        let a = Arc::new(shapes::cube(1.0));
+        let ha = memo.hash_for(&a);
+        assert_eq!(ha, hash_mesh(&a));
+        assert_eq!(memo.hash_for(&a), ha, "second lookup is a hit");
+        // Drop the first mesh and mint others until the allocator hands
+        // back the same address: the dead weak guard must force a
+        // recompute, never serve the stale cube hash.
+        let old_ptr = Arc::as_ptr(&a) as usize;
+        drop(a);
+        for i in 0..4096u32 {
+            let b = Arc::new(shapes::icosphere(0.5 + i as f32 * 1e-4, 0));
+            let hb = memo.hash_for(&b);
+            assert_eq!(hb, hash_mesh(&b), "memo must never serve a stale hash");
+            if Arc::as_ptr(&b) as usize == old_ptr {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn memo_sweeps_dead_entries() {
+        let mut memo = MeshHashMemo::default();
+        for _ in 0..(MeshHashMemo::MIN_SWEEP * 4) {
+            let m = Arc::new(shapes::cube(1.0));
+            memo.hash_for(&m);
+            // `m` drops here: every entry is dead by the next insert.
+        }
+        assert!(
+            memo.by_ptr.len() <= MeshHashMemo::MIN_SWEEP,
+            "dead entries must be swept, got {}",
+            memo.by_ptr.len()
+        );
     }
 
     #[test]

@@ -51,6 +51,7 @@ mod collision_unit;
 mod command;
 mod config;
 pub mod energy;
+mod frontend;
 pub mod imr;
 mod parallel;
 mod policy;
@@ -67,6 +68,7 @@ pub use command::{
     Camera, CullMode, DrawCommand, Facing, FrameTrace, ObjectId, SceneError, ShaderCost,
 };
 pub use config::{GovernorConfig, GpuConfig, HotPathMode};
+pub use frontend::FrontendMode;
 pub use imr::{ImrSimulator, ImrStats};
 pub use parallel::ParallelCollision;
 pub use policy::FramePolicy;

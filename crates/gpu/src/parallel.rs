@@ -228,7 +228,7 @@ impl Simulator {
         backend: &mut B,
         threads: usize,
     ) -> FrameStats {
-        let geometry = self.geometry_pipeline(trace, mode);
+        let geometry = self.geometry_pipeline_with(trace, mode, threads);
         let co = self.plan_raster(trace, mode, &*backend);
         let slots = self.compute_raster(trace, mode, &*backend, threads.max(1));
         let (raster, coherence) = self.merge_raster(trace, backend, slots, co);
@@ -258,7 +258,15 @@ impl Simulator {
         let gov = self.governor;
         let reuse_on = self.reuse || gov.is_some();
         if reuse_on {
-            coherence::hash_draws(trace, &mut self.draw_hashes);
+            // The incremental front-end already hashed this frame's
+            // draws (its cache key shares the digest); reuse them
+            // instead of hashing twice. Host-side memoization only —
+            // the simulated per-draw hand-off charge below is the same
+            // either way.
+            if !self.draw_hashes_ready {
+                coherence::hash_draws_memo(trace, &mut self.draw_hashes, &mut self.mesh_memo);
+            }
+            self.draw_hashes_ready = false;
             co.draw_hashes = self.draw_hashes.len() as u64;
             // The blocked-object filter changes what the backend sees,
             // so the blocked set is folded into the frame seed: cached
@@ -750,6 +758,77 @@ mod tests {
             moved.coherence.tiles_reused < moved.coherence.tiles_checked,
             "the moved cube's tiles must recompute"
         );
+    }
+
+    /// Zeroes the accounting-only `geom.*` counters — the only fields
+    /// allowed to differ between the rebuild and incremental
+    /// front-ends.
+    fn no_geom_accounting(mut s: FrameStats) -> FrameStats {
+        s.geometry.reuse_draws = 0;
+        s.geometry.shaded_draws = 0;
+        s.geometry.bin_splices = 0;
+        s
+    }
+
+    #[test]
+    fn incremental_frontend_is_bit_identical_to_rebuild() {
+        use crate::frontend::FrontendMode;
+        for mode in [PipelineMode::Baseline, PipelineMode::Rbcd, PipelineMode::CollisionOnly] {
+            for reuse in [false, true] {
+                for threads in [1, 2, 4] {
+                    let trace = busy_trace();
+                    let mut rebuild = Simulator::new(cfg());
+                    rebuild.set_reuse(reuse);
+                    let mut inc = Simulator::new(cfg());
+                    inc.set_reuse(reuse);
+                    inc.set_frontend(FrontendMode::Incremental);
+                    for frame in 0..3 {
+                        let a = rebuild.render_frame_parallel(
+                            &trace,
+                            mode,
+                            &mut NullCollisionUnit,
+                            threads,
+                        );
+                        let b =
+                            inc.render_frame_parallel(&trace, mode, &mut NullCollisionUnit, threads);
+                        assert_eq!(
+                            a,
+                            no_geom_accounting(b.clone()),
+                            "mode {mode:?}, reuse {reuse}, {threads} threads, frame {frame}"
+                        );
+                        if mode != PipelineMode::CollisionOnly && frame > 0 {
+                            assert!(
+                                b.geometry.reuse_draws > 0,
+                                "a static frame replays its draws from the geometry cache"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_frontend_traces_match_rebuild_events() {
+        use crate::frontend::FrontendMode;
+        let trace = busy_trace();
+        let events_of = |frontend: FrontendMode| {
+            let mut sim = crate::SimulatorBuilder::from_config(cfg())
+                .policy(crate::FramePolicy::new().with_tracing(true).with_frontend(frontend))
+                .build()
+                .unwrap();
+            for _ in 0..2 {
+                sim.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut NullCollisionUnit, 2);
+            }
+            sim.take_trace().expect("tracing was enabled")
+        };
+        let rebuild = events_of(FrontendMode::Rebuild);
+        let inc = events_of(FrontendMode::Incremental);
+        // The timeline is simulated, so splicing must be invisible to
+        // the event stream; only the splice heat plane may differ.
+        assert_eq!(rebuild.events(), inc.events());
+        assert_eq!(inc.heat().total("splice") > 0, true, "warm frame splices bins");
+        assert_eq!(rebuild.heat().total("splice"), 0);
     }
 
     #[test]

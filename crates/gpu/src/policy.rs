@@ -18,17 +18,20 @@
 //! (`SessionSpec::with_faults`), not to the simulator.
 
 use crate::config::{GovernorConfig, HotPathMode};
+use crate::frontend::FrontendMode;
 
 /// Every frame-execution knob in one place: worker threads, temporal
-/// tile reuse, intra-tile hot path, tracing, and the overload governor.
+/// tile reuse, intra-tile hot path, geometry front-end, tracing, and
+/// the overload governor.
 ///
 /// ```
-/// use rbcd_gpu::{FramePolicy, GovernorConfig, HotPathMode, SimulatorBuilder};
+/// use rbcd_gpu::{FramePolicy, FrontendMode, GovernorConfig, HotPathMode, SimulatorBuilder};
 ///
 /// let policy = FramePolicy::new()
 ///     .with_workers(2)
 ///     .with_reuse(true)
 ///     .with_hot_path(HotPathMode::Mask)
+///     .with_frontend(FrontendMode::Incremental)
 ///     .with_governor(Some(GovernorConfig { frame_budget_cycles: 50_000, ..GovernorConfig::default() }));
 /// let sim = SimulatorBuilder::new().policy(policy).build().expect("valid configuration");
 /// assert!(sim.reuse_enabled());
@@ -52,6 +55,12 @@ pub struct FramePolicy {
     /// bit-identical in every result — this knob only trades host
     /// wall-clock.
     pub hot_path: Option<HotPathMode>,
+    /// Geometry front-end arrangement; see
+    /// [`Simulator::set_frontend`](crate::Simulator::set_frontend). The
+    /// two modes are bit-identical in every simulated result — the
+    /// incremental front-end only trades host wall-clock (plus the
+    /// accounting-only `geom.*` counters). Full rebuild by default.
+    pub frontend: FrontendMode,
     /// Structured simulated-cycle tracing; see
     /// [`Simulator::set_tracing`](crate::Simulator::set_tracing). Off
     /// by default (the zero-overhead path).
@@ -65,7 +74,14 @@ pub struct FramePolicy {
 
 impl Default for FramePolicy {
     fn default() -> Self {
-        Self { workers: 1, reuse: false, hot_path: None, tracing: false, governor: None }
+        Self {
+            workers: 1,
+            reuse: false,
+            hot_path: None,
+            frontend: FrontendMode::Rebuild,
+            tracing: false,
+            governor: None,
+        }
     }
 }
 
@@ -96,6 +112,14 @@ impl FramePolicy {
         self
     }
 
+    /// Selects the geometry front-end (both modes are bit-identical in
+    /// simulated results; the incremental one caches per-draw geometry
+    /// to cut host wall-clock).
+    pub fn with_frontend(mut self, frontend: FrontendMode) -> Self {
+        self.frontend = frontend;
+        self
+    }
+
     /// Enables or disables structured tracing.
     pub fn with_tracing(mut self, tracing: bool) -> Self {
         self.tracing = tracing;
@@ -119,6 +143,7 @@ mod tests {
         assert_eq!(p.workers, 1);
         assert!(!p.reuse);
         assert!(p.hot_path.is_none());
+        assert_eq!(p.frontend, FrontendMode::Rebuild);
         assert!(!p.tracing);
         assert!(p.governor.is_none());
         assert_eq!(FramePolicy::new(), p);
@@ -131,11 +156,13 @@ mod tests {
             .with_workers(4)
             .with_reuse(true)
             .with_hot_path(HotPathMode::Reference)
+            .with_frontend(FrontendMode::Incremental)
             .with_tracing(true)
             .with_governor(Some(gov));
         assert_eq!(p.workers, 4);
         assert!(p.reuse);
         assert_eq!(p.hot_path, Some(HotPathMode::Reference));
+        assert_eq!(p.frontend, FrontendMode::Incremental);
         assert!(p.tracing);
         assert_eq!(p.governor, Some(gov));
         assert_eq!(p.with_governor(None).governor, None);

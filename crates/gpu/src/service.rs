@@ -94,7 +94,7 @@ pub fn render_batch<B: ParallelCollision>(
     let mut geoms = Vec::with_capacity(jobs.len());
     let mut cos = Vec::with_capacity(jobs.len());
     for job in jobs.iter_mut() {
-        geoms.push(job.sim.geometry_pipeline(job.trace, job.mode));
+        geoms.push(job.sim.geometry_pipeline_with(job.trace, job.mode, workers));
         cos.push(job.sim.plan_raster(job.trace, job.mode, &*job.backend));
     }
 

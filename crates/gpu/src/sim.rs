@@ -2,17 +2,20 @@
 
 use crate::cache::CacheModel;
 use crate::clip::clip_near;
-use crate::coherence::TileResultCache;
+use crate::coherence::{self, MeshHashMemo, TileResultCache};
 use crate::collision_unit::{CollisionFragment, CollisionUnit, TileCoord};
 use crate::command::{Facing, FrameTrace, ObjectId};
 use crate::config::{GovernorConfig, GpuConfig, HotPathMode};
+use crate::frontend::{self, CachedDrawGeom, FrontendMode, GeomCache};
 use crate::raster::{
     rasterize_triangle_in_tile, rasterize_triangle_in_tile_masked_rows, Fragment, ScreenTriangle,
 };
 use crate::stats::{CoherenceStats, FrameStats, GeometryStats, GovernorStats, RasterStats};
-use rbcd_math::{viewport as viewport_map, Vec3};
+use rbcd_math::{viewport as viewport_map, Vec3, Vec4};
 use rbcd_trace::{TileZebRecord, TraceBuffer};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Whether the pipeline renders plain (baseline) or with the RBCD
 /// extensions enabled (deferred face culling of collisionable geometry,
@@ -380,10 +383,34 @@ pub struct Simulator {
     pub(crate) boost_plan: Vec<u8>,
     /// The last governed frame's report, taken by the host.
     pub(crate) governor_report: Option<GovernorFrameReport>,
+    /// Geometry front-end arrangement (full rebuild by default; see
+    /// [`Simulator::set_frontend`]).
+    pub(crate) frontend: FrontendMode,
+    /// Persistent per-draw geometry cache of the incremental front-end.
+    pub(crate) geom_cache: GeomCache,
+    /// Pointer-keyed mesh content-hash memo shared by the incremental
+    /// front-end and the coherence layer's per-frame draw hashing.
+    pub(crate) mesh_memo: MeshHashMemo,
+    /// Whether `draw_hashes` already holds this frame's hashes (set by
+    /// the incremental front-end so `plan_raster` does not re-hash).
+    pub(crate) draw_hashes_ready: bool,
+    /// Post-transform clip-space positions of the draw being shaded
+    /// (scratch, reused across draws and frames).
+    pub(crate) vertex_scratch: Vec<Vec4>,
 }
 
 const RECORD_BASE: u64 = 1 << 40;
 const BIN_BASE: u64 = 2 << 40;
+
+/// One live draw's plan entry in the incremental front-end: its index,
+/// cache key, whether the geometry cache hit, and the geometry to
+/// splice (filled by the shading stage for misses).
+struct DrawPlan {
+    draw: u32,
+    key: u64,
+    hit: bool,
+    geom: Option<Arc<CachedDrawGeom>>,
+}
 
 /// Replays tile `ti`'s Tile Fetcher accesses (bin entry + shared
 /// primitive record per primitive) against the shared tile cache. The
@@ -498,6 +525,11 @@ impl Simulator {
             governor_blocked: BTreeSet::new(),
             boost_plan: Vec::new(),
             governor_report: None,
+            frontend: FrontendMode::default(),
+            geom_cache: GeomCache::with_capacity(frontend::DEFAULT_GEOM_CACHE_DRAWS),
+            mesh_memo: MeshHashMemo::default(),
+            draw_hashes_ready: false,
+            vertex_scratch: Vec::new(),
             config,
         }
     }
@@ -555,6 +587,50 @@ impl Simulator {
     /// Whether temporal tile reuse is currently enabled.
     pub fn reuse_enabled(&self) -> bool {
         self.reuse
+    }
+
+    /// Selects the geometry front-end arrangement
+    /// ([`FrontendMode::Rebuild`] by default).
+    ///
+    /// With [`FrontendMode::Incremental`], draws whose content hash
+    /// (plus camera/viewport/mode seed) matches a cached entry skip
+    /// vertex shading, near-clipping, and face culling; their screen
+    /// triangles and bin records are spliced from the per-draw geometry
+    /// cache, and changed draws are shaded in parallel on the caller's
+    /// worker pool. Every result — bins, pairs, event counters, energy,
+    /// traces — is bit-identical to the rebuild front-end; only host
+    /// wall-clock and the `geom.*` accounting counters differ (see
+    /// `crate::frontend`).
+    ///
+    /// Switching back to [`FrontendMode::Rebuild`] drops the cache, so
+    /// a later re-enable starts cold.
+    pub fn set_frontend(&mut self, mode: FrontendMode) {
+        self.frontend = mode;
+        if mode == FrontendMode::Rebuild {
+            self.geom_cache.clear();
+            self.draw_hashes_ready = false;
+        }
+    }
+
+    /// The active geometry front-end arrangement.
+    pub fn frontend(&self) -> FrontendMode {
+        self.frontend
+    }
+
+    /// Bounds the incremental front-end's per-draw geometry cache to
+    /// `draws` entries (least-recently-used draws are evicted first;
+    /// a floor of one entry is enforced). Eviction never changes
+    /// results — an evicted draw simply misses and is re-shaded — so
+    /// this knob trades memory for reuse rate only.
+    pub fn set_geom_cache_capacity(&mut self, draws: usize) {
+        self.geom_cache.set_capacity(draws);
+    }
+
+    /// Entries currently held by the incremental front-end's per-draw
+    /// geometry cache (zero under [`FrontendMode::Rebuild`]). Exposed
+    /// for tests and capacity tuning.
+    pub fn geom_cache_len(&self) -> usize {
+        self.geom_cache.len()
     }
 
     /// Installs (or removes) the overload governor. With `None` (the
@@ -676,11 +752,39 @@ impl Simulator {
 
     /// Geometry Pipeline: vertex processing, primitive assembly,
     /// clipping, (deferred) face culling, and binning into `self.bins`.
+    /// Single-threaded entry point; the parallel render path calls
+    /// [`Simulator::geometry_pipeline_with`] so the incremental
+    /// front-end can shade changed draws on the worker pool.
     pub(crate) fn geometry_pipeline(
         &mut self,
         trace: &FrameTrace,
         mode: PipelineMode,
     ) -> GeometryStats {
+        self.geometry_pipeline_with(trace, mode, 1)
+    }
+
+    /// Geometry Pipeline with an explicit worker-thread count for the
+    /// incremental front-end's parallel shading stage. Results are
+    /// bit-identical at any `threads` (and to the rebuild front-end);
+    /// the thread count affects host wall-clock only.
+    pub(crate) fn geometry_pipeline_with(
+        &mut self,
+        trace: &FrameTrace,
+        mode: PipelineMode,
+        threads: usize,
+    ) -> GeometryStats {
+        match self.frontend {
+            FrontendMode::Rebuild => {
+                self.draw_hashes_ready = false;
+                self.geometry_rebuild(trace, mode)
+            }
+            FrontendMode::Incremental => self.geometry_incremental(trace, mode, threads),
+        }
+    }
+
+    /// The full-rebuild front-end: every draw transformed, clipped,
+    /// culled, and binned from scratch.
+    fn geometry_rebuild(&mut self, trace: &FrameTrace, mode: PipelineMode) -> GeometryStats {
         let cfg = &self.config;
         let (vw, vh) = (cfg.viewport.width, cfg.viewport.height);
         let (tiles_x, tiles_y) = (cfg.tiles_x(), cfg.tiles_y());
@@ -709,19 +813,16 @@ impl Simulator {
                 continue;
             }
             let mvp = view_proj * draw.model;
-            // Vertex fetch + shade: each vertex processed once.
+            // Vertex fetch + shade: each vertex processed once, into
+            // the simulator-owned scratch (no per-draw allocation).
             let base_addr = (draw_idx as u64) << 32;
-            let clip_pos: Vec<rbcd_math::Vec4> = draw
-                .mesh
-                .positions()
-                .iter()
-                .enumerate()
-                .map(|(vi, &p)| {
-                    self.vertex_cache
-                        .read_span(base_addr + vi as u64 * cfg.vertex_record_bytes, cfg.vertex_record_bytes);
-                    mvp.transform_vec4(p.extend(1.0))
-                })
-                .collect();
+            self.vertex_scratch.clear();
+            for (vi, &p) in draw.mesh.positions().iter().enumerate() {
+                self.vertex_cache
+                    .read_span(base_addr + vi as u64 * cfg.vertex_record_bytes, cfg.vertex_record_bytes);
+                self.vertex_scratch.push(mvp.transform_vec4(p.extend(1.0)));
+            }
+            let clip_pos = &self.vertex_scratch;
             g.vertices_shaded += clip_pos.len() as u64;
             g.vp_busy_cycles += clip_pos.len() as u64 * draw.shader.vertex_cycles as u64;
             if self.tracer.is_some() {
@@ -801,6 +902,186 @@ impl Simulator {
                 }
             }
         }
+        self.seal_geometry(g, &draw_log)
+    }
+
+    /// The incremental front-end: classify every draw against the
+    /// per-draw geometry cache, shade the misses (in parallel when
+    /// `threads > 1`), then merge in draw order — splicing cached
+    /// triangles and replaying each draw's exact cache-model access
+    /// sequence so every counter matches the rebuild path bit for bit
+    /// (see `crate::frontend` for the full contract).
+    fn geometry_incremental(
+        &mut self,
+        trace: &FrameTrace,
+        mode: PipelineMode,
+        threads: usize,
+    ) -> GeometryStats {
+        let tiles_x = self.config.tiles_x();
+        let tiles_y = self.config.tiles_y();
+        self.bins.begin_frame((tiles_x * tiles_y) as usize);
+        let mut g = GeometryStats::default();
+        self.vertex_cache.reset_stats();
+        self.tile_cache.reset_stats();
+        let view_proj = trace.camera.view_proj();
+        let mut record_counter: u64 = 0;
+        let mut draw_log: Vec<(u64, u64, u64)> = Vec::new();
+
+        // Per-draw content hashes, memoized per mesh allocation. The
+        // coherence layer needs the same hashes this frame, so
+        // `plan_raster` picks them up instead of re-hashing.
+        coherence::hash_draws_memo(trace, &mut self.draw_hashes, &mut self.mesh_memo);
+        self.draw_hashes_ready = true;
+        let seed = frontend::geom_seed(&self.config, mode, &view_proj);
+
+        // Classify on the main thread: mode skips, quarantine, and
+        // cache lookups happen in draw order (LRU touch order is part
+        // of the deterministic state), independent of `threads`.
+        let mut plan: Vec<DrawPlan> = Vec::with_capacity(trace.draws.len());
+        for (draw_idx, draw) in trace.draws.iter().enumerate() {
+            if mode == PipelineMode::CollisionOnly && draw.collidable.is_none() {
+                continue; // only collisionable commands are submitted
+            }
+            if draw.validate().is_err() {
+                g.draws_quarantined += 1;
+                continue;
+            }
+            let key = coherence::mix(seed, self.draw_hashes[draw_idx]);
+            let geom = self.geom_cache.get(key);
+            plan.push(DrawPlan { draw: draw_idx as u32, key, hit: geom.is_some(), geom });
+        }
+
+        // Shade the misses. Each is a pure function of (draw,
+        // view-projection, config, mode), so the fan-out is free of
+        // shared state; results merge back by plan position.
+        let missing: Vec<(usize, u32)> =
+            plan.iter().enumerate().filter(|(_, p)| !p.hit).map(|(i, p)| (i, p.draw)).collect();
+        if !missing.is_empty() {
+            let cfg = &self.config;
+            if threads <= 1 || missing.len() <= 1 {
+                for &(pi, di) in &missing {
+                    plan[pi].geom = Some(Arc::new(frontend::shade_draw(
+                        &trace.draws[di as usize],
+                        &view_proj,
+                        cfg,
+                        mode,
+                        &mut self.vertex_scratch,
+                    )));
+                }
+            } else {
+                let next = AtomicUsize::new(0);
+                let missing = &missing[..];
+                let view_proj = &view_proj;
+                let batches: Vec<Vec<(usize, Arc<CachedDrawGeom>)>> = std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..threads.min(missing.len()))
+                        .map(|_| {
+                            let next = &next;
+                            s.spawn(move || {
+                                let mut scratch: Vec<Vec4> = Vec::new();
+                                let mut done = Vec::new();
+                                loop {
+                                    let i = next.fetch_add(1, Ordering::Relaxed);
+                                    if i >= missing.len() {
+                                        break;
+                                    }
+                                    let (pi, di) = missing[i];
+                                    let geom = frontend::shade_draw(
+                                        &trace.draws[di as usize],
+                                        view_proj,
+                                        cfg,
+                                        mode,
+                                        &mut scratch,
+                                    );
+                                    done.push((pi, Arc::new(geom)));
+                                }
+                                done
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("geometry shading worker panicked"))
+                        .collect()
+                });
+                for batch in batches {
+                    for (pi, geom) in batch {
+                        plan[pi].geom = Some(geom);
+                    }
+                }
+            }
+        }
+
+        // Ordered merge: draw order, exactly the rebuild path's
+        // emission sequence. Cache-model traffic is replayed with the
+        // current frame's draw indices and record ids.
+        let vrb = self.config.vertex_record_bytes;
+        let prb = self.config.prim_record_bytes;
+        for p in &plan {
+            let draw_idx = p.draw as usize;
+            let draw = &trace.draws[draw_idx];
+            let geom = p.geom.as_ref().expect("every planned draw was cached or shaded");
+            let base_addr = (draw_idx as u64) << 32;
+            for vi in 0..geom.verts {
+                self.vertex_cache.read_span(base_addr + vi * vrb, vrb);
+            }
+            g.vertices_shaded += geom.verts;
+            g.vp_busy_cycles += geom.verts * draw.shader.vertex_cycles as u64;
+            if self.tracer.is_some() {
+                draw_log.push((draw_idx as u64, geom.verts, geom.tris_in));
+            }
+            g.triangles_assembled += geom.tris_in;
+            g.triangles_clipped_out += geom.clipped_out;
+            g.triangles_after_clip += geom.after_clip;
+            g.triangles_degenerate += geom.degenerate;
+            g.triangles_culled += geom.culled;
+            g.triangles_tagged += geom.tagged;
+            if p.hit {
+                g.reuse_draws += 1;
+            } else {
+                g.shaded_draws += 1;
+            }
+
+            let mut tile_lo = 0usize;
+            for t in &geom.tris {
+                let record = record_counter;
+                record_counter += 1;
+                self.tile_cache.write_span(RECORD_BASE + record * prb, prb);
+                g.prim_records += 1;
+                for &ti in &geom.tiles[tile_lo..t.tiles_end as usize] {
+                    let entry = self.bins.push(
+                        ti as usize,
+                        BinnedPrim {
+                            tri: t.tri,
+                            facing: t.facing,
+                            draw: p.draw,
+                            record,
+                            tagged_cull: t.tagged_cull,
+                        },
+                    );
+                    self.tile_cache.write_span(BIN_BASE + ((ti as u64) << 24) + entry * 8, 8);
+                    g.bin_entries += 1;
+                    if p.hit {
+                        g.bin_splices += 1;
+                        if let Some(tr) = self.tracer.as_deref_mut() {
+                            tr.record_bin_splice(ti % tiles_x, ti / tiles_x);
+                        }
+                    }
+                }
+                tile_lo = t.tiles_end as usize;
+            }
+            if !p.hit {
+                self.geom_cache.insert(p.key, geom.clone());
+            }
+        }
+        self.seal_geometry(g, &draw_log)
+    }
+
+    /// Shared closing of both front-ends: bin layout, cache-stat
+    /// snapshots, stage-timing derivation, and trace emission. One body
+    /// so the derived `geometry.cycles` (and the trace) of the
+    /// incremental path is the rebuild derivation applied to identical
+    /// inputs — identical by construction.
+    fn seal_geometry(&mut self, mut g: GeometryStats, draw_log: &[(u64, u64, u64)]) -> GeometryStats {
         self.bins.layout();
 
         g.tile_cache_stores = self.tile_cache.stats();
@@ -826,7 +1107,7 @@ impl Simulator {
             t.begin_frame();
             t.geometry_done(g.cycles);
             let n = draw_log.len() as u64;
-            for &(idx, verts, tris) in &draw_log {
+            for &(idx, verts, tris) in draw_log {
                 // Spread the draw markers proportionally across the
                 // geometry span.
                 let at = (idx * g.cycles).checked_div(n).unwrap_or(0);

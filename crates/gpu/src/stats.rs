@@ -37,6 +37,19 @@ pub struct GeometryStats {
     pub vp_busy_cycles: u64,
     /// Geometry Pipeline cycles.
     pub cycles: u64,
+    /// Draws whose post-transform geometry was replayed from the
+    /// incremental front-end cache instead of being re-shaded. Zero
+    /// under the full-rebuild front-end. Accounting-only, like
+    /// `tile.scan_skipped`: the energy model never reads it.
+    pub reuse_draws: u64,
+    /// Draws shaded/clipped fresh by the incremental front-end (cache
+    /// misses). Zero under the full-rebuild front-end. Accounting-only;
+    /// excluded from the energy model.
+    pub shaded_draws: u64,
+    /// Bin entries spliced into `BinnedTiles` from cached draw geometry
+    /// rather than recomputed. Zero under the full-rebuild front-end.
+    /// Accounting-only; excluded from the energy model.
+    pub bin_splices: u64,
 }
 
 /// Raster Pipeline counters for one or more frames.
@@ -164,6 +177,9 @@ impl FrameStats {
         g.vertex_cache.add(&o.vertex_cache);
         g.vp_busy_cycles += o.vp_busy_cycles;
         g.cycles += o.cycles;
+        g.reuse_draws += o.reuse_draws;
+        g.shaded_draws += o.shaded_draws;
+        g.bin_splices += o.bin_splices;
 
         let r = &mut self.raster;
         let o = &other.raster;
@@ -215,6 +231,9 @@ impl FrameStats {
             ("coherence.signature_cycles", c.signature_cycles),
             ("coherence.tiles_checked", c.tiles_checked),
             ("coherence.tiles_reused", c.tiles_reused),
+            ("geom.bin_splices", g.bin_splices),
+            ("geom.reuse_draws", g.reuse_draws),
+            ("geom.shaded_draws", g.shaded_draws),
             ("geometry.vertices_shaded", g.vertices_shaded),
             ("geometry.triangles_assembled", g.triangles_assembled),
             ("geometry.triangles_clipped_out", g.triangles_clipped_out),

@@ -190,6 +190,15 @@ impl TraceBuffer {
         self.heat.add_shed(x, y);
     }
 
+    /// Records one bin entry the incremental geometry front-end spliced
+    /// into tile (`x`, `y`) from its per-draw cache. Heat-plane only —
+    /// deliberately **no** timeline event, so the event stream stays
+    /// bit-identical between the incremental and rebuild front-ends
+    /// (splicing is a host-side shortcut, not a simulated occurrence).
+    pub fn record_bin_splice(&mut self, x: u32, y: u32) {
+        self.heat.add_splice(x, y);
+    }
+
     /// Folds one tile's RBCD-unit observations into the trace: insert
     /// and scan spans, overflow / ladder-rung markers, cumulative
     /// counter samples, and the per-tile heat grid.
@@ -425,6 +434,17 @@ mod tests {
         assert_eq!(e.cat, "governor");
         assert_eq!(e.kind, EventKind::Instant);
         assert_eq!(t.heat().total("shed"), 1);
+    }
+
+    #[test]
+    fn bin_splice_touches_heat_but_not_the_event_stream() {
+        let mut t = TraceBuffer::new(2, 2);
+        t.begin_frame();
+        let before = t.events().len();
+        t.record_bin_splice(1, 1);
+        t.record_bin_splice(1, 1);
+        assert_eq!(t.events().len(), before, "splices must not perturb the event stream");
+        assert_eq!(t.heat().total("splice"), 2);
     }
 
     #[test]

@@ -5,15 +5,26 @@ use crate::event::TileZebRecord;
 /// The metrics a [`HeatGrid`] accumulates, in export order. Each name
 /// is a valid argument to [`HeatGrid::csv`] / [`HeatGrid::total`] and
 /// becomes one CSV file per `repro --trace` run.
-pub const HEATMAP_METRICS: [&str; 8] =
-    ["occupancy", "overflows", "scan_cycles", "pairs", "rung", "reuse", "scan_skipped", "shed"];
+pub const HEATMAP_METRICS: [&str; 9] = [
+    "occupancy",
+    "overflows",
+    "scan_cycles",
+    "pairs",
+    "rung",
+    "reuse",
+    "scan_skipped",
+    "shed",
+    "splice",
+];
 
 /// A `tiles_x` × `tiles_y` grid of per-tile accumulators, folded over
 /// every [`TileZebRecord`] the trace sees (all frames summed; `rung`
 /// keeps the worst rung a tile ever hit). The `reuse` plane counts
 /// temporal-coherence replays per tile and is fed separately via
 /// [`HeatGrid::add_reuse`]; the `shed` plane counts overload-governor
-/// tile drops, fed via [`HeatGrid::add_shed`].
+/// tile drops, fed via [`HeatGrid::add_shed`]; the `splice` plane
+/// counts bin entries the incremental geometry front-end spliced from
+/// its per-draw cache, fed via [`HeatGrid::add_splice`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HeatGrid {
     tiles_x: u32,
@@ -26,6 +37,7 @@ pub struct HeatGrid {
     reuse: Vec<u64>,
     scan_skipped: Vec<u64>,
     shed: Vec<u64>,
+    splice: Vec<u64>,
 }
 
 impl HeatGrid {
@@ -43,6 +55,7 @@ impl HeatGrid {
             reuse: vec![0; n],
             scan_skipped: vec![0; n],
             shed: vec![0; n],
+            splice: vec![0; n],
         }
     }
 
@@ -90,6 +103,16 @@ impl HeatGrid {
         self.shed[y as usize * self.tiles_x as usize + x as usize] += 1;
     }
 
+    /// Counts one bin entry the incremental geometry front-end spliced
+    /// into tile (`x`, `y`) from its per-draw cache. Out-of-grid
+    /// coordinates are ignored, matching [`HeatGrid::add_tile`].
+    pub fn add_splice(&mut self, x: u32, y: u32) {
+        if x >= self.tiles_x || y >= self.tiles_y {
+            return;
+        }
+        self.splice[y as usize * self.tiles_x as usize + x as usize] += 1;
+    }
+
     fn cells(&self, metric: &str) -> Option<&[u64]> {
         match metric {
             "occupancy" => Some(&self.occupancy),
@@ -100,6 +123,7 @@ impl HeatGrid {
             "reuse" => Some(&self.reuse),
             "scan_skipped" => Some(&self.scan_skipped),
             "shed" => Some(&self.shed),
+            "splice" => Some(&self.splice),
             _ => None,
         }
     }
@@ -187,6 +211,17 @@ mod tests {
         g.add_shed(9, 0); // ignored, out of grid
         assert_eq!(g.total("shed"), 2);
         assert_eq!(g.csv("shed").unwrap(), "0,0\n2,0\n");
+    }
+
+    #[test]
+    fn splice_plane_counts_frontend_bin_splices() {
+        let mut g = HeatGrid::new(2, 2);
+        g.add_splice(1, 0);
+        g.add_splice(1, 0);
+        g.add_splice(0, 1);
+        g.add_splice(4, 4); // ignored, out of grid
+        assert_eq!(g.total("splice"), 3);
+        assert_eq!(g.csv("splice").unwrap(), "0,2\n1,0\n");
     }
 
     #[test]

@@ -10,7 +10,10 @@
 # BENCH_fault_tolerance.json. The temporal smoke renders static clips
 # with tile reuse off vs on and fails unless results are bit-identical
 # and the cache actually replayed tiles
-# (BENCH_temporal_coherence.json). The overload smoke sweeps the
+# (BENCH_temporal_coherence.json). The frontend smoke A/Bs the
+# incremental geometry front-end against a full rebuild and fails on
+# any divergence or wall-clock regression
+# (BENCH_geometry_frontend.json). The overload smoke sweeps the
 # frame-deadline governor down to a 25% cycle budget under the storm
 # fault plan (repro exits non-zero on any budget violation or silent
 # oracle miss) and re-runs it at 1/2/4 threads, requiring byte-identical
@@ -48,7 +51,7 @@ echo "== trace smoke (repro --smoke --frames 2 --trace) =="
 trace_dir=$(mktemp -d)
 trap 'rm -rf "$trace_dir"' EXIT
 ./target/release/repro --smoke --frames 2 --trace "$trace_dir/trace.json"
-for f in trace.json trace.occupancy.csv trace.overflows.csv trace.scan_cycles.csv trace.pairs.csv trace.rung.csv trace.reuse.csv trace.scan_skipped.csv trace.shed.csv; do
+for f in trace.json trace.occupancy.csv trace.overflows.csv trace.scan_cycles.csv trace.pairs.csv trace.rung.csv trace.reuse.csv trace.scan_skipped.csv trace.shed.csv trace.splice.csv; do
   [ -s "$trace_dir/$f" ] || { echo "trace smoke: missing or empty $f"; exit 1; }
 done
 grep -q '"traceEvents"' "$trace_dir/trace.json" || { echo "trace smoke: no traceEvents key"; exit 1; }
@@ -81,6 +84,24 @@ geo=$(sed -n 's/.*"speedup_geomean": \([0-9.]*\).*/\1/p' BENCH_raster_hotpath.js
 [ -n "$geo" ] || { echo "hotpath smoke: no speedup_geomean in JSON"; exit 1; }
 awk -v g="$geo" 'BEGIN { exit (g >= 1.0) ? 0 : 1 }' \
   || { echo "hotpath smoke: mask path slower than reference (geomean ${geo}x)"; exit 1; }
+
+echo "== geometry front-end smoke (repro --smoke frontend) =="
+# A/B of the incremental geometry front-end (per-draw transform/clip/
+# bin caching with delta binning) against a full per-frame rebuild:
+# repro exits non-zero unless pairs, energy, and every non-geom.*
+# counter are bit-identical across thread counts, reuse on/off, fault
+# storms, a governed budget, and the batch service, then times both and
+# writes BENCH_geometry_frontend.json. On top of that, guard against a
+# wall-clock regression: the cached front-end must never be slower than
+# the rebuild it skips.
+./target/release/repro --smoke frontend
+[ -s BENCH_geometry_frontend.json ] || { echo "frontend smoke: missing BENCH_geometry_frontend.json"; exit 1; }
+grep -q '"identical_results": true' BENCH_geometry_frontend.json \
+  || { echo "frontend smoke: incremental run was not result-identical"; exit 1; }
+geo=$(sed -n 's/.*"speedup_geomean": \([0-9.]*\).*/\1/p' BENCH_geometry_frontend.json)
+[ -n "$geo" ] || { echo "frontend smoke: no speedup_geomean in JSON"; exit 1; }
+awk -v g="$geo" 'BEGIN { exit (g >= 1.0) ? 0 : 1 }' \
+  || { echo "frontend smoke: incremental front-end slower than rebuild (geomean ${geo}x)"; exit 1; }
 
 echo "== overload governor smoke (repro --smoke overload) =="
 # Sweeps the frame-deadline governor over 100/75/50/25 % cycle budgets
