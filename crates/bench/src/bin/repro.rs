@@ -19,7 +19,13 @@
 //! per-frame rebuild that writes `BENCH_geometry_frontend.json` and
 //! exits non-zero if the two front-ends ever diverge — across thread
 //! counts, reuse on/off, fault storms, a governed budget, and the
-//! batch service. Every `BENCH_*.json`
+//! batch service, and `broadphase`, a host-wall-clock A/B of the
+//! screen-space broad phase (pair-infeasible draw pruning and
+//! single-occupant tile elision) against a broad-phase-off run that
+//! writes `BENCH_broadphase.json` and exits non-zero if pairs or any
+//! non-image-side counter ever diverge — across the same thread /
+//! reuse / fault / governor / batch legs, timed on the sparse-swarm
+//! clips of `rbcd_workloads::sparse_family()`. Every `BENCH_*.json`
 //! artifact opens with the shared `rbcd_bench::schema` header
 //! (`schema_version`, bench id, host, geomean) and is re-validated with
 //! the workspace's own JSON parser before it is written.
@@ -39,7 +45,11 @@
 //! two are bit-identical in every result, differing only in host
 //! wall-clock), `--frontend incremental|rebuild` selects the geometry
 //! front-end the same way (incremental is the CLI default; the library
-//! default stays rebuild so golden counters are cache-free), `--smoke`
+//! default stays rebuild so golden counters are cache-free),
+//! `--broadphase on|off` selects the screen-space broad phase the same
+//! way (on is the CLI default; the library default stays off so golden
+//! counters are pruning-free — pairs and `rbcd.*` counters are
+//! bit-identical either way, only image-side timing moves), `--smoke`
 //! shrinks every experiment to a quick
 //! configuration and defaults the experiment list to `bench temporal`,
 //! and `--scene <alias>` restricts multi-scene experiments to one
@@ -162,6 +172,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     // across threads, reuse, faults, governor, and batch service.
     if wanted.iter().any(|w| w == "frontend") {
         run_frontend_bench(&opts, smoke)?;
+    }
+
+    // `broadphase` is opt-in for the same reason: it A/B-times the
+    // screen-space broad phase against a broad-phase-off run on the
+    // host clock, after enforcing the exactness contract (pairs and
+    // every non-image-side counter bit-identical) across threads,
+    // reuse, faults, governor, and batch service.
+    if wanted.iter().any(|w| w == "broadphase") {
+        run_broadphase_bench(&opts, smoke)?;
     }
 
     // `overload` is opt-in for the same reason as `--faults`: every
@@ -1769,6 +1788,291 @@ fn run_frontend_bench(opts: &RunOptions, smoke: bool) -> Result<(), TableError> 
     }
     json.push_str("  ]\n}\n");
     let path = "BENCH_geometry_frontend.json";
+    match rbcd_bench::schema::write(path, &json) {
+        Ok(_) => println!("wrote {path}"),
+        Err(e) => eprintln!("{path}: {e}"),
+    }
+    Ok(())
+}
+
+/// `broadphase` experiment: the screen-space broad phase (pair-
+/// infeasible draw pruning + single-occupant tile elision) against a
+/// broad-phase-off run.
+///
+/// Exactness legs first — the contract is bitwise: pairs and every
+/// counter outside the image-side planes the broad phase is allowed to
+/// move (`raster.*` timing and fragment throughput, `coherence.*`,
+/// `broadphase.*`) must match the broad-phase-off run across thread
+/// counts, reuse on/off, storm/overflow fault plans, a governed budget
+/// (where the broad phase goes inert and even the image side must
+/// match), and the multi-session batch service. Any divergence exits
+/// non-zero. Then the wall-clock leg times full rendered frames of the
+/// sparse-swarm clips per mode in interleaved pairs (median-of-ratios,
+/// like `hotpath` and `frontend`) and writes `BENCH_broadphase.json`.
+fn run_broadphase_bench(opts: &RunOptions, smoke: bool) -> Result<(), TableError> {
+    use rbcd_bench::faults::run_fault_tolerance;
+    use rbcd_bench::runner::run_gpu;
+    use rbcd_core::RbcdUnit;
+    use rbcd_gpu::{
+        render_batch, BatchJob, BroadPhase, FramePolicy, PipelineMode, SimulatorBuilder,
+    };
+
+    let reps = if smoke { 5 } else { 30 };
+    let scenes = rbcd_workloads::sparse_family();
+    eprintln!("broadphase A/B: pair-feasibility pruning vs off, {reps} rendered passes/scene...");
+
+    // Exactness leg 1: whole runs across threads / reuse / governor,
+    // on the sparse clips plus a dense control (`cap`, where pruning
+    // rarely fires and the contract is cheap to violate silently).
+    // Only the image-side planes may move; under a governor the broad
+    // phase is inert, so there even those must match.
+    let kept = |run: &rbcd_bench::metrics::GpuRun| -> Vec<(&'static str, u64)> {
+        run.counters
+            .iter()
+            .filter(|(k, _)| {
+                let image_side = k.starts_with("broadphase.")
+                    || k.starts_with("coherence.")
+                    || (k.starts_with("raster.")
+                        && !matches!(
+                            *k,
+                            "raster.tiles_processed"
+                                | "raster.primitives_fetched"
+                                | "raster.fragments_collisionable"
+                        ));
+                !image_side
+            })
+            .collect()
+    };
+    let mut diverged = false;
+    let mut exact_scenes = scenes.clone();
+    exact_scenes.push(rbcd_workloads::cap());
+    for scene in &exact_scenes {
+        let frames = opts.frames.unwrap_or(scene.frames).min(scene.frames);
+        let gov = rbcd_gpu::GovernorConfig {
+            frame_budget_cycles: 25_000,
+            ..rbcd_gpu::GovernorConfig::default()
+        };
+        let legs: [(usize, bool, Option<rbcd_gpu::GovernorConfig>); 4] =
+            [(1, false, None), (2, true, None), (4, true, None), (2, false, Some(gov))];
+        for (threads, reuse, governor) in legs {
+            let run_mode = |broadphase: BroadPhase| {
+                let o = RunOptions { threads, reuse, broadphase, governor, ..opts.clone() };
+                run_gpu(scene, frames, &o, Some(RbcdConfig::default()))
+            };
+            let off = run_mode(BroadPhase::Off);
+            let on = run_mode(BroadPhase::On);
+            let governed = governor.is_some();
+            if kept(&off) != kept(&on)
+                || off.pairs != on.pairs
+                || (governed && (off.counters != on.counters || off.seconds != on.seconds))
+            {
+                eprintln!(
+                    "BROAD-PHASE DIVERGENCE on {} ({threads} threads, reuse {reuse}, governed \
+                     {governed}): pruning changed a protected result",
+                    scene.alias,
+                );
+                diverged = true;
+            }
+        }
+    }
+
+    // Exactness leg 2: fault storms. Corrupted draws carry no trusted
+    // bounds, so the broad phase must fall through to rendering them;
+    // every recovery statistic must match the off cell for cell.
+    for preset in ["storm", "overflow"] {
+        let plan = FaultPlan::preset(preset, 0xF207_7E4D).expect("preset exists");
+        let fault_scenes = [rbcd_workloads::sparse()];
+        let run_mode = |broadphase: BroadPhase| {
+            let o = RunOptions {
+                threads: 2,
+                broadphase,
+                frames: Some(opts.frames.unwrap_or(4).min(4)),
+                ..opts.clone()
+            };
+            run_fault_tolerance(&fault_scenes, preset, plan, &[2], &o)
+        };
+        let off = run_mode(BroadPhase::Off);
+        let on = run_mode(BroadPhase::On);
+        for (sa, sb) in off.scenes.iter().zip(&on.scenes) {
+            for (ca, cb) in sa.cells.iter().zip(&sb.cells) {
+                if ca != cb {
+                    eprintln!(
+                        "BROAD-PHASE DIVERGENCE under '{preset}' faults on {} M={}",
+                        sa.alias, ca.m
+                    );
+                    diverged = true;
+                }
+            }
+        }
+    }
+
+    // Exactness leg 3: the batch service. Per-session broad-phase state
+    // must behave exactly like each session running solo.
+    {
+        let frames = opts.frames.unwrap_or(2).min(2);
+        let policy = FramePolicy::new().with_reuse(true).with_broadphase(BroadPhase::On);
+        let build = || {
+            SimulatorBuilder::from_config(opts.gpu.clone())
+                .policy(policy)
+                .build()
+                .expect("benchmark GPU configurations are validated at construction")
+        };
+        let unit = || {
+            RbcdUnit::new(RbcdConfig::default(), opts.gpu.tile_size)
+                .expect("benchmark RBCD configurations are validated at construction")
+        };
+        let mut solo_stats = Vec::new();
+        for scene in &scenes {
+            let (mut sim, mut u) = (build(), unit());
+            let mut per_scene = Vec::new();
+            for f in 0..frames {
+                u.new_frame();
+                let trace = scene.frame_trace(f);
+                per_scene.push(sim.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut u, 1));
+                let _ = u.take_contacts();
+            }
+            solo_stats.push(per_scene);
+        }
+        let mut sims: Vec<_> = scenes.iter().map(|_| build()).collect();
+        let mut units: Vec<_> = scenes.iter().map(|_| unit()).collect();
+        // `f` drives the frame-trace generation and the solo-stats
+        // lookup together, not a single indexed slice.
+        #[allow(clippy::needless_range_loop)]
+        for f in 0..frames {
+            let traces: Vec<_> = scenes.iter().map(|s| s.frame_trace(f)).collect();
+            let mut jobs: Vec<BatchJob<'_, RbcdUnit>> = sims
+                .iter_mut()
+                .zip(units.iter_mut())
+                .zip(&traces)
+                .map(|((sim, backend), trace)| BatchJob {
+                    sim,
+                    backend,
+                    trace,
+                    mode: PipelineMode::Rbcd,
+                })
+                .collect();
+            let batched = render_batch(&mut jobs, 2).expect("batch jobs are well-formed");
+            for u in units.iter_mut() {
+                let _ = u.take_contacts();
+                u.new_frame();
+            }
+            for (ji, stats) in batched.iter().enumerate() {
+                if *stats != solo_stats[ji][f] {
+                    eprintln!(
+                        "BROAD-PHASE DIVERGENCE in batch service: session {} frame {f} differs \
+                         from its solo run",
+                        scenes[ji].alias
+                    );
+                    diverged = true;
+                }
+            }
+        }
+    }
+    if diverged {
+        std::process::exit(1);
+    }
+
+    // Wall-clock leg: per scene, two simulator+unit stacks (one per
+    // mode) render the clip's frames in interleaved pairs. Each pair
+    // shares the same instantaneous machine state, so the per-pair
+    // ratio cancels common-mode noise; the reported speedup is the
+    // median of per-pair ratios and the per-pass times are per-mode
+    // minima. Reuse stays off so the measurement is pure pruning, not
+    // cache effects.
+    let mut t = Table::new(
+        "Screen-space broad phase — on vs off (host ns per rendered frame)",
+        &["benchmark", "off ns", "on ns", "speedup", "tiles skipped", "identical"],
+    );
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for scene in &scenes {
+        let frames = opts.frames.unwrap_or(scene.frames).min(scene.frames);
+        let traces: Vec<_> = (0..frames).map(|f| scene.frame_trace(f)).collect();
+        let make = |broadphase: BroadPhase| {
+            let sim = SimulatorBuilder::from_config(opts.gpu.clone())
+                .policy(FramePolicy::new().with_broadphase(broadphase))
+                .build()
+                .expect("benchmark GPU configurations are validated at construction");
+            let unit = RbcdUnit::new(RbcdConfig::default(), opts.gpu.tile_size)
+                .expect("benchmark RBCD configurations are validated at construction");
+            (sim, unit)
+        };
+        let (mut off_sim, mut off_unit) = make(BroadPhase::Off);
+        let (mut on_sim, mut on_unit) = make(BroadPhase::On);
+        let pass = |sim: &mut rbcd_gpu::Simulator, unit: &mut RbcdUnit| -> f64 {
+            let t0 = Instant::now();
+            for trace in &traces {
+                unit.new_frame();
+                let _ = sim.render_frame_parallel(trace, PipelineMode::Rbcd, unit, 1);
+                let _ = unit.take_contacts();
+            }
+            t0.elapsed().as_secs_f64()
+        };
+        // Warm-up pass per mode so lazy allocations bill neither side.
+        let _ = pass(&mut off_sim, &mut off_unit);
+        let _ = pass(&mut on_sim, &mut on_unit);
+        let (mut off_ns, mut on_ns) = (f64::INFINITY, f64::INFINITY);
+        let mut ratios = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let toff = pass(&mut off_sim, &mut off_unit);
+            let ton = pass(&mut on_sim, &mut on_unit);
+            off_ns = off_ns.min(toff * 1e9 / frames as f64);
+            on_ns = on_ns.min(ton * 1e9 / frames as f64);
+            ratios.push(toff / ton.max(1e-12));
+        }
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("pass ratios are finite"));
+        let speedup = if ratios.len() % 2 == 1 {
+            ratios[ratios.len() / 2]
+        } else {
+            (ratios[ratios.len() / 2 - 1] + ratios[ratios.len() / 2]) / 2.0
+        };
+        speedups.push(speedup);
+        // Pruning accounting from a fresh broad-phase-on run.
+        let acct = run_gpu(
+            scene,
+            frames,
+            &RunOptions { broadphase: BroadPhase::On, ..opts.clone() },
+            Some(RbcdConfig::default()),
+        );
+        let skipped = acct.counters.get("broadphase.tiles_skipped");
+        let tiles = acct.counters.get("raster.tiles_processed");
+        t.row(vec![
+            scene.alias.to_string(),
+            format!("{off_ns:.0}"),
+            format!("{on_ns:.0}"),
+            fmt_x(speedup),
+            format!("{skipped}/{tiles}"),
+            "yes".to_string(),
+        ])?;
+        rows.push((scene.alias.to_string(), off_ns, on_ns, speedup, skipped, tiles));
+    }
+    print!("{}", t.render());
+    let geo = geomean(speedups);
+    println!(
+        "geomean broad-phase speedup {} (on vs off; pairs, rbcd.* counters, and fault \
+         behaviour bit-identical across threads, reuse, faults, governor, and batch)",
+        fmt_x(geo)
+    );
+
+    let mut json = rbcd_bench::schema::header("broadphase", geo);
+    json.push_str(&format!("  \"rendered_passes\": {reps},\n"));
+    json.push_str(&format!(
+        "  \"viewport\": \"{}x{}\",\n",
+        opts.gpu.viewport.width, opts.gpu.viewport.height
+    ));
+    json.push_str("  \"identical_results\": true,\n");
+    json.push_str(&format!("  \"speedup_geomean\": {geo:.4},\n"));
+    json.push_str("  \"scenes\": [\n");
+    for (i, (alias, off_ns, on_ns, speedup, skipped, tiles)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{alias}\", \"off_ns_per_frame\": {off_ns:.1}, \
+             \"on_ns_per_frame\": {on_ns:.1}, \"speedup\": {speedup:.4}, \
+             \"tiles_skipped\": {skipped}, \"tiles_processed\": {tiles}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_broadphase.json";
     match rbcd_bench::schema::write(path, &json) {
         Ok(_) => println!("wrote {path}"),
         Err(e) => eprintln!("{path}: {e}"),

@@ -10,7 +10,7 @@
 use crate::runner::RunOptions;
 use rbcd_core::faults::PRESETS;
 use rbcd_core::FaultPlan;
-use rbcd_gpu::{FramePolicy, FrontendMode, GpuConfig, HotPathMode};
+use rbcd_gpu::{BroadPhase, FramePolicy, FrontendMode, GpuConfig, HotPathMode};
 use rbcd_math::Viewport;
 use rbcd_workloads::Scene;
 use std::fmt;
@@ -51,6 +51,7 @@ const FLAGS: &[FlagSpec] = &[
     FlagSpec { name: "--no-reuse", value: None },
     FlagSpec { name: "--hot-path", value: Some("a mode (mask|reference)") },
     FlagSpec { name: "--frontend", value: Some("a mode (incremental|rebuild)") },
+    FlagSpec { name: "--broadphase", value: Some("a mode (on|off)") },
     FlagSpec { name: "--trace", value: Some("an output path (e.g. trace.json)") },
     FlagSpec { name: "--faults", value: Some("a plan name") },
     FlagSpec { name: "--scene", value: Some("a workload name or alias") },
@@ -76,6 +77,12 @@ pub struct CliOptions {
     /// simulated results, and the incremental one is the faster host
     /// path on coherent workloads.
     pub frontend: FrontendMode,
+    /// `--broadphase on|off`: screen-space broad phase everywhere. On
+    /// by default — pairs, `rbcd.*` counters, and fault behaviour are
+    /// bit-identical either way, and pruning is the faster path on
+    /// sparse workloads. (The *library* default stays `Off` so golden
+    /// counters and embedders are untouched; only the CLI flips it.)
+    pub broadphase: BroadPhase,
     /// `--trace <path>`: run the trace experiment, writing there.
     pub trace: Option<String>,
     /// `--faults <plan>`: run the fault-injection experiment.
@@ -96,6 +103,7 @@ impl Default for CliOptions {
             reuse: true,
             hot_path: HotPathMode::Mask,
             frontend: FrontendMode::Incremental,
+            broadphase: BroadPhase::On,
             trace: None,
             faults: None,
             scene: None,
@@ -115,6 +123,7 @@ impl CliOptions {
             threads: self.threads,
             reuse: self.reuse,
             frontend: self.frontend,
+            broadphase: self.broadphase,
             ..RunOptions::default()
         };
         if self.smoke {
@@ -135,6 +144,7 @@ impl CliOptions {
             .with_reuse(self.reuse)
             .with_hot_path(self.hot_path)
             .with_frontend(self.frontend)
+            .with_broadphase(self.broadphase)
     }
 }
 
@@ -209,6 +219,18 @@ pub fn parse_args(args: Vec<String>) -> Result<CliOptions, UsageError> {
                     }
                 };
             }
+            "--broadphase" => {
+                out.broadphase = match value(&mut it)?.as_str() {
+                    "on" => BroadPhase::On,
+                    "off" => BroadPhase::Off,
+                    _ => {
+                        return Err(UsageError {
+                            flag: "--broadphase".into(),
+                            expected: "a mode (on|off)".into(),
+                        })
+                    }
+                };
+            }
             "--trace" => out.trace = Some(value(&mut it)?),
             "--faults" => {
                 let v = value(&mut it)?;
@@ -269,7 +291,20 @@ mod tests {
         assert!(o.reuse);
         assert_eq!(o.hot_path, HotPathMode::Mask);
         assert_eq!(o.frontend, FrontendMode::Incremental);
+        assert_eq!(o.broadphase, BroadPhase::On, "CLI default is on; library default is off");
         assert!(o.rest.is_empty());
+    }
+
+    #[test]
+    fn broadphase_flag_parses_both_modes_and_rejects_others() {
+        let o = parse(&["--broadphase", "off"]).expect("valid");
+        assert_eq!(o.broadphase, BroadPhase::Off);
+        assert_eq!(o.run_options().broadphase, BroadPhase::Off);
+        let o = parse(&["--broadphase", "on"]).expect("valid");
+        assert_eq!(o.broadphase, BroadPhase::On);
+        let e = parse(&["--broadphase", "sweep"]).expect_err("rejected");
+        assert_eq!(e.flag, "--broadphase");
+        assert!(e.to_string().contains("on|off"));
     }
 
     #[test]
@@ -332,8 +367,11 @@ mod tests {
         assert!(!p.reuse);
         assert_eq!(p.hot_path, Some(HotPathMode::Reference));
         assert_eq!(p.frontend, FrontendMode::Incremental, "CLI default is incremental");
+        assert_eq!(p.broadphase, BroadPhase::On, "CLI default is broad phase on");
         let p = parse(&["--frontend", "rebuild"]).expect("valid").frame_policy();
         assert_eq!(p.frontend, FrontendMode::Rebuild);
+        let p = parse(&["--broadphase", "off"]).expect("valid").frame_policy();
+        assert_eq!(p.broadphase, BroadPhase::Off);
     }
 
     #[test]

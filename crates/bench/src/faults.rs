@@ -157,6 +157,8 @@ fn run_cell(scene: &Scene, frames: usize, plan: &FaultPlan, opts: &RunOptions) -
     let meshes = scene.collidable_meshes();
     let mut sim = Simulator::new(opts.gpu.clone());
     sim.set_reuse(opts.reuse);
+    sim.set_frontend(opts.frontend);
+    sim.set_broadphase(opts.broadphase);
     let mut unit = RbcdUnit::new(cfg, opts.gpu.tile_size)
         .expect("the ladder configuration is valid by construction");
     let mut prev = *unit.stats();

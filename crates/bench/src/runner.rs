@@ -6,7 +6,7 @@ use rbcd_core::{ObjectPair, RbcdConfig, RbcdUnit};
 use rbcd_cpu_cd::{CdBody, Cost, CpuCollisionDetector, CpuConfig, Phase};
 use rbcd_gpu::energy::EnergyModel;
 use rbcd_gpu::{
-    FramePolicy, FrameStats, FrontendMode, GpuConfig, NullCollisionUnit, PipelineMode,
+    BroadPhase, FramePolicy, FrameStats, FrontendMode, GpuConfig, NullCollisionUnit, PipelineMode,
     SimulatorBuilder,
 };
 use rbcd_trace::TraceBuffer;
@@ -46,6 +46,13 @@ pub struct RunOptions {
     /// golden counters stay byte-stable. The `repro` CLI flips this to
     /// incremental, the faster host path on coherent workloads.
     pub frontend: FrontendMode,
+    /// Screen-space broad phase. Pairs, `rbcd.*` counters, and fault
+    /// behaviour are bit-identical either way; `On` additionally skips
+    /// raster and ZEB-scan work on tiles that provably cannot produce a
+    /// pair, so the image-side timing/energy counters shrink. Off by
+    /// default so golden counters and the paper-facing tables are
+    /// unaffected unless asked for; the `repro` CLI flips it on.
+    pub broadphase: BroadPhase,
     /// Overload governor for the simulator (`None` = ungoverned, the
     /// default — all outputs bit-identical to pre-governor builds).
     /// Experiments that sweep per-frame budgets (`repro overload`) set
@@ -65,6 +72,7 @@ impl Default for RunOptions {
             threads: 1,
             reuse: false,
             frontend: FrontendMode::Rebuild,
+            broadphase: BroadPhase::Off,
             governor: None,
         }
     }
@@ -80,6 +88,7 @@ impl RunOptions {
             .with_workers(self.threads)
             .with_reuse(self.reuse)
             .with_frontend(self.frontend)
+            .with_broadphase(self.broadphase)
             .with_governor(self.governor)
     }
 }

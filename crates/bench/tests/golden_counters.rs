@@ -25,6 +25,10 @@ fn opts() -> RunOptions {
 
 /// Every key the registry must expose, in `CounterSet`'s sorted order.
 const GOLDEN_KEYS: &[&str] = &[
+    "broadphase.objects_infeasible",
+    "broadphase.objects_swept",
+    "broadphase.sweep_cycles",
+    "broadphase.tiles_skipped",
     "coherence.draw_hashes",
     "coherence.signature_cycles",
     "coherence.tiles_checked",
@@ -124,6 +128,14 @@ fn golden_counter_values_on_cap() {
 }
 
 const GOLDEN_VALUES: &[(&str, u64)] = &[
+    // Screen-space broad phase is off by default, so its plane is all
+    // zeros here (same mask-only convention as `geom.*`/`governor.*`:
+    // accounting only, never read by the energy model). The broadphase
+    // exactness suite covers the On counters.
+    ("broadphase.objects_infeasible", 0),
+    ("broadphase.objects_swept", 0),
+    ("broadphase.sweep_cycles", 0),
+    ("broadphase.tiles_skipped", 0),
     // Reuse is off by default, so the coherence plane is all zeros here;
     // the determinism suite covers the reuse-on counters.
     ("coherence.draw_hashes", 0),

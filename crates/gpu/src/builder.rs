@@ -283,6 +283,7 @@ impl SimulatorBuilder {
         sim.set_reuse(self.policy.reuse);
         sim.set_frontend(self.policy.frontend);
         sim.set_governor(self.policy.governor);
+        sim.set_broadphase(self.policy.broadphase);
         Ok(sim)
     }
 }
@@ -437,6 +438,18 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(incremental.frontend(), FrontendMode::Incremental);
+    }
+
+    #[test]
+    fn policy_broadphase_reaches_the_simulator() {
+        use crate::broadphase::BroadPhase;
+        let default = SimulatorBuilder::new().build().unwrap();
+        assert_eq!(default.broadphase(), BroadPhase::Off, "Off by default keeps goldens pinned");
+        let pruned = SimulatorBuilder::new()
+            .policy(FramePolicy::new().with_broadphase(BroadPhase::On))
+            .build()
+            .unwrap();
+        assert_eq!(pruned.broadphase(), BroadPhase::On);
     }
 
     #[test]

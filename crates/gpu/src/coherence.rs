@@ -167,9 +167,18 @@ impl MeshHashMemo {
 /// Frame-level seed: anything outside the polygon lists that the raster
 /// path or the collision backend reads. Folded into every tile
 /// signature, so changing a knob (or the backend's configuration, via
-/// `backend_key`) invalidates the whole cache naturally.
-pub(crate) fn frame_seed(cfg: &GpuConfig, mode: PipelineMode, backend_key: u64) -> u64 {
+/// `backend_key`) invalidates the whole cache naturally. `broadphase`
+/// is the *effective* pruning state for the frame: a cached tile
+/// recorded under pruning must never replay into an unpruned frame
+/// (its image counters differ), and vice versa.
+pub(crate) fn frame_seed(
+    cfg: &GpuConfig,
+    mode: PipelineMode,
+    backend_key: u64,
+    broadphase: bool,
+) -> u64 {
     let mut h = 0xC0_11_1D_E5_16u64;
+    h = mix(h, broadphase as u64);
     h = mix(h, match mode {
         PipelineMode::Baseline => 0,
         PipelineMode::Rbcd => 1,
@@ -389,20 +398,25 @@ mod tests {
     #[test]
     fn frame_seed_tracks_mode_and_config() {
         let cfg = GpuConfig::default();
-        let a = frame_seed(&cfg, PipelineMode::Rbcd, 7);
-        assert_eq!(a, frame_seed(&cfg, PipelineMode::Rbcd, 7));
-        assert_ne!(a, frame_seed(&cfg, PipelineMode::Baseline, 7));
-        assert_ne!(a, frame_seed(&cfg, PipelineMode::Rbcd, 8));
+        let a = frame_seed(&cfg, PipelineMode::Rbcd, 7, false);
+        assert_eq!(a, frame_seed(&cfg, PipelineMode::Rbcd, 7, false));
+        assert_ne!(a, frame_seed(&cfg, PipelineMode::Baseline, 7, false));
+        assert_ne!(a, frame_seed(&cfg, PipelineMode::Rbcd, 8, false));
+        assert_ne!(
+            a,
+            frame_seed(&cfg, PipelineMode::Rbcd, 7, true),
+            "a pruned frame's tiles must never replay into an unpruned one"
+        );
         let wider = GpuConfig {
             viewport: rbcd_math::Viewport::new(1024, 480),
             ..GpuConfig::default()
         };
-        assert_ne!(a, frame_seed(&wider, PipelineMode::Rbcd, 7));
+        assert_ne!(a, frame_seed(&wider, PipelineMode::Rbcd, 7, false));
         let reference = GpuConfig {
             hot_path: crate::config::HotPathMode::Reference,
             ..GpuConfig::default()
         };
-        assert_ne!(a, frame_seed(&reference, PipelineMode::Rbcd, 7));
+        assert_ne!(a, frame_seed(&reference, PipelineMode::Rbcd, 7, false));
     }
 
     #[test]

@@ -48,6 +48,7 @@
 //! hash — and therefore its cache key — changes and the draw misses the
 //! cache by construction.
 
+use crate::broadphase::DrawBounds;
 use crate::clip::clip_near;
 use crate::coherence::mix;
 use crate::command::{DrawCommand, Facing};
@@ -118,6 +119,10 @@ pub(crate) struct CachedDrawGeom {
     /// Flattened per-triangle tile indices (see [`CachedTri::tiles_end`]),
     /// in the rebuild path's row-major bbox walk order.
     pub(crate) tiles: Vec<u32>,
+    /// Screen-space bounds of the draw's binned triangles (pixel AABB +
+    /// window z-interval), folded once at shade time so the broad phase
+    /// pays nothing for cached draws.
+    pub(crate) bounds: DrawBounds,
 }
 
 /// Front-end seed folded with each draw's content hash to form its
@@ -202,6 +207,7 @@ pub(crate) fn shade_draw(
                 out.degenerate += 1;
                 continue;
             };
+            out.bounds.add_tri(&tri, (x0, y0, x1, y1));
             let (tx0, tx1) = (x0 / cfg.tile_size, x1 / cfg.tile_size);
             let (ty0, ty1) = (y0 / cfg.tile_size, y1 / cfg.tile_size);
             for ty in ty0..=ty1 {

@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+mod broadphase;
 mod builder;
 mod cache;
 mod clip;
@@ -60,6 +61,7 @@ mod service;
 mod sim;
 mod stats;
 
+pub use broadphase::BroadPhase;
 pub use builder::{GpuConfigError, SimulatorBuilder};
 pub use cache::{CacheConfig, CacheModel, CacheStats};
 pub use clip::clip_near;
@@ -79,4 +81,6 @@ pub use raster::{
 };
 pub use service::{render_batch, BatchJob, ServiceError};
 pub use sim::{GovernorFrameReport, PipelineMode, Simulator};
-pub use stats::{CoherenceStats, FrameStats, GeometryStats, GovernorStats, RasterStats};
+pub use stats::{
+    BroadphaseStats, CoherenceStats, FrameStats, GeometryStats, GovernorStats, RasterStats,
+};

@@ -37,6 +37,7 @@
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::broadphase::{self, BroadPhase};
 use crate::coherence;
 use crate::collision_unit::{CollisionFragment, NullCollisionUnit, TileCoord};
 use crate::command::{FrameTrace, ObjectId};
@@ -45,7 +46,7 @@ use crate::sim::{
     accumulate_reused_tile, accumulate_tile, finalize_raster_timing, replay_tile_cache,
     BinnedTiles, GovernorFrameReport, PipelineMode, Simulator, TileRasterOut, TileWorker,
 };
-use crate::stats::{CoherenceStats, FrameStats, RasterStats};
+use crate::stats::{BroadphaseStats, CoherenceStats, FrameStats, RasterStats};
 
 /// A collision backend whose per-tile analysis can run on worker
 /// threads, with results merged deterministically in tile order.
@@ -168,6 +169,10 @@ pub(crate) struct TileComputeCtx<'a> {
     tiles_x: u32,
     trace: &'a FrameTrace,
     mode: PipelineMode,
+    /// Broad-phase skip flags per active-list position (empty when the
+    /// broad phase is inert).
+    bp: &'a [bool],
+    bp_active: bool,
 }
 
 impl TileComputeCtx<'_> {
@@ -201,7 +206,15 @@ impl TileComputeCtx<'_> {
         }
         let ti = self.bins.active()[k];
         let tile = TileCoord { x: ti % self.tiles_x, y: ti / self.tiles_x };
-        let mut out = tw.process_tile(self.cfg, self.trace, tile, self.bins.tile(ti as usize), self.mode);
+        let bp_skip = self.bp_active && self.bp[k];
+        let mut out = tw.process_tile(
+            self.cfg,
+            self.trace,
+            tile,
+            self.bins.tile(ti as usize),
+            self.mode,
+            bp_skip,
+        );
         if !self.blocked.is_empty() {
             tw.coll_frags.retain(|f| !self.blocked.contains(&f.object));
             out.coll_frags = tw.coll_frags.len() as u64;
@@ -233,7 +246,14 @@ impl Simulator {
         let slots = self.compute_raster(trace, mode, &*backend, threads.max(1));
         let (raster, coherence) = self.merge_raster(trace, backend, slots, co);
         let governor = self.governor_frame_stats();
-        let stats = FrameStats { geometry, raster, coherence, governor, frames: 1 };
+        let stats = FrameStats {
+            geometry,
+            raster,
+            coherence,
+            governor,
+            broadphase: self.broadphase_frame_stats(),
+            frames: 1,
+        };
         if let Some(t) = self.tracer.as_deref_mut() {
             t.end_frame(stats.total_cycles());
         }
@@ -257,6 +277,29 @@ impl Simulator {
         self.tile_cache.reset_stats();
         let gov = self.governor;
         let reuse_on = self.reuse || gov.is_some();
+
+        // Broad-phase plan: a main-thread pass over the binned frame,
+        // like the reuse and coarsening plans, so the skip mask is
+        // thread-count invariant by construction. Inert in baseline
+        // mode (no pairs to preserve) and under a governor (the
+        // deadline ladder's shed decisions are cursor-driven and take
+        // precedence — see `Simulator::set_broadphase`).
+        let bp_active =
+            self.broadphase == BroadPhase::On && mode != PipelineMode::Baseline && gov.is_none();
+        self.bp_active = bp_active;
+        self.bp_plan.clear();
+        self.bp_stats = if bp_active {
+            broadphase::plan_frame(
+                trace,
+                &self.bins,
+                &self.draw_bounds,
+                &mut self.bp_scratch,
+                &mut self.bp_plan,
+            )
+        } else {
+            BroadphaseStats::default()
+        };
+
         if reuse_on {
             // The incremental front-end already hashed this frame's
             // draws (its cache key shares the digest); reuse them
@@ -277,13 +320,23 @@ impl Simulator {
                 key = (key ^ (0x5EDB_10C7 ^ id.get() as u64)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
                 key ^= key >> 29;
             }
-            let seed = coherence::frame_seed(&self.config, mode, key);
+            let seed = coherence::frame_seed(&self.config, mode, key, bp_active);
             self.result_cache
                 .ensure_tiles((self.config.tiles_x() * self.config.tiles_y()) as usize);
             self.reuse_plan.clear();
-            for &ti in self.bins.active() {
-                let sig =
+            for (k, &ti) in self.bins.active().iter().enumerate() {
+                let raw =
                     coherence::tile_signature(seed, self.bins.tile(ti as usize), &self.draw_hashes);
+                // A tile's skip verdict depends on *other* draws'
+                // whole-frame bounds, so it can flip while the bin
+                // content (and therefore `raw`) stays equal; folding
+                // the verdict in keeps every cached capsule tied to
+                // the exact pass that produced it.
+                let sig = if bp_active {
+                    coherence::mix(raw, 1 + self.bp_plan[k] as u64)
+                } else {
+                    raw
+                };
                 let reused = self.result_cache.matches::<B::TileOut>(ti as usize, sig);
                 co.tiles_checked += 1;
                 co.tiles_reused += reused as u64;
@@ -340,6 +393,8 @@ impl Simulator {
             tiles_x: self.config.tiles_x(),
             trace,
             mode,
+            bp: &self.bp_plan,
+            bp_active: self.bp_active,
         }
     }
 
@@ -439,6 +494,8 @@ impl Simulator {
         let tiles_x = cfg.tiles_x();
         let gov = self.governor;
         let reuse_on = self.reuse || gov.is_some();
+        let bp_active = self.bp_active;
+        let bp_sweep = self.bp_stats.sweep_cycles;
         let Simulator {
             bins,
             tile_cache,
@@ -447,12 +504,15 @@ impl Simulator {
             result_cache,
             boost_plan,
             governor_report,
+            bp_plan,
             ..
         } = self;
         let active = bins.active();
         let coord = |ti: u32| TileCoord { x: ti % tiles_x, y: ti / tiles_x };
         let plan: &[(u64, bool)] = reuse_plan;
         let is_reused = |k: usize| reuse_on && plan[k].1;
+        let bp: &[bool] = bp_plan;
+        let is_bp_skip = |k: usize| bp_active && bp[k];
         let boost: &[u8] = boost_plan;
         let tile_boost = |k: usize| boost.get(k).copied().unwrap_or(0);
 
@@ -470,6 +530,13 @@ impl Simulator {
             co.signature_cycles += co.draw_hashes;
             r.fp_idle_cycles += co.draw_hashes;
             cursor += co.draw_hashes;
+        }
+        if bp_active {
+            // The interval sweep runs once per frame before any tile
+            // starts; like the draw-hash charge above it occupies the
+            // timeline but keeps the fragment pipe idle.
+            r.fp_idle_cycles += bp_sweep;
+            cursor += bp_sweep;
         }
         for (k, &ti) in active.iter().enumerate() {
             let ti_us = ti as usize;
@@ -513,6 +580,32 @@ impl Simulator {
                 if let Some(t) = tracer.as_deref_mut() {
                     t.record_tile_raster(tc.x, tc.y, start, end, out.frags);
                     t.record_tile_reuse(tc.x, tc.y, start);
+                }
+                max_tile_cycles = max_tile_cycles.max(end - cursor);
+                cursor = end;
+            } else if is_bp_skip(k) {
+                // Broad phase proved no feasible pair can touch this
+                // tile: the worker already skipped the image-side
+                // work, so the merge charges only the list walk (plus
+                // the signature check when reuse is on — the check
+                // still ran and missed). The collision capsule is
+                // replayed unchanged: every collisionable fragment
+                // reached the unit exactly as it would have without
+                // pruning, so pairs and `rbcd.*` stay bit-identical.
+                let (out, cout) = slots[k].take().expect("every claimed tile completed");
+                let mut replay_cycles = broadphase::skip_replay_cycles(out.prim_count);
+                if reuse_on {
+                    let sig_cycles = coherence::signature_check_cycles(out.prim_count);
+                    co.signature_cycles += sig_cycles;
+                    replay_cycles += sig_cycles;
+                    result_cache.store(ti_us, plan[k].0, out, Box::new(cout.clone()));
+                }
+                let start = cursor;
+                let end = accumulate_reused_tile(&mut r, &out, cursor, replay_cycles);
+                backend.replay_tile(tc, cout, start, end);
+                if let Some(t) = tracer.as_deref_mut() {
+                    t.record_tile_raster(tc.x, tc.y, start, end, out.frags);
+                    t.record_tile_bp_skip(tc.x, tc.y, start);
                 }
                 max_tile_cycles = max_tile_cycles.max(end - cursor);
                 cursor = end;
@@ -561,7 +654,7 @@ impl Simulator {
 mod tests {
     use super::*;
     use crate::command::{Camera, DrawCommand, ObjectId};
-    use crate::config::GpuConfig;
+    use crate::config::{GovernorConfig, GpuConfig};
     use rbcd_geometry::shapes;
     use rbcd_math::{Mat4, Vec3, Viewport};
 
@@ -829,6 +922,155 @@ mod tests {
         assert_eq!(rebuild.events(), inc.events());
         assert_eq!(inc.heat().total("splice") > 0, true, "warm frame splices bins");
         assert_eq!(rebuild.heat().total("splice"), 0);
+    }
+
+    /// Zeroes every counter the broad phase is *allowed* to move —
+    /// raster/scan timing, fragment-pipe image-side event counts, the
+    /// coherence block, and the mask-only `broadphase.*` stats — so
+    /// what remains (pairs via the backend, `fragments_collisionable`,
+    /// `primitives_fetched`, `tiles_processed`, geometry, governor) is
+    /// the exactness set that must stay bit-identical.
+    fn strip_bp(mut s: FrameStats) -> FrameStats {
+        s.raster.cycles = 0;
+        s.raster.fp_idle_cycles = 0;
+        s.raster.zeb_stall_cycles = 0;
+        s.raster.fp_busy_cycles = 0;
+        s.raster.fragments_rasterized = 0;
+        s.raster.fragments_to_early_z = 0;
+        s.raster.fragments_shaded = 0;
+        s.raster.pixels_covered = 0;
+        s.raster.rows_empty = 0;
+        s.raster.rows_full = 0;
+        s.coherence = CoherenceStats::default();
+        s.broadphase = BroadphaseStats::default();
+        s
+    }
+
+    #[test]
+    fn broadphase_preserves_events_and_skips_tiles() {
+        let trace = busy_trace();
+        for mode in [PipelineMode::Rbcd, PipelineMode::CollisionOnly] {
+            for threads in [1, 2, 4] {
+                let mut off = Simulator::new(cfg());
+                let a = off.render_frame_parallel(&trace, mode, &mut NullCollisionUnit, threads);
+                let mut on = Simulator::new(cfg());
+                on.set_broadphase(BroadPhase::On);
+                let b = on.render_frame_parallel(&trace, mode, &mut NullCollisionUnit, threads);
+                let tag = format!("mode {mode:?}, {threads} threads");
+                assert_eq!(strip_bp(a.clone()), strip_bp(b.clone()), "{tag}");
+                assert!(b.broadphase.tiles_skipped > 0, "{tag}: pair-free tiles must skip");
+                assert!(b.broadphase.sweep_cycles > 0, "{tag}");
+                if mode == PipelineMode::Rbcd {
+                    // CollisionOnly never bins scenery, so only Rbcd has
+                    // image-side fragments for the skip to elide.
+                    assert!(
+                        b.raster.fragments_rasterized < a.raster.fragments_rasterized,
+                        "{tag}: skipped tiles' scenery must not rasterize"
+                    );
+                    assert!(
+                        b.raster.fragments_shaded < a.raster.fragments_shaded,
+                        "{tag}: skipped tiles never shade"
+                    );
+                }
+                assert_eq!(
+                    b.raster.fragments_collisionable, a.raster.fragments_collisionable,
+                    "{tag}: every collisionable fragment still reaches the unit"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn broadphase_results_are_thread_count_invariant() {
+        let trace = busy_trace();
+        let mut frames_by_threads = Vec::new();
+        for threads in [1, 2, 4] {
+            let mut sim = Simulator::new(cfg());
+            sim.set_broadphase(BroadPhase::On);
+            let frames: Vec<FrameStats> = (0..3)
+                .map(|_| {
+                    sim.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut NullCollisionUnit, threads)
+                })
+                .collect();
+            assert!(frames[0].broadphase.tiles_skipped > 0);
+            frames_by_threads.push(frames);
+        }
+        assert_eq!(frames_by_threads[0], frames_by_threads[1]);
+        assert_eq!(frames_by_threads[0], frames_by_threads[2]);
+    }
+
+    #[test]
+    fn baseline_and_governed_frames_are_never_pruned() {
+        let trace = busy_trace();
+        // Baseline measures the full render cost: the knob is inert and
+        // the whole FrameStats — timing included — stays bit-identical.
+        let mut off = Simulator::new(cfg());
+        let a = off.render_frame_parallel(&trace, PipelineMode::Baseline, &mut NullCollisionUnit, 2);
+        let mut on = Simulator::new(cfg());
+        on.set_broadphase(BroadPhase::On);
+        let b = on.render_frame_parallel(&trace, PipelineMode::Baseline, &mut NullCollisionUnit, 2);
+        assert_eq!(a, b, "Baseline mode is never pruned");
+        assert_eq!(b.broadphase, BroadphaseStats::default());
+
+        // A governed frame sheds by merge cursor; pruning would move the
+        // cursor and change which tiles shed, so the governor wins and
+        // the knob is inert — exact equality again.
+        let gov = GovernorConfig { frame_budget_cycles: 25_000, ..GovernorConfig::default() };
+        let mut goff = Simulator::new(cfg());
+        goff.set_governor(Some(gov));
+        let mut gon = Simulator::new(cfg());
+        gon.set_governor(Some(gov));
+        gon.set_broadphase(BroadPhase::On);
+        for frame in 0..2 {
+            let a = goff.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut NullCollisionUnit, 2);
+            let b = gon.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut NullCollisionUnit, 2);
+            assert_eq!(a, b, "governed frame {frame} is never pruned");
+            assert_eq!(b.broadphase, BroadphaseStats::default(), "frame {frame}");
+        }
+    }
+
+    #[test]
+    fn broadphase_composes_with_temporal_reuse() {
+        let trace = busy_trace();
+        let mut reuse_only = Simulator::new(cfg());
+        reuse_only.set_reuse(true);
+        let mut both = Simulator::new(cfg());
+        both.set_reuse(true);
+        both.set_broadphase(BroadPhase::On);
+        for frame in 0..3 {
+            let a = reuse_only.render_frame_parallel(
+                &trace,
+                PipelineMode::Rbcd,
+                &mut NullCollisionUnit,
+                4,
+            );
+            let b = both.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut NullCollisionUnit, 4);
+            assert_eq!(strip_bp(a), strip_bp(b.clone()), "frame {frame}");
+            if frame > 0 {
+                assert_eq!(
+                    b.coherence.tiles_reused, b.coherence.tiles_checked,
+                    "a static frame replays every tile, skipped ones included"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn toggling_broadphase_invalidates_the_reuse_cache() {
+        // A cached tile was produced under one pruning mode; replaying
+        // it under another would replay the wrong raster timing. The
+        // frame seed folds the mode in, so the toggle cold-starts reuse.
+        let trace = busy_trace();
+        let mut sim = Simulator::new(cfg());
+        sim.set_reuse(true);
+        sim.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut NullCollisionUnit, 2);
+        let warm = sim.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut NullCollisionUnit, 2);
+        assert!(warm.coherence.tiles_reused > 0);
+        sim.set_broadphase(BroadPhase::On);
+        let cold = sim.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut NullCollisionUnit, 2);
+        assert_eq!(cold.coherence.tiles_reused, 0, "toggle must cold-start the cache");
+        let rewarm = sim.render_frame_parallel(&trace, PipelineMode::Rbcd, &mut NullCollisionUnit, 2);
+        assert!(rewarm.coherence.tiles_reused > 0, "and re-warm under the new mode");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! reaches the GPU, so they attach at the session level
 //! (`SessionSpec::with_faults`), not to the simulator.
 
+use crate::broadphase::BroadPhase;
 use crate::config::{GovernorConfig, HotPathMode};
 use crate::frontend::FrontendMode;
 
@@ -70,6 +71,11 @@ pub struct FramePolicy {
     /// `None` (the default) renders every output bit-identical to an
     /// ungoverned simulator.
     pub governor: Option<GovernorConfig>,
+    /// Screen-space broad phase (pair-feasibility draw/tile pruning);
+    /// see [`Simulator::set_broadphase`](crate::Simulator::set_broadphase)
+    /// for the exactness contract. Off by default so golden counters
+    /// stay pinned.
+    pub broadphase: BroadPhase,
 }
 
 impl Default for FramePolicy {
@@ -81,6 +87,7 @@ impl Default for FramePolicy {
             frontend: FrontendMode::Rebuild,
             tracing: false,
             governor: None,
+            broadphase: BroadPhase::Off,
         }
     }
 }
@@ -131,6 +138,15 @@ impl FramePolicy {
         self.governor = governor;
         self
     }
+
+    /// Selects the screen-space broad phase. `On` prunes pair-infeasible
+    /// draws and tiles on the parallel render path while keeping pairs
+    /// and `rbcd.*` counters bit-identical; only raster/scan timing,
+    /// energy, and the mask-only `broadphase.*` counters move.
+    pub fn with_broadphase(mut self, broadphase: BroadPhase) -> Self {
+        self.broadphase = broadphase;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +162,7 @@ mod tests {
         assert_eq!(p.frontend, FrontendMode::Rebuild);
         assert!(!p.tracing);
         assert!(p.governor.is_none());
+        assert_eq!(p.broadphase, BroadPhase::Off);
         assert_eq!(FramePolicy::new(), p);
     }
 
@@ -158,13 +175,15 @@ mod tests {
             .with_hot_path(HotPathMode::Reference)
             .with_frontend(FrontendMode::Incremental)
             .with_tracing(true)
-            .with_governor(Some(gov));
+            .with_governor(Some(gov))
+            .with_broadphase(BroadPhase::On);
         assert_eq!(p.workers, 4);
         assert!(p.reuse);
         assert_eq!(p.hot_path, Some(HotPathMode::Reference));
         assert_eq!(p.frontend, FrontendMode::Incremental);
         assert!(p.tracing);
         assert_eq!(p.governor, Some(gov));
+        assert_eq!(p.broadphase, BroadPhase::On);
         assert_eq!(p.with_governor(None).governor, None);
     }
 }

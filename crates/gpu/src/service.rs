@@ -197,7 +197,9 @@ pub fn render_batch<B: ParallelCollision>(
             std::mem::take(&mut cos[ji]),
         );
         let governor = job.sim.governor_frame_stats();
-        let s = FrameStats { geometry: geoms[ji], raster, coherence, governor, frames: 1 };
+        let broadphase = job.sim.broadphase_frame_stats();
+        let s =
+            FrameStats { geometry: geoms[ji], raster, coherence, governor, broadphase, frames: 1 };
         if let Some(t) = job.sim.tracer.as_deref_mut() {
             t.end_frame(s.total_cycles());
         }

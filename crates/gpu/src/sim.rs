@@ -1,5 +1,6 @@
 //! The tile-based pipeline simulator.
 
+use crate::broadphase::{BroadPhase, DrawBounds, SweepScratch};
 use crate::cache::CacheModel;
 use crate::clip::clip_near;
 use crate::coherence::{self, MeshHashMemo, TileResultCache};
@@ -10,7 +11,9 @@ use crate::frontend::{self, CachedDrawGeom, FrontendMode, GeomCache};
 use crate::raster::{
     rasterize_triangle_in_tile, rasterize_triangle_in_tile_masked_rows, Fragment, ScreenTriangle,
 };
-use crate::stats::{CoherenceStats, FrameStats, GeometryStats, GovernorStats, RasterStats};
+use crate::stats::{
+    BroadphaseStats, CoherenceStats, FrameStats, GeometryStats, GovernorStats, RasterStats,
+};
 use rbcd_math::{viewport as viewport_map, Vec3, Vec4};
 use rbcd_trace::{TileZebRecord, TraceBuffer};
 use std::collections::BTreeSet;
@@ -70,7 +73,7 @@ pub(crate) struct BinnedTiles {
 }
 
 impl BinnedTiles {
-    fn begin_frame(&mut self, n_tiles: usize) {
+    pub(crate) fn begin_frame(&mut self, n_tiles: usize) {
         self.scratch.clear();
         self.prims.clear();
         self.active.clear();
@@ -83,7 +86,7 @@ impl BinnedTiles {
     /// Records `prim` for tile `ti` and returns the tile's entry index
     /// (its running count before this push), which addresses the bin
     /// entry in the tile cache.
-    fn push(&mut self, ti: usize, prim: BinnedPrim) -> u64 {
+    pub(crate) fn push(&mut self, ti: usize, prim: BinnedPrim) -> u64 {
         let entry = self.counters[ti];
         self.counters[ti] += 1;
         self.scratch.push((ti as u32, prim));
@@ -93,7 +96,7 @@ impl BinnedTiles {
     /// Groups the emission-order scratch by tile index — a stable
     /// counting sort, so each tile keeps its primitives in the exact
     /// order the geometry pipeline emitted them.
-    fn layout(&mut self) {
+    pub(crate) fn layout(&mut self) {
         let n_tiles = self.counters.len();
         let mut sum = 0u32;
         for ti in 0..n_tiles {
@@ -182,6 +185,12 @@ impl TileWorker {
     /// against the private depth buffer, and collisionable-fragment
     /// capture into `self.coll_frags`. Pure per-tile work — no cache or
     /// collision-unit access — so tiles can run on any thread.
+    ///
+    /// With `bp_skip` set (a broad-phase-pruned tile), image-side work
+    /// is elided: scenery primitives are skipped entirely and Early-Z
+    /// never runs. Collidable primitives still rasterize in order, so
+    /// `coll_frags` — captured before, and independent of, the depth
+    /// test — is bit-identical to a full pass.
     pub(crate) fn process_tile(
         &mut self,
         cfg: &GpuConfig,
@@ -189,6 +198,7 @@ impl TileWorker {
         tile: TileCoord,
         prims: &[BinnedPrim],
         mode: PipelineMode,
+        bp_skip: bool,
     ) -> TileRasterOut {
         let tile_pixels = (cfg.tile_size * cfg.tile_size) as usize;
         self.zbuf[..tile_pixels].fill(1.0);
@@ -208,7 +218,10 @@ impl TileWorker {
             let draw = &trace.draws[prim.draw as usize];
             let coll_object =
                 if mode != PipelineMode::Baseline { draw.collidable } else { None };
-            let early_z = !prim.tagged_cull && mode != PipelineMode::CollisionOnly;
+            if bp_skip && coll_object.is_none() {
+                continue; // pruned tile: scenery feeds no consumer
+            }
+            let early_z = !prim.tagged_cull && mode != PipelineMode::CollisionOnly && !bp_skip;
             let (n, prim_fp_work) = match cfg.hot_path {
                 HotPathMode::Reference => {
                     frag_scratch.clear();
@@ -397,6 +410,24 @@ pub struct Simulator {
     /// Post-transform clip-space positions of the draw being shaded
     /// (scratch, reused across draws and frames).
     pub(crate) vertex_scratch: Vec<Vec4>,
+    /// Screen-space broad-phase knob (off by default; see
+    /// [`Simulator::set_broadphase`]).
+    pub(crate) broadphase: BroadPhase,
+    /// Per-draw screen bounds of the current frame (scratch, reused);
+    /// filled by the geometry front-ends only when the broad phase is
+    /// on, so the default path pays nothing.
+    pub(crate) draw_bounds: Vec<DrawBounds>,
+    /// Per-tile broad-phase skip decisions of the current frame
+    /// (scratch, reused): one flag per *active-list position*. Empty
+    /// when the broad phase is inert.
+    pub(crate) bp_plan: Vec<bool>,
+    /// Whether the broad phase actually pruned this frame (on, RBCD or
+    /// collision-only mode, ungoverned). Set by the raster planner.
+    pub(crate) bp_active: bool,
+    /// The last planned frame's broad-phase counters.
+    pub(crate) bp_stats: BroadphaseStats,
+    /// Reusable broad-phase sweep scratch.
+    pub(crate) bp_scratch: SweepScratch,
 }
 
 const RECORD_BASE: u64 = 1 << 40;
@@ -466,12 +497,14 @@ pub(crate) fn accumulate_tile(
     start + work
 }
 
-/// Folds a *replayed* tile's cached results into the frame stats. The
-/// workload counters come from the cached [`TileRasterOut`] unchanged,
-/// so they match a fresh computation bit for bit; the timeline advances
-/// by only the signature-check cost `sig_cycles` (the fragment
+/// Folds a *replayed* tile's results into the frame stats. The
+/// workload counters come from the given [`TileRasterOut`] unchanged,
+/// so they match the pass that produced them bit for bit; the timeline
+/// advances by only the replay cost `sig_cycles` (the fragment
 /// processors sit idle for that whole span, and no ZEB is claimed so
-/// there is no stall term). Returns the tile's end cycle.
+/// there is no stall term). Used for both temporal-reuse replays
+/// (signature-check cost) and broad-phase-skipped tiles (list-walk
+/// cost). Returns the tile's end cycle.
 pub(crate) fn accumulate_reused_tile(
     r: &mut RasterStats,
     o: &TileRasterOut,
@@ -530,6 +563,12 @@ impl Simulator {
             mesh_memo: MeshHashMemo::default(),
             draw_hashes_ready: false,
             vertex_scratch: Vec::new(),
+            broadphase: BroadPhase::default(),
+            draw_bounds: Vec::new(),
+            bp_plan: Vec::new(),
+            bp_active: false,
+            bp_stats: BroadphaseStats::default(),
+            bp_scratch: SweepScratch::default(),
             config,
         }
     }
@@ -587,6 +626,55 @@ impl Simulator {
     /// Whether temporal tile reuse is currently enabled.
     pub fn reuse_enabled(&self) -> bool {
         self.reuse
+    }
+
+    /// Selects the screen-space broad phase ([`BroadPhase::Off`] by
+    /// default, which keeps every golden counter pinned).
+    ///
+    /// With [`BroadPhase::On`], [`Simulator::render_frame_parallel`]
+    /// computes per-draw screen AABBs + z-intervals, runs a
+    /// deterministic interval sweep for the pair-feasible object set,
+    /// and elides the image-side work (scenery raster, Early-Z,
+    /// shading, ZEB claim) of tiles where no feasible pair can occur.
+    /// Reported pairs, every `rbcd.*` counter, and fault-ladder
+    /// behaviour are bit-identical either way — skipped tiles'
+    /// collisionable fragments still reach the unit unchanged; only
+    /// raster/scan timing, energy, and the mask-only `broadphase.*`
+    /// counters move (see `crate::broadphase` for the full contract).
+    ///
+    /// Pruning is inert in [`PipelineMode::Baseline`] (no pairs to
+    /// preserve; the baseline measures the full render) and whenever an
+    /// overload governor is installed (the deadline ladder's shed
+    /// decisions are merge-cursor driven, and pruning moves the cursor,
+    /// so the governor takes precedence — a governed frame is never
+    /// pruned and pruned tiles never count toward its budget
+    /// projection). The sequential [`Simulator::render_frame`] path
+    /// ignores the knob, like temporal reuse: its `dyn CollisionUnit`
+    /// protocol has no per-tile replay hook.
+    ///
+    /// Toggling drops the temporal-reuse result cache: cached capsules
+    /// were recorded under the other mode's frame seed and could never
+    /// match again.
+    pub fn set_broadphase(&mut self, mode: BroadPhase) {
+        if self.broadphase != mode {
+            self.result_cache.clear();
+        }
+        self.broadphase = mode;
+        if mode == BroadPhase::Off {
+            self.bp_active = false;
+            self.bp_stats = BroadphaseStats::default();
+        }
+    }
+
+    /// The active broad-phase mode.
+    pub fn broadphase(&self) -> BroadPhase {
+        self.broadphase
+    }
+
+    /// The last planned frame's broad-phase counters (all zero when the
+    /// broad phase was inert).
+    pub(crate) fn broadphase_frame_stats(&self) -> BroadphaseStats {
+        self.bp_stats
     }
 
     /// Selects the geometry front-end arrangement
@@ -742,6 +830,7 @@ impl Simulator {
             raster,
             coherence: CoherenceStats::default(),
             governor,
+            broadphase: BroadphaseStats::default(),
             frames: 1,
         };
         if let Some(t) = self.tracer.as_deref_mut() {
@@ -792,6 +881,11 @@ impl Simulator {
         let mut g = GeometryStats::default();
         self.vertex_cache.reset_stats();
         self.tile_cache.reset_stats();
+        let bp = self.broadphase == BroadPhase::On;
+        self.draw_bounds.clear();
+        if bp {
+            self.draw_bounds.resize(trace.draws.len(), DrawBounds::default());
+        }
 
         let view_proj = trace.camera.view_proj();
         let mut record_counter: u64 = 0;
@@ -873,6 +967,9 @@ impl Simulator {
                         g.triangles_degenerate += 1;
                         continue;
                     };
+                    if bp {
+                        self.draw_bounds[draw_idx].add_tri(&tri, (x0, y0, x1, y1));
+                    }
 
                     // Write the primitive record once.
                     let record = record_counter;
@@ -923,6 +1020,11 @@ impl Simulator {
         let mut g = GeometryStats::default();
         self.vertex_cache.reset_stats();
         self.tile_cache.reset_stats();
+        let bp = self.broadphase == BroadPhase::On;
+        self.draw_bounds.clear();
+        if bp {
+            self.draw_bounds.resize(trace.draws.len(), DrawBounds::default());
+        }
         let view_proj = trace.camera.view_proj();
         let mut record_counter: u64 = 0;
         let mut draw_log: Vec<(u64, u64, u64)> = Vec::new();
@@ -1039,6 +1141,11 @@ impl Simulator {
                 g.reuse_draws += 1;
             } else {
                 g.shaded_draws += 1;
+            }
+            if bp {
+                // Bounds were folded once at shade time and memoized
+                // with the draw's geometry: cached draws pay nothing.
+                self.draw_bounds[draw_idx] = geom.bounds;
             }
 
             let mut tile_lo = 0usize;
@@ -1186,7 +1293,7 @@ impl Simulator {
                 continue;
             }
 
-            let mut out = worker.process_tile(&cfg, trace, tile, prims, mode);
+            let mut out = worker.process_tile(&cfg, trace, tile, prims, mode, false);
             if !governor_blocked.is_empty() {
                 // Circuit-breaker routing: blocked objects' fragments
                 // never reach the collision backend.

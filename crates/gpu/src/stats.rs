@@ -136,6 +136,33 @@ pub struct GovernorStats {
     pub tiles_shed: u64,
 }
 
+/// Screen-space broad-phase counters for one or more frames. All four
+/// stay zero when the broad phase is off (the library default), so the
+/// counter registry keeps the same shape either way — the same
+/// convention as [`CoherenceStats`] and [`GovernorStats`].
+///
+/// Like the mask-only raster diagnostics of PR 5, these are
+/// *accounting* counters, not hardware events: the energy model never
+/// reads them. Enabling the broad phase moves raster timing and these
+/// keys, never the pair set or any `rbcd.*` counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BroadphaseStats {
+    /// Distinct collidable objects whose binned bounds entered the
+    /// interval sweep.
+    pub objects_swept: u64,
+    /// Swept objects with no pair-feasible partner anywhere on screen.
+    pub objects_infeasible: u64,
+    /// Merge-timeline cycles charged for the per-frame bounds fold and
+    /// interval sweep (also folded into `raster.fp_idle_cycles`, like
+    /// signature checks).
+    pub sweep_cycles: u64,
+    /// Active tiles whose image-side work (scenery raster, Early-Z,
+    /// shading, ZEB claim) was elided because no feasible pair could
+    /// occur there. Their collisionable fragments still reached the
+    /// unit bit-identically.
+    pub tiles_skipped: u64,
+}
+
 /// Combined per-frame (or accumulated) statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FrameStats {
@@ -147,6 +174,9 @@ pub struct FrameStats {
     pub coherence: CoherenceStats,
     /// Overload-governor counters (all zero when the governor is off).
     pub governor: GovernorStats,
+    /// Screen-space broad-phase counters (all zero when the broad phase
+    /// is off).
+    pub broadphase: BroadphaseStats,
     /// Frames accumulated into this record.
     pub frames: u64,
 }
@@ -213,6 +243,13 @@ impl FrameStats {
         v.tiles_coarsened += o.tiles_coarsened;
         v.tiles_shed += o.tiles_shed;
 
+        let b = &mut self.broadphase;
+        let o = &other.broadphase;
+        b.objects_swept += o.objects_swept;
+        b.objects_infeasible += o.objects_infeasible;
+        b.sweep_cycles += o.sweep_cycles;
+        b.tiles_skipped += o.tiles_skipped;
+
         self.frames += other.frames;
     }
 
@@ -226,7 +263,12 @@ impl FrameStats {
         let r = &self.raster;
         let c = &self.coherence;
         let v = &self.governor;
+        let b = &self.broadphase;
         [
+            ("broadphase.objects_infeasible", b.objects_infeasible),
+            ("broadphase.objects_swept", b.objects_swept),
+            ("broadphase.sweep_cycles", b.sweep_cycles),
+            ("broadphase.tiles_skipped", b.tiles_skipped),
             ("coherence.draw_hashes", c.draw_hashes),
             ("coherence.signature_cycles", c.signature_cycles),
             ("coherence.tiles_checked", c.tiles_checked),

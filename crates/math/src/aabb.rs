@@ -91,6 +91,52 @@ impl Aabb {
             && self.max.z >= other.min.z
     }
 
+    /// `true` unless the closed boxes are *provably* disjoint — the
+    /// fault-tolerant overlap test for pair-feasibility pruning.
+    ///
+    /// [`Aabb::intersects`] answers "do these boxes overlap?" and treats
+    /// any NaN comparison as *no overlap*, which is the wrong direction
+    /// for a broad phase: pruning a pair because a fault-injected NaN
+    /// poisoned a bound would silently lose real collisions. This test
+    /// inverts the question — it proves disjointness with strict
+    /// comparisons and reports *feasible* whenever that proof fails, so
+    /// every degenerate input falls through to the safe side:
+    ///
+    /// * any NaN coordinate in either box → feasible: a NaN marks the
+    ///   whole fold as corrupted, so no axis of that box — even a
+    ///   finite-looking one — is trusted to prove disjointness;
+    /// * inverted extents (`min > max` on an axis, e.g. built by folding
+    ///   bounds over corrupted geometry) → the axis interval is
+    ///   normalized to `[min(lo,hi), max(lo,hi)]` before the comparison,
+    ///   so an inverted box that genuinely straddles another can never
+    ///   be read as disjoint;
+    /// * zero-extent (point/plane) boxes → ordinary closed-box
+    ///   semantics: touching counts as feasible.
+    ///
+    /// For finite well-formed boxes this is exactly
+    /// [`Aabb::intersects`].
+    pub fn feasibly_overlaps(&self, other: &Self) -> bool {
+        fn any_nan(b: &Aabb) -> bool {
+            b.min.x.is_nan()
+                || b.min.y.is_nan()
+                || b.min.z.is_nan()
+                || b.max.x.is_nan()
+                || b.max.y.is_nan()
+                || b.max.z.is_nan()
+        }
+        if any_nan(self) || any_nan(other) {
+            return true;
+        }
+        fn axis_feasible(a_lo: f32, a_hi: f32, b_lo: f32, b_hi: f32) -> bool {
+            let (a_lo, a_hi) = (a_lo.min(a_hi), a_lo.max(a_hi));
+            let (b_lo, b_hi) = (b_lo.min(b_hi), b_lo.max(b_hi));
+            !(a_hi < b_lo || b_hi < a_lo)
+        }
+        axis_feasible(self.min.x, self.max.x, other.min.x, other.max.x)
+            && axis_feasible(self.min.y, self.max.y, other.min.y, other.max.y)
+            && axis_feasible(self.min.z, self.max.z, other.min.z, other.max.z)
+    }
+
     /// `true` when `p` lies inside the closed box.
     pub fn contains_point(&self, p: Vec3) -> bool {
         p.x >= self.min.x
@@ -184,6 +230,76 @@ mod tests {
             }
             assert!(!a.intersects(&Aabb::new(min, max)));
         }
+    }
+
+    #[test]
+    fn feasibly_overlaps_matches_intersects_on_clean_boxes() {
+        let a = unit();
+        let touching = Aabb::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(2.0, 1.0, 1.0));
+        let apart = Aabb::new(Vec3::new(1.1, 0.0, 0.0), Vec3::new(2.0, 1.0, 1.0));
+        assert!(a.feasibly_overlaps(&touching));
+        assert!(touching.feasibly_overlaps(&a));
+        assert!(!a.feasibly_overlaps(&apart));
+        assert!(!apart.feasibly_overlaps(&a));
+        assert_eq!(a.intersects(&touching), a.feasibly_overlaps(&touching));
+        assert_eq!(a.intersects(&apart), a.feasibly_overlaps(&apart));
+    }
+
+    #[test]
+    fn nan_in_any_position_reads_feasible() {
+        // A NaN bound must always fall through to "feasible" — the
+        // broad phase may never prune on fault-poisoned geometry. Every
+        // component of either corner is poisoned in turn, against a box
+        // that a clean comparison would call disjoint.
+        let far = Aabb::new(Vec3::splat(100.0), Vec3::splat(101.0));
+        for corner in 0..2 {
+            for axis in 0..3 {
+                let mut bad = unit();
+                let c = if corner == 0 { &mut bad.min } else { &mut bad.max };
+                match axis {
+                    0 => c.x = f32::NAN,
+                    1 => c.y = f32::NAN,
+                    _ => c.z = f32::NAN,
+                }
+                assert!(
+                    bad.feasibly_overlaps(&far),
+                    "corner {corner} axis {axis}: NaN must read feasible"
+                );
+                assert!(far.feasibly_overlaps(&bad), "and symmetrically");
+                assert!(
+                    !bad.intersects(&far),
+                    "the plain closed-box test reads NaN as disjoint — the \
+                     unsafe direction feasibly_overlaps exists to avoid"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inverted_extents_never_fabricate_disjointness() {
+        // min > max on every axis (a fold over corrupted geometry can
+        // produce this). The inverted box sits *around* the origin, so
+        // it genuinely shares points with the unit box — it must stay
+        // feasible even though `intersects` would need min <= max.
+        let inverted = Aabb { min: Vec3::splat(0.5), max: Vec3::splat(-0.5) };
+        assert!(inverted.feasibly_overlaps(&unit()));
+        assert!(unit().feasibly_overlaps(&inverted));
+        // A genuinely distant pair still proves disjoint even when one
+        // box is inverted: no lost pruning power where the proof holds.
+        let far = Aabb::new(Vec3::splat(100.0), Vec3::splat(101.0));
+        assert!(!inverted.feasibly_overlaps(&far));
+    }
+
+    #[test]
+    fn degenerate_extents_use_closed_semantics() {
+        // Zero-extent boxes (a point, an axis-aligned plane) touch-count
+        // exactly like the closed-box test: touching is feasible.
+        let point = Aabb::from_point(Vec3::new(1.0, 0.5, 0.5));
+        assert!(unit().feasibly_overlaps(&point), "point on the face touches");
+        let plane = Aabb::new(Vec3::new(0.0, 1.0, 0.0), Vec3::new(1.0, 1.0, 1.0));
+        assert!(unit().feasibly_overlaps(&plane), "plane on the face touches");
+        let off_point = Aabb::from_point(Vec3::new(1.0 + 1e-4, 0.5, 0.5));
+        assert!(!unit().feasibly_overlaps(&off_point));
     }
 
     #[test]

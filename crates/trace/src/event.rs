@@ -175,6 +175,24 @@ impl TraceBuffer {
         self.heat.add_reuse(x, y);
     }
 
+    /// Records a screen-space broad-phase skip of tile (`x`, `y`): the
+    /// frame's interval sweep proved no feasible collision pair can
+    /// touch the tile, so raster and the Z-overlap scan were elided.
+    /// An instant marker at the cycle the merge reached the tile plus
+    /// the per-tile broadphase heat plane. `at` is a raster-timeline
+    /// cycle.
+    pub fn record_tile_bp_skip(&mut self, x: u32, y: u32, at: u64) {
+        self.events.push(TraceEvent {
+            name: "tile.bp_skipped",
+            cat: "broadphase",
+            ts: self.raster_base + at,
+            tid: LANE_MARKS,
+            kind: EventKind::Instant,
+            args: vec![("x", x as u64), ("y", y as u64)],
+        });
+        self.heat.add_broadphase(x, y);
+    }
+
     /// Records an overload-governor shed of tile (`x`, `y`): an instant
     /// marker at the cycle the Tile Scheduler dropped it plus the
     /// per-tile shed heat plane. `at` is a raster-timeline cycle.
@@ -420,6 +438,20 @@ mod tests {
         assert_eq!(e.ts, 107);
         assert_eq!(e.kind, EventKind::Instant);
         assert_eq!(t.heat().total("reuse"), 1);
+    }
+
+    #[test]
+    fn tile_bp_skip_marks_timeline_and_heat() {
+        let mut t = TraceBuffer::new(2, 2);
+        t.begin_frame();
+        t.geometry_done(80);
+        t.record_tile_bp_skip(0, 1, 9);
+        t.end_frame(200);
+        let e = t.events().iter().find(|e| e.name == "tile.bp_skipped").unwrap();
+        assert_eq!(e.ts, 89);
+        assert_eq!(e.kind, EventKind::Instant);
+        assert_eq!(e.cat, "broadphase");
+        assert_eq!(t.heat().total("broadphase"), 1);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::event::TileZebRecord;
 /// The metrics a [`HeatGrid`] accumulates, in export order. Each name
 /// is a valid argument to [`HeatGrid::csv`] / [`HeatGrid::total`] and
 /// becomes one CSV file per `repro --trace` run.
-pub const HEATMAP_METRICS: [&str; 9] = [
+pub const HEATMAP_METRICS: [&str; 10] = [
     "occupancy",
     "overflows",
     "scan_cycles",
@@ -15,6 +15,7 @@ pub const HEATMAP_METRICS: [&str; 9] = [
     "scan_skipped",
     "shed",
     "splice",
+    "broadphase",
 ];
 
 /// A `tiles_x` × `tiles_y` grid of per-tile accumulators, folded over
@@ -24,7 +25,9 @@ pub const HEATMAP_METRICS: [&str; 9] = [
 /// [`HeatGrid::add_reuse`]; the `shed` plane counts overload-governor
 /// tile drops, fed via [`HeatGrid::add_shed`]; the `splice` plane
 /// counts bin entries the incremental geometry front-end spliced from
-/// its per-draw cache, fed via [`HeatGrid::add_splice`].
+/// its per-draw cache, fed via [`HeatGrid::add_splice`]; the
+/// `broadphase` plane counts screen-space broad-phase tile skips, fed
+/// via [`HeatGrid::add_broadphase`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HeatGrid {
     tiles_x: u32,
@@ -38,6 +41,7 @@ pub struct HeatGrid {
     scan_skipped: Vec<u64>,
     shed: Vec<u64>,
     splice: Vec<u64>,
+    broadphase: Vec<u64>,
 }
 
 impl HeatGrid {
@@ -56,6 +60,7 @@ impl HeatGrid {
             scan_skipped: vec![0; n],
             shed: vec![0; n],
             splice: vec![0; n],
+            broadphase: vec![0; n],
         }
     }
 
@@ -113,6 +118,17 @@ impl HeatGrid {
         self.splice[y as usize * self.tiles_x as usize + x as usize] += 1;
     }
 
+    /// Counts one broad-phase skip of tile (`x`, `y`): the screen-space
+    /// sweep proved no feasible collision pair can touch it, so raster
+    /// and the Z-overlap scan were elided. Out-of-grid coordinates are
+    /// ignored, matching [`HeatGrid::add_tile`].
+    pub fn add_broadphase(&mut self, x: u32, y: u32) {
+        if x >= self.tiles_x || y >= self.tiles_y {
+            return;
+        }
+        self.broadphase[y as usize * self.tiles_x as usize + x as usize] += 1;
+    }
+
     fn cells(&self, metric: &str) -> Option<&[u64]> {
         match metric {
             "occupancy" => Some(&self.occupancy),
@@ -124,6 +140,7 @@ impl HeatGrid {
             "scan_skipped" => Some(&self.scan_skipped),
             "shed" => Some(&self.shed),
             "splice" => Some(&self.splice),
+            "broadphase" => Some(&self.broadphase),
             _ => None,
         }
     }
@@ -222,6 +239,17 @@ mod tests {
         g.add_splice(4, 4); // ignored, out of grid
         assert_eq!(g.total("splice"), 3);
         assert_eq!(g.csv("splice").unwrap(), "0,2\n1,0\n");
+    }
+
+    #[test]
+    fn broadphase_plane_counts_tile_skips() {
+        let mut g = HeatGrid::new(2, 2);
+        g.add_broadphase(0, 0);
+        g.add_broadphase(0, 0);
+        g.add_broadphase(1, 1);
+        g.add_broadphase(3, 0); // ignored, out of grid
+        assert_eq!(g.total("broadphase"), 3);
+        assert_eq!(g.csv("broadphase").unwrap(), "2,0\n0,1\n");
     }
 
     #[test]

@@ -32,10 +32,12 @@
 
 mod motion;
 mod scene;
+mod sparse;
 mod suite;
 mod temporal;
 
 pub use motion::Motion;
 pub use scene::{CameraPath, Scene, SceneObject};
+pub use sparse::{drift, meadow, sparse, sparse_family};
 pub use suite::{cap, crazy, shells, sleepy, suite, temple};
 pub use temporal::{atrium, resting, temporal_suite, vault};

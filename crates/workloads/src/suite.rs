@@ -14,9 +14,12 @@ use rbcd_gpu::ShaderCost;
 use rbcd_math::{Aabb, Mat4, Vec3};
 use std::sync::Arc;
 
-/// All four benchmarks, in the paper's order.
+/// The paper's four benchmarks in Table 2 order, plus the house
+/// `sparse` swarm clip (low contact density — the regime none of the
+/// paper scenes cover), so tier-1 suite sweeps exercise the
+/// broad-phase-relevant shape too.
 pub fn suite() -> Vec<Scene> {
-    vec![cap(), crazy(), sleepy(), temple()]
+    vec![cap(), crazy(), sleepy(), temple(), crate::sparse::sparse()]
 }
 
 /// A field of decorative, non-collisionable meshes — the environment
@@ -552,7 +555,7 @@ mod tests {
     fn suite_has_the_paper_benchmarks() {
         let s = suite();
         let aliases: Vec<&str> = s.iter().map(|b| b.alias).collect();
-        assert_eq!(aliases, vec!["cap", "crazy", "sleepy", "temple"]);
+        assert_eq!(aliases, vec!["cap", "crazy", "sleepy", "temple", "sparse"]);
     }
 
     /// The parallel tile pipeline shares scenes and traces across

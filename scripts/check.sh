@@ -13,7 +13,10 @@
 # (BENCH_temporal_coherence.json). The frontend smoke A/Bs the
 # incremental geometry front-end against a full rebuild and fails on
 # any divergence or wall-clock regression
-# (BENCH_geometry_frontend.json). The overload smoke sweeps the
+# (BENCH_geometry_frontend.json). The broad-phase smoke A/Bs the
+# screen-space broad phase against an unpruned run and fails on any
+# divergence or wall-clock regression (BENCH_broadphase.json). The
+# overload smoke sweeps the
 # frame-deadline governor down to a 25% cycle budget under the storm
 # fault plan (repro exits non-zero on any budget violation or silent
 # oracle miss) and re-runs it at 1/2/4 threads, requiring byte-identical
@@ -51,7 +54,7 @@ echo "== trace smoke (repro --smoke --frames 2 --trace) =="
 trace_dir=$(mktemp -d)
 trap 'rm -rf "$trace_dir"' EXIT
 ./target/release/repro --smoke --frames 2 --trace "$trace_dir/trace.json"
-for f in trace.json trace.occupancy.csv trace.overflows.csv trace.scan_cycles.csv trace.pairs.csv trace.rung.csv trace.reuse.csv trace.scan_skipped.csv trace.shed.csv trace.splice.csv; do
+for f in trace.json trace.occupancy.csv trace.overflows.csv trace.scan_cycles.csv trace.pairs.csv trace.rung.csv trace.reuse.csv trace.scan_skipped.csv trace.shed.csv trace.splice.csv trace.broadphase.csv; do
   [ -s "$trace_dir/$f" ] || { echo "trace smoke: missing or empty $f"; exit 1; }
 done
 grep -q '"traceEvents"' "$trace_dir/trace.json" || { echo "trace smoke: no traceEvents key"; exit 1; }
@@ -102,6 +105,24 @@ geo=$(sed -n 's/.*"speedup_geomean": \([0-9.]*\).*/\1/p' BENCH_geometry_frontend
 [ -n "$geo" ] || { echo "frontend smoke: no speedup_geomean in JSON"; exit 1; }
 awk -v g="$geo" 'BEGIN { exit (g >= 1.0) ? 0 : 1 }' \
   || { echo "frontend smoke: incremental front-end slower than rebuild (geomean ${geo}x)"; exit 1; }
+
+echo "== broad-phase smoke (repro --smoke broadphase) =="
+# A/B of the screen-space broad phase (pair-infeasible draw pruning +
+# single-occupant tile elision) against a broad-phase-off run: repro
+# exits non-zero unless pairs and every non-image-side counter are
+# bit-identical across thread counts, reuse on/off, fault storms, a
+# governed budget, and the batch service, then times both on the
+# sparse-swarm clips and writes BENCH_broadphase.json. On top of that,
+# guard against a wall-clock regression: pruning must never be slower
+# than rendering everything.
+./target/release/repro --smoke broadphase
+[ -s BENCH_broadphase.json ] || { echo "broadphase smoke: missing BENCH_broadphase.json"; exit 1; }
+grep -q '"identical_results": true' BENCH_broadphase.json \
+  || { echo "broadphase smoke: pruned run was not result-identical"; exit 1; }
+geo=$(sed -n 's/.*"speedup_geomean": \([0-9.]*\).*/\1/p' BENCH_broadphase.json)
+[ -n "$geo" ] || { echo "broadphase smoke: no speedup_geomean in JSON"; exit 1; }
+awk -v g="$geo" 'BEGIN { exit (g >= 1.0) ? 0 : 1 }' \
+  || { echo "broadphase smoke: broad phase slower than off (geomean ${geo}x)"; exit 1; }
 
 echo "== overload governor smoke (repro --smoke overload) =="
 # Sweeps the frame-deadline governor over 100/75/50/25 % cycle budgets
